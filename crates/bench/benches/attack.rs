@@ -1,0 +1,66 @@
+//! Adversarial-game throughput (E12): rounds/second of the full
+//! `AdaptiveGame` loop under each adversary, and the cost profile of the
+//! dyadic (arbitrary-precision) attack as the stream grows — quantifying
+//! the paper's "the attack needs exponential universes" in memory/time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use robust_sampling_core::adversary::{
+    BisectionAdversary, DiscreteAttackAdversary, GreedyDiscrepancyAdversary, RandomAdversary,
+};
+use robust_sampling_core::game::AdaptiveGame;
+use robust_sampling_core::sampler::{BernoulliSampler, ReservoirSampler};
+use std::hint::black_box;
+
+fn bench_game_loop(c: &mut Criterion) {
+    let n = 10_000usize;
+    let universe = 1u64 << 40;
+    let mut g = c.benchmark_group("adaptive_game");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("random_vs_reservoir", |b| {
+        b.iter(|| {
+            let mut s = ReservoirSampler::with_seed(256, 1);
+            let mut a = RandomAdversary::new(universe, 2);
+            black_box(AdaptiveGame::new(n).run(&mut s, &mut a).sample.len())
+        });
+    });
+    g.bench_function("greedy_vs_reservoir", |b| {
+        b.iter(|| {
+            let mut s = ReservoirSampler::with_seed(256, 1);
+            let mut a = GreedyDiscrepancyAdversary::new(universe, 128, 2);
+            black_box(AdaptiveGame::new(n).run(&mut s, &mut a).sample.len())
+        });
+    });
+    g.bench_function("figure3_vs_bernoulli", |b| {
+        b.iter(|| {
+            let mut s = BernoulliSampler::with_seed(0.001, 1);
+            let mut a = DiscreteAttackAdversary::for_bernoulli(0.001, n, universe);
+            black_box(AdaptiveGame::new(n).run(&mut s, &mut a).sample.len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_dyadic_attack_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dyadic_bisection_attack");
+    for n in [500usize, 2_000, 8_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = BernoulliSampler::with_seed(0.02, 1);
+                let mut a = BisectionAdversary::new();
+                let out = AdaptiveGame::new(n).run(&mut s, &mut a);
+                // Total bits ~ n^2/2: the exponential-universe cost, tangible.
+                black_box(out.stream.iter().map(|d| d.bit_len()).sum::<usize>())
+            });
+        });
+    }
+    g.finish();
+}
+
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_game_loop, bench_dyadic_attack_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! ε-approximation checking cost (E12): the verification side of the
+//! reproduction. Prefix/interval sweeps are `O(n log n)`; axis-box
+//! checking is `O(m^d + n)` via summed-area tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use robust_sampling_core::set_system::{
+    AxisBoxSystem, IntervalSystem, PrefixSystem, SetSystem, SingletonSystem,
+};
+use robust_sampling_streamgen as streamgen;
+use std::hint::black_box;
+
+fn bench_ordered_sweeps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("discrepancy_1d");
+    for n in [10_000usize, 100_000] {
+        let universe = 1u64 << 20;
+        let stream = streamgen::uniform(n, universe, 1);
+        let sample = streamgen::uniform(n / 100, universe, 2);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("prefix", n), &n, |b, _| {
+            let sys = PrefixSystem::new(universe);
+            b.iter(|| black_box(sys.max_discrepancy(&stream, &sample).value));
+        });
+        g.bench_with_input(BenchmarkId::new("interval", n), &n, |b, _| {
+            let sys = IntervalSystem::new(universe);
+            b.iter(|| black_box(sys.max_discrepancy(&stream, &sample).value));
+        });
+        g.bench_with_input(BenchmarkId::new("singleton", n), &n, |b, _| {
+            let sys = SingletonSystem::new(universe);
+            b.iter(|| black_box(sys.max_discrepancy(&stream, &sample).value));
+        });
+    }
+    g.finish();
+}
+
+fn bench_axis_boxes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("discrepancy_boxes");
+    let n = 20_000usize;
+    {
+        let m = 32u64;
+        let sys = AxisBoxSystem::<2>::new(m);
+        let stream = streamgen::uniform_grid_points(n, m, 1);
+        let sample = streamgen::uniform_grid_points(n / 50, m, 2);
+        g.bench_function("2d_m32", |b| {
+            b.iter(|| black_box(sys.max_discrepancy(&stream, &sample).value));
+        });
+    }
+    {
+        let m = 12u64;
+        let sys = AxisBoxSystem::<3>::new(m);
+        let flat = streamgen::uniform(n * 3, m, 3);
+        let stream: Vec<[u64; 3]> = (0..n)
+            .map(|i| [flat[3 * i], flat[3 * i + 1], flat[3 * i + 2]])
+            .collect();
+        let sample: Vec<[u64; 3]> = stream.iter().copied().step_by(50).collect();
+        g.bench_function("3d_m12", |b| {
+            b.iter(|| black_box(sys.max_discrepancy(&stream, &sample).value));
+        });
+    }
+    g.finish();
+}
+
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_ordered_sweeps, bench_axis_boxes
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Sampler throughput micro-benchmarks (E12): elements/second for
+//! Bernoulli, reservoir, and weighted reservoir observation, across
+//! sampling intensities. The paper's practical pitch is that sampling is
+//! cheap and generic; these benches quantify "cheap".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use robust_sampling_core::sampler::{
+    BernoulliSampler, EveryKthSampler, ReservoirSampler, StreamSampler, WeightedReservoirSampler,
+};
+use std::hint::black_box;
+
+const N: usize = 100_000;
+
+fn bench_bernoulli(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bernoulli_observe");
+    g.throughput(Throughput::Elements(N as u64));
+    for p in [0.01, 0.1, 0.5] {
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                let mut s = BernoulliSampler::with_seed(p, 1);
+                for x in 0..N as u64 {
+                    black_box(s.observe(black_box(x)));
+                }
+                s.sample().len()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_reservoir(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reservoir_observe");
+    g.throughput(Throughput::Elements(N as u64));
+    for k in [64usize, 1024, 16_384] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut s = ReservoirSampler::with_seed(k, 1);
+                for x in 0..N as u64 {
+                    black_box(s.observe(black_box(x)));
+                }
+                s.sample().len()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_weighted(c: &mut Criterion) {
+    let mut g = c.benchmark_group("weighted_reservoir_observe");
+    g.throughput(Throughput::Elements(N as u64));
+    for k in [64usize, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut s = WeightedReservoirSampler::with_seed(k, 1);
+                for x in 0..N as u64 {
+                    s.observe_weighted(black_box(x), 1.0 + (x % 7) as f64);
+                }
+                s.sample_elements().len()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_deterministic_strawman(c: &mut Criterion) {
+    let mut g = c.benchmark_group("every_kth_observe");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("stride_100", |b| {
+        b.iter(|| {
+            let mut s = EveryKthSampler::new(100);
+            for x in 0..N as u64 {
+                black_box(s.observe(black_box(x)));
+            }
+            s.sample().len()
+        });
+    });
+    g.finish();
+}
+
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_bernoulli, bench_reservoir, bench_weighted, bench_deterministic_strawman
+}
+criterion_main!(benches);

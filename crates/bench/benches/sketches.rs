@@ -1,0 +1,107 @@
+//! Baseline-sketch update cost (E12): the paper's §1.1/§1.2 comparison —
+//! deterministic summaries must touch every element; sampling touches a
+//! vanishing fraction. These benches put numbers on the per-element cost
+//! of each method at comparable accuracy (ε = 0.01).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use robust_sampling_core::sampler::{BernoulliSampler, ReservoirSampler, StreamSampler};
+use robust_sampling_sketches::gk::GkSummary;
+use robust_sampling_sketches::kll::KllSketch;
+use robust_sampling_sketches::merge_reduce::MergeReduce;
+use robust_sampling_sketches::misra_gries::MisraGries;
+use robust_sampling_sketches::space_saving::SpaceSaving;
+use robust_sampling_streamgen as streamgen;
+use std::hint::black_box;
+
+const N: usize = 50_000;
+const EPS: f64 = 0.01;
+
+fn bench_quantile_summaries(c: &mut Criterion) {
+    let stream = streamgen::uniform(N, 1 << 30, 1);
+    let mut g = c.benchmark_group("quantile_summaries_insert");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("gk", |b| {
+        b.iter(|| {
+            let mut s = GkSummary::new(EPS);
+            for &x in &stream {
+                s.observe(black_box(x));
+            }
+            s.space()
+        });
+    });
+    g.bench_function("kll", |b| {
+        b.iter(|| {
+            let mut s = KllSketch::with_seed(200, 1);
+            for &x in &stream {
+                s.observe(black_box(x));
+            }
+            s.space()
+        });
+    });
+    g.bench_function("merge_reduce", |b| {
+        b.iter(|| {
+            let mut s = MergeReduce::for_eps(EPS, N);
+            for &x in &stream {
+                s.observe(black_box(x));
+            }
+            s.space()
+        });
+    });
+    g.bench_function("reservoir_cor15", |b| {
+        let k = robust_sampling_core::bounds::reservoir_k_robust(
+            30.0 * std::f64::consts::LN_2,
+            EPS * 10.0, // same space class as the sketches for a fair row
+            0.05,
+        );
+        b.iter(|| {
+            let mut s = ReservoirSampler::with_seed(k, 1);
+            for &x in &stream {
+                s.observe(black_box(x));
+            }
+            s.sample().len()
+        });
+    });
+    g.finish();
+}
+
+fn bench_heavy_hitter_summaries(c: &mut Criterion) {
+    let stream = streamgen::zipf(N, 1 << 20, 1.1, 2);
+    let mut g = c.benchmark_group("heavy_hitter_summaries_insert");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("misra_gries", |b| {
+        b.iter(|| {
+            let mut s = MisraGries::new(100);
+            for &x in &stream {
+                s.observe(black_box(x));
+            }
+            s.counters_in_use()
+        });
+    });
+    g.bench_function("space_saving", |b| {
+        b.iter(|| {
+            let mut s = SpaceSaving::new(100);
+            for &x in &stream {
+                s.observe(black_box(x));
+            }
+            s.observed()
+        });
+    });
+    g.bench_function("bernoulli_cor16", |b| {
+        b.iter(|| {
+            let mut s = BernoulliSampler::with_seed(0.02, 1);
+            for &x in &stream {
+                s.observe(black_box(x));
+            }
+            s.sample().len()
+        });
+    });
+    g.finish();
+}
+
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_quantile_summaries, bench_heavy_hitter_summaries
+}
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! E10 — the distributed load-balancing scenario (paper §1.2, "Sampling in
+//! modern data-processing systems").
+//!
+//! Claims reproduced:
+//!
+//! 1. With `K` query servers and random routing, each server's substream
+//!    is a Bernoulli(1/K) sample; once the stream is long enough
+//!    (Theorem 1.2 with `p = 1/K`, i.e.
+//!    `n ≥ 10K(ln|R| + ln(4K/δ))/ε²`), **every** server's view is an
+//!    ε-approximation of the full stream simultaneously — even for
+//!    drifting/adversarial query mixes ("is random sampling a risk?": no);
+//! 2. a coordinator merging per-site reservoirs yields a representative
+//!    sample of the union (the \[CTW16\] pattern).
+
+use robust_sampling_bench::{banner, f, is_quick, verdict, Table};
+use robust_sampling_core::approx::prefix_discrepancy;
+use robust_sampling_core::set_system::{PrefixSystem, SetSystem};
+use robust_sampling_distributed::{merge_sites, run_threaded, LoadBalancer, Site, SiteSnapshot};
+use robust_sampling_streamgen as streamgen;
+
+fn main() {
+    banner(
+        "E10",
+        "random load balancing: every server sees a representative substream",
+        "server substream = Bernoulli(1/K) sample; Thm 1.2 with delta/K \
+         union bound makes ALL K views eps-approximations simultaneously",
+    );
+    let k_servers = 8usize;
+    let universe = 1u64 << 20;
+    let system = PrefixSystem::new(universe);
+    let eps = 0.1;
+    let delta = 0.05;
+    // Required stream length so p = 1/K meets the Theorem 1.2 rate with
+    // confidence delta/K per server:
+    let n_required = (10.0
+        * k_servers as f64
+        * (system.ln_cardinality() + (4.0 * k_servers as f64 / delta).ln())
+        / (eps * eps))
+        .ceil() as usize;
+    let n = if is_quick() {
+        n_required
+    } else {
+        n_required * 2
+    };
+    println!("\nK = {k_servers}, required n >= {n_required}; using n = {n}");
+
+    let mut table = Table::new(&["stream", "mode", "worst server disc", "<= eps"]);
+    let mut all_ok = true;
+    for (name, stream) in [
+        ("uniform", streamgen::uniform(n, universe, 1)),
+        ("zipf1.1", streamgen::zipf(n, universe, 1.1, 2)),
+        ("two-phase(drift)", streamgen::two_phase(n, universe, 3)),
+        ("sorted", streamgen::sorted_ramp(n, universe)),
+    ] {
+        // Single-threaded router.
+        let mut lb = LoadBalancer::new(k_servers, 77);
+        lb.run(&stream);
+        let worst = lb
+            .views()
+            .iter()
+            .map(|v| prefix_discrepancy(&stream, v).value)
+            .fold(0.0f64, f64::max);
+        all_ok &= worst <= eps;
+        table.row(&[name.into(), "sync".into(), f(worst), (worst <= eps).to_string()]);
+
+        // Threaded router (crossbeam workers with local reservoirs).
+        let out = run_threaded(&stream, k_servers, 256, 99);
+        let worst_threaded = out
+            .iter()
+            .map(|(sub, _)| prefix_discrepancy(&stream, sub).value)
+            .fold(0.0f64, f64::max);
+        all_ok &= worst_threaded <= eps;
+        table.row(&[
+            name.into(),
+            "threaded".into(),
+            f(worst_threaded),
+            (worst_threaded <= eps).to_string(),
+        ]);
+    }
+    table.print();
+    verdict(
+        "all K server views are eps-representative simultaneously",
+        all_ok,
+        "the paper's answer to 'is random sampling a risk?' — no, if sized",
+    );
+
+    // ---- Coordinator merge of per-site reservoirs -----------------------
+    println!("\nDistributed reservoir merge (4 sites, disjoint value slices):");
+    let per_site = n / 4;
+    let mut snaps = Vec::new();
+    let mut union = Vec::new();
+    for s in 0..4u64 {
+        let mut site = Site::new(512, s);
+        for x in streamgen::uniform(per_site, universe / 4, 10 + s) {
+            let v = s * (universe / 4) + x;
+            site.observe(v);
+            union.push(v);
+        }
+        snaps.push(SiteSnapshot::decode(site.snapshot()).expect("valid frame"));
+    }
+    let merged = merge_sites(&snaps, 1024, 5);
+    let d = prefix_discrepancy(&union, &merged).value;
+    let mut table = Table::new(&["sites", "merged |S|", "union disc", "<= eps"]);
+    table.row(&[
+        "4".into(),
+        merged.len().to_string(),
+        f(d),
+        (d <= eps).to_string(),
+    ]);
+    table.print();
+    verdict(
+        "coordinator merge is representative of the union",
+        d <= eps,
+        "CTW16-style weighted merge of site snapshots (bytes frames)",
+    );
+}

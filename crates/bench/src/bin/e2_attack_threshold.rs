@@ -1,0 +1,144 @@
+//! E2 — the Figure 3 attack threshold over a finite universe
+//! (Theorem 1.3).
+//!
+//! Claim reproduced: over `U = [N]` with the prefix system, the attack
+//! defeats `ReservoirSample` when `k ≲ ln N / ln n` and `BernoulliSample`
+//! when `p ≲ ln N / (n ln n)` — and **stops working** above the threshold
+//! because the working interval collapses before the stream ends (the
+//! Claim 5.1 precision budget `|S|·ln(1/p') + n·p' ≤ ln(N/n)` is blown).
+//!
+//! The sweep holds `n` and `N` fixed and walks the sample size through the
+//! threshold: attack success rate should fall from ≈1 to ≈0 right where
+//! the budget arithmetic predicts.
+
+use robust_sampling_bench::{banner, f, is_quick, verdict, Table};
+use robust_sampling_core::adversary::DiscreteAttackAdversary;
+use robust_sampling_core::approx::prefix_discrepancy;
+use robust_sampling_core::game::AdaptiveGame;
+use robust_sampling_core::sampler::{BernoulliSampler, ReservoirSampler};
+
+/// Precision budget check (Claim 5.1 arithmetic): expected nats consumed
+/// by the attack vs available `ln(N/n)`.
+fn expected_cost_nats(expected_insertions: f64, p_prime: f64, n: usize) -> f64 {
+    expected_insertions * (1.0 / p_prime).ln() + n as f64 * p_prime
+}
+
+fn main() {
+    banner(
+        "E2",
+        "Figure 3 attack success vs sample size over U = [2^62]",
+        "attack wins iff the precision budget ln(N/n) covers \
+         |S| ln(1/p') + n p' — i.e. iff k < c ln N / ln n (Thm 1.3)",
+    );
+    let trials = if is_quick() { 10 } else { 40 };
+    let n = if is_quick() { 150 } else { 300 };
+    let universe = 1u64 << 62;
+    let ln_budget = (universe as f64).ln() - (n as f64).ln();
+
+    // ---- Reservoir sweep ---------------------------------------------
+    println!("\nReservoirSample, n = {n}, N = 2^62 (budget {ln_budget:.1} nats):");
+    let mut table = Table::new(&[
+        "k", "p'", "E[cost] nats", "budget ok", "success rate", "exhaust rate", "mean disc",
+    ]);
+    let mut sub_threshold_wins = true;
+    let mut super_threshold_loses = true;
+    for &k in &[1usize, 2, 3, 5, 8, 12] {
+        let mut wins = 0usize;
+        let mut exhausted = 0usize;
+        let mut disc_sum = 0.0;
+        let mut p_prime = 0.0;
+        for t in 0..trials {
+            let mut adv = DiscreteAttackAdversary::for_reservoir(k, n, universe);
+            p_prime = adv.p_prime();
+            let mut sampler = ReservoirSampler::with_seed(k, 1_000 * k as u64 + t);
+            let out = AdaptiveGame::new(n).run(&mut sampler, &mut adv);
+            let d = prefix_discrepancy(&out.stream, &out.sample).value;
+            disc_sum += d;
+            if adv.exhausted() {
+                exhausted += 1;
+            } else if d > 0.5 {
+                wins += 1;
+            }
+        }
+        let exp_ins = k as f64 * (1.0 + (n as f64 / k as f64).ln());
+        let cost = expected_cost_nats(exp_ins, p_prime, n);
+        let ok = cost <= ln_budget;
+        let win_rate = wins as f64 / trials as f64;
+        if ok && win_rate < 0.5 {
+            sub_threshold_wins = false;
+        }
+        if !ok && cost > 1.5 * ln_budget && win_rate > 0.5 {
+            super_threshold_loses = false;
+        }
+        table.row(&[
+            k.to_string(),
+            f(p_prime),
+            format!("{cost:.1}"),
+            ok.to_string(),
+            f(win_rate),
+            f(exhausted as f64 / trials as f64),
+            f(disc_sum / trials as f64),
+        ]);
+    }
+    table.print();
+
+    // ---- Bernoulli sweep ----------------------------------------------
+    println!("\nBernoulliSample, n = {n}, N = 2^62:");
+    let mut table = Table::new(&[
+        "p", "p'", "E[cost] nats", "budget ok", "success rate", "exhaust rate", "mean disc",
+    ]);
+    for &p in &[0.005f64, 0.01, 0.02, 0.05, 0.1, 0.2] {
+        let mut wins = 0usize;
+        let mut exhausted = 0usize;
+        let mut disc_sum = 0.0;
+        let mut p_prime = 0.0;
+        for t in 0..trials {
+            let mut adv = DiscreteAttackAdversary::for_bernoulli(p, n, universe);
+            p_prime = adv.p_prime();
+            let mut sampler = BernoulliSampler::with_seed(p, 77_000 + t);
+            let out = AdaptiveGame::new(n).run(&mut sampler, &mut adv);
+            let d = prefix_discrepancy(&out.stream, &out.sample).value;
+            disc_sum += d;
+            if adv.exhausted() {
+                exhausted += 1;
+            } else if !out.sample.is_empty() && d > 0.5 {
+                wins += 1;
+            }
+        }
+        let cost = expected_cost_nats(n as f64 * p_prime, p_prime, n);
+        table.row(&[
+            f(p),
+            f(p_prime),
+            format!("{cost:.1}"),
+            (cost <= ln_budget).to_string(),
+            f(wins as f64 / trials as f64),
+            f(exhausted as f64 / trials as f64),
+            f(disc_sum / trials as f64),
+        ]);
+    }
+    table.print();
+
+    // ---- Theorem 1.3 threshold formulas --------------------------------
+    println!("\nTheorem 1.3 thresholds at this (n, N):");
+    let ln_r = (universe as f64).ln();
+    println!(
+        "  attack_reservoir_k_max = {:.2}   attack_bernoulli_p_max = {:.6}",
+        robust_sampling_core::bounds::attack_reservoir_k_max(ln_r, n),
+        robust_sampling_core::bounds::attack_bernoulli_p_max(ln_r, n),
+    );
+    println!(
+        "  universe admissible for Thm 1.3 window (n^6 ln n <= N <= 2^(n/2)): {}",
+        robust_sampling_core::bounds::attack_universe_admissible(ln_r, n),
+    );
+
+    verdict(
+        "attack succeeds within precision budget",
+        sub_threshold_wins,
+        "success rate >= 0.5 whenever E[cost] <= ln(N/n)",
+    );
+    verdict(
+        "attack collapses well past the budget",
+        super_threshold_loses,
+        "success rate < 0.5 when E[cost] > 1.5x budget",
+    );
+}

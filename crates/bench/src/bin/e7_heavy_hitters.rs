@@ -1,0 +1,208 @@
+//! E7 — robust heavy hitters (Corollary 1.6).
+//!
+//! Claims reproduced:
+//!
+//! 1. With an `(ε/3)`-approximate sample w.r.t. singletons and the
+//!    threshold rule "report density ≥ α − ε/3": every true `≥ α` hitter
+//!    is reported and nothing below `α − ε` is — across Zipf, uniform,
+//!    two-phase, and an adaptive hide-and-seek stream;
+//! 2. comparators: deterministic Misra–Gries and SpaceSaving achieve the
+//!    same guarantee with `O(1/ε)` counters, robust for free — the paper's
+//!    trade-off is genericity + sublinear queries, not space.
+
+use robust_sampling_bench::{banner, is_quick, verdict, Table};
+use robust_sampling_core::adversary::{Adversary, RoundContext, StaticAdversary};
+use robust_sampling_core::bounds;
+use robust_sampling_core::estimators::{heavy_hitters, heavy_hitters_errors};
+use robust_sampling_core::game::AdaptiveGame;
+use robust_sampling_core::sampler::ReservoirSampler;
+use robust_sampling_core::set_system::{SetSystem, SingletonSystem};
+use robust_sampling_sketches::misra_gries::MisraGries;
+use robust_sampling_sketches::space_saving::SpaceSaving;
+use robust_sampling_streamgen as streamgen;
+
+/// Adaptive adversary that keeps a hitter just above the threshold while
+/// flooding decoys: if the sampler's current sample over-represents the
+/// hitter, it pauses the hitter and floods fresh decoys (so a sloppy
+/// thresholder reports a spurious element or drops the true hitter).
+#[derive(Debug)]
+struct HideAndSeek {
+    hitter: u64,
+    alpha: f64,
+    decoy: u64,
+}
+
+impl HideAndSeek {
+    fn new(hitter: u64, alpha: f64) -> Self {
+        Self {
+            hitter,
+            alpha,
+            decoy: 1 << 10,
+        }
+    }
+}
+
+impl Adversary<u64> for HideAndSeek {
+    fn next(&mut self, ctx: &RoundContext<'_, u64>) -> u64 {
+        let sent = ctx
+            .history
+            .iter()
+            .filter(|&&x| x == self.hitter)
+            .count() as f64;
+        let target = self.alpha * ctx.n as f64 * 1.05; // finish just above alpha
+        let sample_freq = if ctx.sample.is_empty() {
+            0.0
+        } else {
+            ctx.sample.iter().filter(|&&x| x == self.hitter).count() as f64
+                / ctx.sample.len() as f64
+        };
+        // Send the hitter when it is under-represented in the sample (to
+        // maximise the chance the sampler misses its true density), decoys
+        // otherwise.
+        let remaining = ctx.n - ctx.round + 1;
+        let must_send = (target - sent) as usize >= remaining;
+        if must_send || (sent < target && sample_freq <= self.alpha) {
+            self.hitter
+        } else {
+            self.decoy = self.decoy.wrapping_add(1);
+            self.decoy
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hide-and-seek"
+    }
+}
+
+/// Decorrelate the sampler's coins from the adversary's: the paper's
+/// model requires the sampler's randomness to be independent of the
+/// adversary, so experiment code must never share a raw seed between them.
+fn sampler_seed(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03
+}
+
+fn main() {
+    banner(
+        "E7",
+        "robust heavy hitters (Cor 1.6) vs Misra-Gries / SpaceSaving",
+        "sample of size O((ln|U| + ln 1/d)/e^2), report density >= a - e/3: \
+         no missed >=a hitters, no spurious <a-e reports",
+    );
+    let n = if is_quick() { 10_000 } else { 50_000 };
+    let trials = if is_quick() { 3 } else { 8 };
+    let universe = 1u64 << 20;
+    let alpha = 0.05;
+    let eps = 0.03;
+    let eps_prime = eps / 3.0;
+    let system = SingletonSystem::new(universe);
+    let k = bounds::reservoir_k_robust(system.ln_cardinality(), eps_prime, 0.05);
+    println!("\nn = {n}, alpha = {alpha}, eps = {eps}; sample k = {k}; MG/SS counters = {}", (1.0 / eps).ceil() as usize);
+
+    let mut table = Table::new(&[
+        "stream", "method", "missed", "spurious", "reported", "ok",
+    ]);
+    let mut sample_ok = true;
+    type StreamGen = Box<dyn Fn(u64) -> Vec<u64>>;
+    let streams: Vec<(&str, StreamGen)> = vec![
+        ("zipf1.2", Box::new(move |s| streamgen::zipf(n, universe, 1.2, s))),
+        ("two-phase+hot", Box::new(move |s| {
+            // Two-phase noise with a 8% hot element sprinkled throughout.
+            let mut v = streamgen::two_phase(n, universe, s);
+            for i in (0..n).step_by(12) {
+                v[i] = 31337;
+            }
+            v
+        })),
+    ];
+
+    for (name, gen) in &streams {
+        let mut missed_total = 0usize;
+        let mut spurious_total = 0usize;
+        let mut reported_last = 0usize;
+        for t in 0..trials {
+            let seed = 500 + t as u64;
+            let stream = gen(seed);
+            let mut sampler = ReservoirSampler::with_seed(k, sampler_seed(seed));
+            let mut adv = StaticAdversary::new(stream.clone());
+            let out = AdaptiveGame::new(n).run(&mut sampler, &mut adv);
+            let report = heavy_hitters(&out.sample, alpha, eps_prime);
+            let (missed, spurious) = heavy_hitters_errors(&stream, &report, alpha, eps);
+            missed_total += missed.len();
+            spurious_total += spurious.len();
+            reported_last = report.len();
+        }
+        sample_ok &= missed_total == 0 && spurious_total == 0;
+        table.row(&[
+            (*name).into(),
+            "sample".into(),
+            missed_total.to_string(),
+            spurious_total.to_string(),
+            reported_last.to_string(),
+            (missed_total == 0 && spurious_total == 0).to_string(),
+        ]);
+    }
+
+    // Adaptive hide-and-seek stream.
+    let mut missed_total = 0usize;
+    let mut spurious_total = 0usize;
+    for t in 0..trials {
+        let seed = 900 + t as u64;
+        let mut sampler = ReservoirSampler::with_seed(k, sampler_seed(seed));
+        let mut adv = HideAndSeek::new(7, alpha);
+        let out = AdaptiveGame::new(n).run(&mut sampler, &mut adv);
+        let report = heavy_hitters(&out.sample, alpha, eps_prime);
+        let (missed, spurious) = heavy_hitters_errors(&out.stream, &report, alpha, eps);
+        missed_total += missed.len();
+        spurious_total += spurious.len();
+    }
+    sample_ok &= missed_total == 0 && spurious_total == 0;
+    table.row(&[
+        "hide-and-seek".into(),
+        "sample".into(),
+        missed_total.to_string(),
+        spurious_total.to_string(),
+        "-".into(),
+        (missed_total == 0 && spurious_total == 0).to_string(),
+    ]);
+
+    // Deterministic comparators on the zipf stream.
+    let counters = (1.0 / eps).ceil() as usize;
+    let stream = streamgen::zipf(n, universe, 1.2, 42);
+    let mut mg = MisraGries::new(counters);
+    let mut ss = SpaceSaving::new(counters);
+    for &x in &stream {
+        mg.observe(x);
+        ss.observe(x);
+    }
+    for (name, hh) in [
+        ("misra-gries", mg.heavy_hitters(alpha - eps)),
+        ("space-saving", ss.heavy_hitters(alpha - eps)),
+    ] {
+        let report: Vec<_> = hh
+            .iter()
+            .map(|&(x, c)| robust_sampling_core::estimators::HeavyHitter {
+                item: x,
+                sample_density: c as f64 / n as f64,
+            })
+            .collect();
+        let (missed, spurious) = heavy_hitters_errors(&stream, &report, alpha, eps);
+        table.row(&[
+            "zipf1.2".into(),
+            name.into(),
+            missed.len().to_string(),
+            spurious.len().to_string(),
+            report.len().to_string(),
+            (missed.is_empty()).to_string(),
+        ]);
+    }
+    table.print();
+    verdict(
+        "Corollary 1.6 guarantee (no misses, no spurious) holds",
+        sample_ok,
+        "across zipf / planted / adaptive streams",
+    );
+    println!(
+        "note: MG/SS use {counters} counters vs sample k = {k} — deterministic wins\n\
+         on space; sampling is generic (same sample serves quantiles, ranges, …)."
+    );
+}

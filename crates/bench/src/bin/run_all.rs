@@ -1,0 +1,59 @@
+//! Run every experiment binary in sequence (pass `--quick` for CI-sized
+//! sweeps) and print a one-line verdict summary at the end. This is the
+//! driver that regenerates the `EXPERIMENTS.md` evidence.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "e1_intro_attack",
+    "e2_attack_threshold",
+    "e3_robust_upper",
+    "e4_martingale",
+    "e5_continuous",
+    "e6_quantiles",
+    "e7_heavy_hitters",
+    "e8_range_queries",
+    "e9_center_points",
+    "e10_distributed",
+    "e11_vc_vs_cardinality",
+    "e12_extensions",
+    "e13_linear_sketch_attack",
+];
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let exe = std::env::current_exe().expect("own path");
+    let bindir = exe.parent().expect("bin dir");
+    let mut summary: Vec<(String, usize, usize)> = Vec::new();
+    for name in EXPERIMENTS {
+        let mut cmd = Command::new(bindir.join(name));
+        if quick {
+            cmd.arg("--quick");
+        }
+        let out = cmd.output().unwrap_or_else(|e| {
+            panic!("failed to launch {name}: {e} (build the workspace first)")
+        });
+        let text = String::from_utf8_lossy(&out.stdout);
+        print!("{text}");
+        if !out.status.success() {
+            eprintln!("{name} exited with {:?}", out.status);
+        }
+        let pass = text.matches("[PASS]").count();
+        let fail = text.matches("[FAIL]").count();
+        summary.push((name.to_string(), pass, fail));
+        println!();
+    }
+    println!("================ summary ================");
+    let mut total_fail = 0;
+    for (name, pass, fail) in &summary {
+        println!("{name:<28} {pass} PASS  {fail} FAIL");
+        total_fail += fail;
+    }
+    println!("=========================================");
+    if total_fail == 0 {
+        println!("all experiment claims reproduced");
+    } else {
+        println!("{total_fail} claims FAILED");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,107 @@
+//! Shared utilities for the experiment binaries (E1–E11).
+//!
+//! Each binary prints one or more aligned text tables — the "rows/series"
+//! the paper's theorems predict — plus a PASS/FAIL verdict line per
+//! claim checked. `--quick` shrinks every sweep for CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Whether `--quick` was passed (CI-sized sweeps).
+pub fn is_quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// A fixed-width text table accumulated row by row.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let body: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            println!("  {}", body.join("  "));
+        };
+        line(&self.header);
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&rule);
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Format a float with 4 significant decimals.
+pub fn f(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Print an experiment banner.
+pub fn banner(id: &str, title: &str, claim: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("paper claim: {claim}");
+    println!("================================================================");
+}
+
+/// Print a PASS/FAIL verdict line.
+pub fn verdict(name: &str, pass: bool, detail: &str) {
+    let tag = if pass { "PASS" } else { "FAIL" };
+    println!("[{tag}] {name}: {detail}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_prints_without_panicking() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(&["1".into(), "2".into()]);
+        t.print();
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_rejects_bad_arity() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.123456), "0.1235");
+    }
+}

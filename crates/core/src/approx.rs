@@ -1,0 +1,530 @@
+//! ε-approximation machinery (paper Definition 1.1).
+//!
+//! A sample `S` is an *ε-approximation* of a stream `X` with respect to a
+//! set system `(U, R)` if `|d_R(X) − d_R(S)| ≤ ε` for every range `R ∈ R`,
+//! where `d_R(·)` is the fraction of elements falling in `R`.
+//!
+//! This module provides exact, efficient computations of the **maximum
+//! density discrepancy** for the ordered set systems the paper uses:
+//!
+//! * [`prefix_discrepancy`] — ranges `[min(U), b]` (the paper's Theorem 1.3
+//!   and Corollary 1.5 system, a.k.a. the Kolmogorov–Smirnov statistic);
+//! * [`interval_discrepancy`] — all ranges `[a, b]`, computed in
+//!   `O(n log n)` via the classic max-minus-min reduction over the signed
+//!   CDF difference.
+//!
+//! Both are generic over any `Ord` element type, which lets the continuous
+//! bisection attack of the paper's introduction (over arbitrary-precision
+//! [dyadic rationals](crate::dyadic)) reuse the same code path as the
+//! discrete experiments.
+
+use std::fmt::Debug;
+
+/// Result of a maximum-discrepancy computation: the largest density error
+/// over all ranges, plus a human-readable witness range achieving it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscrepancyReport {
+    /// `max_{R ∈ R} |d_R(X) − d_R(S)|`.
+    pub value: f64,
+    /// Debug rendering of a range attaining the maximum (`None` when the
+    /// sample or stream is empty and the discrepancy is vacuous).
+    pub witness: Option<String>,
+}
+
+impl DiscrepancyReport {
+    /// A zero-discrepancy report with no witness.
+    pub fn zero() -> Self {
+        Self {
+            value: 0.0,
+            witness: None,
+        }
+    }
+
+    /// Whether the sample was an ε-approximation for the given ε.
+    #[inline]
+    pub fn is_approximation(&self, eps: f64) -> bool {
+        self.value <= eps
+    }
+}
+
+/// Signed CDF-difference walker shared by the prefix and interval sweeps.
+///
+/// Walks the distinct values of `stream ∪ sample` in increasing order,
+/// yielding `(value, D(value))` with `D(v) = rank_X(v)/|X| − rank_S(v)/|S|`
+/// where `rank` counts elements `≤ v`.
+struct CdfDiffSweep<'a, T> {
+    stream: &'a [T],
+    sample: &'a [T],
+    i: usize,
+    j: usize,
+}
+
+impl<'a, T: Ord> CdfDiffSweep<'a, T> {
+    /// `stream` and `sample` must be sorted ascending.
+    fn new(stream: &'a [T], sample: &'a [T]) -> Self {
+        Self {
+            stream,
+            sample,
+            i: 0,
+            j: 0,
+        }
+    }
+}
+
+impl<'a, T: Ord> Iterator for CdfDiffSweep<'a, T> {
+    type Item = (&'a T, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.i >= self.stream.len() && self.j >= self.sample.len() {
+            return None;
+        }
+        // Next distinct value is the smaller of the two heads.
+        let v = match (self.stream.get(self.i), self.sample.get(self.j)) {
+            (Some(a), Some(b)) => {
+                if a <= b {
+                    a
+                } else {
+                    b
+                }
+            }
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => unreachable!(),
+        };
+        while self.i < self.stream.len() && self.stream[self.i] <= *v {
+            self.i += 1;
+        }
+        while self.j < self.sample.len() && self.sample[self.j] <= *v {
+            self.j += 1;
+        }
+        let dx = self.i as f64 / self.stream.len().max(1) as f64;
+        let ds = self.j as f64 / self.sample.len().max(1) as f64;
+        Some((v, dx - ds))
+    }
+}
+
+/// Maximum discrepancy over **prefix ranges** `(-∞, b]`:
+/// `max_b |rank_X(b)/n − rank_S(b)/s|` — the Kolmogorov–Smirnov distance
+/// between the stream's and the sample's empirical distributions.
+///
+/// This is exactly the paper's notion of unrepresentativeness for the set
+/// system `R = {[1, b] : b ∈ U}` used in Theorem 1.3 and Corollary 1.5.
+/// Runs in `O((n + s) log(n + s))` (dominated by sorting).
+///
+/// Returns a zero report if either side is empty (the paper requires the
+/// sample to be non-empty for ε-approximation to be defined).
+pub fn prefix_discrepancy<T: Ord + Clone + Debug>(stream: &[T], sample: &[T]) -> DiscrepancyReport {
+    if stream.is_empty() || sample.is_empty() {
+        return DiscrepancyReport::zero();
+    }
+    let mut xs = stream.to_vec();
+    let mut ss = sample.to_vec();
+    xs.sort_unstable();
+    ss.sort_unstable();
+    let mut best = 0.0f64;
+    let mut witness = None;
+    for (v, d) in CdfDiffSweep::new(&xs, &ss) {
+        if d.abs() > best {
+            best = d.abs();
+            witness = Some(format!("(-inf, {v:?}]"));
+        }
+    }
+    DiscrepancyReport {
+        value: best,
+        witness,
+    }
+}
+
+/// Maximum discrepancy over **interval ranges** `[a, b]`.
+///
+/// Uses the classical identity: for `D(t) = F_X(t) − F_S(t)` (signed CDF
+/// difference, with `D(−∞) = 0`),
+/// `max_{a ≤ b} |d_[a,b](X) − d_[a,b](S)| = max_t D(t) − min_t D(t)`
+/// where `t` ranges over `{−∞} ∪ values`. Runs in `O((n+s) log(n+s))`.
+pub fn interval_discrepancy<T: Ord + Clone + Debug>(
+    stream: &[T],
+    sample: &[T],
+) -> DiscrepancyReport {
+    if stream.is_empty() || sample.is_empty() {
+        return DiscrepancyReport::zero();
+    }
+    let mut xs = stream.to_vec();
+    let mut ss = sample.to_vec();
+    xs.sort_unstable();
+    ss.sort_unstable();
+    let mut max_d = 0.0f64;
+    let mut min_d = 0.0f64;
+    let mut max_at: Option<String> = None; // t achieving max (right endpoint b)
+    let mut min_at: Option<String> = None; // t achieving min (left endpoint a−1)
+    for (v, d) in CdfDiffSweep::new(&xs, &ss) {
+        if d > max_d {
+            max_d = d;
+            max_at = Some(format!("{v:?}"));
+        }
+        if d < min_d {
+            min_d = d;
+            min_at = Some(format!("{v:?}"));
+        }
+    }
+    let witness = Some(format!(
+        "({}, {}]",
+        min_at.as_deref().unwrap_or("-inf"),
+        max_at.as_deref().unwrap_or("-inf"),
+    ));
+    DiscrepancyReport {
+        value: max_d - min_d,
+        witness,
+    }
+}
+
+/// Rank of `x` in `data`: the number of elements `≤ x` (paper footnote 3).
+///
+/// `data` need not be sorted; runs in `O(|data|)`.
+pub fn rank_of<T: Ord>(data: &[T], x: &T) -> usize {
+    data.iter().filter(|y| *y <= x).count()
+}
+
+/// The `q`-quantile of `data` (0 ≤ q ≤ 1): the element whose rank is
+/// `⌈q·|data|⌉`, i.e. the smallest element `v` with `rank(v) ≥ q·|data|`.
+///
+/// Returns `None` on empty input.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile<T: Ord + Clone>(data: &[T], q: f64) -> Option<T> {
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_unstable();
+    let target = ((q * data.len() as f64).ceil() as usize).clamp(1, data.len());
+    Some(sorted[target - 1].clone())
+}
+
+/// Density of a predicate over a data slice: the fraction of elements
+/// satisfying it (paper's `d_R`). Returns 0 on empty data.
+pub fn density_by<T>(data: &[T], mut pred: impl FnMut(&T) -> bool) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter().filter(|x| pred(x)).count() as f64 / data.len() as f64
+}
+
+/// Weighted prefix (Kolmogorov–Smirnov) discrepancy between two weighted
+/// multisets: `max_b |W_X(≤b)/W_X − W_S(≤b)/W_S|`.
+///
+/// This is the natural representativeness notion for *weighted* sampling
+/// (Efraimidis–Spirakis and the distributed weighted variants in the
+/// paper's related work): the stream carries item weights, and a good
+/// weighted sample preserves every prefix's weight fraction. Items with
+/// non-positive weight are rejected.
+///
+/// # Panics
+///
+/// Panics if any weight is not finite and positive.
+pub fn weighted_prefix_discrepancy<T: Ord + Clone + std::fmt::Debug>(
+    stream: &[(T, f64)],
+    sample: &[(T, f64)],
+) -> DiscrepancyReport {
+    if stream.is_empty() || sample.is_empty() {
+        return DiscrepancyReport::zero();
+    }
+    for (_, w) in stream.iter().chain(sample) {
+        assert!(w.is_finite() && *w > 0.0, "weights must be positive, got {w}");
+    }
+    let mut xs: Vec<(T, f64)> = stream.to_vec();
+    let mut ss: Vec<(T, f64)> = sample.to_vec();
+    xs.sort_by(|a, b| a.0.cmp(&b.0));
+    ss.sort_by(|a, b| a.0.cmp(&b.0));
+    let wx: f64 = xs.iter().map(|(_, w)| w).sum();
+    let ws: f64 = ss.iter().map(|(_, w)| w).sum();
+    let (mut i, mut j) = (0usize, 0usize);
+    let (mut ax, mut as_) = (0.0f64, 0.0f64);
+    let mut best = DiscrepancyReport::zero();
+    while i < xs.len() || j < ss.len() {
+        let v = match (xs.get(i), ss.get(j)) {
+            (Some((a, _)), Some((b, _))) => {
+                if a <= b {
+                    a.clone()
+                } else {
+                    b.clone()
+                }
+            }
+            (Some((a, _)), None) => a.clone(),
+            (None, Some((b, _))) => b.clone(),
+            (None, None) => unreachable!(),
+        };
+        while i < xs.len() && xs[i].0 <= v {
+            ax += xs[i].1;
+            i += 1;
+        }
+        while j < ss.len() && ss[j].0 <= v {
+            as_ += ss[j].1;
+            j += 1;
+        }
+        let d = (ax / wx - as_ / ws).abs();
+        if d > best.value {
+            best = DiscrepancyReport {
+                value: d,
+                witness: Some(format!("(-inf, {v:?}] (weighted)")),
+            };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_have_zero_prefix_discrepancy() {
+        let x: Vec<u64> = (0..100).collect();
+        let r = prefix_discrepancy(&x, &x);
+        assert_eq!(r.value, 0.0);
+    }
+
+    #[test]
+    fn disjoint_supports_have_discrepancy_one() {
+        let x: Vec<u64> = (0..100).collect();
+        let s: Vec<u64> = (0..10).collect(); // the 10 smallest — the attack outcome
+        let r = prefix_discrepancy(&x, &s);
+        // d_{[0,9]}(S) = 1, d_{[0,9]}(X) = 0.1 → discrepancy 0.9.
+        assert!((r.value - 0.9).abs() < 1e-12, "value {}", r.value);
+        assert!(r.witness.is_some());
+    }
+
+    #[test]
+    fn prefix_discrepancy_simple_case() {
+        // X = [1,2,3,4], S = [1,2]: at t=2, F_X=0.5, F_S=1.0 → 0.5.
+        let r = prefix_discrepancy(&[1, 2, 3, 4], &[1, 2]);
+        assert!((r.value - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_discrepancy_handles_duplicates() {
+        let x = vec![5u64; 100];
+        let s = vec![5u64; 3];
+        let r = prefix_discrepancy(&x, &s);
+        assert_eq!(r.value, 0.0);
+    }
+
+    #[test]
+    fn interval_dominates_prefix() {
+        // Interval family contains prefixes, so its discrepancy is ≥.
+        let x: Vec<u64> = (0..1000).collect();
+        let s: Vec<u64> = (250..500).collect();
+        let p = prefix_discrepancy(&x, &s);
+        let i = interval_discrepancy(&x, &s);
+        assert!(i.value >= p.value - 1e-12);
+    }
+
+    #[test]
+    fn interval_discrepancy_catches_middle_bias() {
+        // Sample concentrated in the middle: prefix sees it, but interval
+        // pins it exactly. S = [400,600) of X = [0,1000):
+        // d_[400,599](S)=1 vs 0.2 in X → 0.8.
+        let x: Vec<u64> = (0..1000).collect();
+        let s: Vec<u64> = (400..600).collect();
+        let r = interval_discrepancy(&x, &s);
+        assert!((r.value - 0.8).abs() < 1e-9, "value {}", r.value);
+    }
+
+    #[test]
+    fn empty_sample_is_vacuous() {
+        let x: Vec<u64> = (0..10).collect();
+        assert_eq!(prefix_discrepancy(&x, &[]).value, 0.0);
+        assert_eq!(interval_discrepancy(&x, &[]).value, 0.0);
+    }
+
+    #[test]
+    fn rank_and_quantile_agree() {
+        let data: Vec<u64> = (1..=100).collect();
+        assert_eq!(rank_of(&data, &50), 50);
+        assert_eq!(quantile(&data, 0.5), Some(50));
+        assert_eq!(quantile(&data, 0.0), Some(1));
+        assert_eq!(quantile(&data, 1.0), Some(100));
+    }
+
+    #[test]
+    fn quantile_of_unsorted_input() {
+        let data = vec![9u64, 1, 5, 3, 7];
+        assert_eq!(quantile(&data, 0.5), Some(5));
+    }
+
+    #[test]
+    fn density_by_counts_fraction() {
+        let data: Vec<u64> = (0..10).collect();
+        let d = density_by(&data, |&x| x < 3);
+        assert!((d - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_discrepancy_zero_on_identical() {
+        let data: Vec<(u64, f64)> = (0..50).map(|v| (v, 1.0 + (v % 3) as f64)).collect();
+        assert!(weighted_prefix_discrepancy(&data, &data).value < 1e-12);
+    }
+
+    #[test]
+    fn weighted_discrepancy_reduces_to_unweighted_at_unit_weights() {
+        let x = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        let s = [8u64, 9, 7];
+        let xw: Vec<(u64, f64)> = x.iter().map(|&v| (v, 1.0)).collect();
+        let sw: Vec<(u64, f64)> = s.iter().map(|&v| (v, 1.0)).collect();
+        let a = weighted_prefix_discrepancy(&xw, &sw).value;
+        let b = prefix_discrepancy(&x, &s).value;
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn weighted_discrepancy_sees_weight_skew() {
+        // Same values, but the sample under-weights the low half.
+        let stream: Vec<(u64, f64)> = (0..10).map(|v| (v, 1.0)).collect();
+        let sample: Vec<(u64, f64)> = (0..10)
+            .map(|v| (v, if v < 5 { 0.5 } else { 1.5 }))
+            .collect();
+        // At b = 4: stream mass 0.5, sample mass 2.5/10 = 0.25 → d = 0.25.
+        let d = weighted_prefix_discrepancy(&stream, &sample).value;
+        assert!((d - 0.25).abs() < 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn weighted_reservoir_sample_is_weight_representative() {
+        // Weighted A-Res: items with weight w are included ∝ w; the
+        // resulting *unit-weighted* sample should match the stream's
+        // weighted distribution.
+        use crate::sampler::WeightedReservoirSampler;
+        let n = 40_000u64;
+        let mut s = WeightedReservoirSampler::with_seed(2_000, 5);
+        let mut stream = Vec::new();
+        for x in 0..n {
+            let v = x % 1_000;
+            let w = if v < 100 { 10.0 } else { 1.0 }; // low decile is 10x hot
+            s.observe_weighted(v, w);
+            stream.push((v, w));
+        }
+        let sample: Vec<(u64, f64)> = s
+            .sample_elements()
+            .into_iter()
+            .map(|v| (v, 1.0))
+            .collect();
+        let d = weighted_prefix_discrepancy(&stream, &sample).value;
+        assert!(d < 0.06, "weighted representativeness broke: {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn weighted_rejects_nonpositive() {
+        let _ = weighted_prefix_discrepancy(&[(1u64, 0.0)], &[(1u64, 1.0)]);
+    }
+
+    #[test]
+    fn ks_distance_matches_bruteforce() {
+        // Cross-check the sweep against a brute-force evaluation.
+        let x = vec![3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
+        let s = vec![8u64, 9, 7, 9];
+        let sweep = prefix_discrepancy(&x, &s).value;
+        let mut brute = 0.0f64;
+        for b in 0..=10u64 {
+            let dx = density_by(&x, |&v| v <= b);
+            let ds = density_by(&s, |&v| v <= b);
+            brute = brute.max((dx - ds).abs());
+        }
+        assert!((sweep - brute).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_matches_bruteforce() {
+        let x = vec![3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
+        let s = vec![8u64, 9, 7, 9];
+        let sweep = interval_discrepancy(&x, &s).value;
+        let mut brute = 0.0f64;
+        for a in 0..=10u64 {
+            for b in a..=10u64 {
+                let dx = density_by(&x, |&v| (a..=b).contains(&v));
+                let ds = density_by(&s, |&v| (a..=b).contains(&v));
+                brute = brute.max((dx - ds).abs());
+            }
+        }
+        assert!((sweep - brute).abs() < 1e-12, "sweep {sweep} brute {brute}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Sweep-based prefix discrepancy equals brute force on small inputs.
+        #[test]
+        fn prefix_sweep_equals_bruteforce(
+            x in proptest::collection::vec(0u64..32, 1..60),
+            s in proptest::collection::vec(0u64..32, 1..20),
+        ) {
+            let sweep = prefix_discrepancy(&x, &s).value;
+            let mut brute = 0.0f64;
+            for b in 0..32u64 {
+                let dx = density_by(&x, |&v| v <= b);
+                let ds = density_by(&s, |&v| v <= b);
+                brute = brute.max((dx - ds).abs());
+            }
+            prop_assert!((sweep - brute).abs() < 1e-9);
+        }
+
+        /// Interval discrepancy equals brute force on small inputs.
+        #[test]
+        fn interval_sweep_equals_bruteforce(
+            x in proptest::collection::vec(0u64..16, 1..40),
+            s in proptest::collection::vec(0u64..16, 1..15),
+        ) {
+            let sweep = interval_discrepancy(&x, &s).value;
+            let mut brute = 0.0f64;
+            for a in 0..16u64 {
+                for b in a..16u64 {
+                    let dx = density_by(&x, |&v| (a..=b).contains(&v));
+                    let ds = density_by(&s, |&v| (a..=b).contains(&v));
+                    brute = brute.max((dx - ds).abs());
+                }
+            }
+            prop_assert!((sweep - brute).abs() < 1e-9);
+        }
+
+        /// Discrepancy is always within [0, 1] and zero for identical data.
+        #[test]
+        fn discrepancy_bounds(
+            x in proptest::collection::vec(0u64..1000, 1..100),
+        ) {
+            let r = prefix_discrepancy(&x, &x);
+            prop_assert!(r.value.abs() < 1e-12);
+            let i = interval_discrepancy(&x, &x);
+            prop_assert!(i.value.abs() < 1e-12);
+        }
+
+        /// A sample that IS the stream (any permutation) has zero discrepancy.
+        #[test]
+        fn permutation_invariance(
+            mut x in proptest::collection::vec(0u64..50, 2..50),
+        ) {
+            let orig = x.clone();
+            x.reverse();
+            let r = prefix_discrepancy(&orig, &x);
+            prop_assert!(r.value.abs() < 1e-12);
+        }
+
+        /// quantile(q) always returns an element whose rank is within one
+        /// index of q·n.
+        #[test]
+        fn quantile_rank_consistency(
+            data in proptest::collection::vec(0u64..100, 1..80),
+            q in 0.0f64..=1.0,
+        ) {
+            let v = quantile(&data, q).unwrap();
+            let target = ((q * data.len() as f64).ceil() as usize).clamp(1, data.len());
+            // rank(v) >= target and rank of any smaller element < target.
+            prop_assert!(rank_of(&data, &v) >= target);
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! Sample-based estimators — the paper's §1.2 applications.
+//!
+//! Everything here consumes *only* the sample produced by a robust
+//! sampler; the paper's Theorems 1.2/1.4 then transfer each estimator's
+//! static guarantee to the adaptive adversarial setting:
+//!
+//! * [`SampleQuantiles`] — rank/quantile estimation (Corollary 1.5);
+//! * [`heavy_hitters`] — the Corollary 1.6 `ε' = ε/3` thresholding rule;
+//! * [`range_count`] — additive-`εn` range counting (`d_R(S)·n`);
+//! * [`center_point`] / [`tukey_depth`] — β-center points via the
+//!   \[CEM+96\] reduction (`ε = β/5`: a `6β/5`-center of the sample is a
+//!   β-center of the stream);
+//! * [`cluster_medoids`] — the clustering-acceleration recipe: cluster the
+//!   sample, extrapolate to the stream.
+
+use crate::approx;
+
+// ---------------------------------------------------------------------------
+// Quantiles (Corollary 1.5)
+// ---------------------------------------------------------------------------
+
+/// A quantile/rank sketch backed by a (robust) sample of a stream of known
+/// length, per Corollary 1.5: if the sample is an ε-approximation w.r.t.
+/// the prefix system, every rank estimate is within `±εn` and every
+/// quantile is ε-close, *simultaneously*.
+#[derive(Debug, Clone)]
+pub struct SampleQuantiles<T> {
+    sorted: Vec<T>,
+    stream_len: usize,
+}
+
+impl<T: Ord + Clone> SampleQuantiles<T> {
+    /// Build from a sample of a stream of `stream_len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or `stream_len == 0`.
+    pub fn new(sample: &[T], stream_len: usize) -> Self {
+        assert!(!sample.is_empty(), "sample must be non-empty");
+        assert!(stream_len > 0, "stream length must be positive");
+        let mut sorted = sample.to_vec();
+        sorted.sort_unstable();
+        Self { sorted, stream_len }
+    }
+
+    /// Estimated rank of `x` in the stream: `d_{[min,x]}(S)·n`.
+    pub fn rank(&self, x: &T) -> f64 {
+        let in_sample = self.sorted.partition_point(|v| v <= x);
+        in_sample as f64 / self.sorted.len() as f64 * self.stream_len as f64
+    }
+
+    /// The estimated `q`-quantile of the stream (`0 ≤ q ≤ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q ∉ [0, 1]`.
+    pub fn quantile(&self, q: f64) -> &T {
+        assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
+        let target = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        &self.sorted[target - 1]
+    }
+
+    /// The estimated median.
+    pub fn median(&self) -> &T {
+        self.quantile(0.5)
+    }
+
+    /// Sample size backing the sketch.
+    pub fn sample_len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Worst-case rank error against the true stream, over a set of probe
+    /// quantiles — the evaluation metric of experiment E6. Probes the true
+    /// `q`-quantiles of `stream` for each `q` in `probes` and returns the
+    /// max of `|rank_estimate − true_rank| / n`.
+    pub fn max_rank_error(&self, stream: &[T], probes: &[f64]) -> f64 {
+        let mut worst = 0.0f64;
+        for &q in probes {
+            let v = approx::quantile(stream, q).expect("non-empty stream");
+            let true_rank = approx::rank_of(stream, &v) as f64;
+            let est = self.rank(&v);
+            worst = worst.max((est - true_rank).abs() / stream.len() as f64);
+        }
+        worst
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heavy hitters (Corollary 1.6)
+// ---------------------------------------------------------------------------
+
+/// A reported heavy hitter with its estimated stream frequency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeavyHitter<T> {
+    /// The element.
+    pub item: T,
+    /// Its density in the sample (estimate of its stream density).
+    pub sample_density: f64,
+}
+
+/// The Corollary 1.6 heavy-hitters rule: with an `ε' = ε/3`-approximate
+/// sample w.r.t. singletons, report every element whose sample density is
+/// `≥ α − ε'`. Every true `≥ α` hitter is reported; nothing below
+/// `α − ε` is.
+///
+/// # Panics
+///
+/// Panics if `alpha ∉ (0, 1]` or `eps_prime` is negative or ≥ `alpha`.
+pub fn heavy_hitters<T: Ord + Clone>(sample: &[T], alpha: f64, eps_prime: f64) -> Vec<HeavyHitter<T>> {
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+    assert!(
+        (0.0..alpha).contains(&eps_prime),
+        "eps' must satisfy 0 <= eps' < alpha"
+    );
+    if sample.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = sample.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i + 1;
+        while j < sorted.len() && sorted[j] == sorted[i] {
+            j += 1;
+        }
+        let density = (j - i) as f64 / n;
+        // The 1e-12 slack absorbs f64 rounding in `alpha − ε'` so that a
+        // density exactly at the threshold is reported, per the corollary.
+        if density >= alpha - eps_prime - 1e-12 {
+            out.push(HeavyHitter {
+                item: sorted[i].clone(),
+                sample_density: density,
+            });
+        }
+        i = j;
+    }
+    // Highest density first for ergonomic consumption.
+    out.sort_by(|a, b| b.sample_density.total_cmp(&a.sample_density));
+    out
+}
+
+/// Exact stream-side evaluation of a heavy-hitters report: returns
+/// `(missed, spurious)` — elements with true density ≥ `alpha` that were
+/// not reported, and reported elements with true density < `alpha − eps`.
+/// Both must be empty for the Corollary 1.6 guarantee to hold.
+pub fn heavy_hitters_errors<T: Ord + Clone>(
+    stream: &[T],
+    report: &[HeavyHitter<T>],
+    alpha: f64,
+    eps: f64,
+) -> (Vec<T>, Vec<T>) {
+    let mut sorted = stream.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let mut missed = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i + 1;
+        while j < sorted.len() && sorted[j] == sorted[i] {
+            j += 1;
+        }
+        let density = (j - i) as f64 / n;
+        if density >= alpha && !report.iter().any(|h| h.item == sorted[i]) {
+            missed.push(sorted[i].clone());
+        }
+        i = j;
+    }
+    let mut spurious = Vec::new();
+    for h in report {
+        let cnt = sorted.partition_point(|v| v <= &h.item) - sorted.partition_point(|v| v < &h.item);
+        if (cnt as f64) < (alpha - eps) * n {
+            spurious.push(h.item.clone());
+        }
+    }
+    (missed, spurious)
+}
+
+// ---------------------------------------------------------------------------
+// Range counting (§1.2)
+// ---------------------------------------------------------------------------
+
+/// Range-count estimate from a sample: `d_R(S) · n`, where membership is
+/// given by `in_range`. With an ε-approximate sample the additive error is
+/// at most `εn` (paper §1.2, "Range queries").
+pub fn range_count<T>(sample: &[T], stream_len: usize, in_range: impl FnMut(&T) -> bool) -> f64 {
+    approx::density_by(sample, in_range) * stream_len as f64
+}
+
+// ---------------------------------------------------------------------------
+// Center points (§1.2 / [CEM+96])
+// ---------------------------------------------------------------------------
+
+/// Approximate Tukey depth of `c` in `points`, over a fan of `directions`
+/// halfplane normals: `min_h d_h(points)` over halfplanes `h ∋ c`.
+///
+/// A point of depth `≥ β` is a β-center. Exact 2-D depth needs an
+/// `O(s log s)` rotating sweep per query; this fan approximation (standard
+/// in the discrepancy literature, and the same discretisation used by
+/// [`HalfplaneSystem`](crate::set_system::HalfplaneSystem)) overestimates
+/// depth by at most the fan's angular resolution and is what the E9
+/// experiment uses on both sample and stream sides, keeping the comparison
+/// fair.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or `directions == 0`.
+pub fn tukey_depth(points: &[(i64, i64)], c: (f64, f64), directions: usize) -> f64 {
+    assert!(!points.is_empty(), "need at least one point");
+    assert!(directions > 0, "need at least one direction");
+    let mut depth = 1.0f64;
+    for d in 0..directions {
+        let theta = std::f64::consts::PI * d as f64 / directions as f64;
+        let (nx, ny) = (theta.cos(), theta.sin());
+        let pc = nx * c.0 + ny * c.1;
+        let above = points
+            .iter()
+            .filter(|p| nx * p.0 as f64 + ny * p.1 as f64 >= pc - 1e-9)
+            .count() as f64
+            / points.len() as f64;
+        let below = points
+            .iter()
+            .filter(|p| nx * p.0 as f64 + ny * p.1 as f64 <= pc + 1e-9)
+            .count() as f64
+            / points.len() as f64;
+        depth = depth.min(above).min(below);
+    }
+    depth
+}
+
+/// Find an (approximate) deepest point of a sample: the sample point with
+/// maximum [`tukey_depth`]. By [CEM+96, Lemma 6.1] via the paper's §1.2,
+/// if the sample is a `(β/5)`-approximation w.r.t. halfplanes, a
+/// `6β/5`-center of the sample is a β-center of the stream.
+///
+/// Returns `(point, depth_in_sample)`.
+///
+/// # Panics
+///
+/// Panics if `sample` is empty or `directions == 0`.
+pub fn center_point(sample: &[(i64, i64)], directions: usize) -> ((i64, i64), f64) {
+    assert!(!sample.is_empty(), "need at least one point");
+    let mut best = (sample[0], -1.0f64);
+    for &p in sample {
+        let d = tukey_depth(sample, (p.0 as f64, p.1 as f64), directions);
+        if d > best.1 {
+            best = (p, d);
+        }
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// Clustering acceleration (§1.2)
+// ---------------------------------------------------------------------------
+
+/// Greedy k-center (Gonzalez) on the sample — the paper's clustering
+/// recipe: cluster the small robust sample instead of the full stream,
+/// then extrapolate. Returns `k` medoids drawn from the sample.
+///
+/// # Panics
+///
+/// Panics if `sample` is empty or `k == 0`.
+pub fn cluster_medoids(sample: &[(i64, i64)], k: usize) -> Vec<(i64, i64)> {
+    assert!(!sample.is_empty(), "need at least one point");
+    assert!(k > 0, "need at least one cluster");
+    let dist2 = |a: (i64, i64), b: (i64, i64)| {
+        let dx = (a.0 - b.0) as f64;
+        let dy = (a.1 - b.1) as f64;
+        dx * dx + dy * dy
+    };
+    let mut centers = vec![sample[0]];
+    let mut dists: Vec<f64> = sample.iter().map(|&p| dist2(p, sample[0])).collect();
+    while centers.len() < k.min(sample.len()) {
+        let (idx, _) = dists
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("non-empty");
+        let c = sample[idx];
+        centers.push(c);
+        for (d, &p) in dists.iter_mut().zip(sample) {
+            *d = d.min(dist2(p, c));
+        }
+    }
+    centers
+}
+
+/// Maximum distance from any point to its nearest medoid — the k-center
+/// objective, used to compare sample-derived centers against stream-derived
+/// ones in the clustering example.
+pub fn kcenter_cost(points: &[(i64, i64)], centers: &[(i64, i64)]) -> f64 {
+    points
+        .iter()
+        .map(|&p| {
+            centers
+                .iter()
+                .map(|&c| {
+                    let dx = (p.0 - c.0) as f64;
+                    let dy = (p.1 - c.1) as f64;
+                    (dx * dx + dy * dy).sqrt()
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_exact_on_full_sample() {
+        let stream: Vec<u64> = (1..=1000).collect();
+        let q = SampleQuantiles::new(&stream, stream.len());
+        assert_eq!(*q.median(), 500);
+        assert_eq!(*q.quantile(0.25), 250);
+        assert!((q.rank(&100) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_rank_error_small_for_uniform_subsample() {
+        let stream: Vec<u64> = (0..10_000).collect();
+        // Every 10th element: a perfect systematic sample.
+        let sample: Vec<u64> = stream.iter().copied().step_by(10).collect();
+        let q = SampleQuantiles::new(&sample, stream.len());
+        let err = q.max_rank_error(&stream, &[0.1, 0.25, 0.5, 0.75, 0.9]);
+        assert!(err < 0.01, "rank error {err}");
+    }
+
+    #[test]
+    fn rank_scales_to_stream_length() {
+        let sample = vec![10u64, 20, 30, 40];
+        let q = SampleQuantiles::new(&sample, 1000);
+        assert!((q.rank(&25) - 500.0).abs() < 1e-9); // 2/4 of 1000
+    }
+
+    #[test]
+    #[should_panic(expected = "sample must be non-empty")]
+    fn quantiles_reject_empty() {
+        let _ = SampleQuantiles::<u64>::new(&[], 10);
+    }
+
+    #[test]
+    fn heavy_hitters_basic_thresholding() {
+        // 50% zeros, 30% ones, 20% twos; alpha=0.4, eps'=0.1 ⇒ report ≥0.3.
+        let mut sample = vec![0u64; 50];
+        sample.extend(vec![1u64; 30]);
+        sample.extend(vec![2u64; 20]);
+        let hh = heavy_hitters(&sample, 0.4, 0.1);
+        let items: Vec<u64> = hh.iter().map(|h| h.item).collect();
+        assert_eq!(items, vec![0, 1]);
+        assert!((hh[0].sample_density - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_hitters_corollary_guarantee_on_exact_sample() {
+        // Sample = stream ⇒ zero approximation error ⇒ no misses/spurious.
+        let mut stream = vec![7u64; 400];
+        stream.extend(0..600u64);
+        let alpha = 0.3;
+        let eps = 0.15;
+        let report = heavy_hitters(&stream, alpha, eps / 3.0);
+        let (missed, spurious) = heavy_hitters_errors(&stream, &report, alpha, eps);
+        assert!(missed.is_empty(), "missed {missed:?}");
+        assert!(spurious.is_empty(), "spurious {spurious:?}");
+    }
+
+    #[test]
+    fn heavy_hitters_empty_sample() {
+        assert!(heavy_hitters::<u64>(&[], 0.5, 0.1).is_empty());
+    }
+
+    #[test]
+    fn range_count_additive_error() {
+        let stream: Vec<u64> = (0..1000).collect();
+        let sample: Vec<u64> = stream.iter().copied().step_by(10).collect();
+        let est = range_count(&sample, stream.len(), |&x| x < 500);
+        assert!((est - 500.0).abs() <= 10.0, "estimate {est}");
+    }
+
+    #[test]
+    fn tukey_depth_of_centroid_of_square() {
+        // A filled grid: its center has depth close to 1/2, a corner ~0.
+        let pts: Vec<(i64, i64)> = (0..20)
+            .flat_map(|x| (0..20).map(move |y| (x, y)))
+            .collect();
+        let center = tukey_depth(&pts, (9.5, 9.5), 90);
+        let corner = tukey_depth(&pts, (0.0, 0.0), 90);
+        assert!(center > 0.4, "center depth {center}");
+        assert!(corner < 0.15, "corner depth {corner}");
+    }
+
+    #[test]
+    fn center_point_of_sample_is_deep_in_stream() {
+        // Stream = dense disk; sample = every 7th point. The sample's
+        // center point must be a ~1/3-center of the full stream.
+        let stream: Vec<(i64, i64)> = (-15..=15)
+            .flat_map(|x| (-15..=15i64).map(move |y| (x, y)))
+            .filter(|&(x, y)| x * x + y * y <= 225)
+            .collect();
+        let sample: Vec<(i64, i64)> = stream.iter().copied().step_by(7).collect();
+        let (c, depth_in_sample) = center_point(&sample, 60);
+        assert!(depth_in_sample > 0.25);
+        let depth_in_stream = tukey_depth(&stream, (c.0 as f64, c.1 as f64), 60);
+        assert!(
+            depth_in_stream > 0.2,
+            "sample center point too shallow in stream: {depth_in_stream}"
+        );
+    }
+
+    #[test]
+    fn kcenter_medoids_cover_clusters() {
+        // Three well-separated blobs: 3 medoids must land one per blob.
+        let mut pts = Vec::new();
+        for &(cx, cy) in &[(0i64, 0i64), (100, 0), (0, 100)] {
+            for dx in -2..=2i64 {
+                for dy in -2..=2i64 {
+                    pts.push((cx + dx, cy + dy));
+                }
+            }
+        }
+        let medoids = cluster_medoids(&pts, 3);
+        let cost = kcenter_cost(&pts, &medoids);
+        assert!(cost < 10.0, "k-center cost {cost}");
+    }
+
+    #[test]
+    fn kcenter_cost_zero_when_centers_are_points() {
+        let pts = vec![(0i64, 0i64), (5, 5)];
+        assert_eq!(kcenter_cost(&pts, &pts), 0.0);
+    }
+}

@@ -1,0 +1,364 @@
+//! The concentration-inequality toolbox of the paper's Sections 3–4, as
+//! executable code.
+//!
+//! Two kinds of artefacts live here:
+//!
+//! 1. **Tail-bound evaluators** — [`chernoff_lower`], [`chernoff_upper`]
+//!    (Theorem 3.1) and [`freedman_tail`] (Lemma 3.3, the
+//!    variance-sensitive martingale inequality of Freedman/McDiarmid that
+//!    powers the whole analysis). Experiments compare these predicted tail
+//!    probabilities against measured failure rates.
+//!
+//! 2. **Martingale constructors** — [`bernoulli_z_sequence`] and
+//!    [`reservoir_z_sequence`] build the exact random processes
+//!    `Z_i^R = B_i^R − A_i^R` defined in the paper's equations (1) and
+//!    §4.2, from a recorded game transcript. Tests and experiment E4
+//!    verify *empirically* the three properties Claims 4.2 and 4.3 prove:
+//!    increments have conditional mean zero, the conditional variance is
+//!    bounded (`1/(n²p)` resp. `i/k`), and the increment magnitude is
+//!    bounded (`1/(np)` resp. `i/k`).
+
+/// Chernoff lower-tail bound (Theorem 3.1):
+/// `Pr[X ≤ (1−δ)μ] ≤ exp(−δ²μ/2)`.
+///
+/// # Panics
+///
+/// Panics if `delta ∉ (0,1)` or `mu < 0`.
+pub fn chernoff_lower(mu: f64, delta: f64) -> f64 {
+    assert!((0.0..1.0).contains(&delta), "delta must be in (0,1)");
+    assert!(mu >= 0.0, "mean must be non-negative");
+    (-delta * delta * mu / 2.0).exp()
+}
+
+/// Chernoff upper-tail bound (Theorem 3.1):
+/// `Pr[X ≥ (1+δ)μ] ≤ exp(−δ²μ/(2 + 2δ/3))`.
+///
+/// # Panics
+///
+/// Panics if `delta ≤ 0` or `mu < 0`.
+pub fn chernoff_upper(mu: f64, delta: f64) -> f64 {
+    assert!(delta > 0.0, "delta must be positive");
+    assert!(mu >= 0.0, "mean must be non-negative");
+    (-delta * delta * mu / (2.0 + 2.0 * delta / 3.0)).exp()
+}
+
+/// One-sided Freedman/McDiarmid martingale tail (Lemma 3.3):
+/// `Pr[X_n − X_0 ≥ λ] ≤ exp(−λ² / (2·Σσᵢ² + M·λ/3))`.
+///
+/// `var_sum` is `Σᵢ σᵢ²` (the sum of conditional variance bounds) and
+/// `max_step` is `M` (the almost-sure increment bound).
+///
+/// # Panics
+///
+/// Panics on negative inputs.
+pub fn freedman_tail(lambda: f64, var_sum: f64, max_step: f64) -> f64 {
+    assert!(lambda >= 0.0 && var_sum >= 0.0 && max_step >= 0.0);
+    if lambda == 0.0 {
+        return 1.0;
+    }
+    (-(lambda * lambda) / (2.0 * var_sum + max_step * lambda / 3.0)).exp()
+}
+
+/// Two-sided version of [`freedman_tail`] (the "in particular" clause of
+/// Lemma 3.3), capped at 1.
+pub fn freedman_tail_two_sided(lambda: f64, var_sum: f64, max_step: f64) -> f64 {
+    (2.0 * freedman_tail(lambda, var_sum, max_step)).min(1.0)
+}
+
+/// One round of a recorded game, restricted to what the martingales need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundEvent {
+    /// Did the submitted element belong to the fixed range `R`?
+    pub in_range: bool,
+    /// `|R ∩ S_i|` — how many sampled elements lie in `R` *after* this
+    /// round's update.
+    pub range_in_sample: usize,
+    /// `|S_i|` — sample size after this round.
+    pub sample_size: usize,
+}
+
+/// Build the Bernoulli-sampling martingale `Z_i^R = B_i^R − A_i^R` of the
+/// paper's equation (1):
+///
+/// `A_i = |R ∩ X_i| / n`, `B_i = |R ∩ S_i| / (n·p)`.
+///
+/// Returns the full sequence `Z_0 = 0, Z_1, …, Z_n`. Claim 4.2 proves this
+/// is a martingale with `|Z_i − Z_{i−1}| ≤ 1/(n·p)` and conditional
+/// variance `≤ 1/(n²·p)`; experiment E4 checks those properties on the
+/// sequences this function produces.
+///
+/// # Panics
+///
+/// Panics if `p ∉ (0, 1]` or `events` is empty.
+pub fn bernoulli_z_sequence(events: &[RoundEvent], p: f64) -> Vec<f64> {
+    assert!(p > 0.0 && p <= 1.0, "p must be in (0,1]");
+    assert!(!events.is_empty(), "need at least one round");
+    let n = events.len() as f64;
+    let mut z = Vec::with_capacity(events.len() + 1);
+    z.push(0.0);
+    let mut in_range_so_far = 0usize;
+    for ev in events {
+        if ev.in_range {
+            in_range_so_far += 1;
+        }
+        let a = in_range_so_far as f64 / n;
+        let b = ev.range_in_sample as f64 / (n * p);
+        z.push(b - a);
+    }
+    z
+}
+
+/// Build the reservoir-sampling martingale of the paper's §4.2:
+///
+/// for `i > k`: `A_i = |R ∩ X_i|`, `B_i = (i/k)·|R ∩ S_i|`;
+/// for `i ≤ k`: `A_i = B_i = |R ∩ X_i|` (the reservoir holds everything).
+///
+/// Returns `Z_0 = 0, Z_1, …, Z_n`. Claim 4.3 proves martingale-ness with
+/// `|Z_i − Z_{i−1}| ≤ i/k` and conditional variance `≤ i/k`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `events` is empty.
+pub fn reservoir_z_sequence(events: &[RoundEvent], k: usize) -> Vec<f64> {
+    assert!(k > 0, "reservoir capacity must be positive");
+    assert!(!events.is_empty(), "need at least one round");
+    let mut z = Vec::with_capacity(events.len() + 1);
+    z.push(0.0);
+    let mut in_range_so_far = 0usize;
+    for (idx, ev) in events.iter().enumerate() {
+        let i = idx + 1;
+        if ev.in_range {
+            in_range_so_far += 1;
+        }
+        let a = in_range_so_far as f64;
+        let b = if i <= k {
+            // Reservoir = stream prefix: B_i = |R ∩ X_i| by construction.
+            debug_assert_eq!(ev.range_in_sample, in_range_so_far);
+            in_range_so_far as f64
+        } else {
+            i as f64 / k as f64 * ev.range_in_sample as f64
+        };
+        z.push(b - a);
+    }
+    z
+}
+
+/// Summary statistics over a family of independently sampled martingale
+/// paths, used to verify the claims empirically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStats {
+    /// Largest `|Z_i − Z_{i−1}|` seen across all paths and rounds.
+    pub max_abs_increment: f64,
+    /// Mean of the final values `Z_n` across paths.
+    pub mean_final: f64,
+    /// Mean increment across all rounds and paths (≈ 0 for a martingale).
+    pub mean_increment: f64,
+    /// Largest per-round empirical variance of the increment across paths.
+    pub max_round_variance: f64,
+}
+
+/// Compute [`PathStats`] for a set of equal-length martingale paths.
+///
+/// # Panics
+///
+/// Panics if `paths` is empty or the paths have unequal lengths.
+pub fn path_stats(paths: &[Vec<f64>]) -> PathStats {
+    assert!(!paths.is_empty(), "need at least one path");
+    let len = paths[0].len();
+    assert!(
+        paths.iter().all(|p| p.len() == len),
+        "all paths must have equal length"
+    );
+    assert!(len >= 2, "paths must contain at least one increment");
+    let mut max_abs = 0.0f64;
+    let mut sum_inc = 0.0f64;
+    let mut count_inc = 0usize;
+    let mut max_round_var = 0.0f64;
+    for i in 1..len {
+        let mut round_sum = 0.0;
+        let mut round_sq = 0.0;
+        for p in paths {
+            let inc = p[i] - p[i - 1];
+            max_abs = max_abs.max(inc.abs());
+            round_sum += inc;
+            round_sq += inc * inc;
+            sum_inc += inc;
+            count_inc += 1;
+        }
+        let m = paths.len() as f64;
+        let var = round_sq / m - (round_sum / m).powi(2);
+        max_round_var = max_round_var.max(var);
+    }
+    let mean_final = paths.iter().map(|p| p[len - 1]).sum::<f64>() / paths.len() as f64;
+    PathStats {
+        max_abs_increment: max_abs,
+        mean_final,
+        mean_increment: sum_inc / count_inc as f64,
+        max_round_variance: max_round_var,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::{BernoulliSampler, ReservoirSampler, StreamSampler};
+
+    #[test]
+    fn chernoff_bounds_decrease_in_mu() {
+        assert!(chernoff_lower(100.0, 0.5) < chernoff_lower(10.0, 0.5));
+        assert!(chernoff_upper(100.0, 0.5) < chernoff_upper(10.0, 0.5));
+    }
+
+    #[test]
+    fn chernoff_values_spotcheck() {
+        // exp(-0.25*100/2) = exp(-12.5)
+        assert!((chernoff_lower(100.0, 0.5) - (-12.5f64).exp()).abs() < 1e-18);
+        // exp(-0.25*100/(2+1/3))
+        let expect = (-25.0f64 / (2.0 + 1.0 / 3.0)).exp();
+        assert!((chernoff_upper(100.0, 0.5) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn freedman_reduces_to_azuma_like_decay() {
+        // Larger variance budget ⇒ weaker bound.
+        assert!(freedman_tail(1.0, 10.0, 0.1) > freedman_tail(1.0, 1.0, 0.1));
+        // λ = 0 gives the trivial bound.
+        assert_eq!(freedman_tail(0.0, 5.0, 1.0), 1.0);
+        assert_eq!(freedman_tail_two_sided(0.0, 5.0, 1.0), 1.0);
+    }
+
+    /// Record a Bernoulli game on a fixed stream and range, returning the
+    /// per-round events for the martingale constructor.
+    fn record_bernoulli(n: usize, p: f64, seed: u64, in_range: impl Fn(u64) -> bool) -> Vec<RoundEvent> {
+        let mut s = BernoulliSampler::with_seed(p, seed);
+        let mut events = Vec::with_capacity(n);
+        let mut in_sample = 0usize;
+        for x in 0..n as u64 {
+            let obs = s.observe(x);
+            if obs.stored() && in_range(x) {
+                in_sample += 1;
+            }
+            events.push(RoundEvent {
+                in_range: in_range(x),
+                range_in_sample: in_sample,
+                sample_size: s.sample().len(),
+            });
+        }
+        events
+    }
+
+    fn record_reservoir(
+        n: usize,
+        k: usize,
+        seed: u64,
+        in_range: impl Fn(u64) -> bool + Copy,
+    ) -> Vec<RoundEvent> {
+        let mut s = ReservoirSampler::with_seed(k, seed);
+        let mut events = Vec::with_capacity(n);
+        for x in 0..n as u64 {
+            s.observe(x);
+            let cnt = s.sample().iter().filter(|&&v| in_range(v)).count();
+            events.push(RoundEvent {
+                in_range: in_range(x),
+                range_in_sample: cnt,
+                sample_size: s.sample().len(),
+            });
+        }
+        events
+    }
+
+    #[test]
+    fn bernoulli_z_is_empirically_mean_zero_with_bounded_steps() {
+        let n = 500;
+        let p = 0.2;
+        let in_range = |x: u64| x.is_multiple_of(3);
+        let paths: Vec<Vec<f64>> = (0..200)
+            .map(|seed| bernoulli_z_sequence(&record_bernoulli(n, p, seed, in_range), p))
+            .collect();
+        let stats = path_stats(&paths);
+        // Claim 4.2: |ΔZ| ≤ 1/(np).
+        let m = 1.0 / (n as f64 * p);
+        assert!(
+            stats.max_abs_increment <= m + 1e-12,
+            "step {} exceeds 1/(np) = {m}",
+            stats.max_abs_increment
+        );
+        // Martingale ⇒ mean increment ~ 0 (CLT tolerance).
+        assert!(
+            stats.mean_increment.abs() < 3.0 * m / (200f64 * n as f64).sqrt() + 1e-6,
+            "mean increment {} too large",
+            stats.mean_increment
+        );
+        // Claim 4.2: per-round variance ≤ 1/(n²p); allow sampling noise.
+        let var_bound = 1.0 / (n as f64 * n as f64 * p);
+        assert!(
+            stats.max_round_variance <= 2.0 * var_bound,
+            "variance {} exceeds 2x bound {var_bound}",
+            stats.max_round_variance
+        );
+    }
+
+    #[test]
+    fn reservoir_z_is_empirically_mean_zero_with_bounded_steps() {
+        let n = 400;
+        let k = 40;
+        let in_range = |x: u64| x.is_multiple_of(2);
+        let paths: Vec<Vec<f64>> = (0..200)
+            .map(|seed| reservoir_z_sequence(&record_reservoir(n, k, seed, in_range), k))
+            .collect();
+        let stats = path_stats(&paths);
+        // Claim 4.3: |ΔZ| ≤ i/k ≤ n/k.
+        let m = n as f64 / k as f64;
+        assert!(
+            stats.max_abs_increment <= m + 1e-9,
+            "step {} exceeds n/k = {m}",
+            stats.max_abs_increment
+        );
+        // Mean of final Z across paths ≈ 0; |Z_n| can reach n/k·noise, so
+        // normalize by n when checking.
+        assert!(
+            (stats.mean_final / n as f64).abs() < 0.05,
+            "mean final {} too far from 0",
+            stats.mean_final
+        );
+    }
+
+    #[test]
+    fn reservoir_z_prefix_phase_is_identically_zero() {
+        // While i ≤ k the reservoir IS the stream, so Z_i = 0.
+        let k = 50;
+        let events = record_reservoir(50, k, 9, |x| x < 10);
+        let z = reservoir_z_sequence(&events, k);
+        assert!(z.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn path_stats_simple() {
+        let paths = vec![vec![0.0, 1.0, 0.0], vec![0.0, -1.0, 0.0]];
+        let s = path_stats(&paths);
+        assert_eq!(s.max_abs_increment, 1.0);
+        assert_eq!(s.mean_final, 0.0);
+        assert_eq!(s.mean_increment, 0.0);
+        assert_eq!(s.max_round_variance, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn path_stats_rejects_ragged() {
+        let _ = path_stats(&[vec![0.0, 1.0], vec![0.0]]);
+    }
+
+    #[test]
+    fn freedman_predicts_reservoir_lemma41_bound() {
+        // Reproduce the Lemma 4.1 (reservoir) arithmetic: with σᵢ² = i/k
+        // and M = n/k, Pr[|Z_n| ≥ εn] ≤ 2·exp(−ε²k/2) for n ≥ 2.
+        let n = 10_000.0;
+        let k = 800.0;
+        let eps = 0.1;
+        let var_sum = (1..=n as usize).map(|i| i as f64 / k).sum::<f64>();
+        let bound = freedman_tail_two_sided(eps * n, var_sum, n / k);
+        let paper = 2.0 * (-eps * eps * k / 2.0).exp();
+        // The paper's simplification is slightly looser; ours must be ≤ 2x theirs.
+        assert!(bound <= paper * 2.0, "bound {bound} vs paper {paper}");
+    }
+}

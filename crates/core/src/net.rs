@@ -1,0 +1,156 @@
+//! ε-nets — the companion notion to ε-approximations.
+//!
+//! A sample `S` is an **ε-net** of `X` w.r.t. `(U, R)` if every range
+//! `R ∈ R` with stream density `d_R(X) ≥ ε` contains at least one sample
+//! element. Every ε-approximation is an ε'-net for every `ε' > ε`
+//! (a range the sample misses has sample density 0, so its stream density
+//! is at most ε) — the classical implication, which makes the paper's
+//! Theorem 1.2 immediately yield *adaptively robust ε-nets* from the same
+//! Bernoulli/reservoir samples. This module provides the checking side:
+//!
+//! * [`is_epsilon_net`] / [`worst_uncovered_density`] — exact verification
+//!   against an enumerable system;
+//! * [`net_size_static`] / [`net_size_adaptive`] — the classical
+//!   `O((d/ε)·ln(1/ε))` static bound next to the `ln|R|/ε` cardinality
+//!   bound obtained by instantiating Theorem 1.2 at `ε/2` accuracy (the
+//!   robust route costs `1/ε` more — nets are cheaper than approximations
+//!   only in the static world).
+
+use crate::set_system::SetSystem;
+
+/// The largest stream density among ranges containing **no** sample
+/// element, together with a witness. A sample is an ε-net iff this value
+/// is `< ε`.
+///
+/// Enumerates the system's ranges: `O(|R|·(n + s))`. Intended for the
+/// moderate, enumerable systems used in tests and experiments.
+pub fn worst_uncovered_density<T, S: SetSystem<T>>(
+    system: &S,
+    stream: &[T],
+    sample: &[T],
+) -> (f64, Option<String>) {
+    let mut worst = 0.0f64;
+    let mut witness = None;
+    for r in system.ranges() {
+        if sample.iter().any(|x| system.contains(&r, x)) {
+            continue;
+        }
+        let d = system.density(&r, stream);
+        if d > worst {
+            worst = d;
+            witness = Some(format!("{r:?}"));
+        }
+    }
+    (worst, witness)
+}
+
+/// Whether `sample` is an ε-net of `stream` w.r.t. `system`.
+pub fn is_epsilon_net<T, S: SetSystem<T>>(
+    system: &S,
+    stream: &[T],
+    sample: &[T],
+    eps: f64,
+) -> bool {
+    worst_uncovered_density(system, stream, sample).0 < eps
+}
+
+/// Classical static ε-net sample size: `⌈(2d/ε)·ln(4d/(εδ)) + (2/ε)·ln(2/δ)⌉`
+/// (Haussler–Welzl-style constants).
+///
+/// # Panics
+///
+/// Panics if `eps ∉ (0,1)`, `delta ∉ (0,1)`, or `d == 0`.
+pub fn net_size_static(vc_dim: u32, eps: f64, delta: f64) -> usize {
+    assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    assert!(vc_dim > 0, "VC dimension must be positive");
+    let d = vc_dim as f64;
+    let s = (2.0 * d / eps) * (4.0 * d / (eps * delta)).ln() + (2.0 / eps) * (2.0 / delta).ln();
+    s.ceil() as usize
+}
+
+/// Adaptively robust ε-net size via the cardinality route: an
+/// `(ε/2)`-approximation is an ε-net, so Theorem 1.2 gives
+/// `k = 2(ln|R| + ln(2/δ))/(ε/2)² = 8(ln|R| + ln(2/δ))/ε²`.
+///
+/// This is the `1/ε` premium robustness pays over the static `~d/ε·ln(1/ε)`
+/// net size — there is no known adaptive shortcut for nets below the
+/// approximation route.
+pub fn net_size_adaptive(ln_ranges: f64, eps: f64, delta: f64) -> usize {
+    crate::bounds::reservoir_k_robust(ln_ranges, eps / 2.0, delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::{ReservoirSampler, StreamSampler};
+    use crate::set_system::{ExplicitSystem, IntervalSystem, PrefixSystem};
+
+    #[test]
+    fn full_sample_is_always_a_net() {
+        let sys = IntervalSystem::new(32);
+        let stream: Vec<u64> = (0..32).collect();
+        assert!(is_epsilon_net(&sys, &stream, &stream, 1e-9));
+    }
+
+    #[test]
+    fn empty_sample_fails_for_any_dense_range() {
+        let sys = PrefixSystem::new(16);
+        let stream: Vec<u64> = (0..16).collect();
+        let (worst, witness) = worst_uncovered_density(&sys, &stream, &[]);
+        assert_eq!(worst, 1.0); // the full prefix is uncovered
+        assert!(witness.is_some());
+    }
+
+    #[test]
+    fn uncovered_density_detects_the_hole() {
+        // Sample misses the range {8..15}: uncovered density = 1/2.
+        let sys = IntervalSystem::new(16);
+        let stream: Vec<u64> = (0..16).collect();
+        let sample: Vec<u64> = (0..8).collect();
+        let (worst, _) = worst_uncovered_density(&sys, &stream, &sample);
+        assert!((worst - 0.5).abs() < 1e-12);
+        assert!(!is_epsilon_net(&sys, &stream, &sample, 0.4));
+        assert!(is_epsilon_net(&sys, &stream, &sample, 0.6));
+    }
+
+    #[test]
+    fn approximation_implies_net() {
+        // Any eps-approximation is an eps'-net for eps' > eps: verify on a
+        // real reservoir sample.
+        let sys = IntervalSystem::new(64);
+        let stream: Vec<u64> = (0..6_400u64).map(|v| v % 64).collect();
+        let mut sampler = ReservoirSampler::with_seed(200, 3);
+        for &x in &stream {
+            sampler.observe(x);
+        }
+        let report = sys.max_discrepancy(&stream, sampler.sample());
+        let eps = report.value;
+        assert!(
+            is_epsilon_net(&sys, &stream, sampler.sample(), eps + 1e-9),
+            "an {eps}-approximation must be an (eps+)-net"
+        );
+    }
+
+    #[test]
+    fn explicit_system_net_check() {
+        let sys = ExplicitSystem::new(vec![vec![0, 1], vec![2, 3], vec![4, 5]]);
+        let stream = vec![0u64, 1, 2, 3, 4, 5];
+        // Sample hits ranges 0 and 1 but not 2 (density 1/3).
+        let sample = vec![0u64, 2];
+        let (worst, _) = worst_uncovered_density(&sys, &stream, &sample);
+        assert!((worst - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_formulas_behave() {
+        // Static net size grows like (d/eps) ln(1/eps); adaptive like
+        // ln|R|/eps^2. For small d and huge |R| the static is far smaller.
+        let s = net_size_static(2, 0.1, 0.05);
+        let a = net_size_adaptive(40.0 * std::f64::consts::LN_2, 0.1, 0.05);
+        assert!(s < a);
+        // Both shrink as eps grows.
+        assert!(net_size_static(2, 0.2, 0.05) < s);
+        assert!(net_size_adaptive(27.7, 0.2, 0.05) < a);
+    }
+}

@@ -1,0 +1,847 @@
+//! Streaming sampling algorithms.
+//!
+//! This module implements the two samplers the paper analyses —
+//! [`BernoulliSampler`] and [`ReservoirSampler`] (Vitter's Algorithm R,
+//! exactly the pseudocode in the paper's Section 2) — plus a weighted
+//! reservoir sampler ([`WeightedReservoirSampler`], Efraimidis–Spirakis
+//! A-Res, discussed in the paper's related-work section) and a deterministic
+//! strawman ([`EveryKthSampler`]) used by the experiment harness as a
+//! trivially robust but statistically weak baseline.
+//!
+//! All samplers implement [`StreamSampler`]. The trait deliberately exposes
+//! the sampler's full internal state via [`StreamSampler::sample`]: in the
+//! paper's adversarial model the adversary observes the state `σ_i` after
+//! every round, so hiding it would misrepresent the threat model.
+//!
+//! Every sampler owns its RNG (a seeded [`StdRng`]) so that games,
+//! experiments, and tests are fully deterministic given a seed.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// What a sampler did with one incoming element.
+///
+/// The adversary is allowed to observe this (it is deducible from the state
+/// transition `σ_{i-1} → σ_i` anyway); the constructive attacks in
+/// [`crate::adversary`] branch on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Observation<T> {
+    /// The element was stored in the sample.
+    Stored {
+        /// Element evicted to make room, if any (reservoir sampling evicts a
+        /// uniformly random resident once the reservoir is full).
+        evicted: Option<T>,
+    },
+    /// The element was not stored.
+    Skipped,
+}
+
+impl<T> Observation<T> {
+    /// Whether the observed element was stored in the sample.
+    #[inline]
+    pub fn stored(&self) -> bool {
+        matches!(self, Observation::Stored { .. })
+    }
+}
+
+/// A streaming sampling algorithm in the paper's model.
+///
+/// The sampler receives the stream one element at a time via
+/// [`observe`](Self::observe) and maintains a sample (its state `σ_i`).
+/// The sample is a *subsequence of the stream*, per the paper's Section 2
+/// rule 3.
+pub trait StreamSampler<T> {
+    /// Process one stream element; returns what happened to it.
+    fn observe(&mut self, x: T) -> Observation<T>;
+
+    /// The current sample (the state `σ_i` the adversary observes).
+    fn sample(&self) -> &[T];
+
+    /// Number of stream elements observed so far.
+    fn observed(&self) -> usize;
+
+    /// Total number of elements ever stored (counting later-evicted ones).
+    ///
+    /// This is the quantity `k'` in the paper's Theorem 1.3 analysis of the
+    /// attack on reservoir sampling.
+    fn total_stored(&self) -> usize;
+
+    /// Human-readable name used in experiment reports.
+    fn name(&self) -> &'static str;
+
+    /// Reset to the initial state, keeping parameters but reseeding the RNG.
+    fn reset(&mut self, seed: u64);
+}
+
+// ---------------------------------------------------------------------------
+// Bernoulli sampling
+// ---------------------------------------------------------------------------
+
+/// Bernoulli sampling: stores each incoming element independently with
+/// probability `p`.
+///
+/// For a stream of length `n` the sample size concentrates around `n·p`
+/// (Chernoff). Theorem 1.2 of the paper proves this sampler is
+/// (ε, δ)-robust whenever `p ≥ 10·(ln|R| + ln(4/δ)) / (ε²n)`; use
+/// [`crate::bounds::bernoulli_p_robust`] to compute that threshold.
+#[derive(Debug)]
+pub struct BernoulliSampler<T> {
+    p: f64,
+    sample: Vec<T>,
+    observed: usize,
+    rng: StdRng,
+}
+
+impl<T> BernoulliSampler<T> {
+    /// Create a sampler that keeps each element with probability `p`,
+    /// seeded for reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn with_seed(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        Self {
+            p,
+            sample: Vec::new(),
+            observed: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The sampling probability `p`.
+    #[inline]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Consume the sampler, returning the sample.
+    pub fn into_sample(self) -> Vec<T> {
+        self.sample
+    }
+}
+
+impl<T: Clone> StreamSampler<T> for BernoulliSampler<T> {
+    fn observe(&mut self, x: T) -> Observation<T> {
+        self.observed += 1;
+        if self.rng.random_bool(self.p) {
+            self.sample.push(x);
+            Observation::Stored { evicted: None }
+        } else {
+            Observation::Skipped
+        }
+    }
+
+    #[inline]
+    fn sample(&self) -> &[T] {
+        &self.sample
+    }
+
+    #[inline]
+    fn observed(&self) -> usize {
+        self.observed
+    }
+
+    #[inline]
+    fn total_stored(&self) -> usize {
+        self.sample.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "bernoulli"
+    }
+
+    fn reset(&mut self, seed: u64) {
+        self.sample.clear();
+        self.observed = 0;
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reservoir sampling
+// ---------------------------------------------------------------------------
+
+/// Classical reservoir sampling (Vitter's Algorithm R), maintaining a
+/// uniform sample of fixed size `k`.
+///
+/// The first `k` elements are stored unconditionally; element `i > k` is
+/// stored with probability `k/i`, evicting a uniformly random resident.
+/// This matches the paper's Section 2 pseudocode line for line. Theorem
+/// 1.2 proves (ε, δ)-robustness for `k ≥ 2·(ln|R| + ln(2/δ)) / ε²`; use
+/// [`crate::bounds::reservoir_k_robust`].
+#[derive(Debug)]
+pub struct ReservoirSampler<T> {
+    k: usize,
+    reservoir: Vec<T>,
+    observed: usize,
+    total_stored: usize,
+    rng: StdRng,
+}
+
+impl<T> ReservoirSampler<T> {
+    /// Create a reservoir of capacity `k`, seeded for reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn with_seed(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "reservoir capacity must be positive");
+        Self {
+            k,
+            reservoir: Vec::with_capacity(k),
+            observed: 0,
+            total_stored: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The reservoir capacity `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Consume the sampler, returning the reservoir contents.
+    pub fn into_sample(self) -> Vec<T> {
+        self.reservoir
+    }
+}
+
+impl<T: Clone> StreamSampler<T> for ReservoirSampler<T> {
+    fn observe(&mut self, x: T) -> Observation<T> {
+        self.observed += 1;
+        if self.reservoir.len() < self.k {
+            self.reservoir.push(x);
+            self.total_stored += 1;
+            return Observation::Stored { evicted: None };
+        }
+        // Store with probability k/i, evicting a uniform resident.
+        let i = self.observed as u64;
+        if self.rng.random_range(0..i) < self.k as u64 {
+            let j = self.rng.random_range(0..self.k);
+            let evicted = std::mem::replace(&mut self.reservoir[j], x);
+            self.total_stored += 1;
+            Observation::Stored {
+                evicted: Some(evicted),
+            }
+        } else {
+            Observation::Skipped
+        }
+    }
+
+    #[inline]
+    fn sample(&self) -> &[T] {
+        &self.reservoir
+    }
+
+    #[inline]
+    fn observed(&self) -> usize {
+        self.observed
+    }
+
+    #[inline]
+    fn total_stored(&self) -> usize {
+        self.total_stored
+    }
+
+    fn name(&self) -> &'static str {
+        "reservoir"
+    }
+
+    fn reset(&mut self, seed: u64) {
+        self.reservoir.clear();
+        self.observed = 0;
+        self.total_stored = 0;
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Weighted reservoir sampling (Efraimidis–Spirakis A-Res)
+// ---------------------------------------------------------------------------
+
+/// Weighted reservoir sampling without replacement (Efraimidis–Spirakis
+/// "A-Res"): each element carries a weight `w > 0`, and the probability of
+/// inclusion is proportional to the weight.
+///
+/// Each element receives a key `u^(1/w)` with `u ~ Uniform(0,1)`; the
+/// sampler keeps the `k` elements with the largest keys. The unweighted
+/// case (`w ≡ 1`) is distributionally equivalent to [`ReservoirSampler`].
+/// This variant is exercised by the experiment harness to show that the
+/// robustness phenomenology extends to the weighted flavour discussed in
+/// the paper's related-work section.
+#[derive(Debug)]
+pub struct WeightedReservoirSampler<T> {
+    k: usize,
+    /// `(key, element)` pairs; the entry with the *smallest* key sits at
+    /// index `min_idx` so replacement is O(k) worst case but O(1) amortised
+    /// for random streams. For the reservoir sizes the theory prescribes
+    /// (hundreds to thousands) a linear scan is faster than heap churn.
+    entries: Vec<(f64, T)>,
+    min_idx: usize,
+    observed: usize,
+    total_stored: usize,
+    rng: StdRng,
+}
+
+impl<T> WeightedReservoirSampler<T> {
+    /// Create a weighted reservoir of capacity `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn with_seed(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "reservoir capacity must be positive");
+        Self {
+            k,
+            entries: Vec::with_capacity(k),
+            min_idx: 0,
+            observed: 0,
+            total_stored: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Observe an element with the given positive weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not finite and positive.
+    pub fn observe_weighted(&mut self, x: T, weight: f64) -> Observation<T>
+    where
+        T: Clone,
+    {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "weight must be positive and finite, got {weight}"
+        );
+        self.observed += 1;
+        let u: f64 = self.rng.random();
+        // Key u^(1/w); computed in log-space for numerical stability with
+        // extreme weights.
+        let key = (u.ln() / weight).exp();
+        if self.entries.len() < self.k {
+            self.entries.push((key, x));
+            self.total_stored += 1;
+            self.recompute_min();
+            return Observation::Stored { evicted: None };
+        }
+        let (min_key, _) = self.entries[self.min_idx];
+        if key > min_key {
+            let (_, old) = std::mem::replace(&mut self.entries[self.min_idx], (key, x));
+            self.total_stored += 1;
+            self.recompute_min();
+            Observation::Stored { evicted: Some(old) }
+        } else {
+            Observation::Skipped
+        }
+    }
+
+    fn recompute_min(&mut self) {
+        let mut idx = 0;
+        let mut best = f64::INFINITY;
+        for (i, (key, _)) in self.entries.iter().enumerate() {
+            if *key < best {
+                best = *key;
+                idx = i;
+            }
+        }
+        self.min_idx = idx;
+    }
+
+    /// Current sample as `(element, key)` pairs are internal; this exposes
+    /// the elements only, in arbitrary order.
+    pub fn sample_elements(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.entries.iter().map(|(_, x)| x.clone()).collect()
+    }
+
+    /// Reservoir capacity.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of elements observed.
+    #[inline]
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Total number of insertions (including later-evicted entries).
+    #[inline]
+    pub fn total_stored(&self) -> usize {
+        self.total_stored
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bottom-k (priority / min-wise) sampling
+// ---------------------------------------------------------------------------
+
+/// Bottom-k sampling: each element receives an i.i.d. `Uniform(0,1)` key
+/// and the sampler keeps the `k` elements with the *smallest* keys.
+///
+/// Distributionally this is a uniform size-`k` sample without replacement,
+/// identical in marginals to [`ReservoirSampler`] — but its *state* is
+/// richer: the adversary also sees the residents' keys, including the
+/// current threshold (the k-th smallest key). Exposing more state can only
+/// help the adversary, yet Theorem 1.2's proof never uses state secrecy —
+/// only the independence of the *next* coin from the past — so the same
+/// `k = 2(ln|R| + ln(2/δ))/ε²` bound applies. The test suite and the
+/// experiment harness exercise this sampler as an "extra-transparent"
+/// reservoir variant (bottom-k is also the standard building block for
+/// distributed and weighted sampling, per the paper's related work).
+#[derive(Debug)]
+pub struct BottomKSampler<T> {
+    k: usize,
+    /// Resident keys; `elements[i]` carries the element for `keys[i]`.
+    /// The entry with the largest key is the eviction candidate (`max_idx`).
+    keys: Vec<f64>,
+    elements: Vec<T>,
+    max_idx: usize,
+    observed: usize,
+    total_stored: usize,
+    rng: StdRng,
+}
+
+impl<T> BottomKSampler<T> {
+    /// Create a bottom-k sampler of capacity `k`, seeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn with_seed(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "sample capacity must be positive");
+        Self {
+            k,
+            keys: Vec::with_capacity(k),
+            elements: Vec::with_capacity(k),
+            max_idx: 0,
+            observed: 0,
+            total_stored: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The capacity `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The current inclusion threshold: the largest resident key (new
+    /// elements enter iff their key is below it once the sample is full).
+    /// Part of the state the adversary may observe.
+    pub fn threshold(&self) -> Option<f64> {
+        if self.keys.len() < self.k {
+            return None;
+        }
+        Some(self.keys[self.max_idx])
+    }
+
+    /// Resident keys, parallel to [`StreamSampler::sample`] (full state
+    /// exposure — strictly more than a reservoir reveals).
+    pub fn keys(&self) -> &[f64] {
+        &self.keys
+    }
+
+    fn recompute_max(&mut self) {
+        let mut idx = 0;
+        let mut best = f64::NEG_INFINITY;
+        for (i, &key) in self.keys.iter().enumerate() {
+            if key > best {
+                best = key;
+                idx = i;
+            }
+        }
+        self.max_idx = idx;
+    }
+}
+
+impl<T: Clone> StreamSampler<T> for BottomKSampler<T> {
+    fn observe(&mut self, x: T) -> Observation<T> {
+        self.observed += 1;
+        let key: f64 = self.rng.random();
+        if self.keys.len() < self.k {
+            self.keys.push(key);
+            self.elements.push(x);
+            self.total_stored += 1;
+            self.recompute_max();
+            return Observation::Stored { evicted: None };
+        }
+        if key < self.keys[self.max_idx] {
+            self.keys[self.max_idx] = key;
+            let old = std::mem::replace(&mut self.elements[self.max_idx], x);
+            self.total_stored += 1;
+            self.recompute_max();
+            Observation::Stored { evicted: Some(old) }
+        } else {
+            Observation::Skipped
+        }
+    }
+
+    fn sample(&self) -> &[T] {
+        &self.elements
+    }
+
+    fn observed(&self) -> usize {
+        self.observed
+    }
+
+    fn total_stored(&self) -> usize {
+        self.total_stored
+    }
+
+    fn name(&self) -> &'static str {
+        "bottom-k"
+    }
+
+    fn reset(&mut self, seed: u64) {
+        self.keys.clear();
+        self.elements.clear();
+        self.max_idx = 0;
+        self.observed = 0;
+        self.total_stored = 0;
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic strawman
+// ---------------------------------------------------------------------------
+
+/// Deterministic systematic sampler: keeps every `k`-th element.
+///
+/// The paper notes any deterministic static algorithm is automatically
+/// robust, but may be statistically much weaker; this sampler gives the
+/// experiment harness a concrete such comparator. Against *sorted* or
+/// periodic streams its sample can be maximally unrepresentative for
+/// interval systems, which experiment E3 demonstrates.
+#[derive(Debug, Clone)]
+pub struct EveryKthSampler<T> {
+    stride: usize,
+    sample: Vec<T>,
+    observed: usize,
+}
+
+impl<T> EveryKthSampler<T> {
+    /// Keep elements at positions `stride, 2·stride, …` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn new(stride: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        Self {
+            stride,
+            sample: Vec::new(),
+            observed: 0,
+        }
+    }
+}
+
+impl<T: Clone> StreamSampler<T> for EveryKthSampler<T> {
+    fn observe(&mut self, x: T) -> Observation<T> {
+        self.observed += 1;
+        if self.observed.is_multiple_of(self.stride) {
+            self.sample.push(x);
+            Observation::Stored { evicted: None }
+        } else {
+            Observation::Skipped
+        }
+    }
+
+    fn sample(&self) -> &[T] {
+        &self.sample
+    }
+
+    fn observed(&self) -> usize {
+        self.observed
+    }
+
+    fn total_stored(&self) -> usize {
+        self.sample.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "every-kth"
+    }
+
+    fn reset(&mut self, _seed: u64) {
+        self.sample.clear();
+        self.observed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bernoulli_p_zero_samples_nothing() {
+        let mut s = BernoulliSampler::with_seed(0.0, 1);
+        for x in 0..1000u64 {
+            assert_eq!(s.observe(x), Observation::Skipped);
+        }
+        assert!(s.sample().is_empty());
+        assert_eq!(s.observed(), 1000);
+    }
+
+    #[test]
+    fn bernoulli_p_one_samples_everything() {
+        let mut s = BernoulliSampler::with_seed(1.0, 1);
+        for x in 0..100u64 {
+            assert!(s.observe(x).stored());
+        }
+        assert_eq!(s.sample(), (0..100u64).collect::<Vec<_>>().as_slice());
+    }
+
+    #[test]
+    fn bernoulli_sample_size_concentrates() {
+        // E[|S|] = np = 10_000 * 0.2 = 2000; Chernoff keeps us within ±10%
+        // with overwhelming probability for this seed.
+        let mut s = BernoulliSampler::with_seed(0.2, 42);
+        for x in 0..10_000u64 {
+            s.observe(x);
+        }
+        let size = s.sample().len();
+        assert!((1800..=2200).contains(&size), "size {size} out of range");
+    }
+
+    #[test]
+    fn bernoulli_sample_is_subsequence() {
+        let mut s = BernoulliSampler::with_seed(0.5, 3);
+        let stream: Vec<u64> = (0..500).collect();
+        for &x in &stream {
+            s.observe(x);
+        }
+        // Subsequence of an increasing stream must itself be increasing.
+        assert!(s.sample().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0,1]")]
+    fn bernoulli_rejects_bad_p() {
+        let _ = BernoulliSampler::<u64>::with_seed(1.5, 0);
+    }
+
+    #[test]
+    fn reservoir_keeps_first_k_unconditionally() {
+        let mut s = ReservoirSampler::with_seed(10, 7);
+        for x in 0..10u64 {
+            assert!(s.observe(x).stored());
+        }
+        let mut got = s.sample().to_vec();
+        got.sort_unstable();
+        assert_eq!(got, (0..10u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reservoir_size_is_exactly_k() {
+        let mut s = ReservoirSampler::with_seed(50, 9);
+        for x in 0..5000u64 {
+            s.observe(x);
+        }
+        assert_eq!(s.sample().len(), 50);
+        assert_eq!(s.observed(), 5000);
+    }
+
+    #[test]
+    fn reservoir_eviction_reports_resident() {
+        let mut s = ReservoirSampler::with_seed(1, 11);
+        assert_eq!(s.observe(100u64), Observation::Stored { evicted: None });
+        // With k=1 every subsequent store must evict the single resident.
+        for x in 0..200u64 {
+            if let Observation::Stored { evicted } = s.observe(x) {
+                assert!(evicted.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn reservoir_uniformity_chi_square() {
+        // Each element of a stream of n=100 should appear in a k=10 reservoir
+        // with probability k/n = 0.1. Run many trials and check the empirical
+        // inclusion frequency of a few positions.
+        let n = 100u64;
+        let k = 10;
+        let trials = 2000;
+        let mut counts = vec![0u32; n as usize];
+        for t in 0..trials {
+            let mut s = ReservoirSampler::with_seed(k, t);
+            for x in 0..n {
+                s.observe(x);
+            }
+            for &x in s.sample() {
+                counts[x as usize] += 1;
+            }
+        }
+        let expected = trials as f64 * k as f64 / n as f64; // 200
+        for (pos, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(
+                dev < 0.30,
+                "position {pos} inclusion frequency {c} deviates {dev:.2} from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn reservoir_total_stored_grows_like_k_ln_n() {
+        // E[k'] = k + sum_{i>k} k/i ≈ k(1 + ln(n/k)).
+        let k = 20;
+        let n = 20_000u64;
+        let mut s = ReservoirSampler::with_seed(k, 5);
+        for x in 0..n {
+            s.observe(x);
+        }
+        let expect = k as f64 * (1.0 + (n as f64 / k as f64).ln());
+        let got = s.total_stored() as f64;
+        assert!(
+            (got - expect).abs() < 0.5 * expect,
+            "total stored {got} far from {expect}"
+        );
+    }
+
+    #[test]
+    fn weighted_reservoir_prefers_heavy_elements() {
+        // One element has weight 1000x the rest; it should almost always be
+        // present in the sample.
+        let mut present = 0;
+        for seed in 0..50 {
+            let mut s = WeightedReservoirSampler::with_seed(5, seed);
+            for x in 0..200u64 {
+                let w = if x == 77 { 1000.0 } else { 1.0 };
+                s.observe_weighted(x, w);
+            }
+            if s.sample_elements().contains(&77) {
+                present += 1;
+            }
+        }
+        assert!(present >= 47, "heavy element present only {present}/50");
+    }
+
+    #[test]
+    fn weighted_reservoir_uniform_weights_match_reservoir_marginals() {
+        let n = 100u64;
+        let k = 10;
+        let trials = 2000;
+        let mut counts = vec![0u32; n as usize];
+        for t in 0..trials {
+            let mut s = WeightedReservoirSampler::with_seed(k, 10_000 + t);
+            for x in 0..n {
+                s.observe_weighted(x, 1.0);
+            }
+            for x in s.sample_elements() {
+                counts[x as usize] += 1;
+            }
+        }
+        let expected = trials as f64 * k as f64 / n as f64;
+        for (pos, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(
+                dev < 0.30,
+                "position {pos} inclusion frequency {c} deviates {dev:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_kth_is_deterministic() {
+        let mut s = EveryKthSampler::new(3);
+        for x in 1..=12u64 {
+            s.observe(x);
+        }
+        assert_eq!(s.sample(), &[3, 6, 9, 12]);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut s = ReservoirSampler::with_seed(5, 1);
+        for x in 0..100u64 {
+            s.observe(x);
+        }
+        s.reset(2);
+        assert!(s.sample().is_empty());
+        assert_eq!(s.observed(), 0);
+        assert_eq!(s.total_stored(), 0);
+    }
+
+    #[test]
+    fn bottom_k_size_is_exactly_k() {
+        let mut s = BottomKSampler::with_seed(32, 3);
+        for x in 0..5_000u64 {
+            s.observe(x);
+        }
+        assert_eq!(s.sample().len(), 32);
+        assert_eq!(s.keys().len(), 32);
+        assert!(s.threshold().is_some());
+    }
+
+    #[test]
+    fn bottom_k_threshold_is_max_resident_key() {
+        let mut s = BottomKSampler::with_seed(8, 5);
+        for x in 0..1_000u64 {
+            s.observe(x);
+        }
+        let t = s.threshold().unwrap();
+        assert!(s.keys().iter().all(|&k| k <= t));
+        assert!(s.keys().contains(&t));
+    }
+
+    #[test]
+    fn bottom_k_threshold_decreases_monotonically() {
+        // Once full, the inclusion threshold can only shrink.
+        let mut s = BottomKSampler::with_seed(16, 7);
+        let mut last = f64::INFINITY;
+        for x in 0..2_000u64 {
+            s.observe(x);
+            if let Some(t) = s.threshold() {
+                assert!(t <= last + 1e-15, "threshold rose: {t} > {last}");
+                last = t;
+            }
+        }
+    }
+
+    #[test]
+    fn bottom_k_marginals_match_reservoir() {
+        // Same uniform-without-replacement distribution as the reservoir:
+        // inclusion probability k/n for every position.
+        let n = 100u64;
+        let k = 10;
+        let trials = 2000;
+        let mut counts = vec![0u32; n as usize];
+        for t in 0..trials {
+            let mut s = BottomKSampler::with_seed(k, 50_000 + t);
+            for x in 0..n {
+                s.observe(x);
+            }
+            for &x in s.sample() {
+                counts[x as usize] += 1;
+            }
+        }
+        let expected = trials as f64 * k as f64 / n as f64;
+        for (pos, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.30, "position {pos}: {c} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn bottom_k_total_stored_grows_like_k_ln_n() {
+        // Identical churn statistics to the reservoir: E[k'] ≈ k(1 + ln(n/k)).
+        let k = 20;
+        let n = 20_000u64;
+        let mut s = BottomKSampler::with_seed(k, 9);
+        for x in 0..n {
+            s.observe(x);
+        }
+        let expect = k as f64 * (1.0 + (n as f64 / k as f64).ln());
+        let got = s.total_stored() as f64;
+        assert!((got - expect).abs() < 0.5 * expect, "k' = {got} vs {expect}");
+    }
+}

@@ -1,0 +1,244 @@
+//! High-level, self-sizing robust sketches — the Corollary 1.5/1.6
+//! pipelines packaged as single types.
+//!
+//! These wrap a [`ReservoirSampler`] sized by Theorem 1.2 so a user states
+//! the *guarantee* they want (universe, ε, δ) and never touches the
+//! arithmetic:
+//!
+//! * [`RobustQuantileSketch`] — every rank/quantile query within `±εn`,
+//!   simultaneously, with probability `1 − δ`, against any adaptive
+//!   adversary (Corollary 1.5);
+//! * [`RobustHeavyHitterSketch`] — the `(α, ε)` heavy-hitters contract of
+//!   Corollary 1.6 (no missed `≥ α` hitters, no reports below `α − ε`).
+//!
+//! Both are *anytime*: reservoir sampling never needs the stream length in
+//! advance (the paper's Section 2 note), so queries are valid at every
+//! prefix — at the plain Theorem 1.2 confidence per query point; use
+//! [`crate::bounds::reservoir_k_continuous`]
+//! sizing via [`RobustQuantileSketch::with_capacity`] when the Theorem 1.4
+//! *all-prefixes-at-once* guarantee is needed.
+
+use crate::bounds;
+use crate::estimators::{self, HeavyHitter, SampleQuantiles};
+use crate::sampler::{ReservoirSampler, StreamSampler};
+
+/// A self-sizing, adaptively robust quantile sketch (Corollary 1.5).
+#[derive(Debug)]
+pub struct RobustQuantileSketch<T> {
+    reservoir: ReservoirSampler<T>,
+    eps: f64,
+    delta: f64,
+}
+
+impl<T: Ord + Clone> RobustQuantileSketch<T> {
+    /// Sketch for a well-ordered universe of `ln_universe = ln |U|`
+    /// (e.g. `64·ln 2` for `u64` keys), accuracy `eps`, confidence
+    /// `1 − delta`. The reservoir capacity is
+    /// `k = 2(ln|U| + ln(2/δ))/ε²` per Corollary 1.5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` or `delta` lies outside `(0, 1)` or
+    /// `ln_universe < 0`.
+    pub fn new(ln_universe: f64, eps: f64, delta: f64, seed: u64) -> Self {
+        assert!(ln_universe >= 0.0, "ln|U| must be non-negative");
+        let k = bounds::reservoir_k_robust(ln_universe, eps, delta);
+        Self::with_capacity(k, eps, delta, seed)
+    }
+
+    /// Sketch with an explicit reservoir capacity (e.g. the Theorem 1.4
+    /// continuous sizing).
+    pub fn with_capacity(k: usize, eps: f64, delta: f64, seed: u64) -> Self {
+        Self {
+            reservoir: ReservoirSampler::with_seed(k, seed),
+            eps,
+            delta,
+        }
+    }
+
+    /// Feed one stream element.
+    pub fn observe(&mut self, x: T) {
+        self.reservoir.observe(x);
+    }
+
+    /// The estimated `q`-quantile of everything observed so far; `None`
+    /// before the first element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q ∉ [0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<T> {
+        if self.reservoir.sample().is_empty() {
+            return None;
+        }
+        let sq = SampleQuantiles::new(self.reservoir.sample(), self.reservoir.observed());
+        Some(sq.quantile(q).clone())
+    }
+
+    /// The estimated median.
+    pub fn median(&self) -> Option<T> {
+        self.quantile(0.5)
+    }
+
+    /// Estimated rank of `x` among everything observed so far (±εn w.h.p.).
+    pub fn rank(&self, x: &T) -> f64 {
+        if self.reservoir.sample().is_empty() {
+            return 0.0;
+        }
+        SampleQuantiles::new(self.reservoir.sample(), self.reservoir.observed()).rank(x)
+    }
+
+    /// Elements observed so far.
+    pub fn observed(&self) -> usize {
+        self.reservoir.observed()
+    }
+
+    /// Reservoir capacity (the memory footprint in elements).
+    pub fn capacity(&self) -> usize {
+        self.reservoir.k()
+    }
+
+    /// The `(ε, δ)` contract this sketch was sized for.
+    pub fn guarantee(&self) -> (f64, f64) {
+        (self.eps, self.delta)
+    }
+}
+
+/// A self-sizing, adaptively robust heavy-hitters sketch (Corollary 1.6).
+#[derive(Debug)]
+pub struct RobustHeavyHitterSketch<T> {
+    reservoir: ReservoirSampler<T>,
+    alpha: f64,
+    eps: f64,
+}
+
+impl<T: Ord + Clone> RobustHeavyHitterSketch<T> {
+    /// Sketch reporting all elements of stream density `≥ alpha` and none
+    /// below `alpha − eps`, w.p. `1 − delta`, for a universe of
+    /// `ln_universe = ln |U|`. Internally sizes an `(ε/3)`-approximate
+    /// sample w.r.t. singletons, per the corollary's proof.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha ∉ (0, 1]`, `eps ∉ (0, alpha)`, `delta ∉ (0,1)`,
+    /// or `ln_universe < 0`.
+    pub fn new(ln_universe: f64, alpha: f64, eps: f64, delta: f64, seed: u64) -> Self {
+        assert!(ln_universe >= 0.0, "ln|U| must be non-negative");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        assert!(eps > 0.0 && eps < alpha, "need 0 < eps < alpha");
+        let k = bounds::reservoir_k_robust(ln_universe, eps / 3.0, delta);
+        Self {
+            reservoir: ReservoirSampler::with_seed(k, seed),
+            alpha,
+            eps,
+        }
+    }
+
+    /// Feed one stream element.
+    pub fn observe(&mut self, x: T) {
+        self.reservoir.observe(x);
+    }
+
+    /// The current heavy-hitter report (highest density first).
+    pub fn report(&self) -> Vec<HeavyHitter<T>> {
+        estimators::heavy_hitters(self.reservoir.sample(), self.alpha, self.eps / 3.0)
+    }
+
+    /// Estimated stream density of `x`.
+    pub fn density(&self, x: &T) -> f64 {
+        let s = self.reservoir.sample();
+        if s.is_empty() {
+            return 0.0;
+        }
+        s.iter().filter(|v| *v == x).count() as f64 / s.len() as f64
+    }
+
+    /// Elements observed so far.
+    pub fn observed(&self) -> usize {
+        self.reservoir.observed()
+    }
+
+    /// Reservoir capacity.
+    pub fn capacity(&self) -> usize {
+        self.reservoir.k()
+    }
+
+    /// The `(α, ε)` contract.
+    pub fn contract(&self) -> (f64, f64) {
+        (self.alpha, self.eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LN_U: f64 = 20.0 * std::f64::consts::LN_2;
+
+    #[test]
+    fn quantile_sketch_sizes_itself() {
+        let s = RobustQuantileSketch::<u64>::new(LN_U, 0.1, 0.05, 1);
+        let expect = bounds::reservoir_k_robust(LN_U, 0.1, 0.05);
+        assert_eq!(s.capacity(), expect);
+        assert_eq!(s.guarantee(), (0.1, 0.05));
+    }
+
+    #[test]
+    fn quantile_sketch_tracks_uniform_stream() {
+        let mut s = RobustQuantileSketch::new(LN_U, 0.05, 0.01, 2);
+        let n = 50_000u64;
+        for x in 0..n {
+            s.observe(x); // values 0..n: true median is n/2
+        }
+        assert_eq!(s.observed(), n as usize);
+        let med = s.median().unwrap() as f64;
+        let expect = n as f64 / 2.0;
+        assert!(
+            (med - expect).abs() / n as f64 <= 0.06,
+            "median {med} vs {expect}"
+        );
+        // rank is calibrated to observed length.
+        let r = s.rank(&(n / 2));
+        assert!((r / n as f64 - 0.5).abs() < 0.06, "rank {r}");
+    }
+
+    #[test]
+    fn quantile_sketch_is_anytime() {
+        let mut s = RobustQuantileSketch::new(LN_U, 0.1, 0.05, 3);
+        assert_eq!(s.quantile(0.5), None);
+        s.observe(7u64);
+        assert_eq!(s.median(), Some(7));
+        for x in 0..10_000u64 {
+            s.observe(x);
+        }
+        // Query mid-stream: still calibrated to the current prefix.
+        let med = s.median().unwrap();
+        assert!(med < 10_000);
+    }
+
+    #[test]
+    fn heavy_hitter_sketch_contract() {
+        let mut s = RobustHeavyHitterSketch::new(LN_U, 0.1, 0.06, 0.02, 4);
+        let n = 30_000u64;
+        for i in 0..n {
+            // 20% of the stream is 42; the rest distinct.
+            s.observe(if i % 5 == 0 { 42 } else { 1000 + i });
+        }
+        let report = s.report();
+        assert!(
+            report.iter().any(|h| h.item == 42),
+            "missed the 20% hitter"
+        );
+        // Nothing below alpha - eps = 4% may appear; distinct items are ~0%.
+        for h in &report {
+            assert_eq!(h.item, 42, "spurious report {h:?}");
+        }
+        assert!((s.density(&42) - 0.2).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < eps < alpha")]
+    fn heavy_hitter_rejects_bad_contract() {
+        let _ = RobustHeavyHitterSketch::<u64>::new(LN_U, 0.05, 0.05, 0.01, 1);
+    }
+}

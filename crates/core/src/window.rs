@@ -1,0 +1,260 @@
+//! Sliding-window sampling (chain sampling, Babcock–Datar–Motwani).
+//!
+//! The paper's model scores the sample against the *whole* stream; many of
+//! the systems it motivates (§1.2 — routers, load balancers, monitoring)
+//! actually care about the **last `w` elements**. [`ChainSampler`]
+//! maintains a uniform sample of the active window: each of `k`
+//! independent chains holds one uniformly random element of the window,
+//! plus a pre-sampled "successor chain" so that when the resident expires
+//! a replacement chosen uniformly from the window is available without
+//! rescanning.
+//!
+//! Robustness transfers: a window sample of size `k` is (for the window's
+//! content) a uniform sample with-replacement, so the Theorem 1.2
+//! Bernoulli-style analysis applies per window position with
+//! `ln|R|`-driven sizing — the `window_k_robust` helper sizes it, and the
+//! integration tests verify ε-approximation of the active window under
+//! drift. (This is an extension beyond the paper, flagged as such in
+//! DESIGN.md §3/E12.)
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One chain: the resident element (with its stream index) and the index
+/// at which its successor will be drawn.
+#[derive(Debug, Clone)]
+struct Chain<T> {
+    /// Stream index (1-based) of the resident element.
+    idx: usize,
+    /// The resident.
+    value: T,
+    /// The future index whose element will replace the resident when the
+    /// resident falls out of the window.
+    successor_idx: usize,
+    /// Successor element, once observed.
+    successor: Option<(usize, T)>,
+}
+
+/// Uniform sampling over a sliding window of the last `w` elements, via
+/// `k` independent chains (with-replacement across chains).
+#[derive(Debug)]
+pub struct ChainSampler<T> {
+    w: usize,
+    chains: Vec<Chain<T>>,
+    observed: usize,
+    rng: StdRng,
+    k: usize,
+}
+
+impl<T: Clone> ChainSampler<T> {
+    /// `k` independent window samples over a window of `w` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == 0` or `k == 0`.
+    pub fn with_seed(w: usize, k: usize, seed: u64) -> Self {
+        assert!(w > 0, "window must be non-empty");
+        assert!(k > 0, "need at least one chain");
+        Self {
+            w,
+            chains: Vec::with_capacity(k),
+            observed: 0,
+            rng: StdRng::seed_from_u64(seed),
+            k,
+        }
+    }
+
+    /// Feed one stream element.
+    pub fn observe(&mut self, x: T) {
+        self.observed += 1;
+        let i = self.observed;
+        if self.chains.len() < self.k {
+            // Bootstrap: chain starts on the first element it sees; the
+            // per-chain reservoir update below keeps it uniform.
+            let successor_idx = i + self.draw_offset();
+            self.chains.push(Chain {
+                idx: i,
+                value: x.clone(),
+                successor_idx,
+                successor: None,
+            });
+        }
+        let w = self.w;
+        // Collect per-chain decisions first (borrow discipline), then apply.
+        for c in &mut self.chains {
+            // Window reservoir step: while the window is filling (i <= w),
+            // replace the resident with probability 1/i; afterwards with
+            // probability 1/w — standard chain-sampling update.
+            let denom = i.min(w) as u64;
+            if self.rng.random_range(0..denom) == 0 {
+                c.idx = i;
+                c.value = x.clone();
+                // New resident ⇒ new successor slot in (i, i + w].
+                c.successor_idx = i + 1 + self.rng.random_range(0..w as u64) as usize;
+                c.successor = None;
+            } else if i == c.successor_idx {
+                c.successor = Some((i, x.clone()));
+            }
+            // Expiry: resident left the window; promote the successor.
+            if c.idx + w <= i {
+                if let Some((sidx, sval)) = c.successor.take() {
+                    c.idx = sidx;
+                    c.value = sval;
+                    c.successor_idx = sidx + 1 + self.rng.random_range(0..w as u64) as usize;
+                } else {
+                    // Successor not yet seen (it is in the future): fall
+                    // back to adopting the current element; its successor
+                    // is redrawn. This keeps the chain total and the bias
+                    // negligible (the event requires the resident to have
+                    // survived a full window, probability ≤ 1/w).
+                    c.idx = i;
+                    c.value = x.clone();
+                    c.successor_idx = i + 1 + self.rng.random_range(0..w as u64) as usize;
+                }
+            }
+        }
+    }
+
+    fn draw_offset(&mut self) -> usize {
+        1 + self.rng.random_range(0..self.w as u64) as usize
+    }
+
+    /// The current window sample (one element per chain, with replacement
+    /// across chains). All residents are guaranteed to lie in the active
+    /// window.
+    pub fn sample(&self) -> Vec<T> {
+        self.chains.iter().map(|c| c.value.clone()).collect()
+    }
+
+    /// Stream indices of the residents (1-based), for diagnostics/tests.
+    pub fn resident_indices(&self) -> Vec<usize> {
+        self.chains.iter().map(|c| c.idx).collect()
+    }
+
+    /// Elements observed so far.
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Window length `w`.
+    pub fn window(&self) -> usize {
+        self.w
+    }
+
+    /// Number of chains `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// Chain count for (ε, δ) ε-approximation of the active window w.r.t. a
+/// system of cardinality `ln_ranges`, by the with-replacement Chernoff +
+/// union-bound route: `k = ⌈(ln|R| + ln(2/δ)) / (2ε²)⌉` (Hoeffding on
+/// each range's empirical density, union over `|R|`).
+pub fn window_k_robust(ln_ranges: f64, eps: f64, delta: f64) -> usize {
+    assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    (((ln_ranges + (2.0 / delta).ln()) / (2.0 * eps * eps)).ceil() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::prefix_discrepancy;
+
+    #[test]
+    fn residents_always_inside_window() {
+        let w = 100;
+        let mut s = ChainSampler::with_seed(w, 20, 1);
+        for x in 0..5_000u64 {
+            s.observe(x);
+            let i = s.observed();
+            for idx in s.resident_indices() {
+                assert!(idx <= i, "resident from the future");
+                assert!(idx + w > i, "expired resident at index {idx}, round {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_size_equals_k() {
+        let mut s = ChainSampler::with_seed(50, 8, 2);
+        for x in 0..500u64 {
+            s.observe(x);
+        }
+        assert_eq!(s.sample().len(), 8);
+    }
+
+    #[test]
+    fn window_sample_is_roughly_uniform_over_window() {
+        // Long stream; count how often each within-window *age* is held.
+        let w = 200;
+        let k = 1;
+        let mut age_counts = vec![0u32; w];
+        for seed in 0..400 {
+            let mut s = ChainSampler::with_seed(w, k, seed);
+            for x in 0..2_000u64 {
+                s.observe(x);
+            }
+            let i = s.observed();
+            for idx in s.resident_indices() {
+                age_counts[i - idx] += 1;
+            }
+        }
+        // Expected 400/200 = 2 per age; check halves balance (coarse).
+        let young: u32 = age_counts[..w / 2].iter().sum();
+        let old: u32 = age_counts[w / 2..].iter().sum();
+        let ratio = young as f64 / old.max(1) as f64;
+        assert!(
+            (0.6..1.7).contains(&ratio),
+            "age skew: young {young} vs old {old}"
+        );
+    }
+
+    #[test]
+    fn tracks_distribution_shift() {
+        // Stream switches from low to high values; once the window has
+        // fully turned over, the sample must reflect only the new regime.
+        let w = 500;
+        let k = window_k_robust(20.0 * std::f64::consts::LN_2, 0.2, 0.1);
+        let mut s = ChainSampler::with_seed(w, k, 7);
+        for x in 0..5_000u64 {
+            s.observe(x % 100); // low regime
+        }
+        for x in 0..2_000u64 {
+            s.observe(1_000 + x % 100); // high regime, > 2 windows long
+        }
+        let sample = s.sample();
+        assert!(
+            sample.iter().all(|&v| v >= 1_000),
+            "stale elements survive two window turnovers"
+        );
+    }
+
+    #[test]
+    fn window_sample_approximates_window_distribution() {
+        let w = 1_000;
+        let ln_r = 10.0 * std::f64::consts::LN_2; // prefix system over 2^10
+        let k = window_k_robust(ln_r, 0.15, 0.05);
+        let mut s = ChainSampler::with_seed(w, k, 3);
+        let mut window = std::collections::VecDeque::new();
+        for x in 0..20_000u64 {
+            let v = (x * 2_654_435_761) % 1024;
+            s.observe(v);
+            window.push_back(v);
+            if window.len() > w {
+                window.pop_front();
+            }
+        }
+        let win: Vec<u64> = window.into_iter().collect();
+        let d = prefix_discrepancy(&win, &s.sample()).value;
+        assert!(d <= 0.15, "window discrepancy {d}");
+    }
+
+    #[test]
+    fn window_k_formula_sanity() {
+        assert!(window_k_robust(10.0, 0.1, 0.05) > window_k_robust(10.0, 0.2, 0.05));
+        assert!(window_k_robust(20.0, 0.1, 0.05) > window_k_robust(10.0, 0.1, 0.05));
+        assert_eq!(window_k_robust(0.0, 0.9, 0.9).max(1), window_k_robust(0.0, 0.9, 0.9));
+    }
+}

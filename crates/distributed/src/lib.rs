@@ -1,0 +1,403 @@
+//! The paper's §1.2 distributed-systems scenario.
+//!
+//! > "each incoming query is randomly assigned to one of K
+//! > query-processing servers. […] the set of queries that each such
+//! > server receives is essentially a Bernoulli random sample (with
+//! > parameter p = 1/K) of the full stream"
+//!
+//! [`LoadBalancer`] implements exactly that router, in both a
+//! deterministic single-threaded form and a multi-threaded form using
+//! `crossbeam` channels. Experiment E10 checks that *every* server's
+//! substream is simultaneously an ε-approximation of the full stream —
+//! even when the stream is chosen adversarially — as Theorem 1.2 predicts
+//! for Bernoulli samples of rate `1/K`.
+//!
+//! [`Site`] + [`merge_sites`] form the coordinator-site pattern of the
+//! continuous distributed-sampling literature the paper cites (\[CTW16\],
+//! \[CMYZ12\]): each site runs a local reservoir; the coordinator merges
+//! site snapshots (shipped as [`bytes::Bytes`] frames) into one uniform
+//! sample of the union.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use robust_sampling_core::sampler::{ReservoirSampler, StreamSampler};
+
+// ---------------------------------------------------------------------------
+// Load balancer
+// ---------------------------------------------------------------------------
+
+/// A random load-balancing router over `K` servers.
+///
+/// Each element is routed to a uniformly random server, so server `j`'s
+/// substream is a Bernoulli(`1/K`) sample of the stream. The Theorem 1.2
+/// sizing question becomes: how long must the stream be before all `K`
+/// substreams are ε-representative simultaneously (take `δ/K` per server
+/// and union-bound)?
+#[derive(Debug)]
+pub struct LoadBalancer {
+    servers: Vec<Vec<u64>>,
+    rng: StdRng,
+}
+
+impl LoadBalancer {
+    /// A router over `k` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "need at least one server");
+        Self {
+            servers: vec![Vec::new(); k],
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Route one element; returns the chosen server index.
+    pub fn route(&mut self, x: u64) -> usize {
+        let j = self.rng.random_range(0..self.servers.len());
+        self.servers[j].push(x);
+        j
+    }
+
+    /// Route an entire stream.
+    pub fn run(&mut self, stream: &[u64]) {
+        for &x in stream {
+            self.route(x);
+        }
+    }
+
+    /// Number of servers.
+    pub fn k(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The substream received by server `j`.
+    pub fn server_view(&self, j: usize) -> &[u64] {
+        &self.servers[j]
+    }
+
+    /// All substreams.
+    pub fn views(&self) -> &[Vec<u64>] {
+        &self.servers
+    }
+}
+
+/// Multi-threaded router run: `k` worker threads each consume a crossbeam
+/// channel and maintain both their full substream and a local reservoir of
+/// capacity `local_k`. Returns per-server `(substream, reservoir)`.
+///
+/// Routing decisions are made by the (seeded, deterministic) router
+/// thread, so the *assignment* is reproducible; worker-side reservoirs use
+/// per-worker seeds derived from `seed`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `local_k == 0`.
+pub fn run_threaded(
+    stream: &[u64],
+    k: usize,
+    local_k: usize,
+    seed: u64,
+) -> Vec<(Vec<u64>, Vec<u64>)> {
+    assert!(k > 0, "need at least one server");
+    assert!(local_k > 0, "local reservoir must be non-empty");
+    let results: Vec<Mutex<(Vec<u64>, Vec<u64>)>> = (0..k)
+        .map(|_| Mutex::new((Vec::new(), Vec::new())))
+        .collect();
+    std::thread::scope(|scope| {
+        let mut senders = Vec::with_capacity(k);
+        for (j, slot) in results.iter().enumerate() {
+            let (tx, rx) = crossbeam::channel::unbounded::<u64>();
+            senders.push(tx);
+            let worker_seed = seed ^ (j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            scope.spawn(move || {
+                let mut substream = Vec::new();
+                let mut reservoir = ReservoirSampler::with_seed(local_k, worker_seed);
+                for x in rx {
+                    substream.push(x);
+                    reservoir.observe(x);
+                }
+                *slot.lock() = (substream, reservoir.into_sample());
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for &x in stream {
+            let j = rng.random_range(0..k);
+            senders[j].send(x).expect("worker alive");
+        }
+        drop(senders); // close channels; workers drain and exit
+    });
+    results.into_iter().map(|m| m.into_inner()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Distributed reservoir
+// ---------------------------------------------------------------------------
+
+/// One site of a distributed sampling deployment: a local reservoir plus
+/// the site's element count.
+#[derive(Debug)]
+pub struct Site {
+    reservoir: ReservoirSampler<u64>,
+}
+
+impl Site {
+    /// A site with local reservoir capacity `k`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        Self {
+            reservoir: ReservoirSampler::with_seed(k, seed),
+        }
+    }
+
+    /// Process one local element.
+    pub fn observe(&mut self, x: u64) {
+        self.reservoir.observe(x);
+    }
+
+    /// Elements seen by this site.
+    pub fn count(&self) -> usize {
+        self.reservoir.observed()
+    }
+
+    /// Serialise `(count, sample)` into a wire frame:
+    /// `u64 count | u32 len | len × u64 values`, little-endian.
+    pub fn snapshot(&self) -> Bytes {
+        let sample = self.reservoir.sample();
+        let mut buf = BytesMut::with_capacity(12 + 8 * sample.len());
+        buf.put_u64_le(self.count() as u64);
+        buf.put_u32_le(sample.len() as u32);
+        for &v in sample {
+            buf.put_u64_le(v);
+        }
+        buf.freeze()
+    }
+}
+
+/// A decoded site snapshot, as the coordinator sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteSnapshot {
+    /// Elements observed at the site.
+    pub count: u64,
+    /// The site's local reservoir.
+    pub sample: Vec<u64>,
+}
+
+impl SiteSnapshot {
+    /// Decode a [`Site::snapshot`] frame.
+    ///
+    /// Returns `None` on a malformed frame (truncated or length mismatch).
+    pub fn decode(mut frame: Bytes) -> Option<Self> {
+        if frame.len() < 12 {
+            return None;
+        }
+        let count = frame.get_u64_le();
+        let len = frame.get_u32_le() as usize;
+        if frame.len() != 8 * len {
+            return None;
+        }
+        let mut sample = Vec::with_capacity(len);
+        for _ in 0..len {
+            sample.push(frame.get_u64_le());
+        }
+        Some(Self { count, sample })
+    }
+}
+
+/// Coordinator-side merge: draw a size-`k` (or smaller, if the union is
+/// smaller) sample of the union of all sites' streams.
+///
+/// Each output slot picks a site with probability proportional to its
+/// *remaining* element count and consumes one random element of that
+/// site's reservoir — the message-optimal scheme of \[CTW16\] specialised
+/// to a one-shot merge. Every union element ends up with inclusion
+/// probability `k/Σnᵢ`, matching a single global reservoir's marginals.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn merge_sites(snapshots: &[SiteSnapshot], k: usize, seed: u64) -> Vec<u64> {
+    assert!(k > 0, "merged sample must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pools: Vec<(f64, Vec<u64>)> = snapshots
+        .iter()
+        .filter(|s| !s.sample.is_empty())
+        .map(|s| (s.count as f64, s.sample.clone()))
+        .collect();
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k {
+        let total: f64 = pools.iter().map(|(w, _)| *w).sum();
+        if total <= 0.0 {
+            break;
+        }
+        let mut pick = rng.random::<f64>() * total;
+        let mut idx = pools.len() - 1;
+        for (i, (w, _)) in pools.iter().enumerate() {
+            if pick < *w {
+                idx = i;
+                break;
+            }
+            pick -= *w;
+        }
+        let (w, pool) = &mut pools[idx];
+        let j = rng.random_range(0..pool.len());
+        out.push(pool.swap_remove(j));
+        // The site "spends" n_i/k_i elements' worth of weight per draw so
+        // that exhausting its reservoir exhausts its weight.
+        let spend = *w / (pool.len() + 1) as f64;
+        *w = (*w - spend).max(0.0);
+        if pool.is_empty() {
+            pools.swap_remove(idx);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robust_sampling_core::approx::prefix_discrepancy;
+    use robust_sampling_streamgen as streamgen;
+
+    #[test]
+    fn router_partitions_the_stream() {
+        let stream = streamgen::uniform(10_000, 1 << 20, 1);
+        let mut lb = LoadBalancer::new(8, 2);
+        lb.run(&stream);
+        let total: usize = lb.views().iter().map(Vec::len).sum();
+        assert_eq!(total, stream.len());
+        // Balanced within 4 sigma: each server gets ~1250 ± 4·sqrt(1250·7/8).
+        for (j, v) in lb.views().iter().enumerate() {
+            let dev = (v.len() as f64 - 1250.0).abs();
+            assert!(dev < 4.0 * (1250.0f64 * 0.875).sqrt(), "server {j}: {}", v.len());
+        }
+    }
+
+    #[test]
+    fn every_server_view_is_representative_of_uniform_stream() {
+        // The paper's claim: each substream is a Bernoulli(1/K) sample, so
+        // with n/K ≈ 12.5k elements per server the prefix discrepancy vs
+        // the full stream must be small.
+        let stream = streamgen::uniform(100_000, 1 << 30, 3);
+        let mut lb = LoadBalancer::new(8, 4);
+        lb.run(&stream);
+        for (j, view) in lb.views().iter().enumerate() {
+            let d = prefix_discrepancy(&stream, view).value;
+            assert!(d < 0.03, "server {j} discrepancy {d}");
+        }
+    }
+
+    #[test]
+    fn threaded_run_matches_total_and_respects_reservoirs() {
+        let stream = streamgen::uniform(20_000, 1 << 16, 5);
+        let k = 4;
+        let out = run_threaded(&stream, k, 32, 9);
+        assert_eq!(out.len(), k);
+        let total: usize = out.iter().map(|(s, _)| s.len()).sum();
+        assert_eq!(total, stream.len());
+        for (sub, res) in &out {
+            assert_eq!(res.len(), 32.min(sub.len()));
+            for v in res {
+                assert!(sub.contains(v), "reservoir element not from substream");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_assignment_is_deterministic_in_aggregate() {
+        // The router RNG fixes the substream *partition*; workers only
+        // affect their local reservoirs.
+        let stream = streamgen::uniform(5_000, 1 << 16, 5);
+        let a = run_threaded(&stream, 3, 8, 42);
+        let b = run_threaded(&stream, 3, 8, 42);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.0, y.0, "substream partition changed across runs");
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut site = Site::new(16, 3);
+        for x in 0..1000u64 {
+            site.observe(x);
+        }
+        let snap = SiteSnapshot::decode(site.snapshot()).expect("valid frame");
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.sample.len(), 16);
+    }
+
+    #[test]
+    fn snapshot_rejects_malformed() {
+        assert_eq!(SiteSnapshot::decode(Bytes::from_static(&[1, 2, 3])), None);
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(10);
+        buf.put_u32_le(5); // claims 5 values but provides none
+        assert_eq!(SiteSnapshot::decode(buf.freeze()), None);
+    }
+
+    #[test]
+    fn merged_sample_draws_proportionally_to_site_sizes() {
+        // Site A saw 9x the data of site B; merged sample should be ~90% A.
+        let trials = 300;
+        let mut from_a = 0usize;
+        let mut total = 0usize;
+        for t in 0..trials {
+            let mut a = Site::new(64, t);
+            let mut b = Site::new(64, 1000 + t);
+            for x in 0..9_000u64 {
+                a.observe(x); // values < 9000
+            }
+            for x in 9_000..10_000u64 {
+                b.observe(x); // values >= 9000
+            }
+            let snaps = [
+                SiteSnapshot::decode(a.snapshot()).unwrap(),
+                SiteSnapshot::decode(b.snapshot()).unwrap(),
+            ];
+            let merged = merge_sites(&snaps, 20, 7 + t);
+            from_a += merged.iter().filter(|&&v| v < 9_000).count();
+            total += merged.len();
+        }
+        let frac = from_a as f64 / total as f64;
+        assert!(
+            (0.85..0.95).contains(&frac),
+            "site-A fraction {frac}, expected ≈ 0.9"
+        );
+    }
+
+    #[test]
+    fn merge_handles_small_union() {
+        let mut a = Site::new(4, 1);
+        a.observe(1);
+        a.observe(2);
+        let snaps = [SiteSnapshot::decode(a.snapshot()).unwrap()];
+        let merged = merge_sites(&snaps, 10, 3);
+        assert_eq!(merged.len(), 2, "cannot produce more than the union");
+    }
+
+    #[test]
+    fn merged_sample_is_representative_of_union() {
+        // 4 sites with disjoint uniform slices; the merged sample must
+        // approximate the union's distribution.
+        let mut snaps = Vec::new();
+        let mut union = Vec::new();
+        for s in 0..4u64 {
+            let mut site = Site::new(256, s);
+            for x in 0..25_000u64 {
+                let v = s * 25_000 + x;
+                site.observe(v);
+                union.push(v);
+            }
+            snaps.push(SiteSnapshot::decode(site.snapshot()).unwrap());
+        }
+        let merged = merge_sites(&snaps, 512, 11);
+        assert_eq!(merged.len(), 512);
+        let d = prefix_discrepancy(&union, &merged).value;
+        assert!(d < 0.1, "merged discrepancy {d}");
+    }
+}

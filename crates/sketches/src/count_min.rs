@@ -1,0 +1,206 @@
+//! Count-Min sketch — the canonical *linear* frequency sketch, included
+//! as the paper's foil.
+//!
+//! The paper's related work (Hardt–Woodruff 2013, and the Naor–Yogev
+//! Bloom-filter attacks) establishes that linear sketches are **inherently
+//! non-robust** against adversaries that see the sketch's internals. In
+//! the paper's adversarial model the adversary observes the full state
+//! `σ_i` — including the hash functions — so Count-Min's static guarantee
+//! (`estimate ≤ truth + n/width` w.h.p. over the hashes) evaporates: an
+//! adversary can aim one decoy per row at a victim's cells and inflate its
+//! estimate without ever sending the victim. Experiment E13 runs exactly
+//! that attack and contrasts it with the Corollary 1.6 sampling pipeline,
+//! which survives at the same memory budget.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Count-Min sketch over `u64` items with `depth` rows of `width` counters.
+#[derive(Debug, Clone)]
+pub struct CountMin {
+    depth: usize,
+    width: usize,
+    /// Row-major counters, `tables[r * width + c]`.
+    counters: Vec<u64>,
+    /// Per-row multiply-shift hash parameters `(a, b)`, `a` odd.
+    hashes: Vec<(u64, u64)>,
+    n: u64,
+}
+
+impl CountMin {
+    /// Sketch with the given geometry, hash functions seeded.
+    ///
+    /// Static guarantee (oblivious streams): with `width = ⌈e/ε⌉` and
+    /// `depth = ⌈ln(1/δ)⌉`, `estimate(x) ≤ count(x) + εn` w.p. `1 − δ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0` or `width < 2`.
+    pub fn with_seed(depth: usize, width: usize, seed: u64) -> Self {
+        assert!(depth > 0, "need at least one row");
+        assert!(width >= 2, "width must be at least 2");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hashes = (0..depth)
+            .map(|_| (rng.random::<u64>() | 1, rng.random::<u64>()))
+            .collect();
+        Self {
+            depth,
+            width,
+            counters: vec![0; depth * width],
+            hashes,
+            n: 0,
+        }
+    }
+
+    /// Geometry for an (ε, δ) static guarantee.
+    pub fn for_guarantee(eps: f64, delta: f64, seed: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let width = (std::f64::consts::E / eps).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::with_seed(depth, width.max(2), seed)
+    }
+
+    /// The cell index of `x` in row `r` — **public**: in the paper's model
+    /// the adversary sees the whole state, hash parameters included.
+    pub fn cell(&self, r: usize, x: u64) -> usize {
+        let (a, b) = self.hashes[r];
+        ((a.wrapping_mul(x).wrapping_add(b)) >> 32) as usize % self.width
+    }
+
+    /// Process one stream element.
+    pub fn observe(&mut self, x: u64) {
+        self.n += 1;
+        for r in 0..self.depth {
+            let c = self.cell(r, x);
+            self.counters[r * self.width + c] += 1;
+        }
+    }
+
+    /// Frequency estimate: min over rows (never an undercount).
+    pub fn estimate(&self, x: u64) -> u64 {
+        (0..self.depth)
+            .map(|r| self.counters[r * self.width + self.cell(r, x)])
+            .min()
+            .expect("depth > 0")
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Counters per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total counters (memory footprint in words).
+    pub fn space(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Elements observed.
+    pub fn observed(&self) -> u64 {
+        self.n
+    }
+
+    /// Adversarial helper (full-state attack, per the paper's model): find
+    /// one decoy per row that lands in the same cell as `target` in that
+    /// row, searching candidate values `start, start+1, …`. Returns `depth`
+    /// decoys; flooding them equally inflates `estimate(target)` by the
+    /// flood count without ever sending `target`.
+    pub fn find_row_colliders(&self, target: u64, start: u64) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.depth);
+        for r in 0..self.depth {
+            let want = self.cell(r, target);
+            let mut c = start;
+            loop {
+                if c != target && self.cell(r, c) == want {
+                    out.push(c);
+                    break;
+                }
+                c += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_undercounts() {
+        let mut cm = CountMin::with_seed(4, 64, 1);
+        for i in 0..5_000u64 {
+            cm.observe(i % 100);
+        }
+        for v in 0..100u64 {
+            assert!(cm.estimate(v) >= 50, "undercount for {v}");
+        }
+    }
+
+    #[test]
+    fn static_overcount_within_eps_n() {
+        let eps = 0.01;
+        let mut cm = CountMin::for_guarantee(eps, 0.01, 2);
+        let n = 50_000u64;
+        for i in 0..n {
+            cm.observe((i * 7919) % 10_000);
+        }
+        // Check a few elements: overcount ≤ ~2 εn (allow slack over the
+        // in-expectation bound).
+        for v in [0u64, 17, 4242, 9999] {
+            let truth = (0..n).filter(|i| (i * 7919) % 10_000 == v).count() as u64;
+            let est = cm.estimate(v);
+            assert!(est >= truth);
+            assert!(
+                est - truth <= (2.0 * eps * n as f64) as u64 + 5,
+                "overcount {} for {v}",
+                est - truth
+            );
+        }
+    }
+
+    #[test]
+    fn row_colliders_do_collide() {
+        let cm = CountMin::with_seed(5, 128, 3);
+        let target = 424_242;
+        let decoys = cm.find_row_colliders(target, 1_000_000);
+        assert_eq!(decoys.len(), 5);
+        for (r, &d) in decoys.iter().enumerate() {
+            assert_ne!(d, target);
+            assert_eq!(cm.cell(r, d), cm.cell(r, target), "row {r} decoy misses");
+        }
+    }
+
+    #[test]
+    fn flooding_colliders_inflates_target_estimate() {
+        // The adaptive attack in miniature: the target never appears, yet
+        // its estimate grows with the flood.
+        let mut cm = CountMin::with_seed(4, 256, 4);
+        let target = 31_337;
+        let decoys = cm.find_row_colliders(target, 1 << 40);
+        assert_eq!(cm.estimate(target), 0);
+        for _ in 0..1_000 {
+            for &d in &decoys {
+                cm.observe(d);
+            }
+        }
+        assert!(
+            cm.estimate(target) >= 1_000,
+            "attack failed: estimate {}",
+            cm.estimate(target)
+        );
+    }
+
+    #[test]
+    fn geometry_from_guarantee() {
+        let cm = CountMin::for_guarantee(0.01, 0.05, 1);
+        assert!(cm.width() >= 272); // e/0.01 ≈ 271.8
+        assert!(cm.depth() >= 3); // ln 20 ≈ 3
+        assert_eq!(cm.space(), cm.width() * cm.depth());
+    }
+}

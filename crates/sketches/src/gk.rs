@@ -1,0 +1,260 @@
+//! Greenwald–Khanna ε-approximate quantile summary.
+//!
+//! The classical deterministic streaming quantile sketch (\[GK01\] in the
+//! paper's references): a sorted list of tuples `(v, g, Δ)` maintaining
+//! the invariant `g + Δ ≤ ⌊2εn⌋`, answering any rank query within `±εn`
+//! using `O(ε⁻¹ log(εn))` space.
+//!
+//! Deterministic ⇒ automatically robust against the paper's adaptive
+//! adversary. Experiment E6 pits it against the Corollary 1.5
+//! sampling-based quantile sketch: GK wins on space (no `ln |U|` factor),
+//! sampling wins on genericity and sublinear query complexity (GK must
+//! *process* every element; a Bernoulli sampler physically reads only a
+//! `p` fraction — the paper's §1.2 "query complexity" discussion).
+
+/// One GK tuple: `v` with minimum-rank gap `g` and rank uncertainty `Δ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Tuple {
+    v: u64,
+    g: u64,
+    delta: u64,
+}
+
+/// Greenwald–Khanna summary with accuracy `eps`.
+#[derive(Debug, Clone)]
+pub struct GkSummary {
+    eps: f64,
+    tuples: Vec<Tuple>,
+    n: u64,
+    /// Compress every `⌈1/(2ε)⌉` insertions (the paper's schedule).
+    compress_period: u64,
+}
+
+impl GkSummary {
+    /// A summary answering rank queries within `±eps·n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps ∉ (0, 1)`.
+    pub fn new(eps: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1), got {eps}");
+        Self {
+            eps,
+            tuples: Vec::new(),
+            n: 0,
+            compress_period: (1.0 / (2.0 * eps)).ceil() as u64,
+        }
+    }
+
+    /// Process one stream element.
+    pub fn observe(&mut self, v: u64) {
+        let pos = self.tuples.partition_point(|t| t.v < v);
+        let cap = (2.0 * self.eps * self.n as f64).floor() as u64;
+        let delta = if pos == 0 || pos == self.tuples.len() {
+            // New minimum or maximum is known exactly.
+            0
+        } else {
+            cap.saturating_sub(1)
+        };
+        self.tuples.insert(pos, Tuple { v, g: 1, delta });
+        self.n += 1;
+        if self.n.is_multiple_of(self.compress_period) {
+            self.compress();
+        }
+    }
+
+    /// Merge adjacent tuples whose combined uncertainty fits the invariant.
+    fn compress(&mut self) {
+        let cap = (2.0 * self.eps * self.n as f64).floor() as u64;
+        let mut i = self.tuples.len().saturating_sub(1);
+        while i >= 2 {
+            let (a, b) = (self.tuples[i - 1], self.tuples[i]);
+            if a.g + b.g + b.delta <= cap {
+                self.tuples[i].g += a.g;
+                self.tuples.remove(i - 1);
+            }
+            i -= 1;
+        }
+    }
+
+    /// Estimated value at rank `r` (1-based): a value whose true rank is
+    /// within `±eps·n` of `r`.
+    ///
+    /// Returns `None` on an empty summary.
+    pub fn query_rank(&self, r: u64) -> Option<u64> {
+        if self.tuples.is_empty() {
+            return None;
+        }
+        let target = r.min(self.n).max(1);
+        let allow = (self.eps * self.n as f64) as u64;
+        let mut min_rank = 0u64;
+        for t in &self.tuples {
+            min_rank += t.g;
+            let max_rank = min_rank + t.delta;
+            if target + allow >= min_rank && max_rank <= target + allow {
+                // Keep scanning until max_rank would exceed target+allow,
+                // then this tuple's value is a valid answer.
+            }
+            if max_rank >= target.saturating_sub(allow).max(1) && min_rank + allow >= target {
+                return Some(t.v);
+            }
+        }
+        Some(self.tuples.last().expect("non-empty").v)
+    }
+
+    /// Estimated `q`-quantile (`0 ≤ q ≤ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q ∉ [0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+        let r = ((q * self.n as f64).ceil() as u64).clamp(1, self.n.max(1));
+        self.query_rank(r)
+    }
+
+    /// Number of tuples retained — the summary's space footprint.
+    pub fn space(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Number of elements observed.
+    pub fn observed(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn true_rank(sorted: &[u64], v: u64) -> u64 {
+        sorted.partition_point(|&x| x <= v) as u64
+    }
+
+    #[test]
+    fn exact_for_tiny_streams() {
+        let mut gk = GkSummary::new(0.1);
+        for v in [5u64, 1, 9, 3, 7] {
+            gk.observe(v);
+        }
+        assert_eq!(gk.quantile(0.0), Some(1));
+        assert_eq!(gk.quantile(1.0), Some(9));
+    }
+
+    #[test]
+    fn rank_error_within_eps_uniform() {
+        let eps = 0.02;
+        let n = 20_000u64;
+        let mut gk = GkSummary::new(eps);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut data: Vec<u64> = Vec::new();
+        for _ in 0..n {
+            let v = rng.random_range(0..1_000_000u64);
+            gk.observe(v);
+            data.push(v);
+        }
+        data.sort_unstable();
+        for &q in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let r = ((q * n as f64).ceil() as u64).max(1);
+            let v = gk.query_rank(r).unwrap();
+            let tr = true_rank(&data, v);
+            let err = (tr as i64 - r as i64).unsigned_abs();
+            assert!(
+                err as f64 <= 2.0 * eps * n as f64,
+                "q={q}: rank error {err} > 2εn"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_error_within_eps_sorted_adversarial_order() {
+        // Sorted input is GK's classic stress case.
+        let eps = 0.05;
+        let n = 10_000u64;
+        let mut gk = GkSummary::new(eps);
+        for v in 0..n {
+            gk.observe(v);
+        }
+        for &q in &[0.1, 0.5, 0.9] {
+            let r = ((q * n as f64).ceil() as u64).max(1);
+            let v = gk.query_rank(r).unwrap();
+            // true rank of value v in 0..n is v+1.
+            let err = (v as i64 + 1 - r as i64).unsigned_abs();
+            assert!(
+                err as f64 <= 2.0 * eps * n as f64,
+                "q={q}: rank error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn space_is_sublinear() {
+        let eps = 0.01;
+        let n = 50_000u64;
+        let mut gk = GkSummary::new(eps);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..n {
+            gk.observe(rng.random_range(0..u64::MAX));
+        }
+        // Theory: O(ε⁻¹ log(εn)) ≈ 100·log2(500) ≈ 900. Allow headroom.
+        assert!(
+            gk.space() < 4_000,
+            "GK space {} not sublinear (n = {n})",
+            gk.space()
+        );
+    }
+
+    #[test]
+    fn empty_summary_returns_none() {
+        let gk = GkSummary::new(0.1);
+        assert_eq!(gk.query_rank(1), None);
+        assert_eq!(gk.quantile(0.5), None);
+    }
+
+    #[test]
+    fn duplicates_handled() {
+        let mut gk = GkSummary::new(0.05);
+        for _ in 0..1000 {
+            gk.observe(77);
+        }
+        assert_eq!(gk.quantile(0.5), Some(77));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every quantile query answers within 2εn rank error, any input.
+        #[test]
+        fn quantiles_within_eps(
+            data in proptest::collection::vec(0u64..10_000, 10..600),
+            q in 0.0f64..=1.0,
+        ) {
+            let eps = 0.1;
+            let mut gk = GkSummary::new(eps);
+            for &v in &data {
+                gk.observe(v);
+            }
+            let n = data.len() as u64;
+            let r = ((q * n as f64).ceil() as u64).clamp(1, n);
+            let v = gk.query_rank(r).unwrap();
+            let mut sorted = data.clone();
+            sorted.sort_unstable();
+            // Tolerant true-rank window: number of elements < v … ≤ v.
+            let lo = sorted.partition_point(|&x| x < v) as i64;
+            let hi = sorted.partition_point(|&x| x <= v) as i64;
+            let allow = (2.0 * eps * n as f64).ceil() as i64 + 1;
+            let r = r as i64;
+            prop_assert!(
+                r >= lo - allow && r <= hi + allow,
+                "rank {} outside [{} - {}, {} + {}]", r, lo, allow, hi, allow
+            );
+        }
+    }
+}

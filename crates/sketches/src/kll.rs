@@ -1,0 +1,213 @@
+//! KLL quantile sketch (Karnin–Lang–Liberty, FOCS 2016 — \[KLL16\] in the
+//! paper's references).
+//!
+//! A hierarchy of *compactors*: level `h` holds items with weight `2^h`;
+//! when a compactor fills, it sorts itself and promotes every other item
+//! (random offset) to level `h+1`. Space `O(ε⁻¹)` for constant failure
+//! probability — asymptotically optimal, and the contrast case in
+//! experiment E6: a **randomized non-sampling** sketch. The paper's
+//! robustness theorems say nothing about it; its internal randomness is
+//! *not* adaptively robust in general, which is part of the E6 story.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Capacity profile: level `h` (0 = leaves) in a sketch with `num_levels`
+/// levels gets `max(k·c^(num_levels−1−h), 2)` slots, `c = 2/3`.
+fn capacity(k: usize, num_levels: usize, h: usize) -> usize {
+    let depth = (num_levels - 1 - h) as i32;
+    ((k as f64) * (2.0f64 / 3.0).powi(depth)).ceil().max(2.0) as usize
+}
+
+/// KLL sketch over `u64` values with top-compactor capacity `k`
+/// (`k ≈ 1/ε` for ±εn rank error with constant probability).
+#[derive(Debug)]
+pub struct KllSketch {
+    k: usize,
+    compactors: Vec<Vec<u64>>,
+    n: u64,
+    rng: StdRng,
+}
+
+impl KllSketch {
+    /// Sketch with parameter `k` (top-level capacity), seeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 4`.
+    pub fn with_seed(k: usize, seed: u64) -> Self {
+        assert!(k >= 4, "k must be at least 4");
+        Self {
+            k,
+            compactors: vec![Vec::new()],
+            n: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Process one stream element.
+    pub fn observe(&mut self, v: u64) {
+        self.compactors[0].push(v);
+        self.n += 1;
+        self.compact_if_needed();
+    }
+
+    fn compact_if_needed(&mut self) {
+        loop {
+            let levels = self.compactors.len();
+            let Some(h) = (0..levels)
+                .find(|&h| self.compactors[h].len() >= capacity(self.k, levels, h))
+            else {
+                return;
+            };
+            if h + 1 == self.compactors.len() {
+                self.compactors.push(Vec::new());
+            }
+            let mut items = std::mem::take(&mut self.compactors[h]);
+            items.sort_unstable();
+            let offset = usize::from(self.rng.random::<bool>());
+            let promoted: Vec<u64> = items.iter().copied().skip(offset).step_by(2).collect();
+            self.compactors[h + 1].extend(promoted);
+        }
+    }
+
+    /// Estimated rank of `v`: the weighted count of retained items `≤ v`.
+    pub fn rank(&self, v: u64) -> u64 {
+        let mut r = 0u64;
+        for (h, c) in self.compactors.iter().enumerate() {
+            let w = 1u64 << h;
+            r += w * c.iter().filter(|&&x| x <= v).count() as u64;
+        }
+        r
+    }
+
+    /// Estimated `q`-quantile: the smallest retained value whose estimated
+    /// rank reaches `q·n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q ∉ [0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+        if self.n == 0 {
+            return None;
+        }
+        let target = (q * self.n as f64).ceil().max(1.0) as u64;
+        let mut items: Vec<(u64, u64)> = Vec::new(); // (value, weight)
+        for (h, c) in self.compactors.iter().enumerate() {
+            let w = 1u64 << h;
+            items.extend(c.iter().map(|&v| (v, w)));
+        }
+        items.sort_unstable();
+        let mut acc = 0u64;
+        for (v, w) in &items {
+            acc += w;
+            if acc >= target {
+                return Some(*v);
+            }
+        }
+        items.last().map(|&(v, _)| v)
+    }
+
+    /// Total number of retained items across all compactors.
+    pub fn space(&self) -> usize {
+        self.compactors.iter().map(Vec::len).sum()
+    }
+
+    /// Number of elements observed.
+    pub fn observed(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of compactor levels.
+    pub fn levels(&self) -> usize {
+        self.compactors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_first_compaction() {
+        let mut s = KllSketch::with_seed(64, 1);
+        for v in 0..50u64 {
+            s.observe(v);
+        }
+        assert_eq!(s.quantile(0.5), Some(24));
+        assert_eq!(s.rank(24), 25);
+    }
+
+    #[test]
+    fn rank_error_small_on_uniform_stream() {
+        let k = 200;
+        let n = 100_000u64;
+        let mut s = KllSketch::with_seed(k, 3);
+        for i in 0..n {
+            s.observe((i * 2_654_435_761) % 1_000_003); // Weyl-ish scramble
+        }
+        for &q in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+            let v = s.quantile(q).unwrap();
+            // Scrambled values are ~uniform over [0, 1_000_003); true rank
+            // of value v ≈ v/1_000_003 · n.
+            let approx_true_rank = v as f64 / 1_000_003.0 * n as f64;
+            let target = q * n as f64;
+            let err = (approx_true_rank - target).abs() / n as f64;
+            assert!(err < 0.05, "q={q}: normalized rank error {err}");
+        }
+    }
+
+    #[test]
+    fn space_stays_near_budget() {
+        let k = 100;
+        let mut s = KllSketch::with_seed(k, 5);
+        for i in 0..1_000_000u64 {
+            s.observe(i);
+        }
+        // Geometric capacities sum to ≈ 3k; allow transient slack.
+        assert!(s.space() < 6 * k, "space {} too large", s.space());
+        assert!(s.levels() > 5);
+    }
+
+    #[test]
+    fn weights_preserve_total_count_approximately() {
+        let mut s = KllSketch::with_seed(96, 9);
+        let n = 10_000u64;
+        for i in 0..n {
+            s.observe(i);
+        }
+        // rank(max) estimates n; each odd-length compaction can shed half
+        // an item of weight, so the estimate drifts but stays within ~10%.
+        let est = s.rank(u64::MAX);
+        let err = (est as f64 - n as f64).abs() / n as f64;
+        assert!(err < 0.10, "total weight {est} vs n {n}");
+    }
+
+    #[test]
+    fn empty_sketch() {
+        let s = KllSketch::with_seed(16, 2);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.rank(100), 0);
+    }
+
+    #[test]
+    fn sorted_vs_shuffled_same_accuracy_class() {
+        // KLL's guarantee is order-oblivious; check both orders give sane
+        // medians on the same multiset.
+        let n = 50_000u64;
+        let mut sorted = KllSketch::with_seed(128, 11);
+        for i in 0..n {
+            sorted.observe(i);
+        }
+        let mut rev = KllSketch::with_seed(128, 11);
+        for i in (0..n).rev() {
+            rev.observe(i);
+        }
+        let m1 = sorted.quantile(0.5).unwrap() as f64;
+        let m2 = rev.quantile(0.5).unwrap() as f64;
+        let mid = n as f64 / 2.0;
+        assert!((m1 - mid).abs() / (n as f64) < 0.05);
+        assert!((m2 - mid).abs() / (n as f64) < 0.05);
+    }
+}

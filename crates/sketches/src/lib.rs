@@ -1,0 +1,10 @@
+//! Streaming-summary baselines used as comparators by the experiments.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod count_min;
+pub mod gk;
+pub mod kll;
+pub mod merge_reduce;
+pub mod misra_gries;
+pub mod space_saving;

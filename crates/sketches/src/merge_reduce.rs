@@ -1,0 +1,344 @@
+//! Deterministic merge–reduce ε-approximation (Matoušek; the streaming
+//! adaptation is \[BCEG07\] in the paper's references — the algorithm the
+//! paper compares its sample sizes against in §1.1).
+//!
+//! The stream is chopped into *buffers* of `m` elements. Two full buffers
+//! at the same level are **merged** (sorted union) and **reduced** (keep
+//! every other element, deterministic odd positions), producing one buffer
+//! one level up whose elements carry twice the weight. For 1-D range
+//! (prefix/interval) systems, each reduce step adds `≤ 1/(2m)` density
+//! error, so a stream of `n` elements — `L = log₂(n/m)` levels — yields a
+//! weighted summary with prefix-discrepancy `O(L/m)`; choosing
+//! `m = Θ(ε⁻¹ log(εn))` gives an ε-approximation.
+//!
+//! Being deterministic, the summary is automatically robust against the
+//! paper's adaptive adversary — at the cost of the polylog factors and the
+//! need to *read every element* (the paper's §1.2 query-complexity
+//! contrast with random sampling).
+
+/// A weighted deterministic ε-approximation summary over `u64` streams.
+#[derive(Debug, Clone)]
+pub struct MergeReduce {
+    m: usize,
+    /// `levels[h]` holds at most one completed buffer of weight `2^h`.
+    levels: Vec<Option<Vec<u64>>>,
+    /// The currently filling level-0 buffer.
+    current: Vec<u64>,
+    n: u64,
+}
+
+impl MergeReduce {
+    /// Summary with buffer size `m` (error `O(log(n/m)/m)` on prefix
+    /// ranges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 2` or `m` is odd (reduction halves buffers).
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 2, "buffer size must be at least 2");
+        assert!(m.is_multiple_of(2), "buffer size must be even");
+        Self {
+            m,
+            levels: Vec::new(),
+            current: Vec::with_capacity(m),
+            n: 0,
+        }
+    }
+
+    /// Buffer size for a target `eps` and stream length `n`:
+    /// `m = Θ(ε⁻¹ log₂(εn))`, rounded up to even.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps ∉ (0,1)` or `n == 0`.
+    pub fn for_eps(eps: f64, n: usize) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        assert!(n > 0, "stream length must be positive");
+        let log_term = ((eps * n as f64).max(2.0)).log2().max(1.0);
+        let mut m = (2.0 * log_term / eps).ceil() as usize;
+        if m % 2 == 1 {
+            m += 1;
+        }
+        Self::new(m.max(2))
+    }
+
+    /// Process one stream element.
+    pub fn observe(&mut self, v: u64) {
+        self.n += 1;
+        self.current.push(v);
+        if self.current.len() == self.m {
+            let mut buf = std::mem::replace(&mut self.current, Vec::with_capacity(self.m));
+            buf.sort_unstable();
+            self.carry(0, buf);
+        }
+    }
+
+    /// Insert a sorted buffer at level `h`, merging upward while occupied.
+    fn carry(&mut self, mut h: usize, mut buf: Vec<u64>) {
+        loop {
+            if h == self.levels.len() {
+                self.levels.push(Some(buf));
+                return;
+            }
+            match self.levels[h].take() {
+                None => {
+                    self.levels[h] = Some(buf);
+                    return;
+                }
+                Some(other) => {
+                    buf = Self::merge_reduce(&buf, &other);
+                    h += 1;
+                }
+            }
+        }
+    }
+
+    /// Sorted merge of two equal-size sorted buffers, keeping the odd
+    /// positions (1st, 3rd, …) of the merged order.
+    fn merge_reduce(a: &[u64], b: &[u64]) -> Vec<u64> {
+        debug_assert_eq!(a.len(), b.len());
+        let mut out = Vec::with_capacity(a.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut take = true; // positions 0, 2, 4, … of the merged sequence
+        while i < a.len() || j < b.len() {
+            let v = if j >= b.len() || (i < a.len() && a[i] <= b[j]) {
+                let v = a[i];
+                i += 1;
+                v
+            } else {
+                let v = b[j];
+                j += 1;
+                v
+            };
+            if take {
+                out.push(v);
+            }
+            take = !take;
+        }
+        out
+    }
+
+    /// The summary as `(value, weight)` pairs. Total weight equals the
+    /// number of *completed-buffer* elements; the tail still in the level-0
+    /// buffer is included with weight 1.
+    pub fn weighted_summary(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        for (h, level) in self.levels.iter().enumerate() {
+            if let Some(buf) = level {
+                let w = 1u64 << h;
+                out.extend(buf.iter().map(|&v| (v, w)));
+            }
+        }
+        out.extend(self.current.iter().map(|&v| (v, 1)));
+        out.sort_unstable();
+        out
+    }
+
+    /// Estimated rank of `v` in the stream (weighted count ≤ v).
+    pub fn rank(&self, v: u64) -> u64 {
+        self.weighted_summary()
+            .iter()
+            .filter(|&&(x, _)| x <= v)
+            .map(|&(_, w)| w)
+            .sum()
+    }
+
+    /// Estimated `q`-quantile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q ∉ [0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+        if self.n == 0 {
+            return None;
+        }
+        let target = (q * self.n as f64).ceil().max(1.0) as u64;
+        let summary = self.weighted_summary();
+        let mut acc = 0u64;
+        for &(v, w) in &summary {
+            acc += w;
+            if acc >= target {
+                return Some(v);
+            }
+        }
+        summary.last().map(|&(v, _)| v)
+    }
+
+    /// Number of retained elements (space footprint).
+    pub fn space(&self) -> usize {
+        self.levels
+            .iter()
+            .flatten()
+            .map(Vec::len)
+            .sum::<usize>()
+            + self.current.len()
+    }
+
+    /// Number of elements observed.
+    pub fn observed(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_reduce_keeps_odd_positions() {
+        let out = MergeReduce::merge_reduce(&[1, 3, 5, 7], &[2, 4, 6, 8]);
+        assert_eq!(out, vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn exact_before_first_buffer_completes() {
+        let mut mr = MergeReduce::new(100);
+        for v in 0..50u64 {
+            mr.observe(v);
+        }
+        assert_eq!(mr.rank(24), 25);
+        assert_eq!(mr.quantile(0.5), Some(24));
+    }
+
+    #[test]
+    fn total_weight_equals_n() {
+        let mut mr = MergeReduce::new(8);
+        let n = 1000u64;
+        for v in 0..n {
+            mr.observe(v);
+        }
+        let total: u64 = mr.weighted_summary().iter().map(|&(_, w)| w).sum();
+        assert_eq!(total, n);
+    }
+
+    #[test]
+    fn deterministic_rank_error_within_theory() {
+        // Error ≤ L/(2m)·n with L = log2(n/m); check at several quantiles.
+        let n = 32_768u64;
+        let m = 64usize;
+        let mut mr = MergeReduce::new(m);
+        for v in 0..n {
+            mr.observe((v * 2_654_435_761) % n); // scrambled permutation
+        }
+        let levels = ((n as f64 / m as f64).log2()).ceil();
+        let bound = levels / (2.0 * m as f64) * n as f64 + m as f64;
+        for &q in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+            let target = (q * n as f64) as u64;
+            let v = mr.quantile(q).unwrap();
+            // Stream is a permutation of 0..n, so true rank of v is v+1.
+            let err = (v as i64 + 1 - target as i64).unsigned_abs() as f64;
+            assert!(err <= bound, "q={q}: error {err} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn for_eps_meets_accuracy_target() {
+        let eps = 0.05;
+        let n = 20_000usize;
+        let mut mr = MergeReduce::for_eps(eps, n);
+        for v in 0..n as u64 {
+            mr.observe(v);
+        }
+        for &q in &[0.25, 0.5, 0.75] {
+            let target = (q * n as f64) as i64;
+            let v = mr.quantile(q).unwrap() as i64;
+            assert!(
+                (v + 1 - target).unsigned_abs() as f64 <= eps * n as f64,
+                "q={q}: quantile off by more than εn"
+            );
+        }
+    }
+
+    #[test]
+    fn space_is_polylogarithmic() {
+        let mut mr = MergeReduce::new(64);
+        for v in 0..1_000_000u64 {
+            mr.observe(v);
+        }
+        // One m-buffer per level: m·log2(n/m) ≈ 64·14 = 896.
+        assert!(mr.space() <= 64 * 16, "space {}", mr.space());
+    }
+
+    #[test]
+    fn determinism_identical_runs_identical_summaries() {
+        let run = || {
+            let mut mr = MergeReduce::new(16);
+            for v in (0..5000u64).map(|v| (v * 37) % 4999) {
+                mr.observe(v);
+            }
+            mr.weighted_summary()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_buffer_rejected() {
+        let _ = MergeReduce::new(7);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Total retained weight always equals the number of observed
+        /// elements, for any stream and buffer size.
+        #[test]
+        fn weight_conservation(
+            data in proptest::collection::vec(0u64..1000, 1..500),
+            m_half in 1usize..16,
+        ) {
+            let mut mr = MergeReduce::new(2 * m_half);
+            for &v in &data {
+                mr.observe(v);
+            }
+            let total: u64 = mr.weighted_summary().iter().map(|&(_, w)| w).sum();
+            prop_assert_eq!(total, data.len() as u64);
+        }
+
+        /// Rank estimates are monotone in the query value and bounded by n.
+        #[test]
+        fn rank_monotone(
+            data in proptest::collection::vec(0u64..100, 1..300),
+        ) {
+            let mut mr = MergeReduce::new(8);
+            for &v in &data {
+                mr.observe(v);
+            }
+            let mut last = 0;
+            for v in 0..100u64 {
+                let r = mr.rank(v);
+                prop_assert!(r >= last);
+                prop_assert!(r <= data.len() as u64);
+                last = r;
+            }
+        }
+
+        /// Rank error stays within the L/(2m)·n + m theory bound.
+        #[test]
+        fn rank_error_bound(
+            data in proptest::collection::vec(0u64..64, 16..400),
+        ) {
+            let m = 16usize;
+            let mut mr = MergeReduce::new(m);
+            for &v in &data {
+                mr.observe(v);
+            }
+            let n = data.len() as f64;
+            let levels = (n / m as f64).log2().max(0.0).ceil();
+            let bound = levels / (2.0 * m as f64) * n + m as f64;
+            let mut sorted = data.clone();
+            sorted.sort_unstable();
+            for v in [0u64, 15, 31, 63] {
+                let truth = sorted.partition_point(|&x| x <= v) as f64;
+                let est = mr.rank(v) as f64;
+                prop_assert!((est - truth).abs() <= bound,
+                    "rank({v}): est {est}, truth {truth}, bound {bound}");
+            }
+        }
+    }
+}

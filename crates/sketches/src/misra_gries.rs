@@ -1,0 +1,196 @@
+//! Misra–Gries frequent-elements summary.
+//!
+//! The classical deterministic heavy-hitters algorithm: `k` counters;
+//! every element appearing more than `n/(k+1)` times is guaranteed to hold
+//! a counter, and each counter undercounts by at most `n/(k+1)`.
+//!
+//! Being deterministic, Misra–Gries is *automatically robust* in the
+//! paper's adversarial model (the paper's §1.1 remark), which makes it the
+//! natural comparator for the Corollary 1.6 sampling-based heavy hitters
+//! in experiment E7: same guarantee class, different space/accuracy
+//! trade-off, and no dependence on `ln |U|`.
+
+use std::collections::BTreeMap;
+
+/// Misra–Gries summary with `k` counters over `u64` items.
+#[derive(Debug, Clone)]
+pub struct MisraGries {
+    k: usize,
+    counters: BTreeMap<u64, u64>,
+    n: u64,
+}
+
+impl MisraGries {
+    /// Summary with `k` counters: frequency error at most `n/(k+1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one counter");
+        Self {
+            k,
+            counters: BTreeMap::new(),
+            n: 0,
+        }
+    }
+
+    /// Process one stream element.
+    pub fn observe(&mut self, x: u64) {
+        self.n += 1;
+        if let Some(c) = self.counters.get_mut(&x) {
+            *c += 1;
+            return;
+        }
+        if self.counters.len() < self.k {
+            self.counters.insert(x, 1);
+            return;
+        }
+        // Decrement-all step; drop zeroed counters.
+        self.counters.retain(|_, c| {
+            *c -= 1;
+            *c > 0
+        });
+    }
+
+    /// Estimated frequency of `x` (an undercount by at most `n/(k+1)`).
+    pub fn estimate(&self, x: u64) -> u64 {
+        self.counters.get(&x).copied().unwrap_or(0)
+    }
+
+    /// Elements whose *estimated* density is at least `threshold`.
+    /// With `threshold = α − ε` and `k ≥ 1/ε`, this contains every true
+    /// α-heavy hitter.
+    pub fn heavy_hitters(&self, threshold: f64) -> Vec<(u64, u64)> {
+        let cut = (threshold * self.n as f64).ceil() as u64;
+        let mut out: Vec<(u64, u64)> = self
+            .counters
+            .iter()
+            .filter(|(_, &c)| c >= cut.max(1))
+            .map(|(&x, &c)| (x, c))
+            .collect();
+        out.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        out
+    }
+
+    /// Number of stream elements observed.
+    pub fn observed(&self) -> u64 {
+        self.n
+    }
+
+    /// Current number of live counters (≤ k).
+    pub fn counters_in_use(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_distinct_items_fit() {
+        let mut mg = MisraGries::new(10);
+        for _ in 0..5 {
+            for x in 0..5u64 {
+                mg.observe(x);
+            }
+        }
+        for x in 0..5u64 {
+            assert_eq!(mg.estimate(x), 5);
+        }
+    }
+
+    #[test]
+    fn undercount_bounded_by_n_over_k_plus_one() {
+        // Stream: one hot element (40%), rest uniform noise.
+        let k = 9;
+        let mut mg = MisraGries::new(k);
+        let mut true_count = 0u64;
+        let mut n = 0u64;
+        for i in 0..10_000u64 {
+            let x = if i % 5 < 2 {
+                true_count += 1;
+                42
+            } else {
+                1000 + (i * 7919) % 5000
+            };
+            mg.observe(x);
+            n += 1;
+        }
+        let est = mg.estimate(42);
+        assert!(est <= true_count, "MG must undercount");
+        let max_err = n / (k as u64 + 1);
+        assert!(
+            true_count - est <= max_err,
+            "error {} > n/(k+1) = {max_err}",
+            true_count - est
+        );
+    }
+
+    #[test]
+    fn guaranteed_hitters_survive() {
+        // Any element with frequency > n/(k+1) keeps a counter.
+        let k = 4; // error n/5
+        let mut mg = MisraGries::new(k);
+        for i in 0..1000u64 {
+            // 30% of the stream is value 7 (> 1/5).
+            mg.observe(if i % 10 < 3 { 7 } else { i });
+        }
+        assert!(mg.estimate(7) > 0, "guaranteed hitter evicted");
+        let hh = mg.heavy_hitters(0.05);
+        assert!(hh.iter().any(|&(x, _)| x == 7));
+    }
+
+    #[test]
+    fn counters_never_exceed_k() {
+        let mut mg = MisraGries::new(3);
+        for i in 0..1000u64 {
+            mg.observe(i); // all distinct: constant churn
+            assert!(mg.counters_in_use() <= 3);
+        }
+    }
+
+    #[test]
+    fn all_distinct_stream_leaves_no_big_estimates() {
+        let mut mg = MisraGries::new(5);
+        for i in 0..600u64 {
+            mg.observe(i);
+        }
+        for i in 0..600u64 {
+            assert!(mg.estimate(i) <= 1 + 600 / 6);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The Misra–Gries error invariant: for every element,
+        /// `true_count − n/(k+1) ≤ estimate ≤ true_count`.
+        #[test]
+        fn error_invariant(
+            data in proptest::collection::vec(0u64..20, 1..400),
+            k in 1usize..12,
+        ) {
+            let mut mg = MisraGries::new(k);
+            for &v in &data {
+                mg.observe(v);
+            }
+            let n = data.len() as u64;
+            for v in 0..20u64 {
+                let truth = data.iter().filter(|&&x| x == v).count() as u64;
+                let est = mg.estimate(v);
+                prop_assert!(est <= truth, "overestimate for {v}");
+                prop_assert!(
+                    truth - est <= n / (k as u64 + 1),
+                    "undercount for {v}: {} > n/(k+1)", truth - est
+                );
+            }
+            prop_assert!(mg.counters_in_use() <= k);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! SpaceSaving frequent-elements summary (Metwally–Agrawal–El Abbadi).
+//!
+//! `k` counters; a new element replaces the current minimum counter and
+//! inherits its count (+1). Overestimates each tracked element by at most
+//! `min_count ≤ n/k`. Deterministic, hence automatically robust in the
+//! paper's adversarial model — the second heavy-hitters comparator of
+//! experiment E7 alongside [Misra–Gries](crate::misra_gries).
+
+use std::collections::BTreeMap;
+
+/// SpaceSaving summary with `k` counters over `u64` items.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    k: usize,
+    /// item → (count, overestimation-at-adoption)
+    counters: BTreeMap<u64, (u64, u64)>,
+    n: u64,
+}
+
+impl SpaceSaving {
+    /// Summary with `k` counters: count error at most `n/k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one counter");
+        Self {
+            k,
+            counters: BTreeMap::new(),
+            n: 0,
+        }
+    }
+
+    /// Process one stream element.
+    pub fn observe(&mut self, x: u64) {
+        self.n += 1;
+        if let Some((c, _)) = self.counters.get_mut(&x) {
+            *c += 1;
+            return;
+        }
+        if self.counters.len() < self.k {
+            self.counters.insert(x, (1, 0));
+            return;
+        }
+        // Replace the minimum counter; the newcomer inherits its count.
+        let (&victim, &(min_count, _)) = self
+            .counters
+            .iter()
+            .min_by_key(|(_, &(c, _))| c)
+            .expect("counters non-empty");
+        self.counters.remove(&victim);
+        self.counters.insert(x, (min_count + 1, min_count));
+    }
+
+    /// Estimated count of `x` (an overestimate by at most its recorded
+    /// adoption error; 0 for untracked elements).
+    pub fn estimate(&self, x: u64) -> u64 {
+        self.counters.get(&x).map(|&(c, _)| c).unwrap_or(0)
+    }
+
+    /// Guaranteed lower bound on the count of `x`
+    /// (`estimate − overestimation`).
+    pub fn guaranteed(&self, x: u64) -> u64 {
+        self.counters.get(&x).map(|&(c, e)| c - e).unwrap_or(0)
+    }
+
+    /// Elements whose estimated density is at least `threshold`, highest
+    /// first. Contains every true hitter of density `≥ threshold + 1/k`.
+    pub fn heavy_hitters(&self, threshold: f64) -> Vec<(u64, u64)> {
+        let cut = (threshold * self.n as f64).ceil().max(1.0) as u64;
+        let mut out: Vec<(u64, u64)> = self
+            .counters
+            .iter()
+            .filter(|(_, &(c, _))| c >= cut)
+            .map(|(&x, &(c, _))| (x, c))
+            .collect();
+        out.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        out
+    }
+
+    /// Number of elements observed.
+    pub fn observed(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_items_fit() {
+        let mut ss = SpaceSaving::new(8);
+        for _ in 0..7 {
+            for x in 0..8u64 {
+                ss.observe(x);
+            }
+        }
+        for x in 0..8u64 {
+            assert_eq!(ss.estimate(x), 7);
+            assert_eq!(ss.guaranteed(x), 7);
+        }
+    }
+
+    #[test]
+    fn overestimates_but_never_underestimates_tracked() {
+        let k = 10;
+        let mut ss = SpaceSaving::new(k);
+        let mut true_count = 0u64;
+        for i in 0..5_000u64 {
+            let x = if i % 4 == 0 {
+                true_count += 1;
+                99
+            } else {
+                1000 + (i * 31) % 400
+            };
+            ss.observe(x);
+        }
+        let est = ss.estimate(99);
+        assert!(est >= true_count, "SpaceSaving must overestimate: {est} < {true_count}");
+        assert!(est - true_count <= 5_000 / k as u64, "error too big");
+        assert!(ss.guaranteed(99) <= true_count);
+    }
+
+    #[test]
+    fn sum_of_counts_equals_n() {
+        // Invariant: counters sum exactly to n once the table is full.
+        let mut ss = SpaceSaving::new(5);
+        for i in 0..1234u64 {
+            ss.observe(i % 50);
+        }
+        let total: u64 = (0..50u64).map(|x| ss.estimate(x)).sum();
+        assert_eq!(total, 1234);
+    }
+
+    #[test]
+    fn heavy_hitters_returns_sorted_by_count() {
+        let mut ss = SpaceSaving::new(10);
+        for i in 0..1000u64 {
+            ss.observe(if i % 2 == 0 { 1 } else if i % 3 == 0 { 2 } else { i });
+        }
+        let hh = ss.heavy_hitters(0.1);
+        assert!(hh.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert_eq!(hh[0].0, 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// SpaceSaving invariants: tracked estimates never undercount,
+        /// overcount by at most n/k, guaranteed ≤ truth, and (once the
+        /// table is full) counts sum to n.
+        #[test]
+        fn error_invariant(
+            data in proptest::collection::vec(0u64..20, 1..400),
+            k in 1usize..12,
+        ) {
+            let mut ss = SpaceSaving::new(k);
+            for &v in &data {
+                ss.observe(v);
+            }
+            let n = data.len() as u64;
+            for v in 0..20u64 {
+                let truth = data.iter().filter(|&&x| x == v).count() as u64;
+                let est = ss.estimate(v);
+                if est > 0 {
+                    prop_assert!(est >= truth || truth == 0 || est + n / k as u64 >= truth);
+                    prop_assert!(est <= truth + n / k as u64,
+                        "overcount for {v}: {est} > {truth} + n/k");
+                    prop_assert!(ss.guaranteed(v) <= truth);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! Deterministic, seedable stream generators.
+//!
+//! Every generator returns a concrete `Vec` so experiments can replay the
+//! exact same stream against multiple samplers/sketches (the static
+//! adversary of the paper's model). All randomness flows through a seeded
+//! [`StdRng`]; same seed ⇒ same stream, bit for bit.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Uniform i.i.d. elements over `{0, …, universe−1}`.
+///
+/// # Panics
+///
+/// Panics if `universe == 0`.
+pub fn uniform(n: usize, universe: u64, seed: u64) -> Vec<u64> {
+    assert!(universe > 0, "universe must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(0..universe)).collect()
+}
+
+/// Zipf-distributed elements over `{0, …, universe−1}` with exponent `s`:
+/// `Pr[X = r] ∝ (r+1)^-s`. Rank 0 is the hottest element.
+///
+/// Uses an exact inverse-CDF table over the first `min(universe, 2²⁰)`
+/// ranks; the truncated tail carries negligible mass for `s ≥ 1` (< 0.1%
+/// for a 2²⁰-rank table), and is folded into the last rank.
+///
+/// # Panics
+///
+/// Panics if `universe == 0` or `s <= 0`.
+pub fn zipf(n: usize, universe: u64, s: f64, seed: u64) -> Vec<u64> {
+    assert!(universe > 0, "universe must be non-empty");
+    assert!(s > 0.0, "exponent must be positive");
+    let ranks = universe.min(1 << 20) as usize;
+    let mut cdf = Vec::with_capacity(ranks);
+    let mut acc = 0.0f64;
+    for r in 0..ranks {
+        acc += 1.0 / ((r + 1) as f64).powf(s);
+        cdf.push(acc);
+    }
+    let total = acc;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.random::<f64>() * total;
+            let r = cdf.partition_point(|&c| c < u);
+            (r as u64).min(universe - 1)
+        })
+        .collect()
+}
+
+/// Linearly increasing sweep of the universe (the sorted stress case).
+///
+/// # Panics
+///
+/// Panics if `universe == 0` or `n == 0`.
+pub fn sorted_ramp(n: usize, universe: u64) -> Vec<u64> {
+    assert!(universe > 0 && n > 0, "need non-empty universe and stream");
+    (0..n)
+        .map(|i| (i as u128 * universe as u128 / n as u128) as u64)
+        .collect()
+}
+
+/// Decreasing sweep.
+pub fn reverse_ramp(n: usize, universe: u64) -> Vec<u64> {
+    let mut v = sorted_ramp(n, universe);
+    v.reverse();
+    v
+}
+
+/// Approximately normal elements: Irwin–Hall sum of 12 uniforms, centred
+/// at `universe/2` with standard deviation `universe/8`, clamped to range.
+///
+/// # Panics
+///
+/// Panics if `universe == 0`.
+pub fn bell(n: usize, universe: u64, seed: u64) -> Vec<u64> {
+    assert!(universe > 0, "universe must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mid = universe as f64 / 2.0;
+    let sd = universe as f64 / 8.0;
+    (0..n)
+        .map(|_| {
+            let z: f64 = (0..12).map(|_| rng.random::<f64>()).sum::<f64>() - 6.0;
+            (mid + z * sd).clamp(0.0, (universe - 1) as f64) as u64
+        })
+        .collect()
+}
+
+/// A distribution shift mid-stream: the first `n/2` elements from the low
+/// half of the universe, the rest from the high half — the paper's
+/// "stream changes with time (unintentionally or maliciously)" scenario.
+///
+/// # Panics
+///
+/// Panics if `universe < 2`.
+pub fn two_phase(n: usize, universe: u64, seed: u64) -> Vec<u64> {
+    assert!(universe >= 2, "universe too small");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let half = universe / 2;
+    (0..n)
+        .map(|i| {
+            if i < n / 2 {
+                rng.random_range(0..half)
+            } else {
+                rng.random_range(half..universe)
+            }
+        })
+        .collect()
+}
+
+/// A sorted ramp shuffled within consecutive blocks of `block` elements —
+/// locally random, globally drifting.
+///
+/// # Panics
+///
+/// Panics if `block == 0`.
+pub fn block_shuffled(n: usize, universe: u64, block: usize, seed: u64) -> Vec<u64> {
+    assert!(block > 0, "block must be positive");
+    let mut v = sorted_ramp(n, universe);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for chunk in v.chunks_mut(block) {
+        chunk.shuffle(&mut rng);
+    }
+    v
+}
+
+/// Uniform 2-D grid points over `{0,…,m−1}²` as `(x, y)` pairs.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn uniform_points(n: usize, m: u64, seed: u64) -> Vec<(i64, i64)> {
+    assert!(m > 0, "grid must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            (
+                rng.random_range(0..m) as i64,
+                rng.random_range(0..m) as i64,
+            )
+        })
+        .collect()
+}
+
+/// 2-D points drawn from `centers.len()` clusters with box radius
+/// `spread`, cluster chosen uniformly per point, clamped to `{0,…,m−1}²`.
+///
+/// # Panics
+///
+/// Panics if `centers` is empty or `m == 0`.
+pub fn clustered_points(
+    n: usize,
+    m: u64,
+    centers: &[(i64, i64)],
+    spread: i64,
+    seed: u64,
+) -> Vec<(i64, i64)> {
+    assert!(!centers.is_empty(), "need at least one cluster center");
+    assert!(m > 0, "grid must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hi = (m - 1) as i64;
+    (0..n)
+        .map(|_| {
+            let (cx, cy) = centers[rng.random_range(0..centers.len())];
+            let dx = rng.random_range(-spread..=spread);
+            let dy = rng.random_range(-spread..=spread);
+            ((cx + dx).clamp(0, hi), (cy + dy).clamp(0, hi))
+        })
+        .collect()
+}
+
+/// Uniform 2-D grid points as `[u64; 2]` arrays (the axis-box system's
+/// point type).
+pub fn uniform_grid_points(n: usize, m: u64, seed: u64) -> Vec<[u64; 2]> {
+    uniform_points(n, m, seed)
+        .into_iter()
+        .map(|(x, y)| [x as u64, y as u64])
+        .collect()
+}
+
+/// Declarative stream description, used by experiment configs so a whole
+/// sweep is expressible as data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamSpec {
+    /// Uniform i.i.d. over the universe.
+    Uniform,
+    /// Zipf with the given exponent.
+    Zipf(f64),
+    /// Increasing sweep.
+    SortedRamp,
+    /// Decreasing sweep.
+    ReverseRamp,
+    /// Irwin–Hall bell curve.
+    Bell,
+    /// Low-half then high-half distribution shift.
+    TwoPhase,
+    /// Ramp shuffled in blocks of the given size.
+    BlockShuffled(usize),
+}
+
+impl StreamSpec {
+    /// Materialise the stream.
+    pub fn generate(&self, n: usize, universe: u64, seed: u64) -> Vec<u64> {
+        match *self {
+            StreamSpec::Uniform => uniform(n, universe, seed),
+            StreamSpec::Zipf(s) => zipf(n, universe, s, seed),
+            StreamSpec::SortedRamp => sorted_ramp(n, universe),
+            StreamSpec::ReverseRamp => reverse_ramp(n, universe),
+            StreamSpec::Bell => bell(n, universe, seed),
+            StreamSpec::TwoPhase => two_phase(n, universe, seed),
+            StreamSpec::BlockShuffled(b) => block_shuffled(n, universe, b, seed),
+        }
+    }
+
+    /// Name used in experiment report rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StreamSpec::Uniform => "uniform",
+            StreamSpec::Zipf(_) => "zipf",
+            StreamSpec::SortedRamp => "sorted",
+            StreamSpec::ReverseRamp => "reversed",
+            StreamSpec::Bell => "bell",
+            StreamSpec::TwoPhase => "two-phase",
+            StreamSpec::BlockShuffled(_) => "block-shuffled",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        assert_eq!(uniform(100, 1000, 7), uniform(100, 1000, 7));
+        assert_ne!(uniform(100, 1000, 7), uniform(100, 1000, 8));
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        assert!(uniform(10_000, 37, 1).iter().all(|&x| x < 37));
+    }
+
+    #[test]
+    fn zipf_rank_zero_is_hottest() {
+        let s = zipf(50_000, 1000, 1.2, 3);
+        let count = |v: u64| s.iter().filter(|&&x| x == v).count();
+        let c0 = count(0);
+        let c10 = count(10);
+        assert!(c0 > c10 * 3, "rank 0 ({c0}) not much hotter than rank 10 ({c10})");
+        assert!(s.iter().all(|&x| x < 1000));
+    }
+
+    #[test]
+    fn zipf_mass_concentrates_with_large_exponent() {
+        let s = zipf(10_000, 1_000_000, 2.0, 5);
+        let head = s.iter().filter(|&&x| x < 10).count();
+        assert!(head as f64 > 0.9 * s.len() as f64);
+    }
+
+    #[test]
+    fn sorted_ramp_is_monotone_and_covers() {
+        let s = sorted_ramp(1000, 10_000);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(s[0], 0);
+        assert!(*s.last().unwrap() >= 9_980);
+        assert_eq!(reverse_ramp(1000, 10_000), {
+            let mut r = s;
+            r.reverse();
+            r
+        });
+    }
+
+    #[test]
+    fn bell_concentrates_in_middle() {
+        let s = bell(20_000, 1000, 9);
+        let mid = s.iter().filter(|&&x| (250..750).contains(&x)).count();
+        assert!(mid as f64 > 0.9 * s.len() as f64, "only {mid} in middle half");
+    }
+
+    #[test]
+    fn two_phase_splits_halves() {
+        let s = two_phase(1000, 100, 4);
+        assert!(s[..500].iter().all(|&x| x < 50));
+        assert!(s[500..].iter().all(|&x| x >= 50));
+    }
+
+    #[test]
+    fn block_shuffled_preserves_multiset() {
+        let n = 1000;
+        let mut a = block_shuffled(n, 5000, 50, 2);
+        let mut b = sorted_ramp(n, 5000);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clustered_points_stay_near_centers() {
+        let centers = [(10i64, 10i64), (90, 90)];
+        let pts = clustered_points(1000, 100, &centers, 5, 6);
+        for (x, y) in pts {
+            let near = centers
+                .iter()
+                .any(|&(cx, cy)| (x - cx).abs() <= 5 && (y - cy).abs() <= 5);
+            assert!(near, "({x},{y}) not near any center");
+        }
+    }
+
+    #[test]
+    fn spec_roundtrip_all_variants() {
+        for spec in [
+            StreamSpec::Uniform,
+            StreamSpec::Zipf(1.1),
+            StreamSpec::SortedRamp,
+            StreamSpec::ReverseRamp,
+            StreamSpec::Bell,
+            StreamSpec::TwoPhase,
+            StreamSpec::BlockShuffled(32),
+        ] {
+            let s = spec.generate(500, 1 << 16, 1);
+            assert_eq!(s.len(), 500, "{} wrong length", spec.name());
+            assert!(s.iter().all(|&x| x < (1 << 16)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every generator respects its length and range contract, and is
+        /// deterministic per seed, for arbitrary parameters.
+        #[test]
+        fn generators_respect_contracts(
+            n in 1usize..400,
+            universe_log in 1u32..40,
+            seed in 0u64..10_000,
+        ) {
+            let universe = 1u64 << universe_log;
+            for spec in [
+                StreamSpec::Uniform,
+                StreamSpec::Zipf(1.2),
+                StreamSpec::SortedRamp,
+                StreamSpec::Bell,
+                StreamSpec::TwoPhase,
+                StreamSpec::BlockShuffled(7),
+            ] {
+                let a = spec.generate(n, universe, seed);
+                prop_assert_eq!(a.len(), n);
+                prop_assert!(a.iter().all(|&x| x < universe));
+                let b = spec.generate(n, universe, seed);
+                prop_assert_eq!(a, b, "{} not deterministic", spec.name());
+            }
+        }
+
+        /// Point generators stay on the grid.
+        #[test]
+        fn point_generators_on_grid(
+            n in 1usize..200,
+            m in 1u64..256,
+            seed in 0u64..1000,
+        ) {
+            for (x, y) in uniform_points(n, m, seed) {
+                prop_assert!((0..m as i64).contains(&x) && (0..m as i64).contains(&y));
+            }
+            for p in uniform_grid_points(n, m, seed) {
+                prop_assert!(p[0] < m && p[1] < m);
+            }
+        }
+    }
+}

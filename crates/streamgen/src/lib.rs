@@ -1,0 +1,7 @@
+//! Seeded workload generators for the experiment harness.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+
+pub use generators::*;

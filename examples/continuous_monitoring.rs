@@ -1,0 +1,66 @@
+//! Continuous monitoring (Theorem 1.4): a dashboard that must show
+//! accurate quantiles of everything-seen-so-far at *every* moment, not
+//! just at end-of-day — the `ContinuousAdaptiveGame` with the checkpoint
+//! sizing, against a drifting workload.
+//!
+//! ```sh
+//! cargo run --release --example continuous_monitoring
+//! ```
+
+use robust_sampling::core::adversary::StaticAdversary;
+use robust_sampling::core::bounds;
+use robust_sampling::core::game::ContinuousAdaptiveGame;
+use robust_sampling::core::sampler::ReservoirSampler;
+use robust_sampling::core::set_system::{PrefixSystem, SetSystem};
+use robust_sampling::streamgen;
+
+fn main() {
+    let n = 50_000;
+    let universe = 1u64 << 20;
+    let system = PrefixSystem::new(universe);
+    let eps = 0.1;
+    let delta = 0.05;
+
+    let k_plain = bounds::reservoir_k_robust(system.ln_cardinality(), eps, delta);
+    let k_cont = bounds::reservoir_k_continuous(system.ln_cardinality(), eps, delta, n);
+    let t = bounds::continuous_checkpoint_count(k_cont, eps, n);
+    println!(
+        "end-of-stream guarantee needs k = {k_plain}; every-prefix guarantee \
+         needs k = {k_cont} ({t} geometric checkpoints — ln ln n overhead, \
+         not ln n)"
+    );
+
+    // Workload that drifts: low-valued queries in the morning, high-valued
+    // in the afternoon. A frozen sample would be stale by noon.
+    let stream = streamgen::two_phase(n, universe, 5);
+
+    let game = ContinuousAdaptiveGame::geometric(n, k_cont, eps);
+    let mut sampler = ReservoirSampler::with_seed(k_cont, 1);
+    let mut adversary = StaticAdversary::new(stream);
+    let out = game.run(&mut sampler, &mut adversary, &system, eps);
+
+    println!(
+        "\nchecked {} prefixes; sup discrepancy over time = {:.4} (eps = {eps})",
+        out.checkpoints.len(),
+        out.max_prefix_discrepancy
+    );
+    match out.first_violation {
+        None => println!("the dashboard was accurate at every checkpoint ✓"),
+        Some(i) => println!("violated at round {i} ✗"),
+    }
+
+    // Show the trajectory at a few checkpoints.
+    println!("\n  round     discrepancy");
+    for (i, d) in out
+        .checkpoints
+        .iter()
+        .step_by((out.checkpoints.len() / 10).max(1))
+    {
+        println!("  {i:>7}   {d:.4}");
+    }
+    println!(
+        "\nnote the spike risk right after the distribution shift at round \
+         {} — the Theorem 1.4 size absorbs it.",
+        n / 2
+    );
+}

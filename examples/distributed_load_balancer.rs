@@ -1,0 +1,78 @@
+//! The paper's distributed-database vignette (§1.2): queries are routed to
+//! K servers at random, so each server's workload is a Bernoulli(1/K)
+//! sample of the query stream. If the stream is long enough — Theorem 1.2
+//! with p = 1/K — every server's view truthfully represents the global
+//! workload, so per-server query optimizers see the right statistics even
+//! as the workload drifts. Also demonstrates the coordinator pattern:
+//! per-site reservoirs merged into one global sample over the wire.
+//!
+//! ```sh
+//! cargo run --release --example distributed_load_balancer
+//! ```
+
+use robust_sampling::core::approx::prefix_discrepancy;
+use robust_sampling::core::set_system::{PrefixSystem, SetSystem};
+use robust_sampling::distributed::{merge_sites, run_threaded, Site, SiteSnapshot};
+use robust_sampling::streamgen;
+
+fn main() {
+    let k_servers = 8;
+    let universe = 1u64 << 20;
+    let system = PrefixSystem::new(universe);
+    let eps = 0.08;
+    let delta = 0.02;
+    // Stream length so every server's Bernoulli(1/K) view meets Thm 1.2
+    // at confidence delta/K:
+    let n = (10.0
+        * k_servers as f64
+        * (system.ln_cardinality() + (4.0 * k_servers as f64 / delta).ln())
+        / (eps * eps))
+        .ceil() as usize;
+    println!("K = {k_servers} servers, eps = {eps}: need n >= {n} queries; running n = {n}");
+
+    // A drifting workload (the risky case the paper worries about).
+    let stream = streamgen::two_phase(n, universe, 11);
+
+    // Threaded router: each worker keeps its substream + a local reservoir.
+    let views = run_threaded(&stream, k_servers, 512, 23);
+    println!("\nper-server workload representativeness (prefix discrepancy vs global):");
+    let mut worst = 0.0f64;
+    for (j, (substream, reservoir)) in views.iter().enumerate() {
+        let d = prefix_discrepancy(&stream, substream).value;
+        worst = worst.max(d);
+        println!(
+            "  server {j}: received {:>6} queries, discrepancy {:.4}, local reservoir {}",
+            substream.len(),
+            d,
+            reservoir.len()
+        );
+    }
+    println!(
+        "worst server: {:.4} <= eps = {eps}: {} — \"is random sampling a \
+         risk?\" answered in the negative",
+        worst,
+        worst <= eps
+    );
+
+    // Coordinator merge: ship (count, reservoir) snapshots, fuse into one
+    // global sample of the union.
+    println!("\ncoordinator merge of per-site reservoirs:");
+    let mut snaps = Vec::new();
+    for (j, (substream, _)) in views.iter().enumerate() {
+        let mut site = Site::new(512, 100 + j as u64);
+        for &x in substream {
+            site.observe(x);
+        }
+        let frame = site.snapshot();
+        println!("  site {j}: snapshot frame {} bytes", frame.len());
+        snaps.push(SiteSnapshot::decode(frame).expect("valid frame"));
+    }
+    let merged = merge_sites(&snaps, 1024, 31);
+    let d = prefix_discrepancy(&stream, &merged).value;
+    println!(
+        "merged sample |S| = {}, discrepancy vs global stream = {:.4} (<= eps: {})",
+        merged.len(),
+        d,
+        d <= eps
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: size a robust sampler from the theorem, stream data through
+//! it, verify the ε-approximation guarantee, and use the sample for
+//! quantiles and heavy hitters.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use robust_sampling::core::bounds;
+use robust_sampling::core::estimators::{heavy_hitters, SampleQuantiles};
+use robust_sampling::core::sampler::{ReservoirSampler, StreamSampler};
+use robust_sampling::core::set_system::{PrefixSystem, SetSystem};
+use robust_sampling::streamgen;
+
+fn main() {
+    // The data: 100k elements over a 2^20 universe, Zipf-skewed (so there
+    // are real heavy hitters and skewed quantiles).
+    let n = 100_000;
+    let universe = 1u64 << 20;
+    let stream = streamgen::zipf(n, universe, 1.05, 42);
+
+    // 1. Pick the guarantee: (ε, δ) = (0.05, 0.01) over prefix ranges.
+    //    Theorem 1.2: k = 2·(ln|R| + ln(2/δ)) / ε² — robust against ANY
+    //    adaptive adversary, so certainly against this static stream.
+    let eps = 0.05;
+    let delta = 0.01;
+    let system = PrefixSystem::new(universe);
+    let k = bounds::reservoir_k_robust(system.ln_cardinality(), eps, delta);
+    println!("ln|R| = {:.1}  =>  reservoir capacity k = {k}", system.ln_cardinality());
+
+    // 2. Stream the data through the sampler.
+    let mut sampler = ReservoirSampler::with_seed(k, 7);
+    for &x in &stream {
+        sampler.observe(x);
+    }
+
+    // 3. Verify the guarantee (you wouldn't do this in production — the
+    //    theorem does it for you — but this is a quickstart).
+    let report = system.max_discrepancy(&stream, sampler.sample());
+    println!(
+        "max prefix discrepancy = {:.4} (eps = {eps}) -> {}",
+        report.value,
+        if report.value <= eps { "eps-approximation ✓" } else { "VIOLATION" }
+    );
+
+    // 4. Use the sample: all quantiles at once (Corollary 1.5)…
+    let sq = SampleQuantiles::new(sampler.sample(), n);
+    println!("estimated median = {}", sq.median());
+    println!("estimated p99    = {}", sq.quantile(0.99));
+
+    // …and heavy hitters (Corollary 1.6): report density ≥ α − ε', with
+    // the tolerance ε' strictly inside (0, α).
+    let alpha = 0.02;
+    let hitters = heavy_hitters(sampler.sample(), alpha, alpha / 2.0);
+    println!("elements with density >= {alpha} (top 5):");
+    for h in hitters.iter().take(5) {
+        println!("  value {:>8}  sample density {:.4}", h.item, h.sample_density);
+    }
+}

@@ -1,0 +1,147 @@
+//! `rsample` — a command-line robust sampler.
+//!
+//! Reads one `u64` per line from stdin, maintains a Theorem 1.2-sized
+//! reservoir, and on EOF prints quantiles and heavy hitters with the
+//! requested `(ε, δ)` guarantee. Because the sizing is the adaptive one,
+//! the report is trustworthy even if whatever generates the input adapts
+//! to this process's memory.
+//!
+//! ```sh
+//! seq 1 100000 | shuf | cargo run --release --bin rsample -- --eps 0.05
+//! ```
+//!
+//! Options (all optional):
+//!
+//! ```text
+//!   --eps <f>             accuracy, default 0.05
+//!   --delta <f>           failure probability, default 0.01
+//!   --universe-bits <n>   ln|U| = n*ln 2, default 64
+//!   --alpha <f>           heavy-hitter threshold, default 0.05
+//!   --seed <n>            RNG seed, default 42
+//!   --quantiles <list>    comma-separated, default 0.01,0.25,0.5,0.75,0.99
+//! ```
+
+use std::io::BufRead;
+
+use robust_sampling::core::{RobustHeavyHitterSketch, RobustQuantileSketch};
+
+struct Options {
+    eps: f64,
+    delta: f64,
+    universe_bits: u32,
+    alpha: f64,
+    seed: u64,
+    quantiles: Vec<f64>,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut opts = Options {
+        eps: 0.05,
+        delta: 0.01,
+        universe_bits: 64,
+        alpha: 0.05,
+        seed: 42,
+        quantiles: vec![0.01, 0.25, 0.5, 0.75, 0.99],
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--eps" => opts.eps = value(i)?.parse().map_err(|e| format!("--eps: {e}"))?,
+            "--delta" => opts.delta = value(i)?.parse().map_err(|e| format!("--delta: {e}"))?,
+            "--universe-bits" => {
+                opts.universe_bits = value(i)?.parse().map_err(|e| format!("--universe-bits: {e}"))?
+            }
+            "--alpha" => opts.alpha = value(i)?.parse().map_err(|e| format!("--alpha: {e}"))?,
+            "--seed" => opts.seed = value(i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--quantiles" => {
+                opts.quantiles = value(i)?
+                    .split(',')
+                    .map(|q| q.trim().parse::<f64>().map_err(|e| format!("--quantiles: {e}")))
+                    .collect::<Result<_, _>>()?
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+        i += 2;
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_options() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("rsample: {e}");
+            std::process::exit(2);
+        }
+    };
+    let ln_universe = opts.universe_bits as f64 * std::f64::consts::LN_2;
+    let mut quantiles =
+        RobustQuantileSketch::<u64>::new(ln_universe, opts.eps, opts.delta, opts.seed);
+    let hh_eps = (opts.alpha * 0.9).min(opts.eps);
+    let mut hitters = RobustHeavyHitterSketch::<u64>::new(
+        ln_universe,
+        opts.alpha,
+        hh_eps,
+        opts.delta,
+        opts.seed ^ 0x5DEECE66D,
+    );
+    eprintln!(
+        "rsample: eps = {}, delta = {}, reservoirs k = {} / {}",
+        opts.eps,
+        opts.delta,
+        quantiles.capacity(),
+        hitters.capacity()
+    );
+
+    let stdin = std::io::stdin();
+    let mut bad_lines = 0usize;
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("rsample: read error: {e}");
+                break;
+            }
+        };
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        match t.parse::<u64>() {
+            Ok(v) => {
+                quantiles.observe(v);
+                hitters.observe(v);
+            }
+            Err(_) => bad_lines += 1,
+        }
+    }
+    let n = quantiles.observed();
+    if n == 0 {
+        eprintln!("rsample: no input");
+        std::process::exit(1);
+    }
+    println!("n = {n} ({bad_lines} unparseable lines skipped)");
+    println!("quantiles (each within ±{}·n rank error w.p. {}):", opts.eps, 1.0 - opts.delta);
+    for &q in &opts.quantiles {
+        if let Some(v) = quantiles.quantile(q) {
+            println!("  p{:<5} {v}", q * 100.0);
+        }
+    }
+    let report = hitters.report();
+    println!(
+        "heavy hitters (density >= {} reported, none below {}):",
+        opts.alpha,
+        opts.alpha - hh_eps
+    );
+    if report.is_empty() {
+        println!("  (none)");
+    }
+    for h in report.iter().take(20) {
+        println!("  {:>20}  ~{:.2}%", h.item, h.sample_density * 100.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! # robust-sampling — facade crate
+//!
+//! Re-exports the whole adversarially-robust-sampling suite under one
+//! roof, and hosts the repository-level examples and integration tests.
+//!
+//! * [`core`] — samplers, set systems, adaptive games, adversaries,
+//!   estimators, and the theorem-derived sample-size bounds;
+//! * [`sketches`] — deterministic/randomized streaming-summary baselines;
+//! * [`streamgen`] — seeded workload generators;
+//! * [`distributed`] — the paper's distributed load-balancing scenario.
+//!
+//! See the repository `README.md` for a tour and `EXPERIMENTS.md` for the
+//! paper-reproduction results.
+
+pub use robust_sampling_core as core;
+pub use robust_sampling_distributed as distributed;
+pub use robust_sampling_sketches as sketches;
+pub use robust_sampling_streamgen as streamgen;

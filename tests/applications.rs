@@ -1,0 +1,153 @@
+//! Integration: the §1.2 application pipelines, run through the full
+//! public API — quantiles (Cor 1.5), heavy hitters (Cor 1.6), range
+//! queries, center points, clustering — and their agreement with the
+//! deterministic baselines in the sketches crate.
+
+use robust_sampling::core::bounds;
+use robust_sampling::core::estimators::{
+    center_point, cluster_medoids, heavy_hitters, heavy_hitters_errors, kcenter_cost,
+    range_count, tukey_depth, SampleQuantiles,
+};
+use robust_sampling::core::sampler::{ReservoirSampler, StreamSampler};
+use robust_sampling::core::set_system::{
+    AxisBoxSystem, HalfplaneSystem, PrefixSystem, SetSystem, SingletonSystem,
+};
+use robust_sampling::sketches::gk::GkSummary;
+use robust_sampling::sketches::misra_gries::MisraGries;
+use robust_sampling::streamgen;
+
+#[test]
+fn corollary_15_quantiles_within_eps_of_gk() {
+    let n = 30_000;
+    let universe = 1u64 << 20;
+    let eps = 0.05;
+    let stream = streamgen::bell(n, universe, 3);
+
+    let system = PrefixSystem::new(universe);
+    let k = bounds::reservoir_k_robust(system.ln_cardinality(), eps, 0.01);
+    let mut sampler = ReservoirSampler::with_seed(k, 1);
+    let mut gk = GkSummary::new(eps / 2.0);
+    for &x in &stream {
+        sampler.observe(x);
+        gk.observe(x);
+    }
+    let sq = SampleQuantiles::new(sampler.sample(), n);
+    let mut sorted = stream.clone();
+    sorted.sort_unstable();
+    for &q in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+        let true_v = sorted[((q * n as f64) as usize).min(n - 1)];
+        let sample_v = *sq.quantile(q);
+        let gk_v = gk.quantile(q).unwrap();
+        // Both estimates' ranks must be within eps*n of the true rank.
+        for (label, v) in [("sample", sample_v), ("gk", gk_v)] {
+            let rank = sorted.partition_point(|&x| x <= v) as f64;
+            let true_rank = sorted.partition_point(|&x| x <= true_v) as f64;
+            assert!(
+                (rank - true_rank).abs() <= eps * n as f64 + 1.0,
+                "{label} q={q}: rank {rank} vs {true_rank}"
+            );
+        }
+    }
+}
+
+#[test]
+fn corollary_16_pipeline_has_no_misses_or_spurious() {
+    let n = 40_000;
+    let universe = 1u64 << 24;
+    let alpha = 0.05;
+    let eps = 0.03;
+    let stream = streamgen::zipf(n, universe, 1.2, 9);
+
+    let system = SingletonSystem::new(universe);
+    let k = bounds::reservoir_k_robust(system.ln_cardinality(), eps / 3.0, 0.02);
+    let mut sampler = ReservoirSampler::with_seed(k, 2);
+    for &x in &stream {
+        sampler.observe(x);
+    }
+    let report = heavy_hitters(sampler.sample(), alpha, eps / 3.0);
+    let (missed, spurious) = heavy_hitters_errors(&stream, &report, alpha, eps);
+    assert!(missed.is_empty(), "missed hitters: {missed:?}");
+    assert!(spurious.is_empty(), "spurious reports: {spurious:?}");
+
+    // Agreement with Misra-Gries on the reported set's top element.
+    let mut mg = MisraGries::new((2.0 / eps).ceil() as usize);
+    for &x in &stream {
+        mg.observe(x);
+    }
+    let top = report.first().expect("zipf stream has hitters");
+    assert!(
+        mg.estimate(top.item) > 0,
+        "MG does not track the sample's top hitter"
+    );
+}
+
+#[test]
+fn range_queries_within_eps_for_every_box() {
+    let n = 15_000;
+    let m = 24u64;
+    let eps = 0.1;
+    let system = AxisBoxSystem::<2>::new(m);
+    let k = bounds::reservoir_k_robust(system.ln_cardinality(), eps, 0.02);
+    let stream: Vec<[u64; 2]> = streamgen::uniform_grid_points(n, m, 4);
+    let mut sampler = ReservoirSampler::with_seed(k.min(n), 3);
+    for &p in &stream {
+        sampler.observe(p);
+    }
+    // The strong simultaneous guarantee.
+    let report = system.max_discrepancy(&stream, sampler.sample());
+    assert!(report.value <= eps, "max box discrepancy {}", report.value);
+    // And the point-query API agrees with ground truth on a specific box.
+    let truth = stream
+        .iter()
+        .filter(|p| p[0] < 12 && p[1] < 12)
+        .count() as f64;
+    let est = range_count(sampler.sample(), n, |p: &[u64; 2]| p[0] < 12 && p[1] < 12);
+    assert!((est - truth).abs() <= eps * n as f64);
+}
+
+#[test]
+fn center_point_transfers_from_sample_to_stream() {
+    let n = 10_000;
+    let m = 128u64;
+    let beta = 0.25;
+    let eps = beta / 5.0;
+    let system = HalfplaneSystem::new(m, 60);
+    let k = bounds::reservoir_k_robust(system.ln_cardinality(), eps, 0.02);
+    let stream = streamgen::clustered_points(n, m, &[(30, 30), (90, 90), (30, 90)], 14, 5);
+    let mut sampler = ReservoirSampler::with_seed(k.min(n / 2), 6);
+    for &p in &stream {
+        sampler.observe(p);
+    }
+    let sample = sampler.sample().to_vec();
+    assert!(system.max_discrepancy(&stream, &sample).value <= eps);
+    let (c, depth_in_sample) = center_point(&sample, 60);
+    if depth_in_sample >= 6.0 * beta / 5.0 {
+        let depth_in_stream = tukey_depth(&stream, (c.0 as f64, c.1 as f64), 60);
+        assert!(
+            depth_in_stream >= beta - 1e-9,
+            "CEM+96 transfer failed: {depth_in_stream} < {beta}"
+        );
+    }
+}
+
+#[test]
+fn clustering_on_sample_extrapolates() {
+    let n = 20_000;
+    let m = 256u64;
+    let centers = [(40i64, 40i64), (200, 40), (120, 210)];
+    let stream = streamgen::clustered_points(n, m, &centers, 10, 7);
+    let mut sampler = ReservoirSampler::with_seed(400, 8);
+    for &p in &stream {
+        sampler.observe(p);
+    }
+    let medoids_sample = cluster_medoids(sampler.sample(), 3);
+    let medoids_full = cluster_medoids(&stream, 3);
+    let cost_sample = kcenter_cost(&stream, &medoids_sample);
+    let cost_full = kcenter_cost(&stream, &medoids_full);
+    // The sample-derived clustering costs at most ~2x the full one (both
+    // are 2-approximations of the optimum on well-separated blobs).
+    assert!(
+        cost_sample <= 2.0 * cost_full + 20.0,
+        "sample clustering cost {cost_sample} vs full {cost_full}"
+    );
+}

@@ -1,0 +1,95 @@
+//! Integration: the distributed crate against the core guarantees —
+//! per-server representativeness under drift, wire-format round trips,
+//! and coordinator merges feeding the core estimators.
+
+use robust_sampling::core::approx::prefix_discrepancy;
+use robust_sampling::core::estimators::SampleQuantiles;
+use robust_sampling::core::set_system::{PrefixSystem, SetSystem};
+use robust_sampling::distributed::{merge_sites, run_threaded, LoadBalancer, Site, SiteSnapshot};
+use robust_sampling::streamgen;
+
+#[test]
+fn all_servers_representative_under_drifting_workload() {
+    let k_servers = 4;
+    let universe = 1u64 << 20;
+    let eps = 0.1;
+    let system = PrefixSystem::new(universe);
+    let n = (10.0
+        * k_servers as f64
+        * (system.ln_cardinality() + (4.0 * k_servers as f64 / 0.05).ln())
+        / (eps * eps))
+        .ceil() as usize;
+    let stream = streamgen::two_phase(n, universe, 13);
+    let mut lb = LoadBalancer::new(k_servers, 17);
+    lb.run(&stream);
+    for (j, view) in lb.views().iter().enumerate() {
+        let d = prefix_discrepancy(&stream, view).value;
+        assert!(d <= eps, "server {j}: discrepancy {d} > {eps}");
+    }
+}
+
+#[test]
+fn threaded_router_conserves_and_balances() {
+    let stream = streamgen::zipf(30_000, 1 << 16, 1.1, 3);
+    let out = run_threaded(&stream, 6, 64, 21);
+    let total: usize = out.iter().map(|(s, _)| s.len()).sum();
+    assert_eq!(total, stream.len());
+    let mean = stream.len() / 6;
+    for (j, (sub, res)) in out.iter().enumerate() {
+        assert!(
+            (sub.len() as f64 - mean as f64).abs() < 0.15 * mean as f64,
+            "server {j} got {} (mean {mean})",
+            sub.len()
+        );
+        assert_eq!(res.len(), 64);
+    }
+}
+
+#[test]
+fn merged_reservoir_feeds_quantile_estimator() {
+    // Sites see disjoint shards; the coordinator's merged sample must give
+    // accurate global quantiles via the core estimator.
+    let universe = 1u64 << 20;
+    let per_site = 20_000;
+    let mut snaps = Vec::new();
+    let mut union = Vec::new();
+    for s in 0..5u64 {
+        let shard = streamgen::uniform(per_site, universe, 40 + s);
+        let mut site = Site::new(400, s);
+        for &x in &shard {
+            site.observe(x);
+        }
+        union.extend(shard);
+        snaps.push(SiteSnapshot::decode(site.snapshot()).expect("valid frame"));
+    }
+    let merged = merge_sites(&snaps, 1500, 9);
+    let sq = SampleQuantiles::new(&merged, union.len());
+    let mut sorted = union.clone();
+    sorted.sort_unstable();
+    for &q in &[0.25, 0.5, 0.75] {
+        let _true_v = sorted[(q * union.len() as f64) as usize];
+        let est = *sq.quantile(q);
+        let est_rank = sorted.partition_point(|&x| x <= est) as f64 / union.len() as f64;
+        assert!(
+            (est_rank - q).abs() < 0.05,
+            "q={q}: merged estimate rank {est_rank}"
+        );
+    }
+    let _ = prefix_discrepancy(&union, &merged); // exercised above; no panic
+}
+
+#[test]
+fn snapshot_wire_format_is_stable() {
+    let mut site = Site::new(8, 1);
+    for x in [5u64, 6, 7] {
+        site.observe(x);
+    }
+    let frame = site.snapshot();
+    // 8 (count) + 4 (len) + 3*8 (values).
+    assert_eq!(frame.len(), 8 + 4 + 24);
+    let snap = SiteSnapshot::decode(frame).unwrap();
+    assert_eq!(snap.count, 3);
+    let mut sample = snap.sample;
+    sample.sort_unstable();
+    assert_eq!(sample, vec![5, 6, 7]);
+}
