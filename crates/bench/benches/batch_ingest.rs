@@ -1,0 +1,140 @@
+//! The engine-layer acceptance bench: batched `ingest_batch` vs
+//! per-element `observe` on a 10M-element stream, for the two samplers
+//! with specialized batch paths (Bernoulli geometric skip-sampling,
+//! reservoir Algorithm L gap skipping).
+//!
+//! The batched path must be a pure optimization — `batch_matches_
+//! elementwise` property tests assert identical samples per seed — and
+//! measurably faster: the `speedup_summary` target prints the measured
+//! ratio and flags anything below the 2x target. In practice the batch
+//! path does `O(stored)` work instead of `Θ(n)`, so ratios land orders of
+//! magnitude above the bar.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use robust_sampling_core::engine::StreamSummary;
+use robust_sampling_core::sampler::{BernoulliSampler, ReservoirSampler, StreamSampler};
+use std::hint::black_box;
+use std::time::Instant;
+
+const N: usize = 10_000_000;
+const BERNOULLI_P: f64 = 0.001; // E|S| = 10k, a theorem-scale rate
+const RESERVOIR_K: usize = 4_096;
+
+fn stream() -> Vec<u64> {
+    // Deterministic pseudo-random payload; generation cost excluded from
+    // every measurement below.
+    (0..N as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect()
+}
+
+fn bench_bernoulli(c: &mut Criterion) {
+    let xs = stream();
+    let mut g = c.benchmark_group("bernoulli_10m");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("observe_per_element", |b| {
+        b.iter(|| {
+            let mut s = BernoulliSampler::with_seed(BERNOULLI_P, 1);
+            for &x in &xs {
+                s.ingest(black_box(x));
+            }
+            s.sample().len()
+        });
+    });
+    g.bench_function("ingest_batch", |b| {
+        b.iter(|| {
+            let mut s = BernoulliSampler::with_seed(BERNOULLI_P, 1);
+            s.ingest_batch(black_box(&xs));
+            s.sample().len()
+        });
+    });
+    g.finish();
+}
+
+fn bench_reservoir(c: &mut Criterion) {
+    let xs = stream();
+    let mut g = c.benchmark_group("reservoir_10m");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("observe_per_element", |b| {
+        b.iter(|| {
+            let mut s = ReservoirSampler::with_seed(RESERVOIR_K, 1);
+            for &x in &xs {
+                s.ingest(black_box(x));
+            }
+            s.sample().len()
+        });
+    });
+    g.bench_function("ingest_batch", |b| {
+        b.iter(|| {
+            let mut s = ReservoirSampler::with_seed(RESERVOIR_K, 1);
+            s.ingest_batch(black_box(&xs));
+            s.sample().len()
+        });
+    });
+    g.finish();
+}
+
+/// Direct A/B measurement with a printed ratio — the acceptance check
+/// that the batched hot path is >= 2x faster on a 10M-element stream.
+fn speedup_summary(_c: &mut Criterion) {
+    let xs = stream();
+    let time = |f: &mut dyn FnMut() -> usize| {
+        // One warm-up, then best of 3.
+        f();
+        (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(f());
+                t.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    println!("speedup summary (10M elements, best of 3):");
+    for (name, per_elem, batched) in [
+        (
+            "bernoulli p=0.001",
+            time(&mut || {
+                let mut s = BernoulliSampler::with_seed(BERNOULLI_P, 1);
+                for &x in &xs {
+                    s.ingest(x);
+                }
+                s.sample().len()
+            }),
+            time(&mut || {
+                let mut s = BernoulliSampler::with_seed(BERNOULLI_P, 1);
+                s.ingest_batch(&xs);
+                s.sample().len()
+            }),
+        ),
+        (
+            "reservoir k=4096",
+            time(&mut || {
+                let mut s = ReservoirSampler::with_seed(RESERVOIR_K, 1);
+                for &x in &xs {
+                    s.ingest(x);
+                }
+                s.sample().len()
+            }),
+            time(&mut || {
+                let mut s = ReservoirSampler::with_seed(RESERVOIR_K, 1);
+                s.ingest_batch(&xs);
+                s.sample().len()
+            }),
+        ),
+    ] {
+        let ratio = per_elem / batched;
+        println!(
+            "  {name:<20} per-element {:>8.2} ms   batched {:>8.3} ms   speedup {ratio:>7.1}x  [{}]",
+            per_elem * 1e3,
+            batched * 1e3,
+            if ratio >= 2.0 { "OK: >= 2x target" } else { "BELOW 2x TARGET" }
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_bernoulli, bench_reservoir, speedup_summary
+}
+criterion_main!(benches);

@@ -77,7 +77,6 @@ fn bench_deterministic_strawman(c: &mut Criterion) {
     g.finish();
 }
 
-
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));

@@ -98,7 +98,6 @@ fn bench_heavy_hitter_summaries(c: &mut Criterion) {
     g.finish();
 }
 
-
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));

@@ -10,15 +10,18 @@
 //!    ε-approximation of the full stream simultaneously — even for
 //!    drifting/adversarial query mixes ("is random sampling a risk?": no);
 //! 2. a coordinator merging per-site reservoirs yields a representative
-//!    sample of the union (the \[CTW16\] pattern).
+//!    sample of the union (the \[CTW16\] pattern). Sites ingest their
+//!    shards through the engine's batched `StreamSummary` path.
 
-use robust_sampling_bench::{banner, f, is_quick, verdict, Table};
+use robust_sampling_bench::{banner, f, init_cli, is_quick, verdict, Table};
 use robust_sampling_core::approx::prefix_discrepancy;
+use robust_sampling_core::engine::StreamSummary;
 use robust_sampling_core::set_system::{PrefixSystem, SetSystem};
 use robust_sampling_distributed::{merge_sites, run_threaded, LoadBalancer, Site, SiteSnapshot};
 use robust_sampling_streamgen as streamgen;
 
 fn main() {
+    init_cli();
     banner(
         "E10",
         "random load balancing: every server sees a representative substream",
@@ -61,9 +64,14 @@ fn main() {
             .map(|v| prefix_discrepancy(&stream, v).value)
             .fold(0.0f64, f64::max);
         all_ok &= worst <= eps;
-        table.row(&[name.into(), "sync".into(), f(worst), (worst <= eps).to_string()]);
+        table.row(&[
+            name.into(),
+            "sync".into(),
+            f(worst),
+            (worst <= eps).to_string(),
+        ]);
 
-        // Threaded router (crossbeam workers with local reservoirs).
+        // Threaded router (mpsc workers with local reservoirs).
         let out = run_threaded(&stream, k_servers, 256, 99);
         let worst_threaded = out
             .iter()
@@ -77,7 +85,7 @@ fn main() {
             (worst_threaded <= eps).to_string(),
         ]);
     }
-    table.print();
+    table.emit("e10", "router");
     verdict(
         "all K server views are eps-representative simultaneously",
         all_ok,
@@ -91,11 +99,13 @@ fn main() {
     let mut union = Vec::new();
     for s in 0..4u64 {
         let mut site = Site::new(512, s);
-        for x in streamgen::uniform(per_site, universe / 4, 10 + s) {
-            let v = s * (universe / 4) + x;
-            site.observe(v);
-            union.push(v);
-        }
+        let shard: Vec<u64> = streamgen::uniform(per_site, universe / 4, 10 + s)
+            .into_iter()
+            .map(|x| s * (universe / 4) + x)
+            .collect();
+        // Bulk arrival at the site: the engine's batched ingest path.
+        site.ingest_batch(&shard);
+        union.extend(shard);
         snaps.push(SiteSnapshot::decode(site.snapshot()).expect("valid frame"));
     }
     let merged = merge_sites(&snaps, 1024, 5);
@@ -107,7 +117,7 @@ fn main() {
         f(d),
         (d <= eps).to_string(),
     ]);
-    table.print();
+    table.emit("e10", "merge");
     verdict(
         "coordinator merge is representative of the union",
         d <= eps,

@@ -18,24 +18,16 @@
 //!    adversary we can field, while VC-sized ones lose to the adaptive
 //!    hunter — the same gap, at practical scale.
 
-use robust_sampling_bench::{banner, f, is_quick, verdict, Table};
-use robust_sampling_core::adversary::{
-    GeneralizedBisectionAdversary, QuantileHunterAdversary,
-};
+use robust_sampling_bench::{banner, f, init_cli, is_quick, verdict, Table};
+use robust_sampling_core::adversary::{GeneralizedBisectionAdversary, QuantileHunterAdversary};
 use robust_sampling_core::approx::prefix_discrepancy;
 use robust_sampling_core::bounds;
-use robust_sampling_core::game::AdaptiveGame;
+use robust_sampling_core::engine::ExperimentEngine;
 use robust_sampling_core::sampler::ReservoirSampler;
 use robust_sampling_core::set_system::{PrefixSystem, SetSystem};
 
-/// Decorrelate the sampler's coins from the adversary's: the paper's
-/// model requires the sampler's randomness to be independent of the
-/// adversary, so experiment code must never share a raw seed between them.
-fn sampler_seed(seed: u64) -> u64 {
-    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03
-}
-
 fn main() {
+    init_cli();
     banner(
         "E11",
         "ablation: d (VC) vs ln|R| (cardinality) in the sample size",
@@ -49,24 +41,32 @@ fn main() {
     println!("\nVC-sized reservoir: k = {k_vc} (d = 1, eps = {eps}, delta = {delta}), n = {n}");
 
     // ---- Part 1: necessity — kill the VC-sized reservoir ---------------
-    let mut adv = GeneralizedBisectionAdversary::for_reservoir(k_vc, n);
-    let mut sampler = ReservoirSampler::with_seed(k_vc, 5);
-    let out = AdaptiveGame::new(n).run(&mut sampler, &mut adv);
-    let d_attack = prefix_discrepancy(&out.stream, &out.sample).value;
-    let bits_used = out.stream.iter().map(|x| x.bit_len()).max().unwrap_or(0);
+    let (d_attack, bits_used) = ExperimentEngine::new(n, 1).with_base_seed(5).adaptive_map(
+        |s| ReservoirSampler::with_seed(k_vc, s),
+        |_| GeneralizedBisectionAdversary::for_reservoir(k_vc, n),
+        |_, _, out| {
+            (
+                prefix_discrepancy(&out.stream, &out.sample).value,
+                out.stream.iter().map(|x| x.bit_len()).max().unwrap_or(0),
+            )
+        },
+    )[0];
     let ln_r_effective = bits_used as f64 * std::f64::consts::LN_2;
     let k_adaptive = bounds::reservoir_k_robust(ln_r_effective, eps, delta);
     let mut table = Table::new(&["quantity", "value"]);
     table.row(&["attack discrepancy vs VC-sized k".into(), f(d_attack)]);
     table.row(&["precision consumed B (bits)".into(), bits_used.to_string()]);
-    table.row(&["effective ln|R| = B ln 2".into(), format!("{ln_r_effective:.0}")]);
+    table.row(&[
+        "effective ln|R| = B ln 2".into(),
+        format!("{ln_r_effective:.0}"),
+    ]);
     table.row(&["Thm 1.2 k for that |R|".into(), k_adaptive.to_string()]);
     table.row(&["stream length n".into(), n.to_string()]);
     table.row(&[
         "k_adaptive >= n (store all => unattackable)".into(),
         (k_adaptive >= n).to_string(),
     ]);
-    table.print();
+    table.emit("e11", "necessity");
     verdict(
         "VC-sized reservoir annihilated by the attack",
         d_attack > 1.5 * eps,
@@ -81,14 +81,13 @@ fn main() {
     // ---- Part 2: sufficiency at realistic finite universes -------------
     println!("\nRealistic finite universes, hunter adversary, {n}-round games:");
     let trials = if is_quick() { 3 } else { 6 };
-    let mut table = Table::new(&[
-        "universe", "sizing", "k", "worst disc", "<= eps",
-    ]);
+    let mut table = Table::new(&["universe", "sizing", "k", "worst disc", "<= eps"]);
     let mut gap_shown_fail = false;
     let mut gap_shown_pass = true;
     for bits in [20u32, 30, 40] {
         let universe = 1u64 << bits;
         let system = PrefixSystem::new(universe);
+        let engine = ExperimentEngine::new(n, trials).with_base_seed(1_000 * bits as u64);
         for (label, k) in [
             ("VC (d=1)", k_vc),
             (
@@ -96,14 +95,12 @@ fn main() {
                 bounds::reservoir_k_robust(system.ln_cardinality(), eps, delta),
             ),
         ] {
-            let mut worst = 0.0f64;
-            for t in 0..trials {
-                let seed = 1000 * bits as u64 + t as u64;
-                let mut sampler = ReservoirSampler::with_seed(k, sampler_seed(seed));
-                let mut adv = QuantileHunterAdversary::new(universe, seed);
-                let o = AdaptiveGame::new(n).run(&mut sampler, &mut adv);
-                worst = worst.max(o.discrepancy(&system).value);
-            }
+            let stats = engine.adaptive(
+                &system,
+                |s| ReservoirSampler::with_seed(k, s),
+                |s| QuantileHunterAdversary::new(universe, s),
+            );
+            let worst = stats.worst();
             let ok = worst <= eps;
             if label == "VC (d=1)" {
                 gap_shown_fail |= !ok;
@@ -120,7 +117,7 @@ fn main() {
             ]);
         }
     }
-    table.print();
+    table.emit("e11", "sufficiency");
     verdict(
         "cardinality sizing survives the adaptive hunter",
         gap_shown_pass,
@@ -138,7 +135,11 @@ fn main() {
          ln N > 6 k ln n, i.e. N > 2^{needed_bits:.0} — far beyond any \
          realistic discrete universe; the hunter's failure to break it \
          here (observed: {}) matches Thm 1.3's admissibility window.",
-        if gap_shown_fail { "it broke anyway" } else { "it did not break it" }
+        if gap_shown_fail {
+            "it broke anyway"
+        } else {
+            "it did not break it"
+        }
     );
     verdict(
         "necessity of d -> ln|R| demonstrated in its regime",

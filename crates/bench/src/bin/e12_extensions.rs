@@ -13,26 +13,20 @@
 //!    the robust sample covers every ε-dense range, and show the static
 //!    net-size formula next to the adaptive (cardinality) one.
 
-use robust_sampling_bench::{banner, f, is_quick, verdict, Table};
+use robust_sampling_bench::{banner, f, init_cli, is_quick, verdict, Table};
 use robust_sampling_core::adversary::{
     Adversary, GreedyDiscrepancyAdversary, QuantileHunterAdversary, RandomAdversary,
     StaticAdversary,
 };
 use robust_sampling_core::bounds;
-use robust_sampling_core::game::AdaptiveGame;
+use robust_sampling_core::engine::ExperimentEngine;
 use robust_sampling_core::net;
 use robust_sampling_core::sampler::{BottomKSampler, ReservoirSampler, StreamSampler};
 use robust_sampling_core::set_system::{DominanceSystem, IntervalSystem, PrefixSystem, SetSystem};
 use robust_sampling_streamgen as streamgen;
 
-/// Decorrelate the sampler's coins from the adversary's: the paper's
-/// model requires the sampler's randomness to be independent of the
-/// adversary, so experiment code must never share a raw seed between them.
-fn sampler_seed(seed: u64) -> u64 {
-    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03
-}
-
 fn main() {
+    init_cli();
     banner(
         "E12",
         "extensions: bottom-k robustness, dominance ranges, eps-net transfer",
@@ -49,7 +43,13 @@ fn main() {
     let system = PrefixSystem::new(universe);
     let k = bounds::reservoir_k_robust(system.ln_cardinality(), eps, delta);
     println!("\nPart 1: bottom-k (exposed keys) vs reservoir, k = {k}:");
-    let mut table = Table::new(&["adversary", "bottom-k worst", "reservoir worst", "both <= eps"]);
+    let engine = ExperimentEngine::new(n, trials).with_base_seed(70);
+    let mut table = Table::new(&[
+        "adversary",
+        "bottom-k worst",
+        "reservoir worst",
+        "both <= eps",
+    ]);
     let mut all_ok = true;
     type AdvFactory = fn(u64, usize, u64) -> Box<dyn Adversary<u64>>;
     let adversaries: Vec<(&str, AdvFactory)> = vec![
@@ -65,25 +65,21 @@ fn main() {
         }),
     ];
     for (name, make) in &adversaries {
-        let mut worst_bk = 0.0f64;
-        let mut worst_rs = 0.0f64;
-        for t in 0..trials {
-            let seed = 70 + t as u64;
-            let mut adv = make(universe, n, seed);
-            let mut s = BottomKSampler::with_seed(k, sampler_seed(seed));
-            let out = AdaptiveGame::new(n).run(&mut s, adv.as_mut());
-            worst_bk = worst_bk.max(out.discrepancy(&system).value);
-
-            let mut adv = make(universe, n, seed);
-            let mut s = ReservoirSampler::with_seed(k, sampler_seed(seed));
-            let out = AdaptiveGame::new(n).run(&mut s, adv.as_mut());
-            worst_rs = worst_rs.max(out.discrepancy(&system).value);
-        }
-        let ok = worst_bk <= eps && worst_rs <= eps;
+        let bk = engine.adaptive(
+            &system,
+            |s| BottomKSampler::with_seed(k, s),
+            |s| make(universe, n, s),
+        );
+        let rs = engine.adaptive(
+            &system,
+            |s| ReservoirSampler::with_seed(k, s),
+            |s| make(universe, n, s),
+        );
+        let ok = bk.worst() <= eps && rs.worst() <= eps;
         all_ok &= ok;
-        table.row(&[(*name).into(), f(worst_bk), f(worst_rs), ok.to_string()]);
+        table.row(&[(*name).into(), f(bk.worst()), f(rs.worst()), ok.to_string()]);
     }
-    table.print();
+    table.emit("e12", "bottom_k");
     verdict(
         "bottom-k matches reservoir robustness at the same k",
         all_ok,
@@ -100,6 +96,7 @@ fn main() {
     );
     let mut table = Table::new(&["stream", "max NE-query error", "<= eps"]);
     let mut dom_ok = true;
+    let point_engine = ExperimentEngine::new(n, 1).with_base_seed(5);
     for (name, pts) in [
         ("uniform", streamgen::uniform_grid_points(n, m, 1)),
         (
@@ -110,37 +107,46 @@ fn main() {
                 .collect(),
         ),
     ] {
-        let mut sampler = ReservoirSampler::with_seed(k2.min(n), 5);
-        for &p in &pts {
-            sampler.observe(p);
-        }
-        let d = dom.max_discrepancy(&pts, sampler.sample()).value;
+        // Oblivious point stream -> batched ingest.
+        let stats = point_engine.batch(
+            &dom,
+            |s| ReservoirSampler::with_seed(k2.min(n), s),
+            |_| pts.clone(),
+            |sampler| sampler.sample().to_vec(),
+        );
+        let d = stats.worst();
         dom_ok &= d <= eps;
         table.row(&[name.into(), f(d), (d <= eps).to_string()]);
     }
-    table.print();
+    table.emit("e12", "dominance");
     verdict("every dominance query within eps*n", dom_ok, "");
 
     // ---- Part 3: eps-net transfer ---------------------------------------
     println!("\nPart 3: approximation => net (interval system, U = 256):");
     let small = IntervalSystem::new(256);
     let k3 = net::net_size_adaptive(small.ln_cardinality(), eps, delta);
-    let stream = streamgen::zipf(n, 256, 1.05, 8);
-    let mut sampler = ReservoirSampler::with_seed(k3.min(n), 9);
-    for &x in &stream {
-        sampler.observe(x);
-    }
-    let (worst_uncovered, witness) = net::worst_uncovered_density(&small, &stream, sampler.sample());
+    let (worst_uncovered, witness) = point_engine
+        .batch_map(
+            |s| ReservoirSampler::with_seed(k3.min(n), s),
+            |_| streamgen::zipf(n, 256, 1.05, 8),
+            |_, stream, sampler| net::worst_uncovered_density(&small, stream, sampler.sample()),
+        )
+        .into_iter()
+        .next()
+        .expect("one trial");
     let is_net = worst_uncovered < eps;
     let mut table = Table::new(&["quantity", "value"]);
-    table.row(&["adaptive net size (via eps/2-approx)".into(), k3.to_string()]);
+    table.row(&[
+        "adaptive net size (via eps/2-approx)".into(),
+        k3.to_string(),
+    ]);
     table.row(&[
         "static net size (Haussler-Welzl, d=2)".into(),
         net::net_size_static(2, eps, delta).to_string(),
     ]);
     table.row(&["worst uncovered density".into(), f(worst_uncovered)]);
     table.row(&["witness".into(), witness.unwrap_or_else(|| "-".into())]);
-    table.print();
+    table.emit("e12", "net_transfer");
     verdict(
         "robust sample is an eps-net",
         is_net,

@@ -11,12 +11,17 @@
 //! the same memory budget is indifferent: decoys are just ordinary
 //! elements, and the victim's sample density stays 0.
 //!
+//! Both machines consume the attack stream through the engine's
+//! [`StreamSummary`] interface — same bytes, same ingest call, opposite
+//! outcomes.
+//!
 //! (Against *oblivious* streams Count-Min is excellent — the first table
 //! shows its static guarantee holding — which is exactly the paper's
 //! point: the issue is adaptivity, not quality.)
 
-use robust_sampling_bench::{banner, is_quick, verdict, Table};
+use robust_sampling_bench::{banner, init_cli, is_quick, verdict, Table};
 use robust_sampling_core::bounds;
+use robust_sampling_core::engine::StreamSummary;
 use robust_sampling_core::estimators::heavy_hitters;
 use robust_sampling_core::sampler::{ReservoirSampler, StreamSampler};
 use robust_sampling_core::set_system::{SetSystem, SingletonSystem};
@@ -24,6 +29,7 @@ use robust_sampling_sketches::count_min::CountMin;
 use robust_sampling_streamgen as streamgen;
 
 fn main() {
+    init_cli();
     banner(
         "E13",
         "adaptive attack on a linear sketch (Count-Min) vs robust sampling",
@@ -41,20 +47,28 @@ fn main() {
     // ---- Phase 0: oblivious stream — Count-Min's static guarantee -------
     let mut cm = CountMin::for_guarantee(0.005, 0.01, 9);
     let stream = streamgen::zipf(n, universe, 1.2, 1);
-    for &x in &stream {
-        cm.observe(x);
-    }
+    cm.ingest_batch(&stream);
     let hot = stream[0]; // zipf rank-0 appears often; check calibration
     let truth = stream.iter().filter(|&&x| x == hot).count() as u64;
     let mut table = Table::new(&["quantity", "value"]);
-    table.row(&["CM geometry (depth x width)".into(), format!("{} x {}", cm.depth(), cm.width())]);
-    table.row(&["oblivious: estimate(hot)".into(), cm.estimate(hot).to_string()]);
+    table.row(&[
+        "CM geometry (depth x width)".into(),
+        format!("{} x {}", cm.depth(), cm.width()),
+    ]);
+    table.row(&[
+        "oblivious: estimate(hot)".into(),
+        cm.estimate(hot).to_string(),
+    ]);
     table.row(&["oblivious: true count(hot)".into(), truth.to_string()]);
     println!("\nPhase 0 — oblivious stream (static guarantee holds):");
-    table.print();
-    let static_ok = cm.estimate(hot) >= truth
-        && cm.estimate(hot) - truth <= (0.01 * n as f64) as u64 + 5;
-    verdict("Count-Min static guarantee on oblivious zipf", static_ok, "");
+    table.emit("e13", "oblivious");
+    let static_ok =
+        cm.estimate(hot) >= truth && cm.estimate(hot) - truth <= (0.01 * n as f64) as u64 + 5;
+    verdict(
+        "Count-Min static guarantee on oblivious zipf",
+        static_ok,
+        "",
+    );
 
     // ---- Phase 1: the state-aware attack ---------------------------------
     // Fresh sketch; adversary reads the hash functions from the state and
@@ -74,21 +88,25 @@ fn main() {
     let k = k_full.min(n / 5);
     let mut reservoir = ReservoirSampler::with_seed(k, 11);
 
-    let mut stream = Vec::with_capacity(n);
+    // The attack stream: decoy floods interleaved through the first 60%.
     let noise = streamgen::uniform(n, universe, 2);
     let mut sent = 0usize;
-    for (i, &bg) in noise.iter().enumerate() {
-        // Interleave decoy floods through the first 60% of the stream.
-        let x = if sent < floods * decoys.len() && i % 2 == 0 {
-            let d = decoys[sent % decoys.len()];
-            sent += 1;
-            d
-        } else {
-            bg
-        };
-        stream.push(x);
-        cm.observe(x);
-        reservoir.observe(x);
+    let stream: Vec<u64> = noise
+        .iter()
+        .enumerate()
+        .map(|(i, &bg)| {
+            if sent < floods * decoys.len() && i % 2 == 0 {
+                let d = decoys[sent % decoys.len()];
+                sent += 1;
+                d
+            } else {
+                bg
+            }
+        })
+        .collect();
+    // Same bytes, same engine call, both machines.
+    for summary in [&mut cm as &mut dyn StreamSummary<u64>, &mut reservoir] {
+        summary.ingest_batch(&stream);
     }
     let victim_truth = stream.iter().filter(|&&x| x == victim).count();
     let cm_victim = cm.estimate(victim);
@@ -125,7 +143,7 @@ fn main() {
         sample_says_heavy.to_string(),
     ]);
     println!("\nPhase 1 — state-aware adversary (victim never sent):");
-    table.print();
+    table.emit("e13", "attack");
     verdict(
         "attack forges a phantom heavy hitter in Count-Min",
         cm_says_heavy && victim_truth == 0,

@@ -9,22 +9,43 @@
 //! `1 − |S|/n` resp. `≥ 1 − k'/n`) — no matter how the sample is sized,
 //! because the universe is (effectively) infinite.
 
-use robust_sampling_bench::{banner, f, is_quick, verdict, Table};
+use robust_sampling_bench::{banner, f, init_cli, is_quick, verdict, Table};
 use robust_sampling_core::adversary::{BisectionAdversary, GeneralizedBisectionAdversary};
 use robust_sampling_core::approx::prefix_discrepancy;
-use robust_sampling_core::game::AdaptiveGame;
+use robust_sampling_core::engine::ExperimentEngine;
 use robust_sampling_core::sampler::{BernoulliSampler, ReservoirSampler};
 
+struct AttackRow {
+    sample_len: usize,
+    total_stored: usize,
+    discrepancy: f64,
+    trapped: bool,
+    max_bits: usize,
+}
+
 fn main() {
+    init_cli();
     banner(
         "E1",
         "bisection attack over the continuous interval [0,1]",
         "sample = |S| smallest elements w.p. 1 (Bernoulli); residents among \
          O(k ln n) smallest (reservoir); needs n bits of precision",
     );
-    let ns: &[usize] = if is_quick() { &[500, 1_000] } else { &[1_000, 4_000, 10_000] };
+    let ns: &[usize] = if is_quick() {
+        &[500, 1_000]
+    } else {
+        &[1_000, 4_000, 10_000]
+    };
     let mut table = Table::new(&[
-        "sampler", "n", "param", "|S|", "k'", "discrepancy", "1-k'/n", "smallest?", "max bits",
+        "sampler",
+        "n",
+        "param",
+        "|S|",
+        "k'",
+        "discrepancy",
+        "1-k'/n",
+        "smallest?",
+        "max bits",
     ]);
     let mut all_bernoulli_exact = true;
     let mut all_reservoir_trapped = true;
@@ -32,28 +53,36 @@ fn main() {
     for &n in ns {
         // --- Bernoulli under plain bisection -----------------------------
         let p = 0.02;
-        let mut adv = BisectionAdversary::new();
-        let mut sampler = BernoulliSampler::with_seed(p, 42 + n as u64);
-        let out = AdaptiveGame::new(n).run(&mut sampler, &mut adv);
-        let mut sorted = out.stream.clone();
-        sorted.sort();
-        let s = out.sample.len();
-        let mut sample_sorted = out.sample.clone();
-        sample_sorted.sort();
-        let exact_smallest = sample_sorted == sorted[..s];
-        all_bernoulli_exact &= exact_smallest;
-        let d = prefix_discrepancy(&out.stream, &out.sample).value;
-        let max_bits = out.stream.iter().map(|x| x.bit_len()).max().unwrap_or(0);
+        let engine = ExperimentEngine::new(n, 1).with_base_seed(42 + n as u64);
+        let rows = engine.adaptive_map(
+            |seed| BernoulliSampler::with_seed(p, seed),
+            |_| BisectionAdversary::new(),
+            |_, _, out| {
+                let mut sorted = out.stream.clone();
+                sorted.sort();
+                let mut sample_sorted = out.sample.clone();
+                sample_sorted.sort();
+                AttackRow {
+                    sample_len: out.sample.len(),
+                    total_stored: out.total_stored,
+                    discrepancy: prefix_discrepancy(&out.stream, &out.sample).value,
+                    trapped: sample_sorted == sorted[..out.sample.len()],
+                    max_bits: out.stream.iter().map(|x| x.bit_len()).max().unwrap_or(0),
+                }
+            },
+        );
+        let r = &rows[0];
+        all_bernoulli_exact &= r.trapped;
         table.row(&[
             "bernoulli".into(),
             n.to_string(),
             format!("p={p}"),
-            s.to_string(),
-            s.to_string(),
-            f(d),
-            f(1.0 - s as f64 / n as f64),
-            exact_smallest.to_string(),
-            max_bits.to_string(),
+            r.sample_len.to_string(),
+            r.sample_len.to_string(),
+            f(r.discrepancy),
+            f(1.0 - r.sample_len as f64 / n as f64),
+            r.trapped.to_string(),
+            r.max_bits.to_string(),
         ]);
 
         // --- Reservoir under the generalized (asymmetric) bisection ------
@@ -62,30 +91,38 @@ fn main() {
         // protects against the infinite-universe attack.
         let ln_r_finite = 20.0 * std::f64::consts::LN_2; // ln|R| of a 2^20 prefix system
         let k = robust_sampling_core::bounds::reservoir_k_robust(ln_r_finite, 0.25, 0.1).min(n / 8);
-        let mut adv = GeneralizedBisectionAdversary::for_reservoir(k, n);
-        let mut sampler = ReservoirSampler::with_seed(k, 7 + n as u64);
-        let out = AdaptiveGame::new(n).run(&mut sampler, &mut adv);
-        let mut sorted = out.stream.clone();
-        sorted.sort();
-        let kp = out.total_stored;
-        let cutoff = &sorted[kp - 1];
-        let trapped = out.sample.iter().all(|x| x <= cutoff);
-        all_reservoir_trapped &= trapped;
-        let d = prefix_discrepancy(&out.stream, &out.sample).value;
-        let max_bits = out.stream.iter().map(|x| x.bit_len()).max().unwrap_or(0);
+        let engine = ExperimentEngine::new(n, 1).with_base_seed(7 + n as u64);
+        let rows = engine.adaptive_map(
+            |seed| ReservoirSampler::with_seed(k, seed),
+            |_| GeneralizedBisectionAdversary::for_reservoir(k, n),
+            |_, _, out| {
+                let mut sorted = out.stream.clone();
+                sorted.sort();
+                let cutoff = &sorted[out.total_stored - 1];
+                AttackRow {
+                    sample_len: out.sample.len(),
+                    total_stored: out.total_stored,
+                    discrepancy: prefix_discrepancy(&out.stream, &out.sample).value,
+                    trapped: out.sample.iter().all(|x| x <= cutoff),
+                    max_bits: out.stream.iter().map(|x| x.bit_len()).max().unwrap_or(0),
+                }
+            },
+        );
+        let r = &rows[0];
+        all_reservoir_trapped &= r.trapped;
         table.row(&[
             "reservoir".into(),
             n.to_string(),
             format!("k={k}"),
-            out.sample.len().to_string(),
-            kp.to_string(),
-            f(d),
-            f(1.0 - kp as f64 / n as f64),
-            trapped.to_string(),
-            max_bits.to_string(),
+            r.sample_len.to_string(),
+            r.total_stored.to_string(),
+            f(r.discrepancy),
+            f(1.0 - r.total_stored as f64 / n as f64),
+            r.trapped.to_string(),
+            r.max_bits.to_string(),
         ]);
     }
-    table.print();
+    table.emit("e1", "bisection");
     verdict(
         "bernoulli sample is exactly the smallest elements",
         all_bernoulli_exact,

@@ -11,10 +11,10 @@
 //! threshold: attack success rate should fall from ≈1 to ≈0 right where
 //! the budget arithmetic predicts.
 
-use robust_sampling_bench::{banner, f, is_quick, verdict, Table};
+use robust_sampling_bench::{banner, f, init_cli, is_quick, verdict, Table};
 use robust_sampling_core::adversary::DiscreteAttackAdversary;
 use robust_sampling_core::approx::prefix_discrepancy;
-use robust_sampling_core::game::AdaptiveGame;
+use robust_sampling_core::engine::ExperimentEngine;
 use robust_sampling_core::sampler::{BernoulliSampler, ReservoirSampler};
 
 /// Precision budget check (Claim 5.1 arithmetic): expected nats consumed
@@ -23,7 +23,28 @@ fn expected_cost_nats(expected_insertions: f64, p_prime: f64, n: usize) -> f64 {
     expected_insertions * (1.0 / p_prime).ln() + n as f64 * p_prime
 }
 
+/// One trial's judgment of the attack.
+struct AttackTrial {
+    p_prime: f64,
+    exhausted: bool,
+    discrepancy: f64,
+    empty_sample: bool,
+}
+
+fn judge(
+    adv: &DiscreteAttackAdversary,
+    out: robust_sampling_core::GameOutcome<u64>,
+) -> AttackTrial {
+    AttackTrial {
+        p_prime: adv.p_prime(),
+        exhausted: adv.exhausted(),
+        discrepancy: prefix_discrepancy(&out.stream, &out.sample).value,
+        empty_sample: out.sample.is_empty(),
+    }
+}
+
 fn main() {
+    init_cli();
     banner(
         "E2",
         "Figure 3 attack success vs sample size over U = [2^62]",
@@ -38,28 +59,30 @@ fn main() {
     // ---- Reservoir sweep ---------------------------------------------
     println!("\nReservoirSample, n = {n}, N = 2^62 (budget {ln_budget:.1} nats):");
     let mut table = Table::new(&[
-        "k", "p'", "E[cost] nats", "budget ok", "success rate", "exhaust rate", "mean disc",
+        "k",
+        "p'",
+        "E[cost] nats",
+        "budget ok",
+        "success rate",
+        "exhaust rate",
+        "mean disc",
     ]);
     let mut sub_threshold_wins = true;
     let mut super_threshold_loses = true;
     for &k in &[1usize, 2, 3, 5, 8, 12] {
-        let mut wins = 0usize;
-        let mut exhausted = 0usize;
-        let mut disc_sum = 0.0;
-        let mut p_prime = 0.0;
-        for t in 0..trials {
-            let mut adv = DiscreteAttackAdversary::for_reservoir(k, n, universe);
-            p_prime = adv.p_prime();
-            let mut sampler = ReservoirSampler::with_seed(k, 1_000 * k as u64 + t);
-            let out = AdaptiveGame::new(n).run(&mut sampler, &mut adv);
-            let d = prefix_discrepancy(&out.stream, &out.sample).value;
-            disc_sum += d;
-            if adv.exhausted() {
-                exhausted += 1;
-            } else if d > 0.5 {
-                wins += 1;
-            }
-        }
+        let engine = ExperimentEngine::new(n, trials).with_base_seed(1_000 * k as u64);
+        let runs = engine.adaptive_map(
+            |seed| ReservoirSampler::with_seed(k, seed),
+            |_| DiscreteAttackAdversary::for_reservoir(k, n, universe),
+            |_, adv, out| judge(adv, out),
+        );
+        let p_prime = runs[0].p_prime;
+        let wins = runs
+            .iter()
+            .filter(|r| !r.exhausted && r.discrepancy > 0.5)
+            .count();
+        let exhausted = runs.iter().filter(|r| r.exhausted).count();
+        let mean_disc = runs.iter().map(|r| r.discrepancy).sum::<f64>() / trials as f64;
         let exp_ins = k as f64 * (1.0 + (n as f64 / k as f64).ln());
         let cost = expected_cost_nats(exp_ins, p_prime, n);
         let ok = cost <= ln_budget;
@@ -77,34 +100,36 @@ fn main() {
             ok.to_string(),
             f(win_rate),
             f(exhausted as f64 / trials as f64),
-            f(disc_sum / trials as f64),
+            f(mean_disc),
         ]);
     }
-    table.print();
+    table.emit("e2", "reservoir_sweep");
 
     // ---- Bernoulli sweep ----------------------------------------------
     println!("\nBernoulliSample, n = {n}, N = 2^62:");
     let mut table = Table::new(&[
-        "p", "p'", "E[cost] nats", "budget ok", "success rate", "exhaust rate", "mean disc",
+        "p",
+        "p'",
+        "E[cost] nats",
+        "budget ok",
+        "success rate",
+        "exhaust rate",
+        "mean disc",
     ]);
     for &p in &[0.005f64, 0.01, 0.02, 0.05, 0.1, 0.2] {
-        let mut wins = 0usize;
-        let mut exhausted = 0usize;
-        let mut disc_sum = 0.0;
-        let mut p_prime = 0.0;
-        for t in 0..trials {
-            let mut adv = DiscreteAttackAdversary::for_bernoulli(p, n, universe);
-            p_prime = adv.p_prime();
-            let mut sampler = BernoulliSampler::with_seed(p, 77_000 + t);
-            let out = AdaptiveGame::new(n).run(&mut sampler, &mut adv);
-            let d = prefix_discrepancy(&out.stream, &out.sample).value;
-            disc_sum += d;
-            if adv.exhausted() {
-                exhausted += 1;
-            } else if !out.sample.is_empty() && d > 0.5 {
-                wins += 1;
-            }
-        }
+        let engine = ExperimentEngine::new(n, trials).with_base_seed(77_000 + (p * 1e4) as u64);
+        let runs = engine.adaptive_map(
+            |seed| BernoulliSampler::with_seed(p, seed),
+            |_| DiscreteAttackAdversary::for_bernoulli(p, n, universe),
+            |_, adv, out| judge(adv, out),
+        );
+        let p_prime = runs[0].p_prime;
+        let wins = runs
+            .iter()
+            .filter(|r| !r.exhausted && !r.empty_sample && r.discrepancy > 0.5)
+            .count();
+        let exhausted = runs.iter().filter(|r| r.exhausted).count();
+        let mean_disc = runs.iter().map(|r| r.discrepancy).sum::<f64>() / trials as f64;
         let cost = expected_cost_nats(n as f64 * p_prime, p_prime, n);
         table.row(&[
             f(p),
@@ -113,10 +138,10 @@ fn main() {
             (cost <= ln_budget).to_string(),
             f(wins as f64 / trials as f64),
             f(exhausted as f64 / trials as f64),
-            f(disc_sum / trials as f64),
+            f(mean_disc),
         ]);
     }
-    table.print();
+    table.emit("e2", "bernoulli_sweep");
 
     // ---- Theorem 1.3 threshold formulas --------------------------------
     println!("\nTheorem 1.3 thresholds at this (n, N):");

@@ -9,55 +9,64 @@
 //! 2. The measured worst-case discrepancy scales like `√(ln|R|/k)`:
 //!    quartering `k` doubles the error (shape check, not constants).
 
-use robust_sampling_bench::{banner, f, is_quick, verdict, Table};
+use robust_sampling_bench::{banner, f, init_cli, is_quick, verdict, Table};
 use robust_sampling_core::adversary::{
     Adversary, DiscreteAttackAdversary, GreedyDiscrepancyAdversary, QuantileHunterAdversary,
     RandomAdversary, StaticAdversary,
 };
 use robust_sampling_core::bounds;
-use robust_sampling_core::game::AdaptiveGame;
+use robust_sampling_core::engine::ExperimentEngine;
 use robust_sampling_core::sampler::{BernoulliSampler, ReservoirSampler};
 use robust_sampling_core::set_system::{PrefixSystem, SetSystem};
 use robust_sampling_streamgen as streamgen;
 
-fn adversaries(universe: u64, n: usize, seed: u64) -> Vec<(&'static str, Box<dyn Adversary<u64>>)> {
+type AdvFactory = Box<dyn Fn(u64) -> Box<dyn Adversary<u64>>>;
+
+fn adversary_suite(universe: u64, n: usize) -> Vec<(&'static str, AdvFactory)> {
     vec![
-        ("random", Box::new(RandomAdversary::new(universe, seed))),
+        (
+            "random",
+            Box::new(move |s| {
+                Box::new(RandomAdversary::new(universe, s)) as Box<dyn Adversary<u64>>
+            }),
+        ),
         (
             "sorted",
-            Box::new(StaticAdversary::new(streamgen::sorted_ramp(n, universe))),
+            Box::new(move |_| {
+                Box::new(StaticAdversary::new(streamgen::sorted_ramp(n, universe))) as _
+            }),
         ),
         (
             "two-phase",
-            Box::new(StaticAdversary::new(streamgen::two_phase(n, universe, seed))),
+            Box::new(move |s| {
+                Box::new(StaticAdversary::new(streamgen::two_phase(n, universe, s))) as _
+            }),
         ),
         (
             "zipf",
-            Box::new(StaticAdversary::new(streamgen::zipf(n, universe, 1.1, seed))),
+            Box::new(move |s| {
+                Box::new(StaticAdversary::new(streamgen::zipf(n, universe, 1.1, s))) as _
+            }),
         ),
         (
             "greedy",
-            Box::new(GreedyDiscrepancyAdversary::new(universe, 64, seed)),
+            Box::new(move |s| Box::new(GreedyDiscrepancyAdversary::new(universe, 64, s)) as _),
         ),
         (
             "quantile-hunter",
-            Box::new(QuantileHunterAdversary::new(universe, seed)),
+            Box::new(move |s| Box::new(QuantileHunterAdversary::new(universe, s)) as _),
         ),
         (
             "figure3",
-            Box::new(DiscreteAttackAdversary::for_bernoulli(0.01, n, universe)),
+            Box::new(move |_| {
+                Box::new(DiscreteAttackAdversary::for_bernoulli(0.01, n, universe)) as _
+            }),
         ),
     ]
 }
 
-/// Decorrelate the sampler's coins from the adversary's: the paper's
-/// model requires the sampler's randomness to be independent of the
-/// adversary, so experiment code must never share a raw seed between them.
-fn sampler_seed(seed: u64) -> u64 {
-    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03
-}
-
 fn main() {
+    init_cli();
     banner(
         "E3",
         "Theorem 1.2 robustness at prescribed sample sizes",
@@ -78,34 +87,17 @@ fn main() {
     );
 
     // ---- Part 1: every adversary, both samplers, at prescribed sizes ----
+    let engine = ExperimentEngine::new(n, trials).with_base_seed(7);
     let mut table = Table::new(&["adversary", "sampler", "worst disc", "eps", "ok"]);
     let mut all_ok = true;
-    for (name, _) in adversaries(universe, n, 0) {
+    for (name, make_adv) in adversary_suite(universe, n) {
         for sampler_kind in ["reservoir", "bernoulli"] {
-            let mut worst = 0.0f64;
-            for t in 0..trials {
-                let seed = t as u64 * 31 + 7;
-                let mut advs = adversaries(universe, n, seed);
-                let adv = advs
-                    .iter_mut()
-                    .find(|(a, _)| *a == name)
-                    .map(|(_, b)| b)
-                    .expect("adversary present");
-                let d = if sampler_kind == "reservoir" {
-                    let mut s = ReservoirSampler::with_seed(k, sampler_seed(seed));
-                    AdaptiveGame::new(n)
-                        .run(&mut s, adv.as_mut())
-                        .discrepancy(&system)
-                        .value
-                } else {
-                    let mut s = BernoulliSampler::with_seed(p, sampler_seed(seed));
-                    AdaptiveGame::new(n)
-                        .run(&mut s, adv.as_mut())
-                        .discrepancy(&system)
-                        .value
-                };
-                worst = worst.max(d);
-            }
+            let stats = if sampler_kind == "reservoir" {
+                engine.adaptive(&system, |s| ReservoirSampler::with_seed(k, s), &make_adv)
+            } else {
+                engine.adaptive(&system, |s| BernoulliSampler::with_seed(p, s), &make_adv)
+            };
+            let worst = stats.worst();
             let ok = worst <= eps;
             all_ok &= ok;
             table.row(&[
@@ -117,7 +109,7 @@ fn main() {
             ]);
         }
     }
-    table.print();
+    table.emit("e3", "adversary_suite");
     verdict(
         "Theorem 1.2 holds at prescribed sizes",
         all_ok,
@@ -126,31 +118,22 @@ fn main() {
 
     // ---- Part 2: error scaling ~ sqrt(ln|R| / k) ------------------------
     println!("\nError scaling: reservoir under the greedy adversary, k swept");
+    let engine = ExperimentEngine::new(n, trials).with_base_seed(900);
     let mut table = Table::new(&["k", "mean disc", "predicted sqrt(2 ln|R|/k)", "ratio"]);
     let mut ratios = Vec::new();
     for &kk in &[k / 16, k / 8, k / 4, k / 2, k] {
         let kk = kk.max(4);
-        let mut sum = 0.0;
-        for t in 0..trials {
-            let seed = 900 + t as u64;
-            let mut s = ReservoirSampler::with_seed(kk, sampler_seed(seed));
-            let mut adv = GreedyDiscrepancyAdversary::new(universe, 64, seed);
-            sum += AdaptiveGame::new(n)
-                .run(&mut s, &mut adv)
-                .discrepancy(&system)
-                .value;
-        }
-        let mean = sum / trials as f64;
+        let stats = engine.adaptive(
+            &system,
+            |s| ReservoirSampler::with_seed(kk, s),
+            |s| GreedyDiscrepancyAdversary::new(universe, 64, s),
+        );
+        let mean = stats.mean();
         let predicted = (2.0 * system.ln_cardinality() / kk as f64).sqrt();
         ratios.push(mean / predicted);
-        table.row(&[
-            kk.to_string(),
-            f(mean),
-            f(predicted),
-            f(mean / predicted),
-        ]);
+        table.row(&[kk.to_string(), f(mean), f(predicted), f(mean / predicted)]);
     }
-    table.print();
+    table.emit("e3", "error_scaling");
     // Shape check: the measured/predicted ratio should be roughly flat
     // (within a factor of 4 across a 16x sweep in k).
     let spread = ratios.iter().cloned().fold(0.0f64, f64::max)

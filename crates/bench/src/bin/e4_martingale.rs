@@ -11,9 +11,9 @@
 //!    Freedman bound with the claims' variance/step budgets — i.e. the
 //!    Lemma 4.1 failure probabilities are honest.
 
-use robust_sampling_bench::{banner, f, is_quick, verdict, Table};
+use robust_sampling_bench::{banner, f, init_cli, is_quick, verdict, Table};
 use robust_sampling_core::adversary::GreedyDiscrepancyAdversary;
-use robust_sampling_core::game::AdaptiveGame;
+use robust_sampling_core::engine::ExperimentEngine;
 use robust_sampling_core::martingale::{
     self, bernoulli_z_sequence, path_stats, reservoir_z_sequence, RoundEvent,
 };
@@ -21,18 +21,32 @@ use robust_sampling_core::sampler::{BernoulliSampler, ReservoirSampler};
 
 const RANGE_CUT: u64 = 1 << 19; // R = [0, 2^19) inside U = [0, 2^20)
 
-fn record_events(sample_in_range: impl Fn(&[u64]) -> usize) -> impl Fn(&[u64]) -> usize {
-    sample_in_range
-}
-
-/// Decorrelate the sampler's coins from the adversary's: the paper's
-/// model requires the sampler's randomness to be independent of the
-/// adversary, so experiment code must never share a raw seed between them.
-fn sampler_seed(seed: u64) -> u64 {
-    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03
+/// Record the per-round `Z_i^R` events of every engine trial: one event
+/// vector per adaptive game path.
+fn record_paths<Smp>(
+    engine: &ExperimentEngine,
+    mk_sampler: impl FnMut(u64) -> Smp,
+    mk_adv: impl FnMut(u64) -> GreedyDiscrepancyAdversary,
+) -> Vec<Vec<RoundEvent>>
+where
+    Smp: robust_sampling_core::sampler::StreamSampler<u64>,
+{
+    let mut paths: Vec<Vec<RoundEvent>> = Vec::with_capacity(engine.trials());
+    engine.adaptive_traced(mk_sampler, mk_adv, |_, tr| {
+        if tr.round == 1 {
+            paths.push(Vec::with_capacity(engine.n()));
+        }
+        paths.last_mut().expect("path started").push(RoundEvent {
+            in_range: *tr.element < RANGE_CUT,
+            range_in_sample: tr.sample.iter().filter(|&&v| v < RANGE_CUT).count(),
+            sample_size: tr.sample.len(),
+        });
+    });
+    paths
 }
 
 fn main() {
+    init_cli();
     banner(
         "E4",
         "the Z_i^R processes are martingales with the claimed budgets",
@@ -42,26 +56,19 @@ fn main() {
     let n = if is_quick() { 400 } else { 1_000 };
     let paths = if is_quick() { 200 } else { 600 };
     let universe = 1u64 << 20;
-    let in_range = |x: u64| x < RANGE_CUT;
-    let count_in_range = record_events(|s: &[u64]| s.iter().filter(|&&v| v < RANGE_CUT).count());
 
     // ---- Bernoulli --------------------------------------------------------
     let p = 0.1;
-    let mut bern_paths = Vec::with_capacity(paths);
-    for t in 0..paths {
-        let seed = t as u64;
-        let mut sampler = BernoulliSampler::with_seed(p, sampler_seed(seed));
-        let mut adv = GreedyDiscrepancyAdversary::new(universe, 32, 10_000 + seed);
-        let mut events: Vec<RoundEvent> = Vec::with_capacity(n);
-        AdaptiveGame::new(n).run_traced(&mut sampler, &mut adv, |tr| {
-            events.push(RoundEvent {
-                in_range: in_range(*tr.element),
-                range_in_sample: count_in_range(tr.sample),
-                sample_size: tr.sample.len(),
-            });
-        });
-        bern_paths.push(bernoulli_z_sequence(&events, p));
-    }
+    let engine = ExperimentEngine::new(n, paths).with_base_seed(10_000);
+    let bern_events = record_paths(
+        &engine,
+        |s| BernoulliSampler::with_seed(p, s),
+        |s| GreedyDiscrepancyAdversary::new(universe, 32, s),
+    );
+    let bern_paths: Vec<Vec<f64>> = bern_events
+        .iter()
+        .map(|ev| bernoulli_z_sequence(ev, p))
+        .collect();
     let stats = path_stats(&bern_paths);
     let step_bound = 1.0 / (n as f64 * p);
     let var_bound = 1.0 / (n as f64 * n as f64 * p);
@@ -69,12 +76,31 @@ fn main() {
     let step_ok = stats.max_abs_increment <= step_bound + 1e-12;
     let var_ok = stats.max_round_variance <= 2.0 * var_bound; // sampling noise
     let mean_ok = stats.mean_increment.abs() < 5.0 * step_bound / ((paths * n) as f64).sqrt();
-    table.row(&["max |dZ| (4.2)".into(), format!("{:.3e}", stats.max_abs_increment), format!("{step_bound:.3e}"), step_ok.to_string()]);
-    table.row(&["max round Var (4.2)".into(), format!("{:.3e}", stats.max_round_variance), format!("{var_bound:.3e} (x2 slack)"), var_ok.to_string()]);
-    table.row(&["|mean increment|".into(), format!("{:.3e}", stats.mean_increment.abs()), "~0 (5-sigma)".into(), mean_ok.to_string()]);
+    table.row(&[
+        "max |dZ| (4.2)".into(),
+        format!("{:.3e}", stats.max_abs_increment),
+        format!("{step_bound:.3e}"),
+        step_ok.to_string(),
+    ]);
+    table.row(&[
+        "max round Var (4.2)".into(),
+        format!("{:.3e}", stats.max_round_variance),
+        format!("{var_bound:.3e} (x2 slack)"),
+        var_ok.to_string(),
+    ]);
+    table.row(&[
+        "|mean increment|".into(),
+        format!("{:.3e}", stats.mean_increment.abs()),
+        "~0 (5-sigma)".into(),
+        mean_ok.to_string(),
+    ]);
     println!("\nBernoulli (n = {n}, p = {p}, {paths} adaptive game paths):");
-    table.print();
-    verdict("Claim 4.2 budgets hold under adaptivity", step_ok && var_ok && mean_ok, "");
+    table.emit("e4", "bernoulli_budgets");
+    verdict(
+        "Claim 4.2 budgets hold under adaptivity",
+        step_ok && var_ok && mean_ok,
+        "",
+    );
 
     // Tail domination: measured Pr[|Z_n| >= lambda] vs Freedman.
     println!("\nBernoulli tail vs Lemma 3.3:");
@@ -86,33 +112,32 @@ fn main() {
             .filter(|z| z.last().unwrap().abs() >= lambda)
             .count() as f64
             / paths as f64;
-        let bound =
-            martingale::freedman_tail_two_sided(lambda, n as f64 * var_bound, step_bound);
+        let bound = martingale::freedman_tail_two_sided(lambda, n as f64 * var_bound, step_bound);
         if measured > bound + 3.0 * (bound * (1.0 - bound) / paths as f64).sqrt() + 0.01 {
             tails_ok = false;
         }
-        table.row(&[f(lambda), f(measured), f(bound), (measured <= bound + 0.02).to_string()]);
+        table.row(&[
+            f(lambda),
+            f(measured),
+            f(bound),
+            (measured <= bound + 0.02).to_string(),
+        ]);
     }
-    table.print();
+    table.emit("e4", "bernoulli_tails");
     verdict("Lemma 3.3 dominates Bernoulli tails", tails_ok, "");
 
     // ---- Reservoir --------------------------------------------------------
     let k = if is_quick() { 40 } else { 100 };
-    let mut res_paths = Vec::with_capacity(paths);
-    for t in 0..paths {
-        let seed = 777 + t as u64;
-        let mut sampler = ReservoirSampler::with_seed(k, sampler_seed(seed));
-        let mut adv = GreedyDiscrepancyAdversary::new(universe, 32, 20_000 + seed);
-        let mut events: Vec<RoundEvent> = Vec::with_capacity(n);
-        AdaptiveGame::new(n).run_traced(&mut sampler, &mut adv, |tr| {
-            events.push(RoundEvent {
-                in_range: in_range(*tr.element),
-                range_in_sample: count_in_range(tr.sample),
-                sample_size: tr.sample.len(),
-            });
-        });
-        res_paths.push(reservoir_z_sequence(&events, k));
-    }
+    let engine = ExperimentEngine::new(n, paths).with_base_seed(20_000);
+    let res_events = record_paths(
+        &engine,
+        |s| ReservoirSampler::with_seed(k, s),
+        |s| GreedyDiscrepancyAdversary::new(universe, 32, s),
+    );
+    let res_paths: Vec<Vec<f64>> = res_events
+        .iter()
+        .map(|ev| reservoir_z_sequence(ev, k))
+        .collect();
     let stats = path_stats(&res_paths);
     let step_bound = n as f64 / k as f64; // max_i i/k
     let step_ok = stats.max_abs_increment <= step_bound + 1e-9;
@@ -120,14 +145,30 @@ fn main() {
     let mean_ok = (stats.mean_final / n as f64).abs() < 0.02;
     println!("\nReservoir (n = {n}, k = {k}, {paths} adaptive game paths):");
     let mut table = Table::new(&["quantity", "measured", "claimed bound", "ok"]);
-    table.row(&["max |dZ| (4.3)".into(), f(stats.max_abs_increment), f(step_bound), step_ok.to_string()]);
-    table.row(&["|mean Z_n| / n".into(), format!("{:.3e}", (stats.mean_final / n as f64).abs()), "~0".into(), mean_ok.to_string()]);
-    table.print();
+    table.row(&[
+        "max |dZ| (4.3)".into(),
+        f(stats.max_abs_increment),
+        f(step_bound),
+        step_ok.to_string(),
+    ]);
+    table.row(&[
+        "|mean Z_n| / n".into(),
+        format!("{:.3e}", (stats.mean_final / n as f64).abs()),
+        "~0".into(),
+        mean_ok.to_string(),
+    ]);
+    table.emit("e4", "reservoir_budgets");
 
     // Tail vs Freedman with sigma_i^2 = i/k.
     let var_sum: f64 = (1..=n).map(|i| i as f64 / k as f64).sum();
     println!("\nReservoir tail vs Lemma 3.3 (and the paper's 2 exp(-eps^2 k/2) simplification):");
-    let mut table = Table::new(&["eps", "measured Pr[|Z_n|>=eps n]", "Freedman", "paper bound", "dominated"]);
+    let mut table = Table::new(&[
+        "eps",
+        "measured Pr[|Z_n|>=eps n]",
+        "Freedman",
+        "paper bound",
+        "dominated",
+    ]);
     let mut tails_ok = true;
     for &eps in &[0.1f64, 0.15, 0.2, 0.3] {
         let lambda = eps * n as f64;
@@ -142,6 +183,6 @@ fn main() {
         tails_ok &= ok;
         table.row(&[f(eps), f(measured), f(freedman), f(paper), ok.to_string()]);
     }
-    table.print();
+    table.emit("e4", "reservoir_tails");
     verdict("Lemma 3.3 dominates reservoir tails", tails_ok, "");
 }

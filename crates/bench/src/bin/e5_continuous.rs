@@ -11,24 +11,19 @@
 //!    early prefixes are unrepresentative with constant probability no
 //!    matter the rate.
 
-use robust_sampling_bench::{banner, f, is_quick, verdict, Table};
+use robust_sampling_bench::{banner, f, init_cli, is_quick, verdict, Table};
 use robust_sampling_core::adversary::{
-    GreedyDiscrepancyAdversary, QuantileHunterAdversary, StaticAdversary,
+    Adversary, GreedyDiscrepancyAdversary, QuantileHunterAdversary, StaticAdversary,
 };
 use robust_sampling_core::bounds;
+use robust_sampling_core::engine::ExperimentEngine;
 use robust_sampling_core::game::ContinuousAdaptiveGame;
-use robust_sampling_core::sampler::{BernoulliSampler, ReservoirSampler, StreamSampler};
+use robust_sampling_core::sampler::{BernoulliSampler, ReservoirSampler};
 use robust_sampling_core::set_system::{PrefixSystem, SetSystem};
 use robust_sampling_streamgen as streamgen;
 
-/// Decorrelate the sampler's coins from the adversary's: the paper's
-/// model requires the sampler's randomness to be independent of the
-/// adversary, so experiment code must never share a raw seed between them.
-fn sampler_seed(seed: u64) -> u64 {
-    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03
-}
-
 fn main() {
+    init_cli();
     banner(
         "E5",
         "continuous robustness of reservoir sampling (Thm 1.4)",
@@ -54,32 +49,37 @@ fn main() {
     );
 
     // ---- Part 1+2: sup-over-time discrepancy at the three sizes ---------
+    let engine = ExperimentEngine::new(n, trials).with_base_seed(3);
     let mut table = Table::new(&["sizing", "k", "adversary", "sup prefix disc", "<= eps"]);
     let mut cont_ok = true;
     for (label, k) in [("plain(Thm1.2)", k_plain), ("continuous", k_cont)] {
-        for adv_name in ["two-phase", "greedy", "hunter"] {
-            let mut worst = 0.0f64;
-            for t in 0..trials {
-                let seed = 100 * t as u64 + 3;
-                let game = ContinuousAdaptiveGame::geometric(n, k, eps);
-                let mut sampler = ReservoirSampler::with_seed(k, sampler_seed(seed));
-                let out = match adv_name {
-                    "two-phase" => {
-                        let mut adv =
-                            StaticAdversary::new(streamgen::two_phase(n, universe, seed));
-                        game.run(&mut sampler, &mut adv, &system, eps)
-                    }
-                    "greedy" => {
-                        let mut adv = GreedyDiscrepancyAdversary::new(universe, 64, seed);
-                        game.run(&mut sampler, &mut adv, &system, eps)
-                    }
-                    _ => {
-                        let mut adv = QuantileHunterAdversary::new(universe, seed);
-                        game.run(&mut sampler, &mut adv, &system, eps)
-                    }
-                };
-                worst = worst.max(out.max_prefix_discrepancy);
-            }
+        let game = ContinuousAdaptiveGame::geometric(n, k, eps);
+        type AdvFactory<'a> = Box<dyn Fn(u64) -> Box<dyn Adversary<u64>> + 'a>;
+        let factories: Vec<(&str, AdvFactory)> = vec![
+            (
+                "two-phase",
+                Box::new(move |s| {
+                    Box::new(StaticAdversary::new(streamgen::two_phase(n, universe, s))) as _
+                }),
+            ),
+            (
+                "greedy",
+                Box::new(move |s| Box::new(GreedyDiscrepancyAdversary::new(universe, 64, s)) as _),
+            ),
+            (
+                "hunter",
+                Box::new(move |s| Box::new(QuantileHunterAdversary::new(universe, s)) as _),
+            ),
+        ];
+        for (adv_name, make_adv) in factories {
+            let stats = engine.continuous_sup(
+                &game,
+                &system,
+                eps,
+                |s| ReservoirSampler::with_seed(k, s),
+                &make_adv,
+            );
+            let worst = stats.worst();
             let ok = worst <= eps;
             if label == "continuous" {
                 cont_ok &= ok;
@@ -93,7 +93,7 @@ fn main() {
             ]);
         }
     }
-    table.print();
+    table.emit("e5", "prefix_sup");
     verdict(
         "Theorem 1.4 size is continuously robust",
         cont_ok,
@@ -116,27 +116,30 @@ fn main() {
     // theorem-sized rate clamps to 1 at these small n, which is exactly
     // "p ≥ 1 − δ", the only escape hatch).
     let p = 0.2;
-    let mut early_violations = 0usize;
     let runs = if is_quick() { 200 } else { 1_000 };
-    for t in 0..runs {
-        let mut sampler = BernoulliSampler::with_seed(p, t as u64);
-        // Feed a single element; the prefix X_1 = (x); S_1 is empty w.p. 1-p.
-        sampler.observe(0u64);
-        let d = system.max_discrepancy(&[0u64], sampler.sample()).value;
-        // Empty sample: the paper treats the requirement as violated
-        // (density of every range containing x is 1 vs nothing to compare);
-        // max_discrepancy returns 0 for empty samples, so check emptiness.
-        if sampler.sample().is_empty() || d > eps {
-            early_violations += 1;
-        }
-    }
-    let rate = early_violations as f64 / runs as f64;
+    let engine = ExperimentEngine::new(1, runs).with_base_seed(50_000);
+    let violations: usize = engine
+        .adaptive_map(
+            |s| BernoulliSampler::with_seed(p, s),
+            |_| StaticAdversary::new(vec![0u64]),
+            |_, _, out| {
+                // Feed a single element; S_1 is empty w.p. 1-p. Empty
+                // sample: the paper treats the requirement as violated
+                // (max_discrepancy returns 0 for empty samples, so check
+                // emptiness).
+                let d = system.max_discrepancy(&out.stream, &out.sample).value;
+                usize::from(out.sample.is_empty() || d > eps)
+            },
+        )
+        .into_iter()
+        .sum();
+    let rate = violations as f64 / runs as f64;
     let mut table = Table::new(&["quantity", "value"]);
     table.row(&["p (Thm 1.2 size)".into(), f(p)]);
     table.row(&["Pr[S_1 unrepresentative]".into(), f(rate)]);
     table.row(&["predicted 1-p".into(), f(1.0 - p)]);
     println!("\nBernoulli continuous counterexample (footnote 4):");
-    table.print();
+    table.emit("e5", "bernoulli_footnote4");
     verdict(
         "Bernoulli fails continuous robustness at round 1",
         rate > 0.5,

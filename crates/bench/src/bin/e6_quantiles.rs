@@ -10,13 +10,13 @@
 //!    by determinism with smaller space but must read every element;
 //!    randomized-but-not-sampling KLL sits in between (its guarantee is
 //!    not adaptive, though the generic hunter here does not exploit its
-//!    internals).
+//!    internals). All comparators are driven through the engine's
+//!    [`QuantileSummary`] interface — one loop, five machines.
 
-use robust_sampling_bench::{banner, f, is_quick, verdict, Table};
+use robust_sampling_bench::{banner, f, init_cli, is_quick, verdict, Table};
 use robust_sampling_core::adversary::{Adversary, QuantileHunterAdversary, StaticAdversary};
 use robust_sampling_core::bounds;
-use robust_sampling_core::estimators::SampleQuantiles;
-use robust_sampling_core::game::AdaptiveGame;
+use robust_sampling_core::engine::{ExperimentEngine, QuantileSummary};
 use robust_sampling_core::sampler::ReservoirSampler;
 use robust_sampling_core::set_system::{PrefixSystem, SetSystem};
 use robust_sampling_sketches::gk::GkSummary;
@@ -41,14 +41,8 @@ fn max_rank_error(stream: &[u64], mut rank_of: impl FnMut(u64) -> f64) -> f64 {
     worst
 }
 
-/// Decorrelate the sampler's coins from the adversary's: the paper's
-/// model requires the sampler's randomness to be independent of the
-/// adversary, so experiment code must never share a raw seed between them.
-fn sampler_seed(seed: u64) -> u64 {
-    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03
-}
-
 fn main() {
+    init_cli();
     banner(
         "E6",
         "robust quantile sketch (Cor 1.5) vs deterministic/randomized sketches",
@@ -65,98 +59,82 @@ fn main() {
     let k_vc = bounds::reservoir_k_static(1, eps, delta);
     println!("\nn = {n}, robust k = {k_robust} (ln|U| sizing), static k = {k_vc} (VC=1 sizing)");
 
+    let engine = ExperimentEngine::new(n, trials).with_base_seed(400);
     let mut table = Table::new(&["method", "space", "stream", "worst rank err", "<= eps"]);
     let mut robust_ok = true;
-    let mut undersized_failed = false;
 
     for stream_kind in ["uniform", "hunter(adaptive)"] {
-        for t in 0..trials {
-            let seed = 400 + t as u64;
-            // Play the game once per method that *samples*; sketches are
-            // deterministic functions of the stream so they replay it.
-            let run_game = |k: usize| -> (Vec<u64>, Vec<u64>) {
-                let mut sampler = ReservoirSampler::with_seed(k, sampler_seed(seed));
-                let mut adv: Box<dyn Adversary<u64>> = if stream_kind == "uniform" {
-                    Box::new(StaticAdversary::new(streamgen::uniform(n, universe, seed)))
-                } else {
-                    Box::new(QuantileHunterAdversary::new(universe, seed))
-                };
-                let out = AdaptiveGame::new(n).run(&mut sampler, adv.as_mut());
-                (out.stream, out.sample)
-            };
-            // Robust-sized sample.
-            let (stream, sample) = run_game(k_robust);
-            let sq = SampleQuantiles::new(&sample, n);
-            let err = max_rank_error(&stream, |v| sq.rank(&v));
-            if t == 0 {
-                table.row(&[
-                    "sample (robust k)".into(),
-                    k_robust.to_string(),
-                    stream_kind.into(),
-                    f(err),
-                    (err <= eps).to_string(),
-                ]);
+        let make_adv = |s: u64| -> Box<dyn Adversary<u64>> {
+            if stream_kind == "uniform" {
+                Box::new(StaticAdversary::new(streamgen::uniform(n, universe, s)))
+            } else {
+                Box::new(QuantileHunterAdversary::new(universe, s))
             }
-            robust_ok &= err <= eps;
+        };
+        // The two sample sizings, judged per trial against the adaptive
+        // stream each game produced.
+        for (label, k) in [("sample (robust k)", k_robust), ("sample (VC k)", k_vc)] {
+            let errs = engine.adaptive_map(
+                |s| ReservoirSampler::with_seed(k, s),
+                make_adv,
+                |_, _, out| {
+                    let sq = robust_sampling_core::estimators::SampleQuantiles::new(
+                        &out.sample,
+                        out.stream.len(),
+                    );
+                    max_rank_error(&out.stream, |v| sq.rank(&v))
+                },
+            );
+            let worst = errs.iter().copied().fold(0.0f64, f64::max);
+            if label == "sample (robust k)" {
+                robust_ok &= worst <= eps;
+            }
+            table.row(&[
+                label.into(),
+                k.to_string(),
+                stream_kind.into(),
+                f(worst),
+                (worst <= eps).to_string(),
+            ]);
+        }
 
-            // Static/VC-sized sample (the paper's gap).
-            let (stream, sample) = run_game(k_vc);
-            let sq = SampleQuantiles::new(&sample, n);
-            let err_vc = max_rank_error(&stream, |v| sq.rank(&v));
-            if t == 0 {
-                table.row(&[
-                    "sample (VC k)".into(),
-                    k_vc.to_string(),
-                    stream_kind.into(),
-                    f(err_vc),
-                    (err_vc <= eps).to_string(),
-                ]);
+        // Deterministic + randomized sketches replaying one game's stream
+        // through the unified QuantileSummary interface.
+        let stream = match stream_kind {
+            "uniform" => streamgen::uniform(n, universe, 400),
+            _ => {
+                let outs = ExperimentEngine::new(n, 1)
+                    .with_base_seed(400)
+                    .adaptive_map(
+                        |s| ReservoirSampler::with_seed(k_robust, s),
+                        make_adv,
+                        |_, _, out| out.stream,
+                    );
+                outs.into_iter().next().expect("one trial")
             }
-            if stream_kind != "uniform" && err_vc > eps {
-                undersized_failed = true;
-            }
-
-            // Deterministic + randomized sketches replaying the same stream.
-            if t == 0 {
-                let mut gk = GkSummary::new(eps / 2.0);
-                let mut mr = MergeReduce::for_eps(eps / 2.0, n);
-                let mut kll = KllSketch::with_seed(64, seed);
-                for &x in &stream {
-                    gk.observe(x);
-                    mr.observe(x);
-                    kll.observe(x);
-                }
-                let err_gk = max_rank_error(&stream, |v| {
-                    // GK answers value-by-rank; invert by probing its rank
-                    // estimate via binary search over quantiles is overkill —
-                    // use the weighted summary rank directly via query_rank
-                    // round-trip: find rank r with value <= v.
-                    let mut lo = 1u64;
-                    let mut hi = n as u64;
-                    while lo < hi {
-                        let mid = (lo + hi).div_ceil(2);
-                        match gk.query_rank(mid) {
-                            Some(x) if x <= v => lo = mid,
-                            _ => hi = mid - 1,
-                        }
-                    }
-                    lo as f64
-                });
-                let err_mr = max_rank_error(&stream, |v| mr.rank(v) as f64);
-                let err_kll = max_rank_error(&stream, |v| kll.rank(v) as f64);
-                table.row(&["GK (det)".into(), gk.space().to_string(), stream_kind.into(), f(err_gk), (err_gk <= eps).to_string()]);
-                table.row(&["merge-reduce (det)".into(), mr.space().to_string(), stream_kind.into(), f(err_mr), (err_mr <= eps).to_string()]);
-                table.row(&["KLL (rand)".into(), kll.space().to_string(), stream_kind.into(), f(err_kll), (err_kll <= eps).to_string()]);
-            }
+        };
+        let mut gk = GkSummary::new(eps / 2.0);
+        let mut mr = MergeReduce::for_eps(eps / 2.0, n);
+        let mut kll = KllSketch::with_seed(64, 400);
+        let summaries: [&mut dyn QuantileSummary<u64>; 3] = [&mut gk, &mut mr, &mut kll];
+        for summary in summaries {
+            summary.ingest_batch(&stream);
+            let err = max_rank_error(&stream, |v| summary.estimate_rank(&v));
+            table.row(&[
+                summary.summary_name().into(),
+                summary.space().to_string(),
+                stream_kind.into(),
+                f(err),
+                (err <= eps).to_string(),
+            ]);
         }
     }
-    table.print();
+    table.emit("e6", "rank_error");
     verdict(
         "Corollary 1.5: robust-sized sample answers all quantiles adaptively",
         robust_ok,
         &format!("worst rank error <= {eps} across {trials} trials x 2 stream kinds"),
     );
-    let _ = undersized_failed; // the u64 hunter is too weak vs k≈10^3 — by design:
 
     // ---- The honest failure demo: the unbounded-precision attack --------
     // Over u64 the attack cannot beat k ≈ 10^3 (the paper's Thm 1.3 window
@@ -165,19 +143,24 @@ fn main() {
     // ln|R| is unbounded there. The VC-sized k is shown for scale.
     {
         use robust_sampling_core::adversary::GeneralizedBisectionAdversary;
-        let mut sampler = ReservoirSampler::with_seed(k_vc, 77);
-        let mut adv = GeneralizedBisectionAdversary::for_reservoir(k_vc, n);
-        let out = AdaptiveGame::new(n).run(&mut sampler, &mut adv);
-        let sq = SampleQuantiles::new(&out.sample, n);
-        let mut sorted = out.stream.clone();
-        sorted.sort();
-        let mut worst = 0.0f64;
-        for &q in PROBES {
-            let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
-            let v = sorted[idx].clone();
-            let true_rank = sorted.partition_point(|x| *x <= v) as f64;
-            worst = worst.max((sq.rank(&v) - true_rank).abs() / n as f64);
-        }
+        use robust_sampling_core::estimators::SampleQuantiles;
+        let worst = ExperimentEngine::new(n, 1).with_base_seed(77).adaptive_map(
+            |s| ReservoirSampler::with_seed(k_vc, s),
+            |_| GeneralizedBisectionAdversary::for_reservoir(k_vc, n),
+            |_, _, out| {
+                let sq = SampleQuantiles::new(&out.sample, n);
+                let mut sorted = out.stream.clone();
+                sorted.sort();
+                let mut worst = 0.0f64;
+                for &q in PROBES {
+                    let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+                    let v = sorted[idx].clone();
+                    let true_rank = sorted.partition_point(|x| *x <= v) as f64;
+                    worst = worst.max((sq.rank(&v) - true_rank).abs() / n as f64);
+                }
+                worst
+            },
+        )[0];
         println!("\nunbounded-precision bisection attack vs VC-sized k = {k_vc}:");
         println!("  worst rank error = {worst:.4} (vs eps = {eps})");
         verdict(

@@ -8,13 +8,14 @@
 //!    two-phase, and an adaptive hide-and-seek stream;
 //! 2. comparators: deterministic Misra–Gries and SpaceSaving achieve the
 //!    same guarantee with `O(1/ε)` counters, robust for free — the paper's
-//!    trade-off is genericity + sublinear queries, not space.
+//!    trade-off is genericity + sublinear queries, not space. Both run
+//!    through the engine's [`FrequencySummary`] interface.
 
-use robust_sampling_bench::{banner, is_quick, verdict, Table};
+use robust_sampling_bench::{banner, init_cli, is_quick, verdict, Table};
 use robust_sampling_core::adversary::{Adversary, RoundContext, StaticAdversary};
 use robust_sampling_core::bounds;
-use robust_sampling_core::estimators::{heavy_hitters, heavy_hitters_errors};
-use robust_sampling_core::game::AdaptiveGame;
+use robust_sampling_core::engine::{ExperimentEngine, FrequencySummary};
+use robust_sampling_core::estimators::{heavy_hitters, heavy_hitters_errors, HeavyHitter};
 use robust_sampling_core::sampler::ReservoirSampler;
 use robust_sampling_core::set_system::{SetSystem, SingletonSystem};
 use robust_sampling_sketches::misra_gries::MisraGries;
@@ -44,11 +45,7 @@ impl HideAndSeek {
 
 impl Adversary<u64> for HideAndSeek {
     fn next(&mut self, ctx: &RoundContext<'_, u64>) -> u64 {
-        let sent = ctx
-            .history
-            .iter()
-            .filter(|&&x| x == self.hitter)
-            .count() as f64;
+        let sent = ctx.history.iter().filter(|&&x| x == self.hitter).count() as f64;
         let target = self.alpha * ctx.n as f64 * 1.05; // finish just above alpha
         let sample_freq = if ctx.sample.is_empty() {
             0.0
@@ -74,14 +71,8 @@ impl Adversary<u64> for HideAndSeek {
     }
 }
 
-/// Decorrelate the sampler's coins from the adversary's: the paper's
-/// model requires the sampler's randomness to be independent of the
-/// adversary, so experiment code must never share a raw seed between them.
-fn sampler_seed(seed: u64) -> u64 {
-    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03
-}
-
 fn main() {
+    init_cli();
     banner(
         "E7",
         "robust heavy hitters (Cor 1.6) vs Misra-Gries / SpaceSaving",
@@ -96,41 +87,49 @@ fn main() {
     let eps_prime = eps / 3.0;
     let system = SingletonSystem::new(universe);
     let k = bounds::reservoir_k_robust(system.ln_cardinality(), eps_prime, 0.05);
-    println!("\nn = {n}, alpha = {alpha}, eps = {eps}; sample k = {k}; MG/SS counters = {}", (1.0 / eps).ceil() as usize);
+    println!(
+        "\nn = {n}, alpha = {alpha}, eps = {eps}; sample k = {k}; MG/SS counters = {}",
+        (1.0 / eps).ceil() as usize
+    );
 
-    let mut table = Table::new(&[
-        "stream", "method", "missed", "spurious", "reported", "ok",
-    ]);
+    let engine = ExperimentEngine::new(n, trials).with_base_seed(500);
+    let mut table = Table::new(&["stream", "method", "missed", "spurious", "reported", "ok"]);
     let mut sample_ok = true;
+
+    // One engine call per stream family; the judge extracts the Cor 1.6
+    // error sets per trial.
+    let judge = |out: &robust_sampling_core::GameOutcome<u64>| {
+        let report = heavy_hitters(&out.sample, alpha, eps_prime);
+        let (missed, spurious) = heavy_hitters_errors(&out.stream, &report, alpha, eps);
+        (missed.len(), spurious.len(), report.len())
+    };
     type StreamGen = Box<dyn Fn(u64) -> Vec<u64>>;
     let streams: Vec<(&str, StreamGen)> = vec![
-        ("zipf1.2", Box::new(move |s| streamgen::zipf(n, universe, 1.2, s))),
-        ("two-phase+hot", Box::new(move |s| {
-            // Two-phase noise with a 8% hot element sprinkled throughout.
-            let mut v = streamgen::two_phase(n, universe, s);
-            for i in (0..n).step_by(12) {
-                v[i] = 31337;
-            }
-            v
-        })),
+        (
+            "zipf1.2",
+            Box::new(move |s| streamgen::zipf(n, universe, 1.2, s)),
+        ),
+        (
+            "two-phase+hot",
+            Box::new(move |s| {
+                // Two-phase noise with a 8% hot element sprinkled throughout.
+                let mut v = streamgen::two_phase(n, universe, s);
+                for i in (0..n).step_by(12) {
+                    v[i] = 31337;
+                }
+                v
+            }),
+        ),
     ];
-
     for (name, gen) in &streams {
-        let mut missed_total = 0usize;
-        let mut spurious_total = 0usize;
-        let mut reported_last = 0usize;
-        for t in 0..trials {
-            let seed = 500 + t as u64;
-            let stream = gen(seed);
-            let mut sampler = ReservoirSampler::with_seed(k, sampler_seed(seed));
-            let mut adv = StaticAdversary::new(stream.clone());
-            let out = AdaptiveGame::new(n).run(&mut sampler, &mut adv);
-            let report = heavy_hitters(&out.sample, alpha, eps_prime);
-            let (missed, spurious) = heavy_hitters_errors(&stream, &report, alpha, eps);
-            missed_total += missed.len();
-            spurious_total += spurious.len();
-            reported_last = report.len();
-        }
+        let results = engine.adaptive_map(
+            |s| ReservoirSampler::with_seed(k, s),
+            |s| StaticAdversary::new(gen(s)),
+            |_, _, out| judge(&out),
+        );
+        let missed_total: usize = results.iter().map(|r| r.0).sum();
+        let spurious_total: usize = results.iter().map(|r| r.1).sum();
+        let reported_last = results.last().map_or(0, |r| r.2);
         sample_ok &= missed_total == 0 && spurious_total == 0;
         table.row(&[
             (*name).into(),
@@ -143,18 +142,13 @@ fn main() {
     }
 
     // Adaptive hide-and-seek stream.
-    let mut missed_total = 0usize;
-    let mut spurious_total = 0usize;
-    for t in 0..trials {
-        let seed = 900 + t as u64;
-        let mut sampler = ReservoirSampler::with_seed(k, sampler_seed(seed));
-        let mut adv = HideAndSeek::new(7, alpha);
-        let out = AdaptiveGame::new(n).run(&mut sampler, &mut adv);
-        let report = heavy_hitters(&out.sample, alpha, eps_prime);
-        let (missed, spurious) = heavy_hitters_errors(&out.stream, &report, alpha, eps);
-        missed_total += missed.len();
-        spurious_total += spurious.len();
-    }
+    let results = engine.with_base_seed(900).adaptive_map(
+        |s| ReservoirSampler::with_seed(k, s),
+        |_| HideAndSeek::new(7, alpha),
+        |_, _, out| judge(&out),
+    );
+    let missed_total: usize = results.iter().map(|r| r.0).sum();
+    let spurious_total: usize = results.iter().map(|r| r.1).sum();
     sample_ok &= missed_total == 0 && spurious_total == 0;
     table.row(&[
         "hide-and-seek".into(),
@@ -165,24 +159,25 @@ fn main() {
         (missed_total == 0 && spurious_total == 0).to_string(),
     ]);
 
-    // Deterministic comparators on the zipf stream.
+    // Deterministic comparators on the zipf stream, through the unified
+    // FrequencySummary interface.
     let counters = (1.0 / eps).ceil() as usize;
     let stream = streamgen::zipf(n, universe, 1.2, 42);
     let mut mg = MisraGries::new(counters);
     let mut ss = SpaceSaving::new(counters);
-    for &x in &stream {
-        mg.observe(x);
-        ss.observe(x);
+    for s in [&mut mg as &mut dyn FrequencySummary<u64>, &mut ss] {
+        s.ingest_batch(&stream);
     }
-    for (name, hh) in [
-        ("misra-gries", mg.heavy_hitters(alpha - eps)),
-        ("space-saving", ss.heavy_hitters(alpha - eps)),
+    for (name, s) in [
+        ("misra-gries", &mg as &dyn FrequencySummary<u64>),
+        ("space-saving", &ss),
     ] {
-        let report: Vec<_> = hh
-            .iter()
-            .map(|&(x, c)| robust_sampling_core::estimators::HeavyHitter {
+        let report: Vec<HeavyHitter<u64>> = s
+            .heavy_items(alpha - eps)
+            .into_iter()
+            .map(|(x, density)| HeavyHitter {
                 item: x,
-                sample_density: c as f64 / n as f64,
+                sample_density: density,
             })
             .collect();
         let (missed, spurious) = heavy_hitters_errors(&stream, &report, alpha, eps);
@@ -195,7 +190,7 @@ fn main() {
             (missed.is_empty()).to_string(),
         ]);
     }
-    table.print();
+    table.emit("e7", "contract");
     verdict(
         "Corollary 1.6 guarantee (no misses, no spurious) holds",
         sample_ok,

@@ -4,16 +4,19 @@
 //! Claim reproduced: with `ε = β/5`, a `6β/5`-center of the **sample** is
 //! a β-center of the **stream**. We compute the deepest sample point and
 //! check its Tukey depth in the full stream, on uniform, clustered, and
-//! skewed point streams.
+//! skewed point streams — each driven through the engine's batched
+//! ingest path (the streams are oblivious).
 
-use robust_sampling_bench::{banner, f, is_quick, verdict, Table};
+use robust_sampling_bench::{banner, f, init_cli, is_quick, verdict, Table};
 use robust_sampling_core::bounds;
+use robust_sampling_core::engine::ExperimentEngine;
 use robust_sampling_core::estimators::{center_point, tukey_depth};
 use robust_sampling_core::sampler::{ReservoirSampler, StreamSampler};
 use robust_sampling_core::set_system::{HalfplaneSystem, SetSystem};
 use robust_sampling_streamgen as streamgen;
 
 fn main() {
+    init_cli();
     banner(
         "E9",
         "beta-center points from a halfplane-approximate sample",
@@ -33,13 +36,7 @@ fn main() {
         ("uniform", streamgen::uniform_points(n, m, 1)),
         (
             "three-clusters",
-            streamgen::clustered_points(
-                n,
-                m,
-                &[(40, 40), (200, 60), (120, 210)],
-                18,
-                2,
-            ),
+            streamgen::clustered_points(n, m, &[(40, 40), (200, 60), (120, 210)], 18, 2),
         ),
         (
             "skewed-diagonal",
@@ -53,18 +50,27 @@ fn main() {
     ];
 
     let mut table = Table::new(&[
-        "stream", "halfplane disc", "sample depth", "stream depth", ">= beta",
+        "stream",
+        "halfplane disc",
+        "sample depth",
+        "stream depth",
+        ">= beta",
     ]);
     let mut all_ok = true;
+    let engine = ExperimentEngine::new(n, 1).with_base_seed(7);
     for (name, stream) in &streams {
-        let mut sampler = ReservoirSampler::with_seed(k.min(n / 2), 7);
-        for &p in stream {
-            sampler.observe(p);
-        }
-        let sample = sampler.sample().to_vec();
-        let disc = system.max_discrepancy(stream, &sample).value;
-        let (c, depth_sample) = center_point(&sample, directions);
-        let depth_stream = tukey_depth(stream, (c.0 as f64, c.1 as f64), directions);
+        let rows = engine.batch_map(
+            |s| ReservoirSampler::with_seed(k.min(n / 2), s),
+            |_| stream.clone(),
+            |_, stream, sampler| {
+                let sample = sampler.sample().to_vec();
+                let disc = system.max_discrepancy(stream, &sample).value;
+                let (c, depth_sample) = center_point(&sample, directions);
+                let depth_stream = tukey_depth(stream, (c.0 as f64, c.1 as f64), directions);
+                (disc, depth_sample, depth_stream)
+            },
+        );
+        let (disc, depth_sample, depth_stream) = rows[0];
         // The reduction: if depth_sample >= 6beta/5 then depth_stream >= beta
         // (given the eps-approximation). Record whether the chain held.
         let claim_applicable = depth_sample >= 6.0 * beta / 5.0 - 1e-9;
@@ -78,7 +84,7 @@ fn main() {
             format!("{ok} (applicable: {claim_applicable})"),
         ]);
     }
-    table.print();
+    table.emit("e9", "centers");
     verdict(
         "CEM+96 transfer: sample center point is a stream beta-center",
         all_ok,

@@ -1,6 +1,7 @@
 //! Run every experiment binary in sequence (pass `--quick` for CI-sized
-//! sweeps) and print a one-line verdict summary at the end. This is the
-//! driver that regenerates the `EXPERIMENTS.md` evidence.
+//! sweeps, `--csv <dir>` to also dump every table as CSV) and print a
+//! one-line verdict summary at the end. This is the driver that
+//! regenerates the `EXPERIMENTS.md` evidence.
 
 use std::process::Command;
 
@@ -21,18 +22,39 @@ const EXPERIMENTS: &[&str] = &[
 ];
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    // Forward the shared flags to every child.
+    let passthrough: Vec<String> = {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut fwd = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => fwd.push("--quick".into()),
+                "--csv" => {
+                    fwd.push("--csv".into());
+                    if let Some(dir) = args.get(i + 1) {
+                        fwd.push(dir.clone());
+                        i += 1;
+                    }
+                }
+                other => {
+                    eprintln!("run_all: unknown option {other}");
+                    std::process::exit(2);
+                }
+            }
+            i += 1;
+        }
+        fwd
+    };
     let exe = std::env::current_exe().expect("own path");
     let bindir = exe.parent().expect("bin dir");
     let mut summary: Vec<(String, usize, usize)> = Vec::new();
     for name in EXPERIMENTS {
         let mut cmd = Command::new(bindir.join(name));
-        if quick {
-            cmd.arg("--quick");
-        }
-        let out = cmd.output().unwrap_or_else(|e| {
-            panic!("failed to launch {name}: {e} (build the workspace first)")
-        });
+        cmd.args(&passthrough);
+        let out = cmd
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e} (build the workspace first)"));
         let text = String::from_utf8_lossy(&out.stdout);
         print!("{text}");
         if !out.status.success() {

@@ -1,64 +1,42 @@
-//! Shared utilities for the experiment binaries (E1–E11).
+//! Shared utilities for the experiment binaries (E1–E13).
 //!
-//! Each binary prints one or more aligned text tables — the "rows/series"
-//! the paper's theorems predict — plus a PASS/FAIL verdict line per
-//! claim checked. `--quick` shrinks every sweep for CI.
+//! Each binary composes a streamgen workload, an adversary/game, a
+//! [`StreamSummary`](robust_sampling_core::engine::StreamSummary), and a
+//! set-system judgment through the
+//! [`ExperimentEngine`](robust_sampling_core::engine::ExperimentEngine),
+//! then prints one or more aligned text tables — the "rows/series" the
+//! paper's theorems predict — plus a PASS/FAIL verdict line per claim
+//! checked.
+//!
+//! Flags every binary understands:
+//!
+//! * `--quick` — CI-sized sweeps;
+//! * `--csv <dir>` — additionally write every table as
+//!   `<dir>/<experiment>_<section>.csv` (one reporting path: the same
+//!   [`Table`] rows feed both sinks).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub use robust_sampling_core::engine::report::Table;
 
 /// Whether `--quick` was passed (CI-sized sweeps).
 pub fn is_quick() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
-/// A fixed-width text table accumulated row by row.
-#[derive(Debug, Clone)]
-pub struct Table {
-    header: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Table with the given column headers.
-    pub fn new(header: &[&str]) -> Self {
-        Self {
-            header: header.iter().map(|s| s.to_string()).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Append one row (must match the header arity).
-    ///
-    /// # Panics
-    ///
-    /// Panics on arity mismatch.
-    pub fn row(&mut self, cells: &[String]) {
-        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
-        self.rows.push(cells.to_vec());
-    }
-
-    /// Render with aligned columns.
-    pub fn print(&self) {
-        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (w, cell) in widths.iter_mut().zip(row) {
-                *w = (*w).max(cell.len());
+/// Handle the common flags: `--csv <dir>` routes every subsequent
+/// [`Table::emit`] to CSV files in `dir` (by setting the environment
+/// variable the report layer reads). Call once at the top of `main`.
+pub fn init_cli() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--csv") {
+        match args.get(i + 1) {
+            Some(dir) => std::env::set_var(robust_sampling_core::engine::report::CSV_DIR_ENV, dir),
+            None => {
+                eprintln!("--csv needs a directory argument");
+                std::process::exit(2);
             }
-        }
-        let line = |cells: &[String]| {
-            let body: Vec<String> = cells
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:<w$}"))
-                .collect();
-            println!("  {}", body.join("  "));
-        };
-        line(&self.header);
-        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
-        line(&rule);
-        for row in &self.rows {
-            line(row);
         }
     }
 }
@@ -87,17 +65,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn table_prints_without_panicking() {
+    fn table_reexport_prints() {
         let mut t = Table::new(&["a", "bb"]);
         t.row(&["1".into(), "2".into()]);
         t.print();
-    }
-
-    #[test]
-    #[should_panic(expected = "row arity mismatch")]
-    fn table_rejects_bad_arity() {
-        let mut t = Table::new(&["a"]);
-        t.row(&["1".into(), "2".into()]);
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! Offline stand-in for the published `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the benchmark API
+//! subset this workspace uses is implemented locally: benchmark groups,
+//! [`Bencher::iter`], throughput annotation, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Timing is plain
+//! wall-clock sampling (median of `sample_size` samples after a warm-up)
+//! with no bootstrap statistics or HTML reports; results print as
+//!
+//! ```text
+//! group/bench            time: [1.2345 ms]  thrpt: [81.004 Melem/s]
+//! ```
+//!
+//! which is enough to compare hot paths in CI logs. Like the real crate,
+//! running a bench binary with `--bench` (or any filter argument) works;
+//! `--test` runs each benchmark once for smoke-testing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver and configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the timed samples of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up duration before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let cfg = self.clone();
+        run_one(&cfg, name, None, f);
+    }
+}
+
+/// Work-per-iteration annotation, used to report element/byte rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named set of benchmarks sharing throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate the work performed per iteration.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
+        let cfg = self.criterion.clone();
+        run_one(&cfg, &format!("{}/{id}", self.name), self.throughput, f);
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let cfg = self.criterion.clone();
+        run_one(
+            &cfg,
+            &format!("{}/{}", self.name, id.0),
+            self.throughput,
+            |b| f(b, input),
+        );
+    }
+
+    /// Finish the group (separator line, matching the real API).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// A benchmark identifier, possibly parameterised.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Handed to each benchmark closure to time its hot loop.
+pub struct Bencher {
+    /// Median seconds per iteration, filled in by [`Bencher::iter`].
+    median: f64,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Measure `f`, running it repeatedly until the sample budget is spent.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            self.median = 0.0;
+            return;
+        }
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Size each sample so all samples fit the measurement budget.
+        let budget = self.measurement_time.as_secs_f64();
+        let iters_per_sample =
+            ((budget / self.sample_size as f64 / est.max(1e-9)).floor() as u64).max(1);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median = samples[samples.len() / 2];
+    }
+}
+
+fn run_one(
+    cfg: &Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        median: 0.0,
+        sample_size: cfg.sample_size,
+        measurement_time: cfg.measurement_time,
+        warm_up_time: cfg.warm_up_time,
+        test_mode: cfg.test_mode,
+    };
+    f(&mut b);
+    if cfg.test_mode {
+        println!("{label:<40} ok (test mode)");
+        return;
+    }
+    let time = format_seconds(b.median);
+    match throughput {
+        Some(Throughput::Elements(n)) if b.median > 0.0 => {
+            let rate = n as f64 / b.median;
+            println!(
+                "{label:<40} time: [{time}]  thrpt: [{} elem/s]",
+                format_scaled(rate)
+            );
+        }
+        Some(Throughput::Bytes(n)) if b.median > 0.0 => {
+            let rate = n as f64 / b.median;
+            println!(
+                "{label:<40} time: [{time}]  thrpt: [{}B/s]",
+                format_scaled(rate)
+            );
+        }
+        _ => println!("{label:<40} time: [{time}]"),
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.4} s")
+    } else if s >= 1e-3 {
+        format!("{:.4} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.4} us", s * 1e6)
+    } else {
+        format!("{:.4} ns", s * 1e9)
+    }
+}
+
+fn format_scaled(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.3} G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.3} M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.3} K", x / 1e3)
+    } else {
+        format!("{x:.3} ")
+    }
+}
+
+/// Group benchmark functions with a shared configuration, mirroring the
+/// real crate's `criterion_group!` syntax.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point for a benchmark binary (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("a", 3).0, "a/3");
+        assert_eq!(BenchmarkId::from_parameter(0.5).0, "0.5");
+    }
+}

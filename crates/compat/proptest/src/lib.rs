@@ -1,0 +1,333 @@
+//! Offline stand-in for the published `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the subset of the
+//! proptest API this workspace's property tests use is implemented
+//! locally: the [`proptest!`] macro over `name in strategy` arguments,
+//! range and `collection::vec` strategies, `prop_assert!`-style
+//! assertions, and [`ProptestConfig::with_cases`].
+//!
+//! Differences from the real crate, by design:
+//!
+//! * inputs are plain seeded-random draws — there is **no shrinking**; a
+//!   failure reports the case number and generated values instead;
+//! * the case count defaults to 64 (the real default of 256 is overkill
+//!   for CI on these statistical tests and all call sites that care pass
+//!   an explicit `with_cases`).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration (the `cases` subset).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The deterministic RNG driving input generation.
+#[derive(Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// RNG for one test case: deterministic in (test name, case index).
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// A generator of random test inputs.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::random_range(rng.rng(), self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::random_range(rng.rng(), self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+/// Strategy for the full standard distribution of `T` (the `any::<T>()`
+/// subset of the real crate's `Arbitrary`).
+#[derive(Debug, Clone)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+/// A strategy over all values of `T`.
+pub fn any<T>() -> AnyStrategy<T>
+where
+    AnyStrategy<T>: Strategy,
+{
+    AnyStrategy(std::marker::PhantomData)
+}
+
+macro_rules! impl_any_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::random(rng.rng())
+            }
+        }
+    )*};
+}
+
+impl_any_strategy!(bool, u32, u64, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident),+)),* $(,)?) => {$(
+        #[allow(non_snake_case)]
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+/// A strategy producing a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies (the `vec` subset).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A length range for collection strategies; converts from the plain
+    /// integer-literal ranges call sites write (`1..500`), like the real
+    /// crate's `SizeRange`.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<i32>> for SizeRange {
+        fn from(r: std::ops::Range<i32>) -> Self {
+            SizeRange {
+                lo: r.start.max(0) as usize,
+                hi: r.end.max(0) as usize,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// A strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: SizeRange,
+    }
+
+    /// `Vec` of values from `elem` with length drawn from `len`.
+    pub fn vec<S: Strategy>(elem: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            assert!(self.len.lo < self.len.hi, "empty size range");
+            let n = Strategy::generate(&(self.len.lo..self.len.hi), rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over random draws from the
+/// strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    (@run ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut test_rng = $crate::TestRng::for_case(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut test_rng);)*
+                    let result = (|| -> ::std::result::Result<(), String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(msg) = result {
+                        panic!(
+                            "proptest case {case} of {} failed (inputs reproducible from the case index): {msg}\n  strategies: {}",
+                            stringify!($name),
+                            [$(concat!(stringify!($arg), " in ", stringify!($strat))),*].join(", ")
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_are_respected(x in 5u64..10, y in 0.0f64..=1.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_honours_length(v in crate::collection::vec(0u64..100, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u32..4) {
+            prop_assert!(x < 4, "x = {x} out of range");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_reports_case() {
+        proptest!(@run (ProptestConfig::with_cases(4))
+            fn inner(x in 0u64..10) {
+                prop_assert!(x > 100, "x = {x} is not > 100");
+            }
+        );
+        inner();
+    }
+}

@@ -1,0 +1,344 @@
+//! Offline stand-in for the published `rand` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the `rand 0.9` API subset the workspace actually uses is implemented
+//! here as a local path dependency of the same name: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], the [`Rng`] extension methods
+//! (`random`, `random_bool`, `random_range`), and
+//! [`seq::SliceRandom::shuffle`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — not the
+//! ChaCha12 the real `StdRng` wraps, so seeds do **not** reproduce the
+//! published crate's streams. Everything in this workspace only relies on
+//! determinism-per-seed and statistical quality, both of which
+//! xoshiro256++ provides (it passes BigCrush). Swapping the real `rand`
+//! back in is a one-line change in the workspace manifest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random `u64`s. The base trait every generator implements.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seeding interface (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    /// Derive a full generator state from one `u64` via SplitMix64.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A sample from the standard distribution of `T` (`f64` in `[0,1)`,
+    /// full-range integers).
+    #[inline]
+    fn random<T: StandardUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        f64::from_rng(self) < p
+    }
+
+    /// A uniform sample from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types with a canonical "standard" distribution.
+pub trait StandardUniform: Sized {
+    /// Draw one standard sample.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardUniform for f64 {
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform on [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardUniform for u64 {
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardUniform for u32 {
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardUniform for bool {
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform `u64` in `[0, span)` via Lemire's multiply-shift. The bias is
+/// at most `span / 2^64` — immaterial for every use in this workspace.
+#[inline]
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+/// Types `random_range` can sample.
+pub trait SampleUniform: Copy {}
+
+/// Ranges `random_range` accepts.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {}
+
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX {
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo.wrapping_add(uniform_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u64 => u64, i64 => u64, u32 => u32, i32 => u32, usize => usize, u16 => u16, u8 => u8);
+
+impl SampleUniform for f64 {}
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::from_rng(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + f64::from_rng(rng) * (hi - lo)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's deterministic generator: xoshiro256++.
+    ///
+    /// Not the published crate's ChaCha12 — see the crate docs.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            let mut split = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [split(), split(), split(), split()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Slice utilities (the `shuffle` subset).
+pub mod seq {
+    use super::{uniform_below, RngCore};
+
+    /// In-place Fisher–Yates shuffling.
+    pub trait SliceRandom {
+        /// Shuffle the slice uniformly.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = uniform_below(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..32).map(|_| a.random()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.random()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.random()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn random_f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn random_bool_edge_probabilities() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(rng.random_bool(1.0));
+            assert!(!rng.random_bool(0.0));
+        }
+    }
+
+    #[test]
+    fn random_bool_frequency() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let x = rng.random_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let z = rng.random_range(0usize..3);
+            assert!(z < 3);
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.random_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = rng.random_range(5u64..5);
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "100 elements should not shuffle to identity");
+    }
+}

@@ -17,7 +17,7 @@
 //!   static setting), [`RandomAdversary`], [`SortedAdversary`].
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::dyadic::Dyadic;
 use crate::sampler::Observation;
@@ -49,6 +49,18 @@ pub trait Adversary<T> {
     /// Name used in experiment reports.
     fn name(&self) -> &'static str {
         "adversary"
+    }
+}
+
+/// Boxed adversaries adapt transparently, so experiment code can hand
+/// heterogeneous strategy suites to the engine.
+impl<T, A: Adversary<T> + ?Sized> Adversary<T> for Box<A> {
+    fn next(&mut self, ctx: &RoundContext<'_, T>) -> T {
+        (**self).next(ctx)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
     }
 }
 

@@ -232,7 +232,10 @@ pub fn weighted_prefix_discrepancy<T: Ord + Clone + std::fmt::Debug>(
         return DiscrepancyReport::zero();
     }
     for (_, w) in stream.iter().chain(sample) {
-        assert!(w.is_finite() && *w > 0.0, "weights must be positive, got {w}");
+        assert!(
+            w.is_finite() && *w > 0.0,
+            "weights must be positive, got {w}"
+        );
     }
     let mut xs: Vec<(T, f64)> = stream.to_vec();
     let mut ss: Vec<(T, f64)> = sample.to_vec();
@@ -405,11 +408,7 @@ mod tests {
             s.observe_weighted(v, w);
             stream.push((v, w));
         }
-        let sample: Vec<(u64, f64)> = s
-            .sample_elements()
-            .into_iter()
-            .map(|v| (v, 1.0))
-            .collect();
+        let sample: Vec<(u64, f64)> = s.sample_elements().into_iter().map(|v| (v, 1.0)).collect();
         let d = weighted_prefix_discrepancy(&stream, &sample).value;
         assert!(d < 0.06, "weighted representativeness broke: {d}");
     }

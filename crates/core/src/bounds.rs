@@ -206,10 +206,7 @@ pub fn bernoulli_eps_achieved(ln_ranges: f64, delta: f64, p: f64, n: usize) -> f
 }
 
 fn validate(eps: f64, delta: f64) {
-    assert!(
-        eps > 0.0 && eps < 1.0,
-        "eps must be in (0,1), got {eps}"
-    );
+    assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1), got {eps}");
     assert!(
         delta > 0.0 && delta < 1.0,
         "delta must be in (0,1), got {delta}"
@@ -321,7 +318,10 @@ mod tests {
         // N = n is too small.
         assert!(!attack_universe_admissible((n as f64).ln(), n));
         // N = 2^n is too large.
-        assert!(!attack_universe_admissible(n as f64 * std::f64::consts::LN_2, n));
+        assert!(!attack_universe_admissible(
+            n as f64 * std::f64::consts::LN_2,
+            n
+        ));
     }
 
     #[test]
@@ -383,8 +383,7 @@ mod tests {
     fn single_set_bounds_are_smaller() {
         assert!(reservoir_k_single(EPS, DELTA) <= reservoir_k_robust(3.0, EPS, DELTA));
         assert!(
-            bernoulli_p_single(EPS, DELTA, 100_000)
-                <= bernoulli_p_robust(3.0, EPS, DELTA, 100_000)
+            bernoulli_p_single(EPS, DELTA, 100_000) <= bernoulli_p_robust(3.0, EPS, DELTA, 100_000)
         );
     }
 }

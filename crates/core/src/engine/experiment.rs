@@ -1,0 +1,397 @@
+//! [`ExperimentEngine`]: the one game/measurement loop behind every
+//! experiment binary.
+//!
+//! Before this layer existed each of the thirteen E-binaries hand-rolled
+//! the same skeleton — seed loop, sampler/adversary construction, game
+//! run, set-system judgment, aggregation. The engine owns that skeleton:
+//! an experiment supplies factories (seed → sampler, seed → adversary,
+//! seed → stream) and gets back per-trial records or aggregate
+//! [`RunStats`]. Three compositions cover the paper:
+//!
+//! * [`adaptive`](ExperimentEngine::adaptive) — the Figure 1
+//!   `AdaptiveGame` duel, judged at the end of the stream;
+//! * [`continuous`](ExperimentEngine::continuous) — the Figure 2
+//!   every-prefix game on a checkpoint grid;
+//! * [`batch`](ExperimentEngine::batch) — a static (oblivious) workload
+//!   driven through [`StreamSummary::ingest_batch`], i.e. the batched
+//!   hot path: static streams never pay the per-element game loop.
+//!
+//! Sampler RNGs are automatically decorrelated from adversary seeds via
+//! [`ExperimentEngine::sampler_seed`] — the paper's model requires the
+//! sampler's coins to be independent of the adversary, so experiment code
+//! must never share a raw seed between them.
+
+use crate::adversary::Adversary;
+use crate::engine::summary::StreamSummary;
+use crate::game::{
+    AdaptiveGame, ContinuousAdaptiveGame, ContinuousOutcome, GameOutcome, RoundTrace,
+};
+use crate::sampler::StreamSampler;
+use crate::set_system::SetSystem;
+
+/// Aggregate of one scalar measurement across an engine run's trials.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// The per-trial values, in seed order.
+    pub per_trial: Vec<f64>,
+}
+
+impl RunStats {
+    /// Wrap per-trial values.
+    pub fn new(per_trial: Vec<f64>) -> Self {
+        Self { per_trial }
+    }
+
+    /// Worst (largest) trial value; 0 for an empty run.
+    pub fn worst(&self) -> f64 {
+        self.per_trial.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean trial value; 0 for an empty run.
+    pub fn mean(&self) -> f64 {
+        if self.per_trial.is_empty() {
+            return 0.0;
+        }
+        self.per_trial.iter().sum::<f64>() / self.per_trial.len() as f64
+    }
+
+    /// Whether every trial value is `≤ bound`.
+    pub fn all_within(&self, bound: f64) -> bool {
+        self.per_trial.iter().all(|&v| v <= bound)
+    }
+
+    /// Fraction of trials with value `> bound`.
+    pub fn fraction_above(&self, bound: f64) -> f64 {
+        if self.per_trial.is_empty() {
+            return 0.0;
+        }
+        self.per_trial.iter().filter(|&&v| v > bound).count() as f64 / self.per_trial.len() as f64
+    }
+}
+
+/// The shared experiment loop: `trials` seeded games of length `n`.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentEngine {
+    n: usize,
+    trials: usize,
+    base_seed: u64,
+}
+
+impl ExperimentEngine {
+    /// An engine playing `trials` games of `n` rounds, with trial seeds
+    /// `0, 1, …` (see [`with_base_seed`](Self::with_base_seed)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `trials == 0`.
+    pub fn new(n: usize, trials: usize) -> Self {
+        assert!(n > 0 && trials > 0, "need n > 0 and trials > 0");
+        Self {
+            n,
+            trials,
+            base_seed: 0,
+        }
+    }
+
+    /// Offset the trial seeds, decorrelating repeated sweeps within one
+    /// experiment.
+    pub fn with_base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Stream length per game.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of trials.
+    #[inline]
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// The trial seeds, in run order.
+    pub fn seeds(&self) -> impl Iterator<Item = u64> {
+        let base = self.base_seed;
+        (0..self.trials as u64).map(move |t| base.wrapping_add(t))
+    }
+
+    /// Decorrelate a sampler's coins from the adversary's seed. The
+    /// paper's model requires the sampler's randomness to be independent
+    /// of the adversary; every engine entry point routes sampler
+    /// factories through this map.
+    #[inline]
+    pub fn sampler_seed(seed: u64) -> u64 {
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03
+    }
+
+    /// Play the adaptive game once per trial and map each outcome (with
+    /// the spent adversary, for strategy-specific introspection like
+    /// attack exhaustion) to a record.
+    pub fn adaptive_map<T, Smp, Adv, R>(
+        &self,
+        mut mk_sampler: impl FnMut(u64) -> Smp,
+        mut mk_adv: impl FnMut(u64) -> Adv,
+        mut map: impl FnMut(u64, &Adv, GameOutcome<T>) -> R,
+    ) -> Vec<R>
+    where
+        T: Clone,
+        Smp: StreamSampler<T>,
+        Adv: Adversary<T>,
+    {
+        self.seeds()
+            .map(|seed| {
+                let mut sampler = mk_sampler(Self::sampler_seed(seed));
+                let mut adv = mk_adv(seed);
+                let out = AdaptiveGame::new(self.n).run(&mut sampler, &mut adv);
+                map(seed, &adv, out)
+            })
+            .collect()
+    }
+
+    /// Play the adaptive game once per trial; aggregate the set-system
+    /// discrepancy of each final sample.
+    pub fn adaptive<T, Smp, Adv, Sys>(
+        &self,
+        system: &Sys,
+        mk_sampler: impl FnMut(u64) -> Smp,
+        mk_adv: impl FnMut(u64) -> Adv,
+    ) -> RunStats
+    where
+        T: Clone,
+        Smp: StreamSampler<T>,
+        Adv: Adversary<T>,
+        Sys: SetSystem<T>,
+    {
+        RunStats::new(
+            self.adaptive_map(mk_sampler, mk_adv, |_, _, out: GameOutcome<T>| {
+                out.discrepancy(system).value
+            }),
+        )
+    }
+
+    /// Play the adaptive game once per trial, streaming every round to
+    /// `on_round` (the martingale experiments' hook) and returning the
+    /// outcomes.
+    pub fn adaptive_traced<T, Smp, Adv>(
+        &self,
+        mut mk_sampler: impl FnMut(u64) -> Smp,
+        mut mk_adv: impl FnMut(u64) -> Adv,
+        mut on_round: impl FnMut(u64, &RoundTrace<'_, T>),
+    ) -> Vec<GameOutcome<T>>
+    where
+        T: Clone,
+        Smp: StreamSampler<T>,
+        Adv: Adversary<T>,
+    {
+        self.seeds()
+            .map(|seed| {
+                let mut sampler = mk_sampler(Self::sampler_seed(seed));
+                let mut adv = mk_adv(seed);
+                AdaptiveGame::new(self.n)
+                    .run_traced(&mut sampler, &mut adv, |tr| on_round(seed, &tr))
+            })
+            .collect()
+    }
+
+    /// Play the continuous (every-prefix) game once per trial on the
+    /// given checkpoint grid.
+    pub fn continuous<T, Smp, Adv, Sys>(
+        &self,
+        game: &ContinuousAdaptiveGame,
+        system: &Sys,
+        eps: f64,
+        mut mk_sampler: impl FnMut(u64) -> Smp,
+        mut mk_adv: impl FnMut(u64) -> Adv,
+    ) -> Vec<ContinuousOutcome<T>>
+    where
+        T: Clone,
+        Smp: StreamSampler<T>,
+        Adv: Adversary<T>,
+        Sys: SetSystem<T>,
+    {
+        self.seeds()
+            .map(|seed| {
+                let mut sampler = mk_sampler(Self::sampler_seed(seed));
+                let mut adv = mk_adv(seed);
+                game.run(&mut sampler, &mut adv, system, eps)
+            })
+            .collect()
+    }
+
+    /// Sup-over-prefixes discrepancy per trial of the continuous game.
+    pub fn continuous_sup<T, Smp, Adv, Sys>(
+        &self,
+        game: &ContinuousAdaptiveGame,
+        system: &Sys,
+        eps: f64,
+        mk_sampler: impl FnMut(u64) -> Smp,
+        mk_adv: impl FnMut(u64) -> Adv,
+    ) -> RunStats
+    where
+        T: Clone,
+        Smp: StreamSampler<T>,
+        Adv: Adversary<T>,
+        Sys: SetSystem<T>,
+    {
+        RunStats::new(
+            self.continuous(game, system, eps, mk_sampler, mk_adv)
+                .into_iter()
+                .map(|o| o.max_prefix_discrepancy)
+                .collect(),
+        )
+    }
+
+    /// Drive a static (oblivious) workload through the batched hot path
+    /// once per trial and map `(seed, stream, summary)` to a record.
+    ///
+    /// This is the engine's static-adversary fast lane: a fixed stream
+    /// needs no per-round adversary interaction, so the summary ingests
+    /// it via [`StreamSummary::ingest_batch`].
+    pub fn batch_map<T, S, R>(
+        &self,
+        mut mk_summary: impl FnMut(u64) -> S,
+        mut mk_stream: impl FnMut(u64) -> Vec<T>,
+        mut map: impl FnMut(u64, &[T], &S) -> R,
+    ) -> Vec<R>
+    where
+        T: Clone,
+        S: StreamSummary<T>,
+    {
+        self.seeds()
+            .map(|seed| {
+                let stream = mk_stream(seed);
+                let mut summary = mk_summary(Self::sampler_seed(seed));
+                summary.ingest_batch(&stream);
+                map(seed, &stream, &summary)
+            })
+            .collect()
+    }
+
+    /// Static workload through the batched hot path, judged against a
+    /// set system via an extractor from summary to retained sample.
+    pub fn batch<T, S, Sys>(
+        &self,
+        system: &Sys,
+        mk_summary: impl FnMut(u64) -> S,
+        mk_stream: impl FnMut(u64) -> Vec<T>,
+        mut sample_of: impl FnMut(&S) -> Vec<T>,
+    ) -> RunStats
+    where
+        T: Clone,
+        S: StreamSummary<T>,
+        Sys: SetSystem<T>,
+    {
+        RunStats::new(self.batch_map(mk_summary, mk_stream, |_, stream, summary| {
+            system.max_discrepancy(stream, &sample_of(summary)).value
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{QuantileHunterAdversary, RandomAdversary, StaticAdversary};
+    use crate::bounds;
+    use crate::sampler::{ReservoirSampler, StreamSampler};
+    use crate::set_system::{PrefixSystem, SetSystem};
+
+    #[test]
+    fn adaptive_runs_all_trials_and_is_deterministic() {
+        let engine = ExperimentEngine::new(2_000, 5);
+        let system = PrefixSystem::new(1 << 16);
+        let run = |e: &ExperimentEngine| {
+            e.adaptive(
+                &system,
+                |s| ReservoirSampler::with_seed(32, s),
+                |s| RandomAdversary::new(1 << 16, s),
+            )
+        };
+        let a = run(&engine);
+        let b = run(&engine);
+        assert_eq!(a.per_trial.len(), 5);
+        assert_eq!(a.per_trial, b.per_trial);
+        assert!(a.worst() >= a.mean());
+    }
+
+    #[test]
+    fn theorem_sized_reservoir_survives_hunter_through_engine() {
+        let system = PrefixSystem::new(1 << 20);
+        let k = bounds::reservoir_k_robust(system.ln_cardinality(), 0.15, 0.05);
+        let stats = ExperimentEngine::new(4_000, 3).adaptive(
+            &system,
+            |s| ReservoirSampler::with_seed(k, s),
+            |s| QuantileHunterAdversary::new(1 << 20, s),
+        );
+        assert!(stats.all_within(0.15), "worst {}", stats.worst());
+    }
+
+    #[test]
+    fn batch_path_equals_adaptive_path_on_static_streams() {
+        // The same static stream judged through the per-element game and
+        // through the batched fast lane must produce identical samples:
+        // ingest_batch is a pure optimization.
+        let stream: Vec<u64> = (0..3_000).map(|i| i * 17 % 4096).collect();
+        let engine = ExperimentEngine::new(3_000, 3);
+        let system = PrefixSystem::new(4096);
+        let via_game: Vec<Vec<u64>> = engine.adaptive_map(
+            |s| ReservoirSampler::with_seed(50, s),
+            |_| StaticAdversary::new(stream.clone()),
+            |_, _, out| out.sample,
+        );
+        let via_batch: Vec<Vec<u64>> = engine.batch_map(
+            |s| ReservoirSampler::with_seed(50, s),
+            |_| stream.clone(),
+            |_, _, summary| summary.sample().to_vec(),
+        );
+        assert_eq!(via_game, via_batch);
+        let stats = engine.batch(
+            &system,
+            |s| ReservoirSampler::with_seed(50, s),
+            |_| stream.clone(),
+            |s| s.sample().to_vec(),
+        );
+        assert_eq!(stats.per_trial.len(), 3);
+    }
+
+    #[test]
+    fn traced_runs_observe_every_round() {
+        let engine = ExperimentEngine::new(100, 2);
+        let mut rounds = 0usize;
+        let outs = engine.adaptive_traced(
+            |s| ReservoirSampler::with_seed(4, s),
+            |s| RandomAdversary::new(1 << 10, s),
+            |_, _| rounds += 1,
+        );
+        assert_eq!(outs.len(), 2);
+        assert_eq!(rounds, 200);
+    }
+
+    #[test]
+    fn continuous_grid_judges_prefixes() {
+        use crate::game::ContinuousAdaptiveGame;
+        let system = PrefixSystem::new(1 << 16);
+        let game = ContinuousAdaptiveGame::geometric(1_000, 100, 0.2);
+        let stats = ExperimentEngine::new(1_000, 2).continuous_sup(
+            &game,
+            &system,
+            0.2,
+            |s| ReservoirSampler::with_seed(1_000, s),
+            |s| RandomAdversary::new(1 << 16, s),
+        );
+        // k = n: the reservoir is the stream, so every prefix is exact.
+        assert!(stats.worst() < 1e-9);
+    }
+
+    #[test]
+    fn run_stats_aggregations() {
+        let s = RunStats::new(vec![0.1, 0.3, 0.2]);
+        assert!((s.worst() - 0.3).abs() < 1e-12);
+        assert!((s.mean() - 0.2).abs() < 1e-12);
+        assert!(s.all_within(0.3));
+        assert!(!s.all_within(0.25));
+        assert!((s.fraction_above(0.15) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,32 @@
+//! The batched stream-summary engine.
+//!
+//! This layer unifies everything in the workspace that consumes a stream
+//! — the samplers of [`crate::sampler`], the self-sizing robust sketches
+//! of [`crate::sketch`], the sliding-window sampler of [`crate::window`],
+//! and (via impls in their own crates) the baseline sketches and the
+//! distributed sites — behind one [`StreamSummary`] interface with a
+//! batched ingestion hot path:
+//!
+//! * [`StreamSummary`] — `ingest` / `ingest_batch` / introspection. The
+//!   default `ingest_batch` loops over `ingest`; summaries with a faster
+//!   bulk path override it. [`crate::sampler::BernoulliSampler`]
+//!   (geometric skip-sampling) and [`crate::sampler::ReservoirSampler`]
+//!   (Algorithm L gap skipping) do `O(stored)` instead of `Θ(n)` work per
+//!   batch — and produce **identical samples** to element-wise ingestion
+//!   for identical seeds, so the batch path is a pure optimization.
+//! * [`QuantileSummary`] / [`FrequencySummary`] — the `estimate`-style
+//!   query capabilities, so experiments can compare a robust sample, GK,
+//!   KLL, Misra–Gries, … through one interface.
+//! * [`ExperimentEngine`] — the one game/measurement loop shared by every
+//!   experiment binary: adaptive duels, continuous (every-prefix) games,
+//!   and static batched runs, each judged against a
+//!   [`SetSystem`](crate::set_system::SetSystem) across seeded trials.
+//! * [`report`] — the single table/CSV reporting path experiments emit
+//!   their rows through.
+
+pub mod experiment;
+pub mod report;
+pub mod summary;
+
+pub use experiment::{ExperimentEngine, RunStats};
+pub use summary::{FrequencySummary, QuantileSummary, StreamSummary};

@@ -1,0 +1,160 @@
+//! The single reporting path for experiment results: an aligned text
+//! table that can also serialise itself as CSV.
+//!
+//! Every experiment binary accumulates its rows in a [`Table`] and emits
+//! it through [`Table::emit`], which prints the aligned table and — when
+//! the `ROBUST_SAMPLING_CSV_DIR` environment variable is set (the
+//! `--csv` flag of the E-binaries sets it for child code) — also writes
+//! `<dir>/<experiment>_<section>.csv`. One code path, two sinks.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Environment variable naming the directory CSV traces are written to.
+pub const CSV_DIR_ENV: &str = "ROBUST_SAMPLING_CSV_DIR";
+
+/// A fixed-width text table accumulated row by row.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let body: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            println!("  {}", body.join("  ").trim_end());
+        };
+        line(&self.header);
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&rule);
+        for row in &self.rows {
+            line(row);
+        }
+    }
+
+    /// Serialise as CSV (header + rows, RFC-4180 quoting where needed).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        for line in std::iter::once(&self.header).chain(&self.rows) {
+            out.push_str(&line.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print the table; additionally write it as
+    /// `$ROBUST_SAMPLING_CSV_DIR/<experiment>_<section>.csv` when the
+    /// environment variable is set. Failures to write the trace are
+    /// reported on stderr but never fail the experiment.
+    pub fn emit(&self, experiment: &str, section: &str) {
+        self.print();
+        let Ok(dir) = std::env::var(CSV_DIR_ENV) else {
+            return;
+        };
+        let path = PathBuf::from(dir).join(format!("{experiment}_{section}.csv"));
+        let write = || -> std::io::Result<()> {
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            let mut f = std::fs::File::create(&path)?;
+            f.write_all(self.to_csv().as_bytes())
+        };
+        match write() {
+            Ok(()) => eprintln!("[trace] wrote {}", path.display()),
+            Err(e) => eprintln!("[trace] could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_prints_without_panicking() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(&["1".into(), "2".into()]);
+        t.print();
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_rejects_bad_arity() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a,b".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "name,value\n\"a,b\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn emit_writes_csv_when_env_set() {
+        let dir = std::env::temp_dir().join("robust_sampling_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Note: set_var is fine here; tests in this module are the only
+        // readers and run in one process.
+        std::env::set_var(CSV_DIR_ENV, &dir);
+        let mut t = Table::new(&["x"]);
+        t.row(&["1".into()]);
+        t.emit("e0", "demo");
+        std::env::remove_var(CSV_DIR_ENV);
+        let written = std::fs::read_to_string(dir.join("e0_demo.csv")).expect("csv written");
+        assert_eq!(written, "x\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

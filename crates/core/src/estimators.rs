@@ -107,7 +107,11 @@ pub struct HeavyHitter<T> {
 /// # Panics
 ///
 /// Panics if `alpha ∉ (0, 1]` or `eps_prime` is negative or ≥ `alpha`.
-pub fn heavy_hitters<T: Ord + Clone>(sample: &[T], alpha: f64, eps_prime: f64) -> Vec<HeavyHitter<T>> {
+pub fn heavy_hitters<T: Ord + Clone>(
+    sample: &[T],
+    alpha: f64,
+    eps_prime: f64,
+) -> Vec<HeavyHitter<T>> {
     assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
     assert!(
         (0.0..alpha).contains(&eps_prime),
@@ -170,7 +174,8 @@ pub fn heavy_hitters_errors<T: Ord + Clone>(
     }
     let mut spurious = Vec::new();
     for h in report {
-        let cnt = sorted.partition_point(|v| v <= &h.item) - sorted.partition_point(|v| v < &h.item);
+        let cnt =
+            sorted.partition_point(|v| v <= &h.item) - sorted.partition_point(|v| v < &h.item);
         if (cnt as f64) < (alpha - eps) * n {
             spurious.push(h.item.clone());
         }
@@ -384,9 +389,7 @@ mod tests {
     #[test]
     fn tukey_depth_of_centroid_of_square() {
         // A filled grid: its center has depth close to 1/2, a corner ~0.
-        let pts: Vec<(i64, i64)> = (0..20)
-            .flat_map(|x| (0..20).map(move |y| (x, y)))
-            .collect();
+        let pts: Vec<(i64, i64)> = (0..20).flat_map(|x| (0..20).map(move |y| (x, y))).collect();
         let center = tukey_depth(&pts, (9.5, 9.5), 90);
         let corner = tukey_depth(&pts, (0.0, 0.0), 90);
         assert!(center > 0.4, "center depth {center}");

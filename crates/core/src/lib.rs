@@ -28,6 +28,7 @@
 //!
 //! | module | contents |
 //! |---|---|
+//! | [`engine`] | the batched [`engine::StreamSummary`] layer and the [`engine::ExperimentEngine`] game/measurement loop |
 //! | [`sampler`] | [`sampler::StreamSampler`] trait, [`sampler::BernoulliSampler`], [`sampler::ReservoirSampler`], weighted reservoir, baselines |
 //! | [`set_system`] | [`set_system::SetSystem`] trait and prefix / interval / singleton / axis-box / halfspace / explicit systems |
 //! | [`approx`] | ε-approximation checking: exact maximum density discrepancy |
@@ -70,6 +71,7 @@ pub mod adversary;
 pub mod approx;
 pub mod bounds;
 pub mod dyadic;
+pub mod engine;
 pub mod estimators;
 pub mod game;
 pub mod martingale;
@@ -81,6 +83,7 @@ pub mod window;
 
 pub use adversary::Adversary;
 pub use approx::DiscrepancyReport;
+pub use engine::{ExperimentEngine, FrequencySummary, QuantileSummary, StreamSummary};
 pub use game::{AdaptiveGame, ContinuousAdaptiveGame, GameOutcome};
 pub use sampler::{BernoulliSampler, Observation, ReservoirSampler, StreamSampler};
 pub use set_system::SetSystem;

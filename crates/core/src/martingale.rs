@@ -229,7 +229,12 @@ mod tests {
 
     /// Record a Bernoulli game on a fixed stream and range, returning the
     /// per-round events for the martingale constructor.
-    fn record_bernoulli(n: usize, p: f64, seed: u64, in_range: impl Fn(u64) -> bool) -> Vec<RoundEvent> {
+    fn record_bernoulli(
+        n: usize,
+        p: f64,
+        seed: u64,
+        in_range: impl Fn(u64) -> bool,
+    ) -> Vec<RoundEvent> {
         let mut s = BernoulliSampler::with_seed(p, seed);
         let mut events = Vec::with_capacity(n);
         let mut in_sample = 0usize;

@@ -17,7 +17,7 @@
 //! experiments, and tests are fully deterministic given a seed.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// What a sampler did with one incoming element.
 ///
@@ -84,12 +84,32 @@ pub trait StreamSampler<T> {
 /// (Chernoff). Theorem 1.2 of the paper proves this sampler is
 /// (ε, δ)-robust whenever `p ≥ 10·(ln|R| + ln(4/δ)) / (ε²n)`; use
 /// [`crate::bounds::bernoulli_p_robust`] to compute that threshold.
+///
+/// ## Implementation: geometric skip-sampling
+///
+/// Instead of flipping one coin per element, the sampler draws the *gap*
+/// until the next stored element directly from the geometric distribution
+/// `Pr[G = g] = p(1−p)^g` — one RNG draw per **stored** element. The
+/// process is exactly equidistributed with per-element coins (a geometric
+/// gap is by definition the waiting time of i.i.d. Bernoulli trials), and
+/// because the gap is memoryless the adversary's view is unchanged: given
+/// any observed prefix of store/skip outcomes, the conditional law of the
+/// next outcome is `Bernoulli(p)` either way. The pending gap is private
+/// state that [`StreamSampler::sample`] never exposes.
+///
+/// The same gap state drives both [`observe`](StreamSampler::observe)
+/// (decrement) and the batched [`observe_batch`](Self::observe_batch)
+/// (jump), so the two ingestion paths produce **identical samples for
+/// identical seeds** — the batched path is a pure optimization.
 #[derive(Debug)]
 pub struct BernoulliSampler<T> {
     p: f64,
     sample: Vec<T>,
     observed: usize,
     rng: StdRng,
+    /// Elements still to skip before the next store; `None` iff `p == 0`
+    /// (nothing is ever stored).
+    skip: Option<u64>,
 }
 
 impl<T> BernoulliSampler<T> {
@@ -101,12 +121,17 @@ impl<T> BernoulliSampler<T> {
     /// Panics if `p` is not within `[0, 1]`.
     pub fn with_seed(p: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
-        Self {
+        let mut s = Self {
             p,
             sample: Vec::new(),
             observed: 0,
             rng: StdRng::seed_from_u64(seed),
+            skip: None,
+        };
+        if p > 0.0 {
+            s.skip = Some(s.draw_gap());
         }
+        s
     }
 
     /// The sampling probability `p`.
@@ -119,16 +144,66 @@ impl<T> BernoulliSampler<T> {
     pub fn into_sample(self) -> Vec<T> {
         self.sample
     }
+
+    /// Draw the number of elements to skip before the next store:
+    /// `Geometric(p)` on `{0, 1, 2, …}` by inversion.
+    fn draw_gap(&mut self) -> u64 {
+        if self.p >= 1.0 {
+            return 0;
+        }
+        let u: f64 = self.rng.random();
+        // ln(1-u)/ln(1-p): +inf (and NaN-free) tails saturate to u64::MAX.
+        let g = ((1.0 - u).ln() / (1.0 - self.p).ln()).floor();
+        if g.is_finite() {
+            g as u64
+        } else {
+            u64::MAX
+        }
+    }
+
+    /// Batched ingestion: skip-jump through `xs` storing the same elements
+    /// (given the same seed and history) that per-element
+    /// [`observe`](StreamSampler::observe) calls would store, in
+    /// `O(p·|xs|)` expected work instead of `Θ(|xs|)`.
+    pub fn observe_batch(&mut self, xs: &[T])
+    where
+        T: Clone,
+    {
+        let n = xs.len();
+        self.observed += n;
+        let Some(mut skip) = self.skip else {
+            return;
+        };
+        let mut i = 0usize;
+        while i < n {
+            let remaining = (n - i) as u64;
+            if skip >= remaining {
+                skip -= remaining;
+                break;
+            }
+            i += skip as usize;
+            self.sample.push(xs[i].clone());
+            i += 1;
+            skip = self.draw_gap();
+        }
+        self.skip = Some(skip);
+    }
 }
 
 impl<T: Clone> StreamSampler<T> for BernoulliSampler<T> {
     fn observe(&mut self, x: T) -> Observation<T> {
         self.observed += 1;
-        if self.rng.random_bool(self.p) {
-            self.sample.push(x);
-            Observation::Stored { evicted: None }
-        } else {
-            Observation::Skipped
+        match self.skip {
+            None => Observation::Skipped,
+            Some(0) => {
+                self.sample.push(x);
+                self.skip = Some(self.draw_gap());
+                Observation::Stored { evicted: None }
+            }
+            Some(s) => {
+                self.skip = Some(s - 1);
+                Observation::Skipped
+            }
         }
     }
 
@@ -155,6 +230,11 @@ impl<T: Clone> StreamSampler<T> for BernoulliSampler<T> {
         self.sample.clear();
         self.observed = 0;
         self.rng = StdRng::seed_from_u64(seed);
+        self.skip = if self.p > 0.0 {
+            Some(self.draw_gap())
+        } else {
+            None
+        };
     }
 }
 
@@ -162,14 +242,33 @@ impl<T: Clone> StreamSampler<T> for BernoulliSampler<T> {
 // Reservoir sampling
 // ---------------------------------------------------------------------------
 
-/// Classical reservoir sampling (Vitter's Algorithm R), maintaining a
-/// uniform sample of fixed size `k`.
+/// Classical reservoir sampling (the paper's Section 2 algorithm: store
+/// element `i > k` with probability `k/i`, evicting a uniformly random
+/// resident), maintaining a uniform sample of fixed size `k`.
 ///
-/// The first `k` elements are stored unconditionally; element `i > k` is
-/// stored with probability `k/i`, evicting a uniformly random resident.
-/// This matches the paper's Section 2 pseudocode line for line. Theorem
-/// 1.2 proves (ε, δ)-robustness for `k ≥ 2·(ln|R| + ln(2/δ)) / ε²`; use
+/// Theorem 1.2 proves (ε, δ)-robustness for
+/// `k ≥ 2·(ln|R| + ln(2/δ)) / ε²`; use
 /// [`crate::bounds::reservoir_k_robust`].
+///
+/// ## Implementation: Vitter-style gap skipping (Li's Algorithm L)
+///
+/// Acceptance at index `i` with probability `k/i`, independently per
+/// index, is exactly the acceptance process of bottom-`k` sampling (the
+/// relative rank of element `i` among the first `i` is uniform and
+/// independent across `i`). Algorithm L samples the *gaps* between
+/// acceptances of that process directly — a running threshold
+/// `W ← W·U^{1/k}` and a geometric jump `⌊ln U / ln(1−W)⌋` — using
+/// `O(1)` RNG draws per **stored** element, i.e. `O(k·ln(n/k))` draws for
+/// the whole stream instead of `n`.
+///
+/// The pre-drawn gap is private state the adversary never sees, and by
+/// the independence above the conditional law of the next accept/skip
+/// decision given everything observable is `k/i` either way — games and
+/// attacks behave exactly as under per-element coins. The same gap state
+/// drives [`observe`](StreamSampler::observe) (decrement) and
+/// [`observe_batch`](Self::observe_batch) (jump), so batched and
+/// element-wise ingestion produce **identical reservoirs for identical
+/// seeds**.
 #[derive(Debug)]
 pub struct ReservoirSampler<T> {
     k: usize,
@@ -177,6 +276,10 @@ pub struct ReservoirSampler<T> {
     observed: usize,
     total_stored: usize,
     rng: StdRng,
+    /// Algorithm L threshold; meaningful once the reservoir is full.
+    w: f64,
+    /// Elements still to skip before the next store (once full).
+    skip: u64,
 }
 
 impl<T> ReservoirSampler<T> {
@@ -193,6 +296,8 @@ impl<T> ReservoirSampler<T> {
             observed: 0,
             total_stored: 0,
             rng: StdRng::seed_from_u64(seed),
+            w: 1.0,
+            skip: 0,
         }
     }
 
@@ -206,6 +311,72 @@ impl<T> ReservoirSampler<T> {
     pub fn into_sample(self) -> Vec<T> {
         self.reservoir
     }
+
+    /// Advance the Algorithm L state: shrink the threshold and draw the
+    /// gap until the next acceptance.
+    fn next_gap(&mut self) {
+        let u1: f64 = self.rng.random();
+        self.w *= (u1.ln() / self.k as f64).exp();
+        let u2: f64 = self.rng.random();
+        let denom = (1.0 - self.w).ln();
+        self.skip = if denom < 0.0 {
+            let g = (u2.ln() / denom).floor();
+            if g.is_finite() {
+                g as u64
+            } else {
+                u64::MAX
+            }
+        } else {
+            // w underflowed to 0 (probability ~2^-53 per draw): the
+            // threshold is gone, no future element is ever accepted.
+            u64::MAX
+        };
+    }
+
+    /// Accept `x` into a full reservoir, evicting a uniform resident.
+    fn accept(&mut self, x: T) -> T {
+        let j = self.rng.random_range(0..self.k);
+        let evicted = std::mem::replace(&mut self.reservoir[j], x);
+        self.total_stored += 1;
+        self.next_gap();
+        evicted
+    }
+
+    /// Batched ingestion: jump the Algorithm L gaps through `xs`, storing
+    /// the same elements (given the same seed and history) that
+    /// per-element [`observe`](StreamSampler::observe) calls would store,
+    /// in `O(k·ln(|xs|/k))` expected work instead of `Θ(|xs|)`.
+    pub fn observe_batch(&mut self, xs: &[T])
+    where
+        T: Clone,
+    {
+        let mut i = 0usize;
+        let n = xs.len();
+        // Fill phase.
+        while i < n && self.reservoir.len() < self.k {
+            self.reservoir.push(xs[i].clone());
+            self.total_stored += 1;
+            self.observed += 1;
+            i += 1;
+            if self.reservoir.len() == self.k {
+                self.w = 1.0;
+                self.next_gap();
+            }
+        }
+        // Skip phase.
+        while i < n {
+            let remaining = (n - i) as u64;
+            if self.skip >= remaining {
+                self.skip -= remaining;
+                self.observed += n - i;
+                return;
+            }
+            i += self.skip as usize;
+            self.observed += self.skip as usize + 1;
+            self.accept(xs[i].clone());
+            i += 1;
+        }
+    }
 }
 
 impl<T: Clone> StreamSampler<T> for ReservoirSampler<T> {
@@ -214,19 +385,19 @@ impl<T: Clone> StreamSampler<T> for ReservoirSampler<T> {
         if self.reservoir.len() < self.k {
             self.reservoir.push(x);
             self.total_stored += 1;
+            if self.reservoir.len() == self.k {
+                self.w = 1.0;
+                self.next_gap();
+            }
             return Observation::Stored { evicted: None };
         }
-        // Store with probability k/i, evicting a uniform resident.
-        let i = self.observed as u64;
-        if self.rng.random_range(0..i) < self.k as u64 {
-            let j = self.rng.random_range(0..self.k);
-            let evicted = std::mem::replace(&mut self.reservoir[j], x);
-            self.total_stored += 1;
-            Observation::Stored {
-                evicted: Some(evicted),
-            }
-        } else {
-            Observation::Skipped
+        if self.skip > 0 {
+            self.skip -= 1;
+            return Observation::Skipped;
+        }
+        let evicted = self.accept(x);
+        Observation::Stored {
+            evicted: Some(evicted),
         }
     }
 
@@ -254,6 +425,8 @@ impl<T: Clone> StreamSampler<T> for ReservoirSampler<T> {
         self.observed = 0;
         self.total_stored = 0;
         self.rng = StdRng::seed_from_u64(seed);
+        self.w = 1.0;
+        self.skip = 0;
     }
 }
 
@@ -541,6 +714,22 @@ impl<T> EveryKthSampler<T> {
             sample: Vec::new(),
             observed: 0,
         }
+    }
+
+    /// Batched ingestion: stride arithmetic instead of a per-element
+    /// divisibility check; identical sample to element-wise observation.
+    pub fn observe_batch(&mut self, xs: &[T])
+    where
+        T: Clone,
+    {
+        let n = xs.len();
+        // First kept position (1-based, relative to the batch start).
+        let mut next = self.stride - self.observed % self.stride;
+        while next <= n {
+            self.sample.push(xs[next - 1].clone());
+            next += self.stride;
+        }
+        self.observed += n;
     }
 }
 
@@ -842,6 +1031,9 @@ mod tests {
         }
         let expect = k as f64 * (1.0 + (n as f64 / k as f64).ln());
         let got = s.total_stored() as f64;
-        assert!((got - expect).abs() < 0.5 * expect, "k' = {got} vs {expect}");
+        assert!(
+            (got - expect).abs() < 0.5 * expect,
+            "k' = {got} vs {expect}"
+        );
     }
 }

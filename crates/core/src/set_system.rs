@@ -813,7 +813,9 @@ mod tests {
     #[test]
     fn singleton_specialized_matches_enumeration() {
         let s = SingletonSystem::new(32);
-        let stream: Vec<u64> = (0..32).flat_map(|v| std::iter::repeat_n(v, (v % 5 + 1) as usize)).collect();
+        let stream: Vec<u64> = (0..32)
+            .flat_map(|v| std::iter::repeat_n(v, (v % 5 + 1) as usize))
+            .collect();
         let sample: Vec<u64> = vec![0, 0, 0, 7, 31];
         let fast = s.max_discrepancy(&stream, &sample).value;
         let mut brute = 0.0f64;

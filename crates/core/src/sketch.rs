@@ -61,6 +61,12 @@ impl<T: Ord + Clone> RobustQuantileSketch<T> {
         self.reservoir.observe(x);
     }
 
+    /// Feed a batch of stream elements through the reservoir's gap-skip
+    /// hot path (identical result to element-wise observation).
+    pub fn observe_batch(&mut self, xs: &[T]) {
+        self.reservoir.observe_batch(xs);
+    }
+
     /// The estimated `q`-quantile of everything observed so far; `None`
     /// before the first element.
     ///
@@ -137,6 +143,12 @@ impl<T: Ord + Clone> RobustHeavyHitterSketch<T> {
     /// Feed one stream element.
     pub fn observe(&mut self, x: T) {
         self.reservoir.observe(x);
+    }
+
+    /// Feed a batch of stream elements through the reservoir's gap-skip
+    /// hot path (identical result to element-wise observation).
+    pub fn observe_batch(&mut self, xs: &[T]) {
+        self.reservoir.observe_batch(xs);
     }
 
     /// The current heavy-hitter report (highest density first).
@@ -225,10 +237,7 @@ mod tests {
             s.observe(if i % 5 == 0 { 42 } else { 1000 + i });
         }
         let report = s.report();
-        assert!(
-            report.iter().any(|h| h.item == 42),
-            "missed the 20% hitter"
-        );
+        assert!(report.iter().any(|h| h.item == 42), "missed the 20% hitter");
         // Nothing below alpha - eps = 4% may appear; distinct items are ~0%.
         for h in &report {
             assert_eq!(h.item, 42, "spurious report {h:?}");

@@ -18,7 +18,7 @@
 //! DESIGN.md §3/E12.)
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// One chain: the resident element (with its stream index) and the index
 /// at which its successor will be drawn.
@@ -255,6 +255,9 @@ mod tests {
     fn window_k_formula_sanity() {
         assert!(window_k_robust(10.0, 0.1, 0.05) > window_k_robust(10.0, 0.2, 0.05));
         assert!(window_k_robust(20.0, 0.1, 0.05) > window_k_robust(10.0, 0.1, 0.05));
-        assert_eq!(window_k_robust(0.0, 0.9, 0.9).max(1), window_k_robust(0.0, 0.9, 0.9));
+        assert_eq!(
+            window_k_robust(0.0, 0.9, 0.9).max(1),
+            window_k_robust(0.0, 0.9, 0.9)
+        );
     }
 }

@@ -7,7 +7,7 @@
 //!
 //! [`LoadBalancer`] implements exactly that router, in both a
 //! deterministic single-threaded form and a multi-threaded form using
-//! `crossbeam` channels. Experiment E10 checks that *every* server's
+//! `std::sync::mpsc` channels. Experiment E10 checks that *every* server's
 //! substream is simultaneously an ε-approximation of the full stream —
 //! even when the stream is chosen adversarially — as Theorem 1.2 predicts
 //! for Bernoulli samples of rate `1/K`.
@@ -22,10 +22,11 @@
 #![warn(missing_docs)]
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
+use robust_sampling_core::engine::StreamSummary;
 use robust_sampling_core::sampler::{ReservoirSampler, StreamSampler};
+use std::sync::Mutex;
 
 // ---------------------------------------------------------------------------
 // Load balancer
@@ -88,7 +89,7 @@ impl LoadBalancer {
     }
 }
 
-/// Multi-threaded router run: `k` worker threads each consume a crossbeam
+/// Multi-threaded router run: `k` worker threads each consume an mpsc
 /// channel and maintain both their full substream and a local reservoir of
 /// capacity `local_k`. Returns per-server `(substream, reservoir)`.
 ///
@@ -113,7 +114,7 @@ pub fn run_threaded(
     std::thread::scope(|scope| {
         let mut senders = Vec::with_capacity(k);
         for (j, slot) in results.iter().enumerate() {
-            let (tx, rx) = crossbeam::channel::unbounded::<u64>();
+            let (tx, rx) = std::sync::mpsc::channel::<u64>();
             senders.push(tx);
             let worker_seed = seed ^ (j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
             scope.spawn(move || {
@@ -123,7 +124,7 @@ pub fn run_threaded(
                     substream.push(x);
                     reservoir.observe(x);
                 }
-                *slot.lock() = (substream, reservoir.into_sample());
+                *slot.lock().expect("worker mutex poisoned") = (substream, reservoir.into_sample());
             });
         }
         let mut rng = StdRng::seed_from_u64(seed);
@@ -133,7 +134,10 @@ pub fn run_threaded(
         }
         drop(senders); // close channels; workers drain and exit
     });
-    results.into_iter().map(|m| m.into_inner()).collect()
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("worker mutex poisoned"))
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -160,6 +164,13 @@ impl Site {
         self.reservoir.observe(x);
     }
 
+    /// Process a batch of local elements through the reservoir's gap-skip
+    /// hot path (identical state to element-wise observation) — the
+    /// ingest path sites use for bulk arrivals.
+    pub fn observe_batch(&mut self, xs: &[u64]) {
+        self.reservoir.observe_batch(xs);
+    }
+
     /// Elements seen by this site.
     pub fn count(&self) -> usize {
         self.reservoir.observed()
@@ -176,6 +187,30 @@ impl Site {
             buf.put_u64_le(v);
         }
         buf.freeze()
+    }
+}
+
+/// Engine-layer view of a site: ingestion flows through the local
+/// reservoir's batched hot path.
+impl StreamSummary<u64> for Site {
+    fn ingest(&mut self, x: u64) {
+        self.observe(x);
+    }
+
+    fn ingest_batch(&mut self, xs: &[u64]) {
+        self.observe_batch(xs);
+    }
+
+    fn items_seen(&self) -> usize {
+        self.count()
+    }
+
+    fn space(&self) -> usize {
+        self.reservoir.sample().len()
+    }
+
+    fn summary_name(&self) -> &'static str {
+        "site"
     }
 }
 
@@ -274,7 +309,11 @@ mod tests {
         // Balanced within 4 sigma: each server gets ~1250 ± 4·sqrt(1250·7/8).
         for (j, v) in lb.views().iter().enumerate() {
             let dev = (v.len() as f64 - 1250.0).abs();
-            assert!(dev < 4.0 * (1250.0f64 * 0.875).sqrt(), "server {j}: {}", v.len());
+            assert!(
+                dev < 4.0 * (1250.0f64 * 0.875).sqrt(),
+                "server {j}: {}",
+                v.len()
+            );
         }
     }
 
@@ -318,6 +357,22 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.0, y.0, "substream partition changed across runs");
         }
+    }
+
+    #[test]
+    fn site_batch_ingest_matches_elementwise() {
+        let stream = streamgen::uniform(30_000, 1 << 20, 8);
+        let mut a = Site::new(128, 5);
+        let mut b = Site::new(128, 5);
+        for &x in &stream {
+            a.observe(x);
+        }
+        b.observe_batch(&stream);
+        assert_eq!(a.count(), b.count());
+        assert_eq!(
+            SiteSnapshot::decode(a.snapshot()),
+            SiteSnapshot::decode(b.snapshot())
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! which survives at the same memory budget.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Count-Min sketch over `u64` items with `depth` rows of `width` counters.
 #[derive(Debug, Clone)]

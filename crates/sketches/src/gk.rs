@@ -128,7 +128,7 @@ impl GkSummary {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     fn true_rank(sorted: &[u64], v: u64) -> u64 {
         sorted.partition_point(|&x| x <= v) as u64

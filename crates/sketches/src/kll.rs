@@ -10,7 +10,7 @@
 //! *not* adaptively robust in general, which is part of the E6 story.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Capacity profile: level `h` (0 = leaves) in a sketch with `num_levels`
 /// levels gets `max(k·c^(num_levels−1−h), 2)` slots, `c = 2/3`.
@@ -55,8 +55,8 @@ impl KllSketch {
     fn compact_if_needed(&mut self) {
         loop {
             let levels = self.compactors.len();
-            let Some(h) = (0..levels)
-                .find(|&h| self.compactors[h].len() >= capacity(self.k, levels, h))
+            let Some(h) =
+                (0..levels).find(|&h| self.compactors[h].len() >= capacity(self.k, levels, h))
             else {
                 return;
             };

@@ -8,3 +8,4 @@ pub mod kll;
 pub mod merge_reduce;
 pub mod misra_gries;
 pub mod space_saving;
+pub mod summary;

@@ -167,12 +167,7 @@ impl MergeReduce {
 
     /// Number of retained elements (space footprint).
     pub fn space(&self) -> usize {
-        self.levels
-            .iter()
-            .flatten()
-            .map(Vec::len)
-            .sum::<usize>()
-            + self.current.len()
+        self.levels.iter().flatten().map(Vec::len).sum::<usize>() + self.current.len()
     }
 
     /// Number of elements observed.

@@ -118,7 +118,10 @@ mod tests {
             ss.observe(x);
         }
         let est = ss.estimate(99);
-        assert!(est >= true_count, "SpaceSaving must overestimate: {est} < {true_count}");
+        assert!(
+            est >= true_count,
+            "SpaceSaving must overestimate: {est} < {true_count}"
+        );
         assert!(est - true_count <= 5_000 / k as u64, "error too big");
         assert!(ss.guaranteed(99) <= true_count);
     }
@@ -138,7 +141,13 @@ mod tests {
     fn heavy_hitters_returns_sorted_by_count() {
         let mut ss = SpaceSaving::new(10);
         for i in 0..1000u64 {
-            ss.observe(if i % 2 == 0 { 1 } else if i % 3 == 0 { 2 } else { i });
+            ss.observe(if i % 2 == 0 {
+                1
+            } else if i % 3 == 0 {
+                2
+            } else {
+                i
+            });
         }
         let hh = ss.heavy_hitters(0.1);
         assert!(hh.windows(2).all(|w| w[0].1 >= w[1].1));

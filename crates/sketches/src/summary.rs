@@ -1,0 +1,287 @@
+//! [`StreamSummary`] engine-layer implementations for the baseline
+//! sketches, so experiments drive samplers and sketches through one
+//! interface (and one batched ingestion call).
+//!
+//! The baseline sketches have no sublinear bulk path — a deterministic
+//! summary must inspect every element, which is exactly the trade-off the
+//! paper's §1.2 highlights against sampling — so they keep the default
+//! element-looping `ingest_batch`.
+
+use crate::count_min::CountMin;
+use crate::gk::GkSummary;
+use crate::kll::KllSketch;
+use crate::merge_reduce::MergeReduce;
+use crate::misra_gries::MisraGries;
+use crate::space_saving::SpaceSaving;
+use robust_sampling_core::engine::{FrequencySummary, QuantileSummary, StreamSummary};
+
+impl StreamSummary<u64> for GkSummary {
+    fn ingest(&mut self, x: u64) {
+        self.observe(x);
+    }
+
+    fn items_seen(&self) -> usize {
+        self.observed() as usize
+    }
+
+    fn space(&self) -> usize {
+        self.space()
+    }
+
+    fn summary_name(&self) -> &'static str {
+        "gk"
+    }
+}
+
+impl QuantileSummary<u64> for GkSummary {
+    fn estimate_quantile(&self, q: f64) -> Option<u64> {
+        self.quantile(q)
+    }
+
+    fn estimate_rank(&self, x: &u64) -> f64 {
+        // GK answers value-by-rank; invert by binary search over ranks.
+        let n = self.observed();
+        if n == 0 {
+            return 0.0;
+        }
+        let (mut lo, mut hi) = (0u64, n);
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            match self.query_rank(mid) {
+                Some(v) if v <= *x => lo = mid,
+                _ => hi = mid - 1,
+            }
+        }
+        lo as f64
+    }
+}
+
+impl StreamSummary<u64> for KllSketch {
+    fn ingest(&mut self, x: u64) {
+        self.observe(x);
+    }
+
+    fn items_seen(&self) -> usize {
+        self.observed() as usize
+    }
+
+    fn space(&self) -> usize {
+        self.space()
+    }
+
+    fn summary_name(&self) -> &'static str {
+        "kll"
+    }
+}
+
+impl QuantileSummary<u64> for KllSketch {
+    fn estimate_quantile(&self, q: f64) -> Option<u64> {
+        self.quantile(q)
+    }
+
+    fn estimate_rank(&self, x: &u64) -> f64 {
+        self.rank(*x) as f64
+    }
+}
+
+impl StreamSummary<u64> for MergeReduce {
+    fn ingest(&mut self, x: u64) {
+        self.observe(x);
+    }
+
+    fn items_seen(&self) -> usize {
+        self.observed() as usize
+    }
+
+    fn space(&self) -> usize {
+        self.space()
+    }
+
+    fn summary_name(&self) -> &'static str {
+        "merge-reduce"
+    }
+}
+
+impl QuantileSummary<u64> for MergeReduce {
+    fn estimate_quantile(&self, q: f64) -> Option<u64> {
+        self.quantile(q)
+    }
+
+    fn estimate_rank(&self, x: &u64) -> f64 {
+        self.rank(*x) as f64
+    }
+}
+
+impl StreamSummary<u64> for MisraGries {
+    fn ingest(&mut self, x: u64) {
+        self.observe(x);
+    }
+
+    fn items_seen(&self) -> usize {
+        self.observed() as usize
+    }
+
+    fn space(&self) -> usize {
+        self.counters_in_use()
+    }
+
+    fn summary_name(&self) -> &'static str {
+        "misra-gries"
+    }
+}
+
+impl FrequencySummary<u64> for MisraGries {
+    fn estimate_count(&self, x: &u64) -> f64 {
+        self.estimate(*x) as f64
+    }
+
+    fn heavy_items(&self, threshold: f64) -> Vec<(u64, f64)> {
+        let n = self.observed().max(1) as f64;
+        self.heavy_hitters(threshold)
+            .into_iter()
+            .map(|(x, c)| (x, c as f64 / n))
+            .collect()
+    }
+}
+
+impl StreamSummary<u64> for SpaceSaving {
+    fn ingest(&mut self, x: u64) {
+        self.observe(x);
+    }
+
+    fn items_seen(&self) -> usize {
+        self.observed() as usize
+    }
+
+    fn space(&self) -> usize {
+        self.heavy_hitters(0.0).len()
+    }
+
+    fn summary_name(&self) -> &'static str {
+        "space-saving"
+    }
+}
+
+impl FrequencySummary<u64> for SpaceSaving {
+    fn estimate_count(&self, x: &u64) -> f64 {
+        self.estimate(*x) as f64
+    }
+
+    fn heavy_items(&self, threshold: f64) -> Vec<(u64, f64)> {
+        let n = self.observed().max(1) as f64;
+        self.heavy_hitters(threshold)
+            .into_iter()
+            .map(|(x, c)| (x, c as f64 / n))
+            .collect()
+    }
+}
+
+impl StreamSummary<u64> for CountMin {
+    fn ingest(&mut self, x: u64) {
+        self.observe(x);
+    }
+
+    fn items_seen(&self) -> usize {
+        self.observed() as usize
+    }
+
+    fn space(&self) -> usize {
+        self.space()
+    }
+
+    fn summary_name(&self) -> &'static str {
+        "count-min"
+    }
+}
+
+impl FrequencySummary<u64> for CountMin {
+    fn estimate_count(&self, x: &u64) -> f64 {
+        self.estimate(*x) as f64
+    }
+
+    /// Count-Min cannot enumerate its keys; callers track candidates
+    /// separately. Returns an empty report by design.
+    fn heavy_items(&self, _threshold: f64) -> Vec<(u64, f64)> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(s: &mut dyn StreamSummary<u64>, stream: &[u64]) {
+        s.ingest_batch(stream);
+    }
+
+    #[test]
+    fn all_sketches_ingest_through_the_trait() {
+        let stream: Vec<u64> = (0..5_000).map(|i| i * 31 % 1_000).collect();
+        let mut gk = GkSummary::new(0.02);
+        let mut kll = KllSketch::with_seed(128, 1);
+        let mut mr = MergeReduce::for_eps(0.02, stream.len());
+        let mut mg = MisraGries::new(64);
+        let mut ss = SpaceSaving::new(64);
+        let mut cm = CountMin::for_guarantee(0.01, 0.01, 2);
+        let summaries: [&mut dyn StreamSummary<u64>; 6] =
+            [&mut gk, &mut kll, &mut mr, &mut mg, &mut ss, &mut cm];
+        for s in summaries {
+            drive(s, &stream);
+            assert_eq!(s.items_seen(), stream.len(), "{}", s.summary_name());
+            assert!(s.space() > 0, "{}", s.summary_name());
+        }
+    }
+
+    #[test]
+    fn quantile_summaries_agree_on_uniform_ramp() {
+        let stream: Vec<u64> = (0..20_000).collect();
+        let mut gk = GkSummary::new(0.01);
+        let mut kll = KllSketch::with_seed(256, 3);
+        let mut mr = MergeReduce::for_eps(0.01, stream.len());
+        for s in [&mut gk as &mut dyn StreamSummary<u64>, &mut kll, &mut mr] {
+            s.ingest_batch(&stream);
+        }
+        for q in [0.1, 0.5, 0.9] {
+            let expect = q * 20_000.0;
+            for (name, got) in [
+                ("gk", gk.estimate_quantile(q)),
+                ("kll", kll.estimate_quantile(q)),
+                ("mr", mr.estimate_quantile(q)),
+            ] {
+                let v = got.expect("non-empty") as f64;
+                assert!(
+                    (v - expect).abs() <= 0.05 * 20_000.0,
+                    "{name} q={q}: {v} vs {expect}"
+                );
+            }
+        }
+        let r = gk.estimate_rank(&10_000);
+        assert!((r - 10_000.0).abs() < 500.0, "gk rank {r}");
+    }
+
+    #[test]
+    fn frequency_summaries_find_planted_hitter() {
+        let stream: Vec<u64> = (0..10_000)
+            .map(|i| if i % 5 == 0 { 42 } else { 100 + i })
+            .collect();
+        let mut mg = MisraGries::new(32);
+        let mut ss = SpaceSaving::new(32);
+        let mut cm = CountMin::for_guarantee(0.005, 0.01, 4);
+        for s in [&mut mg as &mut dyn StreamSummary<u64>, &mut ss, &mut cm] {
+            s.ingest_batch(&stream);
+        }
+        for (name, s) in [
+            ("mg", &mg as &dyn FrequencySummary<u64>),
+            ("ss", &ss),
+            ("cm", &cm),
+        ] {
+            let c = s.estimate_count(&42);
+            assert!(
+                (1_500.0..=2_600.0).contains(&c),
+                "{name} count {c} (truth 2000)"
+            );
+        }
+        assert!(mg.heavy_items(0.1).iter().any(|&(x, _)| x == 42));
+        assert!(ss.heavy_items(0.1).iter().any(|&(x, _)| x == 42));
+    }
+}

@@ -7,7 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Uniform i.i.d. elements over `{0, …, universe−1}`.
 ///
@@ -136,12 +136,7 @@ pub fn uniform_points(n: usize, m: u64, seed: u64) -> Vec<(i64, i64)> {
     assert!(m > 0, "grid must be non-empty");
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
-        .map(|_| {
-            (
-                rng.random_range(0..m) as i64,
-                rng.random_range(0..m) as i64,
-            )
-        })
+        .map(|_| (rng.random_range(0..m) as i64, rng.random_range(0..m) as i64))
         .collect()
 }
 
@@ -250,7 +245,10 @@ mod tests {
         let count = |v: u64| s.iter().filter(|&&x| x == v).count();
         let c0 = count(0);
         let c10 = count(10);
-        assert!(c0 > c10 * 3, "rank 0 ({c0}) not much hotter than rank 10 ({c10})");
+        assert!(
+            c0 > c10 * 3,
+            "rank 0 ({c0}) not much hotter than rank 10 ({c10})"
+        );
         assert!(s.iter().all(|&x| x < 1000));
     }
 
@@ -278,7 +276,10 @@ mod tests {
     fn bell_concentrates_in_middle() {
         let s = bell(20_000, 1000, 9);
         let mid = s.iter().filter(|&&x| (250..750).contains(&x)).count();
-        assert!(mid as f64 > 0.9 * s.len() as f64, "only {mid} in middle half");
+        assert!(
+            mid as f64 > 0.9 * s.len() as f64,
+            "only {mid} in middle half"
+        );
     }
 
     #[test]

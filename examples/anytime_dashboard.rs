@@ -8,7 +8,7 @@
 //! cargo run --release --example anytime_dashboard
 //! ```
 
-use robust_sampling::core::{RobustHeavyHitterSketch, RobustQuantileSketch};
+use robust_sampling::core::{RobustHeavyHitterSketch, RobustQuantileSketch, StreamSummary};
 use robust_sampling::streamgen;
 
 fn main() {
@@ -25,10 +25,8 @@ fn main() {
     // Morning traffic: fast responses, one chatty client.
     let lat_morning = streamgen::bell(60_000, 1 << 16, 3);
     let ids_morning = streamgen::zipf(60_000, 1 << 20, 1.3, 4);
-    for (l, c) in lat_morning.iter().zip(&ids_morning) {
-        latency.observe(*l);
-        talkers.observe(*c);
-    }
+    latency.ingest_batch(&lat_morning);
+    talkers.ingest_batch(&ids_morning);
     println!("\n-- 10:00 ({} requests so far) --", latency.observed());
     report(&latency, &talkers);
 
@@ -36,10 +34,8 @@ fn main() {
     // exactly the situation where a frozen sample would lie).
     let lat_evening: Vec<u64> = streamgen::bell(60_000, 1 << 19, 5);
     let ids_evening = streamgen::zipf(60_000, 1 << 20, 1.1, 6);
-    for (l, c) in lat_evening.iter().zip(&ids_evening) {
-        latency.observe(*l);
-        talkers.observe(*c);
-    }
+    latency.ingest_batch(&lat_evening);
+    talkers.ingest_batch(&ids_evening);
     println!("\n-- 16:00 ({} requests so far) --", latency.observed());
     report(&latency, &talkers);
     println!(

@@ -11,6 +11,7 @@
 //! ```
 
 use robust_sampling::core::approx::prefix_discrepancy;
+use robust_sampling::core::engine::StreamSummary;
 use robust_sampling::core::set_system::{PrefixSystem, SetSystem};
 use robust_sampling::distributed::{merge_sites, run_threaded, Site, SiteSnapshot};
 use robust_sampling::streamgen;
@@ -60,9 +61,7 @@ fn main() {
     let mut snaps = Vec::new();
     for (j, (substream, _)) in views.iter().enumerate() {
         let mut site = Site::new(512, 100 + j as u64);
-        for &x in substream {
-            site.observe(x);
-        }
+        site.ingest_batch(substream);
         let frame = site.snapshot();
         println!("  site {j}: snapshot frame {} bytes", frame.len());
         snaps.push(SiteSnapshot::decode(frame).expect("valid frame"));

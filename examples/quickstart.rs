@@ -7,6 +7,7 @@
 //! ```
 
 use robust_sampling::core::bounds;
+use robust_sampling::core::engine::StreamSummary;
 use robust_sampling::core::estimators::{heavy_hitters, SampleQuantiles};
 use robust_sampling::core::sampler::{ReservoirSampler, StreamSampler};
 use robust_sampling::core::set_system::{PrefixSystem, SetSystem};
@@ -26,13 +27,16 @@ fn main() {
     let delta = 0.01;
     let system = PrefixSystem::new(universe);
     let k = bounds::reservoir_k_robust(system.ln_cardinality(), eps, delta);
-    println!("ln|R| = {:.1}  =>  reservoir capacity k = {k}", system.ln_cardinality());
+    println!(
+        "ln|R| = {:.1}  =>  reservoir capacity k = {k}",
+        system.ln_cardinality()
+    );
 
-    // 2. Stream the data through the sampler.
+    // 2. Stream the data through the sampler — one batched ingest call
+    //    (the engine's gap-skipping hot path; identical sample to an
+    //    element-wise observe loop with the same seed).
     let mut sampler = ReservoirSampler::with_seed(k, 7);
-    for &x in &stream {
-        sampler.observe(x);
-    }
+    sampler.ingest_batch(&stream);
 
     // 3. Verify the guarantee (you wouldn't do this in production — the
     //    theorem does it for you — but this is a quickstart).
@@ -40,7 +44,11 @@ fn main() {
     println!(
         "max prefix discrepancy = {:.4} (eps = {eps}) -> {}",
         report.value,
-        if report.value <= eps { "eps-approximation ✓" } else { "VIOLATION" }
+        if report.value <= eps {
+            "eps-approximation ✓"
+        } else {
+            "VIOLATION"
+        }
     );
 
     // 4. Use the sample: all quantiles at once (Corollary 1.5)…
@@ -54,6 +62,9 @@ fn main() {
     let hitters = heavy_hitters(sampler.sample(), alpha, alpha / 2.0);
     println!("elements with density >= {alpha} (top 5):");
     for h in hitters.iter().take(5) {
-        println!("  value {:>8}  sample density {:.4}", h.item, h.sample_density);
+        println!(
+            "  value {:>8}  sample density {:.4}",
+            h.item, h.sample_density
+        );
     }
 }

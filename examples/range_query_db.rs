@@ -8,6 +8,7 @@
 //! ```
 
 use robust_sampling::core::bounds;
+use robust_sampling::core::engine::StreamSummary;
 use robust_sampling::core::estimators::range_count;
 use robust_sampling::core::sampler::{ReservoirSampler, StreamSampler};
 use robust_sampling::core::set_system::{AxisBoxSystem, SetSystem};
@@ -16,17 +17,13 @@ use robust_sampling::streamgen;
 fn main() {
     let n = 120_000;
     let m = 64u64; // grid side: positions are (x, y) in {0..63}^2
+
     // Click-position stream: two hot regions plus uniform noise.
-    let mut stream: Vec<[u64; 2]> = streamgen::clustered_points(
-        n * 7 / 10,
-        m,
-        &[(12, 50), (48, 16)],
-        6,
-        3,
-    )
-    .into_iter()
-    .map(|(x, y)| [x as u64, y as u64])
-    .collect();
+    let mut stream: Vec<[u64; 2]> =
+        streamgen::clustered_points(n * 7 / 10, m, &[(12, 50), (48, 16)], 6, 3)
+            .into_iter()
+            .map(|(x, y)| [x as u64, y as u64])
+            .collect();
     stream.extend(streamgen::uniform_grid_points(n - stream.len(), m, 4));
 
     // Size the sample: ln|R| = 2·ln(m(m+1)/2) for axis boxes in 2-D.
@@ -40,9 +37,7 @@ fn main() {
     );
 
     let mut sampler = ReservoirSampler::with_seed(k, 9);
-    for &p in &stream {
-        sampler.observe(p);
-    }
+    sampler.ingest_batch(&stream);
 
     // Answer some queries and compare with ground truth.
     let queries: [([u64; 2], [u64; 2], &str); 4] = [
@@ -56,7 +51,8 @@ fn main() {
         "query box", "true", "estimate", "abs err", "<= eps*n"
     );
     for (lo, hi, label) in queries {
-        let in_box = |p: &[u64; 2]| (lo[0]..=hi[0]).contains(&p[0]) && (lo[1]..=hi[1]).contains(&p[1]);
+        let in_box =
+            |p: &[u64; 2]| (lo[0]..=hi[0]).contains(&p[0]) && (lo[1]..=hi[1]).contains(&p[1]);
         let truth = stream.iter().filter(|p| in_box(p)).count() as f64;
         let est = range_count(sampler.sample(), n, in_box);
         let err = (est - truth).abs();

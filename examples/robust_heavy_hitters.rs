@@ -7,6 +7,7 @@
 //! ```
 
 use robust_sampling::core::bounds;
+use robust_sampling::core::engine::StreamSummary;
 use robust_sampling::core::estimators::heavy_hitters;
 use robust_sampling::core::sampler::{ReservoirSampler, StreamSampler};
 use robust_sampling::core::set_system::{SetSystem, SingletonSystem};
@@ -28,18 +29,16 @@ fn main() {
     let system = SingletonSystem::new(universe);
     let k = bounds::reservoir_k_robust(system.ln_cardinality(), eps_prime, 0.01);
     let mut sampler = ReservoirSampler::with_seed(k, 1);
-    for &x in &stream {
-        sampler.observe(x);
-    }
+    sampler.ingest_batch(&stream);
     let from_sample = heavy_hitters(sampler.sample(), alpha, eps_prime);
 
     // --- Deterministic baselines -------------------------------------------
     let counters = (1.0 / eps).ceil() as usize;
     let mut mg = MisraGries::new(counters);
     let mut ss = SpaceSaving::new(counters);
-    for &x in &stream {
-        mg.observe(x);
-        ss.observe(x);
+    // Deterministic baselines through the same engine interface.
+    for summary in [&mut mg as &mut dyn StreamSummary<u64>, &mut ss] {
+        summary.ingest_batch(&stream);
     }
 
     // --- Ground truth --------------------------------------------------------

@@ -5,8 +5,8 @@
 
 use robust_sampling::core::bounds;
 use robust_sampling::core::estimators::{
-    center_point, cluster_medoids, heavy_hitters, heavy_hitters_errors, kcenter_cost,
-    range_count, tukey_depth, SampleQuantiles,
+    center_point, cluster_medoids, heavy_hitters, heavy_hitters_errors, kcenter_cost, range_count,
+    tukey_depth, SampleQuantiles,
 };
 use robust_sampling::core::sampler::{ReservoirSampler, StreamSampler};
 use robust_sampling::core::set_system::{
@@ -97,10 +97,7 @@ fn range_queries_within_eps_for_every_box() {
     let report = system.max_discrepancy(&stream, sampler.sample());
     assert!(report.value <= eps, "max box discrepancy {}", report.value);
     // And the point-query API agrees with ground truth on a specific box.
-    let truth = stream
-        .iter()
-        .filter(|p| p[0] < 12 && p[1] < 12)
-        .count() as f64;
+    let truth = stream.iter().filter(|p| p[0] < 12 && p[1] < 12).count() as f64;
     let est = range_count(sampler.sample(), n, |p: &[u64; 2]| p[0] < 12 && p[1] < 12);
     assert!((est - truth).abs() <= eps * n as f64);
 }

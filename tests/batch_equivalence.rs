@@ -1,0 +1,119 @@
+//! Property tests for the engine contract: `ingest_batch` must be a pure
+//! optimization — for identical seeds and identical element order, the
+//! batched path and the element-wise `observe` path must produce
+//! *identical* summaries (same retained sample, same counters, same RNG
+//! stream), for arbitrary parameters and arbitrary batch split points.
+
+use proptest::prelude::*;
+use robust_sampling::core::engine::StreamSummary;
+use robust_sampling::core::sampler::{
+    BernoulliSampler, EveryKthSampler, ReservoirSampler, StreamSampler,
+};
+
+/// Feed `stream` in batches whose sizes are derived from `splits`.
+fn ingest_in_batches<T: Clone, S: StreamSummary<T>>(s: &mut S, stream: &[T], splits: &[usize]) {
+    let mut rest = stream;
+    let mut i = 0;
+    while !rest.is_empty() {
+        let take = if splits.is_empty() {
+            rest.len()
+        } else {
+            (splits[i % splits.len()] % rest.len()).max(1)
+        };
+        s.ingest_batch(&rest[..take]);
+        rest = &rest[take..];
+        i += 1;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Bernoulli: batched == element-wise for any (p, seed, stream
+    /// length, batch splits) — including p = 0 and p = 1.
+    #[test]
+    fn bernoulli_batch_equals_elementwise(
+        p in 0.0f64..=1.0,
+        seed in 0u64..10_000,
+        n in 0usize..4_000,
+        splits in proptest::collection::vec(1usize..500, 0..6),
+    ) {
+        let stream: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        let mut by_element = BernoulliSampler::with_seed(p, seed);
+        for &x in &stream {
+            by_element.observe(x);
+        }
+        let mut by_batch = BernoulliSampler::with_seed(p, seed);
+        ingest_in_batches(&mut by_batch, &stream, &splits);
+        prop_assert_eq!(by_element.sample(), by_batch.sample());
+        prop_assert_eq!(by_element.observed(), by_batch.observed());
+        prop_assert_eq!(by_element.total_stored(), by_batch.total_stored());
+    }
+
+    /// Reservoir: batched == element-wise for any (k, seed, stream
+    /// length, batch splits) — including streams shorter than k and
+    /// splits landing inside the fill phase.
+    #[test]
+    fn reservoir_batch_equals_elementwise(
+        k in 1usize..300,
+        seed in 0u64..10_000,
+        n in 0usize..4_000,
+        splits in proptest::collection::vec(1usize..500, 0..6),
+    ) {
+        let stream: Vec<u64> = (0..n as u64).collect();
+        let mut by_element = ReservoirSampler::with_seed(k, seed);
+        for &x in &stream {
+            by_element.observe(x);
+        }
+        let mut by_batch = ReservoirSampler::with_seed(k, seed);
+        ingest_in_batches(&mut by_batch, &stream, &splits);
+        prop_assert_eq!(by_element.sample(), by_batch.sample());
+        prop_assert_eq!(by_element.observed(), by_batch.observed());
+        prop_assert_eq!(by_element.total_stored(), by_batch.total_stored());
+    }
+
+    /// The deterministic strawman, same contract.
+    #[test]
+    fn every_kth_batch_equals_elementwise(
+        stride in 1usize..50,
+        n in 0usize..2_000,
+        splits in proptest::collection::vec(1usize..300, 0..5),
+    ) {
+        let stream: Vec<u64> = (0..n as u64).collect();
+        let mut by_element = EveryKthSampler::new(stride);
+        for &x in &stream {
+            by_element.observe(x);
+        }
+        let mut by_batch = EveryKthSampler::new(stride);
+        ingest_in_batches(&mut by_batch, &stream, &splits);
+        prop_assert_eq!(
+            StreamSampler::sample(&by_element),
+            StreamSampler::sample(&by_batch)
+        );
+        prop_assert_eq!(by_element.observed(), by_batch.observed());
+    }
+
+    /// Interleaving observe and ingest_batch arbitrarily also agrees: the
+    /// gap state is shared, not per-path.
+    #[test]
+    fn mixed_ingestion_agrees(
+        k in 1usize..100,
+        seed in 0u64..5_000,
+        n in 0usize..2_000,
+        boundary in 0usize..2_000,
+    ) {
+        let stream: Vec<u64> = (0..n as u64).collect();
+        let cut = boundary.min(n);
+        let mut pure = ReservoirSampler::with_seed(k, seed);
+        for &x in &stream {
+            pure.observe(x);
+        }
+        let mut mixed = ReservoirSampler::with_seed(k, seed);
+        for &x in &stream[..cut] {
+            mixed.observe(x);
+        }
+        mixed.ingest_batch(&stream[cut..]);
+        prop_assert_eq!(pure.sample(), mixed.sample());
+        prop_assert_eq!(pure.total_stored(), mixed.total_stored());
+    }
+}

@@ -14,11 +14,10 @@ fn all_servers_representative_under_drifting_workload() {
     let universe = 1u64 << 20;
     let eps = 0.1;
     let system = PrefixSystem::new(universe);
-    let n = (10.0
-        * k_servers as f64
-        * (system.ln_cardinality() + (4.0 * k_servers as f64 / 0.05).ln())
-        / (eps * eps))
-        .ceil() as usize;
+    let n =
+        (10.0 * k_servers as f64 * (system.ln_cardinality() + (4.0 * k_servers as f64 / 0.05).ln())
+            / (eps * eps))
+            .ceil() as usize;
     let stream = streamgen::two_phase(n, universe, 13);
     let mut lb = LoadBalancer::new(k_servers, 17);
     lb.run(&stream);

@@ -21,8 +21,12 @@ fn adversary_suite(seed: u64) -> Vec<Box<dyn Adversary<u64>>> {
     vec![
         Box::new(RandomAdversary::new(UNIVERSE, seed)),
         Box::new(StaticAdversary::new(streamgen::sorted_ramp(N, UNIVERSE))),
-        Box::new(StaticAdversary::new(streamgen::two_phase(N, UNIVERSE, seed))),
-        Box::new(StaticAdversary::new(streamgen::zipf(N, UNIVERSE, 1.1, seed))),
+        Box::new(StaticAdversary::new(streamgen::two_phase(
+            N, UNIVERSE, seed,
+        ))),
+        Box::new(StaticAdversary::new(streamgen::zipf(
+            N, UNIVERSE, 1.1, seed,
+        ))),
         Box::new(GreedyDiscrepancyAdversary::new(UNIVERSE, 64, seed)),
         Box::new(QuantileHunterAdversary::new(UNIVERSE, seed)),
     ]
