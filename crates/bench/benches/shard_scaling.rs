@@ -1,0 +1,87 @@
+//! How the two parallel layers scale with cores.
+//!
+//! * `shard_ingest/*` — [`ShardedSummary`] ingest throughput at
+//!   K ∈ {1, 2, 4, 8} shards on a 10M-element `u64` stream, for
+//!   summaries with `Θ(n)` ingestion cost (Count-Min, KLL, Misra–Gries):
+//!   the fan-out should scale near-linearly until memory bandwidth wins.
+//!   (The gap-skipping samplers ingest 10M elements in `O(stored)` work —
+//!   there is nothing left to parallelise; shard those for merge
+//!   topology, not throughput.)
+//! * `trial_loop/*` — [`ExperimentEngine`] wall-clock at matching
+//!   `--threads` counts for a fixed batch of independent seeded trials,
+//!   which is the `run_all --threads N` speedup in miniature.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use robust_sampling_core::adversary::QuantileHunterAdversary;
+use robust_sampling_core::engine::{ExperimentEngine, ShardedSummary, StreamSummary};
+use robust_sampling_core::sampler::ReservoirSampler;
+use robust_sampling_core::set_system::PrefixSystem;
+use robust_sampling_sketches::count_min::CountMin;
+use robust_sampling_sketches::kll::KllSketch;
+use robust_sampling_sketches::misra_gries::MisraGries;
+use robust_sampling_streamgen as streamgen;
+use std::time::Duration;
+
+const N: usize = 10_000_000;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_shard_ingest(c: &mut Criterion) {
+    let stream = streamgen::uniform(N, 1 << 40, 1);
+    let mut g = c.benchmark_group("shard_ingest");
+    g.throughput(Throughput::Elements(N as u64));
+    for &k in &SHARD_COUNTS {
+        g.bench_with_input(BenchmarkId::new("count-min", k), &k, |b, &k| {
+            b.iter(|| {
+                // Shared hash seed: the shards stay exactly mergeable.
+                let mut s = ShardedSummary::new(k, 7, |_, _| CountMin::with_seed(4, 4096, 7));
+                s.ingest_batch(&stream);
+                s.items_seen()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("kll", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut s = ShardedSummary::new(k, 7, |_, seed| KllSketch::with_seed(256, seed));
+                s.ingest_batch(&stream);
+                s.items_seen()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("misra-gries", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut s = ShardedSummary::new(k, 7, |_, _| MisraGries::new(64));
+                s.ingest_batch(&stream);
+                s.items_seen()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_trial_loop(c: &mut Criterion) {
+    let system = PrefixSystem::new(1 << 20);
+    let mut g = c.benchmark_group("trial_loop");
+    for &t in &SHARD_COUNTS {
+        g.bench_with_input(BenchmarkId::new("adaptive-hunter", t), &t, |b, &t| {
+            b.iter(|| {
+                ExperimentEngine::new(4_000, 16)
+                    .threads(t)
+                    .adaptive(
+                        &system,
+                        |s| ReservoirSampler::with_seed(256, s),
+                        |s| QuantileHunterAdversary::new(1 << 20, s),
+                    )
+                    .worst()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_shard_ingest, bench_trial_loop
+);
+criterion_main!(benches);

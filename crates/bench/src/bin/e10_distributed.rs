@@ -17,7 +17,9 @@ use robust_sampling_bench::{banner, f, init_cli, is_quick, verdict, Table};
 use robust_sampling_core::approx::prefix_discrepancy;
 use robust_sampling_core::engine::StreamSummary;
 use robust_sampling_core::set_system::{PrefixSystem, SetSystem};
-use robust_sampling_distributed::{merge_sites, run_threaded, LoadBalancer, Site, SiteSnapshot};
+use robust_sampling_distributed::{
+    merge_sites, run_sharded, run_threaded, LoadBalancer, Site, SiteSnapshot,
+};
 use robust_sampling_streamgen as streamgen;
 
 fn main() {
@@ -122,5 +124,28 @@ fn main() {
         "coordinator merge is representative of the union",
         d <= eps,
         "CTW16-style weighted merge of site snapshots (bytes frames)",
+    );
+
+    // ---- Engine-layer sharded ingest + sound reservoir merge ------------
+    println!("\nShardedSummary ingest (round-robin deal, sound reservoir merge):");
+    let mut table = Table::new(&["shards", "merged |S|", "stream disc", "<= eps"]);
+    let mut sharded_ok = true;
+    let stream = streamgen::uniform(n, universe, 6);
+    for shards in [2usize, 4, 8] {
+        let sample = run_sharded(&stream, shards, 1024, 44);
+        let d = prefix_discrepancy(&stream, &sample).value;
+        sharded_ok &= d <= eps;
+        table.row(&[
+            shards.to_string(),
+            sample.len().to_string(),
+            f(d),
+            (d <= eps).to_string(),
+        ]);
+    }
+    table.emit("e10", "sharded");
+    verdict(
+        "sharded ingest + merge is representative at every K",
+        sharded_ok,
+        "MergeableSummary reservoir merge == one-pass sample in distribution",
     );
 }

@@ -22,7 +22,6 @@ use robust_sampling_bench::{banner, f, init_cli, is_quick, verdict, Table};
 use robust_sampling_core::adversary::{GeneralizedBisectionAdversary, QuantileHunterAdversary};
 use robust_sampling_core::approx::prefix_discrepancy;
 use robust_sampling_core::bounds;
-use robust_sampling_core::engine::ExperimentEngine;
 use robust_sampling_core::sampler::ReservoirSampler;
 use robust_sampling_core::set_system::{PrefixSystem, SetSystem};
 
@@ -41,16 +40,18 @@ fn main() {
     println!("\nVC-sized reservoir: k = {k_vc} (d = 1, eps = {eps}, delta = {delta}), n = {n}");
 
     // ---- Part 1: necessity — kill the VC-sized reservoir ---------------
-    let (d_attack, bits_used) = ExperimentEngine::new(n, 1).with_base_seed(5).adaptive_map(
-        |s| ReservoirSampler::with_seed(k_vc, s),
-        |_| GeneralizedBisectionAdversary::for_reservoir(k_vc, n),
-        |_, _, out| {
-            (
-                prefix_discrepancy(&out.stream, &out.sample).value,
-                out.stream.iter().map(|x| x.bit_len()).max().unwrap_or(0),
-            )
-        },
-    )[0];
+    let (d_attack, bits_used) = robust_sampling_bench::engine(n, 1)
+        .with_base_seed(5)
+        .adaptive_map(
+            |s| ReservoirSampler::with_seed(k_vc, s),
+            |_| GeneralizedBisectionAdversary::for_reservoir(k_vc, n),
+            |_, _, out| {
+                (
+                    prefix_discrepancy(&out.stream, &out.sample).value,
+                    out.stream.iter().map(|x| x.bit_len()).max().unwrap_or(0),
+                )
+            },
+        )[0];
     let ln_r_effective = bits_used as f64 * std::f64::consts::LN_2;
     let k_adaptive = bounds::reservoir_k_robust(ln_r_effective, eps, delta);
     let mut table = Table::new(&["quantity", "value"]);
@@ -87,7 +88,7 @@ fn main() {
     for bits in [20u32, 30, 40] {
         let universe = 1u64 << bits;
         let system = PrefixSystem::new(universe);
-        let engine = ExperimentEngine::new(n, trials).with_base_seed(1_000 * bits as u64);
+        let engine = robust_sampling_bench::engine(n, trials).with_base_seed(1_000 * bits as u64);
         for (label, k) in [
             ("VC (d=1)", k_vc),
             (

@@ -19,7 +19,6 @@ use robust_sampling_core::adversary::{
     StaticAdversary,
 };
 use robust_sampling_core::bounds;
-use robust_sampling_core::engine::ExperimentEngine;
 use robust_sampling_core::net;
 use robust_sampling_core::sampler::{BottomKSampler, ReservoirSampler, StreamSampler};
 use robust_sampling_core::set_system::{DominanceSystem, IntervalSystem, PrefixSystem, SetSystem};
@@ -43,7 +42,7 @@ fn main() {
     let system = PrefixSystem::new(universe);
     let k = bounds::reservoir_k_robust(system.ln_cardinality(), eps, delta);
     println!("\nPart 1: bottom-k (exposed keys) vs reservoir, k = {k}:");
-    let engine = ExperimentEngine::new(n, trials).with_base_seed(70);
+    let engine = robust_sampling_bench::engine(n, trials).with_base_seed(70);
     let mut table = Table::new(&[
         "adversary",
         "bottom-k worst",
@@ -51,7 +50,7 @@ fn main() {
         "both <= eps",
     ]);
     let mut all_ok = true;
-    type AdvFactory = fn(u64, usize, u64) -> Box<dyn Adversary<u64>>;
+    type AdvFactory = fn(u64, usize, u64) -> Box<dyn Adversary<u64> + Send>;
     let adversaries: Vec<(&str, AdvFactory)> = vec![
         ("random", |u, _, s| Box::new(RandomAdversary::new(u, s))),
         ("sorted", |u, n, _| {
@@ -96,7 +95,7 @@ fn main() {
     );
     let mut table = Table::new(&["stream", "max NE-query error", "<= eps"]);
     let mut dom_ok = true;
-    let point_engine = ExperimentEngine::new(n, 1).with_base_seed(5);
+    let point_engine = robust_sampling_bench::engine(n, 1).with_base_seed(5);
     for (name, pts) in [
         ("uniform", streamgen::uniform_grid_points(n, m, 1)),
         (

@@ -19,9 +19,9 @@
 //! shows its static guarantee holding — which is exactly the paper's
 //! point: the issue is adaptivity, not quality.)
 
-use robust_sampling_bench::{banner, init_cli, is_quick, verdict, Table};
+use robust_sampling_bench::{banner, init_cli, is_quick, threads, verdict, Table};
 use robust_sampling_core::bounds;
-use robust_sampling_core::engine::StreamSummary;
+use robust_sampling_core::engine::{ShardedSummary, StreamSummary};
 use robust_sampling_core::estimators::heavy_hitters;
 use robust_sampling_core::sampler::{ReservoirSampler, StreamSampler};
 use robust_sampling_core::set_system::{SetSystem, SingletonSystem};
@@ -158,5 +158,23 @@ fn main() {
         "\nwhy: Count-Min's guarantee is over the hash draw, which the \n\
          adversary reads from sigma_i; sampling's guarantee (Thm 1.2) is a \n\
          martingale over still-unflipped coins — state exposure is priced in."
+    );
+
+    // ---- Phase 2: sharded ingest is the same machine ---------------------
+    // Count-Min is linear, so a K-way sharded ingest (same hash seed per
+    // shard) merged back is *bit-identical* to the single sketch — broken
+    // or not, sharding changes nothing. K follows --threads so the
+    // parallel path is exercised whenever the trial loops are.
+    let shards = threads().max(2);
+    let mut sharded =
+        ShardedSummary::new(shards, 0, |_, _| CountMin::for_guarantee(0.005, 0.01, 10));
+    sharded.ingest_batch(&stream);
+    let merged = sharded.into_merged();
+    verdict(
+        "sharded Count-Min merge is exact",
+        merged.estimate(victim) == cm_victim
+            && merged.observed() == cm.observed()
+            && merged.estimate(hot) == cm.estimate(hot),
+        &format!("{shards}-way shard + merge reproduces every estimate bit-for-bit"),
     );
 }

@@ -12,7 +12,6 @@
 use robust_sampling_bench::{banner, f, init_cli, is_quick, verdict, Table};
 use robust_sampling_core::adversary::{BisectionAdversary, GeneralizedBisectionAdversary};
 use robust_sampling_core::approx::prefix_discrepancy;
-use robust_sampling_core::engine::ExperimentEngine;
 use robust_sampling_core::sampler::{BernoulliSampler, ReservoirSampler};
 
 struct AttackRow {
@@ -53,7 +52,7 @@ fn main() {
     for &n in ns {
         // --- Bernoulli under plain bisection -----------------------------
         let p = 0.02;
-        let engine = ExperimentEngine::new(n, 1).with_base_seed(42 + n as u64);
+        let engine = robust_sampling_bench::engine(n, 1).with_base_seed(42 + n as u64);
         let rows = engine.adaptive_map(
             |seed| BernoulliSampler::with_seed(p, seed),
             |_| BisectionAdversary::new(),
@@ -91,7 +90,7 @@ fn main() {
         // protects against the infinite-universe attack.
         let ln_r_finite = 20.0 * std::f64::consts::LN_2; // ln|R| of a 2^20 prefix system
         let k = robust_sampling_core::bounds::reservoir_k_robust(ln_r_finite, 0.25, 0.1).min(n / 8);
-        let engine = ExperimentEngine::new(n, 1).with_base_seed(7 + n as u64);
+        let engine = robust_sampling_bench::engine(n, 1).with_base_seed(7 + n as u64);
         let rows = engine.adaptive_map(
             |seed| ReservoirSampler::with_seed(k, seed),
             |_| GeneralizedBisectionAdversary::for_reservoir(k, n),

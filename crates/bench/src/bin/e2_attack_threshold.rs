@@ -14,7 +14,6 @@
 use robust_sampling_bench::{banner, f, init_cli, is_quick, verdict, Table};
 use robust_sampling_core::adversary::DiscreteAttackAdversary;
 use robust_sampling_core::approx::prefix_discrepancy;
-use robust_sampling_core::engine::ExperimentEngine;
 use robust_sampling_core::sampler::{BernoulliSampler, ReservoirSampler};
 
 /// Precision budget check (Claim 5.1 arithmetic): expected nats consumed
@@ -70,7 +69,7 @@ fn main() {
     let mut sub_threshold_wins = true;
     let mut super_threshold_loses = true;
     for &k in &[1usize, 2, 3, 5, 8, 12] {
-        let engine = ExperimentEngine::new(n, trials).with_base_seed(1_000 * k as u64);
+        let engine = robust_sampling_bench::engine(n, trials).with_base_seed(1_000 * k as u64);
         let runs = engine.adaptive_map(
             |seed| ReservoirSampler::with_seed(k, seed),
             |_| DiscreteAttackAdversary::for_reservoir(k, n, universe),
@@ -117,7 +116,8 @@ fn main() {
         "mean disc",
     ]);
     for &p in &[0.005f64, 0.01, 0.02, 0.05, 0.1, 0.2] {
-        let engine = ExperimentEngine::new(n, trials).with_base_seed(77_000 + (p * 1e4) as u64);
+        let engine =
+            robust_sampling_bench::engine(n, trials).with_base_seed(77_000 + (p * 1e4) as u64);
         let runs = engine.adaptive_map(
             |seed| BernoulliSampler::with_seed(p, seed),
             |_| DiscreteAttackAdversary::for_bernoulli(p, n, universe),

@@ -15,19 +15,18 @@ use robust_sampling_core::adversary::{
     RandomAdversary, StaticAdversary,
 };
 use robust_sampling_core::bounds;
-use robust_sampling_core::engine::ExperimentEngine;
 use robust_sampling_core::sampler::{BernoulliSampler, ReservoirSampler};
 use robust_sampling_core::set_system::{PrefixSystem, SetSystem};
 use robust_sampling_streamgen as streamgen;
 
-type AdvFactory = Box<dyn Fn(u64) -> Box<dyn Adversary<u64>>>;
+type AdvFactory = Box<dyn Fn(u64) -> Box<dyn Adversary<u64> + Send>>;
 
 fn adversary_suite(universe: u64, n: usize) -> Vec<(&'static str, AdvFactory)> {
     vec![
         (
             "random",
             Box::new(move |s| {
-                Box::new(RandomAdversary::new(universe, s)) as Box<dyn Adversary<u64>>
+                Box::new(RandomAdversary::new(universe, s)) as Box<dyn Adversary<u64> + Send>
             }),
         ),
         (
@@ -87,7 +86,7 @@ fn main() {
     );
 
     // ---- Part 1: every adversary, both samplers, at prescribed sizes ----
-    let engine = ExperimentEngine::new(n, trials).with_base_seed(7);
+    let engine = robust_sampling_bench::engine(n, trials).with_base_seed(7);
     let mut table = Table::new(&["adversary", "sampler", "worst disc", "eps", "ok"]);
     let mut all_ok = true;
     for (name, make_adv) in adversary_suite(universe, n) {
@@ -118,7 +117,7 @@ fn main() {
 
     // ---- Part 2: error scaling ~ sqrt(ln|R| / k) ------------------------
     println!("\nError scaling: reservoir under the greedy adversary, k swept");
-    let engine = ExperimentEngine::new(n, trials).with_base_seed(900);
+    let engine = robust_sampling_bench::engine(n, trials).with_base_seed(900);
     let mut table = Table::new(&["k", "mean disc", "predicted sqrt(2 ln|R|/k)", "ratio"]);
     let mut ratios = Vec::new();
     for &kk in &[k / 16, k / 8, k / 4, k / 2, k] {

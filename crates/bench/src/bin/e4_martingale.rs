@@ -59,7 +59,7 @@ fn main() {
 
     // ---- Bernoulli --------------------------------------------------------
     let p = 0.1;
-    let engine = ExperimentEngine::new(n, paths).with_base_seed(10_000);
+    let engine = robust_sampling_bench::engine(n, paths).with_base_seed(10_000);
     let bern_events = record_paths(
         &engine,
         |s| BernoulliSampler::with_seed(p, s),
@@ -128,7 +128,7 @@ fn main() {
 
     // ---- Reservoir --------------------------------------------------------
     let k = if is_quick() { 40 } else { 100 };
-    let engine = ExperimentEngine::new(n, paths).with_base_seed(20_000);
+    let engine = robust_sampling_bench::engine(n, paths).with_base_seed(20_000);
     let res_events = record_paths(
         &engine,
         |s| ReservoirSampler::with_seed(k, s),

@@ -16,7 +16,6 @@ use robust_sampling_core::adversary::{
     Adversary, GreedyDiscrepancyAdversary, QuantileHunterAdversary, StaticAdversary,
 };
 use robust_sampling_core::bounds;
-use robust_sampling_core::engine::ExperimentEngine;
 use robust_sampling_core::game::ContinuousAdaptiveGame;
 use robust_sampling_core::sampler::{BernoulliSampler, ReservoirSampler};
 use robust_sampling_core::set_system::{PrefixSystem, SetSystem};
@@ -49,12 +48,12 @@ fn main() {
     );
 
     // ---- Part 1+2: sup-over-time discrepancy at the three sizes ---------
-    let engine = ExperimentEngine::new(n, trials).with_base_seed(3);
+    let engine = robust_sampling_bench::engine(n, trials).with_base_seed(3);
     let mut table = Table::new(&["sizing", "k", "adversary", "sup prefix disc", "<= eps"]);
     let mut cont_ok = true;
     for (label, k) in [("plain(Thm1.2)", k_plain), ("continuous", k_cont)] {
         let game = ContinuousAdaptiveGame::geometric(n, k, eps);
-        type AdvFactory<'a> = Box<dyn Fn(u64) -> Box<dyn Adversary<u64>> + 'a>;
+        type AdvFactory<'a> = Box<dyn Fn(u64) -> Box<dyn Adversary<u64> + Send> + 'a>;
         let factories: Vec<(&str, AdvFactory)> = vec![
             (
                 "two-phase",
@@ -117,7 +116,7 @@ fn main() {
     // "p ≥ 1 − δ", the only escape hatch).
     let p = 0.2;
     let runs = if is_quick() { 200 } else { 1_000 };
-    let engine = ExperimentEngine::new(1, runs).with_base_seed(50_000);
+    let engine = robust_sampling_bench::engine(1, runs).with_base_seed(50_000);
     let violations: usize = engine
         .adaptive_map(
             |s| BernoulliSampler::with_seed(p, s),

@@ -16,7 +16,7 @@
 use robust_sampling_bench::{banner, f, init_cli, is_quick, verdict, Table};
 use robust_sampling_core::adversary::{Adversary, QuantileHunterAdversary, StaticAdversary};
 use robust_sampling_core::bounds;
-use robust_sampling_core::engine::{ExperimentEngine, QuantileSummary};
+use robust_sampling_core::engine::QuantileSummary;
 use robust_sampling_core::sampler::ReservoirSampler;
 use robust_sampling_core::set_system::{PrefixSystem, SetSystem};
 use robust_sampling_sketches::gk::GkSummary;
@@ -59,12 +59,12 @@ fn main() {
     let k_vc = bounds::reservoir_k_static(1, eps, delta);
     println!("\nn = {n}, robust k = {k_robust} (ln|U| sizing), static k = {k_vc} (VC=1 sizing)");
 
-    let engine = ExperimentEngine::new(n, trials).with_base_seed(400);
+    let engine = robust_sampling_bench::engine(n, trials).with_base_seed(400);
     let mut table = Table::new(&["method", "space", "stream", "worst rank err", "<= eps"]);
     let mut robust_ok = true;
 
     for stream_kind in ["uniform", "hunter(adaptive)"] {
-        let make_adv = |s: u64| -> Box<dyn Adversary<u64>> {
+        let make_adv = |s: u64| -> Box<dyn Adversary<u64> + Send> {
             if stream_kind == "uniform" {
                 Box::new(StaticAdversary::new(streamgen::uniform(n, universe, s)))
             } else {
@@ -103,7 +103,7 @@ fn main() {
         let stream = match stream_kind {
             "uniform" => streamgen::uniform(n, universe, 400),
             _ => {
-                let outs = ExperimentEngine::new(n, 1)
+                let outs = robust_sampling_bench::engine(n, 1)
                     .with_base_seed(400)
                     .adaptive_map(
                         |s| ReservoirSampler::with_seed(k_robust, s),
@@ -144,23 +144,25 @@ fn main() {
     {
         use robust_sampling_core::adversary::GeneralizedBisectionAdversary;
         use robust_sampling_core::estimators::SampleQuantiles;
-        let worst = ExperimentEngine::new(n, 1).with_base_seed(77).adaptive_map(
-            |s| ReservoirSampler::with_seed(k_vc, s),
-            |_| GeneralizedBisectionAdversary::for_reservoir(k_vc, n),
-            |_, _, out| {
-                let sq = SampleQuantiles::new(&out.sample, n);
-                let mut sorted = out.stream.clone();
-                sorted.sort();
-                let mut worst = 0.0f64;
-                for &q in PROBES {
-                    let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
-                    let v = sorted[idx].clone();
-                    let true_rank = sorted.partition_point(|x| *x <= v) as f64;
-                    worst = worst.max((sq.rank(&v) - true_rank).abs() / n as f64);
-                }
-                worst
-            },
-        )[0];
+        let worst = robust_sampling_bench::engine(n, 1)
+            .with_base_seed(77)
+            .adaptive_map(
+                |s| ReservoirSampler::with_seed(k_vc, s),
+                |_| GeneralizedBisectionAdversary::for_reservoir(k_vc, n),
+                |_, _, out| {
+                    let sq = SampleQuantiles::new(&out.sample, n);
+                    let mut sorted = out.stream.clone();
+                    sorted.sort();
+                    let mut worst = 0.0f64;
+                    for &q in PROBES {
+                        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+                        let v = sorted[idx].clone();
+                        let true_rank = sorted.partition_point(|x| *x <= v) as f64;
+                        worst = worst.max((sq.rank(&v) - true_rank).abs() / n as f64);
+                    }
+                    worst
+                },
+            )[0];
         println!("\nunbounded-precision bisection attack vs VC-sized k = {k_vc}:");
         println!("  worst rank error = {worst:.4} (vs eps = {eps})");
         verdict(

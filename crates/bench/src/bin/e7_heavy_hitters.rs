@@ -14,7 +14,7 @@
 use robust_sampling_bench::{banner, init_cli, is_quick, verdict, Table};
 use robust_sampling_core::adversary::{Adversary, RoundContext, StaticAdversary};
 use robust_sampling_core::bounds;
-use robust_sampling_core::engine::{ExperimentEngine, FrequencySummary};
+use robust_sampling_core::engine::FrequencySummary;
 use robust_sampling_core::estimators::{heavy_hitters, heavy_hitters_errors, HeavyHitter};
 use robust_sampling_core::sampler::ReservoirSampler;
 use robust_sampling_core::set_system::{SetSystem, SingletonSystem};
@@ -92,7 +92,7 @@ fn main() {
         (1.0 / eps).ceil() as usize
     );
 
-    let engine = ExperimentEngine::new(n, trials).with_base_seed(500);
+    let engine = robust_sampling_bench::engine(n, trials).with_base_seed(500);
     let mut table = Table::new(&["stream", "method", "missed", "spurious", "reported", "ok"]);
     let mut sample_ok = true;
 

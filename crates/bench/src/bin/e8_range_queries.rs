@@ -11,7 +11,6 @@
 
 use robust_sampling_bench::{banner, f, init_cli, is_quick, verdict, Table};
 use robust_sampling_core::bounds;
-use robust_sampling_core::engine::ExperimentEngine;
 use robust_sampling_core::sampler::{ReservoirSampler, StreamSampler};
 use robust_sampling_core::set_system::{AxisBoxSystem, SetSystem};
 use robust_sampling_streamgen as streamgen;
@@ -63,12 +62,14 @@ fn run_case<const D: usize>(
     let system = AxisBoxSystem::<D>::new(m);
     let k = bounds::reservoir_k_robust(system.ln_cardinality(), eps, 0.05);
     // Oblivious point stream -> batched ingest through the engine.
-    let stats = ExperimentEngine::new(n, 1).with_base_seed(seed).batch(
-        &system,
-        |s| ReservoirSampler::with_seed(k.min(n), s),
-        |_| point_stream::<D>(n, m, seed, cluster),
-        |sampler| sampler.sample().to_vec(),
-    );
+    let stats = robust_sampling_bench::engine(n, 1)
+        .with_base_seed(seed)
+        .batch(
+            &system,
+            |s| ReservoirSampler::with_seed(k.min(n), s),
+            |_| point_stream::<D>(n, m, seed, cluster),
+            |sampler| sampler.sample().to_vec(),
+        );
     let worst = stats.worst();
     let ok = worst <= eps;
     table.row(&[

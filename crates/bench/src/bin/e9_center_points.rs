@@ -9,7 +9,6 @@
 
 use robust_sampling_bench::{banner, f, init_cli, is_quick, verdict, Table};
 use robust_sampling_core::bounds;
-use robust_sampling_core::engine::ExperimentEngine;
 use robust_sampling_core::estimators::{center_point, tukey_depth};
 use robust_sampling_core::sampler::{ReservoirSampler, StreamSampler};
 use robust_sampling_core::set_system::{HalfplaneSystem, SetSystem};
@@ -57,7 +56,7 @@ fn main() {
         ">= beta",
     ]);
     let mut all_ok = true;
-    let engine = ExperimentEngine::new(n, 1).with_base_seed(7);
+    let engine = robust_sampling_bench::engine(n, 1).with_base_seed(7);
     for (name, stream) in &streams {
         let rows = engine.batch_map(
             |s| ReservoirSampler::with_seed(k.min(n / 2), s),

@@ -1,7 +1,9 @@
 //! Run every experiment binary in sequence (pass `--quick` for CI-sized
-//! sweeps, `--csv <dir>` to also dump every table as CSV) and print a
-//! one-line verdict summary at the end. This is the driver that
-//! regenerates the `EXPERIMENTS.md` evidence.
+//! sweeps, `--csv <dir>` to also dump every table as CSV, `--threads <n>`
+//! to fan each experiment's seeded trials across `n` worker threads —
+//! bit-identical results, near-linear wall-clock) and print a one-line
+//! verdict summary at the end. This is the driver that regenerates the
+//! `EXPERIMENTS.md` evidence.
 
 use std::process::Command;
 
@@ -35,6 +37,19 @@ fn main() {
                     if let Some(dir) = args.get(i + 1) {
                         fwd.push(dir.clone());
                         i += 1;
+                    }
+                }
+                "--threads" => {
+                    fwd.push("--threads".into());
+                    match args.get(i + 1).map(|v| v.parse::<usize>()) {
+                        Some(Ok(t)) if t > 0 => {
+                            fwd.push(args[i + 1].clone());
+                            i += 1;
+                        }
+                        _ => {
+                            eprintln!("--threads needs a positive integer argument");
+                            std::process::exit(2);
+                        }
                     }
                 }
                 other => {

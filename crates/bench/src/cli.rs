@@ -1,0 +1,82 @@
+//! The shared command-line surface of the experiment binaries.
+//!
+//! Flags every binary understands:
+//!
+//! * `--quick` — CI-sized sweeps ([`is_quick`]);
+//! * `--csv <dir>` — additionally write every table as CSV ([`init_cli`]);
+//! * `--threads <n>` — fan each experiment's independent seeded trials
+//!   across `n` scoped worker threads ([`threads`]). Results are
+//!   **bit-identical** to `--threads 1` (see
+//!   [`ExperimentEngine::threads`]), so the flag is purely a wall-clock
+//!   knob — verdicts and tables never change.
+//!
+//! Binaries construct engines through [`engine`], which applies the
+//! `--threads` setting so the flag reaches every trial loop.
+
+use robust_sampling_core::engine::ExperimentEngine;
+
+/// Whether `--quick` was passed (CI-sized sweeps).
+pub fn is_quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// The `--threads <n>` setting; 1 (sequential) when absent.
+///
+/// Exits with status 2 on a malformed value.
+pub fn threads() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(i) = args.iter().position(|a| a == "--threads") else {
+        return 1;
+    };
+    match args.get(i + 1).map(|v| v.parse::<usize>()) {
+        Some(Ok(t)) if t > 0 => t,
+        _ => {
+            eprintln!("--threads needs a positive integer argument");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// An [`ExperimentEngine`] honouring the `--threads` flag — the one
+/// constructor experiment binaries should use.
+pub fn engine(n: usize, trials: usize) -> ExperimentEngine {
+    ExperimentEngine::new(n, trials).threads(threads())
+}
+
+/// Handle the common flags: `--csv <dir>` routes every subsequent
+/// [`Table::emit`](crate::Table::emit) to CSV files in `dir` (by setting
+/// the environment variable the report layer reads), and `--threads` is
+/// validated eagerly so a typo fails before a long run. Call once at the
+/// top of `main`.
+pub fn init_cli() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--csv") {
+        match args.get(i + 1) {
+            Some(dir) => std::env::set_var(robust_sampling_core::engine::report::CSV_DIR_ENV, dir),
+            None => {
+                eprintln!("--csv needs a directory argument");
+                std::process::exit(2);
+            }
+        }
+    }
+    let _ = threads();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_defaults_to_sequential() {
+        // The test harness never passes --threads.
+        assert_eq!(threads(), 1);
+    }
+
+    #[test]
+    fn engine_applies_thread_setting() {
+        let e = engine(100, 2);
+        assert_eq!(e.num_threads(), threads());
+        assert_eq!(e.n(), 100);
+        assert_eq!(e.trials(), 2);
+    }
+}

@@ -8,38 +8,22 @@
 //! paper's theorems predict — plus a PASS/FAIL verdict line per claim
 //! checked.
 //!
-//! Flags every binary understands:
+//! Flags every binary understands (parsed by [`cli`]):
 //!
 //! * `--quick` — CI-sized sweeps;
 //! * `--csv <dir>` — additionally write every table as
 //!   `<dir>/<experiment>_<section>.csv` (one reporting path: the same
-//!   [`Table`] rows feed both sinks).
+//!   [`Table`] rows feed both sinks);
+//! * `--threads <n>` — fan the independent seeded trials across `n`
+//!   worker threads, bit-identical to the sequential run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+
+pub use cli::{engine, init_cli, is_quick, threads};
 pub use robust_sampling_core::engine::report::Table;
-
-/// Whether `--quick` was passed (CI-sized sweeps).
-pub fn is_quick() -> bool {
-    std::env::args().any(|a| a == "--quick")
-}
-
-/// Handle the common flags: `--csv <dir>` routes every subsequent
-/// [`Table::emit`] to CSV files in `dir` (by setting the environment
-/// variable the report layer reads). Call once at the top of `main`.
-pub fn init_cli() {
-    let args: Vec<String> = std::env::args().collect();
-    if let Some(i) = args.iter().position(|a| a == "--csv") {
-        match args.get(i + 1) {
-            Some(dir) => std::env::set_var(robust_sampling_core::engine::report::CSV_DIR_ENV, dir),
-            None => {
-                eprintln!("--csv needs a directory argument");
-                std::process::exit(2);
-            }
-        }
-    }
-}
 
 /// Format a float with 4 significant decimals.
 pub fn f(x: f64) -> String {

@@ -20,6 +20,12 @@
 //! [`ExperimentEngine::sampler_seed`] — the paper's model requires the
 //! sampler's coins to be independent of the adversary, so experiment code
 //! must never share a raw seed between them.
+//!
+//! Because every trial owns all of its state, the trial loop is
+//! embarrassingly parallel: [`ExperimentEngine::threads`] fans trials
+//! across a scoped thread pool and reassembles results in seed order,
+//! **bit-identical** to the sequential run (same factory call order, same
+//! per-seed RNG streams, same aggregation order).
 
 use crate::adversary::Adversary;
 use crate::engine::summary::StreamSummary;
@@ -75,6 +81,7 @@ pub struct ExperimentEngine {
     n: usize,
     trials: usize,
     base_seed: u64,
+    threads: usize,
 }
 
 impl ExperimentEngine {
@@ -90,6 +97,7 @@ impl ExperimentEngine {
             n,
             trials,
             base_seed: 0,
+            threads: 1,
         }
     }
 
@@ -98,6 +106,71 @@ impl ExperimentEngine {
     pub fn with_base_seed(mut self, base_seed: u64) -> Self {
         self.base_seed = base_seed;
         self
+    }
+
+    /// Fan the seeded trials across up to `threads` scoped worker threads.
+    ///
+    /// Trials are already independent — every trial owns its sampler,
+    /// adversary, and RNGs, all derived from its seed — so the engine
+    /// constructs them on the calling thread in seed order (factories stay
+    /// `FnMut`), ships them to workers in contiguous chunks, and
+    /// reassembles the results in seed order. The output is
+    /// **bit-identical** to the sequential run; `threads(1)` *is* the
+    /// sequential run. [`adaptive_traced`](Self::adaptive_traced) is the
+    /// one exception: its per-round callback imposes a global order, so it
+    /// always runs sequentially.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// The configured worker-thread count.
+    #[inline]
+    pub fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run one prepared input per trial through `run`, on up to
+    /// [`threads`](Self::threads) scoped workers, returning outputs in
+    /// input (= seed) order. The sequential path is the plain iterator
+    /// map; the parallel path chunks inputs contiguously, one worker per
+    /// chunk, and concatenates the chunk outputs — same order, same
+    /// values, since `run` is pure modulo its input's own RNG state.
+    fn run_trials<In, Out>(&self, inputs: Vec<In>, run: impl Fn(In) -> Out + Sync) -> Vec<Out>
+    where
+        In: Send,
+        Out: Send,
+    {
+        let threads = self.threads.min(inputs.len()).max(1);
+        if threads == 1 {
+            return inputs.into_iter().map(run).collect();
+        }
+        let per_chunk = inputs.len().div_ceil(threads);
+        let mut chunks: Vec<Vec<In>> = Vec::with_capacity(threads);
+        let mut it = inputs.into_iter();
+        loop {
+            let chunk: Vec<In> = it.by_ref().take(per_chunk).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        let run = &run;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(run).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("trial worker panicked"))
+                .collect()
+        })
     }
 
     /// Stream length per game.
@@ -127,9 +200,31 @@ impl ExperimentEngine {
         seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03
     }
 
+    /// Construct `(seed, sampler, adversary)` per trial, on the calling
+    /// thread, in seed order — the factory call order every execution
+    /// mode shares, which is what makes parallel runs bit-identical.
+    fn duelists<T, Smp, Adv>(
+        &self,
+        mut mk_sampler: impl FnMut(u64) -> Smp,
+        mut mk_adv: impl FnMut(u64) -> Adv,
+    ) -> Vec<(u64, Smp, Adv)>
+    where
+        Smp: StreamSampler<T>,
+        Adv: Adversary<T>,
+    {
+        self.seeds()
+            .map(|seed| (seed, mk_sampler(Self::sampler_seed(seed)), mk_adv(seed)))
+            .collect()
+    }
+
     /// Play the adaptive game once per trial and map each outcome (with
     /// the spent adversary, for strategy-specific introspection like
     /// attack exhaustion) to a record.
+    ///
+    /// Games run on the configured thread pool; `map` runs on the calling
+    /// thread, in seed order (it may stay `FnMut`). The sequential engine
+    /// streams — one trial's state alive at a time; a parallel engine
+    /// buffers all trials' outcomes before the map pass.
     pub fn adaptive_map<T, Smp, Adv, R>(
         &self,
         mut mk_sampler: impl FnMut(u64) -> Smp,
@@ -137,44 +232,82 @@ impl ExperimentEngine {
         mut map: impl FnMut(u64, &Adv, GameOutcome<T>) -> R,
     ) -> Vec<R>
     where
-        T: Clone,
-        Smp: StreamSampler<T>,
-        Adv: Adversary<T>,
+        T: Clone + Send,
+        Smp: StreamSampler<T> + Send,
+        Adv: Adversary<T> + Send,
     {
-        self.seeds()
-            .map(|seed| {
-                let mut sampler = mk_sampler(Self::sampler_seed(seed));
-                let mut adv = mk_adv(seed);
-                let out = AdaptiveGame::new(self.n).run(&mut sampler, &mut adv);
-                map(seed, &adv, out)
-            })
-            .collect()
+        let n = self.n;
+        if self.threads == 1 {
+            return self
+                .seeds()
+                .map(|seed| {
+                    let mut sampler = mk_sampler(Self::sampler_seed(seed));
+                    let mut adv = mk_adv(seed);
+                    let out = AdaptiveGame::new(n).run(&mut sampler, &mut adv);
+                    map(seed, &adv, out)
+                })
+                .collect();
+        }
+        self.run_trials(
+            self.duelists(mk_sampler, mk_adv),
+            move |(seed, mut sampler, mut adv)| {
+                let out = AdaptiveGame::new(n).run(&mut sampler, &mut adv);
+                (seed, adv, out)
+            },
+        )
+        .into_iter()
+        .map(|(seed, adv, out)| map(seed, &adv, out))
+        .collect()
     }
 
     /// Play the adaptive game once per trial; aggregate the set-system
-    /// discrepancy of each final sample.
+    /// discrepancy of each final sample. Both the games and the judgments
+    /// run on the configured thread pool.
     pub fn adaptive<T, Smp, Adv, Sys>(
         &self,
         system: &Sys,
-        mk_sampler: impl FnMut(u64) -> Smp,
-        mk_adv: impl FnMut(u64) -> Adv,
+        mut mk_sampler: impl FnMut(u64) -> Smp,
+        mut mk_adv: impl FnMut(u64) -> Adv,
     ) -> RunStats
     where
-        T: Clone,
-        Smp: StreamSampler<T>,
-        Adv: Adversary<T>,
-        Sys: SetSystem<T>,
+        T: Clone + Send,
+        Smp: StreamSampler<T> + Send,
+        Adv: Adversary<T> + Send,
+        Sys: SetSystem<T> + Sync,
     {
-        RunStats::new(
-            self.adaptive_map(mk_sampler, mk_adv, |_, _, out: GameOutcome<T>| {
-                out.discrepancy(system).value
-            }),
-        )
+        let n = self.n;
+        if self.threads == 1 {
+            return RunStats::new(
+                self.seeds()
+                    .map(|seed| {
+                        let mut sampler = mk_sampler(Self::sampler_seed(seed));
+                        let mut adv = mk_adv(seed);
+                        AdaptiveGame::new(n)
+                            .run(&mut sampler, &mut adv)
+                            .discrepancy(system)
+                            .value
+                    })
+                    .collect(),
+            );
+        }
+        RunStats::new(self.run_trials(
+            self.duelists(mk_sampler, mk_adv),
+            move |(_, mut sampler, mut adv)| {
+                AdaptiveGame::new(n)
+                    .run(&mut sampler, &mut adv)
+                    .discrepancy(system)
+                    .value
+            },
+        ))
     }
 
     /// Play the adaptive game once per trial, streaming every round to
     /// `on_round` (the martingale experiments' hook) and returning the
     /// outcomes.
+    ///
+    /// Always sequential, even with [`threads`](Self::threads) > 1: the
+    /// per-round callback observes a global round order that a parallel
+    /// run could not reproduce.
     pub fn adaptive_traced<T, Smp, Adv>(
         &self,
         mut mk_sampler: impl FnMut(u64) -> Smp,
@@ -197,7 +330,8 @@ impl ExperimentEngine {
     }
 
     /// Play the continuous (every-prefix) game once per trial on the
-    /// given checkpoint grid.
+    /// given checkpoint grid. Games (including their per-checkpoint
+    /// judgments) run on the configured thread pool.
     pub fn continuous<T, Smp, Adv, Sys>(
         &self,
         game: &ContinuousAdaptiveGame,
@@ -207,18 +341,25 @@ impl ExperimentEngine {
         mut mk_adv: impl FnMut(u64) -> Adv,
     ) -> Vec<ContinuousOutcome<T>>
     where
-        T: Clone,
-        Smp: StreamSampler<T>,
-        Adv: Adversary<T>,
-        Sys: SetSystem<T>,
+        T: Clone + Send,
+        Smp: StreamSampler<T> + Send,
+        Adv: Adversary<T> + Send,
+        Sys: SetSystem<T> + Sync,
     {
-        self.seeds()
-            .map(|seed| {
-                let mut sampler = mk_sampler(Self::sampler_seed(seed));
-                let mut adv = mk_adv(seed);
-                game.run(&mut sampler, &mut adv, system, eps)
-            })
-            .collect()
+        if self.threads == 1 {
+            return self
+                .seeds()
+                .map(|seed| {
+                    let mut sampler = mk_sampler(Self::sampler_seed(seed));
+                    let mut adv = mk_adv(seed);
+                    game.run(&mut sampler, &mut adv, system, eps)
+                })
+                .collect();
+        }
+        self.run_trials(
+            self.duelists(mk_sampler, mk_adv),
+            move |(_, mut sampler, mut adv)| game.run(&mut sampler, &mut adv, system, eps),
+        )
     }
 
     /// Sup-over-prefixes discrepancy per trial of the continuous game.
@@ -231,10 +372,10 @@ impl ExperimentEngine {
         mk_adv: impl FnMut(u64) -> Adv,
     ) -> RunStats
     where
-        T: Clone,
-        Smp: StreamSampler<T>,
-        Adv: Adversary<T>,
-        Sys: SetSystem<T>,
+        T: Clone + Send,
+        Smp: StreamSampler<T> + Send,
+        Adv: Adversary<T> + Send,
+        Sys: SetSystem<T> + Sync,
     {
         RunStats::new(
             self.continuous(game, system, eps, mk_sampler, mk_adv)
@@ -257,36 +398,87 @@ impl ExperimentEngine {
         mut map: impl FnMut(u64, &[T], &S) -> R,
     ) -> Vec<R>
     where
-        T: Clone,
+        T: Clone + Send,
+        S: StreamSummary<T> + Send,
+    {
+        if self.threads == 1 {
+            return self
+                .seeds()
+                .map(|seed| {
+                    let stream = mk_stream(seed);
+                    let mut summary = mk_summary(Self::sampler_seed(seed));
+                    summary.ingest_batch(&stream);
+                    map(seed, &stream, &summary)
+                })
+                .collect();
+        }
+        self.run_trials(
+            self.workloads(mk_summary, mk_stream),
+            |(seed, stream, mut summary)| {
+                summary.ingest_batch(&stream);
+                (seed, stream, summary)
+            },
+        )
+        .into_iter()
+        .map(|(seed, stream, summary)| map(seed, &stream, &summary))
+        .collect()
+    }
+
+    /// Construct `(seed, stream, summary)` per trial on the calling
+    /// thread, in seed order (mirrors [`duelists`](Self::duelists)). Only
+    /// the parallel paths use this — it materialises all `trials` streams
+    /// at once, where the sequential paths stream one at a time.
+    fn workloads<T, S>(
+        &self,
+        mut mk_summary: impl FnMut(u64) -> S,
+        mut mk_stream: impl FnMut(u64) -> Vec<T>,
+    ) -> Vec<(u64, Vec<T>, S)>
+    where
         S: StreamSummary<T>,
     {
         self.seeds()
             .map(|seed| {
                 let stream = mk_stream(seed);
-                let mut summary = mk_summary(Self::sampler_seed(seed));
-                summary.ingest_batch(&stream);
-                map(seed, &stream, &summary)
+                let summary = mk_summary(Self::sampler_seed(seed));
+                (seed, stream, summary)
             })
             .collect()
     }
 
     /// Static workload through the batched hot path, judged against a
     /// set system via an extractor from summary to retained sample.
+    /// Ingestion and judgment both run on the configured thread pool.
     pub fn batch<T, S, Sys>(
         &self,
         system: &Sys,
-        mk_summary: impl FnMut(u64) -> S,
-        mk_stream: impl FnMut(u64) -> Vec<T>,
-        mut sample_of: impl FnMut(&S) -> Vec<T>,
+        mut mk_summary: impl FnMut(u64) -> S,
+        mut mk_stream: impl FnMut(u64) -> Vec<T>,
+        sample_of: impl Fn(&S) -> Vec<T> + Sync,
     ) -> RunStats
     where
-        T: Clone,
-        S: StreamSummary<T>,
-        Sys: SetSystem<T>,
+        T: Clone + Send,
+        S: StreamSummary<T> + Send,
+        Sys: SetSystem<T> + Sync,
     {
-        RunStats::new(self.batch_map(mk_summary, mk_stream, |_, stream, summary| {
-            system.max_discrepancy(stream, &sample_of(summary)).value
-        }))
+        if self.threads == 1 {
+            return RunStats::new(
+                self.seeds()
+                    .map(|seed| {
+                        let stream = mk_stream(seed);
+                        let mut summary = mk_summary(Self::sampler_seed(seed));
+                        summary.ingest_batch(&stream);
+                        system.max_discrepancy(&stream, &sample_of(&summary)).value
+                    })
+                    .collect(),
+            );
+        }
+        RunStats::new(self.run_trials(
+            self.workloads(mk_summary, mk_stream),
+            |(_, stream, mut summary)| {
+                summary.ingest_batch(&stream);
+                system.max_discrepancy(&stream, &sample_of(&summary)).value
+            },
+        ))
     }
 }
 
@@ -383,6 +575,33 @@ mod tests {
         );
         // k = n: the reservoir is the stream, so every prefix is exact.
         assert!(stats.worst() < 1e-9);
+    }
+
+    #[test]
+    fn threaded_trials_are_bit_identical_to_sequential() {
+        let system = PrefixSystem::new(1 << 16);
+        let run = |threads: usize| {
+            ExperimentEngine::new(1_500, 7).threads(threads).adaptive(
+                &system,
+                |s| ReservoirSampler::with_seed(48, s),
+                |s| QuantileHunterAdversary::new(1 << 16, s),
+            )
+        };
+        let seq = run(1);
+        for threads in [2, 3, 8, 32] {
+            assert_eq!(seq.per_trial, run(threads).per_trial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn threaded_map_preserves_seed_order() {
+        let engine = ExperimentEngine::new(200, 9).with_base_seed(5).threads(4);
+        let seeds: Vec<u64> = engine.adaptive_map(
+            |s| ReservoirSampler::with_seed(8, s),
+            |s| RandomAdversary::new(1 << 10, s),
+            |seed, _, _| seed,
+        );
+        assert_eq!(seeds, (5..14).collect::<Vec<u64>>());
     }
 
     #[test]

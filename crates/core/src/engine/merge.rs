@@ -1,0 +1,250 @@
+//! The [`MergeableSummary`] capability trait: summaries whose guarantees
+//! survive composition.
+//!
+//! Ben-Eliezer & Yogev's robustness statements are about *samples*, and a
+//! sound merge of samples is exactly what a production deployment needs to
+//! shard a stream across cores (or sites) and reassemble the pieces: if
+//! each shard's summary is an `(ε, δ)`-faithful digest of its substream
+//! and `merge` composes them without losing the guarantee, the merged
+//! summary answers for the whole stream. [`ShardedSummary`]
+//! (`crate::engine::ShardedSummary`) builds data-parallel ingestion on top
+//! of this trait.
+//!
+//! What "sound" means varies by summary — the impls document their exact
+//! contract:
+//!
+//! * **Exact, no error growth** — [`BernoulliSampler`] (disjoint Bernoulli
+//!   samples concatenate), [`BottomKSampler`] (union of i.i.d. keys, keep
+//!   the `k` smallest), and Count-Min in the `sketches` crate (counter
+//!   matrices add).
+//! * **Distributionally exact** — [`ReservoirSampler`] and the robust
+//!   sketches wrapping it: a weighted subsample-on-merge whose output is
+//!   distributed identically to one reservoir run over the concatenated
+//!   stream.
+//! * **Error-bound preserving** — KLL, GK, and merge–reduce in the
+//!   `sketches` crate (`±εn` rank error over the union).
+//! * **Error-bound additive** — Misra–Gries and SpaceSaving: each side
+//!   contributes its own `n_i/(k+1)` (resp. `n_i/k`) slack, which sums to
+//!   the single-summary bound over the union, but the *post-merge* counter
+//!   set may differ from a one-pass run's.
+
+use crate::engine::summary::StreamSummary;
+use crate::sampler::{BernoulliSampler, BottomKSampler, ReservoirSampler};
+use crate::sketch::{RobustHeavyHitterSketch, RobustQuantileSketch};
+
+/// A summary that can absorb another summary of the same type, as if it
+/// had ingested the other's substream after its own.
+///
+/// The contract: if `a` summarises stream `A` and `b` summarises stream
+/// `B` (built independently — separate RNGs), then after `a.merge(b)`,
+/// `a` is a valid summary of the concatenation `A ‖ B`, with the error /
+/// distributional guarantee stated by the implementing type. Merging is
+/// deterministic given the summaries' seeds, and the merged summary can
+/// keep ingesting.
+pub trait MergeableSummary<T>: StreamSummary<T> {
+    /// Absorb `other`, leaving `self` a summary of both streams.
+    fn merge(&mut self, other: Self)
+    where
+        Self: Sized;
+}
+
+impl<T: Clone> MergeableSummary<T> for BernoulliSampler<T> {
+    fn merge(&mut self, other: Self) {
+        BernoulliSampler::merge(self, other);
+    }
+}
+
+impl<T: Clone> MergeableSummary<T> for ReservoirSampler<T> {
+    fn merge(&mut self, other: Self) {
+        ReservoirSampler::merge(self, other);
+    }
+}
+
+impl<T: Clone> MergeableSummary<T> for BottomKSampler<T> {
+    fn merge(&mut self, other: Self) {
+        BottomKSampler::merge(self, other);
+    }
+}
+
+impl<T: Ord + Clone> MergeableSummary<T> for RobustQuantileSketch<T> {
+    fn merge(&mut self, other: Self) {
+        RobustQuantileSketch::merge(self, other);
+    }
+}
+
+impl<T: Ord + Clone> MergeableSummary<T> for RobustHeavyHitterSketch<T> {
+    fn merge(&mut self, other: Self) {
+        RobustHeavyHitterSketch::merge(self, other);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::prefix_discrepancy;
+    use crate::engine::summary::QuantileSummary;
+    use crate::sampler::StreamSampler;
+
+    #[test]
+    fn bernoulli_merge_concatenates_disjoint_samples() {
+        let mut a = BernoulliSampler::with_seed(0.1, 1);
+        let mut b = BernoulliSampler::with_seed(0.1, 2);
+        a.observe_batch(&(0..5_000u64).collect::<Vec<_>>());
+        b.observe_batch(&(5_000..10_000u64).collect::<Vec<_>>());
+        let (sa, sb) = (a.sample().to_vec(), b.sample().to_vec());
+        MergeableSummary::merge(&mut a, b);
+        assert_eq!(a.observed(), 10_000);
+        let expect: Vec<u64> = sa.into_iter().chain(sb).collect();
+        assert_eq!(a.sample(), expect.as_slice());
+        // The merged sampler keeps streaming with the pending gap.
+        a.observe_batch(&(10_000..20_000u64).collect::<Vec<_>>());
+        assert_eq!(a.observed(), 20_000);
+        assert!(a.sample().len() > expect.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "different rates")]
+    fn bernoulli_merge_rejects_mismatched_rates() {
+        let mut a = BernoulliSampler::<u64>::with_seed(0.1, 1);
+        let b = BernoulliSampler::<u64>::with_seed(0.2, 2);
+        a.merge(b);
+    }
+
+    #[test]
+    fn reservoir_merge_small_union_keeps_everything() {
+        let mut a = ReservoirSampler::with_seed(64, 1);
+        let mut b = ReservoirSampler::with_seed(64, 2);
+        for x in 0..20u64 {
+            a.observe(x);
+        }
+        for x in 20..40u64 {
+            b.observe(x);
+        }
+        a.merge(b);
+        assert_eq!(a.observed(), 40);
+        let mut got = a.sample().to_vec();
+        got.sort_unstable();
+        assert_eq!(got, (0..40u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reservoir_merge_is_full_and_subset_of_union() {
+        let mut a = ReservoirSampler::with_seed(128, 3);
+        let mut b = ReservoirSampler::with_seed(128, 4);
+        a.observe_batch(&(0..30_000u64).collect::<Vec<_>>());
+        b.observe_batch(&(30_000..50_000u64).collect::<Vec<_>>());
+        a.merge(b);
+        assert_eq!(a.observed(), 50_000);
+        assert_eq!(a.sample().len(), 128);
+        assert!(a.sample().iter().all(|&x| x < 50_000));
+    }
+
+    #[test]
+    fn reservoir_merge_split_is_proportional() {
+        // A saw 4x the data of B: ≈ 80% of merged slots should come from A.
+        let trials = 400;
+        let mut from_a = 0usize;
+        let mut total = 0usize;
+        for t in 0..trials {
+            let mut a = ReservoirSampler::with_seed(32, t);
+            let mut b = ReservoirSampler::with_seed(32, 10_000 + t);
+            a.observe_batch(&(0..8_000u64).collect::<Vec<_>>());
+            b.observe_batch(&(8_000..10_000u64).collect::<Vec<_>>());
+            a.merge(b);
+            from_a += a.sample().iter().filter(|&&x| x < 8_000).count();
+            total += a.sample().len();
+        }
+        let frac = from_a as f64 / total as f64;
+        assert!(
+            (0.76..0.84).contains(&frac),
+            "A-fraction {frac}, expect 0.8"
+        );
+    }
+
+    #[test]
+    fn reservoir_merge_can_keep_streaming() {
+        // After a merge the threshold is re-drawn for the combined length;
+        // continued ingestion must keep the sample representative.
+        let mut a = ReservoirSampler::with_seed(256, 5);
+        let mut b = ReservoirSampler::with_seed(256, 6);
+        a.observe_batch(&(0..25_000u64).collect::<Vec<_>>());
+        b.observe_batch(&(25_000..50_000u64).collect::<Vec<_>>());
+        a.merge(b);
+        a.observe_batch(&(50_000..100_000u64).collect::<Vec<_>>());
+        assert_eq!(a.observed(), 100_000);
+        assert_eq!(a.sample().len(), 256);
+        let stream: Vec<u64> = (0..100_000).collect();
+        let d = prefix_discrepancy(&stream, a.sample()).value;
+        assert!(d < 0.12, "post-merge stream discrepancy {d}");
+        // Late elements must still be admitted at rate ~k/n.
+        let late = a.sample().iter().filter(|&&x| x >= 50_000).count();
+        assert!(late > 256 / 5, "only {late}/256 late elements");
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller capacity")]
+    fn reservoir_merge_rejects_full_smaller_reservoir() {
+        let mut a = ReservoirSampler::with_seed(64, 1);
+        let mut b = ReservoirSampler::with_seed(8, 2);
+        a.observe_batch(&(0..1_000u64).collect::<Vec<_>>());
+        b.observe_batch(&(0..1_000u64).collect::<Vec<_>>());
+        a.merge(b);
+    }
+
+    #[test]
+    fn bottom_k_merge_keeps_smallest_keys_exactly() {
+        let mut a = BottomKSampler::with_seed(16, 7);
+        let mut b = BottomKSampler::with_seed(16, 8);
+        for x in 0..2_000u64 {
+            a.observe(x);
+        }
+        for x in 2_000..4_000u64 {
+            b.observe(x);
+        }
+        let mut union: Vec<(f64, u64)> = a
+            .keys()
+            .iter()
+            .copied()
+            .zip(a.sample().iter().copied())
+            .chain(b.keys().iter().copied().zip(b.sample().iter().copied()))
+            .collect();
+        union.sort_by(|x, y| x.0.total_cmp(&y.0));
+        let expect: Vec<u64> = union[..16].iter().map(|&(_, x)| x).collect();
+        a.merge(b);
+        assert_eq!(a.observed(), 4_000);
+        let mut got = a.sample().to_vec();
+        let mut want = expect;
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn robust_quantile_merge_tracks_union_median() {
+        let mut a = RobustQuantileSketch::<u64>::new(20.0, 0.1, 0.05, 1);
+        let mut b = RobustQuantileSketch::<u64>::new(20.0, 0.1, 0.05, 2);
+        a.observe_batch(&(0..40_000u64).collect::<Vec<_>>());
+        b.observe_batch(&(40_000..80_000u64).collect::<Vec<_>>());
+        a.merge(b);
+        assert_eq!(a.observed(), 80_000);
+        let med = a.estimate_quantile(0.5).unwrap() as f64;
+        assert!((med - 40_000.0).abs() < 0.1 * 80_000.0, "median {med}");
+    }
+
+    #[test]
+    fn robust_heavy_hitter_merge_finds_union_hitter() {
+        let mut a = RobustHeavyHitterSketch::<u64>::new(14.0, 0.1, 0.05, 0.05, 3);
+        let mut b = RobustHeavyHitterSketch::<u64>::new(14.0, 0.1, 0.05, 0.05, 4);
+        // 7 is 25% of stream A and absent from B: 12.5% of the union.
+        let sa: Vec<u64> = (0..20_000u64)
+            .map(|i| if i % 4 == 0 { 7 } else { 100_000 + i })
+            .collect();
+        let sb: Vec<u64> = (0..20_000u64).map(|i| 200_000 + i).collect();
+        a.observe_batch(&sa);
+        b.observe_batch(&sb);
+        a.merge(b);
+        assert_eq!(a.observed(), 40_000);
+        let d = a.density(&7);
+        assert!((d - 0.125).abs() < 0.05, "density {d}");
+    }
+}

@@ -17,16 +17,29 @@
 //! * [`QuantileSummary`] / [`FrequencySummary`] — the `estimate`-style
 //!   query capabilities, so experiments can compare a robust sample, GK,
 //!   KLL, Misra–Gries, … through one interface.
+//! * [`MergeableSummary`] — the composition capability: summaries whose
+//!   guarantees survive merging, which is what sharding a stream across
+//!   cores or sites and reassembling the pieces requires.
+//! * [`ShardedSummary`] — data-parallel ingestion built on the two:
+//!   round-robin routing to `K` deterministically-seeded shards, batched
+//!   fan-out across scoped threads, queries merged on demand.
 //! * [`ExperimentEngine`] — the one game/measurement loop shared by every
 //!   experiment binary: adaptive duels, continuous (every-prefix) games,
 //!   and static batched runs, each judged against a
-//!   [`SetSystem`](crate::set_system::SetSystem) across seeded trials.
+//!   [`SetSystem`](crate::set_system::SetSystem) across seeded trials —
+//!   with the independent seeded trials optionally fanned across a scoped
+//!   thread pool ([`ExperimentEngine::threads`]), bit-identical to the
+//!   sequential run.
 //! * [`report`] — the single table/CSV reporting path experiments emit
 //!   their rows through.
 
 pub mod experiment;
+pub mod merge;
 pub mod report;
+pub mod sharded;
 pub mod summary;
 
 pub use experiment::{ExperimentEngine, RunStats};
+pub use merge::MergeableSummary;
+pub use sharded::ShardedSummary;
 pub use summary::{FrequencySummary, QuantileSummary, StreamSummary};

@@ -1,0 +1,301 @@
+//! [`ShardedSummary`]: data-parallel ingestion over `K` independent
+//! shards of any [`StreamSummary`], reassembled on demand through
+//! [`MergeableSummary`].
+//!
+//! Elements are dealt to shards **round-robin by arrival index** — shard
+//! `j` sees the subsequence at positions `≡ j (mod K)`. That routing rule
+//! is what keeps the engine contract intact: `ingest_batch` hands each
+//! shard exactly the per-shard subsequence that element-wise `ingest`
+//! calls would, so batched and element-wise ingestion stay
+//! state-identical, and batch split points never change the result.
+//!
+//! Above a size threshold, `ingest_batch` fans the shards out across a
+//! `std::thread::scope` — each worker gathers its own stride of the batch
+//! and drives its shard's batched hot path, giving near-linear scaling
+//! for summaries with `Θ(n)` ingestion cost (deterministic sketches,
+//! Count-Min, KLL). Summaries with sublinear batch paths (the gap-skipping
+//! samplers) are already effectively free to ingest; sharding them is
+//! about merge topology, not throughput.
+//!
+//! Shard seeds are derived deterministically from one base seed
+//! ([`ShardedSummary::shard_seed`]), so a sharded run is exactly
+//! reproducible. Queries ([`QuantileSummary`], [`FrequencySummary`]) merge
+//! the shards on demand — clone + `K−1` merges per query — which is the
+//! right trade for ingest-heavy, query-light deployments; cache
+//! [`ShardedSummary::merged`] yourself if you query in a tight loop.
+
+use crate::engine::merge::MergeableSummary;
+use crate::engine::summary::{FrequencySummary, QuantileSummary, StreamSummary};
+
+/// Batch length at or above which `ingest_batch` uses scoped worker
+/// threads (one per shard). Below it, the per-shard strides are ingested
+/// on the calling thread — spawning costs more than it saves.
+const PARALLEL_BATCH_THRESHOLD: usize = 1 << 14;
+
+/// `K` independent summaries fed round-robin, merged on demand.
+#[derive(Debug, Clone)]
+pub struct ShardedSummary<S> {
+    shards: Vec<S>,
+    /// Elements routed so far — the round-robin cursor.
+    routed: usize,
+    /// Minimum batch length for the scoped-thread fan-out.
+    parallel_threshold: usize,
+}
+
+impl<S> ShardedSummary<S> {
+    /// Build `shards` summaries via `factory(shard_index, shard_seed)`,
+    /// with per-shard seeds derived from `base_seed` by
+    /// [`shard_seed`](Self::shard_seed).
+    ///
+    /// Summaries whose merge requires *shared* randomness (Count-Min's
+    /// hash functions) should ignore the derived seed and use a fixed one;
+    /// samplers must use it so shard RNGs are decorrelated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize, base_seed: u64, mut factory: impl FnMut(usize, u64) -> S) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        Self {
+            shards: (0..shards)
+                .map(|j| factory(j, Self::shard_seed(base_seed, j)))
+                .collect(),
+            routed: 0,
+            parallel_threshold: PARALLEL_BATCH_THRESHOLD,
+        }
+    }
+
+    /// Deterministic per-shard seed: SplitMix-style mix of the base seed
+    /// and the shard index, so shard RNG streams are decorrelated from
+    /// each other and from the base seed itself.
+    pub fn shard_seed(base_seed: u64, shard: usize) -> u64 {
+        let mut z = base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Override the batch length at which ingestion fans out to worker
+    /// threads (tests use this to force both paths).
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_threshold = threshold;
+        self
+    }
+
+    /// Number of shards `K`.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard summaries, in shard order.
+    pub fn shards(&self) -> &[S] {
+        &self.shards
+    }
+
+    /// Merge all shards into one summary of the full stream (clones the
+    /// shards; the sharded structure stays intact for further ingestion).
+    pub fn merged<T>(&self) -> S
+    where
+        S: MergeableSummary<T> + Clone,
+    {
+        let mut it = self.shards.iter().cloned();
+        let mut out = it.next().expect("at least one shard");
+        for shard in it {
+            out.merge(shard);
+        }
+        out
+    }
+
+    /// Consume the sharded structure, merging all shards into one summary
+    /// of the full stream (no clones).
+    pub fn into_merged<T>(self) -> S
+    where
+        S: MergeableSummary<T>,
+    {
+        let mut it = self.shards.into_iter();
+        let mut out = it.next().expect("at least one shard");
+        for shard in it {
+            out.merge(shard);
+        }
+        out
+    }
+}
+
+impl<T, S> StreamSummary<T> for ShardedSummary<S>
+where
+    T: Clone + Sync,
+    S: StreamSummary<T> + Send,
+{
+    fn ingest(&mut self, x: T) {
+        let k = self.shards.len();
+        self.shards[self.routed % k].ingest(x);
+        self.routed += 1;
+    }
+
+    fn ingest_batch(&mut self, xs: &[T]) {
+        let k = self.shards.len();
+        if k == 1 {
+            self.shards[0].ingest_batch(xs);
+            self.routed += xs.len();
+            return;
+        }
+        // Shard j's stride starts at the first batch index i with
+        // (routed + i) % k == j.
+        let first = |j: usize| (j + k - self.routed % k) % k;
+        if xs.len() >= self.parallel_threshold {
+            std::thread::scope(|scope| {
+                for (j, shard) in self.shards.iter_mut().enumerate() {
+                    let start = first(j);
+                    scope.spawn(move || {
+                        let mine: Vec<T> = xs.iter().skip(start).step_by(k).cloned().collect();
+                        shard.ingest_batch(&mine);
+                    });
+                }
+            });
+        } else {
+            for (j, shard) in self.shards.iter_mut().enumerate() {
+                let mine: Vec<T> = xs.iter().skip(first(j)).step_by(k).cloned().collect();
+                shard.ingest_batch(&mine);
+            }
+        }
+        self.routed += xs.len();
+    }
+
+    fn items_seen(&self) -> usize {
+        self.shards.iter().map(S::items_seen).sum()
+    }
+
+    fn space(&self) -> usize {
+        self.shards.iter().map(S::space).sum()
+    }
+
+    fn summary_name(&self) -> &'static str {
+        self.shards[0].summary_name()
+    }
+}
+
+/// Quantile queries answer from the on-demand merge of all shards.
+impl<T, S> QuantileSummary<T> for ShardedSummary<S>
+where
+    T: Clone + Sync,
+    S: QuantileSummary<T> + MergeableSummary<T> + Clone + Send,
+{
+    fn estimate_quantile(&self, q: f64) -> Option<T> {
+        self.merged().estimate_quantile(q)
+    }
+
+    fn estimate_rank(&self, x: &T) -> f64 {
+        self.merged().estimate_rank(x)
+    }
+}
+
+/// Frequency queries answer from the on-demand merge of all shards.
+impl<T, S> FrequencySummary<T> for ShardedSummary<S>
+where
+    T: Clone + Sync,
+    S: FrequencySummary<T> + MergeableSummary<T> + Clone + Send,
+{
+    fn estimate_count(&self, x: &T) -> f64 {
+        self.merged().estimate_count(x)
+    }
+
+    fn heavy_items(&self, threshold: f64) -> Vec<(T, f64)> {
+        self.merged().heavy_items(threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::{ReservoirSampler, StreamSampler};
+
+    fn sharded_reservoir(k: usize) -> ShardedSummary<ReservoirSampler<u64>> {
+        ShardedSummary::new(k, 42, |_, seed| ReservoirSampler::with_seed(64, seed))
+    }
+
+    #[test]
+    fn batch_and_elementwise_ingest_are_state_identical() {
+        let stream: Vec<u64> = (0..50_000).collect();
+        let mut a = sharded_reservoir(4).with_parallel_threshold(usize::MAX);
+        let mut b = sharded_reservoir(4); // parallel path
+        for &x in &stream {
+            a.ingest(x);
+        }
+        b.ingest_batch(&stream);
+        for (sa, sb) in a.shards().iter().zip(b.shards()) {
+            assert_eq!(sa.sample(), sb.sample());
+            assert_eq!(sa.observed(), sb.observed());
+        }
+        assert_eq!(a.items_seen(), 50_000);
+        assert_eq!(b.items_seen(), 50_000);
+    }
+
+    #[test]
+    fn batch_split_points_do_not_matter() {
+        let stream: Vec<u64> = (0..30_000).rev().collect();
+        let mut whole = sharded_reservoir(3);
+        whole.ingest_batch(&stream);
+        let mut pieces = sharded_reservoir(3).with_parallel_threshold(usize::MAX);
+        let mut rest: &[u64] = &stream;
+        let mut chunk = 1usize;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            pieces.ingest_batch(&rest[..take]);
+            rest = &rest[take..];
+            chunk = chunk * 2 + 1;
+        }
+        for (a, b) in whole.shards().iter().zip(pieces.shards()) {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    fn shard_seeds_are_distinct_and_deterministic() {
+        let seeds: Vec<u64> = (0..8)
+            .map(|j| ShardedSummary::<()>::shard_seed(7, j))
+            .collect();
+        let again: Vec<u64> = (0..8)
+            .map(|j| ShardedSummary::<()>::shard_seed(7, j))
+            .collect();
+        assert_eq!(seeds, again);
+        for (i, &a) in seeds.iter().enumerate() {
+            for &b in &seeds[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn merged_reservoir_covers_the_whole_stream() {
+        let stream: Vec<u64> = (0..100_000).collect();
+        let mut s = ShardedSummary::new(4, 9, |_, seed| ReservoirSampler::with_seed(256, seed));
+        s.ingest_batch(&stream);
+        let merged = s.merged();
+        assert_eq!(merged.observed(), 100_000);
+        assert_eq!(merged.sample().len(), 256);
+        let d = crate::approx::prefix_discrepancy(&stream, merged.sample()).value;
+        assert!(d < 0.12, "merged discrepancy {d}");
+        // `merged` clones: the sharded structure can keep ingesting.
+        s.ingest_batch(&stream);
+        assert_eq!(s.items_seen(), 200_000);
+    }
+
+    #[test]
+    fn into_merged_consumes_without_cloning() {
+        let stream: Vec<u64> = (0..10_000).collect();
+        let mut s = sharded_reservoir(2);
+        s.ingest_batch(&stream);
+        let merged = s.into_merged();
+        assert_eq!(merged.observed(), 10_000);
+    }
+
+    #[test]
+    fn single_shard_is_the_plain_summary() {
+        let stream: Vec<u64> = (0..5_000).collect();
+        let mut sharded = ShardedSummary::new(1, 3, |_, _| ReservoirSampler::with_seed(32, 99));
+        let mut plain = ReservoirSampler::with_seed(32, 99);
+        sharded.ingest_batch(&stream);
+        plain.ingest_batch(&stream);
+        assert_eq!(sharded.shards()[0].sample(), plain.sample());
+    }
+}

@@ -101,7 +101,7 @@ pub trait StreamSampler<T> {
 /// (decrement) and the batched [`observe_batch`](Self::observe_batch)
 /// (jump), so the two ingestion paths produce **identical samples for
 /// identical seeds** — the batched path is a pure optimization.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BernoulliSampler<T> {
     p: f64,
     sample: Vec<T>,
@@ -159,6 +159,29 @@ impl<T> BernoulliSampler<T> {
         } else {
             u64::MAX
         }
+    }
+
+    /// Merge another Bernoulli sampler of the **same rate** into this one.
+    ///
+    /// The union of independent Bernoulli(`p`) samples of disjoint
+    /// substreams is exactly a Bernoulli(`p`) sample of the concatenated
+    /// stream, so the merge is sound with *no* error growth: samples
+    /// concatenate, counts add. `self` keeps its own RNG and pending gap,
+    /// so streaming may continue after the merge (the geometric gap is
+    /// memoryless).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two samplers have different rates `p`.
+    pub fn merge(&mut self, mut other: Self) {
+        assert!(
+            self.p == other.p,
+            "cannot merge Bernoulli samplers of different rates ({} vs {})",
+            self.p,
+            other.p
+        );
+        self.observed += other.observed;
+        self.sample.append(&mut other.sample);
     }
 
     /// Batched ingestion: skip-jump through `xs` storing the same elements
@@ -269,7 +292,7 @@ impl<T: Clone> StreamSampler<T> for BernoulliSampler<T> {
 /// [`observe_batch`](Self::observe_batch) (jump), so batched and
 /// element-wise ingestion produce **identical reservoirs for identical
 /// seeds**.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ReservoirSampler<T> {
     k: usize,
     reservoir: Vec<T>,
@@ -317,6 +340,12 @@ impl<T> ReservoirSampler<T> {
     fn next_gap(&mut self) {
         let u1: f64 = self.rng.random();
         self.w *= (u1.ln() / self.k as f64).exp();
+        self.draw_skip();
+    }
+
+    /// Draw the gap until the next acceptance from the current threshold
+    /// `w`: geometric with per-element acceptance probability `w`.
+    fn draw_skip(&mut self) {
         let u2: f64 = self.rng.random();
         let denom = (1.0 - self.w).ln();
         self.skip = if denom < 0.0 {
@@ -331,6 +360,100 @@ impl<T> ReservoirSampler<T> {
             // threshold is gone, no future element is ever accepted.
             u64::MAX
         };
+    }
+
+    /// Re-draw the Algorithm L threshold as if this (full) reservoir had
+    /// just finished a stream of `n` elements: in the bottom-k view the
+    /// threshold is the `k`-th smallest of `n` i.i.d. uniform keys, drawn
+    /// here by the ascending order-statistic recursion (`k` RNG draws),
+    /// then a fresh acceptance gap from it. Called after a merge so that
+    /// streaming may continue with the correct acceptance law `k/i`.
+    fn reseed_threshold(&mut self, n: usize) {
+        debug_assert!(n >= self.k);
+        let mut w = 0.0f64;
+        for j in 0..self.k {
+            let u: f64 = self.rng.random();
+            // Smallest of the (n - j) remaining uniforms above w, rescaled
+            // into (w, 1): w + (1-w)·(1 - (1-u)^{1/(n-j)}).
+            w += (1.0 - w) * (1.0 - (1.0 - u).powf(1.0 / (n - j) as f64));
+        }
+        self.w = w.clamp(0.0, 1.0);
+        self.draw_skip();
+    }
+
+    /// Merge another reservoir into this one: the result is distributed as
+    /// one reservoir of capacity `self.k` run over the concatenation of
+    /// both streams.
+    ///
+    /// The merge draws the per-stream split of the output exactly
+    /// (sequential sampling without replacement from the union, i.e. the
+    /// hypergeometric law), then takes a uniform subset of each input
+    /// reservoir of that size — sound because a uniform `j`-subset of a
+    /// uniform `k`-sample of a stream is a uniform `j`-subset of the
+    /// stream itself. Afterwards the Algorithm L threshold is re-drawn
+    /// for the combined length (see [`reseed_threshold`]'s comment), so
+    /// the merged sampler can keep ingesting.
+    ///
+    /// All randomness comes from `self`'s RNG: merges are deterministic
+    /// per seed. [`total_stored`](StreamSampler::total_stored) becomes the
+    /// sum of both sides' churn. The merged capacity is `self.k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` has subsampled its stream (is full) with a
+    /// capacity smaller than `self.k` — the split could then demand more
+    /// elements than `other` retains. Equal capacities (the sharded
+    /// deployment) always work, as does merging in a partial reservoir of
+    /// any capacity.
+    pub fn merge(&mut self, mut other: Self)
+    where
+        T: Clone,
+    {
+        assert!(
+            other.observed <= other.reservoir.len() || other.k >= self.k,
+            "cannot merge a full reservoir of smaller capacity ({} < {})",
+            other.k,
+            self.k
+        );
+        let n_total = self.observed + other.observed;
+        self.total_stored += other.total_stored;
+        // How many of the merged sample's slots come from each side:
+        // sequential without-replacement draws from the union.
+        let k_out = self.k.min(n_total);
+        let (mut rem_a, mut rem_b) = (self.observed as u64, other.observed as u64);
+        let mut take_a = 0usize;
+        for _ in 0..k_out {
+            if self.rng.random_range(0..rem_a + rem_b) < rem_a {
+                take_a += 1;
+                rem_a -= 1;
+            } else {
+                rem_b -= 1;
+            }
+        }
+        let take_b = k_out - take_a;
+        // Uniform subsets of each reservoir via partial Fisher–Yates.
+        let mut merged = Vec::with_capacity(k_out);
+        for (pool, take) in [
+            (&mut self.reservoir, take_a),
+            (&mut other.reservoir, take_b),
+        ] {
+            debug_assert!(take <= pool.len());
+            for i in 0..take {
+                let j = self.rng.random_range(i..pool.len());
+                pool.swap(i, j);
+            }
+            merged.extend(pool.drain(..take));
+        }
+        self.reservoir = merged;
+        self.observed = n_total;
+        if self.reservoir.len() == self.k && n_total > self.k {
+            self.reseed_threshold(n_total);
+        } else if self.reservoir.len() == self.k {
+            // Exactly full with the whole union: behave like a freshly
+            // filled reservoir.
+            self.w = 1.0;
+            self.next_gap();
+        }
     }
 
     /// Accept `x` into a full reservoir, evicting a uniform resident.
@@ -568,7 +691,7 @@ impl<T> WeightedReservoirSampler<T> {
 /// experiment harness exercise this sampler as an "extra-transparent"
 /// reservoir variant (bottom-k is also the standard building block for
 /// distributed and weighted sampling, per the paper's related work).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BottomKSampler<T> {
     k: usize,
     /// Resident keys; `elements[i]` carries the element for `keys[i]`.
@@ -632,6 +755,27 @@ impl<T> BottomKSampler<T> {
             }
         }
         self.max_idx = idx;
+    }
+
+    /// Merge another bottom-k sampler into this one — **exactly**: keys
+    /// are i.i.d. uniform across both samplers, so keeping the `self.k`
+    /// smallest keys of the union is precisely the bottom-k sample of the
+    /// concatenated stream. No randomness is consumed and no error is
+    /// introduced; streaming may continue afterwards.
+    pub fn merge(&mut self, other: Self) {
+        self.observed += other.observed;
+        self.total_stored += other.total_stored;
+        for (key, x) in other.keys.into_iter().zip(other.elements) {
+            if self.keys.len() < self.k {
+                self.keys.push(key);
+                self.elements.push(x);
+                self.recompute_max();
+            } else if key < self.keys[self.max_idx] {
+                self.keys[self.max_idx] = key;
+                self.elements[self.max_idx] = x;
+                self.recompute_max();
+            }
+        }
     }
 }
 

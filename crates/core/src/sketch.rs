@@ -23,7 +23,7 @@ use crate::estimators::{self, HeavyHitter, SampleQuantiles};
 use crate::sampler::{ReservoirSampler, StreamSampler};
 
 /// A self-sizing, adaptively robust quantile sketch (Corollary 1.5).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RobustQuantileSketch<T> {
     reservoir: ReservoirSampler<T>,
     eps: f64,
@@ -108,10 +108,28 @@ impl<T: Ord + Clone> RobustQuantileSketch<T> {
     pub fn guarantee(&self) -> (f64, f64) {
         (self.eps, self.delta)
     }
+
+    /// Merge another robust quantile sketch into this one by merging the
+    /// underlying reservoirs (see [`ReservoirSampler::merge`]): the result
+    /// is distributed as one sketch run over the concatenated stream, so
+    /// the `(ε, δ)` contract carries over to the union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sketches were sized differently (unequal reservoir
+    /// capacities).
+    pub fn merge(&mut self, other: Self) {
+        assert_eq!(
+            self.capacity(),
+            other.capacity(),
+            "cannot merge robust quantile sketches of different capacities"
+        );
+        self.reservoir.merge(other.reservoir);
+    }
 }
 
 /// A self-sizing, adaptively robust heavy-hitters sketch (Corollary 1.6).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RobustHeavyHitterSketch<T> {
     reservoir: ReservoirSampler<T>,
     alpha: f64,
@@ -178,6 +196,24 @@ impl<T: Ord + Clone> RobustHeavyHitterSketch<T> {
     /// The `(α, ε)` contract.
     pub fn contract(&self) -> (f64, f64) {
         (self.alpha, self.eps)
+    }
+
+    /// Merge another robust heavy-hitters sketch into this one by merging
+    /// the underlying reservoirs (see [`ReservoirSampler::merge`]): the
+    /// merged sample is distributed as one sketch over the concatenated
+    /// stream, so the `(α, ε)` contract carries over to the union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sketches were sized differently (unequal reservoir
+    /// capacities).
+    pub fn merge(&mut self, other: Self) {
+        assert_eq!(
+            self.capacity(),
+            other.capacity(),
+            "cannot merge robust heavy-hitter sketches of different capacities"
+        );
+        self.reservoir.merge(other.reservoir);
     }
 }
 

@@ -77,6 +77,31 @@ impl CountMin {
         }
     }
 
+    /// Merge another Count-Min sketch into this one — **exactly**: the
+    /// sketch is linear, so counter matrices simply add. Requires both
+    /// sketches to share geometry *and* hash functions (build shards from
+    /// the same seed); the merged sketch is bit-identical to one sketch
+    /// over the concatenated stream, in any merge order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sketches differ in geometry or hash functions.
+    pub fn merge(&mut self, other: Self) {
+        assert!(
+            self.depth == other.depth && self.width == other.width,
+            "cannot merge Count-Min sketches of different geometry"
+        );
+        assert!(
+            self.hashes == other.hashes,
+            "cannot merge Count-Min sketches with different hash functions \
+             (build shards from the same seed)"
+        );
+        for (c, o) in self.counters.iter_mut().zip(other.counters) {
+            *c += o;
+        }
+        self.n += other.n;
+    }
+
     /// Frequency estimate: min over rows (never an undercount).
     pub fn estimate(&self, x: u64) -> u64 {
         (0..self.depth)

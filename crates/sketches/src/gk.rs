@@ -122,6 +122,48 @@ impl GkSummary {
     pub fn observed(&self) -> u64 {
         self.n
     }
+
+    /// Merge another GK summary into this one (the \[ACHPWY12\]
+    /// "mergeable summaries" merge): the tuple lists are merged in value
+    /// order with each tuple keeping its own `g` (so minimum ranks stay
+    /// exact lower bounds over the union) and widening its `Δ` by the
+    /// rank spread of its successor in the *other* list. Each input
+    /// contributes at most `ε·nᵢ` rank uncertainty, so the merged summary
+    /// is still an `ε`-approximate summary of the union; a final compress
+    /// pass restores the space bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summaries were built with different `eps`.
+    pub fn merge(&mut self, other: Self) {
+        assert!(
+            self.eps == other.eps,
+            "cannot merge GK summaries of different eps ({} vs {})",
+            self.eps,
+            other.eps
+        );
+        let a = std::mem::take(&mut self.tuples);
+        let b = other.tuples;
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() || j < b.len() {
+            let from_a = j >= b.len() || (i < a.len() && a[i].v <= b[j].v);
+            let (mut t, succ) = if from_a {
+                i += 1;
+                (a[i - 1], b.get(j))
+            } else {
+                j += 1;
+                (b[j - 1], a.get(i))
+            };
+            if let Some(s) = succ {
+                t.delta += (s.g + s.delta).saturating_sub(1);
+            }
+            out.push(t);
+        }
+        self.tuples = out;
+        self.n += other.n;
+        self.compress();
+    }
 }
 
 #[cfg(test)]

@@ -21,7 +21,7 @@ fn capacity(k: usize, num_levels: usize, h: usize) -> usize {
 
 /// KLL sketch over `u64` values with top-compactor capacity `k`
 /// (`k ≈ 1/ε` for ±εn rank error with constant probability).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct KllSketch {
     k: usize,
     compactors: Vec<Vec<u64>>,
@@ -69,6 +69,28 @@ impl KllSketch {
             let promoted: Vec<u64> = items.iter().copied().skip(offset).step_by(2).collect();
             self.compactors[h + 1].extend(promoted);
         }
+    }
+
+    /// Merge another KLL sketch into this one (the standard mergeable-
+    /// summaries merge): compactors concatenate level-wise, then compact
+    /// until every level fits its capacity again. The merged sketch has
+    /// the same `±εn` rank-error class over the union as a single sketch
+    /// of parameter `k` run over the whole stream; compaction randomness
+    /// comes from `self`'s RNG, so merges are deterministic per seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sketches have different parameters `k`.
+    pub fn merge(&mut self, other: Self) {
+        assert_eq!(self.k, other.k, "cannot merge KLL sketches of different k");
+        if self.compactors.len() < other.compactors.len() {
+            self.compactors.resize(other.compactors.len(), Vec::new());
+        }
+        for (h, items) in other.compactors.into_iter().enumerate() {
+            self.compactors[h].extend(items);
+        }
+        self.n += other.n;
+        self.compact_if_needed();
     }
 
     /// Estimated rank of `v`: the weighted count of retained items `≤ v`.

@@ -118,6 +118,38 @@ impl MergeReduce {
         out
     }
 
+    /// Merge another merge–reduce summary into this one: the name is the
+    /// algorithm — completed buffers of the other summary carry into this
+    /// one's level hierarchy at their own level (triggering the usual
+    /// merge–reduce cascades), and the other's partially filled level-0
+    /// buffer is re-observed element-wise. Weight is conserved exactly,
+    /// and each reduce step still contributes `≤ 1/(2m)` density error,
+    /// so the merged summary obeys the same `O(L/m)` prefix-discrepancy
+    /// bound over the union (with `L` now counting levels of the combined
+    /// length). Deterministic: merging consumes no randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summaries have different buffer sizes `m`.
+    pub fn merge(&mut self, other: Self) {
+        assert_eq!(
+            self.m, other.m,
+            "cannot merge merge-reduce summaries of different buffer sizes"
+        );
+        // Completed buffers: already sorted, weight 2^h — carry directly.
+        self.n += other.n - other.current.len() as u64;
+        for (h, level) in other.levels.into_iter().enumerate() {
+            if let Some(buf) = level {
+                self.carry(h, buf);
+            }
+        }
+        // The other side's tail has weight 1: replay it element-wise
+        // (observe re-counts it into `n`).
+        for v in other.current {
+            self.observe(v);
+        }
+    }
+
     /// The summary as `(value, weight)` pairs. Total weight equals the
     /// number of *completed-buffer* elements; the tail still in the level-0
     /// buffer is included with weight 1.

@@ -58,6 +58,42 @@ impl MisraGries {
         self.counters.get(&x).copied().unwrap_or(0)
     }
 
+    /// Merge another Misra–Gries summary into this one (the \[ACHPWY12\]
+    /// "mergeable summaries" merge): counters add, then if more than `k`
+    /// survive, the `(k+1)`-th largest count is subtracted from every
+    /// counter and non-positive counters are dropped — the merged analogue
+    /// of the decrement-all step. Each side contributes its own
+    /// `nᵢ/(k+1)` undercount and the subtraction adds at most the same
+    /// slack, so the merged error stays `≤ n/(k+1)` over the union.
+    ///
+    /// **Caveat:** the bound is on *estimates*, not state — the merged
+    /// counter set generally differs from a one-pass run over the
+    /// concatenated stream (merge order changes which small counters
+    /// survive), so compare answers, not internals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summaries have different counter budgets `k`.
+    pub fn merge(&mut self, other: Self) {
+        assert_eq!(
+            self.k, other.k,
+            "cannot merge Misra-Gries summaries of different k"
+        );
+        self.n += other.n;
+        for (x, c) in other.counters {
+            *self.counters.entry(x).or_insert(0) += c;
+        }
+        if self.counters.len() > self.k {
+            let mut counts: Vec<u64> = self.counters.values().copied().collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            let cut = counts[self.k];
+            self.counters.retain(|_, c| {
+                *c = c.saturating_sub(cut);
+                *c > 0
+            });
+        }
+    }
+
     /// Elements whose *estimated* density is at least `threshold`.
     /// With `threshold = α − ε` and `k ≥ 1/ε`, this contains every true
     /// α-heavy hitter.

@@ -59,6 +59,73 @@ impl SpaceSaving {
         self.counters.get(&x).map(|&(c, _)| c).unwrap_or(0)
     }
 
+    /// Merge another SpaceSaving summary into this one (the standard
+    /// parallel-SpaceSaving merge): for every item tracked by either
+    /// side, counts add — an item a side does *not* track contributes
+    /// that side's minimum count as both count and overestimation error,
+    /// since the untracked true count can be anywhere in `[0, min]` —
+    /// and the `k` largest merged counters survive. Each side's
+    /// overestimate is `≤ nᵢ/k`, so merged estimates overcount by at most
+    /// `n/k` over the union and never undercount tracked items.
+    ///
+    /// **Caveat:** as with Misra–Gries, the guarantee is on estimates,
+    /// not state — the surviving counter set depends on merge order, and
+    /// the sum-of-counts-equals-`n` invariant of the streaming path does
+    /// not survive merging (dropped counters take their mass with them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summaries have different counter budgets `k`.
+    pub fn merge(&mut self, other: Self) {
+        assert_eq!(
+            self.k, other.k,
+            "cannot merge SpaceSaving summaries of different k"
+        );
+        let floor_of = |s: &Self| {
+            if s.counters.len() < s.k {
+                0
+            } else {
+                s.counters.values().map(|&(c, _)| c).min().unwrap_or(0)
+            }
+        };
+        let (floor_a, floor_b) = (floor_of(self), floor_of(&other));
+        let mut merged: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        for (&x, &(c, e)) in &self.counters {
+            let (cb, eb) = other
+                .counters
+                .get(&x)
+                .copied()
+                .unwrap_or((floor_b, floor_b));
+            merged.insert(x, (c + cb, e + eb));
+        }
+        for (&x, &(c, e)) in &other.counters {
+            merged.entry(x).or_insert((c + floor_a, e + floor_a));
+        }
+        if merged.len() > self.k {
+            let mut counts: Vec<u64> = merged.values().map(|&(c, _)| c).collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            let cut = counts[self.k - 1];
+            // Keep everything strictly above the cut unconditionally, then
+            // fill the remaining slots from the ties at the cut — a plain
+            // "first k with c >= cut" walk could exhaust the budget on
+            // tied small counters and evict a heavier one behind them.
+            let strict = counts.iter().filter(|&&c| c > cut).count();
+            let mut tie_budget = self.k - strict;
+            merged.retain(|_, &mut (c, _)| {
+                if c > cut {
+                    true
+                } else if c == cut && tie_budget > 0 {
+                    tie_budget -= 1;
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        self.counters = merged;
+        self.n += other.n;
+    }
+
     /// Guaranteed lower bound on the count of `x`
     /// (`estimate − overestimation`).
     pub fn guaranteed(&self, x: u64) -> u64 {
@@ -88,6 +155,25 @@ impl SpaceSaving {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_keeps_heavy_counter_behind_tied_small_ones() {
+        // Regression: merged counters {1: 5, 2: 5, 3: 9} at k = 2 put the
+        // cut at 5 with the heavy item *after* two tied counters in key
+        // order; the prune must never evict the strictly heavier counter.
+        let mut a = SpaceSaving::new(2);
+        for x in [1u64, 1, 1, 3, 3, 3, 3, 3] {
+            a.observe(x);
+        }
+        let mut b = SpaceSaving::new(2);
+        for x in [2u64, 2, 3, 3, 3, 3] {
+            b.observe(x);
+        }
+        a.merge(b);
+        assert_eq!(a.estimate(3), 9, "heavy counter evicted by tie at cut");
+        assert_eq!(a.observed(), 14);
+        assert_eq!(a.heavy_hitters(0.0).first(), Some(&(3u64, 9)));
+    }
 
     #[test]
     fn exact_when_items_fit() {

@@ -13,7 +13,9 @@ use crate::kll::KllSketch;
 use crate::merge_reduce::MergeReduce;
 use crate::misra_gries::MisraGries;
 use crate::space_saving::SpaceSaving;
-use robust_sampling_core::engine::{FrequencySummary, QuantileSummary, StreamSummary};
+use robust_sampling_core::engine::{
+    FrequencySummary, MergeableSummary, QuantileSummary, StreamSummary,
+};
 
 impl StreamSummary<u64> for GkSummary {
     fn ingest(&mut self, x: u64) {
@@ -206,6 +208,49 @@ impl FrequencySummary<u64> for CountMin {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Merge capability (see each sketch's inherent `merge` for the exact
+// soundness contract: Count-Min merges exactly; KLL, GK, and merge-reduce
+// preserve their ±εn rank-error class; Misra-Gries and SpaceSaving keep
+// their n/(k+1) resp. n/k estimate bounds but not their counter state).
+// ---------------------------------------------------------------------------
+
+impl MergeableSummary<u64> for GkSummary {
+    fn merge(&mut self, other: Self) {
+        GkSummary::merge(self, other);
+    }
+}
+
+impl MergeableSummary<u64> for KllSketch {
+    fn merge(&mut self, other: Self) {
+        KllSketch::merge(self, other);
+    }
+}
+
+impl MergeableSummary<u64> for MergeReduce {
+    fn merge(&mut self, other: Self) {
+        MergeReduce::merge(self, other);
+    }
+}
+
+impl MergeableSummary<u64> for MisraGries {
+    fn merge(&mut self, other: Self) {
+        MisraGries::merge(self, other);
+    }
+}
+
+impl MergeableSummary<u64> for SpaceSaving {
+    fn merge(&mut self, other: Self) {
+        SpaceSaving::merge(self, other);
+    }
+}
+
+impl MergeableSummary<u64> for CountMin {
+    fn merge(&mut self, other: Self) {
+        CountMin::merge(self, other);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +302,103 @@ mod tests {
         }
         let r = gk.estimate_rank(&10_000);
         assert!((r - 10_000.0).abs() < 500.0, "gk rank {r}");
+    }
+
+    #[test]
+    fn count_min_merge_is_exact_and_order_insensitive() {
+        let stream: Vec<u64> = (0..9_000).map(|i| i % 300).collect();
+        let mut whole = CountMin::with_seed(4, 256, 9);
+        whole.ingest_batch(&stream);
+        let thirds: Vec<CountMin> = stream
+            .chunks(3_000)
+            .map(|chunk| {
+                let mut cm = CountMin::with_seed(4, 256, 9);
+                cm.ingest_batch(chunk);
+                cm
+            })
+            .collect();
+        for order in [[0, 1, 2], [2, 0, 1], [1, 2, 0]] {
+            let mut merged = thirds[order[0]].clone();
+            merged.merge(thirds[order[1]].clone());
+            merged.merge(thirds[order[2]].clone());
+            assert_eq!(merged.observed(), 9_000);
+            for x in 0..300u64 {
+                assert_eq!(merged.estimate(x), whole.estimate(x), "item {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_sketch_merges_stay_in_error_class() {
+        // Two halves of a permutation of 0..n, merged, must answer
+        // quantiles within the single-sketch error class.
+        let n = 40_000u64;
+        let stream: Vec<u64> = (0..n).map(|i| (i * 2_654_435_761) % n).collect();
+        let (lo, hi) = stream.split_at(stream.len() / 2);
+        let mk_gk = || GkSummary::new(0.01);
+        let mk_kll = || KllSketch::with_seed(256, 3);
+        let mk_mr = || MergeReduce::for_eps(0.01, n as usize);
+        macro_rules! check {
+            ($mk:expr, $tol:expr, $name:literal) => {{
+                let mut a = $mk();
+                let mut b = $mk();
+                a.ingest_batch(lo);
+                b.ingest_batch(hi);
+                MergeableSummary::merge(&mut a, b);
+                assert_eq!(a.items_seen(), n as usize, $name);
+                for q in [0.1, 0.5, 0.9] {
+                    let v = a.estimate_quantile(q).unwrap() as f64;
+                    let err = (v + 1.0 - q * n as f64).abs() / n as f64;
+                    assert!(err <= $tol, "{} q={q}: err {err}", $name);
+                }
+            }};
+        }
+        check!(mk_gk, 0.02, "gk");
+        check!(mk_kll, 0.03, "kll");
+        check!(mk_mr, 0.02, "merge-reduce");
+    }
+
+    #[test]
+    fn counter_summaries_merge_within_bounds() {
+        // 42 is 20% of each third; merged estimates must respect the
+        // n/(k+1) undercount (MG) and n/k overcount (SS) bounds.
+        let n = 9_000u64;
+        let k = 30usize;
+        let stream: Vec<u64> = (0..n)
+            .map(|i| if i % 5 == 0 { 42 } else { 1_000 + i })
+            .collect();
+        let truth = stream.iter().filter(|&&x| x == 42).count() as u64;
+        for order in [[0usize, 1, 2], [2, 1, 0]] {
+            let parts: Vec<MisraGries> = stream
+                .chunks(3_000)
+                .map(|c| {
+                    let mut s = MisraGries::new(k);
+                    s.ingest_batch(c);
+                    s
+                })
+                .collect();
+            let mut mg = parts[order[0]].clone();
+            mg.merge(parts[order[1]].clone());
+            mg.merge(parts[order[2]].clone());
+            let est = mg.estimate(42);
+            assert!(est <= truth, "MG must undercount");
+            assert!(truth - est <= n / (k as u64 + 1), "MG err {}", truth - est);
+
+            let parts: Vec<SpaceSaving> = stream
+                .chunks(3_000)
+                .map(|c| {
+                    let mut s = SpaceSaving::new(k);
+                    s.ingest_batch(c);
+                    s
+                })
+                .collect();
+            let mut ss = parts[order[0]].clone();
+            ss.merge(parts[order[1]].clone());
+            ss.merge(parts[order[2]].clone());
+            let est = ss.estimate(42);
+            assert!(est >= truth, "SS must not undercount tracked hitters");
+            assert!(est - truth <= n / k as u64, "SS err {}", est - truth);
+        }
     }
 
     #[test]

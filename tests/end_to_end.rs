@@ -17,7 +17,7 @@ const UNIVERSE: u64 = 1 << 20;
 const EPS: f64 = 0.12;
 const DELTA: f64 = 0.05;
 
-fn adversary_suite(seed: u64) -> Vec<Box<dyn Adversary<u64>>> {
+fn adversary_suite(seed: u64) -> Vec<Box<dyn Adversary<u64> + Send>> {
     vec![
         Box::new(RandomAdversary::new(UNIVERSE, seed)),
         Box::new(StaticAdversary::new(streamgen::sorted_ramp(N, UNIVERSE))),

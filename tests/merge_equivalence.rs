@@ -1,0 +1,367 @@
+//! Merge soundness across the engine: a K-way sharded ingest followed by
+//! a merge must answer like a single summary over the whole stream —
+//! exactly for the linear/key-based summaries (Count-Min, bottom-k),
+//! within the summary's error bound for the rest — and merging must be
+//! order-insensitive for the deterministic sketches.
+
+use proptest::prelude::*;
+use robust_sampling::core::approx::prefix_discrepancy;
+use robust_sampling::core::engine::{
+    FrequencySummary, MergeableSummary, QuantileSummary, ShardedSummary, StreamSummary,
+};
+use robust_sampling::core::sampler::{
+    BernoulliSampler, BottomKSampler, ReservoirSampler, StreamSampler,
+};
+use robust_sampling::core::sketch::{RobustHeavyHitterSketch, RobustQuantileSketch};
+use robust_sampling::sketches::count_min::CountMin;
+use robust_sampling::sketches::gk::GkSummary;
+use robust_sampling::sketches::kll::KllSketch;
+use robust_sampling::sketches::merge_reduce::MergeReduce;
+use robust_sampling::sketches::misra_gries::MisraGries;
+use robust_sampling::sketches::space_saving::SpaceSaving;
+use robust_sampling::streamgen;
+
+/// K-way shard `stream` into summaries built by `factory`, merge, return.
+fn shard_and_merge<S, F>(stream: &[u64], shards: usize, factory: F) -> S
+where
+    S: MergeableSummary<u64> + Send,
+    F: FnMut(usize, u64) -> S,
+{
+    let mut sharded = ShardedSummary::new(shards, 99, factory);
+    sharded.ingest_batch(stream);
+    sharded.into_merged()
+}
+
+// ---------------------------------------------------------------------------
+// Samplers: the merged sample must carry the single-sampler guarantee.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_reservoir_matches_single_shard_within_bound() {
+    let n = 200_000;
+    let stream = streamgen::uniform(n, 1 << 30, 5);
+    let k = 512;
+    let mut single = ReservoirSampler::with_seed(k, 7);
+    single.ingest_batch(&stream);
+    let d_single = prefix_discrepancy(&stream, single.sample()).value;
+    for shards in [2usize, 4, 8] {
+        let merged: ReservoirSampler<u64> = shard_and_merge(&stream, shards, |_, seed| {
+            ReservoirSampler::with_seed(k, seed)
+        });
+        assert_eq!(merged.observed(), n, "K={shards}");
+        assert_eq!(merged.sample().len(), k, "K={shards}");
+        let d = prefix_discrepancy(&stream, merged.sample()).value;
+        // Same error class as the single reservoir: both are ~2/sqrt(k).
+        let bound = (2.0 / (k as f64).sqrt()).max(2.0 * d_single);
+        assert!(d <= bound, "K={shards}: merged disc {d} > {bound}");
+    }
+}
+
+#[test]
+fn sharded_bernoulli_is_exactly_the_union_of_shard_samples() {
+    let n = 100_000;
+    let stream = streamgen::uniform(n, 1 << 20, 9);
+    let mut sharded = ShardedSummary::new(4, 3, |_, seed| BernoulliSampler::with_seed(0.02, seed));
+    sharded.ingest_batch(&stream);
+    let expect: Vec<u64> = sharded
+        .shards()
+        .iter()
+        .flat_map(|s| s.sample().iter().copied())
+        .collect();
+    let merged = sharded.into_merged();
+    assert_eq!(merged.sample(), expect.as_slice());
+    assert_eq!(merged.observed(), n);
+    // Size concentrates around p·n, and the sample stays representative.
+    let size = merged.sample().len() as f64;
+    assert!((size - 2_000.0).abs() < 300.0, "sample size {size}");
+    let d = prefix_discrepancy(&stream, merged.sample()).value;
+    assert!(d < 0.05, "merged bernoulli discrepancy {d}");
+}
+
+#[test]
+fn sharded_bottom_k_equals_global_bottom_k_of_all_keys() {
+    // Bottom-k merge is exact: the merged sample is the k elements with
+    // the smallest keys across all shards.
+    let stream = streamgen::uniform(50_000, 1 << 20, 11);
+    let mut sharded = ShardedSummary::new(4, 13, |_, seed| BottomKSampler::with_seed(64, seed));
+    sharded.ingest_batch(&stream);
+    let mut all: Vec<(f64, u64)> = sharded
+        .shards()
+        .iter()
+        .flat_map(|s| s.keys().iter().copied().zip(s.sample().iter().copied()))
+        .collect();
+    all.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut expect: Vec<u64> = all[..64].iter().map(|&(_, x)| x).collect();
+    let merged = sharded.into_merged();
+    let mut got = merged.sample().to_vec();
+    expect.sort_unstable();
+    got.sort_unstable();
+    assert_eq!(got, expect);
+    assert_eq!(merged.observed(), 50_000);
+}
+
+// ---------------------------------------------------------------------------
+// Robust sketches: the (ε, δ) / (α, ε) contracts must survive sharding.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_robust_quantiles_answer_within_eps() {
+    let n = 120_000u64;
+    let eps = 0.1;
+    let stream: Vec<u64> = (0..n).map(|i| (i * 2_654_435_761) % n).collect();
+    for shards in [2usize, 4] {
+        let mut sharded = ShardedSummary::new(shards, 21, |_, seed| {
+            RobustQuantileSketch::<u64>::new(20.0, eps, 0.05, seed)
+        });
+        sharded.ingest_batch(&stream);
+        for q in [0.1, 0.5, 0.9] {
+            let v = sharded.estimate_quantile(q).expect("non-empty") as f64;
+            // Stream is a permutation of 0..n: true rank of v is v+1.
+            let err = (v + 1.0 - q * n as f64).abs() / n as f64;
+            assert!(err <= eps, "K={shards} q={q}: rank error {err} > eps");
+        }
+        let r = sharded.estimate_rank(&(n / 2));
+        assert!((r / n as f64 - 0.5).abs() <= eps, "K={shards} rank {r}");
+    }
+}
+
+#[test]
+fn sharded_robust_heavy_hitters_keep_their_contract() {
+    let n = 80_000u64;
+    // 17 has density 25%; everything else is (almost) distinct.
+    let stream: Vec<u64> = (0..n)
+        .map(|i| if i % 4 == 0 { 17 } else { 1_000 + i })
+        .collect();
+    let mut sharded = ShardedSummary::new(4, 33, |_, seed| {
+        RobustHeavyHitterSketch::<u64>::new(17.0, 0.1, 0.06, 0.05, seed)
+    });
+    sharded.ingest_batch(&stream);
+    let heavy = sharded.heavy_items(0.1);
+    assert!(heavy.iter().any(|&(x, _)| x == 17), "missed the 25% hitter");
+    assert!(
+        heavy.iter().all(|&(x, _)| x == 17),
+        "spurious report: {heavy:?}"
+    );
+    let c = sharded.estimate_count(&17);
+    assert!((c - n as f64 / 4.0).abs() < 0.06 * n as f64, "count {c}");
+}
+
+// ---------------------------------------------------------------------------
+// Baseline sketches: exactness where promised, bounds everywhere, order
+// insensitivity for the deterministic merges.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_count_min_is_bit_identical_to_single_sketch() {
+    let stream = streamgen::zipf(60_000, 1 << 16, 1.2, 3);
+    let mut single = CountMin::with_seed(4, 512, 77);
+    single.ingest_batch(&stream);
+    // Count-Min needs shared hashes: every shard uses the same seed.
+    let merged: CountMin = shard_and_merge(&stream, 8, |_, _| CountMin::with_seed(4, 512, 77));
+    assert_eq!(merged.observed(), single.observed());
+    for x in (0..1u64 << 16).step_by(257) {
+        assert_eq!(merged.estimate(x), single.estimate(x), "item {x}");
+    }
+}
+
+#[test]
+fn count_min_merge_is_order_insensitive() {
+    let stream = streamgen::uniform(30_000, 1 << 12, 4);
+    let parts: Vec<CountMin> = stream
+        .chunks(10_000)
+        .map(|c| {
+            let mut cm = CountMin::with_seed(4, 256, 5);
+            cm.ingest_batch(c);
+            cm
+        })
+        .collect();
+    let merge_in = |order: [usize; 3]| {
+        let mut m = parts[order[0]].clone();
+        m.merge(parts[order[1]].clone());
+        m.merge(parts[order[2]].clone());
+        m
+    };
+    let a = merge_in([0, 1, 2]);
+    for order in [[1usize, 0, 2], [2, 1, 0], [0, 2, 1]] {
+        let b = merge_in(order);
+        for x in (0..1u64 << 12).step_by(37) {
+            assert_eq!(a.estimate(x), b.estimate(x), "order {order:?}, item {x}");
+        }
+    }
+}
+
+#[test]
+fn sharded_quantile_sketches_stay_in_error_class() {
+    let n = 64_000u64;
+    let stream: Vec<u64> = (0..n).map(|i| (i * 2_654_435_761) % n).collect();
+    // GK and merge-reduce merges preserve ε; KLL stays in the same class.
+    for shards in [2usize, 4] {
+        let gk: GkSummary = shard_and_merge(&stream, shards, |_, _| GkSummary::new(0.02));
+        let kll: KllSketch =
+            shard_and_merge(&stream, shards, |_, seed| KllSketch::with_seed(256, seed));
+        let mr: MergeReduce = shard_and_merge(&stream, shards, |_, _| {
+            MergeReduce::for_eps(0.02, n as usize)
+        });
+        for (name, v) in [
+            ("gk", gk.estimate_quantile(0.5)),
+            ("kll", kll.estimate_quantile(0.5)),
+            ("merge-reduce", mr.estimate_quantile(0.5)),
+        ] {
+            let v = v.expect("non-empty") as f64;
+            let err = (v + 1.0 - 0.5 * n as f64).abs() / n as f64;
+            assert!(err <= 0.04, "K={shards} {name}: median rank error {err}");
+        }
+    }
+}
+
+#[test]
+fn quantile_merges_are_order_insensitive_within_bounds() {
+    // Deterministic quantile sketches may differ internally by merge
+    // order, but every order must stay inside the error bound.
+    let n = 48_000u64;
+    let stream: Vec<u64> = (0..n).map(|i| (i * 48_271) % n).collect();
+    let parts: Vec<GkSummary> = stream
+        .chunks(16_000)
+        .map(|c| {
+            let mut s = GkSummary::new(0.02);
+            c.iter().for_each(|&x| s.observe(x));
+            s
+        })
+        .collect();
+    for order in [[0usize, 1, 2], [2, 0, 1], [1, 2, 0]] {
+        let mut m = parts[order[0]].clone();
+        m.merge(parts[order[1]].clone());
+        m.merge(parts[order[2]].clone());
+        assert_eq!(m.observed(), n);
+        for q in [0.25, 0.5, 0.75] {
+            let v = m.quantile(q).expect("non-empty") as f64;
+            let err = (v + 1.0 - q * n as f64).abs() / n as f64;
+            assert!(err <= 0.04, "order {order:?} q={q}: error {err}");
+        }
+    }
+}
+
+#[test]
+fn sharded_counter_summaries_respect_their_merged_bounds() {
+    let n = 90_000u64;
+    let k = 40usize;
+    // Three hitters at 20%, 10%, 5%; the rest near-distinct noise.
+    let stream: Vec<u64> = (0..n)
+        .map(|i| match i % 20 {
+            0..=3 => 1,
+            4 | 5 => 2,
+            6 => 3,
+            _ => 10_000 + i,
+        })
+        .collect();
+    let truth = |x: u64| stream.iter().filter(|&&v| v == x).count() as u64;
+    for shards in [2usize, 4, 8] {
+        let mg: MisraGries = shard_and_merge(&stream, shards, |_, _| MisraGries::new(k));
+        let ss: SpaceSaving = shard_and_merge(&stream, shards, |_, _| SpaceSaving::new(k));
+        for x in [1u64, 2, 3] {
+            let t = truth(x);
+            let mg_est = mg.estimate(x);
+            assert!(mg_est <= t, "K={shards} MG overcounted {x}");
+            assert!(
+                t - mg_est <= n / (k as u64 + 1),
+                "K={shards} MG error {} > n/(k+1)",
+                t - mg_est
+            );
+            let ss_est = ss.estimate(x);
+            assert!(ss_est >= t, "K={shards} SS undercounted tracked {x}");
+            assert!(
+                ss_est - t <= n / k as u64,
+                "K={shards} SS error {} > n/k",
+                ss_est - t
+            );
+        }
+        // Both must still surface the 20% hitter at a 15% threshold.
+        assert!(mg.heavy_hitters(0.15).iter().any(|&(x, _)| x == 1));
+        assert!(ss.heavy_hitters(0.15).iter().any(|&(x, _)| x == 1));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: arbitrary streams, shard counts, and merge orders.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Reservoir sharded ingest + merge: the merged sample is always a
+    /// size-min(k, n) subset of the stream with the full count.
+    #[test]
+    fn reservoir_shard_merge_invariants(
+        n in 1usize..4_000,
+        k in 1usize..200,
+        shards in 1usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let stream: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        let mut sharded = ShardedSummary::new(
+            shards,
+            seed,
+            |_, s| ReservoirSampler::with_seed(k, s),
+        );
+        sharded.ingest_batch(&stream);
+        prop_assert_eq!(sharded.items_seen(), n);
+        let merged = sharded.into_merged();
+        prop_assert_eq!(merged.observed(), n);
+        prop_assert_eq!(merged.sample().len(), k.min(n));
+        for x in merged.sample() {
+            prop_assert!(stream.contains(x));
+        }
+    }
+
+    /// Bernoulli shard + merge: counts add exactly and every sampled
+    /// element comes from the stream.
+    #[test]
+    fn bernoulli_shard_merge_invariants(
+        n in 0usize..4_000,
+        p in 0.0f64..=1.0,
+        shards in 1usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let stream: Vec<u64> = (0..n as u64).collect();
+        let mut sharded = ShardedSummary::new(
+            shards,
+            seed,
+            |_, s| BernoulliSampler::with_seed(p, s),
+        );
+        sharded.ingest_batch(&stream);
+        let merged = sharded.into_merged();
+        prop_assert_eq!(merged.observed(), n);
+        if p >= 1.0 {
+            prop_assert_eq!(merged.sample().len(), n);
+        }
+        for x in merged.sample() {
+            prop_assert!((*x as usize) < n.max(1));
+        }
+    }
+
+    /// Misra–Gries merged estimates never overcount and never trail the
+    /// truth by more than n/(k+1), for any 2-way split point.
+    #[test]
+    fn misra_gries_merge_bound_any_split(
+        n in 2usize..3_000,
+        k in 1usize..60,
+        cut_frac in 0.0f64..1.0,
+        modulus in 1u64..50,
+    ) {
+        let stream: Vec<u64> = (0..n as u64).map(|i| i % modulus).collect();
+        let cut = ((n as f64 * cut_frac) as usize).min(n - 1);
+        let (lo, hi) = stream.split_at(cut);
+        let mut a = MisraGries::new(k);
+        let mut b = MisraGries::new(k);
+        a.ingest_batch(lo);
+        b.ingest_batch(hi);
+        a.merge(b);
+        prop_assert_eq!(a.observed(), n as u64);
+        for x in 0..modulus {
+            let t = stream.iter().filter(|&&v| v == x).count() as u64;
+            let est = a.estimate(x);
+            prop_assert!(est <= t);
+            prop_assert!(t - est <= n as u64 / (k as u64 + 1));
+        }
+    }
+}
