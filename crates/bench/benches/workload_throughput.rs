@@ -1,0 +1,126 @@
+//! Chunked-source ingest vs pre-materialized ingest at 10M elements —
+//! the acceptance bench for the lazy `StreamSource` layer.
+//!
+//! The comparison that matters is pipeline vs pipeline: the legacy path
+//! **materializes** the workload (80 MB for 10M `u64`s) and hands the
+//! summary one giant slice; the streaming path pulls
+//! `SOURCE_FRAME`-sized chunks straight off the generator and never holds
+//! more than one frame. The target: the streaming pipeline costs **≤ 5%
+//! throughput** against the materialized one — in practice it wins,
+//! because it trades an 80 MB allocate/fill/re-read round trip for a
+//! cache-resident frame.
+//!
+//! A second, informational section isolates the pure chunk-split cost
+//! (same resident slice, frame-sliced vs whole): for `Θ(n)`-work
+//! summaries that is one extra frame copy per 64Ki elements; for the
+//! gap-skipping samplers, whose whole-slice ingest is microseconds, the
+//! frame copies dominate — which is exactly why their end-to-end lazy
+//! pipeline is still ~2x faster than materialize-first.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use robust_sampling_core::engine::{StreamSummary, SOURCE_FRAME};
+use robust_sampling_core::sampler::{ReservoirSampler, StreamSampler};
+use robust_sampling_sketches::count_min::CountMin;
+use robust_sampling_streamgen::source::for_each_chunk;
+use robust_sampling_streamgen::{SliceSource, StreamSource, UniformSource};
+use std::hint::black_box;
+use std::time::Instant;
+
+const N: usize = 10_000_000;
+const RESERVOIR_K: usize = 4_096;
+
+/// Drain `source` into `summary` one SOURCE_FRAME at a time.
+fn ingest_from_source<S: StreamSummary<u64>>(summary: &mut S, source: &mut impl StreamSource<u64>) {
+    for_each_chunk(source, SOURCE_FRAME, |chunk| summary.ingest_batch(chunk));
+}
+
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    f(); // warm-up
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The printed A/B acceptance check (criterion's per-bench medians are
+/// noisy for the ratio we care about, so measure the pairs directly).
+fn streaming_vs_materialized(_c: &mut Criterion) {
+    println!("streaming-source pipeline vs materialize-first pipeline (10M elements, best of 5):");
+    let cases: Vec<(&str, f64, f64)> = vec![
+        (
+            "count-min (Theta(n) work)",
+            best_of(5, || {
+                let stream = robust_sampling_streamgen::uniform(N, 1 << 30, 1);
+                let mut s = CountMin::for_guarantee(0.001, 0.01, 1);
+                s.ingest_batch(black_box(&stream));
+                s.space()
+            }),
+            best_of(5, || {
+                let mut src = UniformSource::new(N, 1 << 30, 1);
+                let mut s = CountMin::for_guarantee(0.001, 0.01, 1);
+                ingest_from_source(&mut s, black_box(&mut src));
+                s.space()
+            }),
+        ),
+        (
+            "reservoir k=4096 (sublinear)",
+            best_of(5, || {
+                let stream = robust_sampling_streamgen::uniform(N, 1 << 30, 1);
+                let mut s = ReservoirSampler::with_seed(RESERVOIR_K, 1);
+                s.ingest_batch(black_box(&stream));
+                s.sample().len()
+            }),
+            best_of(5, || {
+                let mut src = UniformSource::new(N, 1 << 30, 1);
+                let mut s = ReservoirSampler::with_seed(RESERVOIR_K, 1);
+                ingest_from_source(&mut s, black_box(&mut src));
+                s.sample().len()
+            }),
+        ),
+    ];
+    for (name, eager, lazy) in cases {
+        let overhead = lazy / eager - 1.0;
+        println!(
+            "  {name:<30} materialized {:>9.2} ms   streaming {:>9.2} ms   overhead {:>+7.2}%  [{}]",
+            eager * 1e3,
+            lazy * 1e3,
+            overhead * 100.0,
+            if overhead <= 0.05 {
+                "OK: <= 5% target"
+            } else {
+                "ABOVE 5% TARGET"
+            }
+        );
+    }
+
+    // Informational: pure chunk-split cost with the stream already
+    // resident (isolates the per-frame copy + re-entry overhead).
+    let stream = robust_sampling_streamgen::uniform(N, 1 << 30, 1);
+    let whole = best_of(5, || {
+        let mut s = CountMin::for_guarantee(0.001, 0.01, 1);
+        s.ingest_batch(black_box(&stream));
+        s.space()
+    });
+    let sliced = best_of(5, || {
+        let mut s = CountMin::for_guarantee(0.001, 0.01, 1);
+        let mut src = SliceSource::new(black_box(&stream));
+        ingest_from_source(&mut s, &mut src);
+        s.space()
+    });
+    println!(
+        "  (info) resident-slice chunk-split cost, count-min: whole {:.2} ms vs framed {:.2} ms ({:+.2}%)",
+        whole * 1e3,
+        sliced * 1e3,
+        (sliced / whole - 1.0) * 100.0
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = streaming_vs_materialized
+}
+criterion_main!(benches);

@@ -51,12 +51,18 @@ fn main() {
 
     let mut table = Table::new(&["stream", "mode", "worst server disc", "<= eps"]);
     let mut all_ok = true;
-    for (name, stream) in [
+    let mut suite = vec![
         ("uniform", streamgen::uniform(n, universe, 1)),
         ("zipf1.1", streamgen::zipf(n, universe, 1.1, 2)),
         ("two-phase(drift)", streamgen::two_phase(n, universe, 3)),
         ("sorted", streamgen::sorted_ramp(n, universe)),
-    ] {
+    ];
+    if let Some(w) = robust_sampling_bench::workload() {
+        if !suite.iter().any(|(name, _)| *name == w.name) {
+            suite.push((w.name, w.materialize(n, universe, 4)));
+        }
+    }
+    for (name, stream) in suite {
         // Single-threaded router.
         let mut lb = LoadBalancer::new(k_servers, 77);
         lb.run(&stream);

@@ -36,7 +36,7 @@ fn main() {
         "related work (HW13/NY15): linear sketches break under state-aware \
          adversaries; Thm 1.2 sampling at the same memory does not",
     );
-    let n = if is_quick() { 20_000usize } else { 100_000 };
+    let n = robust_sampling_bench::stream_len(if is_quick() { 20_000usize } else { 100_000 });
     let universe = 1u64 << 20;
     let alpha = 0.05;
     let eps = 0.03;
@@ -89,7 +89,12 @@ fn main() {
     let mut reservoir = ReservoirSampler::with_seed(k, 11);
 
     // The attack stream: decoy floods interleaved through the first 60%.
-    let noise = streamgen::uniform(n, universe, 2);
+    // Background traffic carrying the attack; `--workload` swaps in any
+    // registry scenario (the attack is traffic-agnostic).
+    let noise = match robust_sampling_bench::workload() {
+        Some(w) => w.materialize(n, universe, 2),
+        None => streamgen::uniform(n, universe, 2),
+    };
     let mut sent = 0usize;
     let stream: Vec<u64> = noise
         .iter()

@@ -12,7 +12,7 @@
 use robust_sampling_bench::{banner, f, init_cli, is_quick, verdict, Table};
 use robust_sampling_core::adversary::{
     Adversary, DiscreteAttackAdversary, GreedyDiscrepancyAdversary, QuantileHunterAdversary,
-    RandomAdversary, StaticAdversary,
+    RandomAdversary, SourceAdversary, StaticAdversary,
 };
 use robust_sampling_core::bounds;
 use robust_sampling_core::sampler::{BernoulliSampler, ReservoirSampler};
@@ -72,7 +72,7 @@ fn main() {
         "discrepancy <= eps w.p. 1-delta against ANY adversary once \
          d (VC) is replaced by ln|R| in the sample size",
     );
-    let n = if is_quick() { 4_000 } else { 20_000 };
+    let n = robust_sampling_bench::stream_len(if is_quick() { 4_000 } else { 20_000 });
     let trials = if is_quick() { 3 } else { 8 };
     let universe = 1u64 << 20;
     let system = PrefixSystem::new(universe);
@@ -89,7 +89,20 @@ fn main() {
     let engine = robust_sampling_bench::engine(n, trials).with_base_seed(7);
     let mut table = Table::new(&["adversary", "sampler", "worst disc", "eps", "ok"]);
     let mut all_ok = true;
-    for (name, make_adv) in adversary_suite(universe, n) {
+    let mut suite = adversary_suite(universe, n);
+    if let Some(w) = robust_sampling_bench::workload() {
+        // Registry override: stream the requested workload lazily through
+        // the SourceAdversary adapter — Theorem 1.2 must hold for it too.
+        // Skip names the default suite already covers (sorted, two-phase,
+        // zipf) rather than running them twice.
+        if !suite.iter().any(|(name, _)| *name == w.name) {
+            suite.push((
+                w.name,
+                Box::new(move |s| Box::new(SourceAdversary::new(w.source(n, universe, s))) as _),
+            ));
+        }
+    }
+    for (name, make_adv) in suite {
         for sampler_kind in ["reservoir", "bernoulli"] {
             let stats = if sampler_kind == "reservoir" {
                 engine.adaptive(&system, |s| ReservoirSampler::with_seed(k, s), &make_adv)

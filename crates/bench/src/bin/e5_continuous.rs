@@ -13,7 +13,8 @@
 
 use robust_sampling_bench::{banner, f, init_cli, is_quick, verdict, Table};
 use robust_sampling_core::adversary::{
-    Adversary, GreedyDiscrepancyAdversary, QuantileHunterAdversary, StaticAdversary,
+    Adversary, GreedyDiscrepancyAdversary, QuantileHunterAdversary, SourceAdversary,
+    StaticAdversary,
 };
 use robust_sampling_core::bounds;
 use robust_sampling_core::game::ContinuousAdaptiveGame;
@@ -31,7 +32,7 @@ fn main() {
     );
     // eps = 0.25 keeps the Theorem 1.4 constant (32/eps^2) below n so the
     // continuous sizing is non-trivial (k < n) at laptop-scale streams.
-    let n = if is_quick() { 20_000 } else { 60_000 };
+    let n = robust_sampling_bench::stream_len(if is_quick() { 20_000 } else { 60_000 });
     let trials = if is_quick() { 2 } else { 5 };
     let universe = 1u64 << 20;
     let system = PrefixSystem::new(universe);
@@ -54,11 +55,16 @@ fn main() {
     for (label, k) in [("plain(Thm1.2)", k_plain), ("continuous", k_cont)] {
         let game = ContinuousAdaptiveGame::geometric(n, k, eps);
         type AdvFactory<'a> = Box<dyn Fn(u64) -> Box<dyn Adversary<u64> + Send> + 'a>;
-        let factories: Vec<(&str, AdvFactory)> = vec![
+        let mut factories: Vec<(&str, AdvFactory)> = vec![
             (
                 "two-phase",
+                // Streamed lazily through the SourceAdversary adapter —
+                // same elements as a materialized StaticAdversary, one
+                // frame of memory.
                 Box::new(move |s| {
-                    Box::new(StaticAdversary::new(streamgen::two_phase(n, universe, s))) as _
+                    Box::new(SourceAdversary::new(streamgen::TwoPhaseSource::new(
+                        n, universe, s,
+                    ))) as _
                 }),
             ),
             (
@@ -70,6 +76,16 @@ fn main() {
                 Box::new(move |s| Box::new(QuantileHunterAdversary::new(universe, s)) as _),
             ),
         ];
+        if let Some(w) = robust_sampling_bench::workload() {
+            if !factories.iter().any(|(name, _)| *name == w.name) {
+                factories.push((
+                    w.name,
+                    Box::new(move |s| {
+                        Box::new(SourceAdversary::new(w.source(n, universe, s))) as _
+                    }),
+                ));
+            }
+        }
         for (adv_name, make_adv) in factories {
             let stats = engine.continuous_sup(
                 &game,

@@ -49,7 +49,7 @@ fn main() {
         "sample size O((ln|U| + ln 1/d)/e^2) answers all quantiles within \
          ±e n adaptively; VC-sized samples fail",
     );
-    let n = if is_quick() { 8_000 } else { 40_000 };
+    let n = robust_sampling_bench::stream_len(if is_quick() { 8_000 } else { 40_000 });
     let trials = if is_quick() { 3 } else { 6 };
     let universe = 1u64 << 20;
     let system = PrefixSystem::new(universe);
@@ -63,12 +63,24 @@ fn main() {
     let mut table = Table::new(&["method", "space", "stream", "worst rank err", "<= eps"]);
     let mut robust_ok = true;
 
-    for stream_kind in ["uniform", "hunter(adaptive)"] {
+    let mut stream_kinds = vec!["uniform", "hunter(adaptive)"];
+    let registry_workload = robust_sampling_bench::workload();
+    if let Some(w) = registry_workload {
+        if !stream_kinds.contains(&w.name) {
+            stream_kinds.push(w.name);
+        }
+    }
+    for stream_kind in stream_kinds {
         let make_adv = |s: u64| -> Box<dyn Adversary<u64> + Send> {
             if stream_kind == "uniform" {
                 Box::new(StaticAdversary::new(streamgen::uniform(n, universe, s)))
-            } else {
+            } else if stream_kind == "hunter(adaptive)" {
                 Box::new(QuantileHunterAdversary::new(universe, s))
+            } else {
+                let w = registry_workload.expect("registry kind implies --workload");
+                Box::new(robust_sampling_core::adversary::SourceAdversary::new(
+                    w.source(n, universe, s),
+                ))
             }
         };
         // The two sample sizings, judged per trial against the adaptive
@@ -102,6 +114,10 @@ fn main() {
         // through the unified QuantileSummary interface.
         let stream = match stream_kind {
             "uniform" => streamgen::uniform(n, universe, 400),
+            kind if registry_workload.is_some_and(|w| w.name == kind) => {
+                let w = registry_workload.expect("checked by guard");
+                w.materialize(n, universe, 400)
+            }
             _ => {
                 let outs = robust_sampling_bench::engine(n, 1)
                     .with_base_seed(400)

@@ -79,7 +79,7 @@ fn main() {
         "sample of size O((ln|U| + ln 1/d)/e^2), report density >= a - e/3: \
          no missed >=a hitters, no spurious <a-e reports",
     );
-    let n = if is_quick() { 10_000 } else { 50_000 };
+    let n = robust_sampling_bench::stream_len(if is_quick() { 10_000 } else { 50_000 });
     let trials = if is_quick() { 3 } else { 8 };
     let universe = 1u64 << 20;
     let alpha = 0.05;
@@ -104,7 +104,7 @@ fn main() {
         (missed.len(), spurious.len(), report.len())
     };
     type StreamGen = Box<dyn Fn(u64) -> Vec<u64>>;
-    let streams: Vec<(&str, StreamGen)> = vec![
+    let mut streams: Vec<(&str, StreamGen)> = vec![
         (
             "zipf1.2",
             Box::new(move |s| streamgen::zipf(n, universe, 1.2, s)),
@@ -121,6 +121,11 @@ fn main() {
             }),
         ),
     ];
+    if let Some(w) = robust_sampling_bench::workload() {
+        if !streams.iter().any(|(name, _)| *name == w.name) {
+            streams.push((w.name, Box::new(move |s| w.materialize(n, universe, s))));
+        }
+    }
     for (name, gen) in &streams {
         let results = engine.adaptive_map(
             |s| ReservoirSampler::with_seed(k, s),

@@ -52,6 +52,33 @@ fn main() {
                         }
                     }
                 }
+                "--n" => {
+                    fwd.push("--n".into());
+                    // Same lenient form cli::stream_len accepts (20_000).
+                    match args.get(i + 1).map(|v| v.replace('_', "").parse::<usize>()) {
+                        Some(Ok(len)) if len > 0 => {
+                            fwd.push(args[i + 1].clone());
+                            i += 1;
+                        }
+                        _ => {
+                            eprintln!("--n needs a positive integer argument");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                "--workload" => {
+                    fwd.push("--workload".into());
+                    match args.get(i + 1) {
+                        Some(name) if robust_sampling_streamgen::workload(name).is_some() => {
+                            fwd.push(name.clone());
+                            i += 1;
+                        }
+                        _ => {
+                            eprintln!("--workload needs a registered workload name");
+                            std::process::exit(2);
+                        }
+                    }
+                }
                 other => {
                     eprintln!("run_all: unknown option {other}");
                     std::process::exit(2);

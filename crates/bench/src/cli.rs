@@ -9,11 +9,17 @@
 //!   **bit-identical** to `--threads 1` (see
 //!   [`ExperimentEngine::threads`]), so the flag is purely a wall-clock
 //!   knob — verdicts and tables never change.
+//! * `--workload <name>` — pull an extra workload from the scenario
+//!   registry into the binaries that take a distribution ([`workload`]);
+//! * `--n <len>` — override the stream length ([`stream_len`]);
+//! * `--list-workloads` — print the scenario registry and exit
+//!   (handled by [`init_cli`]).
 //!
 //! Binaries construct engines through [`engine`], which applies the
 //! `--threads` setting so the flag reaches every trial loop.
 
 use robust_sampling_core::engine::ExperimentEngine;
+use robust_sampling_streamgen::{registry, WorkloadSpec};
 
 /// Whether `--quick` was passed (CI-sized sweeps).
 pub fn is_quick() -> bool {
@@ -37,19 +43,71 @@ pub fn threads() -> usize {
     }
 }
 
+/// The `--workload <name>` registry entry, if the flag was passed.
+///
+/// Exits with status 2 (after printing the registry) on an unknown name.
+pub fn workload() -> Option<&'static WorkloadSpec> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--workload")?;
+    match args.get(i + 1) {
+        Some(name) => match robust_sampling_streamgen::workload(name) {
+            Some(w) => Some(w),
+            None => {
+                eprintln!("unknown workload {name:?}; registered workloads:");
+                print_workloads();
+                std::process::exit(2);
+            }
+        },
+        None => {
+            eprintln!("--workload needs a registry name argument");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The `--n <len>` stream-length override; `default` when absent.
+///
+/// Exits with status 2 on a malformed or zero value.
+pub fn stream_len(default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(i) = args.iter().position(|a| a == "--n") else {
+        return default;
+    };
+    match args.get(i + 1).map(|v| v.replace('_', "").parse::<usize>()) {
+        Some(Ok(n)) if n > 0 => n,
+        _ => {
+            eprintln!("--n needs a positive integer argument");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Print the scenario registry as an aligned table.
+pub fn print_workloads() {
+    println!("{:<17} {:<55} defaults", "name", "shape");
+    for w in registry() {
+        println!("{:<17} {:<55} {}", w.name, w.shape, w.params);
+    }
+}
+
 /// An [`ExperimentEngine`] honouring the `--threads` flag — the one
 /// constructor experiment binaries should use.
 pub fn engine(n: usize, trials: usize) -> ExperimentEngine {
     ExperimentEngine::new(n, trials).threads(threads())
 }
 
-/// Handle the common flags: `--csv <dir>` routes every subsequent
+/// Handle the common flags: `--list-workloads` prints the scenario
+/// registry and exits; `--csv <dir>` routes every subsequent
 /// [`Table::emit`](crate::Table::emit) to CSV files in `dir` (by setting
-/// the environment variable the report layer reads), and `--threads` is
-/// validated eagerly so a typo fails before a long run. Call once at the
-/// top of `main`.
+/// the environment variable the report layer reads); `--threads`,
+/// `--workload`, and `--n` are validated eagerly so a typo fails before a
+/// long run. Call once at the top of `main`.
 pub fn init_cli() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--list-workloads") {
+        print_workloads();
+        std::process::exit(0);
+    }
     if let Some(i) = args.iter().position(|a| a == "--csv") {
         match args.get(i + 1) {
             Some(dir) => std::env::set_var(robust_sampling_core::engine::report::CSV_DIR_ENV, dir),
@@ -60,6 +118,8 @@ pub fn init_cli() {
         }
     }
     let _ = threads();
+    let _ = workload();
+    let _ = stream_len(1);
 }
 
 #[cfg(test)]
@@ -78,5 +138,11 @@ mod tests {
         assert_eq!(e.num_threads(), threads());
         assert_eq!(e.n(), 100);
         assert_eq!(e.trials(), 2);
+    }
+
+    #[test]
+    fn workload_and_n_default_when_flags_absent() {
+        assert!(workload().is_none());
+        assert_eq!(stream_len(1234), 1234);
     }
 }

@@ -15,14 +15,17 @@
 //!   `<dir>/<experiment>_<section>.csv` (one reporting path: the same
 //!   [`Table`] rows feed both sinks);
 //! * `--threads <n>` — fan the independent seeded trials across `n`
-//!   worker threads, bit-identical to the sequential run.
+//!   worker threads, bit-identical to the sequential run;
+//! * `--workload <name>` / `--n <len>` / `--list-workloads` — pull an
+//!   extra scenario-registry workload into the distribution-driven
+//!   binaries, override stream length, or list the registry.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
 
-pub use cli::{engine, init_cli, is_quick, threads};
+pub use cli::{engine, init_cli, is_quick, stream_len, threads, workload};
 pub use robust_sampling_core::engine::report::Table;
 
 /// Format a float with 4 significant decimals.

@@ -18,6 +18,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use robust_sampling_streamgen::source::{StreamSource, DEFAULT_FRAME};
 
 use crate::dyadic::Dyadic;
 use crate::sampler::Observation;
@@ -93,6 +94,69 @@ impl<T: Clone> Adversary<T> for StaticAdversary<T> {
 
     fn name(&self) -> &'static str {
         "static"
+    }
+}
+
+/// Adapts any lazy [`StreamSource`] into the adversary interface, so
+/// static (oblivious) workloads and adaptive attackers are interchangeable
+/// inside [`AdaptiveGame`](crate::game::AdaptiveGame) and
+/// [`ContinuousAdaptiveGame`](crate::game::ContinuousAdaptiveGame).
+///
+/// Unlike [`StaticAdversary`], which owns its whole stream, this adapter
+/// holds one frame (default [`DEFAULT_FRAME`] elements) and refills it
+/// from the source on demand — memory stays bounded by the frame no
+/// matter the game length. The source must produce at least as many
+/// elements as the game has rounds.
+#[derive(Debug)]
+pub struct SourceAdversary<S, T = u64> {
+    source: S,
+    buf: Vec<T>,
+    pos: usize,
+    frame: usize,
+}
+
+impl<S, T> SourceAdversary<S, T> {
+    /// Adapt a source at the default frame size.
+    pub fn new(source: S) -> Self {
+        Self::with_frame(source, DEFAULT_FRAME)
+    }
+
+    /// Adapt a source, refilling `frame` elements at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame == 0`.
+    pub fn with_frame(source: S, frame: usize) -> Self {
+        assert!(frame > 0, "frame must be positive");
+        Self {
+            source,
+            buf: Vec::new(),
+            pos: 0,
+            frame,
+        }
+    }
+
+    /// The wrapped source (e.g. to read generator state after a game).
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+}
+
+impl<T: Clone, S: StreamSource<T>> Adversary<T> for SourceAdversary<S, T> {
+    fn next(&mut self, _ctx: &RoundContext<'_, T>) -> T {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+            let got = self.source.next_chunk(&mut self.buf, self.frame);
+            assert!(got > 0, "stream source exhausted before the game ended");
+        }
+        let x = self.buf[self.pos].clone();
+        self.pos += 1;
+        x
+    }
+
+    fn name(&self) -> &'static str {
+        self.source.name()
     }
 }
 
@@ -788,6 +852,40 @@ mod tests {
         let out = AdaptiveGame::new(n).run(&mut sampler, &mut adv);
         let d = prefix_discrepancy(&out.stream, &out.sample).value;
         assert!(d > 0.25, "hunter too weak: discrepancy {d}");
+    }
+
+    #[test]
+    fn source_adversary_matches_static_adversary() {
+        use robust_sampling_streamgen::{SliceSource, TwoPhaseSource};
+        let n = 2_000usize;
+        let stream = robust_sampling_streamgen::two_phase(n, 1 << 16, 9);
+        // Same sampler seed + same elements => identical outcomes, whether
+        // the stream is pre-materialized or pulled lazily in tiny frames.
+        let mut s1 = ReservoirSampler::with_seed(32, 4);
+        let mut a1 = StaticAdversary::new(stream.clone());
+        let o1 = AdaptiveGame::new(n).run(&mut s1, &mut a1);
+        let mut s2 = ReservoirSampler::with_seed(32, 4);
+        let mut a2 = SourceAdversary::with_frame(SliceSource::new(&stream), 7);
+        let o2 = AdaptiveGame::new(n).run(&mut s2, &mut a2);
+        assert_eq!(o1.stream, o2.stream);
+        assert_eq!(o1.sample, o2.sample);
+        // A generator source plugged straight in produces the same stream
+        // it would materialize.
+        let mut s3 = ReservoirSampler::with_seed(32, 4);
+        let mut a3 = SourceAdversary::new(TwoPhaseSource::new(n, 1 << 16, 9));
+        let o3 = AdaptiveGame::new(n).run(&mut s3, &mut a3);
+        assert_eq!(o3.stream, stream);
+        assert_eq!(o3.sample, o1.sample);
+        assert_eq!(Adversary::<u64>::name(&a3), "two-phase");
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted before the game ended")]
+    fn source_adversary_panics_on_short_source() {
+        let stream: Vec<u64> = (0..10).collect();
+        let mut adv = SourceAdversary::new(robust_sampling_streamgen::SliceSource::new(&stream));
+        let mut sampler = BernoulliSampler::with_seed(0.5, 1);
+        let _ = AdaptiveGame::new(11).run(&mut sampler, &mut adv);
     }
 
     #[test]

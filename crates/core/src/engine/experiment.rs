@@ -34,6 +34,18 @@ use crate::game::{
 };
 use crate::sampler::StreamSampler;
 use crate::set_system::SetSystem;
+use robust_sampling_streamgen::source::{for_each_chunk, StreamSource, DEFAULT_FRAME};
+
+/// Frame size (elements) the engine pulls per [`StreamSource`] chunk on
+/// the source-driven trial paths: per-trial memory is one frame plus the
+/// summary, never the stream.
+pub const SOURCE_FRAME: usize = DEFAULT_FRAME;
+
+/// Drain a source into a summary in [`SOURCE_FRAME`]-sized frames through
+/// the batched hot path, reusing one buffer.
+fn drain_source<T: Clone, S: StreamSummary<T>>(summary: &mut S, source: &mut impl StreamSource<T>) {
+    for_each_chunk(source, SOURCE_FRAME, |chunk| summary.ingest_batch(chunk));
+}
 
 /// Aggregate of one scalar measurement across an engine run's trials.
 #[derive(Debug, Clone)]
@@ -424,6 +436,55 @@ impl ExperimentEngine {
         .collect()
     }
 
+    /// Drive a lazy [`StreamSource`] workload through the batched hot
+    /// path once per trial and map `(seed, summary)` to a record — the
+    /// constant-memory sibling of [`batch_map`](Self::batch_map): no
+    /// trial ever owns more than one [`SOURCE_FRAME`] of stream, so
+    /// 100M+-element runs cost summary + frame, not `Θ(n)` RAM.
+    ///
+    /// Because sources are deterministic per seed, judgments that need a
+    /// second look at the stream (e.g.
+    /// [`source_prefix_discrepancy`](crate::approx::source_prefix_discrepancy))
+    /// re-open the source inside `map` instead of buffering it.
+    pub fn source_map<T, S, Src, R>(
+        &self,
+        mut mk_summary: impl FnMut(u64) -> S,
+        mut mk_source: impl FnMut(u64) -> Src,
+        mut map: impl FnMut(u64, &S) -> R,
+    ) -> Vec<R>
+    where
+        T: Clone + Send,
+        S: StreamSummary<T> + Send,
+        Src: StreamSource<T> + Send,
+    {
+        if self.threads == 1 {
+            return self
+                .seeds()
+                .map(|seed| {
+                    let mut source = mk_source(seed);
+                    let mut summary = mk_summary(Self::sampler_seed(seed));
+                    drain_source(&mut summary, &mut source);
+                    map(seed, &summary)
+                })
+                .collect();
+        }
+        let inputs: Vec<(u64, Src, S)> = self
+            .seeds()
+            .map(|seed| {
+                let source = mk_source(seed);
+                let summary = mk_summary(Self::sampler_seed(seed));
+                (seed, source, summary)
+            })
+            .collect();
+        self.run_trials(inputs, |(seed, mut source, mut summary)| {
+            drain_source(&mut summary, &mut source);
+            (seed, summary)
+        })
+        .into_iter()
+        .map(|(seed, summary)| map(seed, &summary))
+        .collect()
+    }
+
     /// Construct `(seed, stream, summary)` per trial on the calling
     /// thread, in seed order (mirrors [`duelists`](Self::duelists)). Only
     /// the parallel paths use this — it materialises all `trials` streams
@@ -575,6 +636,26 @@ mod tests {
         );
         // k = n: the reservoir is the stream, so every prefix is exact.
         assert!(stats.worst() < 1e-9);
+    }
+
+    #[test]
+    fn source_map_equals_batch_map_sequential_and_threaded() {
+        use robust_sampling_streamgen::UniformSource;
+        let n = 40_000usize;
+        let via_batch: Vec<Vec<u64>> = ExperimentEngine::new(n, 4).batch_map(
+            |s| ReservoirSampler::with_seed(64, s),
+            |seed| robust_sampling_streamgen::uniform(n, 1 << 20, seed),
+            |_, _, summary| summary.sample().to_vec(),
+        );
+        for threads in [1usize, 3] {
+            let via_source: Vec<Vec<u64>> =
+                ExperimentEngine::new(n, 4).threads(threads).source_map(
+                    |s| ReservoirSampler::with_seed(64, s),
+                    |seed| UniformSource::new(n, 1 << 20, seed),
+                    |_, summary| summary.sample().to_vec(),
+                );
+            assert_eq!(via_batch, via_source, "threads={threads}");
+        }
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod report;
 pub mod sharded;
 pub mod summary;
 
-pub use experiment::{ExperimentEngine, RunStats};
+pub use experiment::{ExperimentEngine, RunStats, SOURCE_FRAME};
 pub use merge::MergeableSummary;
 pub use sharded::ShardedSummary;
 pub use summary::{FrequencySummary, QuantileSummary, StreamSummary};

@@ -26,6 +26,7 @@
 
 use crate::engine::merge::MergeableSummary;
 use crate::engine::summary::{FrequencySummary, QuantileSummary, StreamSummary};
+use robust_sampling_streamgen::source::{for_each_chunk, StreamSource};
 
 /// Batch length at or above which `ingest_batch` uses scoped worker
 /// threads (one per shard). Below it, the per-shard strides are ingested
@@ -90,6 +91,26 @@ impl<S> ShardedSummary<S> {
     /// The shard summaries, in shard order.
     pub fn shards(&self) -> &[S] {
         &self.shards
+    }
+
+    /// Pull a lazy [`StreamSource`] dry in `frame`-sized frames through
+    /// [`StreamSummary::ingest_batch`], returning the number of elements
+    /// ingested. Memory is one frame plus the shards, never the stream —
+    /// the fan-out path for 100M+-element sharded runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame == 0`.
+    pub fn ingest_source<T>(
+        &mut self,
+        source: &mut (impl StreamSource<T> + ?Sized),
+        frame: usize,
+    ) -> usize
+    where
+        T: Clone + Sync,
+        S: StreamSummary<T> + Send,
+    {
+        for_each_chunk(source, frame, |chunk| self.ingest_batch(chunk))
     }
 
     /// Merge all shards into one summary of the full stream (clones the
@@ -262,6 +283,27 @@ mod tests {
             for &b in &seeds[i + 1..] {
                 assert_ne!(a, b);
             }
+        }
+    }
+
+    #[test]
+    fn ingest_source_matches_ingest_batch() {
+        use robust_sampling_streamgen::{SliceSource, UniformSource};
+        let stream = robust_sampling_streamgen::uniform(60_000, 1 << 30, 3);
+        let mut whole = sharded_reservoir(4);
+        whole.ingest_batch(&stream);
+        // Frame-pulled from a slice, at an awkward frame size.
+        let mut framed = sharded_reservoir(4);
+        let total = framed.ingest_source(&mut SliceSource::new(&stream), 777);
+        assert_eq!(total, stream.len());
+        for (a, b) in whole.shards().iter().zip(framed.shards()) {
+            assert_eq!(a.sample(), b.sample());
+        }
+        // Frame-pulled straight from the generator, never materialized.
+        let mut lazy = sharded_reservoir(4);
+        lazy.ingest_source(&mut UniformSource::new(60_000, 1 << 30, 3), 1 << 14);
+        for (a, b) in whole.shards().iter().zip(lazy.shards()) {
+            assert_eq!(a.sample(), b.sample());
         }
     }
 

@@ -26,6 +26,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use robust_sampling_core::engine::{MergeableSummary, ShardedSummary, StreamSummary};
 use robust_sampling_core::sampler::{ReservoirSampler, StreamSampler};
+use robust_sampling_streamgen::source::{for_each_chunk, SliceSource, StreamSource};
 use std::sync::Mutex;
 
 // ---------------------------------------------------------------------------
@@ -120,10 +121,73 @@ pub fn run_threaded(
     local_k: usize,
     seed: u64,
 ) -> Vec<(Vec<u64>, Vec<u64>)> {
+    run_threaded_source(&mut SliceSource::new(stream), k, local_k, seed)
+}
+
+/// [`run_threaded`] over a lazy [`StreamSource`]: the router pulls
+/// [`ROUTE_CHUNK`]-element frames from the source instead of slicing an
+/// owned buffer, so routing never requires the stream in memory (the
+/// returned per-server substreams still do — use
+/// [`run_threaded_sampled`] when only the reservoirs are wanted).
+///
+/// Routing draws are per element in stream order, so the partition is
+/// identical to [`run_threaded`] on the materialized stream.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `local_k == 0`.
+pub fn run_threaded_source(
+    source: &mut (impl StreamSource<u64> + ?Sized),
+    k: usize,
+    local_k: usize,
+    seed: u64,
+) -> Vec<(Vec<u64>, Vec<u64>)> {
+    route_source(source, k, local_k, seed, true)
+        .into_iter()
+        .map(|(sub, _, res)| (sub, res))
+        .collect()
+}
+
+/// The constant-memory router: like [`run_threaded_source`], but workers
+/// keep only their element count and local reservoir — per-server memory
+/// is `O(local_k)` and router memory one [`ROUTE_CHUNK`] frame, so a
+/// 100M-element stream routes in bounded space. Returns per-server
+/// `(count, reservoir)`.
+///
+/// Worker reservoirs are seeded exactly as in [`run_threaded`], so the
+/// reservoirs match that of a substream-retaining run bit for bit.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `local_k == 0`.
+pub fn run_threaded_sampled(
+    source: &mut (impl StreamSource<u64> + ?Sized),
+    k: usize,
+    local_k: usize,
+    seed: u64,
+) -> Vec<(usize, Vec<u64>)> {
+    route_source(source, k, local_k, seed, false)
+        .into_iter()
+        .map(|(_, count, res)| (count, res))
+        .collect()
+}
+
+/// Per-server router result: `(substream, count, reservoir)`.
+type ServerState = (Vec<u64>, usize, Vec<u64>);
+
+/// Shared router core: per-server `(substream, count, reservoir)`, with
+/// the substream retained only when `retain_substreams` is set.
+fn route_source(
+    source: &mut (impl StreamSource<u64> + ?Sized),
+    k: usize,
+    local_k: usize,
+    seed: u64,
+    retain_substreams: bool,
+) -> Vec<ServerState> {
     assert!(k > 0, "need at least one server");
     assert!(local_k > 0, "local reservoir must be non-empty");
-    let results: Vec<Mutex<(Vec<u64>, Vec<u64>)>> = (0..k)
-        .map(|_| Mutex::new((Vec::new(), Vec::new())))
+    let results: Vec<Mutex<ServerState>> = (0..k)
+        .map(|_| Mutex::new((Vec::new(), 0, Vec::new())))
         .collect();
     std::thread::scope(|scope| {
         let mut senders = Vec::with_capacity(k);
@@ -133,18 +197,23 @@ pub fn run_threaded(
             let worker_seed = seed ^ (j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
             scope.spawn(move || {
                 let mut substream = Vec::new();
+                let mut count = 0usize;
                 let mut reservoir = ReservoirSampler::with_seed(local_k, worker_seed);
                 for frame in rx {
                     reservoir.observe_batch(&frame);
-                    substream.extend(frame);
+                    count += frame.len();
+                    if retain_substreams {
+                        substream.extend(frame);
+                    }
                 }
-                *slot.lock().expect("worker mutex poisoned") = (substream, reservoir.into_sample());
+                *slot.lock().expect("worker mutex poisoned") =
+                    (substream, count, reservoir.into_sample());
             });
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let mut buffers: Vec<Vec<u64>> = vec![Vec::new(); k];
-        for chunk in stream.chunks(ROUTE_CHUNK) {
-            for &x in chunk {
+        for_each_chunk(source, ROUTE_CHUNK, |frame| {
+            for &x in frame {
                 // Same per-element assignment draw as the unbatched router.
                 buffers[rng.random_range(0..k)].push(x);
             }
@@ -153,7 +222,7 @@ pub fn run_threaded(
                     tx.send(std::mem::take(buf)).expect("worker alive");
                 }
             }
-        }
+        });
         drop(senders); // close channels; workers drain and exit
     });
     results
@@ -178,9 +247,31 @@ pub fn run_threaded(
 ///
 /// Panics if `k == 0` or `local_k == 0`.
 pub fn run_sharded(stream: &[u64], k: usize, local_k: usize, seed: u64) -> Vec<u64> {
+    run_sharded_source(&mut SliceSource::new(stream), k, local_k, seed)
+}
+
+/// Elements pulled per frame in [`run_sharded_source`].
+pub const SHARD_FRAME: usize = robust_sampling_streamgen::source::DEFAULT_FRAME;
+
+/// [`run_sharded`] over a lazy [`StreamSource`]: sites ingest
+/// [`SHARD_FRAME`]-element frames through
+/// [`ShardedSummary::ingest_source`], so memory is `K` reservoirs plus
+/// one frame regardless of stream length. Batch split points never change
+/// reservoir state, so the sample equals a whole-stream
+/// [`run_sharded`] bit for bit.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `local_k == 0`.
+pub fn run_sharded_source(
+    source: &mut (impl StreamSource<u64> + ?Sized),
+    k: usize,
+    local_k: usize,
+    seed: u64,
+) -> Vec<u64> {
     assert!(local_k > 0, "local reservoir must be non-empty");
     let mut sharded = ShardedSummary::new(k, seed, |_, shard_seed| Site::new(local_k, shard_seed));
-    sharded.ingest_batch(stream);
+    sharded.ingest_source(source, SHARD_FRAME);
     sharded.into_merged().into_sample()
 }
 
@@ -441,6 +532,37 @@ mod tests {
             let dev = (sub.len() as f64 - 6_250.0).abs();
             assert!(dev < 5.0 * (6_250.0f64 * 0.875).sqrt(), "server {j}");
         }
+    }
+
+    #[test]
+    fn source_router_matches_slice_router_and_bounds_memory() {
+        use robust_sampling_streamgen::UniformSource;
+        let n = 30_000;
+        let stream = streamgen::uniform(n, 1 << 20, 17);
+        let from_slice = run_threaded(&stream, 4, 64, 5);
+        // Routing straight from the generator (never materialized) must
+        // produce the identical partition and reservoirs.
+        let from_source = run_threaded_source(&mut UniformSource::new(n, 1 << 20, 17), 4, 64, 5);
+        assert_eq!(from_slice, from_source);
+        // The sampled router drops substreams but keeps counts/reservoirs
+        // bit-identical.
+        let sampled = run_threaded_sampled(&mut UniformSource::new(n, 1 << 20, 17), 4, 64, 5);
+        assert_eq!(sampled.len(), 4);
+        assert_eq!(sampled.iter().map(|(c, _)| c).sum::<usize>(), n);
+        for ((sub, res), (count, res2)) in from_slice.iter().zip(&sampled) {
+            assert_eq!(sub.len(), *count);
+            assert_eq!(res, res2);
+        }
+    }
+
+    #[test]
+    fn sharded_source_matches_sharded_slice() {
+        use robust_sampling_streamgen::TwoPhaseSource;
+        let n = 50_000;
+        let stream = streamgen::two_phase(n, 1 << 24, 8);
+        let from_slice = run_sharded(&stream, 4, 256, 21);
+        let from_source = run_sharded_source(&mut TwoPhaseSource::new(n, 1 << 24, 8), 4, 256, 21);
+        assert_eq!(from_slice, from_source);
     }
 
     #[test]

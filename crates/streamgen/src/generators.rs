@@ -1,147 +1,944 @@
 //! Deterministic, seedable stream generators.
 //!
-//! Every generator returns a concrete `Vec` so experiments can replay the
-//! exact same stream against multiple samplers/sketches (the static
-//! adversary of the paper's model). All randomness flows through a seeded
-//! [`StdRng`]; same seed ⇒ same stream, bit for bit.
+//! Every workload is a lazy, chunk-pulling [`StreamSource`]: same seed ⇒
+//! same stream, bit for bit, regardless of the chunk sizes a consumer
+//! requests. The `Vec`-returning functions of the original harness
+//! (`uniform`, `zipf`, …) survive as thin [`materialize`] wrappers so
+//! experiments that replay one stream against several summaries keep
+//! their exact pre-source behaviour — the sources draw from the seeded
+//! [`StdRng`] in the same per-element order the eager loops did.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use crate::source::{materialize, LenHint, StreamSource};
+
+/// SplitMix64 finalizer: a cheap, high-quality mix used to derive
+/// per-epoch constants (burst values, flood sets) from a seed without
+/// touching the per-element RNG stream.
+#[inline]
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// u64 sources
+// ---------------------------------------------------------------------------
+
 /// Uniform i.i.d. elements over `{0, …, universe−1}`.
+#[derive(Debug, Clone)]
+pub struct UniformSource {
+    remaining: usize,
+    universe: u64,
+    rng: StdRng,
+}
+
+impl UniformSource {
+    /// `n` uniform elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0`.
+    pub fn new(n: usize, universe: u64, seed: u64) -> Self {
+        assert!(universe > 0, "universe must be non-empty");
+        Self {
+            remaining: n,
+            universe,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl StreamSource for UniformSource {
+    fn next_chunk(&mut self, buf: &mut Vec<u64>, max: usize) -> usize {
+        let take = max.min(self.remaining);
+        buf.reserve(take);
+        for _ in 0..take {
+            buf.push(self.rng.random_range(0..self.universe));
+        }
+        self.remaining -= take;
+        take
+    }
+
+    fn len_hint(&self) -> LenHint {
+        LenHint::Exact(self.remaining)
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+/// Shared inverse-CDF table for Zipf sampling over the first
+/// `min(universe, 2²⁰)` ranks.
 ///
-/// # Panics
-///
-/// Panics if `universe == 0`.
-pub fn uniform(n: usize, universe: u64, seed: u64) -> Vec<u64> {
-    assert!(universe > 0, "universe must be non-empty");
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.random_range(0..universe)).collect()
+/// Building the table costs a `powf` per rank — up to 2²⁰ of them — which
+/// the original per-call generator paid on **every** seeded trial.
+/// [`ZipfTable::cached`] hoists it into a process-wide cache keyed by
+/// `(ranks, s)`, so a 100-trial sweep builds each table once and clones an
+/// `Arc` thereafter.
+#[derive(Debug)]
+pub struct ZipfTable {
+    cdf: Vec<f64>,
+    total: f64,
+}
+
+impl ZipfTable {
+    fn build(ranks: usize, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(ranks);
+        let mut acc = 0.0f64;
+        for r in 0..ranks {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        Self { cdf, total: acc }
+    }
+
+    /// The process-wide table for a `(universe, s)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0` or `s <= 0`.
+    pub fn cached(universe: u64, s: f64) -> Arc<ZipfTable> {
+        assert!(universe > 0, "universe must be non-empty");
+        assert!(s > 0.0, "exponent must be positive");
+        let ranks = universe.min(1 << 20) as usize;
+        /// Cache key: (tabulated ranks, exponent bits).
+        type TableCache = Mutex<HashMap<(usize, u64), Arc<ZipfTable>>>;
+        static CACHE: OnceLock<TableCache> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        cache
+            .lock()
+            .expect("zipf table cache poisoned")
+            .entry((ranks, s.to_bits()))
+            .or_insert_with(|| Arc::new(ZipfTable::build(ranks, s)))
+            .clone()
+    }
+
+    /// Number of tabulated ranks.
+    pub fn ranks(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one rank using the given RNG (the truncated tail folds into
+    /// the last rank, exactly as the eager generator did).
+    #[inline]
+    fn draw(&self, rng: &mut StdRng, universe: u64) -> u64 {
+        let u: f64 = rng.random::<f64>() * self.total;
+        let r = self.cdf.partition_point(|&c| c < u);
+        (r as u64).min(universe - 1)
+    }
 }
 
 /// Zipf-distributed elements over `{0, …, universe−1}` with exponent `s`:
 /// `Pr[X = r] ∝ (r+1)^-s`. Rank 0 is the hottest element.
-///
-/// Uses an exact inverse-CDF table over the first `min(universe, 2²⁰)`
-/// ranks; the truncated tail carries negligible mass for `s ≥ 1` (< 0.1%
-/// for a 2²⁰-rank table), and is folded into the last rank.
-///
-/// # Panics
-///
-/// Panics if `universe == 0` or `s <= 0`.
-pub fn zipf(n: usize, universe: u64, s: f64, seed: u64) -> Vec<u64> {
-    assert!(universe > 0, "universe must be non-empty");
-    assert!(s > 0.0, "exponent must be positive");
-    let ranks = universe.min(1 << 20) as usize;
-    let mut cdf = Vec::with_capacity(ranks);
-    let mut acc = 0.0f64;
-    for r in 0..ranks {
-        acc += 1.0 / ((r + 1) as f64).powf(s);
-        cdf.push(acc);
+#[derive(Debug, Clone)]
+pub struct ZipfSource {
+    remaining: usize,
+    universe: u64,
+    table: Arc<ZipfTable>,
+    rng: StdRng,
+}
+
+impl ZipfSource {
+    /// `n` Zipf(`s`) elements, using the process-wide cached table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0` or `s <= 0`.
+    pub fn new(n: usize, universe: u64, s: f64, seed: u64) -> Self {
+        Self {
+            remaining: n,
+            universe,
+            table: ZipfTable::cached(universe, s),
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
-    let total = acc;
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| {
-            let u: f64 = rng.random::<f64>() * total;
-            let r = cdf.partition_point(|&c| c < u);
-            (r as u64).min(universe - 1)
-        })
-        .collect()
+}
+
+impl StreamSource for ZipfSource {
+    fn next_chunk(&mut self, buf: &mut Vec<u64>, max: usize) -> usize {
+        let take = max.min(self.remaining);
+        buf.reserve(take);
+        for _ in 0..take {
+            buf.push(self.table.draw(&mut self.rng, self.universe));
+        }
+        self.remaining -= take;
+        take
+    }
+
+    fn len_hint(&self) -> LenHint {
+        LenHint::Exact(self.remaining)
+    }
+
+    fn name(&self) -> &'static str {
+        "zipf"
+    }
 }
 
 /// Linearly increasing sweep of the universe (the sorted stress case).
-///
-/// # Panics
-///
-/// Panics if `universe == 0` or `n == 0`.
-pub fn sorted_ramp(n: usize, universe: u64) -> Vec<u64> {
-    assert!(universe > 0 && n > 0, "need non-empty universe and stream");
-    (0..n)
-        .map(|i| (i as u128 * universe as u128 / n as u128) as u64)
-        .collect()
+#[derive(Debug, Clone)]
+pub struct SortedRampSource {
+    i: usize,
+    n: usize,
+    universe: u64,
+    reversed: bool,
 }
 
-/// Decreasing sweep.
-pub fn reverse_ramp(n: usize, universe: u64) -> Vec<u64> {
-    let mut v = sorted_ramp(n, universe);
-    v.reverse();
-    v
+impl SortedRampSource {
+    /// Increasing sweep `⌊i·universe/n⌋`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0` or `n == 0`.
+    pub fn new(n: usize, universe: u64) -> Self {
+        assert!(universe > 0 && n > 0, "need non-empty universe and stream");
+        Self {
+            i: 0,
+            n,
+            universe,
+            reversed: false,
+        }
+    }
+
+    /// Decreasing sweep (the increasing ramp served back to front).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0` or `n == 0`.
+    pub fn reversed(n: usize, universe: u64) -> Self {
+        Self {
+            reversed: true,
+            ..Self::new(n, universe)
+        }
+    }
+
+    #[inline]
+    fn value_at(&self, i: usize) -> u64 {
+        let pos = if self.reversed { self.n - 1 - i } else { i };
+        (pos as u128 * self.universe as u128 / self.n as u128) as u64
+    }
+}
+
+impl StreamSource for SortedRampSource {
+    fn next_chunk(&mut self, buf: &mut Vec<u64>, max: usize) -> usize {
+        let take = max.min(self.n - self.i);
+        buf.reserve(take);
+        for _ in 0..take {
+            buf.push(self.value_at(self.i));
+            self.i += 1;
+        }
+        take
+    }
+
+    fn len_hint(&self) -> LenHint {
+        LenHint::Exact(self.n - self.i)
+    }
+
+    fn name(&self) -> &'static str {
+        if self.reversed {
+            "reversed"
+        } else {
+            "sorted"
+        }
+    }
 }
 
 /// Approximately normal elements: Irwin–Hall sum of 12 uniforms, centred
 /// at `universe/2` with standard deviation `universe/8`, clamped to range.
-///
-/// # Panics
-///
-/// Panics if `universe == 0`.
-pub fn bell(n: usize, universe: u64, seed: u64) -> Vec<u64> {
-    assert!(universe > 0, "universe must be non-empty");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mid = universe as f64 / 2.0;
-    let sd = universe as f64 / 8.0;
-    (0..n)
-        .map(|_| {
-            let z: f64 = (0..12).map(|_| rng.random::<f64>()).sum::<f64>() - 6.0;
-            (mid + z * sd).clamp(0.0, (universe - 1) as f64) as u64
-        })
-        .collect()
+#[derive(Debug, Clone)]
+pub struct BellSource {
+    remaining: usize,
+    universe: u64,
+    rng: StdRng,
+}
+
+impl BellSource {
+    /// `n` bell-shaped elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0`.
+    pub fn new(n: usize, universe: u64, seed: u64) -> Self {
+        assert!(universe > 0, "universe must be non-empty");
+        Self {
+            remaining: n,
+            universe,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl StreamSource for BellSource {
+    fn next_chunk(&mut self, buf: &mut Vec<u64>, max: usize) -> usize {
+        let take = max.min(self.remaining);
+        let mid = self.universe as f64 / 2.0;
+        let sd = self.universe as f64 / 8.0;
+        buf.reserve(take);
+        for _ in 0..take {
+            let z: f64 = (0..12).map(|_| self.rng.random::<f64>()).sum::<f64>() - 6.0;
+            buf.push((mid + z * sd).clamp(0.0, (self.universe - 1) as f64) as u64);
+        }
+        self.remaining -= take;
+        take
+    }
+
+    fn len_hint(&self) -> LenHint {
+        LenHint::Exact(self.remaining)
+    }
+
+    fn name(&self) -> &'static str {
+        "bell"
+    }
 }
 
 /// A distribution shift mid-stream: the first `n/2` elements from the low
 /// half of the universe, the rest from the high half — the paper's
 /// "stream changes with time (unintentionally or maliciously)" scenario.
+#[derive(Debug, Clone)]
+pub struct TwoPhaseSource {
+    i: usize,
+    n: usize,
+    universe: u64,
+    rng: StdRng,
+}
+
+impl TwoPhaseSource {
+    /// `n` elements with the shift at index `n/2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe < 2`.
+    pub fn new(n: usize, universe: u64, seed: u64) -> Self {
+        assert!(universe >= 2, "universe too small");
+        Self {
+            i: 0,
+            n,
+            universe,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl StreamSource for TwoPhaseSource {
+    fn next_chunk(&mut self, buf: &mut Vec<u64>, max: usize) -> usize {
+        let take = max.min(self.n - self.i);
+        let half = self.universe / 2;
+        buf.reserve(take);
+        for _ in 0..take {
+            buf.push(if self.i < self.n / 2 {
+                self.rng.random_range(0..half)
+            } else {
+                self.rng.random_range(half..self.universe)
+            });
+            self.i += 1;
+        }
+        take
+    }
+
+    fn len_hint(&self) -> LenHint {
+        LenHint::Exact(self.n - self.i)
+    }
+
+    fn name(&self) -> &'static str {
+        "two-phase"
+    }
+}
+
+/// A sorted ramp shuffled within consecutive blocks of `block` elements —
+/// locally random, globally drifting. Working memory is one block, not
+/// the stream: the source generates and shuffles blocks on demand,
+/// carrying the tail of the current block across chunk boundaries.
+#[derive(Debug, Clone)]
+pub struct BlockShuffledSource {
+    served: usize,
+    n: usize,
+    universe: u64,
+    block: usize,
+    rng: StdRng,
+    carry: Vec<u64>,
+    carry_pos: usize,
+}
+
+impl BlockShuffledSource {
+    /// `n` elements, shuffled in blocks of `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block == 0`, `universe == 0`, or `n == 0`.
+    pub fn new(n: usize, universe: u64, block: usize, seed: u64) -> Self {
+        assert!(block > 0, "block must be positive");
+        assert!(universe > 0 && n > 0, "need non-empty universe and stream");
+        Self {
+            served: 0,
+            n,
+            universe,
+            block,
+            rng: StdRng::seed_from_u64(seed),
+            carry: Vec::new(),
+            carry_pos: 0,
+        }
+    }
+
+    /// Generate and shuffle the block starting at stream index `start`.
+    fn refill(&mut self, start: usize) {
+        let len = self.block.min(self.n - start);
+        self.carry.clear();
+        self.carry.extend(
+            (start..start + len)
+                .map(|i| (i as u128 * self.universe as u128 / self.n as u128) as u64),
+        );
+        self.carry.shuffle(&mut self.rng);
+        self.carry_pos = 0;
+    }
+}
+
+impl StreamSource for BlockShuffledSource {
+    fn next_chunk(&mut self, buf: &mut Vec<u64>, max: usize) -> usize {
+        let take = max.min(self.n - self.served);
+        buf.reserve(take);
+        let mut produced = 0usize;
+        while produced < take {
+            if self.carry_pos == self.carry.len() {
+                // Served elements always end exactly at a block boundary
+                // here, so the next block starts at the served count.
+                self.refill(self.served);
+            }
+            let avail = (self.carry.len() - self.carry_pos).min(take - produced);
+            buf.extend_from_slice(&self.carry[self.carry_pos..self.carry_pos + avail]);
+            self.carry_pos += avail;
+            self.served += avail;
+            produced += avail;
+        }
+        take
+    }
+
+    fn len_hint(&self) -> LenHint {
+        LenHint::Exact(self.n - self.served)
+    }
+
+    fn name(&self) -> &'static str {
+        "block-shuffled"
+    }
+}
+
+/// Heavy-tail Pareto(α) elements: `x = ⌈(1−u)^{−1/α}⌉ − 1` clamped to the
+/// universe — rank 0 carries the bulk of the mass and the tail decays
+/// polynomially, the classic "few whales, many minnows" traffic shape
+/// that stresses heavy-hitter thresholds harder than Zipf's bounded
+/// support.
+#[derive(Debug, Clone)]
+pub struct ParetoSource {
+    remaining: usize,
+    universe: u64,
+    alpha: f64,
+    rng: StdRng,
+}
+
+impl ParetoSource {
+    /// `n` Pareto(`alpha`) elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0` or `alpha <= 0`.
+    pub fn new(n: usize, universe: u64, alpha: f64, seed: u64) -> Self {
+        assert!(universe > 0, "universe must be non-empty");
+        assert!(alpha > 0.0, "shape must be positive");
+        Self {
+            remaining: n,
+            universe,
+            alpha,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl StreamSource for ParetoSource {
+    fn next_chunk(&mut self, buf: &mut Vec<u64>, max: usize) -> usize {
+        let take = max.min(self.remaining);
+        let cap = (self.universe - 1) as f64;
+        buf.reserve(take);
+        for _ in 0..take {
+            let u: f64 = self.rng.random();
+            // 1 - u is in (0, 1]; the inverse-CDF value is >= 1.
+            let x = (1.0 - u).powf(-1.0 / self.alpha).ceil() - 1.0;
+            buf.push(x.min(cap) as u64);
+        }
+        self.remaining -= take;
+        take
+    }
+
+    fn len_hint(&self) -> LenHint {
+        LenHint::Exact(self.remaining)
+    }
+
+    fn name(&self) -> &'static str {
+        "pareto"
+    }
+}
+
+/// A drifting hot set: 90% of elements land in a narrow window of the
+/// universe that rotates every `period` elements, 10% are uniform
+/// background — a cache-busting workload where yesterday's heavy hitters
+/// are cold tomorrow.
+#[derive(Debug, Clone)]
+pub struct DriftingHotSetSource {
+    i: usize,
+    n: usize,
+    universe: u64,
+    hot_width: u64,
+    period: usize,
+    hot_frac: f64,
+    rng: StdRng,
+}
+
+impl DriftingHotSetSource {
+    /// `n` elements with the default geometry: window width
+    /// `max(1, universe/64)`, rotation period `max(1, n/16)`, 90% hot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0`.
+    pub fn new(n: usize, universe: u64, seed: u64) -> Self {
+        Self::with_geometry(
+            n,
+            universe,
+            (universe / 64).max(1),
+            (n / 16).max(1),
+            0.9,
+            seed,
+        )
+    }
+
+    /// Full control over the window width, rotation period, and hot mass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0`, `hot_width == 0`, `period == 0`, or
+    /// `hot_frac ∉ [0, 1]`.
+    pub fn with_geometry(
+        n: usize,
+        universe: u64,
+        hot_width: u64,
+        period: usize,
+        hot_frac: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(universe > 0, "universe must be non-empty");
+        assert!(
+            hot_width > 0 && period > 0,
+            "window and period must be positive"
+        );
+        assert!((0.0..=1.0).contains(&hot_frac), "hot_frac must be in [0,1]");
+        Self {
+            i: 0,
+            n,
+            universe,
+            hot_width,
+            period,
+            hot_frac,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl StreamSource for DriftingHotSetSource {
+    fn next_chunk(&mut self, buf: &mut Vec<u64>, max: usize) -> usize {
+        let take = max.min(self.n - self.i);
+        buf.reserve(take);
+        for _ in 0..take {
+            let epoch = (self.i / self.period) as u64;
+            let start = epoch.wrapping_mul(self.hot_width) % self.universe;
+            buf.push(if self.rng.random::<f64>() < self.hot_frac {
+                (start + self.rng.random_range(0..self.hot_width)) % self.universe
+            } else {
+                self.rng.random_range(0..self.universe)
+            });
+            self.i += 1;
+        }
+        take
+    }
+
+    fn len_hint(&self) -> LenHint {
+        LenHint::Exact(self.n - self.i)
+    }
+
+    fn name(&self) -> &'static str {
+        "drifting-hot-set"
+    }
+}
+
+/// Uniform background traffic with periodic bursts: the first
+/// `burst_len` elements of every `period`-element epoch all repeat one
+/// per-epoch value — flash crowds over a steady baseline.
+#[derive(Debug, Clone)]
+pub struct PeriodicBurstSource {
+    i: usize,
+    n: usize,
+    universe: u64,
+    period: usize,
+    burst_len: usize,
+    seed: u64,
+    rng: StdRng,
+}
+
+impl PeriodicBurstSource {
+    /// `n` elements with the default epoch geometry (period 1024, burst
+    /// 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0`.
+    pub fn new(n: usize, universe: u64, seed: u64) -> Self {
+        Self::with_geometry(n, universe, 1024, 64, seed)
+    }
+
+    /// Full control over the epoch length and burst length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0`, `period == 0`, or `burst_len > period`.
+    pub fn with_geometry(
+        n: usize,
+        universe: u64,
+        period: usize,
+        burst_len: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(universe > 0, "universe must be non-empty");
+        assert!(period > 0, "period must be positive");
+        assert!(burst_len <= period, "burst cannot exceed its epoch");
+        Self {
+            i: 0,
+            n,
+            universe,
+            period,
+            burst_len,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl StreamSource for PeriodicBurstSource {
+    fn next_chunk(&mut self, buf: &mut Vec<u64>, max: usize) -> usize {
+        let take = max.min(self.n - self.i);
+        buf.reserve(take);
+        for _ in 0..take {
+            let epoch = (self.i / self.period) as u64;
+            buf.push(if self.i % self.period < self.burst_len {
+                // Per-epoch burst value, derived outside the RNG stream so
+                // chunking never changes the draw order.
+                splitmix(self.seed ^ epoch) % self.universe
+            } else {
+                self.rng.random_range(0..self.universe)
+            });
+            self.i += 1;
+        }
+        take
+    }
+
+    fn len_hint(&self) -> LenHint {
+        LenHint::Exact(self.n - self.i)
+    }
+
+    fn name(&self) -> &'static str {
+        "burst"
+    }
+}
+
+/// A duplicate flood: half the stream is uniform background, the other
+/// half replays a fixed 8-value flood set — the degenerate-multiset
+/// stress case for samplers (ties everywhere) and the best case for
+/// counter sketches.
+#[derive(Debug, Clone)]
+pub struct DuplicateFloodSource {
+    remaining: usize,
+    universe: u64,
+    flood: [u64; 8],
+    dup_frac: f64,
+    rng: StdRng,
+}
+
+impl DuplicateFloodSource {
+    /// `n` elements, 50% of them drawn from a seed-derived 8-value set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0`.
+    pub fn new(n: usize, universe: u64, seed: u64) -> Self {
+        assert!(universe > 0, "universe must be non-empty");
+        let mut flood = [0u64; 8];
+        for (j, slot) in flood.iter_mut().enumerate() {
+            *slot = splitmix(seed ^ (0xF100D + j as u64)) % universe;
+        }
+        Self {
+            remaining: n,
+            universe,
+            flood,
+            dup_frac: 0.5,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl StreamSource for DuplicateFloodSource {
+    fn next_chunk(&mut self, buf: &mut Vec<u64>, max: usize) -> usize {
+        let take = max.min(self.remaining);
+        buf.reserve(take);
+        for _ in 0..take {
+            buf.push(if self.rng.random::<f64>() < self.dup_frac {
+                self.flood[self.rng.random_range(0..self.flood.len())]
+            } else {
+                self.rng.random_range(0..self.universe)
+            });
+        }
+        self.remaining -= take;
+        take
+    }
+
+    fn len_hint(&self) -> LenHint {
+        LenHint::Exact(self.remaining)
+    }
+
+    fn name(&self) -> &'static str {
+        "dup-flood"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Point sources
+// ---------------------------------------------------------------------------
+
+/// Uniform 2-D grid points over `{0,…,m−1}²` as `(x, y)` pairs.
+#[derive(Debug, Clone)]
+pub struct UniformPointsSource {
+    remaining: usize,
+    m: u64,
+    rng: StdRng,
+}
+
+impl UniformPointsSource {
+    /// `n` uniform grid points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(n: usize, m: u64, seed: u64) -> Self {
+        assert!(m > 0, "grid must be non-empty");
+        Self {
+            remaining: n,
+            m,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl StreamSource<(i64, i64)> for UniformPointsSource {
+    fn next_chunk(&mut self, buf: &mut Vec<(i64, i64)>, max: usize) -> usize {
+        let take = max.min(self.remaining);
+        buf.reserve(take);
+        for _ in 0..take {
+            buf.push((
+                self.rng.random_range(0..self.m) as i64,
+                self.rng.random_range(0..self.m) as i64,
+            ));
+        }
+        self.remaining -= take;
+        take
+    }
+
+    fn len_hint(&self) -> LenHint {
+        LenHint::Exact(self.remaining)
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform-points"
+    }
+}
+
+/// 2-D points drawn from clusters with box radius `spread`, cluster
+/// chosen uniformly per point, clamped to `{0,…,m−1}²`.
+#[derive(Debug, Clone)]
+pub struct ClusteredPointsSource {
+    remaining: usize,
+    m: u64,
+    centers: Vec<(i64, i64)>,
+    spread: i64,
+    rng: StdRng,
+}
+
+impl ClusteredPointsSource {
+    /// `n` clustered grid points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `centers` is empty or `m == 0`.
+    pub fn new(n: usize, m: u64, centers: &[(i64, i64)], spread: i64, seed: u64) -> Self {
+        assert!(!centers.is_empty(), "need at least one cluster center");
+        assert!(m > 0, "grid must be non-empty");
+        Self {
+            remaining: n,
+            m,
+            centers: centers.to_vec(),
+            spread,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl StreamSource<(i64, i64)> for ClusteredPointsSource {
+    fn next_chunk(&mut self, buf: &mut Vec<(i64, i64)>, max: usize) -> usize {
+        let take = max.min(self.remaining);
+        let hi = (self.m - 1) as i64;
+        buf.reserve(take);
+        for _ in 0..take {
+            let (cx, cy) = self.centers[self.rng.random_range(0..self.centers.len())];
+            let dx = self.rng.random_range(-self.spread..=self.spread);
+            let dy = self.rng.random_range(-self.spread..=self.spread);
+            buf.push(((cx + dx).clamp(0, hi), (cy + dy).clamp(0, hi)));
+        }
+        self.remaining -= take;
+        take
+    }
+
+    fn len_hint(&self) -> LenHint {
+        LenHint::Exact(self.remaining)
+    }
+
+    fn name(&self) -> &'static str {
+        "clustered-points"
+    }
+}
+
+/// Uniform 2-D grid points as `[u64; 2]` arrays (the axis-box system's
+/// point type).
+#[derive(Debug, Clone)]
+pub struct UniformGridPointsSource {
+    inner: UniformPointsSource,
+}
+
+impl UniformGridPointsSource {
+    /// `n` uniform grid points as arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(n: usize, m: u64, seed: u64) -> Self {
+        Self {
+            inner: UniformPointsSource::new(n, m, seed),
+        }
+    }
+}
+
+impl StreamSource<[u64; 2]> for UniformGridPointsSource {
+    fn next_chunk(&mut self, buf: &mut Vec<[u64; 2]>, max: usize) -> usize {
+        let mut tmp: Vec<(i64, i64)> = Vec::new();
+        let got = self.inner.next_chunk(&mut tmp, max);
+        buf.reserve(got);
+        buf.extend(tmp.into_iter().map(|(x, y)| [x as u64, y as u64]));
+        got
+    }
+
+    fn len_hint(&self) -> LenHint {
+        self.inner.len_hint()
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform-grid-points"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy materialized wrappers
+// ---------------------------------------------------------------------------
+
+/// Uniform i.i.d. elements over `{0, …, universe−1}` (materialized; see
+/// [`UniformSource`] for the lazy form).
+///
+/// # Panics
+///
+/// Panics if `universe == 0`.
+pub fn uniform(n: usize, universe: u64, seed: u64) -> Vec<u64> {
+    materialize(UniformSource::new(n, universe, seed))
+}
+
+/// Zipf-distributed elements over `{0, …, universe−1}` with exponent `s`
+/// (materialized; see [`ZipfSource`] for the lazy form).
+///
+/// Uses an exact inverse-CDF table over the first `min(universe, 2²⁰)`
+/// ranks; the truncated tail carries negligible mass for `s ≥ 1` (< 0.1%
+/// for a 2²⁰-rank table), and is folded into the last rank. The table is
+/// cached process-wide ([`ZipfTable::cached`]).
+///
+/// # Panics
+///
+/// Panics if `universe == 0` or `s <= 0`.
+pub fn zipf(n: usize, universe: u64, s: f64, seed: u64) -> Vec<u64> {
+    materialize(ZipfSource::new(n, universe, s, seed))
+}
+
+/// Linearly increasing sweep of the universe (materialized; see
+/// [`SortedRampSource`] for the lazy form).
+///
+/// # Panics
+///
+/// Panics if `universe == 0` or `n == 0`.
+pub fn sorted_ramp(n: usize, universe: u64) -> Vec<u64> {
+    materialize(SortedRampSource::new(n, universe))
+}
+
+/// Decreasing sweep.
+pub fn reverse_ramp(n: usize, universe: u64) -> Vec<u64> {
+    materialize(SortedRampSource::reversed(n, universe))
+}
+
+/// Approximately normal elements (materialized; see [`BellSource`]).
+///
+/// # Panics
+///
+/// Panics if `universe == 0`.
+pub fn bell(n: usize, universe: u64, seed: u64) -> Vec<u64> {
+    materialize(BellSource::new(n, universe, seed))
+}
+
+/// A distribution shift mid-stream (materialized; see
+/// [`TwoPhaseSource`]).
 ///
 /// # Panics
 ///
 /// Panics if `universe < 2`.
 pub fn two_phase(n: usize, universe: u64, seed: u64) -> Vec<u64> {
-    assert!(universe >= 2, "universe too small");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let half = universe / 2;
-    (0..n)
-        .map(|i| {
-            if i < n / 2 {
-                rng.random_range(0..half)
-            } else {
-                rng.random_range(half..universe)
-            }
-        })
-        .collect()
+    materialize(TwoPhaseSource::new(n, universe, seed))
 }
 
-/// A sorted ramp shuffled within consecutive blocks of `block` elements —
-/// locally random, globally drifting.
+/// A sorted ramp shuffled within consecutive blocks of `block` elements
+/// (materialized; see [`BlockShuffledSource`]).
 ///
 /// # Panics
 ///
 /// Panics if `block == 0`.
 pub fn block_shuffled(n: usize, universe: u64, block: usize, seed: u64) -> Vec<u64> {
-    assert!(block > 0, "block must be positive");
-    let mut v = sorted_ramp(n, universe);
-    let mut rng = StdRng::seed_from_u64(seed);
-    for chunk in v.chunks_mut(block) {
-        chunk.shuffle(&mut rng);
-    }
-    v
+    materialize(BlockShuffledSource::new(n, universe, block, seed))
 }
 
-/// Uniform 2-D grid points over `{0,…,m−1}²` as `(x, y)` pairs.
+/// Uniform 2-D grid points (materialized; see [`UniformPointsSource`]).
 ///
 /// # Panics
 ///
 /// Panics if `m == 0`.
 pub fn uniform_points(n: usize, m: u64, seed: u64) -> Vec<(i64, i64)> {
-    assert!(m > 0, "grid must be non-empty");
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| (rng.random_range(0..m) as i64, rng.random_range(0..m) as i64))
-        .collect()
+    materialize(UniformPointsSource::new(n, m, seed))
 }
 
-/// 2-D points drawn from `centers.len()` clusters with box radius
-/// `spread`, cluster chosen uniformly per point, clamped to `{0,…,m−1}²`.
+/// Clustered 2-D points (materialized; see [`ClusteredPointsSource`]).
 ///
 /// # Panics
 ///
@@ -153,31 +950,28 @@ pub fn clustered_points(
     spread: i64,
     seed: u64,
 ) -> Vec<(i64, i64)> {
-    assert!(!centers.is_empty(), "need at least one cluster center");
-    assert!(m > 0, "grid must be non-empty");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let hi = (m - 1) as i64;
-    (0..n)
-        .map(|_| {
-            let (cx, cy) = centers[rng.random_range(0..centers.len())];
-            let dx = rng.random_range(-spread..=spread);
-            let dy = rng.random_range(-spread..=spread);
-            ((cx + dx).clamp(0, hi), (cy + dy).clamp(0, hi))
-        })
-        .collect()
+    materialize(ClusteredPointsSource::new(n, m, centers, spread, seed))
 }
 
-/// Uniform 2-D grid points as `[u64; 2]` arrays (the axis-box system's
-/// point type).
+/// Uniform 2-D grid points as `[u64; 2]` arrays (materialized; see
+/// [`UniformGridPointsSource`]).
 pub fn uniform_grid_points(n: usize, m: u64, seed: u64) -> Vec<[u64; 2]> {
-    uniform_points(n, m, seed)
-        .into_iter()
-        .map(|(x, y)| [x as u64, y as u64])
-        .collect()
+    materialize(UniformGridPointsSource::new(n, m, seed))
 }
+
+// ---------------------------------------------------------------------------
+// StreamSpec
+// ---------------------------------------------------------------------------
 
 /// Declarative stream description, used by experiment configs so a whole
 /// sweep is expressible as data.
+///
+/// Names, shapes, and default parameters live in the
+/// [scenario registry](crate::registry): [`StreamSpec::name`] resolves
+/// through [`crate::registry::descriptor`], and
+/// [`StreamSpec::generate`] is [`materialize`] over
+/// [`StreamSpec::source`] — each workload is described in exactly one
+/// place.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StreamSpec {
     /// Uniform i.i.d. over the universe.
@@ -194,33 +988,47 @@ pub enum StreamSpec {
     TwoPhase,
     /// Ramp shuffled in blocks of the given size.
     BlockShuffled(usize),
+    /// Heavy-tail Pareto with the given shape α.
+    Pareto(f64),
+    /// Rotating hot-set drift.
+    DriftingHotSet,
+    /// Periodic single-value bursts over uniform background.
+    PeriodicBurst,
+    /// Fixed flood set duplicated through uniform background.
+    DuplicateFlood,
 }
 
 impl StreamSpec {
-    /// Materialise the stream.
-    pub fn generate(&self, n: usize, universe: u64, seed: u64) -> Vec<u64> {
+    /// Open the workload as a lazy chunk-pulling source — the one place
+    /// each workload's construction is spelled out.
+    pub fn source(&self, n: usize, universe: u64, seed: u64) -> Box<dyn StreamSource + Send> {
         match *self {
-            StreamSpec::Uniform => uniform(n, universe, seed),
-            StreamSpec::Zipf(s) => zipf(n, universe, s, seed),
-            StreamSpec::SortedRamp => sorted_ramp(n, universe),
-            StreamSpec::ReverseRamp => reverse_ramp(n, universe),
-            StreamSpec::Bell => bell(n, universe, seed),
-            StreamSpec::TwoPhase => two_phase(n, universe, seed),
-            StreamSpec::BlockShuffled(b) => block_shuffled(n, universe, b, seed),
+            StreamSpec::Uniform => Box::new(UniformSource::new(n, universe, seed)),
+            StreamSpec::Zipf(s) => Box::new(ZipfSource::new(n, universe, s, seed)),
+            StreamSpec::SortedRamp => Box::new(SortedRampSource::new(n, universe)),
+            StreamSpec::ReverseRamp => Box::new(SortedRampSource::reversed(n, universe)),
+            StreamSpec::Bell => Box::new(BellSource::new(n, universe, seed)),
+            StreamSpec::TwoPhase => Box::new(TwoPhaseSource::new(n, universe, seed)),
+            StreamSpec::BlockShuffled(b) => {
+                Box::new(BlockShuffledSource::new(n, universe, b, seed))
+            }
+            StreamSpec::Pareto(a) => Box::new(ParetoSource::new(n, universe, a, seed)),
+            StreamSpec::DriftingHotSet => Box::new(DriftingHotSetSource::new(n, universe, seed)),
+            StreamSpec::PeriodicBurst => Box::new(PeriodicBurstSource::new(n, universe, seed)),
+            StreamSpec::DuplicateFlood => Box::new(DuplicateFloodSource::new(n, universe, seed)),
         }
     }
 
-    /// Name used in experiment report rows.
+    /// Materialise the stream (a [`materialize`] wrapper over
+    /// [`StreamSpec::source`]).
+    pub fn generate(&self, n: usize, universe: u64, seed: u64) -> Vec<u64> {
+        materialize(self.source(n, universe, seed))
+    }
+
+    /// Name used in experiment report rows, resolved through the
+    /// scenario registry.
     pub fn name(&self) -> &'static str {
-        match self {
-            StreamSpec::Uniform => "uniform",
-            StreamSpec::Zipf(_) => "zipf",
-            StreamSpec::SortedRamp => "sorted",
-            StreamSpec::ReverseRamp => "reversed",
-            StreamSpec::Bell => "bell",
-            StreamSpec::TwoPhase => "two-phase",
-            StreamSpec::BlockShuffled(_) => "block-shuffled",
-        }
+        crate::registry::descriptor(self).name
     }
 }
 
@@ -257,6 +1065,16 @@ mod tests {
         let s = zipf(10_000, 1_000_000, 2.0, 5);
         let head = s.iter().filter(|&&x| x < 10).count();
         assert!(head as f64 > 0.9 * s.len() as f64);
+    }
+
+    #[test]
+    fn zipf_table_is_cached_and_shared() {
+        let a = ZipfTable::cached(1 << 16, 1.25);
+        let b = ZipfTable::cached(1 << 16, 1.25);
+        assert!(Arc::ptr_eq(&a, &b), "same (ranks, s) must share one table");
+        assert_eq!(a.ranks(), 1 << 16);
+        let c = ZipfTable::cached(1 << 16, 1.5);
+        assert!(!Arc::ptr_eq(&a, &c), "different s must not share");
     }
 
     #[test]
@@ -300,6 +1118,52 @@ mod tests {
     }
 
     #[test]
+    fn pareto_is_heavy_tailed() {
+        let s = StreamSpec::Pareto(1.2).generate(50_000, 1 << 30, 11);
+        let head = s.iter().filter(|&&x| x < 8).count();
+        let deep_tail = s.iter().filter(|&&x| x > 1000).count();
+        assert!(head as f64 > 0.8 * s.len() as f64, "head too light: {head}");
+        assert!(deep_tail > 0, "no deep-tail whales at all");
+    }
+
+    #[test]
+    fn drifting_hot_set_actually_drifts() {
+        let n = 40_000;
+        let s = StreamSpec::DriftingHotSet.generate(n, 1 << 20, 5);
+        // The hot windows of the first and last epochs are disjoint, so
+        // the value distributions of the two stream halves must differ.
+        let lo_half_hits = s[..n / 4].windows(1).filter(|w| w[0] < 1 << 14).count();
+        let hi_half_hits = s[3 * n / 4..].windows(1).filter(|w| w[0] < 1 << 14).count();
+        assert!(
+            lo_half_hits > hi_half_hits * 4,
+            "early window ({lo_half_hits}) should dominate late ({hi_half_hits})"
+        );
+    }
+
+    #[test]
+    fn burst_repeats_one_value_per_epoch() {
+        let s = StreamSpec::PeriodicBurst.generate(4096, 1 << 20, 3);
+        // Inside one epoch, the first 64 elements are identical.
+        assert!(s[..64].iter().all(|&x| x == s[0]));
+        assert!(s[1024..1088].iter().all(|&x| x == s[1024]));
+        assert_ne!(s[0], s[1024], "epochs should burst different values");
+    }
+
+    #[test]
+    fn duplicate_flood_floods() {
+        let s = StreamSpec::DuplicateFlood.generate(20_000, 1 << 30, 9);
+        let mut counts = std::collections::HashMap::new();
+        for &x in &s {
+            *counts.entry(x).or_insert(0usize) += 1;
+        }
+        let flooded = counts.values().filter(|&&c| c > 500).count();
+        assert!(
+            (4..=8).contains(&flooded),
+            "expected a handful of flooded values, got {flooded}"
+        );
+    }
+
+    #[test]
     fn clustered_points_stay_near_centers() {
         let centers = [(10i64, 10i64), (90, 90)];
         let pts = clustered_points(1000, 100, &centers, 5, 6);
@@ -321,6 +1185,10 @@ mod tests {
             StreamSpec::Bell,
             StreamSpec::TwoPhase,
             StreamSpec::BlockShuffled(32),
+            StreamSpec::Pareto(1.5),
+            StreamSpec::DriftingHotSet,
+            StreamSpec::PeriodicBurst,
+            StreamSpec::DuplicateFlood,
         ] {
             let s = spec.generate(500, 1 << 16, 1);
             assert_eq!(s.len(), 500, "{} wrong length", spec.name());
@@ -351,6 +1219,10 @@ mod proptests {
                 StreamSpec::Bell,
                 StreamSpec::TwoPhase,
                 StreamSpec::BlockShuffled(7),
+                StreamSpec::Pareto(1.3),
+                StreamSpec::DriftingHotSet,
+                StreamSpec::PeriodicBurst,
+                StreamSpec::DuplicateFlood,
             ] {
                 let a = spec.generate(n, universe, seed);
                 prop_assert_eq!(a.len(), n);

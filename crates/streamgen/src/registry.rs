@@ -1,0 +1,187 @@
+//! The scenario registry: every workload the harness knows, as data.
+//!
+//! A [`WorkloadSpec`] row is the single place a workload is described —
+//! its report name, shape summary, default parameters, and the
+//! [`StreamSpec`] that constructs it. The experiment binaries resolve
+//! `--workload <name>` here ([`workload`]), `--list-workloads` prints the
+//! table, and [`StreamSpec::name`] resolves back through [`descriptor`]
+//! so names exist in exactly one table.
+
+use crate::generators::StreamSpec;
+use crate::source::StreamSource;
+
+/// One registered workload: a name, a human-readable description, and the
+/// default-parameter [`StreamSpec`] that builds it.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Report/CLI name (`--workload <name>`).
+    pub name: &'static str,
+    /// One-line shape description.
+    pub shape: &'static str,
+    /// Human-readable default parameters.
+    pub params: &'static str,
+    /// The spec that constructs this workload at its default parameters.
+    pub spec: StreamSpec,
+}
+
+impl WorkloadSpec {
+    /// Open the workload as a lazy chunk-pulling source.
+    pub fn source(&self, n: usize, universe: u64, seed: u64) -> Box<dyn StreamSource + Send> {
+        self.spec.source(n, universe, seed)
+    }
+
+    /// Materialise the workload (convenience for offline judgments; the
+    /// trial path should prefer [`WorkloadSpec::source`]).
+    pub fn materialize(&self, n: usize, universe: u64, seed: u64) -> Vec<u64> {
+        self.spec.generate(n, universe, seed)
+    }
+}
+
+/// The registry table. One row per workload; names are unique.
+static REGISTRY: &[WorkloadSpec] = &[
+    WorkloadSpec {
+        name: "uniform",
+        shape: "i.i.d. uniform over the universe",
+        params: "-",
+        spec: StreamSpec::Uniform,
+    },
+    WorkloadSpec {
+        name: "zipf",
+        shape: "Zipf head-heavy ranks, Pr[r] ~ (r+1)^-s",
+        params: "s = 1.1",
+        spec: StreamSpec::Zipf(1.1),
+    },
+    WorkloadSpec {
+        name: "sorted",
+        shape: "increasing sweep of the universe",
+        params: "-",
+        spec: StreamSpec::SortedRamp,
+    },
+    WorkloadSpec {
+        name: "reversed",
+        shape: "decreasing sweep of the universe",
+        params: "-",
+        spec: StreamSpec::ReverseRamp,
+    },
+    WorkloadSpec {
+        name: "bell",
+        shape: "Irwin-Hall bell centred at universe/2",
+        params: "sd = universe/8",
+        spec: StreamSpec::Bell,
+    },
+    WorkloadSpec {
+        name: "two-phase",
+        shape: "low-half then high-half distribution shift",
+        params: "shift at n/2",
+        spec: StreamSpec::TwoPhase,
+    },
+    WorkloadSpec {
+        name: "block-shuffled",
+        shape: "sorted ramp shuffled within fixed blocks",
+        params: "block = 4096",
+        spec: StreamSpec::BlockShuffled(4096),
+    },
+    WorkloadSpec {
+        name: "pareto",
+        shape: "heavy-tail Pareto, polynomial tail over the universe",
+        params: "alpha = 1.2",
+        spec: StreamSpec::Pareto(1.2),
+    },
+    WorkloadSpec {
+        name: "drifting-hot-set",
+        shape: "90% of mass in a hot window that rotates each epoch",
+        params: "width = universe/64, period = n/16",
+        spec: StreamSpec::DriftingHotSet,
+    },
+    WorkloadSpec {
+        name: "burst",
+        shape: "uniform background with one repeated value per epoch head",
+        params: "period = 1024, burst = 64",
+        spec: StreamSpec::PeriodicBurst,
+    },
+    WorkloadSpec {
+        name: "dup-flood",
+        shape: "50% uniform background, 50% fixed 8-value flood set",
+        params: "8 flood values per seed",
+        spec: StreamSpec::DuplicateFlood,
+    },
+];
+
+/// All registered workloads, in table order.
+pub fn registry() -> &'static [WorkloadSpec] {
+    REGISTRY
+}
+
+/// Look a workload up by its CLI/report name.
+pub fn workload(name: &str) -> Option<&'static WorkloadSpec> {
+    REGISTRY.iter().find(|w| w.name == name)
+}
+
+/// The registry row describing a [`StreamSpec`]'s workload kind
+/// (parameters are ignored — `Zipf(2.0)` and `Zipf(1.1)` share a row).
+///
+/// # Panics
+///
+/// Panics if the variant is unregistered — a bug, guarded by tests that
+/// walk every variant.
+pub fn descriptor(spec: &StreamSpec) -> &'static WorkloadSpec {
+    REGISTRY
+        .iter()
+        .find(|w| std::mem::discriminant(&w.spec) == std::mem::discriminant(spec))
+        .expect("every StreamSpec variant has a registry row")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::materialize;
+
+    #[test]
+    fn names_are_unique() {
+        for (i, a) in REGISTRY.iter().enumerate() {
+            for b in &REGISTRY[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn every_spec_variant_is_registered() {
+        // descriptor() must not panic for any variant, including
+        // parameterized ones at non-default parameters.
+        for spec in [
+            StreamSpec::Uniform,
+            StreamSpec::Zipf(2.0),
+            StreamSpec::SortedRamp,
+            StreamSpec::ReverseRamp,
+            StreamSpec::Bell,
+            StreamSpec::TwoPhase,
+            StreamSpec::BlockShuffled(7),
+            StreamSpec::Pareto(3.0),
+            StreamSpec::DriftingHotSet,
+            StreamSpec::PeriodicBurst,
+            StreamSpec::DuplicateFlood,
+        ] {
+            let w = descriptor(&spec);
+            assert_eq!(spec.name(), w.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_round_trips() {
+        for w in registry() {
+            let found = workload(w.name).expect("registered name resolves");
+            assert_eq!(found.name, w.name);
+        }
+        assert!(workload("no-such-workload").is_none());
+    }
+
+    #[test]
+    fn source_and_materialize_agree() {
+        for w in registry() {
+            let eager = w.materialize(2_000, 1 << 18, 5);
+            let lazy = materialize(w.source(2_000, 1 << 18, 5));
+            assert_eq!(eager, lazy, "{} source != materialize", w.name);
+        }
+    }
+}
