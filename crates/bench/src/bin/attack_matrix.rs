@@ -1,0 +1,148 @@
+//! The robustness matrix: every registered attack against every
+//! registered defense, one judged error per cell.
+//!
+//! Rows are defenses (see `bench::matrix`), columns are attack-registry
+//! adversaries; each cell is the worst judged error across the trial
+//! seeds — prefix discrepancy for sample defenses, worst rank error for
+//! quantile defenses, worst count error for frequency defenses. The grid
+//! is fully deterministic (re-running prints the identical table), and
+//! `EXPERIMENTS.md` documents the expected outcome of every row with its
+//! theorem linkage.
+//!
+//! Flags: `--quick` (CI-sized), `--n <len>`, `--attack <name>` (one
+//! column), `--list-attacks`, `--csv <dir>`.
+
+use robust_sampling_bench::matrix::{defenses, run_matrix, DefenseKind, ROBUST_EPS};
+use robust_sampling_bench::{banner, f, init_cli, is_quick, stream_len, verdict, Table};
+use robust_sampling_core::attack::{registry, AttackSpec};
+
+fn main() {
+    init_cli();
+    banner(
+        "ATTACK-MATRIX",
+        "attack registry x defense registry robustness grid",
+        "Thm 1.2/1.3 + Cor 1.5/1.6 + HW13: adaptivity breaks undersized and \
+         linear summaries; theorem-sized sampling holds every cell",
+    );
+    let n = stream_len(if is_quick() { 4_096 } else { 16_384 });
+    let trials = if is_quick() { 1 } else { 3 };
+    let universe = 1u64 << 20;
+    let attacks: Vec<&'static AttackSpec> = match robust_sampling_bench::attack() {
+        Some(a) => vec![a],
+        None => registry().iter().collect(),
+    };
+    println!(
+        "\n{} defenses x {} attacks, n = {n}, universe = 2^20, worst of {trials} seed(s):",
+        defenses().len(),
+        attacks.len()
+    );
+
+    let grid = run_matrix(n, universe, 0, trials, &attacks);
+
+    let mut header: Vec<&str> = vec!["defense", "kind"];
+    header.extend(attacks.iter().map(|a| a.name));
+    let mut table = Table::new(&header);
+    for (row, errors) in defenses().iter().zip(&grid) {
+        let mut cells = vec![row.name.to_string(), row.kind.label().to_string()];
+        cells.extend(errors.iter().map(|&e| f(e)));
+        table.row(&cells);
+    }
+    table.emit("attack_matrix", "grid");
+
+    let mut budgets = Table::new(&["defense", "budget"]);
+    for row in defenses() {
+        budgets.row(&[row.name.to_string(), row.budget.to_string()]);
+    }
+    println!("\nDefense budgets:");
+    budgets.emit("attack_matrix", "budgets");
+
+    let col = |name: &str| attacks.iter().position(|a| a.name == name);
+    let row = |name: &str| defenses().iter().position(|d| d.name == name).unwrap();
+
+    // Verdict 1: the E13 contrast as matrix cells — the collider forges a
+    // phantom heavy hitter in the linear sketch while the Cor 1.6
+    // pipeline is indifferent to the same traffic.
+    if let Some(c) = col("collider") {
+        let cm = grid[row("count-min")][c];
+        let robust = grid[row("robust-heavy-hitters")][c];
+        verdict(
+            "collider breaks count-min but not the Cor 1.6 pipeline",
+            cm >= 0.04 && robust <= 0.02,
+            &format!(
+                "phantom count error: count-min {}, robust {}",
+                f(cm),
+                f(robust)
+            ),
+        );
+    }
+
+    // Verdict 2: the adaptivity premium — against the break-scale
+    // reservoir, the worst adaptive attack strictly dominates the worst
+    // oblivious replay control.
+    let adaptive_worst = |d: usize| -> f64 {
+        attacks
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.adaptive)
+            .map(|(i, _)| grid[d][i])
+            .fold(0.0, f64::max)
+    };
+    let control_worst = |d: usize| -> f64 {
+        attacks
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !a.adaptive)
+            .map(|(i, _)| grid[d][i])
+            .fold(0.0, f64::max)
+    };
+    if attacks.iter().any(|a| a.adaptive) && attacks.iter().any(|a| !a.adaptive) {
+        let d = row("reservoir");
+        verdict(
+            "adaptive attacks dominate the oblivious controls on the break-scale reservoir",
+            adaptive_worst(d) > control_worst(d),
+            &format!(
+                "worst adaptive {} vs worst control {}",
+                f(adaptive_worst(d)),
+                f(control_worst(d))
+            ),
+        );
+    }
+
+    // Verdict 3: Theorem 1.2 sizing holds every cell of its row.
+    let robust_rows = ["reservoir-robust", "robust-quantiles"];
+    let mut worst_robust = 0.0f64;
+    for name in robust_rows {
+        worst_robust = worst_robust.max(grid[row(name)].iter().copied().fold(0.0, f64::max));
+    }
+    verdict(
+        "theorem-sized rows hold <= eps against the whole attack registry",
+        worst_robust <= ROBUST_EPS,
+        &format!(
+            "worst theorem-sized cell {} (eps = {ROBUST_EPS})",
+            f(worst_robust)
+        ),
+    );
+
+    // Verdict 4: the whole grid is deterministic — re-evaluating seed
+    // base 0 reproduces every cell bit-for-bit.
+    let rerun = run_matrix(n, universe, 0, trials, &attacks);
+    verdict(
+        "matrix is deterministic",
+        grid == rerun,
+        "re-evaluated grid is bit-identical",
+    );
+
+    // Context for readers of the grid (and of EXPERIMENTS.md).
+    let det_quantile: Vec<&str> = defenses()
+        .iter()
+        .filter(|d| matches!(d.kind, DefenseKind::Quantile) && !d.name.starts_with("robust"))
+        .map(|d| d.name)
+        .collect();
+    println!(
+        "\nreading the grid: deterministic comparators ({}) keep their\n\
+         worst-case eps bounds by construction — adaptive rows *saturate*\n\
+         them; the randomized break-scale rows are where adaptivity wins\n\
+         outright, and the theorem-sized rows are where Thm 1.2 buys it back.",
+        det_quantile.join(", ")
+    );
+}

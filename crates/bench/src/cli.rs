@@ -11,13 +11,17 @@
 //!   knob — verdicts and tables never change.
 //! * `--workload <name>` — pull an extra workload from the scenario
 //!   registry into the binaries that take a distribution ([`workload`]);
+//! * `--attack <name>` — pull an adversary from the attack registry into
+//!   the binaries that duel one ([`attack`]; the `attack_matrix` binary
+//!   uses it to restrict the grid to one attack column);
 //! * `--n <len>` — override the stream length ([`stream_len`]);
-//! * `--list-workloads` — print the scenario registry and exit
-//!   (handled by [`init_cli`]).
+//! * `--list-workloads` / `--list-attacks` — print the scenario or
+//!   attack registry and exit (handled by [`init_cli`]).
 //!
 //! Binaries construct engines through [`engine`], which applies the
 //! `--threads` setting so the flag reaches every trial loop.
 
+use robust_sampling_core::attack::AttackSpec;
 use robust_sampling_core::engine::ExperimentEngine;
 use robust_sampling_streamgen::{registry, WorkloadSpec};
 
@@ -65,6 +69,28 @@ pub fn workload() -> Option<&'static WorkloadSpec> {
     }
 }
 
+/// The `--attack <name>` attack-registry entry, if the flag was passed.
+///
+/// Exits with status 2 (after printing the registry) on an unknown name.
+pub fn attack() -> Option<&'static AttackSpec> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--attack")?;
+    match args.get(i + 1) {
+        Some(name) => match robust_sampling_core::attack::attack(name) {
+            Some(a) => Some(a),
+            None => {
+                eprintln!("unknown attack {name:?}; registered attacks:");
+                print_attacks();
+                std::process::exit(2);
+            }
+        },
+        None => {
+            eprintln!("--attack needs a registry name argument");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// The `--n <len>` stream-length override; `default` when absent.
 ///
 /// Exits with status 2 on a malformed or zero value.
@@ -90,22 +116,38 @@ pub fn print_workloads() {
     }
 }
 
+/// Print the attack registry as an aligned table.
+pub fn print_attacks() {
+    println!(
+        "{:<15} {:<9} {:<58} defaults",
+        "name", "kind", "target (paper linkage)"
+    );
+    for a in robust_sampling_core::attack::registry() {
+        let kind = if a.adaptive { "adaptive" } else { "control" };
+        println!("{:<15} {:<9} {:<58} {}", a.name, kind, a.target, a.params);
+    }
+}
+
 /// An [`ExperimentEngine`] honouring the `--threads` flag — the one
 /// constructor experiment binaries should use.
 pub fn engine(n: usize, trials: usize) -> ExperimentEngine {
     ExperimentEngine::new(n, trials).threads(threads())
 }
 
-/// Handle the common flags: `--list-workloads` prints the scenario
-/// registry and exits; `--csv <dir>` routes every subsequent
-/// [`Table::emit`](crate::Table::emit) to CSV files in `dir` (by setting
-/// the environment variable the report layer reads); `--threads`,
-/// `--workload`, and `--n` are validated eagerly so a typo fails before a
-/// long run. Call once at the top of `main`.
+/// Handle the common flags: `--list-workloads` / `--list-attacks` print
+/// the scenario or attack registry and exit; `--csv <dir>` routes every
+/// subsequent [`Table::emit`](crate::Table::emit) to CSV files in `dir`
+/// (by setting the environment variable the report layer reads);
+/// `--threads`, `--workload`, `--attack`, and `--n` are validated eagerly
+/// so a typo fails before a long run. Call once at the top of `main`.
 pub fn init_cli() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--list-workloads") {
         print_workloads();
+        std::process::exit(0);
+    }
+    if args.iter().any(|a| a == "--list-attacks") {
+        print_attacks();
         std::process::exit(0);
     }
     if let Some(i) = args.iter().position(|a| a == "--csv") {
@@ -119,6 +161,7 @@ pub fn init_cli() {
     }
     let _ = threads();
     let _ = workload();
+    let _ = attack();
     let _ = stream_len(1);
 }
 
@@ -143,6 +186,7 @@ mod tests {
     #[test]
     fn workload_and_n_default_when_flags_absent() {
         assert!(workload().is_none());
+        assert!(attack().is_none());
         assert_eq!(stream_len(1234), 1234);
     }
 }

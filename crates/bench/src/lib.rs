@@ -18,14 +18,20 @@
 //!   worker threads, bit-identical to the sequential run;
 //! * `--workload <name>` / `--n <len>` / `--list-workloads` — pull an
 //!   extra scenario-registry workload into the distribution-driven
-//!   binaries, override stream length, or list the registry.
+//!   binaries, override stream length, or list the registry;
+//! * `--attack <name>` / `--list-attacks` — restrict the `attack_matrix`
+//!   grid to one attack-registry adversary, or list that registry.
+//!
+//! The attack × defense robustness grid itself lives in [`matrix`] and is
+//! driven by the `attack_matrix` binary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod matrix;
 
-pub use cli::{engine, init_cli, is_quick, stream_len, threads, workload};
+pub use cli::{attack, engine, init_cli, is_quick, stream_len, threads, workload};
 pub use robust_sampling_core::engine::report::Table;
 
 /// Format a float with 4 significant decimals.

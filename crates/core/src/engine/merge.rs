@@ -6,9 +6,9 @@
 //! shard a stream across cores (or sites) and reassemble the pieces: if
 //! each shard's summary is an `(ε, δ)`-faithful digest of its substream
 //! and `merge` composes them without losing the guarantee, the merged
-//! summary answers for the whole stream. [`ShardedSummary`]
-//! (`crate::engine::ShardedSummary`) builds data-parallel ingestion on top
-//! of this trait.
+//! summary answers for the whole stream.
+//! [`ShardedSummary`](crate::engine::ShardedSummary) builds data-parallel
+//! ingestion on top of this trait.
 //!
 //! What "sound" means varies by summary — the impls document their exact
 //! contract:

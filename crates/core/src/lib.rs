@@ -35,6 +35,7 @@
 //! | [`bounds`] | sample-size calculators lifted verbatim from the theorem statements |
 //! | [`game`] | the `AdaptiveGame` and `ContinuousAdaptiveGame` runners (paper Figures 1–2) |
 //! | [`adversary`] | adaptive attack strategies (paper Figure 3 and §1), plus benign/static adversaries |
+//! | [`attack`] | the pluggable attack subsystem: [`attack::AttackStrategy`] trait, attack registry (`--attack`), and the attack-vs-defense [`attack::Duel`] loop |
 //! | [`estimators`] | quantiles, heavy hitters, range queries, center points computed from a sample |
 //! | [`sketch`] | self-sizing [`sketch::RobustQuantileSketch`] / [`sketch::RobustHeavyHitterSketch`] |
 //! | [`net`] | ε-net checking and the approximation-implies-net transfer |
@@ -69,6 +70,7 @@
 
 pub mod adversary;
 pub mod approx;
+pub mod attack;
 pub mod bounds;
 pub mod dyadic;
 pub mod engine;
@@ -83,6 +85,7 @@ pub mod window;
 
 pub use adversary::Adversary;
 pub use approx::DiscrepancyReport;
+pub use attack::{AttackSpec, AttackStrategy, Duel, ObservableDefense};
 pub use engine::{ExperimentEngine, FrequencySummary, QuantileSummary, StreamSummary};
 pub use game::{AdaptiveGame, ContinuousAdaptiveGame, GameOutcome};
 pub use sampler::{BernoulliSampler, Observation, ReservoirSampler, StreamSampler};

@@ -391,7 +391,7 @@ impl<T> ReservoirSampler<T> {
     /// reservoir of that size — sound because a uniform `j`-subset of a
     /// uniform `k`-sample of a stream is a uniform `j`-subset of the
     /// stream itself. Afterwards the Algorithm L threshold is re-drawn
-    /// for the combined length (see [`reseed_threshold`]'s comment), so
+    /// for the combined length (see `reseed_threshold`'s comment), so
     /// the merged sampler can keep ingesting.
     ///
     /// All randomness comes from `self`'s RNG: merges are deterministic

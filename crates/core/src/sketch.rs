@@ -99,6 +99,12 @@ impl<T: Ord + Clone> RobustQuantileSketch<T> {
         self.reservoir.observed()
     }
 
+    /// The retained sample — the sketch's full observable state in the
+    /// paper's adversarial model (see [`crate::attack`]).
+    pub fn sample(&self) -> &[T] {
+        self.reservoir.sample()
+    }
+
     /// Reservoir capacity (the memory footprint in elements).
     pub fn capacity(&self) -> usize {
         self.reservoir.k()
@@ -186,6 +192,12 @@ impl<T: Ord + Clone> RobustHeavyHitterSketch<T> {
     /// Elements observed so far.
     pub fn observed(&self) -> usize {
         self.reservoir.observed()
+    }
+
+    /// The retained sample — the sketch's full observable state in the
+    /// paper's adversarial model (see [`crate::attack`]).
+    pub fn sample(&self) -> &[T] {
+        self.reservoir.sample()
     }
 
     /// Reservoir capacity.

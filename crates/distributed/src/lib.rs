@@ -93,7 +93,7 @@ impl LoadBalancer {
 /// Elements per routed chunk in [`run_threaded`]: one `mpsc` send (and
 /// one worker-side `ingest_batch`) per this many elements, instead of one
 /// send per element.
-const ROUTE_CHUNK: usize = 1024;
+pub const ROUTE_CHUNK: usize = 1024;
 
 /// Multi-threaded router run: `k` worker threads each consume an mpsc
 /// channel and maintain both their full substream and a local reservoir of
@@ -311,6 +311,12 @@ impl Site {
         self.reservoir.observed()
     }
 
+    /// The site's local reservoir sample — its observable state in the
+    /// adversarial model (see `robust_sampling_core::attack`).
+    pub fn sample(&self) -> &[u64] {
+        self.reservoir.sample()
+    }
+
     /// Consume the site, returning its local reservoir.
     pub fn into_sample(self) -> Vec<u64> {
         self.reservoir.into_sample()
@@ -366,6 +372,16 @@ impl StreamSummary<u64> for Site {
 impl MergeableSummary<u64> for Site {
     fn merge(&mut self, other: Self) {
         Site::merge(self, other);
+    }
+}
+
+/// A site's observable state is its local reservoir — so registered
+/// attacks can duel the distributed path like any other summary.
+impl robust_sampling_core::attack::StateOracle for Site {}
+
+impl robust_sampling_core::attack::ObservableDefense for Site {
+    fn visible_into(&self, out: &mut Vec<u64>) {
+        out.extend_from_slice(self.sample());
     }
 }
 

@@ -1,0 +1,192 @@
+//! [`ObservableDefense`] implementations for the baseline sketches, so
+//! every comparator can be duelled by the attack registry
+//! (`robust_sampling_core::attack`).
+//!
+//! The paper's adversarial model exposes the **full** internal state
+//! `σ_i`, which means different things per family:
+//!
+//! * the counter summaries (Misra–Gries, SpaceSaving) reveal their
+//!   tracked item set — the state the eviction-pump attack watches;
+//! * the quantile summaries (GK, KLL, merge-reduce) reveal their live
+//!   rank answers through
+//!   [`StateOracle::quantile_estimate`] — the state the median-hunt
+//!   attack steers by;
+//! * Count-Min reveals its hash functions through
+//!   [`StateOracle::row_colliders`] — the exposure the collider attack
+//!   (experiment E13) exploits.
+
+use robust_sampling_core::attack::{ObservableDefense, StateOracle};
+use robust_sampling_core::engine::{FrequencySummary, QuantileSummary};
+
+use crate::count_min::CountMin;
+use crate::gk::GkSummary;
+use crate::kll::KllSketch;
+use crate::merge_reduce::MergeReduce;
+use crate::misra_gries::MisraGries;
+use crate::space_saving::SpaceSaving;
+
+impl StateOracle for GkSummary {
+    fn quantile_estimate(&self, q: f64) -> Option<u64> {
+        QuantileSummary::estimate_quantile(self, q)
+    }
+}
+
+impl ObservableDefense for GkSummary {
+    fn visible_into(&self, _out: &mut Vec<u64>) {
+        // Tuple values are reachable through the rank oracle; no retained
+        // element multiset exists.
+    }
+}
+
+impl StateOracle for KllSketch {
+    fn quantile_estimate(&self, q: f64) -> Option<u64> {
+        QuantileSummary::estimate_quantile(self, q)
+    }
+}
+
+impl ObservableDefense for KllSketch {
+    fn visible_into(&self, _out: &mut Vec<u64>) {}
+}
+
+impl StateOracle for MergeReduce {
+    fn quantile_estimate(&self, q: f64) -> Option<u64> {
+        QuantileSummary::estimate_quantile(self, q)
+    }
+}
+
+impl ObservableDefense for MergeReduce {
+    fn visible_into(&self, out: &mut Vec<u64>) {
+        out.extend(self.weighted_summary().into_iter().map(|(v, _)| v));
+    }
+}
+
+impl StateOracle for MisraGries {
+    fn count_estimate(&self, x: u64) -> Option<f64> {
+        Some(FrequencySummary::estimate_count(self, &x))
+    }
+}
+
+impl ObservableDefense for MisraGries {
+    fn visible_into(&self, out: &mut Vec<u64>) {
+        out.extend(self.heavy_hitters(0.0).into_iter().map(|(x, _)| x));
+    }
+}
+
+impl StateOracle for SpaceSaving {
+    fn count_estimate(&self, x: u64) -> Option<f64> {
+        Some(FrequencySummary::estimate_count(self, &x))
+    }
+}
+
+impl ObservableDefense for SpaceSaving {
+    fn visible_into(&self, out: &mut Vec<u64>) {
+        out.extend(self.heavy_hitters(0.0).into_iter().map(|(x, _)| x));
+    }
+}
+
+impl StateOracle for CountMin {
+    fn row_colliders(&self, target: u64, start: u64) -> Option<Vec<u64>> {
+        Some(self.find_row_colliders(target, start))
+    }
+
+    fn count_estimate(&self, x: u64) -> Option<f64> {
+        Some(self.estimate(x) as f64)
+    }
+}
+
+impl ObservableDefense for CountMin {
+    fn visible_into(&self, _out: &mut Vec<u64>) {
+        // Counters retain no elements; the hash structure is the
+        // observable state, exposed through `row_colliders`.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robust_sampling_core::attack::{attack, ColliderAttack, Duel, EvictionPumpAttack};
+    use robust_sampling_core::engine::StreamSummary;
+
+    const N: usize = 4_000;
+    const UNIVERSE: u64 = 1 << 16;
+
+    #[test]
+    fn collider_forges_a_phantom_heavy_hitter_in_count_min() {
+        let mut cm = CountMin::for_guarantee(0.005, 0.01, 42);
+        let mut atk = attack("collider").unwrap().build(N, UNIVERSE, 7);
+        let out = Duel::new(N, UNIVERSE).run(&mut cm, &mut atk);
+        let victim = ColliderAttack::victim(UNIVERSE);
+        assert_eq!(
+            out.stream.iter().filter(|&&x| x == victim).count(),
+            0,
+            "victim must never be sent"
+        );
+        let est = cm.estimate(victim) as f64;
+        assert!(
+            est >= 0.05 * N as f64,
+            "phantom estimate {est} below the heavy threshold"
+        );
+    }
+
+    #[test]
+    fn eviction_pump_saturates_but_cannot_break_misra_gries() {
+        // MG's n/(k+1) undercount is a worst-case deterministic bound: the
+        // pump pushes the victim's estimate to the floor, but never past it.
+        let k = 16usize;
+        let mut mg = MisraGries::new(k);
+        let mut atk = attack("eviction-pump").unwrap().build(N, UNIVERSE, 0);
+        let out = Duel::new(N, UNIVERSE).run(&mut mg, &mut atk);
+        let victim = EvictionPumpAttack::victim(UNIVERSE);
+        let truth = out.stream.iter().filter(|&&x| x == victim).count() as u64;
+        let est = mg.estimate(victim);
+        assert!(truth >= (N / 5) as u64, "victim phase too short");
+        assert!(est <= truth, "MG must undercount");
+        assert!(
+            truth - est <= (N as u64) / (k as u64 + 1),
+            "bound broken: truth {truth}, est {est}"
+        );
+        // The pump actually bites: the undercount reaches at least half
+        // the worst-case budget.
+        assert!(
+            truth - est >= (N as u64) / (2 * (k as u64 + 1)),
+            "pump too weak: undercount only {}",
+            truth - est
+        );
+    }
+
+    #[test]
+    fn quantile_oracles_answer_through_the_defense_view() {
+        let stream: Vec<u64> = (0..20_000).collect();
+        let mut gk = GkSummary::new(0.02);
+        let mut kll = KllSketch::with_seed(128, 1);
+        let mut mr = MergeReduce::for_eps(0.02, stream.len());
+        for s in [&mut gk as &mut dyn StreamSummary<u64>, &mut kll, &mut mr] {
+            s.ingest_batch(&stream);
+        }
+        for (name, oracle) in [
+            ("gk", &gk as &dyn StateOracle),
+            ("kll", &kll),
+            ("merge-reduce", &mr),
+        ] {
+            let med = oracle.quantile_estimate(0.5).expect("answers") as f64;
+            assert!((med - 10_000.0).abs() < 1_500.0, "{name} median {med}");
+            assert!(oracle.row_colliders(5, 0).is_none(), "{name} has no hashes");
+        }
+    }
+
+    #[test]
+    fn counter_defenses_expose_their_tracked_set() {
+        let mut mg = MisraGries::new(8);
+        let mut ss = SpaceSaving::new(8);
+        for x in 0..100u64 {
+            mg.observe(x % 4);
+            ss.observe(x % 4);
+        }
+        let mut mg_vis = ObservableDefense::visible(&mg);
+        let mut ss_vis = ObservableDefense::visible(&ss);
+        mg_vis.sort_unstable();
+        ss_vis.sort_unstable();
+        assert_eq!(mg_vis, vec![0, 1, 2, 3]);
+        assert_eq!(ss_vis, vec![0, 1, 2, 3]);
+    }
+}

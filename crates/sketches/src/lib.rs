@@ -3,6 +3,7 @@
 #![warn(missing_docs)]
 
 pub mod count_min;
+pub mod defense;
 pub mod gk;
 pub mod kll;
 pub mod merge_reduce;

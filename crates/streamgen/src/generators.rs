@@ -967,7 +967,7 @@ pub fn uniform_grid_points(n: usize, m: u64, seed: u64) -> Vec<[u64; 2]> {
 /// sweep is expressible as data.
 ///
 /// Names, shapes, and default parameters live in the
-/// [scenario registry](crate::registry): [`StreamSpec::name`] resolves
+/// [scenario registry](mod@crate::registry): [`StreamSpec::name`] resolves
 /// through [`crate::registry::descriptor`], and
 /// [`StreamSpec::generate`] is [`materialize`] over
 /// [`StreamSpec::source`] — each workload is described in exactly one

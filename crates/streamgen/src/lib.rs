@@ -2,15 +2,15 @@
 //!
 //! Three layers:
 //!
-//! * [`source`] — the lazy [`StreamSource`](source::StreamSource)
-//!   abstraction: deterministic, seedable, chunk-pulling generators, so
-//!   stream length is bounded by patience instead of RAM;
+//! * [`source`] — the lazy [`StreamSource`] abstraction: deterministic,
+//!   seedable, chunk-pulling generators, so stream length is bounded by
+//!   patience instead of RAM;
 //! * [`generators`] — every concrete workload (uniform, zipf, ramps,
 //!   bell, two-phase, block-shuffled, pareto, drifting hot-set, bursts,
 //!   duplicate floods, 2-D points) as a source, plus the legacy
 //!   `Vec`-returning wrappers;
-//! * [`registry`] — the scenario registry mapping workload names to
-//!   sources (`--workload <name>` in the experiment binaries).
+//! * [`registry`](mod@registry) — the scenario registry mapping workload
+//!   names to sources (`--workload <name>` in the experiment binaries).
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

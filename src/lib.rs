@@ -16,3 +16,10 @@ pub use robust_sampling_core as core;
 pub use robust_sampling_distributed as distributed;
 pub use robust_sampling_sketches as sketches;
 pub use robust_sampling_streamgen as streamgen;
+
+/// The repository `README.md`, compiled as doctests: every `rust` code
+/// block in it must build and run under `cargo test --doc`, so the
+/// README's examples can never drift from the API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
