@@ -1,0 +1,457 @@
+//! Latency-measuring load generator for the serving layer.
+//!
+//! Spawns `--clients` client threads against a [`SummaryService`] and
+//! reports throughput plus p50/p99/p999 operation latency — measured with
+//! our own [`KllSketch`], dogfooding the workspace's quantile path — in
+//! four modes:
+//!
+//! 1. **in-process** — one ingest driver streaming a scenario-registry
+//!    workload through the service mutex while the remaining clients
+//!    hammer the published epoch snapshot with
+//!    `QUANTILE`/`COUNT`/`KS`-shaped queries through a [`QueryHandle`]
+//!    (an `Arc` copy under a briefly-held read lock). Queries never
+//!    contend with ingest; this is the upper-bound throughput of the
+//!    serving core.
+//! 2. **determinism** — a fixed frame schedule served and compared
+//!    against the offline [`ShardedSummary`] run of the same stream: the
+//!    published snapshot must be **bit-identical**.
+//! 3. **checkpoint** — the same schedule interrupted halfway by
+//!    [`checkpoint`](SummaryService::checkpoint) /
+//!    [`restore`](SummaryService::restore): after finishing, the restored
+//!    service must answer every protocol query identically to the
+//!    uninterrupted one.
+//! 4. **tcp** — a [`ServiceServer`] on `--port` (0 = ephemeral, the CI
+//!    default) under concurrent workload clients plus a registry
+//!    *attack* client playing the adaptive duel over the socket
+//!    ([`Duel::run_with`] metering every observe-choose-ingest round
+//!    trip).
+//!
+//! ```text
+//! loadgen --quick                      # CI smoke: all four modes, seconds
+//! loadgen --clients 8 --duration 4     # longer local measurement
+//! loadgen --workload zipf --attack bisection --port 7777
+//! ```
+
+use robust_sampling_bench::{banner, f, init_cli, is_quick, verdict, Table};
+use robust_sampling_core::attack::Duel;
+use robust_sampling_core::engine::{ShardedSummary, StreamSummary};
+use robust_sampling_core::sampler::{ReservoirSampler, StreamSampler};
+use robust_sampling_service::{
+    QueryHandle, ServiceClient, ServiceConfig, ServiceServer, SummaryService,
+};
+use robust_sampling_sketches::kll::KllSketch;
+use robust_sampling_streamgen as streamgen;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Per-shard reservoir capacity for every mode.
+const LOCAL_K: usize = 256;
+/// Elements per in-process ingest frame.
+const FRAME: usize = 256;
+/// The deterministic frame schedule (cycled) for modes 2 and 3 — awkward
+/// sizes on purpose, so split points exercise the round-robin deal.
+const DET_SCHEDULE: [usize; 6] = [997, 256, 513, 1024, 64, 2048];
+
+struct ClientReport {
+    ops: u64,
+    elems: u64,
+    latency: KllSketch,
+}
+
+fn lat_sketch(seed: u64) -> KllSketch {
+    KllSketch::with_seed(256, seed)
+}
+
+fn merge_reports(reports: Vec<ClientReport>) -> (u64, u64, KllSketch) {
+    let mut ops = 0;
+    let mut elems = 0;
+    let mut lat = lat_sketch(0);
+    for r in reports {
+        ops += r.ops;
+        elems += r.elems;
+        lat.merge(r.latency);
+    }
+    (ops, elems, lat)
+}
+
+/// Served operations for the throughput verdict: every ingested element
+/// plus every answered query counts as one operation (a query client's
+/// report has `elems == 0`, an ingest client's `ops` are frames — already
+/// accounted element-wise).
+fn served_ops(reports: &[ClientReport]) -> u64 {
+    reports
+        .iter()
+        .map(|r| if r.elems > 0 { r.elems } else { r.ops })
+        .sum()
+}
+
+fn micros(lat: &KllSketch, q: f64) -> f64 {
+    lat.quantile(q).unwrap_or(0) as f64 / 1_000.0
+}
+
+fn push_row(table: &mut Table, mode: &str, clients: usize, secs: f64, ops: u64, lat: &KllSketch) {
+    table.row(&[
+        mode.to_string(),
+        clients.to_string(),
+        f(secs),
+        ops.to_string(),
+        format!("{:.0}", ops as f64 / secs),
+        f(micros(lat, 0.5)),
+        f(micros(lat, 0.99)),
+        f(micros(lat, 0.999)),
+    ]);
+}
+
+fn service(shards: usize, seed: u64, epoch_every: usize) -> SummaryService<ReservoirSampler<u64>> {
+    SummaryService::start(shards, seed, epoch_every, |_, s| {
+        ReservoirSampler::with_seed(LOCAL_K, s)
+    })
+}
+
+/// Mode 1: concurrent in-process ingest + queries for `secs` seconds.
+/// Returns (served ops, total protocol ops, latency sketch).
+fn run_in_process(
+    w: &'static streamgen::WorkloadSpec,
+    clients: usize,
+    secs: f64,
+) -> (u64, u64, KllSketch) {
+    let svc = Mutex::new(service(2, 42, 4 * FRAME));
+    let handle: QueryHandle<ReservoirSampler<u64>> =
+        svc.lock().expect("service lock").query_handle();
+    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+    let universe = 1u64 << 20;
+    let queriers = clients.saturating_sub(1).max(1);
+    std::thread::scope(|scope| {
+        let ingest = scope.spawn(|| {
+            // An effectively endless source: re-open the workload whenever
+            // a huge-but-finite run dries up.
+            let mut lat = lat_sketch(1);
+            let mut ops = 0u64;
+            let mut elems = 0u64;
+            let mut frame = Vec::with_capacity(FRAME);
+            let mut source = w.source(usize::MAX >> 8, universe, 7);
+            while Instant::now() < deadline {
+                frame.clear();
+                if source.next_chunk(&mut frame, FRAME) == 0 {
+                    source = w.source(usize::MAX >> 8, universe, 7);
+                    continue;
+                }
+                let t0 = Instant::now();
+                svc.lock().expect("service lock").ingest_frame(&frame);
+                lat.observe(t0.elapsed().as_nanos() as u64);
+                ops += 1;
+                elems += frame.len() as u64;
+            }
+            ClientReport {
+                ops,
+                elems,
+                latency: lat,
+            }
+        });
+        let query_handles: Vec<_> = (0..queriers)
+            .map(|c| {
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    let mut lat = lat_sketch(2 + c as u64);
+                    let mut ops = 0u64;
+                    while Instant::now() < deadline {
+                        let t0 = Instant::now();
+                        let snap = handle.snapshot();
+                        match ops % 4 {
+                            0 => {
+                                let _ = snap.quantile(0.5);
+                            }
+                            1 => {
+                                let _ = snap.quantile(0.99);
+                            }
+                            2 => {
+                                let _ = snap.count(ops.wrapping_mul(2_654_435_761) % universe);
+                            }
+                            _ => {
+                                let _ = snap.ks_uniform(universe);
+                            }
+                        }
+                        lat.observe(t0.elapsed().as_nanos() as u64);
+                        ops += 1;
+                    }
+                    ClientReport {
+                        ops,
+                        elems: 0,
+                        latency: lat,
+                    }
+                })
+            })
+            .collect();
+        let mut reports = vec![ingest.join().expect("ingest client panicked")];
+        for h in query_handles {
+            reports.push(h.join().expect("query client panicked"));
+        }
+        let served = served_ops(&reports);
+        let (ops, _, lat) = merge_reports(reports);
+        (served, ops, lat)
+    })
+}
+
+/// The deterministic frame schedule for modes 2 and 3.
+fn det_frames(w: &'static streamgen::WorkloadSpec, n: usize, universe: u64) -> Vec<Vec<u64>> {
+    let mut source = w.source(n, universe, 11);
+    let mut frames = Vec::new();
+    let mut i = 0usize;
+    loop {
+        let mut frame = Vec::new();
+        if source.next_chunk(&mut frame, DET_SCHEDULE[i % DET_SCHEDULE.len()]) == 0 {
+            return frames;
+        }
+        frames.push(frame);
+        i += 1;
+    }
+}
+
+fn main() {
+    init_cli();
+    let quick = is_quick();
+    let clients = robust_sampling_bench::clients(if quick { 4 } else { 8 });
+    let secs = robust_sampling_bench::duration_secs(if quick { 1.0 } else { 4.0 });
+    let port = robust_sampling_bench::port();
+    let w = robust_sampling_bench::workload()
+        .unwrap_or_else(|| streamgen::workload("uniform").expect("uniform is registered"));
+    let atk = robust_sampling_bench::attack().unwrap_or_else(|| {
+        robust_sampling_core::attack::attack("median-hunt").expect("registered")
+    });
+    let universe = 1u64 << 20;
+
+    banner(
+        "LOADGEN",
+        "serving-layer load generator (throughput + latency)",
+        "concurrent ingest+query through epoch snapshots; snapshots bit-identical \
+         to the offline sharded run; checkpoint/restore changes no answer",
+    );
+    println!(
+        "\nclients = {clients}, duration = {secs}s/mode, workload = {}, attack = {}, \
+         port = {} (0 = ephemeral), per-shard k = {LOCAL_K}",
+        w.name, atk.name, port
+    );
+
+    let mut table = Table::new(&[
+        "mode", "clients", "secs", "ops", "ops/s", "p50_us", "p99_us", "p999_us",
+    ]);
+
+    // ---- Mode 1: in-process concurrent ingest + query ------------------
+    let t0 = Instant::now();
+    let (served, _protocol_ops, lat) = run_in_process(w, clients, secs);
+    let elapsed = t0.elapsed().as_secs_f64();
+    let inproc_ops_per_sec = served as f64 / elapsed;
+    push_row(&mut table, "in-process", clients, elapsed, served, &lat);
+
+    // ---- Mode 2: served vs offline determinism -------------------------
+    let n_det = if quick { 200_000 } else { 2_000_000 };
+    let frames = det_frames(w, n_det, universe);
+    let mut svc = service(4, 42, 8_192);
+    let mut offline = ShardedSummary::new(4, 42, |_, s| ReservoirSampler::with_seed(LOCAL_K, s));
+    let t0 = Instant::now();
+    let mut det_lat = lat_sketch(3);
+    for frame in &frames {
+        let f0 = Instant::now();
+        svc.ingest_frame(frame);
+        det_lat.observe(f0.elapsed().as_nanos() as u64);
+        offline.ingest_batch(frame);
+    }
+    svc.publish();
+    let det_secs = t0.elapsed().as_secs_f64();
+    let served_sample = svc.snapshot().summary().sample().to_vec();
+    let offline_sample = offline.merged().sample().to_vec();
+    let det_identical = served_sample == offline_sample;
+    push_row(
+        &mut table,
+        "determinism",
+        1,
+        det_secs,
+        n_det as u64,
+        &det_lat,
+    );
+
+    // ---- Mode 3: checkpoint/restore mid-run ----------------------------
+    let half = frames.len() / 2;
+    let mut whole = service(4, 42, 8_192);
+    let mut prefix = service(4, 42, 8_192);
+    for frame in &frames[..half] {
+        whole.ingest_frame(frame);
+        prefix.ingest_frame(frame);
+    }
+    let t0 = Instant::now();
+    let bytes = prefix.checkpoint();
+    drop(prefix);
+    let mut restored =
+        SummaryService::<ReservoirSampler<u64>>::restore(&bytes).expect("restore checkpoint");
+    let ckpt_secs = t0.elapsed().as_secs_f64();
+    for frame in &frames[half..] {
+        whole.ingest_frame(frame);
+        restored.ingest_frame(frame);
+    }
+    whole.publish();
+    restored.publish();
+    let (a, b) = (whole.snapshot(), restored.snapshot());
+    let ckpt_identical = a.summary().sample() == b.summary().sample()
+        && a.epoch() == b.epoch()
+        && a.quantile(0.5) == b.quantile(0.5)
+        && a.quantile(0.999) == b.quantile(0.999)
+        && a.count(123) == b.count(123)
+        && a.ks_uniform(universe) == b.ks_uniform(universe)
+        && a.heavy(0.01) == b.heavy(0.01);
+    println!(
+        "\ncheckpoint: {} bytes saved+restored in {}s (mid-run, {} of {} frames)",
+        bytes.len(),
+        f(ckpt_secs),
+        half,
+        frames.len()
+    );
+
+    // ---- Mode 4: TCP — workload clients + an attack duel ---------------
+    let server = ServiceServer::spawn(
+        service(2, 7, 64),
+        ServiceConfig {
+            addr: format!("127.0.0.1:{port}"),
+            universe,
+        },
+    )
+    .expect("bind loadgen port");
+    let addr = server.addr();
+    println!("tcp: serving on {addr}");
+    let tcp_frames: usize = if quick { 64 } else { 512 };
+    let duel_rounds = if quick { 128 } else { 512 };
+    let tcp_workers = clients.saturating_sub(1).max(1);
+    let t0 = Instant::now();
+    let reports: Vec<ClientReport> = std::thread::scope(|scope| {
+        let workload_clients: Vec<_> = (0..tcp_workers)
+            .map(|c| {
+                scope.spawn(move || {
+                    let client = ServiceClient::connect(addr).expect("connect workload client");
+                    let mut source = w.source(tcp_frames * 128, 1 << 20, 100 + c as u64);
+                    let mut lat = lat_sketch(50 + c as u64);
+                    let mut ops = 0u64;
+                    let mut elems = 0u64;
+                    let mut frame = Vec::with_capacity(128);
+                    loop {
+                        frame.clear();
+                        if source.next_chunk(&mut frame, 128) == 0 {
+                            break;
+                        }
+                        let q0 = Instant::now();
+                        client.ingest(&frame).expect("INGEST");
+                        lat.observe(q0.elapsed().as_nanos() as u64);
+                        elems += frame.len() as u64;
+                        ops += 1;
+                        if ops.is_multiple_of(8) {
+                            let q0 = Instant::now();
+                            let _ = client.query_quantile(0.5).expect("QUANTILE");
+                            lat.observe(q0.elapsed().as_nanos() as u64);
+                            ops += 1;
+                        }
+                    }
+                    client.quit().expect("QUIT");
+                    ClientReport {
+                        ops,
+                        elems,
+                        latency: lat,
+                    }
+                })
+            })
+            .collect();
+        let duel = scope.spawn(move || {
+            let mut client = ServiceClient::connect(addr).expect("connect attack client");
+            let mut strategy = atk.build(duel_rounds, universe, 9);
+            let mut lat = lat_sketch(99);
+            let mut last = Instant::now();
+            let _ =
+                Duel::new(duel_rounds, universe).run_with(&mut client, &mut strategy, |_, _| {
+                    let now = Instant::now();
+                    lat.observe((now - last).as_nanos() as u64);
+                    last = now;
+                });
+            client.quit().expect("QUIT");
+            ClientReport {
+                ops: duel_rounds as u64,
+                elems: duel_rounds as u64,
+                latency: lat,
+            }
+        });
+        let mut reports: Vec<ClientReport> = workload_clients
+            .into_iter()
+            .map(|h| h.join().expect("workload client panicked"))
+            .collect();
+        reports.push(duel.join().expect("attack client panicked"));
+        reports
+    });
+    let tcp_secs = t0.elapsed().as_secs_f64();
+    let expected_items: u64 = reports.iter().map(|r| r.elems).sum();
+    let check = ServiceClient::connect(addr).expect("connect checker");
+    let stats = check.stats().expect("STATS");
+    let final_snapshot = check.snapshot().expect("SNAPSHOT");
+    check.quit().expect("QUIT");
+    server.shutdown();
+    let (tcp_ops, _, tcp_lat) = merge_reports(reports);
+    push_row(
+        &mut table,
+        "tcp",
+        tcp_workers + 1,
+        tcp_secs,
+        tcp_ops,
+        &tcp_lat,
+    );
+
+    println!();
+    table.emit("loadgen", "latency");
+
+    // ---- Verdicts (exit is nonzero iff any verdict FAILs) --------------
+    println!();
+    let throughput_ok = inproc_ops_per_sec >= 1.0e6;
+    let latency_ok = micros(&lat, 0.5) > 0.0 && micros(&lat, 0.999) >= micros(&lat, 0.5);
+    let tcp_ok = stats.items as u64 == expected_items && final_snapshot.2.len() <= LOCAL_K;
+    verdict(
+        "in-process concurrent ingest+query sustains >= 1M ops/s",
+        throughput_ok,
+        &format!("{:.0} ops/s over {}s", inproc_ops_per_sec, f(elapsed)),
+    );
+    verdict(
+        "latency percentiles populated (KLL-measured)",
+        latency_ok,
+        &format!(
+            "in-process p50/p99/p999 = {}/{}/{} us",
+            f(micros(&lat, 0.5)),
+            f(micros(&lat, 0.99)),
+            f(micros(&lat, 0.999))
+        ),
+    );
+    verdict(
+        "served snapshot bit-identical to the offline sharded run",
+        det_identical,
+        &format!(
+            "{} frames, {} elements, {} retained",
+            frames.len(),
+            n_det,
+            served_sample.len()
+        ),
+    );
+    verdict(
+        "checkpoint/restore mid-run changes no query answer",
+        ckpt_identical,
+        &format!(
+            "{} bytes, quantile/count/ks/hh + sample all identical",
+            bytes.len()
+        ),
+    );
+    verdict(
+        "tcp service consistent under concurrent clients + adaptive attack",
+        tcp_ok,
+        &format!(
+            "items {} == sum of client ingests {}, snapshot sample {} <= k {}",
+            stats.items,
+            expected_items,
+            final_snapshot.2.len(),
+            LOCAL_K
+        ),
+    );
+    if !(throughput_ok && latency_ok && det_identical && ckpt_identical && tcp_ok) {
+        std::process::exit(1);
+    }
+}

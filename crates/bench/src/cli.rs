@@ -16,7 +16,12 @@
 //!   uses it to restrict the grid to one attack column);
 //! * `--n <len>` — override the stream length ([`stream_len`]);
 //! * `--list-workloads` / `--list-attacks` — print the scenario or
-//!   attack registry and exit (handled by [`init_cli`]).
+//!   attack registry and exit (handled by [`init_cli`]);
+//! * `--clients <n>` / `--duration <secs>` / `--port <p>` — the serving
+//!   knobs used by the `loadgen` binary ([`clients`], [`duration_secs`],
+//!   [`port`]); `--port 0` (the default) binds an OS-assigned ephemeral
+//!   port so CI can never flake on bind collisions;
+//! * `--help` — print the shared flag reference and exit ([`init_cli`]).
 //!
 //! Binaries construct engines through [`engine`], which applies the
 //! `--threads` setting so the flag reaches every trial loop.
@@ -30,21 +35,33 @@ pub fn is_quick() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// The one flag-with-value parser behind every `--flag <value>` option:
+/// scans the argument list for `name`, parses the following token with
+/// `parse` (which also validates — return `None` to reject), and prints
+/// `usage` + exits with status 2 on a missing or rejected value. Returns
+/// `None` when the flag is absent, so each wrapper supplies its default.
+fn parsed_flag<T>(name: &str, usage: &str, parse: impl Fn(&str) -> Option<T>) -> Option<T> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == name)?;
+    match args.get(i + 1).and_then(|v| parse(v)) {
+        Some(v) => Some(v),
+        None => {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// The `--threads <n>` setting; 1 (sequential) when absent.
 ///
 /// Exits with status 2 on a malformed value.
 pub fn threads() -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    let Some(i) = args.iter().position(|a| a == "--threads") else {
-        return 1;
-    };
-    match args.get(i + 1).map(|v| v.parse::<usize>()) {
-        Some(Ok(t)) if t > 0 => t,
-        _ => {
-            eprintln!("--threads needs a positive integer argument");
-            std::process::exit(2);
-        }
-    }
+    parsed_flag(
+        "--threads",
+        "--threads needs a positive integer argument",
+        |v| v.parse::<usize>().ok().filter(|&t| t > 0),
+    )
+    .unwrap_or(1)
 }
 
 /// The `--workload <name>` registry entry, if the flag was passed.
@@ -92,20 +109,74 @@ pub fn attack() -> Option<&'static AttackSpec> {
 }
 
 /// The `--n <len>` stream-length override; `default` when absent.
+/// Underscore separators are accepted (`--n 20_000_000`).
 ///
 /// Exits with status 2 on a malformed or zero value.
 pub fn stream_len(default: usize) -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    let Some(i) = args.iter().position(|a| a == "--n") else {
-        return default;
-    };
-    match args.get(i + 1).map(|v| v.replace('_', "").parse::<usize>()) {
-        Some(Ok(n)) if n > 0 => n,
-        _ => {
-            eprintln!("--n needs a positive integer argument");
-            std::process::exit(2);
-        }
-    }
+    parsed_flag("--n", "--n needs a positive integer argument", |v| {
+        v.replace('_', "").parse::<usize>().ok().filter(|&n| n > 0)
+    })
+    .unwrap_or(default)
+}
+
+/// The `--clients <n>` setting (loadgen client threads); `default` when
+/// absent.
+///
+/// Exits with status 2 on a malformed or zero value.
+pub fn clients(default: usize) -> usize {
+    parsed_flag(
+        "--clients",
+        "--clients needs a positive integer argument",
+        |v| v.parse::<usize>().ok().filter(|&c| c > 0),
+    )
+    .unwrap_or(default)
+}
+
+/// The `--duration <secs>` setting (loadgen measurement window, fractional
+/// seconds allowed); `default` when absent.
+///
+/// Exits with status 2 on a malformed, non-finite, or non-positive value.
+pub fn duration_secs(default: f64) -> f64 {
+    parsed_flag(
+        "--duration",
+        "--duration needs a positive number of seconds",
+        |v| v.parse::<f64>().ok().filter(|d| d.is_finite() && *d > 0.0),
+    )
+    .unwrap_or(default)
+}
+
+/// The `--port <p>` setting; 0 (= bind an OS-assigned ephemeral port)
+/// when absent, so concurrent CI jobs can never collide on a bind.
+///
+/// Exits with status 2 on a malformed value (anything outside `u16`).
+pub fn port() -> u16 {
+    parsed_flag(
+        "--port",
+        "--port needs a port number in 0..=65535 (0 = ephemeral)",
+        |v| v.parse::<u16>().ok(),
+    )
+    .unwrap_or(0)
+}
+
+/// Print the shared flag reference (`--help`).
+pub fn print_help() {
+    println!(
+        "shared experiment flags:\n\
+         \x20 --quick              CI-sized sweep\n\
+         \x20 --csv <dir>          also write every table as CSV into <dir>\n\
+         \x20 --threads <n>        fan seeded trials across n threads (bit-identical)\n\
+         \x20 --n <len>            override the stream length\n\
+         \x20 --workload <name>    pull a scenario-registry workload (--list-workloads)\n\
+         \x20 --attack <name>      pull an attack-registry adversary (--list-attacks)\n\
+         \x20 --list-workloads     print the scenario registry and exit\n\
+         \x20 --list-attacks       print the attack registry and exit\n\
+         serving flags (loadgen):\n\
+         \x20 --clients <n>        number of concurrent client threads\n\
+         \x20 --duration <secs>    measurement window per mode (fractional ok)\n\
+         \x20 --port <p>           TCP port; 0 = OS-assigned ephemeral (default,\n\
+         \x20                      collision-proof in CI)\n\
+         \x20 --help               this text"
+    );
 }
 
 /// Print the scenario registry as an aligned table.
@@ -142,6 +213,10 @@ pub fn engine(n: usize, trials: usize) -> ExperimentEngine {
 /// so a typo fails before a long run. Call once at the top of `main`.
 pub fn init_cli() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help") {
+        print_help();
+        std::process::exit(0);
+    }
     if args.iter().any(|a| a == "--list-workloads") {
         print_workloads();
         std::process::exit(0);
@@ -163,6 +238,9 @@ pub fn init_cli() {
     let _ = workload();
     let _ = attack();
     let _ = stream_len(1);
+    let _ = clients(1);
+    let _ = duration_secs(1.0);
+    let _ = port();
 }
 
 #[cfg(test)]
@@ -188,5 +266,12 @@ mod tests {
         assert!(workload().is_none());
         assert!(attack().is_none());
         assert_eq!(stream_len(1234), 1234);
+    }
+
+    #[test]
+    fn serving_flags_default_when_absent() {
+        assert_eq!(clients(8), 8);
+        assert_eq!(duration_secs(2.5), 2.5);
+        assert_eq!(port(), 0, "default port must be ephemeral");
     }
 }

@@ -31,7 +31,9 @@
 pub mod cli;
 pub mod matrix;
 
-pub use cli::{attack, engine, init_cli, is_quick, stream_len, threads, workload};
+pub use cli::{
+    attack, clients, duration_secs, engine, init_cli, is_quick, port, stream_len, threads, workload,
+};
 pub use robust_sampling_core::engine::report::Table;
 
 /// Format a float with 4 significant decimals.

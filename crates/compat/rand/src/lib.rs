@@ -202,6 +202,27 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for checkpointing. Restoring via
+        /// [`StdRng::from_state`] continues the identical output stream.
+        ///
+        /// Not part of the published `rand` API — the workspace's
+        /// checkpoint/restore layer (`SnapshotCodec`) needs RNG state to
+        /// make a restored summary behave bit-identically to an
+        /// uninterrupted one, which the real crate would do through
+        /// `serde` instead.
+        #[inline]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a [`StdRng::state`] checkpoint.
+        #[inline]
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(mut state: u64) -> Self {
             let mut split = || {
@@ -272,6 +293,18 @@ mod tests {
         let zs: Vec<u64> = (0..32).map(|_| c.random()).collect();
         assert_eq!(xs, ys);
         assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn state_roundtrip_continues_the_stream() {
+        let mut a = StdRng::seed_from_u64(11);
+        for _ in 0..17 {
+            let _: u64 = a.random();
+        }
+        let mut b = StdRng::from_state(a.state());
+        let xs: Vec<u64> = (0..32).map(|_| a.random()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.random()).collect();
+        assert_eq!(xs, ys);
     }
 
     #[test]

@@ -230,6 +230,25 @@ impl Duel {
         D: ObservableDefense,
         A: AttackStrategy + ?Sized,
     {
+        self.run_with(defense, attack, |_, _| {})
+    }
+
+    /// [`run`](Self::run) with a per-round observer: `on_round(i, x_i)` is
+    /// called after the defense ingests round `i`'s element. This is the
+    /// hook remote duels use to meter each round — when the defense is a
+    /// client speaking to a live service, a round is a full
+    /// observe-state/choose/ingest round trip, and the load generator
+    /// times the gaps between callbacks to report per-round latency.
+    pub fn run_with<D, A>(
+        &self,
+        defense: &mut D,
+        attack: &mut A,
+        mut on_round: impl FnMut(usize, u64),
+    ) -> DuelOutcome
+    where
+        D: ObservableDefense,
+        A: AttackStrategy + ?Sized,
+    {
         let mut stream: Vec<u64> = Vec::with_capacity(self.n);
         let mut visible: Vec<u64> = Vec::new();
         for round in 1..=self.n {
@@ -245,6 +264,7 @@ impl Duel {
             });
             defense.ingest(x);
             stream.push(x);
+            on_round(round, x);
         }
         DuelOutcome {
             stream,
@@ -311,6 +331,25 @@ mod tests {
         let out = Duel::new(500, 1 << 16).run(&mut defense, &mut atk);
         assert_eq!(out.stream.len(), 500);
         assert_eq!(out.final_sample.len(), 16);
+    }
+
+    #[test]
+    fn run_with_observes_every_round_and_matches_run() {
+        let n = 300;
+        let universe = 1u64 << 14;
+        let mut d1 = ReservoirSampler::<u64>::with_seed(16, 3);
+        let mut a1 = attack("prefix-mass").unwrap().build(n, universe, 7);
+        let plain = Duel::new(n, universe).run(&mut d1, &mut a1);
+        let mut d2 = ReservoirSampler::<u64>::with_seed(16, 3);
+        let mut a2 = attack("prefix-mass").unwrap().build(n, universe, 7);
+        let mut seen = Vec::new();
+        let traced = Duel::new(n, universe).run_with(&mut d2, &mut a2, |round, x| {
+            assert_eq!(round, seen.len() + 1);
+            seen.push(x);
+        });
+        assert_eq!(seen, plain.stream);
+        assert_eq!(traced.stream, plain.stream);
+        assert_eq!(traced.final_sample, plain.final_sample);
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //! * [`ShardedSummary`] — data-parallel ingestion built on the two:
 //!   round-robin routing to `K` deterministically-seeded shards, batched
 //!   fan-out across scoped threads, queries merged on demand.
+//! * [`SnapshotCodec`] — the persistence capability: summaries that can
+//!   checkpoint their **full** state (retained elements *and* private RNG
+//!   / gap state) and resume with behaviour bit-identical to an
+//!   uninterrupted run — what the long-running serving layer in the
+//!   `service` crate builds checkpoint/restore on.
 //! * [`ExperimentEngine`] — the one game/measurement loop shared by every
 //!   experiment binary: adaptive duels, continuous (every-prefix) games,
 //!   and static batched runs, each judged against a
@@ -37,9 +42,11 @@ pub mod experiment;
 pub mod merge;
 pub mod report;
 pub mod sharded;
+pub mod snapshot;
 pub mod summary;
 
 pub use experiment::{ExperimentEngine, RunStats, SOURCE_FRAME};
 pub use merge::MergeableSummary;
 pub use sharded::ShardedSummary;
+pub use snapshot::{SnapshotCodec, SnapshotError, SnapshotReader};
 pub use summary::{FrequencySummary, QuantileSummary, StreamSummary};

@@ -1,0 +1,209 @@
+//! [`SnapshotCodec`]: checkpointable summaries, with no serde dependency.
+//!
+//! A long-running serving deployment (the `service` crate) must be able to
+//! stop, persist its summaries, and resume with **state-identical**
+//! behaviour — the restored summary answers every query exactly as the
+//! uninterrupted one would, and keeps ingesting with the identical RNG
+//! stream. That is a stronger contract than "round-trips the sample": it
+//! includes the private algorithmic state (Algorithm L thresholds, pending
+//! geometric gaps, raw RNG words) that the paper's adversary never sees
+//! but a resumed process needs.
+//!
+//! The encoding is deliberately primitive: a flat little-endian byte
+//! string of `u64`/`f64` words and length-prefixed sequences, written by
+//! the `put_*` helpers and read back through [`SnapshotReader`]. No
+//! versioned schema, no external crates — the service layer wraps the raw
+//! bytes in its own magic/version envelope.
+//!
+//! Implemented by the summaries the serving layer checkpoints:
+//! [`BernoulliSampler<u64>`](crate::sampler::BernoulliSampler),
+//! [`ReservoirSampler<u64>`](crate::sampler::ReservoirSampler), both
+//! robust sketches, and [`ShardedSummary`](crate::engine::ShardedSummary)
+//! over any codec-capable shard type. The round-trip law
+//! (`save` → [`restore`](SnapshotCodec::restore) → continue ≡
+//! uninterrupted run, per seed) is property-tested in
+//! `tests/service_determinism.rs`.
+
+use std::fmt;
+
+/// Why a snapshot failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The byte string ended before the decoder was done.
+    UnexpectedEof,
+    /// A decoded value violated an invariant of the target type.
+    Corrupt(&'static str),
+    /// Decoding finished with bytes left over (wrong type or envelope).
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::UnexpectedEof => write!(f, "snapshot truncated"),
+            SnapshotError::Corrupt(what) => write!(f, "snapshot corrupt: {what}"),
+            SnapshotError::TrailingBytes(n) => {
+                write!(f, "snapshot has {n} trailing bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Append one little-endian `u64` word.
+#[inline]
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append one `f64` as its raw bit pattern (exact round-trip, NaN-safe).
+#[inline]
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Append a `usize` (as `u64`; summaries never exceed `u64` counts).
+#[inline]
+pub fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+/// Append a length-prefixed `u64` sequence.
+pub fn put_u64_seq(out: &mut Vec<u8>, vs: &[u64]) {
+    put_usize(out, vs.len());
+    for &v in vs {
+        put_u64(out, v);
+    }
+}
+
+/// Cursor over an encoded snapshot byte string.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// The next `u64` word.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let end = self.pos + 8;
+        if end > self.buf.len() {
+            return Err(SnapshotError::UnexpectedEof);
+        }
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&self.buf[self.pos..end]);
+        self.pos = end;
+        Ok(u64::from_le_bytes(w))
+    }
+
+    /// The next `f64` (bit-pattern encoded).
+    pub fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// The next `usize` (encoded as `u64`).
+    pub fn usize(&mut self) -> Result<usize, SnapshotError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| SnapshotError::Corrupt("usize overflow"))
+    }
+
+    /// The next length-prefixed `u64` sequence.
+    pub fn u64_seq(&mut self) -> Result<Vec<u64>, SnapshotError> {
+        let len = self.usize()?;
+        if len.saturating_mul(8) > self.remaining() {
+            return Err(SnapshotError::UnexpectedEof);
+        }
+        (0..len).map(|_| self.u64()).collect()
+    }
+}
+
+/// A summary that can be persisted and resumed with state-identical
+/// behaviour.
+///
+/// The contract: for any summary `s`,
+/// `Self::restore(&s.save())` succeeds and the restored value is
+/// indistinguishable from `s` under every operation — same query answers,
+/// same retained elements, and the **same RNG stream** for all future
+/// ingestion, so `save → restore → continue` equals the uninterrupted
+/// run element for element.
+pub trait SnapshotCodec: Sized {
+    /// Append this summary's full state to `out`.
+    fn save_into(&self, out: &mut Vec<u8>);
+
+    /// Decode one summary from the reader, leaving the cursor just past
+    /// its encoding (so codecs nest — sharded containers decode their
+    /// shards in sequence).
+    fn restore_from(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError>;
+
+    /// The state as one owned byte string.
+    fn save(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.save_into(&mut out);
+        out
+    }
+
+    /// Decode from exactly `bytes` (trailing bytes are an error).
+    fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::new(bytes);
+        let v = Self::restore_from(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(SnapshotError::TrailingBytes(r.remaining()));
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_round_trip() {
+        let mut out = Vec::new();
+        put_u64(&mut out, 7);
+        put_f64(&mut out, -0.25);
+        put_u64_seq(&mut out, &[1, 2, 3]);
+        let mut r = SnapshotReader::new(&out);
+        assert_eq!(r.u64().unwrap(), 7);
+        assert_eq!(r.f64().unwrap(), -0.25);
+        assert_eq!(r.u64_seq().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut out = Vec::new();
+        put_u64_seq(&mut out, &[1, 2, 3]);
+        let mut r = SnapshotReader::new(&out[..out.len() - 1]);
+        assert_eq!(r.u64_seq(), Err(SnapshotError::UnexpectedEof));
+    }
+
+    #[test]
+    fn bogus_length_prefix_is_rejected_before_allocating() {
+        let mut out = Vec::new();
+        put_u64(&mut out, u64::MAX);
+        let mut r = SnapshotReader::new(&out);
+        assert!(r.u64_seq().is_err());
+    }
+
+    #[test]
+    fn nan_f64_round_trips_exactly() {
+        let mut out = Vec::new();
+        put_f64(&mut out, f64::NAN);
+        put_f64(&mut out, f64::INFINITY);
+        let mut r = SnapshotReader::new(&out);
+        assert!(r.f64().unwrap().is_nan());
+        assert_eq!(r.f64().unwrap(), f64::INFINITY);
+    }
+}

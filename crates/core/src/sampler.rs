@@ -554,6 +554,107 @@ impl<T: Clone> StreamSampler<T> for ReservoirSampler<T> {
 }
 
 // ---------------------------------------------------------------------------
+// Checkpoint/restore (SnapshotCodec) for the two paper samplers
+// ---------------------------------------------------------------------------
+
+use crate::engine::snapshot::{
+    put_f64, put_u64, put_u64_seq, put_usize, SnapshotCodec, SnapshotError, SnapshotReader,
+};
+
+/// Full-state checkpoint: rate, counts, sample, pending geometric gap,
+/// and raw RNG words — a restored sampler continues the identical
+/// store/skip stream.
+impl SnapshotCodec for BernoulliSampler<u64> {
+    fn save_into(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.p);
+        put_usize(out, self.observed);
+        put_u64_seq(out, &self.sample);
+        match self.skip {
+            Some(s) => {
+                put_u64(out, 1);
+                put_u64(out, s);
+            }
+            None => {
+                put_u64(out, 0);
+                put_u64(out, 0);
+            }
+        }
+        for w in self.rng.state() {
+            put_u64(out, w);
+        }
+    }
+
+    fn restore_from(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let p = r.f64()?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(SnapshotError::Corrupt("bernoulli rate outside [0,1]"));
+        }
+        let observed = r.usize()?;
+        let sample = r.u64_seq()?;
+        let has_skip = r.u64()?;
+        let skip_val = r.u64()?;
+        let skip = match has_skip {
+            0 => None,
+            1 => Some(skip_val),
+            _ => return Err(SnapshotError::Corrupt("bernoulli skip flag")),
+        };
+        if skip.is_none() && p > 0.0 {
+            return Err(SnapshotError::Corrupt("bernoulli gap missing at p > 0"));
+        }
+        let state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        Ok(Self {
+            p,
+            sample,
+            observed,
+            rng: StdRng::from_state(state),
+            skip,
+        })
+    }
+}
+
+/// Full-state checkpoint: capacity, counts, reservoir, Algorithm L
+/// threshold + pending gap, and raw RNG words — a restored reservoir
+/// continues the identical acceptance stream.
+impl SnapshotCodec for ReservoirSampler<u64> {
+    fn save_into(&self, out: &mut Vec<u8>) {
+        put_usize(out, self.k);
+        put_usize(out, self.observed);
+        put_usize(out, self.total_stored);
+        put_u64_seq(out, &self.reservoir);
+        put_f64(out, self.w);
+        put_u64(out, self.skip);
+        for w in self.rng.state() {
+            put_u64(out, w);
+        }
+    }
+
+    fn restore_from(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let k = r.usize()?;
+        if k == 0 {
+            return Err(SnapshotError::Corrupt("reservoir capacity zero"));
+        }
+        let observed = r.usize()?;
+        let total_stored = r.usize()?;
+        let reservoir = r.u64_seq()?;
+        if reservoir.len() > k {
+            return Err(SnapshotError::Corrupt("reservoir overfull"));
+        }
+        let w = r.f64()?;
+        let skip = r.u64()?;
+        let state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        Ok(Self {
+            k,
+            reservoir,
+            observed,
+            total_stored,
+            rng: StdRng::from_state(state),
+            w,
+            skip,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Weighted reservoir sampling (Efraimidis–Spirakis A-Res)
 // ---------------------------------------------------------------------------
 
@@ -1102,6 +1203,47 @@ mod tests {
         assert!(s.sample().is_empty());
         assert_eq!(s.observed(), 0);
         assert_eq!(s.total_stored(), 0);
+    }
+
+    #[test]
+    fn bernoulli_snapshot_resumes_bit_identically() {
+        use crate::engine::snapshot::SnapshotCodec;
+        let stream: Vec<u64> = (0..20_000).map(|i| i * 3 % 4096).collect();
+        let mut whole = BernoulliSampler::with_seed(0.02, 9);
+        let mut half = BernoulliSampler::with_seed(0.02, 9);
+        whole.observe_batch(&stream);
+        half.observe_batch(&stream[..7_777]);
+        let mut resumed = BernoulliSampler::<u64>::restore(&half.save()).unwrap();
+        resumed.observe_batch(&stream[7_777..]);
+        assert_eq!(resumed.sample(), whole.sample());
+        assert_eq!(resumed.observed(), whole.observed());
+    }
+
+    #[test]
+    fn reservoir_snapshot_resumes_bit_identically() {
+        use crate::engine::snapshot::SnapshotCodec;
+        let stream: Vec<u64> = (0..30_000).rev().collect();
+        let mut whole = ReservoirSampler::with_seed(128, 4);
+        let mut half = ReservoirSampler::with_seed(128, 4);
+        whole.observe_batch(&stream);
+        half.observe_batch(&stream[..11_111]);
+        let mut resumed = ReservoirSampler::<u64>::restore(&half.save()).unwrap();
+        assert_eq!(resumed.sample(), half.sample());
+        assert_eq!(resumed.total_stored(), half.total_stored());
+        resumed.observe_batch(&stream[11_111..]);
+        assert_eq!(resumed.sample(), whole.sample());
+        assert_eq!(resumed.total_stored(), whole.total_stored());
+    }
+
+    #[test]
+    fn snapshot_rejects_corrupt_bytes() {
+        use crate::engine::snapshot::SnapshotCodec;
+        let s = ReservoirSampler::<u64>::with_seed(8, 1);
+        let bytes = s.save();
+        assert!(ReservoirSampler::<u64>::restore(&bytes[..bytes.len() - 3]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(ReservoirSampler::<u64>::restore(&trailing).is_err());
     }
 
     #[test]

@@ -229,6 +229,60 @@ impl<T: Ord + Clone> RobustHeavyHitterSketch<T> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint/restore (SnapshotCodec)
+// ---------------------------------------------------------------------------
+
+use crate::engine::snapshot::{put_f64, SnapshotCodec, SnapshotError, SnapshotReader};
+
+/// Checkpoint = the `(ε, δ)` contract plus the full reservoir state (see
+/// [`ReservoirSampler`]'s codec): a restored sketch answers and ingests
+/// bit-identically.
+impl SnapshotCodec for RobustQuantileSketch<u64> {
+    fn save_into(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.eps);
+        put_f64(out, self.delta);
+        self.reservoir.save_into(out);
+    }
+
+    fn restore_from(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let eps = r.f64()?;
+        let delta = r.f64()?;
+        if !(eps > 0.0 && eps < 1.0 && delta > 0.0 && delta < 1.0) {
+            return Err(SnapshotError::Corrupt("quantile sketch (eps, delta)"));
+        }
+        Ok(Self {
+            reservoir: ReservoirSampler::restore_from(r)?,
+            eps,
+            delta,
+        })
+    }
+}
+
+/// Checkpoint = the `(α, ε)` contract plus the full reservoir state (see
+/// [`ReservoirSampler`]'s codec): a restored sketch answers and ingests
+/// bit-identically.
+impl SnapshotCodec for RobustHeavyHitterSketch<u64> {
+    fn save_into(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.alpha);
+        put_f64(out, self.eps);
+        self.reservoir.save_into(out);
+    }
+
+    fn restore_from(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let alpha = r.f64()?;
+        let eps = r.f64()?;
+        if !(alpha > 0.0 && alpha <= 1.0 && eps > 0.0 && eps < alpha) {
+            return Err(SnapshotError::Corrupt("heavy-hitter sketch (alpha, eps)"));
+        }
+        Ok(Self {
+            reservoir: ReservoirSampler::restore_from(r)?,
+            alpha,
+            eps,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +345,30 @@ mod tests {
             assert_eq!(h.item, 42, "spurious report {h:?}");
         }
         assert!((s.density(&42) - 0.2).abs() < 0.05);
+    }
+
+    #[test]
+    fn sketch_snapshots_resume_bit_identically() {
+        use crate::engine::snapshot::SnapshotCodec;
+        let stream: Vec<u64> = (0..40_000).map(|i| i * 7 % 100_000).collect();
+        let mut q_whole = RobustQuantileSketch::<u64>::new(LN_U, 0.1, 0.05, 6);
+        let mut q_half = RobustQuantileSketch::<u64>::new(LN_U, 0.1, 0.05, 6);
+        q_whole.observe_batch(&stream);
+        q_half.observe_batch(&stream[..13_000]);
+        let mut q = RobustQuantileSketch::<u64>::restore(&q_half.save()).unwrap();
+        q.observe_batch(&stream[13_000..]);
+        assert_eq!(q.sample(), q_whole.sample());
+        assert_eq!(q.guarantee(), q_whole.guarantee());
+        assert_eq!(q.median(), q_whole.median());
+
+        let mut h_whole = RobustHeavyHitterSketch::<u64>::new(LN_U, 0.1, 0.06, 0.02, 8);
+        let mut h_half = RobustHeavyHitterSketch::<u64>::new(LN_U, 0.1, 0.06, 0.02, 8);
+        h_whole.observe_batch(&stream);
+        h_half.observe_batch(&stream[..13_000]);
+        let mut h = RobustHeavyHitterSketch::<u64>::restore(&h_half.save()).unwrap();
+        h.observe_batch(&stream[13_000..]);
+        assert_eq!(h.sample(), h_whole.sample());
+        assert_eq!(h.contract(), h_whole.contract());
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! [`ServiceClient`]: a blocking TCP client that doubles as the
+//! remote-duel bridge.
+//!
+//! Besides the plain request methods, the client implements the core
+//! engine and attack traits —
+//! [`StreamSummary`] (ingest = `INGEST` frames),
+//! [`StateOracle`] (count/quantile oracles = `QUERY` round trips), and
+//! [`ObservableDefense`] (visible state = `SNAPSHOT`) — so a live
+//! service slots in anywhere a local summary would. In particular,
+//! [`Duel::run`](robust_sampling_core::attack::Duel) plays any registered
+//! [`AttackStrategy`](robust_sampling_core::attack::AttackStrategy)
+//! against a remote service **unchanged**: every round the attack reads
+//! the served epoch snapshot over the socket, picks its element, and
+//! `INGEST`s it — the paper's adaptive game across a real client/server
+//! boundary. (Serve with `epoch_every = 1` so the adversary's view is
+//! fresh each round.)
+//!
+//! The trait impls take `&self`/`&mut self` but must do socket I/O, so
+//! the connection lives in a `RefCell`; the client is single-threaded by
+//! construction (one connection per client, one client per thread).
+//! Trait-path I/O errors panic — in the harness a dead service run is a
+//! failed experiment, not a recoverable condition; the inherent methods
+//! return `io::Result` for callers that want to handle failure.
+
+use crate::protocol::{Request, Response, ServiceStats, MAX_INGEST_FRAME};
+use robust_sampling_core::attack::{ObservableDefense, StateOracle};
+use robust_sampling_core::engine::StreamSummary;
+use std::cell::{Cell, RefCell};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+/// A blocking line-protocol client over one TCP connection.
+pub struct ServiceClient {
+    conn: RefCell<Conn>,
+    /// Total items on the service per its last `INGESTED`/`STATS` reply.
+    last_items: Cell<usize>,
+    /// Sample length of the last `SNAPSHOT` reply.
+    last_sample_len: Cell<usize>,
+}
+
+impl std::fmt::Debug for ServiceClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceClient")
+            .field("last_items", &self.last_items.get())
+            .finish()
+    }
+}
+
+impl ServiceClient {
+    /// Connect to a serving [`ServiceServer`](crate::ServiceServer).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            conn: RefCell::new(Conn {
+                reader: BufReader::new(stream.try_clone()?),
+                writer: BufWriter::new(stream),
+            }),
+            last_items: Cell::new(0),
+            last_sample_len: Cell::new(0),
+        })
+    }
+
+    /// One request/response round trip.
+    fn round_trip(&self, req: &Request) -> std::io::Result<Response> {
+        let mut conn = self.conn.borrow_mut();
+        conn.writer.write_all(req.encode().as_bytes())?;
+        conn.writer.write_all(b"\n")?;
+        conn.writer.flush()?;
+        let mut line = String::new();
+        if conn.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "service closed the connection",
+            ));
+        }
+        match Response::parse(line.trim_end_matches(['\r', '\n'])) {
+            Ok(Response::Err(msg)) => Err(std::io::Error::other(format!("service error: {msg}"))),
+            Ok(resp) => Ok(resp),
+            Err(msg) => Err(std::io::Error::other(format!("protocol error: {msg}"))),
+        }
+    }
+
+    fn unexpected<T>(&self, what: &str, got: Response) -> std::io::Result<T> {
+        Err(std::io::Error::other(format!(
+            "expected {what} response, got {got:?}"
+        )))
+    }
+
+    /// `INGEST` a frame (chunked under the protocol's frame cap);
+    /// returns the service's total item count afterwards.
+    pub fn ingest(&self, xs: &[u64]) -> std::io::Result<usize> {
+        let mut total = self.last_items.get();
+        for chunk in xs.chunks(MAX_INGEST_FRAME) {
+            if chunk.is_empty() {
+                continue;
+            }
+            match self.round_trip(&Request::Ingest(chunk.to_vec()))? {
+                Response::Ingested(n) => total = n,
+                other => return self.unexpected("INGESTED", other),
+            }
+        }
+        self.last_items.set(total);
+        Ok(total)
+    }
+
+    /// `QUERY COUNT x`.
+    pub fn query_count(&self, x: u64) -> std::io::Result<f64> {
+        match self.round_trip(&Request::QueryCount(x))? {
+            Response::Count(c) => Ok(c),
+            other => self.unexpected("COUNT", other),
+        }
+    }
+
+    /// `QUERY QUANTILE q`.
+    pub fn query_quantile(&self, q: f64) -> std::io::Result<Option<u64>> {
+        match self.round_trip(&Request::QueryQuantile(q))? {
+            Response::Quantile(v) => Ok(v),
+            other => self.unexpected("QUANTILE", other),
+        }
+    }
+
+    /// `QUERY HH threshold`.
+    pub fn query_heavy(&self, threshold: f64) -> std::io::Result<Vec<(u64, f64)>> {
+        match self.round_trip(&Request::QueryHeavy(threshold))? {
+            Response::Heavy(items) => Ok(items),
+            other => self.unexpected("HH", other),
+        }
+    }
+
+    /// `QUERY KS`.
+    pub fn query_ks(&self) -> std::io::Result<f64> {
+        match self.round_trip(&Request::QueryKs)? {
+            Response::Ks(d) => Ok(d),
+            other => self.unexpected("KS", other),
+        }
+    }
+
+    /// `SNAPSHOT`: the published epoch, its boundary item count, and the
+    /// visible sample.
+    pub fn snapshot(&self) -> std::io::Result<(u64, usize, Vec<u64>)> {
+        match self.round_trip(&Request::Snapshot)? {
+            Response::Snapshot {
+                epoch,
+                items,
+                sample,
+            } => {
+                self.last_sample_len.set(sample.len());
+                Ok((epoch, items, sample))
+            }
+            other => self.unexpected("SNAPSHOT", other),
+        }
+    }
+
+    /// `STATS`.
+    pub fn stats(&self) -> std::io::Result<ServiceStats> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(st) => {
+                self.last_items.set(st.items);
+                Ok(st)
+            }
+            other => self.unexpected("STATS", other),
+        }
+    }
+
+    /// `QUIT` and close the connection.
+    pub fn quit(self) -> std::io::Result<()> {
+        match self.round_trip(&Request::Quit)? {
+            Response::Bye => Ok(()),
+            other => self.unexpected("BYE", other),
+        }
+    }
+}
+
+/// Ingestion over the wire. Panics on I/O errors (see the module docs).
+impl StreamSummary<u64> for ServiceClient {
+    fn ingest(&mut self, x: u64) {
+        ServiceClient::ingest(self, &[x]).expect("service INGEST failed");
+    }
+
+    fn ingest_batch(&mut self, xs: &[u64]) {
+        ServiceClient::ingest(self, xs).expect("service INGEST failed");
+    }
+
+    fn items_seen(&self) -> usize {
+        self.last_items.get()
+    }
+
+    fn space(&self) -> usize {
+        self.last_sample_len.get()
+    }
+
+    fn summary_name(&self) -> &'static str {
+        "remote-service"
+    }
+}
+
+/// The remote oracle: live count/quantile answers over the wire — the
+/// full-state queries the paper's adversary is entitled to, served from
+/// the published epoch snapshot. Panics on I/O errors (module docs).
+impl StateOracle for ServiceClient {
+    fn count_estimate(&self, x: u64) -> Option<f64> {
+        Some(self.query_count(x).expect("service QUERY COUNT failed"))
+    }
+
+    fn quantile_estimate(&self, q: f64) -> Option<u64> {
+        self.query_quantile(q)
+            .expect("service QUERY QUANTILE failed")
+    }
+}
+
+/// The remote observable state: the served epoch snapshot's sample — so
+/// `Duel::run` plays registered attacks against a live service.
+impl ObservableDefense for ServiceClient {
+    fn visible_into(&self, out: &mut Vec<u64>) {
+        let (_, _, sample) = self.snapshot().expect("service SNAPSHOT failed");
+        out.extend_from_slice(&sample);
+    }
+}

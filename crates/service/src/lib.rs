@@ -1,0 +1,56 @@
+//! The serving layer: robust summaries as a long-running concurrent
+//! service.
+//!
+//! The paper motivates robust sampling with *online* systems — routers,
+//! load balancers, monitoring pipelines (§1.2) — where the stream never
+//! ends and the adversary interacts with the summary while it is being
+//! built. The rest of the workspace runs offline trials: an
+//! [`ExperimentEngine`] owns the whole stream and queries happen after
+//! the fact. This crate closes that gap:
+//!
+//! * [`SummaryService`] — `K` sharded ingest workers (reusing the
+//!   [`ShardedSummary`] round-robin deal, so a served run is
+//!   **bit-identical** to the offline sharded run of the same frame
+//!   schedule) publishing **epoch snapshots**: merged, immutable
+//!   summaries swapped behind an `Arc`. A query clones the snapshot
+//!   `Arc` under a read lock held only for the pointer copy (the epoch
+//!   swap's write lock is equally brief), so concurrent queries are
+//!   effectively constant-time, mutually consistent, never contend with
+//!   ingestion, and never observe a half-ingested frame.
+//! * [`protocol`] — a dependency-free text line protocol
+//!   (`INGEST` / `QUERY COUNT|QUANTILE|HH|KS` / `SNAPSHOT` / `STATS`)
+//!   spoken over `std::net::TcpStream`.
+//! * [`ServiceServer`] / [`ServiceClient`] — a threaded TCP server and a
+//!   blocking client. The client implements the core engine and attack
+//!   traits ([`StreamSummary`], [`StateOracle`], [`ObservableDefense`]),
+//!   so every registered [`AttackStrategy`] and `StreamSource` workload
+//!   drives a live service end-to-end — the paper's adaptive game played
+//!   across a real client/server boundary.
+//! * **Checkpoint/restore** — [`SummaryService::checkpoint`] persists the
+//!   full service state through the engine's
+//!   [`SnapshotCodec`](robust_sampling_core::engine::SnapshotCodec), and
+//!   [`SummaryService::restore`] resumes with state-identical behaviour
+//!   (property-tested in `tests/service_determinism.rs`).
+//!
+//! The `loadgen` binary in the bench crate drives all of this under
+//! concurrent load and reports throughput plus p50/p99/p999 latency.
+//!
+//! [`ExperimentEngine`]: robust_sampling_core::engine::ExperimentEngine
+//! [`ShardedSummary`]: robust_sampling_core::engine::ShardedSummary
+//! [`StreamSummary`]: robust_sampling_core::engine::StreamSummary
+//! [`StateOracle`]: robust_sampling_core::attack::StateOracle
+//! [`ObservableDefense`]: robust_sampling_core::attack::ObservableDefense
+//! [`AttackStrategy`]: robust_sampling_core::attack::AttackStrategy
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use client::ServiceClient;
+pub use protocol::{Request, Response, ServiceStats};
+pub use server::{ServiceConfig, ServiceServer};
+pub use service::{EpochSnapshot, QueryHandle, ServableSummary, SummaryService};

@@ -1,0 +1,407 @@
+//! The dependency-free text line protocol the service speaks over TCP.
+//!
+//! One request per line, one response line per request, ASCII throughout
+//! (`u64` values in decimal, `f64` in Rust's shortest-round-trip decimal
+//! form, so floats survive the wire exactly). The grammar:
+//!
+//! ```text
+//! INGEST <v> <v> ...          -> OK INGESTED <total items>
+//! QUERY COUNT <x>             -> OK COUNT <estimate>
+//! QUERY QUANTILE <q>          -> OK QUANTILE <value> | OK QUANTILE NONE
+//! QUERY HH <threshold>        -> OK HH <item>:<density> ...
+//! QUERY KS                    -> OK KS <distance>
+//! SNAPSHOT                    -> OK SNAPSHOT <epoch> <items> <v> ...
+//! STATS                       -> OK STATS items=<n> epoch=<e> shards=<k>
+//!                                         space=<s> snapshot_items=<m>
+//! QUIT                        -> OK BYE
+//! anything else               -> ERR <reason>
+//! ```
+//!
+//! [`Request`] and [`Response`] each encode to and parse from a line, and
+//! both directions are round-trip tested — the server and the blocking
+//! client share this one grammar definition.
+
+use std::fmt::Write as _;
+
+/// Cap on values per `INGEST` line (keeps a hostile line from ballooning
+/// server memory; the client chunks longer batches).
+pub const MAX_INGEST_FRAME: usize = 65_536;
+
+/// A client→server request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Ingest a frame of values.
+    Ingest(Vec<u64>),
+    /// Count estimate for one item.
+    QueryCount(u64),
+    /// `q`-quantile estimate, `q ∈ [0, 1]`.
+    QueryQuantile(f64),
+    /// Heavy items at a density threshold, `threshold ∈ [0, 1]`.
+    QueryHeavy(f64),
+    /// Kolmogorov–Smirnov distance of the snapshot sample to uniform.
+    QueryKs,
+    /// The published snapshot's epoch, boundary, and visible sample.
+    Snapshot,
+    /// Service counters.
+    Stats,
+    /// Close the connection.
+    Quit,
+}
+
+/// Service counters reported by `STATS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Elements ingested (routed to shard workers) so far.
+    pub items: usize,
+    /// Epoch of the published snapshot.
+    pub epoch: u64,
+    /// Ingest shard count `K`.
+    pub shards: usize,
+    /// Space of the published merged summary, in retained units.
+    pub space: usize,
+    /// Stream length at the published snapshot's boundary.
+    pub snapshot_items: usize,
+}
+
+/// A server→client response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Frame accepted; total items ingested so far.
+    Ingested(usize),
+    /// Count estimate.
+    Count(f64),
+    /// Quantile estimate (`None` before the first element).
+    Quantile(Option<u64>),
+    /// Heavy items as `(item, density)`, densest first.
+    Heavy(Vec<(u64, f64)>),
+    /// KS-to-uniform distance.
+    Ks(f64),
+    /// Published snapshot: epoch, boundary item count, visible sample.
+    Snapshot {
+        /// Epoch counter of the published snapshot.
+        epoch: u64,
+        /// Stream length at the snapshot boundary.
+        items: usize,
+        /// The snapshot's retained elements (the observable state).
+        sample: Vec<u64>,
+    },
+    /// Service counters.
+    Stats(ServiceStats),
+    /// Connection closing.
+    Bye,
+    /// Request failed.
+    Err(String),
+}
+
+fn parse_u64(tok: &str, what: &'static str) -> Result<u64, String> {
+    tok.parse::<u64>()
+        .map_err(|_| format!("bad {what}: {tok:?}"))
+}
+
+fn parse_f64(tok: &str, what: &'static str) -> Result<f64, String> {
+    match tok.parse::<f64>() {
+        Ok(v) if v.is_finite() => Ok(v),
+        _ => Err(format!("bad {what}: {tok:?}")),
+    }
+}
+
+fn parse_unit(tok: &str, what: &'static str) -> Result<f64, String> {
+    let v = parse_f64(tok, what)?;
+    if !(0.0..=1.0).contains(&v) {
+        return Err(format!("{what} must be in [0,1], got {tok}"));
+    }
+    Ok(v)
+}
+
+impl Request {
+    /// Parse one request line (without its trailing newline).
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let mut toks = line.split_ascii_whitespace();
+        match toks.next() {
+            Some("INGEST") => {
+                let vs: Vec<u64> = toks
+                    .map(|t| parse_u64(t, "INGEST value"))
+                    .collect::<Result<_, _>>()?;
+                if vs.is_empty() {
+                    return Err("INGEST needs at least one value".into());
+                }
+                if vs.len() > MAX_INGEST_FRAME {
+                    return Err(format!("INGEST frame exceeds {MAX_INGEST_FRAME} values"));
+                }
+                Ok(Request::Ingest(vs))
+            }
+            Some("QUERY") => match toks.next() {
+                Some("COUNT") => match (toks.next(), toks.next()) {
+                    (Some(x), None) => Ok(Request::QueryCount(parse_u64(x, "COUNT item")?)),
+                    _ => Err("usage: QUERY COUNT <item>".into()),
+                },
+                Some("QUANTILE") => match (toks.next(), toks.next()) {
+                    (Some(q), None) => Ok(Request::QueryQuantile(parse_unit(q, "QUANTILE rank")?)),
+                    _ => Err("usage: QUERY QUANTILE <q>".into()),
+                },
+                Some("HH") => match (toks.next(), toks.next()) {
+                    (Some(t), None) => Ok(Request::QueryHeavy(parse_unit(t, "HH threshold")?)),
+                    _ => Err("usage: QUERY HH <threshold>".into()),
+                },
+                Some("KS") => match toks.next() {
+                    None => Ok(Request::QueryKs),
+                    Some(_) => Err("usage: QUERY KS".into()),
+                },
+                other => Err(format!(
+                    "unknown query {other:?}; expected COUNT|QUANTILE|HH|KS"
+                )),
+            },
+            Some("SNAPSHOT") => match toks.next() {
+                None => Ok(Request::Snapshot),
+                Some(_) => Err("usage: SNAPSHOT".into()),
+            },
+            Some("STATS") => match toks.next() {
+                None => Ok(Request::Stats),
+                Some(_) => Err("usage: STATS".into()),
+            },
+            Some("QUIT") => Ok(Request::Quit),
+            Some(other) => Err(format!("unknown command {other:?}")),
+            None => Err("empty request".into()),
+        }
+    }
+
+    /// Encode as one line (without trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Ingest(vs) => {
+                let mut s = String::from("INGEST");
+                for v in vs {
+                    let _ = write!(s, " {v}");
+                }
+                s
+            }
+            Request::QueryCount(x) => format!("QUERY COUNT {x}"),
+            Request::QueryQuantile(q) => format!("QUERY QUANTILE {q}"),
+            Request::QueryHeavy(t) => format!("QUERY HH {t}"),
+            Request::QueryKs => "QUERY KS".into(),
+            Request::Snapshot => "SNAPSHOT".into(),
+            Request::Stats => "STATS".into(),
+            Request::Quit => "QUIT".into(),
+        }
+    }
+}
+
+fn parse_kv(tok: Option<&str>, key: &'static str) -> Result<u64, String> {
+    let tok = tok.ok_or_else(|| format!("STATS missing {key}"))?;
+    match tok.strip_prefix(key).and_then(|r| r.strip_prefix('=')) {
+        Some(v) => parse_u64(v, key),
+        None => Err(format!("expected {key}=<n>, got {tok:?}")),
+    }
+}
+
+impl Response {
+    /// Encode as one line (without trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Ingested(n) => format!("OK INGESTED {n}"),
+            Response::Count(c) => format!("OK COUNT {c}"),
+            Response::Quantile(None) => "OK QUANTILE NONE".into(),
+            Response::Quantile(Some(v)) => format!("OK QUANTILE {v}"),
+            Response::Heavy(items) => {
+                let mut s = String::from("OK HH");
+                for (v, d) in items {
+                    let _ = write!(s, " {v}:{d}");
+                }
+                s
+            }
+            Response::Ks(d) => format!("OK KS {d}"),
+            Response::Snapshot {
+                epoch,
+                items,
+                sample,
+            } => {
+                let mut s = format!("OK SNAPSHOT {epoch} {items}");
+                for v in sample {
+                    let _ = write!(s, " {v}");
+                }
+                s
+            }
+            Response::Stats(st) => format!(
+                "OK STATS items={} epoch={} shards={} space={} snapshot_items={}",
+                st.items, st.epoch, st.shards, st.space, st.snapshot_items
+            ),
+            Response::Bye => "OK BYE".into(),
+            Response::Err(msg) => format!("ERR {}", msg.replace(['\r', '\n'], " ")),
+        }
+    }
+
+    /// Parse one response line (without its trailing newline).
+    pub fn parse(line: &str) -> Result<Self, String> {
+        if let Some(msg) = line.strip_prefix("ERR ") {
+            return Ok(Response::Err(msg.to_string()));
+        }
+        let mut toks = line.split_ascii_whitespace();
+        if toks.next() != Some("OK") {
+            return Err(format!("malformed response {line:?}"));
+        }
+        match toks.next() {
+            Some("INGESTED") => match (toks.next(), toks.next()) {
+                (Some(n), None) => Ok(Response::Ingested(parse_u64(n, "INGESTED count")? as usize)),
+                _ => Err("malformed INGESTED response".into()),
+            },
+            Some("COUNT") => match (toks.next(), toks.next()) {
+                (Some(c), None) => Ok(Response::Count(parse_f64(c, "COUNT estimate")?)),
+                _ => Err("malformed COUNT response".into()),
+            },
+            Some("QUANTILE") => match (toks.next(), toks.next()) {
+                (Some("NONE"), None) => Ok(Response::Quantile(None)),
+                (Some(v), None) => Ok(Response::Quantile(Some(parse_u64(v, "QUANTILE value")?))),
+                _ => Err("malformed QUANTILE response".into()),
+            },
+            Some("HH") => {
+                let mut items = Vec::new();
+                for tok in toks {
+                    let (v, d) = tok
+                        .split_once(':')
+                        .ok_or_else(|| format!("bad HH pair {tok:?}"))?;
+                    items.push((parse_u64(v, "HH item")?, parse_f64(d, "HH density")?));
+                }
+                Ok(Response::Heavy(items))
+            }
+            Some("KS") => match (toks.next(), toks.next()) {
+                (Some(d), None) => Ok(Response::Ks(parse_f64(d, "KS distance")?)),
+                _ => Err("malformed KS response".into()),
+            },
+            Some("SNAPSHOT") => {
+                let epoch = parse_u64(
+                    toks.next().ok_or("SNAPSHOT missing epoch")?,
+                    "SNAPSHOT epoch",
+                )?;
+                let items = parse_u64(
+                    toks.next().ok_or("SNAPSHOT missing items")?,
+                    "SNAPSHOT items",
+                )? as usize;
+                let sample: Vec<u64> = toks
+                    .map(|t| parse_u64(t, "SNAPSHOT value"))
+                    .collect::<Result<_, _>>()?;
+                Ok(Response::Snapshot {
+                    epoch,
+                    items,
+                    sample,
+                })
+            }
+            Some("STATS") => {
+                let items = parse_kv(toks.next(), "items")? as usize;
+                let epoch = parse_kv(toks.next(), "epoch")?;
+                let shards = parse_kv(toks.next(), "shards")? as usize;
+                let space = parse_kv(toks.next(), "space")? as usize;
+                let snapshot_items = parse_kv(toks.next(), "snapshot_items")? as usize;
+                Ok(Response::Stats(ServiceStats {
+                    items,
+                    epoch,
+                    shards,
+                    space,
+                    snapshot_items,
+                }))
+            }
+            Some("BYE") => Ok(Response::Bye),
+            other => Err(format!("unknown response kind {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = vec![
+            Request::Ingest(vec![1, 2, u64::MAX]),
+            Request::QueryCount(777),
+            Request::QueryQuantile(0.999),
+            Request::QueryHeavy(0.05),
+            Request::QueryKs,
+            Request::Snapshot,
+            Request::Stats,
+            Request::Quit,
+        ];
+        for req in cases {
+            let line = req.encode();
+            assert_eq!(Request::parse(&line), Ok(req.clone()), "line {line:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_exactly() {
+        let cases = vec![
+            Response::Ingested(123),
+            Response::Count(1234.5678),
+            Response::Quantile(None),
+            Response::Quantile(Some(42)),
+            Response::Heavy(vec![(7, 0.25), (9, 1.0 / 3.0)]),
+            Response::Ks(0.123456789012345),
+            Response::Snapshot {
+                epoch: 5,
+                items: 10_000,
+                sample: vec![3, 1, 4, 1, 5],
+            },
+            Response::Stats(ServiceStats {
+                items: 10,
+                epoch: 2,
+                shards: 4,
+                space: 64,
+                snapshot_items: 8,
+            }),
+            Response::Bye,
+            Response::Err("boom".into()),
+        ];
+        for resp in cases {
+            let line = resp.encode();
+            assert_eq!(Response::parse(&line), Ok(resp.clone()), "line {line:?}");
+        }
+    }
+
+    #[test]
+    fn floats_survive_the_wire_bit_for_bit() {
+        // Rust's shortest-round-trip formatting guarantees parse(encode(x)) == x.
+        for &x in &[0.1, 2.0 / 3.0, 1e-17, 0.9999999999999999] {
+            match Response::parse(&Response::Ks(x).encode()) {
+                Ok(Response::Ks(y)) => assert_eq!(x.to_bits(), y.to_bits()),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for line in [
+            "",
+            "NOPE",
+            "INGEST",
+            "INGEST x",
+            "QUERY",
+            "QUERY COUNT",
+            "QUERY COUNT 1 2",
+            "QUERY QUANTILE 1.5",
+            "QUERY QUANTILE nan",
+            "QUERY HH -0.1",
+            "QUERY KS extra",
+            "SNAPSHOT extra",
+            "STATS extra",
+        ] {
+            assert!(Request::parse(line).is_err(), "accepted {line:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_ingest_frame_is_rejected() {
+        let mut line = String::from("INGEST");
+        for _ in 0..(MAX_INGEST_FRAME + 1) {
+            line.push_str(" 1");
+        }
+        assert!(Request::parse(&line).is_err());
+    }
+
+    #[test]
+    fn err_payload_never_splits_lines() {
+        let r = Response::Err("multi\nline\rmessage".into());
+        assert!(!r.encode().contains('\n'));
+        assert!(!r.encode().contains('\r'));
+    }
+}

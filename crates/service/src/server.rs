@@ -1,0 +1,218 @@
+//! The threaded TCP server: one [`SummaryService`] behind the line
+//! protocol of [`crate::protocol`].
+//!
+//! `INGEST` goes through a mutex around the service's ingest path (frames
+//! from concurrent connections interleave, but each frame is dealt
+//! atomically and epochs stay frame-aligned); every query answers from
+//! the published epoch snapshot through a [`QueryHandle`], so the read
+//! path never contends with ingestion. Binding port 0 asks the OS for an
+//! ephemeral port ([`ServiceServer::port`] reports it), which is what CI
+//! and tests use to avoid bind collisions.
+
+use crate::protocol::{Request, Response, ServiceStats};
+use crate::service::{QueryHandle, ServableSummary, SummaryService};
+use robust_sampling_core::attack::ObservableDefense;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address; port 0 = OS-assigned ephemeral port.
+    pub addr: String,
+    /// Universe bound `U` used by the `QUERY KS` drift monitor.
+    pub universe: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            universe: 1 << 20,
+        }
+    }
+}
+
+struct Shared<S: ServableSummary> {
+    service: Mutex<SummaryService<S>>,
+    queries: QueryHandle<S>,
+    universe: u64,
+}
+
+/// A running server. Dropping it (or calling
+/// [`shutdown`](ServiceServer::shutdown)) stops the accept loop;
+/// established connections end when their clients disconnect.
+#[derive(Debug)]
+pub struct ServiceServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl ServiceServer {
+    /// Bind `config.addr` and serve `service` until shutdown. Returns as
+    /// soon as the listener is bound — the accept loop runs on its own
+    /// thread, one more thread per established connection.
+    pub fn spawn<S>(service: SummaryService<S>, config: ServiceConfig) -> std::io::Result<Self>
+    where
+        S: ServableSummary + ObservableDefense,
+    {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            queries: service.query_handle(),
+            service: Mutex::new(service),
+            universe: config.universe,
+        });
+        let accept_stop = Arc::clone(&stop);
+        let accept_handle = std::thread::spawn(move || {
+            let mut conns: Vec<JoinHandle<()>> = Vec::new();
+            while !accept_stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let shared = Arc::clone(&shared);
+                        conns.push(std::thread::spawn(move || {
+                            let _ = serve_connection(stream, &shared);
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+                conns.retain(|h| !h.is_finished());
+            }
+            for h in conns {
+                let _ = h.join();
+            }
+        });
+        Ok(Self {
+            local_addr,
+            stop,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address (the resolved port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.local_addr.port()
+    }
+
+    /// Stop accepting connections and wait for established ones to end.
+    /// (Connected clients must disconnect for their handler threads to
+    /// finish; well-behaved clients send `QUIT`.)
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServiceServer {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+/// Longest request line the server will buffer: a full
+/// [`MAX_INGEST_FRAME`](crate::protocol::MAX_INGEST_FRAME) of 20-digit
+/// values plus separators fits comfortably. Anything longer is a hostile
+/// or broken client — the connection is dropped *before* the line
+/// finishes accumulating, so memory stays bounded per connection.
+const MAX_LINE_BYTES: u64 = 2 << 20;
+
+/// `read_line` with a hard byte cap: returns `Ok(0)` on EOF, an
+/// `InvalidData` error if the cap is hit before a newline arrives.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+) -> std::io::Result<usize> {
+    use std::io::Read;
+    let n = reader.by_ref().take(MAX_LINE_BYTES).read_line(line)?;
+    if n as u64 >= MAX_LINE_BYTES && !line.ends_with('\n') {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "request line exceeds the per-line byte cap",
+        ));
+    }
+    Ok(n)
+}
+
+fn serve_connection<S>(stream: TcpStream, shared: &Shared<S>) -> std::io::Result<()>
+where
+    S: ServableSummary + ObservableDefense,
+{
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if read_line_bounded(&mut reader, &mut line)? == 0 {
+            return Ok(()); // client hung up
+        }
+        let (response, quit) = match Request::parse(line.trim_end_matches(['\r', '\n'])) {
+            Err(msg) => (Response::Err(msg), false),
+            Ok(Request::Quit) => (Response::Bye, true),
+            Ok(req) => (answer(req, shared), false),
+        };
+        writer.write_all(response.encode().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if quit {
+            return Ok(());
+        }
+    }
+}
+
+fn answer<S>(req: Request, shared: &Shared<S>) -> Response
+where
+    S: ServableSummary + ObservableDefense,
+{
+    match req {
+        Request::Ingest(vs) => {
+            let mut service = shared.service.lock().expect("service lock poisoned");
+            Response::Ingested(service.ingest_frame(&vs))
+        }
+        Request::QueryCount(x) => Response::Count(shared.queries.snapshot().count(x)),
+        Request::QueryQuantile(q) => Response::Quantile(shared.queries.snapshot().quantile(q)),
+        Request::QueryHeavy(t) => Response::Heavy(shared.queries.snapshot().heavy(t)),
+        Request::QueryKs => Response::Ks(shared.queries.snapshot().ks_uniform(shared.universe)),
+        Request::Snapshot => {
+            let snap = shared.queries.snapshot();
+            Response::Snapshot {
+                epoch: snap.epoch(),
+                items: snap.items(),
+                sample: snap.visible(),
+            }
+        }
+        Request::Stats => {
+            let snap = shared.queries.snapshot();
+            let service = shared.service.lock().expect("service lock poisoned");
+            Response::Stats(ServiceStats {
+                items: service.items_routed(),
+                epoch: snap.epoch(),
+                shards: service.num_shards(),
+                space: snap.summary().space(),
+                snapshot_items: snap.items(),
+            })
+        }
+        Request::Quit => Response::Bye, // handled by the caller
+    }
+}

@@ -1,0 +1,671 @@
+//! [`SummaryService`]: concurrent sharded ingestion with epoch-snapshot
+//! queries and checkpoint/restore.
+//!
+//! ## Determinism contract
+//!
+//! The service reuses the [`ShardedSummary`] round-robin deal verbatim:
+//! frame element `i` (counting from the global arrival index) goes to
+//! shard `i mod K`, and each shard worker drives its summary's batched
+//! hot path over exactly the per-shard subsequence the offline
+//! [`ShardedSummary::ingest_batch`] would hand it. Because the engine's
+//! batch contract is strict state equivalence, a service fed a frame
+//! schedule ends with shard states — and therefore merged epoch
+//! snapshots — **bit-identical** to the offline sharded run of the same
+//! stream (property-tested in `tests/service_determinism.rs`).
+//!
+//! ## Concurrency model
+//!
+//! One writer, many readers. The owner thread deals frames to `K` worker
+//! threads over channels (ingest is pipelined: dealing frame `t+1`
+//! overlaps shard work on frame `t`). Every `epoch_every` ingested
+//! elements the service *publishes*: it barriers on the workers (a
+//! state-request message behind all pending batches on each FIFO
+//! channel), merges the shard clones in shard order, and swaps the
+//! result behind an `Arc`. Readers ([`QueryHandle`]) clone the `Arc` and
+//! answer from an immutable [`EpochSnapshot`] — no reader ever blocks
+//! ingestion, observes a half-ingested frame, or sees two queries answer
+//! from different states within one snapshot.
+
+use robust_sampling_core::attack::ObservableDefense;
+use robust_sampling_core::engine::snapshot::{
+    put_u64, put_usize, SnapshotCodec, SnapshotError, SnapshotReader,
+};
+use robust_sampling_core::engine::{MergeableSummary, ShardedSummary, StreamSummary};
+use std::sync::{mpsc, Arc, OnceLock, RwLock};
+use std::thread::JoinHandle;
+
+/// The capability bundle a summary needs to be served: engine ingestion,
+/// sound merging (for epoch publication), cloning (for shard-state
+/// capture), and thread mobility (`Send` to live on a worker, `Sync` so
+/// published snapshots can be read from many query threads).
+/// Blanket-implemented.
+pub trait ServableSummary:
+    StreamSummary<u64> + MergeableSummary<u64> + Clone + Send + Sync + 'static
+{
+}
+
+impl<S> ServableSummary for S where
+    S: StreamSummary<u64> + MergeableSummary<u64> + Clone + Send + Sync + 'static
+{
+}
+
+/// One published epoch: an immutable merged summary of everything
+/// ingested up to a frame-aligned boundary.
+///
+/// The snapshot is immutable and shared across query threads, so the
+/// derived views every query needs — the visible sample and its sorted
+/// copy — are computed once (lazily, on first use) and cached; the query
+/// hot path is allocation-free after that.
+#[derive(Debug)]
+pub struct EpochSnapshot<S> {
+    epoch: u64,
+    items: usize,
+    merged: S,
+    visible: OnceLock<Vec<u64>>,
+    sorted: OnceLock<Vec<u64>>,
+}
+
+impl<S> EpochSnapshot<S> {
+    fn new(epoch: u64, items: usize, merged: S) -> Self {
+        Self {
+            epoch,
+            items,
+            merged,
+            visible: OnceLock::new(),
+            sorted: OnceLock::new(),
+        }
+    }
+}
+
+impl<S> EpochSnapshot<S> {
+    /// Epoch counter (0 is the empty pre-ingest snapshot).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Stream length at this snapshot's boundary.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// The merged summary (distributed exactly as one summary run over
+    /// the whole served stream — see [`MergeableSummary`]).
+    pub fn summary(&self) -> &S {
+        &self.merged
+    }
+}
+
+impl<S: ObservableDefense> EpochSnapshot<S> {
+    /// The snapshot's retained elements, computed once per epoch.
+    fn visible_cached(&self) -> &[u64] {
+        self.visible.get_or_init(|| self.merged.visible())
+    }
+
+    /// The retained elements in sorted order, computed once per epoch.
+    fn sorted_cached(&self) -> &[u64] {
+        self.sorted.get_or_init(|| {
+            let mut v = self.visible_cached().to_vec();
+            v.sort_unstable();
+            v
+        })
+    }
+
+    /// The snapshot's retained elements — the observable state `σ` a
+    /// remote adversary reads through the `SNAPSHOT` command.
+    pub fn visible(&self) -> Vec<u64> {
+        self.visible_cached().to_vec()
+    }
+
+    /// Count estimate for `x`: the summary's own oracle answer when it
+    /// has one, else sample density × stream length.
+    pub fn count(&self, x: u64) -> f64 {
+        if let Some(c) = self.merged.count_estimate(x) {
+            return c;
+        }
+        let sorted = self.sorted_cached();
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let occurrences = sorted.partition_point(|&v| v <= x) - sorted.partition_point(|&v| v < x);
+        occurrences as f64 / sorted.len() as f64 * self.items as f64
+    }
+
+    /// `q`-quantile estimate: the summary's own oracle answer when it has
+    /// one, else the empirical quantile of the retained sample. `None`
+    /// before the first element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q ∉ [0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
+        if let Some(v) = self.merged.quantile_estimate(q) {
+            return Some(v);
+        }
+        // The element of rank ⌈q·k⌉ — same convention as `approx::quantile`.
+        let sorted = self.sorted_cached();
+        if sorted.is_empty() {
+            return None;
+        }
+        let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[target - 1])
+    }
+
+    /// Items whose sample density is `≥ threshold`, densest first (ties
+    /// broken by item value, so reports are deterministic).
+    pub fn heavy(&self, threshold: f64) -> Vec<(u64, f64)> {
+        let sorted = self.sorted_cached();
+        if sorted.is_empty() {
+            return Vec::new();
+        }
+        let k = sorted.len() as f64;
+        let mut out: Vec<(u64, f64)> = Vec::new();
+        let mut i = 0;
+        while i < sorted.len() {
+            let run = sorted.partition_point(|&v| v <= sorted[i]);
+            let density = (run - i) as f64 / k;
+            if density >= threshold {
+                out.push((sorted[i], density));
+            }
+            i = run;
+        }
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Kolmogorov–Smirnov distance between the retained sample's
+    /// empirical CDF and the uniform distribution over
+    /// `{0, …, universe−1}` — the drift/skew monitor behind `QUERY KS`.
+    /// Returns 1.0 for an empty sample (maximal ignorance).
+    pub fn ks_uniform(&self, universe: u64) -> f64 {
+        assert!(universe > 0, "universe must be non-empty");
+        let sample = self.sorted_cached();
+        if sample.is_empty() {
+            return 1.0;
+        }
+        let k = sample.len() as f64;
+        let mut d = 0.0f64;
+        for (i, &v) in sample.iter().enumerate() {
+            let f = (v.min(universe - 1) as f64 + 1.0) / universe as f64;
+            d = d.max(((i + 1) as f64 / k - f).abs());
+            d = d.max((f - i as f64 / k).abs());
+        }
+        d
+    }
+}
+
+/// A cloneable, read-only handle onto the service's published snapshot —
+/// what query threads (and the TCP server's query path) hold. Reading
+/// never touches the ingest path.
+#[derive(Debug)]
+pub struct QueryHandle<S> {
+    published: Arc<RwLock<Arc<EpochSnapshot<S>>>>,
+}
+
+impl<S> Clone for QueryHandle<S> {
+    fn clone(&self) -> Self {
+        Self {
+            published: Arc::clone(&self.published),
+        }
+    }
+}
+
+impl<S> QueryHandle<S> {
+    /// The current epoch snapshot. The returned `Arc` stays valid (and
+    /// immutable) however many epochs are published after it.
+    pub fn snapshot(&self) -> Arc<EpochSnapshot<S>> {
+        Arc::clone(&self.published.read().expect("snapshot lock poisoned"))
+    }
+}
+
+enum WorkerMsg<S> {
+    Batch(Vec<u64>),
+    State(mpsc::Sender<S>),
+    Stop,
+}
+
+struct Worker<S> {
+    tx: mpsc::Sender<WorkerMsg<S>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Checkpoint envelope magic (`b"RSVC"` + format version 1).
+const CHECKPOINT_MAGIC: u64 = 0x5253_5643_0000_0001;
+
+/// A long-running, concurrently-queried summary service. See the module
+/// docs for the determinism and concurrency contracts.
+pub struct SummaryService<S: ServableSummary> {
+    workers: Vec<Worker<S>>,
+    /// Elements dealt so far — the round-robin cursor (identical role to
+    /// [`ShardedSummary`]'s).
+    routed: usize,
+    /// Elements ingested since the last publish.
+    since_publish: usize,
+    /// Publish an epoch every this many ingested elements.
+    epoch_every: usize,
+    /// Epoch number of the currently published snapshot.
+    epoch: u64,
+    published: Arc<RwLock<Arc<EpochSnapshot<S>>>>,
+}
+
+impl<S: ServableSummary> std::fmt::Debug for SummaryService<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SummaryService")
+            .field("shards", &self.workers.len())
+            .field("routed", &self.routed)
+            .field("epoch", &self.epoch)
+            .field("epoch_every", &self.epoch_every)
+            .finish()
+    }
+}
+
+impl<S: ServableSummary> SummaryService<S> {
+    /// Start a service of `shards` ingest workers whose summaries come
+    /// from `factory(shard_index, shard_seed)` — the same constructor
+    /// shape, and the same [`ShardedSummary::shard_seed`] derivation, as
+    /// the offline sharded engine, so served and offline runs are
+    /// comparable shard for shard. An epoch is published every
+    /// `epoch_every` ingested elements (1 = publish after every frame,
+    /// what a remote adaptive duel needs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or `epoch_every == 0`.
+    pub fn start(
+        shards: usize,
+        base_seed: u64,
+        epoch_every: usize,
+        mut factory: impl FnMut(usize, u64) -> S,
+    ) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let built: Vec<S> = (0..shards)
+            .map(|j| factory(j, ShardedSummary::<S>::shard_seed(base_seed, j)))
+            .collect();
+        Self::from_parts(built, 0, 0, 0, epoch_every, None)
+    }
+
+    /// Assemble a service around pre-built shard states. `published` is
+    /// the snapshot to serve initially: the restore path passes the one
+    /// that was published at checkpoint time (so no query window ever
+    /// differs from the uninterrupted run); the fresh-start path passes
+    /// `None` and serves the merge of the initial shard states under
+    /// epoch number `epoch`.
+    fn from_parts(
+        shards: Vec<S>,
+        routed: usize,
+        since_publish: usize,
+        epoch: u64,
+        epoch_every: usize,
+        published: Option<EpochSnapshot<S>>,
+    ) -> Self {
+        assert!(epoch_every > 0, "epoch_every must be positive");
+        let snapshot = published
+            .unwrap_or_else(|| EpochSnapshot::new(epoch, routed, merge_in_order(shards.clone())));
+        let workers = shards.into_iter().map(spawn_worker).collect();
+        Self {
+            workers,
+            routed,
+            since_publish,
+            epoch_every,
+            epoch,
+            published: Arc::new(RwLock::new(Arc::new(snapshot))),
+        }
+    }
+
+    /// Number of ingest shards `K`.
+    pub fn num_shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Elements ingested (dealt to workers) so far.
+    pub fn items_routed(&self) -> usize {
+        self.routed
+    }
+
+    /// The publish cadence, in elements.
+    pub fn epoch_every(&self) -> usize {
+        self.epoch_every
+    }
+
+    /// A read-only handle for query threads.
+    pub fn query_handle(&self) -> QueryHandle<S> {
+        QueryHandle {
+            published: Arc::clone(&self.published),
+        }
+    }
+
+    /// The currently published snapshot (shorthand for going through
+    /// [`query_handle`](Self::query_handle)).
+    pub fn snapshot(&self) -> Arc<EpochSnapshot<S>> {
+        self.query_handle().snapshot()
+    }
+
+    /// Ingest one frame: deal it round-robin to the shard workers
+    /// (returning as soon as the strides are queued), then publish an
+    /// epoch if the cadence came due. Returns the new total item count.
+    pub fn ingest_frame(&mut self, xs: &[u64]) -> usize {
+        let k = self.workers.len();
+        if k == 1 {
+            self.send(0, xs.to_vec());
+        } else {
+            // Shard j's stride starts at the first frame index i with
+            // (routed + i) % k == j — the ShardedSummary deal.
+            for j in 0..k {
+                let start = (j + k - self.routed % k) % k;
+                let stride: Vec<u64> = xs.iter().skip(start).step_by(k).copied().collect();
+                if !stride.is_empty() {
+                    self.send(j, stride);
+                }
+            }
+        }
+        self.routed += xs.len();
+        self.since_publish += xs.len();
+        if self.since_publish >= self.epoch_every {
+            self.publish();
+        }
+        self.routed
+    }
+
+    fn send(&self, shard: usize, xs: Vec<u64>) {
+        self.workers[shard]
+            .tx
+            .send(WorkerMsg::Batch(xs))
+            .expect("shard worker died");
+    }
+
+    /// Barrier on every worker and capture the shard states, in shard
+    /// order. The state request queues behind all pending batches on each
+    /// worker's FIFO channel, so the captured states reflect every frame
+    /// dealt before this call — a consistent, frame-aligned cut.
+    fn collect_states(&self) -> Vec<S> {
+        let replies: Vec<mpsc::Receiver<S>> = self
+            .workers
+            .iter()
+            .map(|w| {
+                let (tx, rx) = mpsc::channel();
+                w.tx.send(WorkerMsg::State(tx)).expect("shard worker died");
+                rx
+            })
+            .collect();
+        replies
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard worker died"))
+            .collect()
+    }
+
+    /// Publish a new epoch now (also called automatically by the
+    /// `epoch_every` cadence): barrier, merge in shard order, swap the
+    /// `Arc`. Returns the published snapshot.
+    pub fn publish(&mut self) -> Arc<EpochSnapshot<S>> {
+        let merged = merge_in_order(self.collect_states());
+        self.epoch += 1;
+        self.since_publish = 0;
+        let snapshot = Arc::new(EpochSnapshot::new(self.epoch, self.routed, merged));
+        *self.published.write().expect("snapshot lock poisoned") = Arc::clone(&snapshot);
+        snapshot
+    }
+}
+
+impl<S: ServableSummary + SnapshotCodec> SummaryService<S> {
+    /// Serialize the full service state — shard summaries (with their
+    /// private RNG/gap state), round-robin cursor, publish cadence and
+    /// phase, epoch counter, **and the currently published snapshot** —
+    /// as one byte string. The cut is consistent and frame-aligned (same
+    /// barrier as [`publish`](Self::publish)).
+    ///
+    /// [`restore`](Self::restore)-ing the bytes yields a service whose
+    /// future ingestion, publication cadence, and query answers are
+    /// bit-identical to this one's. Because the published snapshot rides
+    /// along, that holds from the very first post-restore query: even a
+    /// checkpoint taken mid-cadence serves exactly the epoch the
+    /// uninterrupted service was serving, never a fresher recovery view.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let snap = self.snapshot();
+        debug_assert_eq!(snap.epoch(), self.epoch, "published epoch out of sync");
+        let mut out = Vec::new();
+        put_u64(&mut out, CHECKPOINT_MAGIC);
+        put_usize(&mut out, self.workers.len());
+        put_usize(&mut out, self.routed);
+        put_usize(&mut out, self.since_publish);
+        put_usize(&mut out, self.epoch_every);
+        put_u64(&mut out, self.epoch);
+        put_usize(&mut out, snap.items());
+        snap.summary().save_into(&mut out);
+        for state in self.collect_states() {
+            state.save_into(&mut out);
+        }
+        out
+    }
+
+    /// Rebuild a service from a [`checkpoint`](Self::checkpoint). The
+    /// snapshot published at checkpoint time is republished as-is, so
+    /// queries resume exactly where they left off.
+    pub fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::new(bytes);
+        if r.u64()? != CHECKPOINT_MAGIC {
+            return Err(SnapshotError::Corrupt("bad checkpoint magic/version"));
+        }
+        let shards = r.usize()?;
+        if shards == 0 {
+            return Err(SnapshotError::Corrupt("checkpoint with no shards"));
+        }
+        let routed = r.usize()?;
+        let since_publish = r.usize()?;
+        let epoch_every = r.usize()?;
+        if epoch_every == 0 {
+            return Err(SnapshotError::Corrupt("checkpoint epoch_every zero"));
+        }
+        let epoch = r.u64()?;
+        let snap_items = r.usize()?;
+        let snap_merged = S::restore_from(&mut r)?;
+        let states = (0..shards)
+            .map(|_| S::restore_from(&mut r))
+            .collect::<Result<Vec<_>, _>>()?;
+        if r.remaining() != 0 {
+            return Err(SnapshotError::TrailingBytes(r.remaining()));
+        }
+        Ok(Self::from_parts(
+            states,
+            routed,
+            since_publish,
+            epoch,
+            epoch_every,
+            Some(EpochSnapshot::new(epoch, snap_items, snap_merged)),
+        ))
+    }
+}
+
+impl<S: ServableSummary> Drop for SummaryService<S> {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            let _ = w.tx.send(WorkerMsg::Stop);
+        }
+        for w in &mut self.workers {
+            if let Some(handle) = w.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+fn merge_in_order<S: MergeableSummary<u64>>(states: Vec<S>) -> S {
+    let mut it = states.into_iter();
+    let mut out = it.next().expect("at least one shard");
+    for s in it {
+        out.merge(s);
+    }
+    out
+}
+
+fn spawn_worker<S: ServableSummary>(mut shard: S) -> Worker<S> {
+    let (tx, rx) = mpsc::channel::<WorkerMsg<S>>();
+    let handle = std::thread::spawn(move || {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                WorkerMsg::Batch(xs) => shard.ingest_batch(&xs),
+                WorkerMsg::State(reply) => {
+                    // The service may already have dropped the receiver
+                    // (shutdown race): ignore.
+                    let _ = reply.send(shard.clone());
+                }
+                WorkerMsg::Stop => break,
+            }
+        }
+    });
+    Worker {
+        tx,
+        handle: Some(handle),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robust_sampling_core::sampler::{ReservoirSampler, StreamSampler};
+
+    fn offline(k: usize, seed: u64) -> ShardedSummary<ReservoirSampler<u64>> {
+        ShardedSummary::new(k, seed, |_, s| ReservoirSampler::with_seed(64, s))
+    }
+
+    fn service(k: usize, seed: u64, epoch_every: usize) -> SummaryService<ReservoirSampler<u64>> {
+        SummaryService::start(k, seed, epoch_every, |_, s| {
+            ReservoirSampler::with_seed(64, s)
+        })
+    }
+
+    #[test]
+    fn served_run_is_bit_identical_to_offline_sharded_run() {
+        let stream: Vec<u64> = (0..60_000).map(|i| i * 31 % 50_000).collect();
+        let mut off = offline(4, 42);
+        let mut svc = service(4, 42, 8_192);
+        for frame in stream.chunks(777) {
+            off.ingest_batch(frame);
+            svc.ingest_frame(frame);
+        }
+        svc.publish();
+        let snap = svc.snapshot();
+        assert_eq!(snap.items(), stream.len());
+        assert_eq!(snap.summary().sample(), off.merged().sample());
+    }
+
+    #[test]
+    fn epochs_publish_on_cadence_and_are_immutable() {
+        let mut svc = service(2, 7, 1_000);
+        let pre = svc.snapshot();
+        assert_eq!(pre.epoch(), 0);
+        assert_eq!(pre.items(), 0);
+        svc.ingest_frame(&(0..999).collect::<Vec<u64>>());
+        assert_eq!(svc.snapshot().epoch(), 0, "cadence not due yet");
+        svc.ingest_frame(&[999]);
+        let snap = svc.snapshot();
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.items(), 1_000);
+        // The old Arc is still the old state.
+        assert_eq!(pre.items(), 0);
+    }
+
+    #[test]
+    fn query_handle_reads_while_ingesting() {
+        let mut svc = service(2, 9, 512);
+        let handle = svc.query_handle();
+        let reader = std::thread::spawn(move || {
+            let mut seen = 0u64;
+            for _ in 0..1_000 {
+                seen = seen.max(handle.snapshot().epoch());
+            }
+            seen
+        });
+        for frame in (0..20_000u64).collect::<Vec<_>>().chunks(256) {
+            svc.ingest_frame(frame);
+        }
+        let seen = reader.join().unwrap();
+        assert!(seen <= svc.snapshot().epoch());
+    }
+
+    #[test]
+    fn snapshot_queries_answer_from_the_merged_summary() {
+        let mut svc = service(4, 3, 1 << 20);
+        let stream: Vec<u64> = (0..50_000).collect();
+        svc.ingest_frame(&stream);
+        svc.publish();
+        let snap = svc.snapshot();
+        let med = snap.quantile(0.5).unwrap() as f64;
+        assert!((med - 25_000.0).abs() < 6_000.0, "median {med}");
+        assert_eq!(snap.visible().len(), 64);
+        let ks = snap.ks_uniform(50_000);
+        assert!(ks < 0.35, "uniform stream KS {ks}");
+        assert!(snap.heavy(0.5).is_empty());
+    }
+
+    #[test]
+    fn heavy_reports_a_planted_hitter_deterministically() {
+        let mut svc = service(2, 5, 1 << 20);
+        let stream: Vec<u64> = (0..40_000)
+            .map(|i| if i % 3 == 0 { 7 } else { 1_000 + i })
+            .collect();
+        svc.ingest_frame(&stream);
+        svc.publish();
+        let snap = svc.snapshot();
+        let heavy = snap.heavy(0.2);
+        assert_eq!(heavy.first().map(|&(v, _)| v), Some(7));
+        assert!((snap.count(7) - 40_000.0 / 3.0).abs() < 4_000.0);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let stream: Vec<u64> = (0..30_000).rev().collect();
+        let mut whole = service(3, 11, 4_096);
+        let mut half = service(3, 11, 4_096);
+        for frame in stream.chunks(500) {
+            whole.ingest_frame(frame);
+        }
+        for frame in stream[..15_000].chunks(500) {
+            half.ingest_frame(frame);
+        }
+        let bytes = half.checkpoint();
+        drop(half);
+        let mut resumed = SummaryService::<ReservoirSampler<u64>>::restore(&bytes).unwrap();
+        assert_eq!(resumed.items_routed(), 15_000);
+        for frame in stream[15_000..].chunks(500) {
+            resumed.ingest_frame(frame);
+        }
+        whole.publish();
+        resumed.publish();
+        assert_eq!(
+            resumed.snapshot().summary().sample(),
+            whole.snapshot().summary().sample()
+        );
+        assert_eq!(resumed.snapshot().epoch(), whole.snapshot().epoch());
+    }
+
+    #[test]
+    fn restore_mid_cadence_serves_the_checkpoint_time_snapshot() {
+        // Checkpoint with 300 elements pending past the last epoch
+        // boundary: the restored service must keep serving the *boundary*
+        // snapshot (items = 1200), not a fresher recovery view — so no
+        // query window ever differs from the uninterrupted run.
+        let mut whole = service(2, 21, 1_000);
+        whole.ingest_frame(&(0..800u64).collect::<Vec<_>>());
+        whole.ingest_frame(&(800..1_200u64).collect::<Vec<_>>());
+        whole.ingest_frame(&(1_200..1_500u64).collect::<Vec<_>>());
+        let before = whole.snapshot();
+        assert_eq!((before.epoch(), before.items()), (1, 1_200));
+        let bytes = whole.checkpoint();
+        let restored = SummaryService::<ReservoirSampler<u64>>::restore(&bytes).unwrap();
+        let after = restored.snapshot();
+        assert_eq!((after.epoch(), after.items()), (1, 1_200));
+        assert_eq!(after.summary().sample(), before.summary().sample());
+        assert_eq!(after.quantile(0.5), before.quantile(0.5));
+        assert_eq!(restored.items_routed(), 1_500);
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_envelopes() {
+        let svc = service(2, 1, 64);
+        let bytes = svc.checkpoint();
+        assert!(SummaryService::<ReservoirSampler<u64>>::restore(&bytes[1..]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(9);
+        assert!(SummaryService::<ReservoirSampler<u64>>::restore(&trailing).is_err());
+    }
+}

@@ -7,13 +7,16 @@
 //!   estimators, and the theorem-derived sample-size bounds;
 //! * [`sketches`] — deterministic/randomized streaming-summary baselines;
 //! * [`streamgen`] — seeded workload generators;
-//! * [`distributed`] — the paper's distributed load-balancing scenario.
+//! * [`distributed`] — the paper's distributed load-balancing scenario;
+//! * [`service`] — the concurrent serving layer: epoch-snapshot queries,
+//!   the TCP line protocol, checkpoint/restore.
 //!
 //! See the repository `README.md` for a tour and `EXPERIMENTS.md` for the
 //! paper-reproduction results.
 
 pub use robust_sampling_core as core;
 pub use robust_sampling_distributed as distributed;
+pub use robust_sampling_service as service;
 pub use robust_sampling_sketches as sketches;
 pub use robust_sampling_streamgen as streamgen;
 
