@@ -1,0 +1,455 @@
+//! Perf-trajectory driver: measure the workspace's dominant kernels at
+//! fixed shapes and persist the results as the machine-readable
+//! `BENCH_*.json` files (see [`robust_sampling_bench::perf`]).
+//!
+//! ```text
+//! perf_trajectory                         # measure + print, touch nothing
+//! perf_trajectory --bench-out . --label pr7   # append a run per area file
+//! perf_trajectory --quick --check .       # CI regression gate (<60s)
+//! ```
+//!
+//! Three areas, each with a `full` and a `quick` shape (the shapes use
+//! different problem sizes, so runs only ever compare against persisted
+//! runs of the *same* shape):
+//!
+//! * **ingest** — batched summary ingestion over a materialized stream:
+//!   the two skip-sampling samplers, Count-Min, KLL, and the two
+//!   table/inversion generators (elem/s);
+//! * **stream** — the lazy constant-memory pipeline: scenario-registry
+//!   source → frame loop → summary (elem/s);
+//! * **serve** — the epoch-snapshot service: frame ingestion and the
+//!   mixed query rotation of `loadgen`'s in-process mode, with per-op
+//!   p50/p99 latency from our own KLL sketch (ops/s).
+//!
+//! Every scenario is timed as a best-of-N minimum after a warm-up
+//! ([`perf::best_of`]) — the statistic least sensitive to neighbours on
+//! a shared container. `--check` exits 1 on a >15% throughput regression
+//! or any schema drift; `--bench-out` appends (never rewrites) so the
+//! files stay diffable across PRs.
+
+use robust_sampling_bench::perf::{self, Area, PerfEntry, PerfRun};
+use robust_sampling_bench::{
+    banner, bench_label, bench_out, check_dir, init_cli, is_quick, verdict, Table,
+};
+use robust_sampling_core::sampler::{BernoulliSampler, ReservoirSampler, StreamSampler};
+use robust_sampling_service::SummaryService;
+use robust_sampling_sketches::count_min::CountMin;
+use robust_sampling_sketches::kll::KllSketch;
+use robust_sampling_streamgen as streamgen;
+use robust_sampling_streamgen::StreamSource;
+use std::time::Instant;
+
+/// Elements per serving frame (matches `loadgen`'s in-process mode).
+const FRAME: usize = 256;
+
+struct Shape {
+    name: &'static str,
+    /// Ingest-area stream length.
+    ingest_n: usize,
+    /// Stream-area pipeline length.
+    stream_n: usize,
+    /// Serve-area fixed operation counts (frames ingested, queries run).
+    serve_frames: usize,
+    serve_queries: usize,
+    /// Timed repetitions per scenario (minimum is reported).
+    reps: usize,
+    /// Repetitions for the sub-millisecond skip-sampling kernels: their
+    /// whole measurement fits inside one scheduler quantum, so they need
+    /// many more chances to land on an undisturbed slice.
+    reps_fast: usize,
+}
+
+const FULL: Shape = Shape {
+    name: "full",
+    ingest_n: 10_000_000,
+    stream_n: 20_000_000,
+    serve_frames: 2_000,
+    serve_queries: 20_000,
+    reps: 5,
+    reps_fast: 25,
+};
+
+const QUICK: Shape = Shape {
+    name: "quick",
+    ingest_n: 2_000_000,
+    stream_n: 2_000_000,
+    serve_frames: 400,
+    serve_queries: 4_000,
+    reps: 7,
+    reps_fast: 25,
+};
+
+fn scrambled(n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect()
+}
+
+fn entry(kernel: &str, n: usize, secs: f64) -> PerfEntry {
+    PerfEntry {
+        kernel: kernel.to_string(),
+        n: n as u64,
+        rate: n as f64 / secs,
+        p50_us: 0.0,
+        p99_us: 0.0,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Area: ingest
+// ---------------------------------------------------------------------------
+
+fn measure_ingest(shape: &Shape) -> Vec<PerfEntry> {
+    let n = shape.ingest_n;
+    let xs = scrambled(n);
+    let universe = 1u64 << 20;
+    let mut entries = Vec::new();
+
+    entries.push(entry(
+        "bernoulli-batch",
+        n,
+        perf::best_of(shape.reps_fast, || {
+            let mut s = BernoulliSampler::with_seed(0.001, 1);
+            s.observe_batch(&xs);
+            assert!(!s.sample().is_empty());
+        }),
+    ));
+    entries.push(entry(
+        "reservoir-batch",
+        n,
+        perf::best_of(shape.reps_fast, || {
+            let mut s = ReservoirSampler::with_seed(4096, 1);
+            s.observe_batch(&xs);
+            assert_eq!(s.sample().len(), 4096);
+        }),
+    ));
+    entries.push(entry(
+        "count-min-batch",
+        n,
+        perf::best_of(shape.reps, || {
+            let mut s = CountMin::with_seed(4, 1 << 16, 9);
+            s.observe_batch(&xs);
+        }),
+    ));
+    entries.push(entry(
+        "kll-ingest",
+        n,
+        perf::best_of(shape.reps, || {
+            let mut s = KllSketch::with_seed(200, 9);
+            s.observe_batch(&xs);
+            assert_eq!(s.observed(), n as u64);
+        }),
+    ));
+
+    // Generator kernels: the cost of *producing* a stream. The zipf table
+    // is process-cached, so after the warm-up rep only the inverse-CDF
+    // draw path is timed — exactly the hot path the hybrid table speeds.
+    let mut frame = Vec::with_capacity(4096);
+    entries.push(entry(
+        "zipf-gen",
+        n,
+        perf::best_of(shape.reps, || {
+            let mut src = streamgen::ZipfSource::new(n, universe, 1.1, 7);
+            let mut left = n;
+            while left > 0 {
+                frame.clear();
+                let got = src.next_chunk(&mut frame, 4096);
+                assert!(got > 0);
+                left -= got;
+            }
+        }),
+    ));
+    entries.push(entry(
+        "pareto-gen",
+        n,
+        perf::best_of(shape.reps, || {
+            let mut src = streamgen::ParetoSource::new(n, universe, 1.5, 7);
+            let mut left = n;
+            while left > 0 {
+                frame.clear();
+                let got = src.next_chunk(&mut frame, 4096);
+                assert!(got > 0);
+                left -= got;
+            }
+        }),
+    ));
+    entries
+}
+
+// ---------------------------------------------------------------------------
+// Area: stream
+// ---------------------------------------------------------------------------
+
+/// Drain a lazy workload source into a summary ingest callback in
+/// 65_536-element frames, constant memory.
+fn drain(w: &'static streamgen::WorkloadSpec, n: usize, mut ingest: impl FnMut(&[u64])) {
+    const PIPE_FRAME: usize = 65_536;
+    let mut src = w.source(n, 1 << 20, 3);
+    let mut frame = Vec::with_capacity(PIPE_FRAME);
+    loop {
+        frame.clear();
+        if src.next_chunk(&mut frame, PIPE_FRAME) == 0 {
+            break;
+        }
+        ingest(&frame);
+    }
+}
+
+fn measure_stream(shape: &Shape) -> Vec<PerfEntry> {
+    let n = shape.stream_n;
+    let uniform = streamgen::workload("uniform").expect("uniform is registered");
+    let zipf = streamgen::workload("zipf").expect("zipf is registered");
+    vec![
+        entry(
+            "pipeline-reservoir",
+            n,
+            perf::best_of(shape.reps, || {
+                let mut s = ReservoirSampler::with_seed(4096, 5);
+                drain(uniform, n, |chunk| s.observe_batch(chunk));
+                assert_eq!(s.observed(), n);
+            }),
+        ),
+        entry(
+            "pipeline-kll",
+            n,
+            perf::best_of(shape.reps, || {
+                let mut s = KllSketch::with_seed(200, 5);
+                drain(zipf, n, |chunk| s.observe_batch(chunk));
+                assert_eq!(s.observed(), n as u64);
+            }),
+        ),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Area: serve
+// ---------------------------------------------------------------------------
+
+fn micros(lat: &KllSketch, q: f64) -> f64 {
+    lat.quantile(q).unwrap_or(0) as f64 / 1_000.0
+}
+
+fn measure_serve(shape: &Shape) -> Vec<PerfEntry> {
+    let universe = 1u64 << 20;
+    let mut entries = Vec::new();
+
+    // Frame ingestion into the sharded epoch-snapshot service; one op =
+    // one element, latency measured per frame.
+    {
+        let frames = shape.serve_frames;
+        let xs = scrambled(frames * FRAME);
+        let mut best = f64::INFINITY;
+        let mut lat = KllSketch::with_seed(256, 1);
+        for rep in 0..=shape.reps {
+            let mut svc =
+                SummaryService::start(2, 42, 4 * FRAME, |_, s| ReservoirSampler::with_seed(256, s));
+            let mut rep_lat = KllSketch::with_seed(256, 1);
+            let t = Instant::now();
+            for f in xs.chunks(FRAME) {
+                let t0 = Instant::now();
+                svc.ingest_frame(f);
+                rep_lat.observe(t0.elapsed().as_nanos() as u64);
+            }
+            let secs = t.elapsed().as_secs_f64();
+            // Rep 0 is the warm-up; afterwards keep the fastest rep.
+            if rep > 0 && secs < best {
+                best = secs;
+                lat = rep_lat;
+            }
+        }
+        entries.push(PerfEntry {
+            kernel: "serve-ingest-frames".to_string(),
+            n: (frames * FRAME) as u64,
+            rate: (frames * FRAME) as f64 / best,
+            p50_us: micros(&lat, 0.5),
+            p99_us: micros(&lat, 0.99),
+        });
+    }
+
+    // The mixed query rotation of loadgen's in-process mode, against a
+    // service pre-loaded with one batch of frames.
+    {
+        let queries = shape.serve_queries;
+        let mut svc =
+            SummaryService::start(2, 42, 4 * FRAME, |_, s| ReservoirSampler::with_seed(256, s));
+        for f in scrambled(shape.serve_frames * FRAME).chunks(FRAME) {
+            svc.ingest_frame(f);
+        }
+        let handle = svc.query_handle();
+        let mut best = f64::INFINITY;
+        let mut lat = KllSketch::with_seed(256, 2);
+        for rep in 0..=shape.reps {
+            let mut rep_lat = KllSketch::with_seed(256, 2);
+            let t = Instant::now();
+            for op in 0..queries as u64 {
+                let t0 = Instant::now();
+                let snap = handle.snapshot();
+                match op % 4 {
+                    0 => {
+                        let _ = snap.quantile(0.5);
+                    }
+                    1 => {
+                        let _ = snap.quantile(0.99);
+                    }
+                    2 => {
+                        let _ = snap.count(op.wrapping_mul(2_654_435_761) % universe);
+                    }
+                    _ => {
+                        let _ = snap.ks_uniform(universe);
+                    }
+                }
+                rep_lat.observe(t0.elapsed().as_nanos() as u64);
+            }
+            let secs = t.elapsed().as_secs_f64();
+            if rep > 0 && secs < best {
+                best = secs;
+                lat = rep_lat;
+            }
+        }
+        entries.push(PerfEntry {
+            kernel: "serve-mixed-queries".to_string(),
+            n: queries as u64,
+            rate: queries as f64 / best,
+            p50_us: micros(&lat, 0.5),
+            p99_us: micros(&lat, 0.99),
+        });
+    }
+    entries
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+fn print_area(area: Area, run: &PerfRun) {
+    let mut table = Table::new(&["kernel", "n", area.rate_key(), "p50_us", "p99_us"]);
+    for e in &run.entries {
+        table.row(&[
+            e.kernel.clone(),
+            e.n.to_string(),
+            format!("{:.3e}", e.rate),
+            format!("{:.3}", e.p50_us),
+            format!("{:.3}", e.p99_us),
+        ]);
+    }
+    table.emit("perf_trajectory", area.tag());
+}
+
+fn measure(area: Area, shape: &Shape) -> Vec<PerfEntry> {
+    match area {
+        Area::Ingest => measure_ingest(shape),
+        Area::Stream => measure_stream(shape),
+        Area::Serve => measure_serve(shape),
+    }
+}
+
+/// Fold a re-measurement into `run`, keeping the per-kernel best rate
+/// (and its latency quantiles) — the min-time statistic extended across
+/// attempts.
+fn merge_best(run: &mut PerfRun, again: Vec<PerfEntry>) {
+    for fresh in again {
+        if let Some(e) = run.entries.iter_mut().find(|e| e.kernel == fresh.kernel) {
+            if fresh.rate > e.rate {
+                *e = fresh;
+            }
+        }
+    }
+}
+
+/// How many times an apparently-regressed area is re-measured before the
+/// verdict stands. A genuine regression is slow on every attempt; a
+/// neighbour-induced noise episode (seconds long on a shared container,
+/// long enough to defeat one best-of-N window) is not.
+const CHECK_RETRIES: usize = 2;
+
+fn main() {
+    init_cli();
+    let shape = if is_quick() { &QUICK } else { &FULL };
+    let label = bench_label("dev");
+    let out = bench_out();
+    let check = check_dir();
+    banner(
+        "perf_trajectory",
+        "kernel perf trajectory (BENCH_*.json)",
+        &format!(
+            "fixed-shape scenarios, shape={}, best-of-{} minimum per kernel",
+            shape.name, shape.reps
+        ),
+    );
+
+    let mut failed = false;
+    for area in [Area::Ingest, Area::Stream, Area::Serve] {
+        let mut run = PerfRun {
+            label: label.clone(),
+            shape: shape.name.to_string(),
+            entries: measure(area, shape),
+        };
+        if let Some(dir) = &check {
+            match perf::check_against(dir, area, &run) {
+                Ok(mut lines) => {
+                    let mut retries = 0;
+                    while lines.iter().any(|l| l.regressed) && retries < CHECK_RETRIES {
+                        retries += 1;
+                        println!(
+                            "{}: apparent regression, re-measuring (attempt {retries}/{CHECK_RETRIES})",
+                            area.tag()
+                        );
+                        merge_best(&mut run, measure(area, shape));
+                        lines = perf::check_against(dir, area, &run)
+                            .expect("baseline parsed once already");
+                    }
+                    print_area(area, &run);
+                    for l in &lines {
+                        let pass = !l.regressed;
+                        failed |= l.regressed;
+                        verdict(
+                            &format!("{}:{}", area.tag(), l.kernel),
+                            pass,
+                            &format!(
+                                "{:.3e} vs persisted {:.3e} ({:+.1}%)",
+                                l.current,
+                                l.baseline,
+                                (l.ratio - 1.0) * 100.0
+                            ),
+                        );
+                    }
+                    if lines.is_empty() {
+                        verdict(
+                            &format!("{}:baseline", area.tag()),
+                            true,
+                            "no matching persisted kernels (new scenarios pass vacuously)",
+                        );
+                    }
+                }
+                Err(e) => {
+                    print_area(area, &run);
+                    failed = true;
+                    verdict(&format!("{}:schema", area.tag()), false, &e);
+                }
+            }
+        } else {
+            print_area(area, &run);
+        }
+        if let Some(dir) = &out {
+            match perf::append_run(dir, area, &run) {
+                Ok(()) => println!(
+                    "appended run {:?} to {}",
+                    label,
+                    dir.join(area.file_name()).display()
+                ),
+                Err(e) => {
+                    failed = true;
+                    verdict(&format!("{}:write", area.tag()), false, &e);
+                }
+            }
+        }
+        println!();
+    }
+    if failed {
+        eprintln!(
+            "perf_trajectory: FAILED (>{:.0}% regression or schema drift)",
+            perf::REGRESSION_TOLERANCE * 100.0
+        );
+        std::process::exit(1);
+    }
+}

@@ -21,6 +21,11 @@
 //!   knobs used by the `loadgen` binary ([`clients`], [`duration_secs`],
 //!   [`port`]); `--port 0` (the default) binds an OS-assigned ephemeral
 //!   port so CI can never flake on bind collisions;
+//! * `--bench-out <dir>` / `--check <dir>` / `--label <name>` — the perf
+//!   trajectory knobs used by the `perf_trajectory` binary ([`bench_out`],
+//!   [`check_dir`], [`bench_label`]): append this run's measurements to
+//!   the `BENCH_*.json` files in `<dir>`, and/or compare against the
+//!   trajectory persisted there (exit 1 on >15% throughput regression);
 //! * `--help` — print the shared flag reference and exit ([`init_cli`]).
 //!
 //! Binaries construct engines through [`engine`], which applies the
@@ -158,10 +163,50 @@ pub fn port() -> u16 {
     .unwrap_or(0)
 }
 
-/// Print the shared flag reference (`--help`).
-pub fn print_help() {
-    println!(
-        "shared experiment flags:\n\
+/// Parse a `--flag <path>` pair whose value must not itself be a flag
+/// (catches `--bench-out --check`, where the directory was forgotten).
+fn path_flag(name: &str, usage: &str) -> Option<std::path::PathBuf> {
+    parsed_flag(name, usage, |v| {
+        (!v.starts_with("--")).then(|| std::path::PathBuf::from(v))
+    })
+}
+
+/// The `--bench-out <dir>` setting (perf_trajectory): append this run to
+/// the `BENCH_*.json` trajectory files in `dir`. `None` when absent.
+///
+/// Exits with status 2 on a missing or flag-like value.
+pub fn bench_out() -> Option<std::path::PathBuf> {
+    path_flag(
+        "--bench-out",
+        "--bench-out needs a directory argument (the BENCH_*.json location)",
+    )
+}
+
+/// The `--check <dir>` setting (perf_trajectory): compare this run
+/// against the trajectory persisted in `dir` and fail on regression.
+/// `None` when absent.
+///
+/// Exits with status 2 on a missing or flag-like value.
+pub fn check_dir() -> Option<std::path::PathBuf> {
+    path_flag(
+        "--check",
+        "--check needs a directory argument (the BENCH_*.json location)",
+    )
+}
+
+/// The `--label <name>` setting (perf_trajectory): the commit-ish label
+/// recorded with an appended run; `default` when absent.
+///
+/// Exits with status 2 on a missing or flag-like value.
+pub fn bench_label(default: &str) -> String {
+    parsed_flag("--label", "--label needs a name argument", |v| {
+        (!v.starts_with("--")).then(|| v.to_string())
+    })
+    .unwrap_or_else(|| default.to_string())
+}
+
+/// The `--help` flag reference text.
+const HELP_TEXT: &str = "shared experiment flags:\n\
          \x20 --quick              CI-sized sweep\n\
          \x20 --csv <dir>          also write every table as CSV into <dir>\n\
          \x20 --threads <n>        fan seeded trials across n threads (bit-identical)\n\
@@ -175,8 +220,16 @@ pub fn print_help() {
          \x20 --duration <secs>    measurement window per mode (fractional ok)\n\
          \x20 --port <p>           TCP port; 0 = OS-assigned ephemeral (default,\n\
          \x20                      collision-proof in CI)\n\
-         \x20 --help               this text"
-    );
+         perf-trajectory flags (perf_trajectory):\n\
+         \x20 --bench-out <dir>    append this run to the BENCH_*.json files in <dir>\n\
+         \x20 --check <dir>        compare against the trajectory in <dir>; exit 1 on\n\
+         \x20                      >15% throughput regression or schema drift\n\
+         \x20 --label <name>       commit-ish label recorded with an appended run\n\
+         \x20 --help               this text";
+
+/// Print the shared flag reference (`--help`).
+pub fn print_help() {
+    println!("{HELP_TEXT}");
 }
 
 /// Print the scenario registry as an aligned table.
@@ -241,6 +294,9 @@ pub fn init_cli() {
     let _ = clients(1);
     let _ = duration_secs(1.0);
     let _ = port();
+    let _ = bench_out();
+    let _ = check_dir();
+    let _ = bench_label("dev");
 }
 
 #[cfg(test)]
@@ -273,5 +329,27 @@ mod tests {
         assert_eq!(clients(8), 8);
         assert_eq!(duration_secs(2.5), 2.5);
         assert_eq!(port(), 0, "default port must be ephemeral");
+    }
+
+    #[test]
+    fn perf_flags_default_when_absent() {
+        assert!(bench_out().is_none());
+        assert!(check_dir().is_none());
+        assert_eq!(bench_label("dev"), "dev");
+    }
+
+    #[test]
+    fn help_text_covers_perf_flags() {
+        // `--help` must document the trajectory flags alongside the rest.
+        for flag in [
+            "--bench-out",
+            "--check",
+            "--label",
+            "--quick",
+            "--threads",
+            "--workload",
+        ] {
+            assert!(HELP_TEXT.contains(flag), "help text missing {flag}");
+        }
     }
 }

@@ -22,6 +22,11 @@
 //! * `--attack <name>` / `--list-attacks` — restrict the `attack_matrix`
 //!   grid to one attack-registry adversary, or list that registry.
 //!
+//! The `perf_trajectory` binary additionally understands
+//! `--bench-out <dir>` (append this run to the `BENCH_*.json` trajectory
+//! files) and `--check <dir>` (compare against the persisted trajectory
+//! and fail on regression) — see [`perf`].
+//!
 //! The attack × defense robustness grid itself lives in [`matrix`] and is
 //! driven by the `attack_matrix` binary.
 
@@ -30,9 +35,11 @@
 
 pub mod cli;
 pub mod matrix;
+pub mod perf;
 
 pub use cli::{
-    attack, clients, duration_secs, engine, init_cli, is_quick, port, stream_len, threads, workload,
+    attack, bench_label, bench_out, check_dir, clients, duration_secs, engine, init_cli, is_quick,
+    port, stream_len, threads, workload,
 };
 pub use robust_sampling_core::engine::report::Table;
 

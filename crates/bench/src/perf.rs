@@ -1,0 +1,637 @@
+//! Persisted, machine-readable perf trajectory (`BENCH_*.json`).
+//!
+//! The `perf_trajectory` binary measures a fixed set of kernel scenarios
+//! and records them here, one JSON file per *area* at the repository
+//! root:
+//!
+//! * `BENCH_ingest.json` — batched summary ingestion (elem/s);
+//! * `BENCH_stream.json` — the lazy streaming pipeline (elem/s);
+//! * `BENCH_serve.json`  — in-process serving (ops/s with p50/p99 µs).
+//!
+//! Each file is a JSON **array of runs**, appended to (never rewritten)
+//! so the perf trajectory of the codebase is diffable in git history:
+//!
+//! ```json
+//! [
+//!   {"area": "ingest", "label": "pr6", "shape": "full", "entries": [
+//!     {"kernel": "bernoulli-batch", "n": 10000000,
+//!      "elem_per_s": 9.1e10, "p50_us": 0.0, "p99_us": 0.0}
+//!   ]}
+//! ]
+//! ```
+//!
+//! The rate key is `elem_per_s` for the ingest/stream areas and
+//! `ops_per_s` for the serve area. `p50_us`/`p99_us` are 0 where a
+//! scenario has no per-operation latency distribution.
+//!
+//! The check mode ([`check_against`]) compares a fresh measurement
+//! against the **latest persisted run of the same shape** and fails on a
+//! more than [`REGRESSION_TOLERANCE`] throughput drop per kernel, or on
+//! any schema drift (unparseable file, wrong area, malformed entries) —
+//! the CI regression gate.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// Allowed relative throughput drop before [`check_against`] fails
+/// (0.15 = fail when a kernel runs >15% slower than the persisted run).
+pub const REGRESSION_TOLERANCE: f64 = 0.15;
+
+/// The three trajectory files, named by the subsystem they measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Area {
+    /// Batched summary ingestion kernels (`BENCH_ingest.json`).
+    Ingest,
+    /// The lazy streaming pipeline (`BENCH_stream.json`).
+    Stream,
+    /// In-process serving (`BENCH_serve.json`).
+    Serve,
+}
+
+impl Area {
+    /// The area tag stored inside each run (`"ingest"` / …).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Area::Ingest => "ingest",
+            Area::Stream => "stream",
+            Area::Serve => "serve",
+        }
+    }
+
+    /// The JSON file name at the repository root.
+    pub fn file_name(self) -> &'static str {
+        match self {
+            Area::Ingest => "BENCH_ingest.json",
+            Area::Stream => "BENCH_stream.json",
+            Area::Serve => "BENCH_serve.json",
+        }
+    }
+
+    /// The per-entry rate key: elements or operations per second.
+    pub fn rate_key(self) -> &'static str {
+        match self {
+            Area::Ingest | Area::Stream => "elem_per_s",
+            Area::Serve => "ops_per_s",
+        }
+    }
+}
+
+/// One measured kernel scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfEntry {
+    /// Scenario name, stable across PRs (e.g. `bernoulli-batch`).
+    pub kernel: String,
+    /// Problem size (stream length or operation count).
+    pub n: u64,
+    /// Throughput under the area's [`Area::rate_key`].
+    pub rate: f64,
+    /// Median per-operation latency in µs (0 when not applicable).
+    pub p50_us: f64,
+    /// 99th-percentile per-operation latency in µs (0 when not applicable).
+    pub p99_us: f64,
+}
+
+/// One appended measurement run: a label (commit-ish), a shape
+/// (`"full"` or `"quick"`), and the measured entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfRun {
+    /// Commit-ish label identifying when the run was taken.
+    pub label: String,
+    /// Scenario sizing: `"full"` or `"quick"` (CI-sized).
+    pub shape: String,
+    /// The measured scenarios.
+    pub entries: Vec<PerfEntry>,
+}
+
+/// Wall-clock a closure `reps` times and return the **minimum** elapsed
+/// seconds (after one untimed warm-up call). The minimum is the standard
+/// robust statistic for microbenchmarks on shared machines: every source
+/// of interference only ever adds time.
+pub fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// JSON writing
+// ---------------------------------------------------------------------------
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_run(out: &mut String, area: Area, run: &PerfRun) {
+    out.push_str("  {\"area\": \"");
+    out.push_str(area.tag());
+    out.push_str("\", \"label\": \"");
+    escape_into(out, &run.label);
+    out.push_str("\", \"shape\": \"");
+    escape_into(out, &run.shape);
+    out.push_str("\", \"entries\": [\n");
+    for (i, e) in run.entries.iter().enumerate() {
+        out.push_str("    {\"kernel\": \"");
+        escape_into(out, &e.kernel);
+        let _ = write!(
+            out,
+            "\", \"n\": {}, \"{}\": {:.1}, \"p50_us\": {:.3}, \"p99_us\": {:.3}}}",
+            e.n,
+            area.rate_key(),
+            e.rate,
+            e.p50_us,
+            e.p99_us
+        );
+        out.push_str(if i + 1 < run.entries.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]}");
+}
+
+/// Render a whole trajectory file (an array of runs) as JSON text.
+pub fn to_json(area: Area, runs: &[PerfRun]) -> String {
+    let mut out = String::from("[\n");
+    for (i, run) in runs.iter().enumerate() {
+        write_run(&mut out, area, run);
+        out.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSON parsing (minimal, for the trajectory schema only)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.at += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.at) == Some(&b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.at))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.at).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.at) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.bytes.get(self.at) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.at + 1..self.at + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            self.at += 4;
+                        }
+                        _ => return Err("unsupported escape".into()),
+                    }
+                    self.at += 1;
+                }
+                Some(&b) => {
+                    // Multi-byte UTF-8 sequences pass through bytewise.
+                    out.push(b as char);
+                    self.at += 1;
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.at += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek() {
+                        Some(b',') => self.at += 1,
+                        Some(b']') => {
+                            self.at += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("bad array at byte {}", self.at)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.at += 1;
+                let mut fields = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.at += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    fields.push((key, self.value()?));
+                    match self.peek() {
+                        Some(b',') => self.at += 1,
+                        Some(b'}') => {
+                            self.at += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(format!("bad object at byte {}", self.at)),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => {
+                let start = self.at;
+                while self.bytes.get(self.at).is_some_and(|&b| {
+                    b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    self.at += 1;
+                }
+                std::str::from_utf8(&self.bytes[start..self.at])
+                    .ok()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .map(Json::Num)
+                    .ok_or_else(|| format!("bad number at byte {start}"))
+            }
+            _ => Err(format!("unexpected input at byte {}", self.at)),
+        }
+    }
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a trajectory file. Returns the runs, or a schema-drift error
+/// naming what failed (also raised when any run's `area` tag differs
+/// from `area` — a file moved or mislabeled is drift, not data).
+pub fn parse(area: Area, text: &str) -> Result<Vec<PerfRun>, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        at: 0,
+    };
+    let root = p.value()?;
+    p.skip_ws();
+    if p.at != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.at));
+    }
+    let Json::Arr(raw_runs) = root else {
+        return Err("top level must be an array of runs".into());
+    };
+    let mut runs = Vec::with_capacity(raw_runs.len());
+    for (ri, raw) in raw_runs.iter().enumerate() {
+        let run_area = raw
+            .get("area")
+            .and_then(Json::str)
+            .ok_or(format!("run {ri}: missing area"))?;
+        if run_area != area.tag() {
+            return Err(format!(
+                "run {ri}: area {run_area:?} does not match expected {:?}",
+                area.tag()
+            ));
+        }
+        let label = raw
+            .get("label")
+            .and_then(Json::str)
+            .ok_or(format!("run {ri}: missing label"))?
+            .to_string();
+        let shape = raw
+            .get("shape")
+            .and_then(Json::str)
+            .ok_or(format!("run {ri}: missing shape"))?
+            .to_string();
+        let Some(Json::Arr(raw_entries)) = raw.get("entries") else {
+            return Err(format!("run {ri}: missing entries array"));
+        };
+        let mut entries = Vec::with_capacity(raw_entries.len());
+        for (ei, e) in raw_entries.iter().enumerate() {
+            let ctx = format!("run {ri} entry {ei}");
+            entries.push(PerfEntry {
+                kernel: e
+                    .get("kernel")
+                    .and_then(Json::str)
+                    .ok_or(format!("{ctx}: missing kernel"))?
+                    .to_string(),
+                n: e.get("n")
+                    .and_then(Json::num)
+                    .filter(|x| *x >= 0.0)
+                    .ok_or(format!("{ctx}: missing n"))? as u64,
+                rate: e
+                    .get(area.rate_key())
+                    .and_then(Json::num)
+                    .ok_or(format!("{ctx}: missing {}", area.rate_key()))?,
+                p50_us: e
+                    .get("p50_us")
+                    .and_then(Json::num)
+                    .ok_or(format!("{ctx}: missing p50_us"))?,
+                p99_us: e
+                    .get("p99_us")
+                    .and_then(Json::num)
+                    .ok_or(format!("{ctx}: missing p99_us"))?,
+            });
+        }
+        runs.push(PerfRun {
+            label,
+            shape,
+            entries,
+        });
+    }
+    Ok(runs)
+}
+
+// ---------------------------------------------------------------------------
+// Append + regression check
+// ---------------------------------------------------------------------------
+
+/// Append `run` to the area's trajectory file in `dir`, creating the file
+/// when absent. Existing content must parse (schema drift is an error,
+/// not something to silently overwrite).
+pub fn append_run(dir: &Path, area: Area, run: &PerfRun) -> Result<(), String> {
+    let path = dir.join(area.file_name());
+    let mut runs = match std::fs::read_to_string(&path) {
+        Ok(text) => parse(area, &text).map_err(|e| format!("{}: {e}", path.display()))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    runs.push(run.clone());
+    std::fs::write(&path, to_json(area, &runs)).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// The verdict of one kernel's regression comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckLine {
+    /// Scenario name.
+    pub kernel: String,
+    /// Persisted baseline throughput (same shape, latest run).
+    pub baseline: f64,
+    /// Freshly measured throughput.
+    pub current: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+    /// Whether the kernel regressed beyond tolerance.
+    pub regressed: bool,
+}
+
+/// Compare `current` against the latest persisted run **of the same
+/// shape** in the area's file under `dir`.
+///
+/// Returns one [`CheckLine`] per entry of `current` that has a matching
+/// `(kernel, n)` baseline (new kernels pass vacuously). Errors on schema
+/// drift: unreadable/unparseable file, no persisted run of this shape.
+pub fn check_against(dir: &Path, area: Area, current: &PerfRun) -> Result<Vec<CheckLine>, String> {
+    let path = dir.join(area.file_name());
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "{}: {e} (no persisted trajectory to check against)",
+            path.display()
+        )
+    })?;
+    let runs = parse(area, &text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let baseline = runs
+        .iter()
+        .rev()
+        .find(|r| r.shape == current.shape)
+        .ok_or(format!(
+            "{}: no persisted run of shape {:?}",
+            path.display(),
+            current.shape
+        ))?;
+    let mut lines = Vec::new();
+    for e in &current.entries {
+        if let Some(b) = baseline
+            .entries
+            .iter()
+            .find(|b| b.kernel == e.kernel && b.n == e.n)
+        {
+            let ratio = if b.rate > 0.0 { e.rate / b.rate } else { 1.0 };
+            lines.push(CheckLine {
+                kernel: e.kernel.clone(),
+                baseline: b.rate,
+                current: e.rate,
+                ratio,
+                regressed: ratio < 1.0 - REGRESSION_TOLERANCE,
+            });
+        }
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(label: &str, shape: &str, rates: &[(&str, u64, f64)]) -> PerfRun {
+        PerfRun {
+            label: label.into(),
+            shape: shape.into(),
+            entries: rates
+                .iter()
+                .map(|&(k, n, r)| PerfEntry {
+                    kernel: k.into(),
+                    n,
+                    rate: r,
+                    p50_us: 1.5,
+                    p99_us: 9.25,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let runs = vec![
+            run("pr5", "full", &[("bernoulli-batch", 10_000_000, 4.5e10)]),
+            run("pr6", "full", &[("bernoulli-batch", 10_000_000, 9.0e10)]),
+        ];
+        let text = to_json(Area::Ingest, &runs);
+        let back = parse(Area::Ingest, &text).expect("round trip");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].label, "pr6");
+        assert_eq!(back[1].entries[0].kernel, "bernoulli-batch");
+        assert_eq!(back[1].entries[0].n, 10_000_000);
+        assert!((back[1].entries[0].rate - 9.0e10).abs() < 1.0);
+        assert!((back[1].entries[0].p99_us - 9.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serve_area_uses_ops_per_s_key() {
+        let text = to_json(Area::Serve, &[run("x", "quick", &[("q", 100, 1e6)])]);
+        assert!(text.contains("\"ops_per_s\""));
+        assert!(!text.contains("\"elem_per_s\""));
+        // The ingest parser must reject it: wrong area tag is drift.
+        assert!(parse(Area::Ingest, &text).is_err());
+        assert!(parse(Area::Serve, &text).is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_schema_drift() {
+        assert!(parse(Area::Ingest, "{}").is_err(), "object at top level");
+        assert!(
+            parse(Area::Ingest, "[{\"area\": \"ingest\"}]").is_err(),
+            "missing fields"
+        );
+        assert!(parse(Area::Ingest, "[] trailing").is_err(), "trailing data");
+        let no_rate = "[{\"area\": \"ingest\", \"label\": \"x\", \"shape\": \"full\", \
+             \"entries\": [{\"kernel\": \"k\", \"n\": 5, \"p50_us\": 0, \"p99_us\": 0}]}]";
+        assert!(parse(Area::Ingest, no_rate).is_err(), "missing rate key");
+    }
+
+    #[test]
+    fn append_creates_then_extends() {
+        let dir = std::env::temp_dir().join(format!("perf_append_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        append_run(&dir, Area::Stream, &run("a", "full", &[("pipe", 7, 1e9)])).unwrap();
+        append_run(&dir, Area::Stream, &run("b", "full", &[("pipe", 7, 2e9)])).unwrap();
+        let text = std::fs::read_to_string(dir.join(Area::Stream.file_name())).unwrap();
+        let runs = parse(Area::Stream, &text).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].label, "a");
+        assert_eq!(runs[1].label, "b");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn check_flags_regressions_and_matches_shape() {
+        let dir = std::env::temp_dir().join(format!("perf_check_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        append_run(
+            &dir,
+            Area::Ingest,
+            &run("old", "quick", &[("k", 10, 1000.0)]),
+        )
+        .unwrap();
+        append_run(
+            &dir,
+            Area::Ingest,
+            &run("new", "full", &[("k", 99, 5000.0)]),
+        )
+        .unwrap();
+        // Same shape, within tolerance: passes.
+        let ok = check_against(
+            &dir,
+            Area::Ingest,
+            &run("now", "quick", &[("k", 10, 900.0)]),
+        )
+        .unwrap();
+        assert_eq!(ok.len(), 1);
+        assert!(!ok[0].regressed, "10% drop is within tolerance");
+        // Same shape, beyond tolerance: flagged.
+        let bad = check_against(
+            &dir,
+            Area::Ingest,
+            &run("now", "quick", &[("k", 10, 700.0)]),
+        )
+        .unwrap();
+        assert!(bad[0].regressed, "30% drop must be flagged");
+        // Unknown kernel: vacuous pass.
+        let new = check_against(
+            &dir,
+            Area::Ingest,
+            &run("now", "quick", &[("fresh", 10, 1.0)]),
+        )
+        .unwrap();
+        assert!(new.is_empty());
+        // No run of the requested shape: drift error.
+        assert!(check_against(&dir, Area::Ingest, &run("now", "huge", &[("k", 10, 1.0)])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_baseline_file_is_an_error() {
+        let dir = std::env::temp_dir().join("perf_missing_baseline_dir");
+        assert!(check_against(&dir, Area::Serve, &run("x", "full", &[])).is_err());
+    }
+
+    #[test]
+    fn best_of_returns_minimum() {
+        let mut calls = 0u32;
+        let t = best_of(3, || calls += 1);
+        assert_eq!(calls, 4, "one warm-up plus three timed reps");
+        assert!(t >= 0.0 && t.is_finite());
+    }
+}

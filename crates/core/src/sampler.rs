@@ -104,12 +104,33 @@ pub trait StreamSampler<T> {
 #[derive(Debug, Clone)]
 pub struct BernoulliSampler<T> {
     p: f64,
+    /// Cached `ln(1 − p)` — the geometric-gap denominator. Recomputing it
+    /// per stored element was one of the two `ln` calls on the batch hot
+    /// path; the cached value is bit-identical by determinism of `ln`.
+    ln_q: f64,
     sample: Vec<T>,
     observed: usize,
     rng: StdRng,
     /// Elements still to skip before the next store; `None` iff `p == 0`
     /// (nothing is ever stored).
     skip: Option<u64>,
+}
+
+/// One geometric gap `⌊ln(1−u)/ln(1−p)⌋` with `u` drawn from `rng`.
+///
+/// The saturating `f64 → u64` cast is exactly `floor` for finite
+/// non-negative quotients and sends the `+inf` tail (u ≈ 1 at tiny `p`)
+/// to `u64::MAX` — the same value the old `floor()` + `is_finite()`
+/// branch produced, one libm call cheaper. For `p ≥ 1` the gap is 0 and
+/// **no randomness is consumed** (callers rely on that for the
+/// store-everything fast path).
+#[inline]
+fn bernoulli_gap(rng: &mut StdRng, p: f64, ln_q: f64) -> u64 {
+    if p >= 1.0 {
+        return 0;
+    }
+    let u: f64 = rng.random();
+    ((1.0 - u).ln() / ln_q) as u64
 }
 
 impl<T> BernoulliSampler<T> {
@@ -123,6 +144,7 @@ impl<T> BernoulliSampler<T> {
         assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
         let mut s = Self {
             p,
+            ln_q: (1.0 - p).ln(),
             sample: Vec::new(),
             observed: 0,
             rng: StdRng::seed_from_u64(seed),
@@ -148,17 +170,7 @@ impl<T> BernoulliSampler<T> {
     /// Draw the number of elements to skip before the next store:
     /// `Geometric(p)` on `{0, 1, 2, …}` by inversion.
     fn draw_gap(&mut self) -> u64 {
-        if self.p >= 1.0 {
-            return 0;
-        }
-        let u: f64 = self.rng.random();
-        // ln(1-u)/ln(1-p): +inf (and NaN-free) tails saturate to u64::MAX.
-        let g = ((1.0 - u).ln() / (1.0 - self.p).ln()).floor();
-        if g.is_finite() {
-            g as u64
-        } else {
-            u64::MAX
-        }
+        bernoulli_gap(&mut self.rng, self.p, self.ln_q)
     }
 
     /// Merge another Bernoulli sampler of the **same rate** into this one.
@@ -197,18 +209,51 @@ impl<T> BernoulliSampler<T> {
         let Some(mut skip) = self.skip else {
             return;
         };
-        let mut i = 0usize;
-        while i < n {
-            let remaining = (n - i) as u64;
-            if skip >= remaining {
-                skip -= remaining;
-                break;
+        if self.p >= 1.0 {
+            // Every drawn gap is 0 and drawing one consumes no
+            // randomness: after any pending skip runs out, storing the
+            // rest of the batch is a single slice copy.
+            if skip >= n as u64 {
+                self.skip = Some(skip - n as u64);
+            } else {
+                self.sample.extend_from_slice(&xs[skip as usize..]);
+                self.skip = Some(0);
             }
-            i += skip as usize;
-            self.sample.push(xs[i].clone());
-            i += 1;
-            skip = self.draw_gap();
+            return;
         }
+        // One reservation sized to the expected p·n stores (+4σ slack)
+        // instead of amortized doubling mid-loop.
+        let expect = self.p * n as f64;
+        self.sample
+            .reserve((expect + 4.0 * expect.sqrt()) as usize + 1);
+        // Software-pipelined hot loop on local copies of the RNG and gap
+        // so the compiler can keep them in registers. Each iteration
+        // copies one confirmed store and draws the *next* gap; the gap's
+        // `ln` depends only on the RNG recurrence — never on loaded data —
+        // so the strided `xs` read overlaps the FPU work, and consecutive
+        // iterations' `ln` calls pipeline. Exactly one RNG word is
+        // consumed per stored element, in stream order — identical to the
+        // element-wise path.
+        let (p, ln_q) = (self.p, self.ln_q);
+        let mut rng = self.rng.clone();
+        if skip < n as u64 {
+            let mut pos = skip as usize;
+            loop {
+                skip = bernoulli_gap(&mut rng, p, ln_q);
+                self.sample.push(xs[pos].clone());
+                // Elements of this batch after `pos`; the new gap either
+                // lands in them or carries past the batch end.
+                let after = (n - pos - 1) as u64;
+                if skip >= after {
+                    skip -= after;
+                    break;
+                }
+                pos += 1 + skip as usize;
+            }
+        } else {
+            skip -= n as u64;
+        }
+        self.rng = rng;
         self.skip = Some(skip);
     }
 }
@@ -264,6 +309,26 @@ impl<T: Clone> StreamSampler<T> for BernoulliSampler<T> {
 // ---------------------------------------------------------------------------
 // Reservoir sampling
 // ---------------------------------------------------------------------------
+
+/// One Algorithm L acceptance gap `⌊ln u / ln(1−w)⌋` with `u` drawn from
+/// `rng`.
+///
+/// As in [`bernoulli_gap`], the saturating `f64 → u64` cast replaces the
+/// old `floor()` + `is_finite()` branch value-for-value (the quotient is
+/// never NaN: `u > 0` so `ln u` is finite, and `denom < 0` excludes
+/// `0/0`). When `w` has underflowed to 0 the threshold is gone and no
+/// future element is ever accepted — but the uniform is still drawn
+/// first, matching the original RNG consumption order.
+#[inline]
+fn algo_l_gap(rng: &mut StdRng, w: f64) -> u64 {
+    let u2: f64 = rng.random();
+    let denom = (1.0 - w).ln();
+    if denom < 0.0 {
+        (u2.ln() / denom) as u64
+    } else {
+        u64::MAX
+    }
+}
 
 /// Classical reservoir sampling (the paper's Section 2 algorithm: store
 /// element `i > k` with probability `k/i`, evicting a uniformly random
@@ -346,20 +411,7 @@ impl<T> ReservoirSampler<T> {
     /// Draw the gap until the next acceptance from the current threshold
     /// `w`: geometric with per-element acceptance probability `w`.
     fn draw_skip(&mut self) {
-        let u2: f64 = self.rng.random();
-        let denom = (1.0 - self.w).ln();
-        self.skip = if denom < 0.0 {
-            let g = (u2.ln() / denom).floor();
-            if g.is_finite() {
-                g as u64
-            } else {
-                u64::MAX
-            }
-        } else {
-            // w underflowed to 0 (probability ~2^-53 per draw): the
-            // threshold is gone, no future element is ever accepted.
-            u64::MAX
-        };
+        self.skip = algo_l_gap(&mut self.rng, self.w);
     }
 
     /// Re-draw the Algorithm L threshold as if this (full) reservoir had
@@ -475,30 +527,73 @@ impl<T> ReservoirSampler<T> {
     {
         let mut i = 0usize;
         let n = xs.len();
-        // Fill phase.
-        while i < n && self.reservoir.len() < self.k {
-            self.reservoir.push(xs[i].clone());
-            self.total_stored += 1;
-            self.observed += 1;
-            i += 1;
+        // Fill phase: the first k elements are stored unconditionally and
+        // consume no randomness, so the fill is a single slice copy.
+        if self.reservoir.len() < self.k {
+            let take = (self.k - self.reservoir.len()).min(n);
+            self.reservoir.extend_from_slice(&xs[..take]);
+            self.total_stored += take;
+            self.observed += take;
+            i = take;
             if self.reservoir.len() == self.k {
                 self.w = 1.0;
                 self.next_gap();
             }
-        }
-        // Skip phase.
-        while i < n {
-            let remaining = (n - i) as u64;
-            if self.skip >= remaining {
-                self.skip -= remaining;
-                self.observed += n - i;
+            if i >= n {
                 return;
             }
-            i += self.skip as usize;
-            self.observed += self.skip as usize + 1;
-            self.accept(xs[i].clone());
-            i += 1;
         }
+        // Skip phase, on local copies of the Algorithm L state (RNG,
+        // threshold, gap, counters) so the compiler can keep them in
+        // registers across reservoir writes. Each store consumes exactly
+        // three RNG words — the slot `j`, then `u1` (threshold decay),
+        // then `u2` (next gap) — identical to the element-wise path. The
+        // loop is software-pipelined: none of the per-store draws depend
+        // on loaded data, and the only loop-carried recurrences are the
+        // cheap threshold multiply and the position walk, so the four
+        // transcendental calls per store pipeline across iterations and
+        // the strided `xs` read overlaps them. (Probe-measured, removing
+        // the read entirely does not speed this loop up: it runs at FPU
+        // throughput.)
+        let k = self.k;
+        let kf = k as f64;
+        let mut rng = self.rng.clone();
+        let mut w = self.w;
+        let mut skip = self.skip;
+        let mut total_stored = self.total_stored;
+        self.observed += n - i;
+        let reservoir = &mut self.reservoir[..];
+        if skip < (n - i) as u64 {
+            let mut pos = i + skip as usize;
+            loop {
+                let slot: usize = rng.random_range(0..k);
+                let u1: f64 = rng.random();
+                w *= (u1.ln() / kf).exp();
+                let u2: f64 = rng.random();
+                let denom = (1.0 - w).ln();
+                reservoir[slot] = xs[pos].clone();
+                total_stored += 1;
+                skip = if denom < 0.0 {
+                    (u2.ln() / denom) as u64
+                } else {
+                    u64::MAX
+                };
+                // Elements of this batch after `pos`; the new gap either
+                // lands in them or carries past the batch end.
+                let after = (n - pos - 1) as u64;
+                if skip >= after {
+                    skip -= after;
+                    break;
+                }
+                pos += 1 + skip as usize;
+            }
+        } else {
+            skip -= (n - i) as u64;
+        }
+        self.rng = rng;
+        self.w = w;
+        self.skip = skip;
+        self.total_stored = total_stored;
     }
 }
 
@@ -604,6 +699,7 @@ impl SnapshotCodec for BernoulliSampler<u64> {
         let state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
         Ok(Self {
             p,
+            ln_q: (1.0 - p).ln(),
             sample,
             observed,
             rng: StdRng::from_state(state),

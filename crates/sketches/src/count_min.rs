@@ -15,15 +15,36 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// How many elements [`CountMin::observe_batch`] pre-hashes per pass.
+/// 1024 indices fit comfortably in L1 alongside one counter row.
+const BATCH_CHUNK: usize = 1024;
+
+/// Lemire's exact "fastmod" reduction: `n % d` as a multiply-high,
+/// valid whenever `n, d < 2^32` with `magic = u64::MAX / d + 1`.
+/// The multiply-shift hash is truncated to 32 bits before reduction,
+/// so every cell lookup qualifies; the `%` in the old `cell()` was the
+/// single integer division on the Count-Min hot path.
+#[inline]
+fn fastmod_u32(n: u64, magic: u64, d: u64) -> u64 {
+    let low = magic.wrapping_mul(n);
+    ((low as u128 * d as u128) >> 64) as u64
+}
+
 /// Count-Min sketch over `u64` items with `depth` rows of `width` counters.
 #[derive(Debug, Clone)]
 pub struct CountMin {
     depth: usize,
     width: usize,
+    /// Fastmod constant for `% width` (see [`fastmod_u32`]); 0 when
+    /// `width ≥ 2^32` would make the trick inexact (plain `%` is used).
+    magic: u64,
     /// Row-major counters, `tables[r * width + c]`.
     counters: Vec<u64>,
     /// Per-row multiply-shift hash parameters `(a, b)`, `a` odd.
     hashes: Vec<(u64, u64)>,
+    /// Reusable pre-hash scratch for [`observe_batch`](Self::observe_batch)
+    /// (cell indices of one chunk in one row); never observable state.
+    scratch: Vec<u32>,
     n: u64,
 }
 
@@ -46,8 +67,14 @@ impl CountMin {
         Self {
             depth,
             width,
+            magic: if (width as u64) < (1 << 32) {
+                u64::MAX / width as u64 + 1
+            } else {
+                0
+            },
             counters: vec![0; depth * width],
             hashes,
+            scratch: Vec::new(),
             n: 0,
         }
     }
@@ -65,7 +92,12 @@ impl CountMin {
     /// the adversary sees the whole state, hash parameters included.
     pub fn cell(&self, r: usize, x: u64) -> usize {
         let (a, b) = self.hashes[r];
-        ((a.wrapping_mul(x).wrapping_add(b)) >> 32) as usize % self.width
+        let h = (a.wrapping_mul(x).wrapping_add(b)) >> 32;
+        if self.magic != 0 {
+            fastmod_u32(h, self.magic, self.width as u64) as usize
+        } else {
+            h as usize % self.width
+        }
     }
 
     /// Process one stream element.
@@ -74,6 +106,39 @@ impl CountMin {
         for r in 0..self.depth {
             let c = self.cell(r, x);
             self.counters[r * self.width + c] += 1;
+        }
+    }
+
+    /// Batched ingestion: identical counters to element-wise
+    /// [`observe`](Self::observe) calls (addition commutes), restructured
+    /// for cache locality. Each `BATCH_CHUNK`-sized chunk is processed
+    /// row-major: the chunk's cell indices for one row are pre-hashed into
+    /// a scratch buffer (a tight, vectorizable multiply-shift loop with no
+    /// memory dependences), then that row's counters are bumped while its
+    /// cache lines are hot — instead of striding across all `depth` rows
+    /// per element.
+    pub fn observe_batch(&mut self, xs: &[u64]) {
+        if self.magic == 0 {
+            // width ≥ 2^32: no u32 scratch indices; stay element-wise.
+            for &x in xs {
+                self.observe(x);
+            }
+            return;
+        }
+        self.n += xs.len() as u64;
+        let (magic, width) = (self.magic, self.width as u64);
+        for chunk in xs.chunks(BATCH_CHUNK) {
+            for (r, &(a, b)) in self.hashes.iter().enumerate() {
+                self.scratch.clear();
+                self.scratch.extend(chunk.iter().map(|&x| {
+                    let h = (a.wrapping_mul(x).wrapping_add(b)) >> 32;
+                    fastmod_u32(h, magic, width) as u32
+                }));
+                let row = &mut self.counters[r * self.width..(r + 1) * self.width];
+                for &c in &self.scratch {
+                    row[c as usize] += 1;
+                }
+            }
         }
     }
 
@@ -123,6 +188,14 @@ impl CountMin {
     /// Total counters (memory footprint in words).
     pub fn space(&self) -> usize {
         self.counters.len()
+    }
+
+    /// The raw row-major counter matrix — **public** for the same reason
+    /// as [`cell`](Self::cell): the paper's adversary observes the full
+    /// state. Tests also use it to assert batched and element-wise
+    /// ingestion produce identical sketches.
+    pub fn counters(&self) -> &[u64] {
+        &self.counters
     }
 
     /// Elements observed.
@@ -219,6 +292,39 @@ mod tests {
             "attack failed: estimate {}",
             cm.estimate(target)
         );
+    }
+
+    #[test]
+    fn fastmod_matches_division_exactly() {
+        // Every width used in practice (< 2^32) must reduce identically to
+        // `%` for every 32-bit hash — powers of two, primes, and odds.
+        for d in [2u64, 3, 7, 64, 100, 1024, 4093, 65_536, (1 << 31) + 11] {
+            let magic = u64::MAX / d + 1;
+            let mut n = 1u64;
+            for _ in 0..10_000 {
+                n = n.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                let h = n >> 32; // any 32-bit value
+                assert_eq!(fastmod_u32(h, magic, d), h % d, "h={h} d={d}");
+            }
+            for h in [0u64, 1, d - 1, d, d + 1, u32::MAX as u64] {
+                assert_eq!(fastmod_u32(h, magic, d), h % d, "h={h} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_elementwise_counters() {
+        let stream: Vec<u64> = (0..40_000u64)
+            .map(|i| i.wrapping_mul(2_654_435_761))
+            .collect();
+        let mut one = CountMin::with_seed(4, 277, 7);
+        let mut per = CountMin::with_seed(4, 277, 7);
+        one.observe_batch(&stream);
+        for &x in &stream {
+            per.observe(x);
+        }
+        assert_eq!(one.counters(), per.counters());
+        assert_eq!(one.observed(), per.observed());
     }
 
     #[test]

@@ -25,6 +25,11 @@ fn capacity(k: usize, num_levels: usize, h: usize) -> usize {
 pub struct KllSketch {
     k: usize,
     compactors: Vec<Vec<u64>>,
+    /// Cached per-level capacities for the *current* level count —
+    /// `caps[h] == capacity(k, levels, h)` — so the per-observe overflow
+    /// check is an integer compare instead of a float `powi`/`ceil`.
+    /// Recomputed whenever the level count changes.
+    caps: Vec<usize>,
     n: u64,
     rng: StdRng,
 }
@@ -40,34 +45,71 @@ impl KllSketch {
         Self {
             k,
             compactors: vec![Vec::new()],
+            caps: vec![capacity(k, 1, 0)],
             n: 0,
             rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    fn recompute_caps(&mut self) {
+        let levels = self.compactors.len();
+        self.caps.clear();
+        self.caps
+            .extend((0..levels).map(|h| capacity(self.k, levels, h)));
     }
 
     /// Process one stream element.
     pub fn observe(&mut self, v: u64) {
         self.compactors[0].push(v);
         self.n += 1;
-        self.compact_if_needed();
+        // `compact_if_needed` leaves *every* level strictly below capacity
+        // and only level 0 grows between calls, so level 0 is the only
+        // possible overflow — one push plus one compare on the hot path.
+        if self.compactors[0].len() >= self.caps[0] {
+            self.compact_if_needed();
+        }
+    }
+
+    /// Batched ingestion: identical sketch state to element-wise
+    /// [`observe`](Self::observe) calls. Level 0 is filled with slice
+    /// copies up to the exact boundary where a per-element loop would have
+    /// compacted, so compactions (and therefore RNG draws) happen at the
+    /// same points in the stream.
+    pub fn observe_batch(&mut self, xs: &[u64]) {
+        let mut i = 0usize;
+        let n = xs.len();
+        while i < n {
+            let room = self.caps[0].saturating_sub(self.compactors[0].len());
+            let take = room.min(n - i).max(1);
+            self.compactors[0].extend_from_slice(&xs[i..i + take]);
+            self.n += take as u64;
+            i += take;
+            if self.compactors[0].len() >= self.caps[0] {
+                self.compact_if_needed();
+            }
+        }
     }
 
     fn compact_if_needed(&mut self) {
         loop {
             let levels = self.compactors.len();
-            let Some(h) =
-                (0..levels).find(|&h| self.compactors[h].len() >= capacity(self.k, levels, h))
-            else {
+            let Some(h) = (0..levels).find(|&h| self.compactors[h].len() >= self.caps[h]) else {
                 return;
             };
-            if h + 1 == self.compactors.len() {
+            if h + 1 == levels {
                 self.compactors.push(Vec::new());
+                self.recompute_caps();
             }
-            let mut items = std::mem::take(&mut self.compactors[h]);
+            // In-place compaction: sort level h where it sits, promote every
+            // other item straight into level h+1, and `clear()` keeps the
+            // level's allocation for reuse — no `mem::take` round-trip and
+            // no intermediate `promoted` Vec per compaction.
+            let (lo, hi) = self.compactors.split_at_mut(h + 1);
+            let items = &mut lo[h];
             items.sort_unstable();
             let offset = usize::from(self.rng.random::<bool>());
-            let promoted: Vec<u64> = items.iter().copied().skip(offset).step_by(2).collect();
-            self.compactors[h + 1].extend(promoted);
+            hi[0].extend(items.iter().copied().skip(offset).step_by(2));
+            items.clear();
         }
     }
 
@@ -85,6 +127,7 @@ impl KllSketch {
         assert_eq!(self.k, other.k, "cannot merge KLL sketches of different k");
         if self.compactors.len() < other.compactors.len() {
             self.compactors.resize(other.compactors.len(), Vec::new());
+            self.recompute_caps();
         }
         for (h, items) in other.compactors.into_iter().enumerate() {
             self.compactors[h].extend(items);

@@ -2,10 +2,12 @@
 //! sketches, so experiments drive samplers and sketches through one
 //! interface (and one batched ingestion call).
 //!
-//! The baseline sketches have no sublinear bulk path — a deterministic
+//! The baseline sketches have no *sublinear* bulk path — a deterministic
 //! summary must inspect every element, which is exactly the trade-off the
-//! paper's §1.2 highlights against sampling — so they keep the default
-//! element-looping `ingest_batch`.
+//! paper's §1.2 highlights against sampling. Count-Min and KLL still
+//! override `ingest_batch` with constant-factor batched kernels
+//! (cache-conscious row passes resp. slice-level level-0 fills) that are
+//! state-identical to the element loop; the others keep the default.
 
 use crate::count_min::CountMin;
 use crate::gk::GkSummary;
@@ -61,6 +63,10 @@ impl QuantileSummary<u64> for GkSummary {
 impl StreamSummary<u64> for KllSketch {
     fn ingest(&mut self, x: u64) {
         self.observe(x);
+    }
+
+    fn ingest_batch(&mut self, xs: &[u64]) {
+        self.observe_batch(xs);
     }
 
     fn items_seen(&self) -> usize {
@@ -181,6 +187,10 @@ impl FrequencySummary<u64> for SpaceSaving {
 impl StreamSummary<u64> for CountMin {
     fn ingest(&mut self, x: u64) {
         self.observe(x);
+    }
+
+    fn ingest_batch(&mut self, xs: &[u64]) {
+        self.observe_batch(xs);
     }
 
     fn items_seen(&self) -> usize {

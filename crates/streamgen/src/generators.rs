@@ -88,7 +88,20 @@ impl StreamSource for UniformSource {
 pub struct ZipfTable {
     cdf: Vec<f64>,
     total: f64,
+    /// Hybrid-search bucket index: bucket `b` covers
+    /// `u ∈ [b·total/K, (b+1)·total/K)` and `bucket_lo[b]..=bucket_lo[b+1]`
+    /// brackets every rank whose cdf value can answer a draw in that
+    /// interval. Zipf mass concentrates in the head, so the hot buckets
+    /// bracket a handful of small ranks (answered near-directly) while the
+    /// long tail keeps a short binary search — this replaces the full
+    /// `log₂(2²⁰) = 20`-probe `partition_point` walk per draw.
+    bucket_lo: Vec<u32>,
+    /// `K / total`, mapping a draw `u` to its bucket in one multiply.
+    bucket_scale: f64,
 }
+
+/// Number of buckets in the [`ZipfTable`] hybrid index (u32 each: 16 KiB).
+const ZIPF_BUCKETS: usize = 4096;
 
 impl ZipfTable {
     fn build(ranks: usize, s: f64) -> Self {
@@ -98,7 +111,18 @@ impl ZipfTable {
             acc += 1.0 / ((r + 1) as f64).powf(s);
             cdf.push(acc);
         }
-        Self { cdf, total: acc }
+        let total = acc;
+        let mut bucket_lo = Vec::with_capacity(ZIPF_BUCKETS + 1);
+        for b in 0..=ZIPF_BUCKETS {
+            let bound = b as f64 / ZIPF_BUCKETS as f64 * total;
+            bucket_lo.push(cdf.partition_point(|&c| c < bound) as u32);
+        }
+        Self {
+            cdf,
+            total,
+            bucket_lo,
+            bucket_scale: ZIPF_BUCKETS as f64 / total,
+        }
     }
 
     /// The process-wide table for a `(universe, s)` pair.
@@ -129,10 +153,24 @@ impl ZipfTable {
 
     /// Draw one rank using the given RNG (the truncated tail folds into
     /// the last rank, exactly as the eager generator did).
+    ///
+    /// Identical result to `cdf.partition_point(|&c| c < u)` over the full
+    /// table: the bucket bounds the subrange search, and the two guard
+    /// loops walk to the exact crossing so float rounding in the bucket
+    /// map can never shift the answer.
     #[inline]
     fn draw(&self, rng: &mut StdRng, universe: u64) -> u64 {
         let u: f64 = rng.random::<f64>() * self.total;
-        let r = self.cdf.partition_point(|&c| c < u);
+        let b = ((u * self.bucket_scale) as usize).min(ZIPF_BUCKETS - 1);
+        let lo = self.bucket_lo[b] as usize;
+        let hi = self.bucket_lo[b + 1] as usize;
+        let mut r = lo + self.cdf[lo..hi].partition_point(|&c| c < u);
+        while r > 0 && self.cdf[r - 1] >= u {
+            r -= 1;
+        }
+        while r < self.cdf.len() && self.cdf[r] < u {
+            r += 1;
+        }
         (r as u64).min(universe - 1)
     }
 }
@@ -438,7 +476,10 @@ impl StreamSource for BlockShuffledSource {
 pub struct ParetoSource {
     remaining: usize,
     universe: u64,
-    alpha: f64,
+    /// Cached `−1/α` — the inverse-CDF exponent. Recomputing the division
+    /// fed a long-latency dependency chain into every `powf`; the cached
+    /// value is the identical f64, so outputs are bit-identical.
+    neg_inv_alpha: f64,
     rng: StdRng,
 }
 
@@ -454,7 +495,7 @@ impl ParetoSource {
         Self {
             remaining: n,
             universe,
-            alpha,
+            neg_inv_alpha: -1.0 / alpha,
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -468,7 +509,7 @@ impl StreamSource for ParetoSource {
         for _ in 0..take {
             let u: f64 = self.rng.random();
             // 1 - u is in (0, 1]; the inverse-CDF value is >= 1.
-            let x = (1.0 - u).powf(-1.0 / self.alpha).ceil() - 1.0;
+            let x = (1.0 - u).powf(self.neg_inv_alpha).ceil() - 1.0;
             buf.push(x.min(cap) as u64);
         }
         self.remaining -= take;

@@ -1,0 +1,295 @@
+//! Bit-identity pins for the hot-path kernel pass: every loop the perf
+//! pass rewrote (geometric-skip Bernoulli, Algorithm L reservoir, the
+//! hybrid-bucket Zipf inversion, Count-Min row batching, KLL batched
+//! compaction) is checked against an independent re-implementation of the
+//! *pre-pass* arithmetic — the exact `floor()` + `is_finite()` gap draws,
+//! the full-table `partition_point` inversion, the per-element sketch
+//! walks — across arbitrary seeds, parameters, and batch split schedules.
+//!
+//! These are stricter than the `batch_equivalence` contract tests: they
+//! don't just compare the library against itself, they pin the optimized
+//! kernels to a from-scratch transcript of the old algorithms, so a
+//! "faster but subtly different" regression cannot pass by being
+//! consistently different on both paths.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use robust_sampling::core::sampler::{BernoulliSampler, ReservoirSampler, StreamSampler};
+use robust_sampling::sketches::count_min::CountMin;
+use robust_sampling::sketches::kll::KllSketch;
+use robust_sampling::streamgen::{StreamSource, ZipfSource};
+
+/// Feed `stream` to `ingest` in batches derived from `splits` (the same
+/// schedule shape the `batch_equivalence` suite uses).
+fn for_each_split<T>(stream: &[T], splits: &[usize], mut ingest: impl FnMut(&[T])) {
+    let mut rest = stream;
+    let mut i = 0;
+    while !rest.is_empty() {
+        let take = if splits.is_empty() {
+            rest.len()
+        } else {
+            (splits[i % splits.len()] % rest.len()).max(1)
+        };
+        ingest(&rest[..take]);
+        rest = &rest[take..];
+        i += 1;
+    }
+}
+
+fn scrambled(n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect()
+}
+
+/// The pre-pass geometric gap: `floor(ln(1−u)/ln(1−p))` with an explicit
+/// `is_finite` branch for the saturating tail.
+fn legacy_bernoulli_gap(rng: &mut StdRng, p: f64) -> u64 {
+    if p >= 1.0 {
+        return 0;
+    }
+    let u: f64 = rng.random();
+    let g = ((1.0 - u).ln() / (1.0 - p).ln()).floor();
+    if g.is_finite() {
+        g as u64
+    } else {
+        u64::MAX
+    }
+}
+
+/// Element-by-element transcript of the pre-pass Bernoulli sampler.
+fn legacy_bernoulli_sample(p: f64, seed: u64, stream: &[u64]) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sample = Vec::new();
+    if p <= 0.0 {
+        return sample;
+    }
+    let mut skip = legacy_bernoulli_gap(&mut rng, p);
+    for &x in stream {
+        if skip == 0 {
+            sample.push(x);
+            skip = legacy_bernoulli_gap(&mut rng, p);
+        } else {
+            skip -= 1;
+        }
+    }
+    sample
+}
+
+/// The pre-pass Algorithm L gap: `floor(ln u / ln(1−w))` with the
+/// `is_finite` branch and the explicit underflowed-threshold arm.
+fn legacy_algo_l_gap(rng: &mut StdRng, w: f64) -> u64 {
+    let u2: f64 = rng.random();
+    let denom = (1.0 - w).ln();
+    if denom < 0.0 {
+        let g = (u2.ln() / denom).floor();
+        if g.is_finite() {
+            g as u64
+        } else {
+            u64::MAX
+        }
+    } else {
+        u64::MAX
+    }
+}
+
+/// Element-by-element transcript of the pre-pass Algorithm L reservoir:
+/// fill, then per store draw slot `j`, decay `w` by `u1`, and draw the
+/// next gap from `u2` — three RNG words per store, in that order.
+fn legacy_reservoir_sample(k: usize, seed: u64, stream: &[u64]) -> (Vec<u64>, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut reservoir: Vec<u64> = Vec::with_capacity(k);
+    let mut total_stored = 0usize;
+    let mut w = 1.0f64;
+    let mut skip = 0u64;
+    let next_gap = |rng: &mut StdRng, w: &mut f64| {
+        let u1: f64 = rng.random();
+        *w *= (u1.ln() / k as f64).exp();
+        legacy_algo_l_gap(rng, *w)
+    };
+    for &x in stream {
+        if reservoir.len() < k {
+            reservoir.push(x);
+            total_stored += 1;
+            if reservoir.len() == k {
+                w = 1.0;
+                skip = next_gap(&mut rng, &mut w);
+            }
+            continue;
+        }
+        if skip > 0 {
+            skip -= 1;
+            continue;
+        }
+        let j = rng.random_range(0..k);
+        reservoir[j] = x;
+        total_stored += 1;
+        skip = next_gap(&mut rng, &mut w);
+    }
+    (reservoir, total_stored)
+}
+
+/// Full-table inverse-CDF transcript of the pre-pass Zipf draw: rebuild
+/// the truncated harmonic CDF and answer every draw with a whole-table
+/// `partition_point`, no bucket index.
+fn legacy_zipf_stream(n: usize, universe: u64, s: f64, seed: u64) -> Vec<u64> {
+    let ranks = universe.min(1 << 20) as usize;
+    let mut cdf = Vec::with_capacity(ranks);
+    let mut acc = 0.0f64;
+    for r in 0..ranks {
+        acc += 1.0 / ((r + 1) as f64).powf(s);
+        cdf.push(acc);
+    }
+    let total = acc;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.random::<f64>() * total;
+            let r = cdf.partition_point(|&c| c < u);
+            (r as u64).min(universe - 1)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Branch-free Bernoulli skip kernel == pre-pass `floor`/`is_finite`
+    /// gap walk, for any (p, seed, length, split schedule).
+    #[test]
+    fn bernoulli_kernel_matches_legacy_transcript(
+        p in 0.0f64..=1.0,
+        seed in 0u64..10_000,
+        n in 0usize..4_000,
+        splits in proptest::collection::vec(1usize..500, 0..6),
+    ) {
+        let stream = scrambled(n);
+        let expect = legacy_bernoulli_sample(p, seed, &stream);
+        let mut s = BernoulliSampler::with_seed(p, seed);
+        for_each_split(&stream, &splits, |chunk| s.observe_batch(chunk));
+        prop_assert_eq!(s.sample(), expect.as_slice());
+        prop_assert_eq!(s.observed(), n);
+        prop_assert_eq!(s.total_stored(), expect.len());
+    }
+
+    /// Small-p stress: the saturating-cast tail (gap ≈ u64::MAX) and the
+    /// pipelined batch loop agree with the legacy walk when stores are
+    /// extremely rare.
+    #[test]
+    fn bernoulli_kernel_matches_legacy_at_tiny_p(
+        p_exp in 4u32..24,
+        seed in 0u64..10_000,
+        n in 0usize..8_000,
+    ) {
+        let p = 0.5f64.powi(p_exp as i32);
+        let stream = scrambled(n);
+        let expect = legacy_bernoulli_sample(p, seed, &stream);
+        let mut s = BernoulliSampler::with_seed(p, seed);
+        s.observe_batch(&stream);
+        prop_assert_eq!(s.sample(), expect.as_slice());
+    }
+
+    /// Pipelined Algorithm L kernel == pre-pass per-element transcript
+    /// (slot, threshold decay, gap: three RNG words per store, in order).
+    #[test]
+    fn reservoir_kernel_matches_legacy_transcript(
+        k in 1usize..300,
+        seed in 0u64..10_000,
+        n in 0usize..4_000,
+        splits in proptest::collection::vec(1usize..500, 0..6),
+    ) {
+        let stream = scrambled(n);
+        let (expect, expect_stored) = legacy_reservoir_sample(k, seed, &stream);
+        let mut s = ReservoirSampler::with_seed(k, seed);
+        for_each_split(&stream, &splits, |chunk| s.observe_batch(chunk));
+        prop_assert_eq!(s.sample(), expect.as_slice());
+        prop_assert_eq!(s.observed(), n);
+        prop_assert_eq!(s.total_stored(), expect_stored);
+    }
+
+    /// Hybrid-bucket Zipf inversion == whole-table `partition_point` on a
+    /// freshly rebuilt CDF, under any chunk schedule.
+    #[test]
+    fn zipf_bucket_index_matches_full_cdf_inversion(
+        n in 1usize..3_000,
+        universe_log in 1u32..22,
+        s in 0.2f64..3.0,
+        seed in 0u64..10_000,
+        chunk in 1usize..700,
+    ) {
+        let universe = 1u64 << universe_log;
+        let expect = legacy_zipf_stream(n, universe, s, seed);
+        let mut src = ZipfSource::new(n, universe, s, seed);
+        let mut got = Vec::new();
+        while src.next_chunk(&mut got, chunk) > 0 {}
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Cache-conscious Count-Min row batching == per-element updates:
+    /// identical counter array, estimates, and observed count for any
+    /// split schedule (including splits straddling the 1024-element
+    /// pre-hash chunks).
+    #[test]
+    fn count_min_batch_matches_elementwise(
+        depth in 1usize..6,
+        width_log in 1u32..12,
+        seed in 0u64..10_000,
+        n in 0usize..5_000,
+        splits in proptest::collection::vec(1usize..2_500, 0..6),
+    ) {
+        let width = 1usize << width_log;
+        let stream = scrambled(n);
+        let mut by_element = CountMin::with_seed(depth, width, seed);
+        for &x in &stream {
+            by_element.observe(x);
+        }
+        let mut by_batch = CountMin::with_seed(depth, width, seed);
+        for_each_split(&stream, &splits, |chunk| by_batch.observe_batch(chunk));
+        prop_assert_eq!(by_element.counters(), by_batch.counters());
+        prop_assert_eq!(by_element.observed(), by_batch.observed());
+        for &x in stream.iter().take(32) {
+            prop_assert_eq!(by_element.estimate(x), by_batch.estimate(x));
+        }
+    }
+
+    /// Batched KLL ingestion (level-0 bulk append + in-place compaction)
+    /// == per-element inserts: identical ranks, quantiles, level count,
+    /// and space for any split schedule.
+    #[test]
+    fn kll_batch_matches_elementwise(
+        k in 8usize..256,
+        seed in 0u64..10_000,
+        n in 0usize..5_000,
+        splits in proptest::collection::vec(1usize..2_500, 0..6),
+    ) {
+        let stream = scrambled(n);
+        let mut by_element = KllSketch::with_seed(k, seed);
+        for &x in &stream {
+            by_element.observe(x);
+        }
+        let mut by_batch = KllSketch::with_seed(k, seed);
+        for_each_split(&stream, &splits, |chunk| by_batch.observe_batch(chunk));
+        prop_assert_eq!(by_element.observed(), by_batch.observed());
+        prop_assert_eq!(by_element.levels(), by_batch.levels());
+        prop_assert_eq!(by_element.space(), by_batch.space());
+        for &x in stream.iter().take(32) {
+            prop_assert_eq!(by_element.rank(x), by_batch.rank(x));
+        }
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            prop_assert_eq!(by_element.quantile(q), by_batch.quantile(q));
+        }
+    }
+}
+
+/// Deterministic spot check pinning the Bernoulli p = 1 fast path (store
+/// everything, consume no randomness) against continued streaming.
+#[test]
+fn bernoulli_p1_fast_path_stores_everything_and_streams_on() {
+    let stream = scrambled(1_000);
+    let mut s = BernoulliSampler::with_seed(1.0, 7);
+    s.observe_batch(&stream[..600]);
+    s.observe_batch(&stream[600..]);
+    assert_eq!(s.sample(), &stream[..]);
+    assert_eq!(s.total_stored(), 1_000);
+}

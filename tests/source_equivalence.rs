@@ -6,6 +6,8 @@
 //! changing a single element.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use robust_sampling::core::adversary::{SourceAdversary, StaticAdversary};
 use robust_sampling::core::approx::{prefix_discrepancy, source_prefix_discrepancy};
 use robust_sampling::core::engine::{ShardedSummary, StreamSummary};
@@ -177,4 +179,35 @@ fn slice_source_judgment_is_identity() {
     let offline = prefix_discrepancy(&stream, &sample);
     let streaming = source_prefix_discrepancy(&mut SliceSource::new(&stream), &sample);
     assert!((offline.value - streaming.value).abs() < 1e-12);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The Pareto source's cached `−1/α` exponent is a pure hoist:
+    /// outputs are bit-identical to the legacy inline
+    /// `powf(-1.0 / alpha)` inverse-CDF, under any chunk schedule.
+    #[test]
+    fn pareto_cached_exponent_matches_inline_inversion(
+        n in 1usize..3_000,
+        universe_log in 1u32..40,
+        alpha in 0.05f64..8.0,
+        seed in 0u64..10_000,
+        chunk in 1usize..700,
+    ) {
+        let universe = 1u64 << universe_log;
+        let cap = (universe - 1) as f64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let expect: Vec<u64> = (0..n)
+            .map(|_| {
+                let u: f64 = rng.random();
+                let x = (1.0 - u).powf(-1.0 / alpha).ceil() - 1.0;
+                x.min(cap) as u64
+            })
+            .collect();
+        let mut src = streamgen::ParetoSource::new(n, universe, alpha, seed);
+        let mut got = Vec::new();
+        while src.next_chunk(&mut got, chunk) > 0 {}
+        prop_assert_eq!(got, expect);
+    }
 }
