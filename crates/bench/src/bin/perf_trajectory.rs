@@ -19,7 +19,9 @@
 //!   source → frame loop → summary (elem/s);
 //! * **serve** — the epoch-snapshot service: frame ingestion and the
 //!   mixed query rotation of `loadgen`'s in-process mode, with per-op
-//!   p50/p99 latency from our own KLL sketch (ops/s).
+//!   p50/p99 latency from our own KLL sketch (ops/s), plus the same two
+//!   paths driven over the binary TCP wire through the event-loop server
+//!   (`serve-tcp-ingest-pipelined`, `serve-tcp-mixed-queries`).
 //!
 //! Every scenario is timed as a best-of-N minimum after a warm-up
 //! ([`perf::best_of`]) — the statistic least sensitive to neighbours on
@@ -32,7 +34,9 @@ use robust_sampling_bench::{
     banner, bench_label, bench_out, check_dir, init_cli, is_quick, verdict, Table,
 };
 use robust_sampling_core::sampler::{BernoulliSampler, ReservoirSampler, StreamSampler};
-use robust_sampling_service::SummaryService;
+use robust_sampling_service::{
+    Request, ServiceClient, ServiceConfig, ServiceServer, SummaryService,
+};
 use robust_sampling_sketches::count_min::CountMin;
 use robust_sampling_sketches::kll::KllSketch;
 use robust_sampling_streamgen as streamgen;
@@ -314,7 +318,117 @@ fn measure_serve(shape: &Shape) -> Vec<PerfEntry> {
             p99_us: micros(&lat, 0.99),
         });
     }
+
+    // The same frame stream pushed through the binary TCP wire: batches
+    // of pipelined INGEST frames against the event-loop server; one op =
+    // one element, latency measured per pipelined batch.
+    {
+        const PIPE: usize = 16;
+        let frames = shape.serve_frames;
+        let n = frames * FRAME;
+        let reqs: Vec<Request> = scrambled(n)
+            .chunks(FRAME)
+            .map(|f| Request::Ingest(f.to_vec()))
+            .collect();
+        let mut best = f64::INFINITY;
+        let mut lat = KllSketch::with_seed(256, 3);
+        for rep in 0..=shape.reps {
+            let server = spawn_bench_server(universe);
+            let client =
+                ServiceClient::connect_binary(server.addr()).expect("connect serve-tcp client");
+            let mut rep_lat = KllSketch::with_seed(256, 3);
+            let t = Instant::now();
+            for batch in reqs.chunks(PIPE) {
+                let t0 = Instant::now();
+                let resps = client.pipeline(batch).expect("pipelined INGEST batch");
+                assert_eq!(resps.len(), batch.len(), "pipelining preserves arity");
+                rep_lat.observe(t0.elapsed().as_nanos() as u64);
+            }
+            let secs = t.elapsed().as_secs_f64();
+            let acked = client.stats().expect("STATS after ingest").items;
+            assert_eq!(acked, n, "every pipelined element acked");
+            client.quit().expect("QUIT");
+            if rep > 0 && secs < best {
+                best = secs;
+                lat = rep_lat;
+            }
+        }
+        entries.push(PerfEntry {
+            kernel: "serve-tcp-ingest-pipelined".to_string(),
+            n: n as u64,
+            rate: n as f64 / best,
+            p50_us: micros(&lat, 0.5),
+            p99_us: micros(&lat, 0.99),
+        });
+    }
+
+    // The mixed query rotation as sequential binary round-trips against
+    // a pre-loaded server: per-op latency here is a true request RTT
+    // through poller, dispatch, and snapshot read.
+    {
+        let queries = shape.serve_queries;
+        let server = spawn_bench_server(universe);
+        let client =
+            ServiceClient::connect_binary(server.addr()).expect("connect serve-tcp client");
+        for f in scrambled(shape.serve_frames * FRAME).chunks(FRAME) {
+            client.ingest(f).expect("preload INGEST");
+        }
+        let mut best = f64::INFINITY;
+        let mut lat = KllSketch::with_seed(256, 4);
+        for rep in 0..=shape.reps {
+            let mut rep_lat = KllSketch::with_seed(256, 4);
+            let t = Instant::now();
+            for op in 0..queries as u64 {
+                let t0 = Instant::now();
+                match op % 4 {
+                    0 => {
+                        let _ = client.query_quantile(0.5).expect("QUANTILE");
+                    }
+                    1 => {
+                        let _ = client.query_quantile(0.99).expect("QUANTILE");
+                    }
+                    2 => {
+                        let _ = client
+                            .query_count(op.wrapping_mul(2_654_435_761) % universe)
+                            .expect("COUNT");
+                    }
+                    _ => {
+                        let _ = client.query_ks().expect("KS");
+                    }
+                }
+                rep_lat.observe(t0.elapsed().as_nanos() as u64);
+            }
+            let secs = t.elapsed().as_secs_f64();
+            if rep > 0 && secs < best {
+                best = secs;
+                lat = rep_lat;
+            }
+        }
+        client.quit().expect("QUIT");
+        entries.push(PerfEntry {
+            kernel: "serve-tcp-mixed-queries".to_string(),
+            n: queries as u64,
+            rate: queries as f64 / best,
+            p50_us: micros(&lat, 0.5),
+            p99_us: micros(&lat, 0.99),
+        });
+    }
     entries
+}
+
+/// A fresh event-loop server over the same sharded service the
+/// in-process kernels measure, on an ephemeral port.
+fn spawn_bench_server(universe: u64) -> ServiceServer {
+    let svc = SummaryService::start(2, 42, 4 * FRAME, |_, s| ReservoirSampler::with_seed(256, s));
+    ServiceServer::spawn(
+        svc,
+        ServiceConfig {
+            addr: "127.0.0.1:0".into(),
+            universe,
+            workers: 2,
+        },
+    )
+    .expect("bind perf_trajectory serve-tcp port")
 }
 
 // ---------------------------------------------------------------------------

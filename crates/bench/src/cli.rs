@@ -21,6 +21,10 @@
 //!   knobs used by the `loadgen` binary ([`clients`], [`duration_secs`],
 //!   [`port`]); `--port 0` (the default) binds an OS-assigned ephemeral
 //!   port so CI can never flake on bind collisions;
+//! * `--tcp` / `--soak-clients <n>` — switch `loadgen` to its TCP soak
+//!   suite ([`is_tcp`], [`soak_clients`]): the many-connection
+//!   event-loop soak over the binary frame protocol, plus the
+//!   binary-vs-text throughput and served-determinism verdicts;
 //! * `--bench-out <dir>` / `--check <dir>` / `--label <name>` — the perf
 //!   trajectory knobs used by the `perf_trajectory` binary ([`bench_out`],
 //!   [`check_dir`], [`bench_label`]): append this run's measurements to
@@ -38,6 +42,13 @@ use robust_sampling_streamgen::{registry, WorkloadSpec};
 /// Whether `--quick` was passed (CI-sized sweeps).
 pub fn is_quick() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// Whether `--tcp` was passed (loadgen: run the TCP soak suite — the
+/// many-connection event-loop soak over the binary frame protocol —
+/// instead of the default four modes).
+pub fn is_tcp() -> bool {
+    std::env::args().any(|a| a == "--tcp")
 }
 
 /// The one flag-with-value parser behind every `--flag <value>` option:
@@ -150,6 +161,20 @@ pub fn duration_secs(default: f64) -> f64 {
     .unwrap_or(default)
 }
 
+/// The `--soak-clients <n>` setting (loadgen `--tcp`): how many
+/// concurrent TCP connections the soak establishes; `default` when
+/// absent (a few hundred under `--quick`, ten thousand otherwise).
+///
+/// Exits with status 2 on a malformed or zero value.
+pub fn soak_clients(default: usize) -> usize {
+    parsed_flag(
+        "--soak-clients",
+        "--soak-clients needs a positive integer argument",
+        |v| v.replace('_', "").parse::<usize>().ok().filter(|&c| c > 0),
+    )
+    .unwrap_or(default)
+}
+
 /// The `--port <p>` setting; 0 (= bind an OS-assigned ephemeral port)
 /// when absent, so concurrent CI jobs can never collide on a bind.
 ///
@@ -220,6 +245,11 @@ const HELP_TEXT: &str = "shared experiment flags:\n\
          \x20 --duration <secs>    measurement window per mode (fractional ok)\n\
          \x20 --port <p>           TCP port; 0 = OS-assigned ephemeral (default,\n\
          \x20                      collision-proof in CI)\n\
+         \x20 --tcp                run the TCP soak suite (binary frame protocol,\n\
+         \x20                      many-connection event-loop soak) instead of the\n\
+         \x20                      default modes\n\
+         \x20 --soak-clients <n>   concurrent soak connections (default: 400 quick,\n\
+         \x20                      10000 full)\n\
          perf-trajectory flags (perf_trajectory):\n\
          \x20 --bench-out <dir>    append this run to the BENCH_*.json files in <dir>\n\
          \x20 --check <dir>        compare against the trajectory in <dir>; exit 1 on\n\
@@ -294,6 +324,7 @@ pub fn init_cli() {
     let _ = clients(1);
     let _ = duration_secs(1.0);
     let _ = port();
+    let _ = soak_clients(1);
     let _ = bench_out();
     let _ = check_dir();
     let _ = bench_label("dev");
@@ -329,6 +360,8 @@ mod tests {
         assert_eq!(clients(8), 8);
         assert_eq!(duration_secs(2.5), 2.5);
         assert_eq!(port(), 0, "default port must be ephemeral");
+        assert!(!is_tcp(), "the soak suite must be opt-in");
+        assert_eq!(soak_clients(400), 400);
     }
 
     #[test]
@@ -348,6 +381,8 @@ mod tests {
             "--quick",
             "--threads",
             "--workload",
+            "--tcp",
+            "--soak-clients",
         ] {
             assert!(HELP_TEXT.contains(flag), "help text missing {flag}");
         }

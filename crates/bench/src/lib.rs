@@ -39,7 +39,7 @@ pub mod perf;
 
 pub use cli::{
     attack, bench_label, bench_out, check_dir, clients, duration_secs, engine, init_cli, is_quick,
-    port, stream_len, threads, workload,
+    is_tcp, port, soak_clients, stream_len, threads, workload,
 };
 pub use robust_sampling_core::engine::report::Table;
 

@@ -63,8 +63,38 @@ pub trait Buf {
     fn get_u32_le(&mut self) -> u32;
     /// Read a little-endian `u64`.
     fn get_u64_le(&mut self) -> u64;
+    /// Read a little-endian `f64` (bit-pattern exact, NaN-safe).
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
     /// Unread byte count.
     fn remaining(&self) -> usize;
+}
+
+/// Reads from a byte slice advance it in place (the published crate's
+/// `impl Buf for &[u8]`).
+impl Buf for &[u8] {
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().expect("4 bytes"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().expect("8 bytes"))
+    }
+
+    fn remaining(&self) -> usize {
+        self.len()
+    }
 }
 
 impl Buf for Bytes {
@@ -128,8 +158,32 @@ pub trait BufMut {
     fn put_u32_le(&mut self, v: u32);
     /// Append a little-endian `u64`.
     fn put_u64_le(&mut self, v: u64);
+    /// Append a little-endian `f64` (bit-pattern exact, NaN-safe).
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
     /// Append a byte slice.
     fn put_slice(&mut self, v: &[u8]);
+}
+
+/// Frame assembly straight into a `Vec<u8>` (the published crate's
+/// `impl BufMut for Vec<u8>`).
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, v: &[u8]) {
+        self.extend_from_slice(v);
+    }
 }
 
 impl BufMut for BytesMut {
@@ -174,5 +228,22 @@ mod tests {
     fn underflow_panics() {
         let mut b = Bytes::from_static(&[1, 2, 3]);
         let _ = b.get_u64_le();
+    }
+
+    #[test]
+    fn slice_and_vec_impls_round_trip() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(9);
+        out.put_u32_le(77);
+        out.put_u64_le(0x0123_4567_89AB_CDEF);
+        out.put_f64_le(-0.125);
+        out.put_slice(b"xy");
+        let mut r: &[u8] = &out;
+        assert_eq!(r.get_u8(), 9);
+        assert_eq!(r.get_u32_le(), 77);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_f64_le().to_bits(), (-0.125f64).to_bits());
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r, b"xy");
     }
 }

@@ -1,0 +1,133 @@
+//! Offline stand-in for the published `rlimit` crate.
+//!
+//! The build environment has no crates.io access, so the one function
+//! the load generator needs — raise the per-process open-file soft
+//! limit toward the hard limit before opening tens of thousands of
+//! sockets — is implemented locally over `getrlimit(2)`/`setrlimit(2)`
+//! (the same surface the published crate's `increase_nofile_limit`
+//! wraps). Like every compat shim, failure is graceful: a process that
+//! may not raise its limit keeps the limit it has and the caller
+//! reports the effective cap instead of dying mid-soak.
+
+#![warn(missing_docs)]
+
+use std::io;
+
+/// The current `RLIMIT_NOFILE` (soft, hard) pair.
+pub fn getrlimit_nofile() -> io::Result<(u64, u64)> {
+    sys::get_nofile()
+}
+
+/// Raise the `RLIMIT_NOFILE` soft limit as close to `target` as this
+/// process is allowed: up to the hard limit for an unprivileged
+/// process, and — when the process may raise its hard limit too (e.g.
+/// root in a container) — up to `min(target, /proc/sys/fs/nr_open)`.
+/// Returns the **effective** soft limit afterwards; a process that may
+/// not raise anything gets its current soft limit back, never an error
+/// for mere lack of privilege.
+pub fn increase_nofile_limit(target: u64) -> io::Result<u64> {
+    let (soft, hard) = sys::get_nofile()?;
+    if soft >= target {
+        return Ok(soft);
+    }
+    // The kernel rejects hard limits above fs.nr_open outright.
+    let nr_open = std::fs::read_to_string("/proc/sys/fs/nr_open")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(hard);
+    let wanted = target.min(nr_open);
+    if wanted > hard && sys::set_nofile(wanted, wanted).is_ok() {
+        return Ok(wanted);
+    }
+    let capped = wanted.min(hard);
+    if capped > soft && sys::set_nofile(capped, hard).is_ok() {
+        return Ok(capped);
+    }
+    Ok(soft)
+}
+
+#[cfg(all(unix, target_os = "linux"))]
+mod sys {
+    use std::io;
+
+    #[repr(C)]
+    struct RLimit {
+        rlim_cur: u64,
+        rlim_max: u64,
+    }
+
+    /// `RLIMIT_NOFILE` on Linux.
+    const RLIMIT_NOFILE: i32 = 7;
+
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+    }
+
+    pub fn get_nofile() -> io::Result<(u64, u64)> {
+        let mut lim = RLimit {
+            rlim_cur: 0,
+            rlim_max: 0,
+        };
+        // SAFETY: `lim` outlives the call and has the kernel's
+        // `struct rlimit` layout (two 64-bit words on Linux).
+        if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok((lim.rlim_cur, lim.rlim_max))
+    }
+
+    pub fn set_nofile(soft: u64, hard: u64) -> io::Result<()> {
+        let lim = RLimit {
+            rlim_cur: soft,
+            rlim_max: hard,
+        };
+        // SAFETY: `lim` is a valid `struct rlimit` for the call.
+        if unsafe { setrlimit(RLIMIT_NOFILE, &lim) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(not(all(unix, target_os = "linux")))]
+mod sys {
+    //! Fallback for targets without the rlimit syscalls: report an
+    //! unlimited pair so callers plan against their OS defaults.
+    use std::io;
+
+    pub fn get_nofile() -> io::Result<(u64, u64)> {
+        Ok((u64::MAX, u64::MAX))
+    }
+
+    pub fn set_nofile(_soft: u64, _hard: u64) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn getrlimit_reports_a_sane_pair() {
+        let (soft, hard) = getrlimit_nofile().unwrap();
+        assert!(soft >= 3, "a running process has at least stdio open");
+        assert!(hard >= soft);
+    }
+
+    #[test]
+    fn increase_never_lowers_and_never_errors_on_privilege() {
+        let (before, _) = getrlimit_nofile().unwrap();
+        let effective = increase_nofile_limit(before.saturating_add(1024)).unwrap();
+        assert!(effective >= before, "raise must never lower the limit");
+        let (after, _) = getrlimit_nofile().unwrap();
+        assert_eq!(after, effective, "returned cap must be the real one");
+    }
+
+    #[test]
+    fn target_below_current_is_a_no_op() {
+        let (before, _) = getrlimit_nofile().unwrap();
+        assert_eq!(increase_nofile_limit(1).unwrap(), before);
+    }
+}

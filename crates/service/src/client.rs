@@ -1,6 +1,19 @@
 //! [`ServiceClient`]: a blocking TCP client that doubles as the
 //! remote-duel bridge.
 //!
+//! The client speaks either wire format the server offers —
+//! [`connect`](ServiceClient::connect) uses the text line protocol of
+//! [`crate::protocol`] (handy for debugging: its traffic is readable in
+//! `tcpdump` and composable with `telnet`),
+//! [`connect_binary`](ServiceClient::connect_binary) the framed binary
+//! protocol of [`crate::frame`] — behind one request API, so every
+//! caller (and both trait bridges below) is format-agnostic. On top of
+//! the one-at-a-time request methods, [`pipeline`](ServiceClient::pipeline)
+//! writes any number of requests before reading and returns the
+//! responses in order — one flush and one socket round trip for a whole
+//! batch, which is where the binary protocol's throughput headroom
+//! comes from.
+//!
 //! Besides the plain request methods, the client implements the core
 //! engine and attack traits —
 //! [`StreamSummary`] (ingest = `INGEST` frames),
@@ -22,6 +35,7 @@
 //! failed experiment, not a recoverable condition; the inherent methods
 //! return `io::Result` for callers that want to handle failure.
 
+use crate::frame;
 use crate::protocol::{Request, Response, ServiceStats, MAX_INGEST_FRAME};
 use robust_sampling_core::attack::{ObservableDefense, StateOracle};
 use robust_sampling_core::engine::StreamSummary;
@@ -29,12 +43,79 @@ use std::cell::{Cell, RefCell};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
+/// Which wire format a connection speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Wire {
+    Text,
+    Binary,
+}
+
 struct Conn {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    wire: Wire,
+    /// Bytes read past the last decoded binary frame.
+    rbuf: Vec<u8>,
 }
 
-/// A blocking line-protocol client over one TCP connection.
+impl Conn {
+    fn send(&mut self, req: &Request) -> std::io::Result<()> {
+        match self.wire {
+            Wire::Text => {
+                self.writer.write_all(req.encode().as_bytes())?;
+                self.writer.write_all(b"\n")
+            }
+            Wire::Binary => {
+                let mut buf = Vec::new();
+                frame::encode_request(req, &mut buf);
+                self.writer.write_all(&buf)
+            }
+        }
+    }
+
+    fn receive(&mut self) -> std::io::Result<Response> {
+        match self.wire {
+            Wire::Text => {
+                let mut line = String::new();
+                if self.reader.read_line(&mut line)? == 0 {
+                    return Err(closed());
+                }
+                Response::parse(line.trim_end_matches(['\r', '\n']))
+                    .map_err(|msg| std::io::Error::other(format!("protocol error: {msg}")))
+            }
+            Wire::Binary => loop {
+                match frame::decode_response(&self.rbuf) {
+                    Ok(Some((resp, consumed))) => {
+                        self.rbuf.drain(..consumed);
+                        return Ok(resp);
+                    }
+                    Ok(None) => {
+                        let chunk = self.reader.fill_buf()?;
+                        if chunk.is_empty() {
+                            return Err(closed());
+                        }
+                        let n = chunk.len();
+                        self.rbuf.extend_from_slice(chunk);
+                        self.reader.consume(n);
+                    }
+                    Err(e) => {
+                        return Err(std::io::Error::other(format!("frame error: {e}")));
+                    }
+                }
+            },
+        }
+    }
+}
+
+fn closed() -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::UnexpectedEof,
+        "service closed the connection",
+    )
+}
+
+/// A blocking client over one TCP connection, speaking either the text
+/// or the binary wire format.
 pub struct ServiceClient {
     conn: RefCell<Conn>,
     /// Total items on the service per its last `INGESTED`/`STATS` reply.
@@ -52,14 +133,28 @@ impl std::fmt::Debug for ServiceClient {
 }
 
 impl ServiceClient {
-    /// Connect to a serving [`ServiceServer`](crate::ServiceServer).
+    /// Connect to a serving [`ServiceServer`](crate::ServiceServer)
+    /// speaking the text line protocol.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::connect_wire(addr, Wire::Text)
+    }
+
+    /// Connect speaking the binary frame protocol — same API, but every
+    /// request travels as one length-prefixed frame and `INGEST` batches
+    /// move as flat `u64` chunks the server never re-parses per element.
+    pub fn connect_binary(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::connect_wire(addr, Wire::Binary)
+    }
+
+    fn connect_wire(addr: impl ToSocketAddrs, wire: Wire) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Self {
             conn: RefCell::new(Conn {
                 reader: BufReader::new(stream.try_clone()?),
                 writer: BufWriter::new(stream),
+                wire,
+                rbuf: Vec::new(),
             }),
             last_items: Cell::new(0),
             last_sample_len: Cell::new(0),
@@ -69,21 +164,38 @@ impl ServiceClient {
     /// One request/response round trip.
     fn round_trip(&self, req: &Request) -> std::io::Result<Response> {
         let mut conn = self.conn.borrow_mut();
-        conn.writer.write_all(req.encode().as_bytes())?;
-        conn.writer.write_all(b"\n")?;
+        conn.send(req)?;
         conn.writer.flush()?;
-        let mut line = String::new();
-        if conn.reader.read_line(&mut line)? == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "service closed the connection",
-            ));
+        match conn.receive()? {
+            Response::Err(msg) => Err(std::io::Error::other(format!("service error: {msg}"))),
+            resp => Ok(resp),
         }
-        match Response::parse(line.trim_end_matches(['\r', '\n'])) {
-            Ok(Response::Err(msg)) => Err(std::io::Error::other(format!("service error: {msg}"))),
-            Ok(resp) => Ok(resp),
-            Err(msg) => Err(std::io::Error::other(format!("protocol error: {msg}"))),
+    }
+
+    /// **Pipelining**: write every request back-to-back with one flush,
+    /// then read the responses — the server guarantees arrival order, so
+    /// `out[i]` answers `reqs[i]`. A whole batch costs one network round
+    /// trip instead of `reqs.len()`. Service-level errors come back as
+    /// [`Response::Err`] values in the output (the pipeline keeps going);
+    /// only transport failures error out.
+    pub fn pipeline(&self, reqs: &[Request]) -> std::io::Result<Vec<Response>> {
+        let mut conn = self.conn.borrow_mut();
+        for req in reqs {
+            conn.send(req)?;
         }
+        conn.writer.flush()?;
+        let mut out = Vec::with_capacity(reqs.len());
+        for _ in reqs {
+            let resp = conn.receive()?;
+            match &resp {
+                Response::Ingested(n) => self.last_items.set(*n),
+                Response::Stats(st) => self.last_items.set(st.items),
+                Response::Snapshot { sample, .. } => self.last_sample_len.set(sample.len()),
+                _ => {}
+            }
+            out.push(resp);
+        }
+        Ok(out)
     }
 
     fn unexpected<T>(&self, what: &str, got: Response) -> std::io::Result<T> {

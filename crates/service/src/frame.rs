@@ -1,0 +1,690 @@
+//! The length-prefixed **binary frame protocol** — the serving path's
+//! fast wire format, with the text line protocol of [`crate::protocol`]
+//! kept as the debug front-end behind the same dispatch.
+//!
+//! Every frame is an 8-byte envelope followed by a payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic  = 0xB5 0x52  (first byte is non-ASCII, so a
+//!                                    server can tell a binary frame
+//!                                    from a text command at byte one)
+//! 2       1     version = 1
+//! 3       1     opcode
+//! 4       4     payload length, u32 little-endian
+//! 8       len   payload (opcode-specific, little-endian throughout)
+//! ```
+//!
+//! Request opcodes (`0x01`–`0x08`) and response opcodes (`0x81`–`0x88`,
+//! plus `0xC0` = ERR) mirror the text grammar one-to-one — both wire
+//! formats encode the same [`Request`]/[`Response`] enums, so the
+//! server's dispatch and the client's API are format-agnostic:
+//!
+//! ```text
+//! opcode  request            payload
+//! 0x01    INGEST             count × u64   (count = len / 8)
+//! 0x02    QUERY COUNT        u64 item
+//! 0x03    QUERY QUANTILE     f64 rank bits
+//! 0x04    QUERY HH           f64 threshold bits
+//! 0x05    QUERY KS           (empty)
+//! 0x06    SNAPSHOT           (empty)
+//! 0x07    STATS              (empty)
+//! 0x08    QUIT               (empty)
+//!
+//! opcode  response           payload
+//! 0x81    INGESTED           u64 total items
+//! 0x82    COUNT              f64 estimate bits
+//! 0x83    QUANTILE           u8 tag (0 = NONE) [+ u64 value]
+//! 0x84    HH                 u32 count, then count × (u64 item, f64 density)
+//! 0x85    KS                 f64 distance bits
+//! 0x86    SNAPSHOT           u64 epoch, u64 items, u32 k, then k × u64
+//! 0x87    STATS              5 × u64 (items, epoch, shards, space,
+//!                            snapshot_items)
+//! 0x88    BYE                (empty)
+//! 0xC0    ERR                UTF-8 message bytes
+//! ```
+//!
+//! Floats travel as raw bit patterns (`f64::to_bits`), so — like the
+//! text protocol's shortest-round-trip decimals — every value survives
+//! the wire exactly. An `INGEST` frame carries up to
+//! [`MAX_INGEST_FRAME`] values as one flat `u64` chunk: the server
+//! routes the decoded slice straight into the service's sharded ingest
+//! channels with **no per-element parsing**, which is where the binary
+//! protocol's throughput over the text front-end comes from. Frames are
+//! independent, so a client may **pipeline**: write any number of
+//! request frames before reading, and the server answers each in order.
+//!
+//! Decoding is incremental ([`decode_request`] / [`decode_response`]
+//! return `Ok(None)` on a truncated buffer) and every structural
+//! violation — wrong magic, unknown version or opcode, oversized or
+//! mis-sized payload, out-of-range rank — is a typed [`FrameError`]
+//! raised *before* any payload is buffered past [`MAX_FRAME_PAYLOAD`].
+
+use crate::protocol::{Request, Response, ServiceStats, MAX_INGEST_FRAME};
+use bytes::{Buf, BufMut};
+use std::fmt;
+
+/// The two magic bytes opening every binary frame. `0xB5` is not valid
+/// ASCII, so the first byte of a connection (or of any pipelined
+/// request) cleanly separates binary frames from text commands.
+pub const FRAME_MAGIC: [u8; 2] = [0xB5, 0x52];
+
+/// Binary protocol version carried in every envelope.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Envelope size preceding every payload.
+pub const HEADER_BYTES: usize = 8;
+
+/// Hard cap on a frame's payload: a full [`MAX_INGEST_FRAME`] of `u64`
+/// values (the largest request), with room for the snapshot response's
+/// bookkeeping. A peer announcing more is hostile or corrupt and is
+/// rejected from the 8-byte header alone — the oversized payload is
+/// never buffered.
+pub const MAX_FRAME_PAYLOAD: usize = 8 * MAX_INGEST_FRAME + 64;
+
+mod opcode {
+    pub const INGEST: u8 = 0x01;
+    pub const QUERY_COUNT: u8 = 0x02;
+    pub const QUERY_QUANTILE: u8 = 0x03;
+    pub const QUERY_HH: u8 = 0x04;
+    pub const QUERY_KS: u8 = 0x05;
+    pub const SNAPSHOT: u8 = 0x06;
+    pub const STATS: u8 = 0x07;
+    pub const QUIT: u8 = 0x08;
+
+    pub const INGESTED: u8 = 0x81;
+    pub const COUNT: u8 = 0x82;
+    pub const QUANTILE: u8 = 0x83;
+    pub const HH: u8 = 0x84;
+    pub const KS: u8 = 0x85;
+    pub const R_SNAPSHOT: u8 = 0x86;
+    pub const R_STATS: u8 = 0x87;
+    pub const BYE: u8 = 0x88;
+    pub const ERR: u8 = 0xC0;
+}
+
+/// A structural violation of the binary framing. Unlike a truncated
+/// buffer (which just needs more bytes), a `FrameError` means the byte
+/// stream is not speaking this protocol — the connection cannot be
+/// resynchronized and must be closed after reporting the error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first two bytes are not [`FRAME_MAGIC`].
+    BadMagic([u8; 2]),
+    /// Unknown protocol version.
+    BadVersion(u8),
+    /// Opcode outside the request (or response) space.
+    BadOpcode(u8),
+    /// Announced payload length exceeds [`MAX_FRAME_PAYLOAD`].
+    Oversized {
+        /// The frame's opcode.
+        opcode: u8,
+        /// The announced payload length.
+        len: u64,
+    },
+    /// Payload present but structurally wrong for its opcode.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => {
+                write!(f, "bad frame magic {:#04x} {:#04x}", m[0], m[1])
+            }
+            FrameError::BadVersion(v) => write!(f, "unsupported frame version {v}"),
+            FrameError::BadOpcode(op) => write!(f, "unknown frame opcode {op:#04x}"),
+            FrameError::Oversized { opcode, len } => {
+                write!(
+                    f,
+                    "frame opcode {opcode:#04x} announces {len} payload bytes \
+                     (cap {MAX_FRAME_PAYLOAD})"
+                )
+            }
+            FrameError::Malformed(what) => write!(f, "malformed frame payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Whether `first` opens a binary frame (vs a text command) — the
+/// one-byte version negotiation between the two front-ends.
+pub fn is_frame_start(first: u8) -> bool {
+    first == FRAME_MAGIC[0]
+}
+
+fn put_header(out: &mut Vec<u8>, op: u8, payload_len: usize) {
+    debug_assert!(payload_len <= MAX_FRAME_PAYLOAD, "payload over cap");
+    out.put_slice(&FRAME_MAGIC);
+    out.put_u8(FRAME_VERSION);
+    out.put_u8(op);
+    out.put_u32_le(payload_len as u32);
+}
+
+/// Append `req` to `out` as one binary frame.
+///
+/// # Panics
+///
+/// Panics if an `Ingest` frame exceeds [`MAX_INGEST_FRAME`] values or is
+/// empty — the caller chunks batches, exactly as on the text path.
+pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
+    match req {
+        Request::Ingest(vs) => {
+            assert!(
+                !vs.is_empty() && vs.len() <= MAX_INGEST_FRAME,
+                "INGEST frame must carry 1..={MAX_INGEST_FRAME} values, got {}",
+                vs.len()
+            );
+            put_header(out, opcode::INGEST, 8 * vs.len());
+            for &v in vs {
+                out.put_u64_le(v);
+            }
+        }
+        Request::QueryCount(x) => {
+            put_header(out, opcode::QUERY_COUNT, 8);
+            out.put_u64_le(*x);
+        }
+        Request::QueryQuantile(q) => {
+            put_header(out, opcode::QUERY_QUANTILE, 8);
+            out.put_f64_le(*q);
+        }
+        Request::QueryHeavy(t) => {
+            put_header(out, opcode::QUERY_HH, 8);
+            out.put_f64_le(*t);
+        }
+        Request::QueryKs => put_header(out, opcode::QUERY_KS, 0),
+        Request::Snapshot => put_header(out, opcode::SNAPSHOT, 0),
+        Request::Stats => put_header(out, opcode::STATS, 0),
+        Request::Quit => put_header(out, opcode::QUIT, 0),
+    }
+}
+
+/// Append `resp` to `out` as one binary frame. Oversized variable parts
+/// (a pathological ERR message) are truncated to fit the payload cap;
+/// the fixed-shape responses always fit.
+pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
+    match resp {
+        Response::Ingested(n) => {
+            put_header(out, opcode::INGESTED, 8);
+            out.put_u64_le(*n as u64);
+        }
+        Response::Count(c) => {
+            put_header(out, opcode::COUNT, 8);
+            out.put_f64_le(*c);
+        }
+        Response::Quantile(None) => {
+            put_header(out, opcode::QUANTILE, 1);
+            out.put_u8(0);
+        }
+        Response::Quantile(Some(v)) => {
+            put_header(out, opcode::QUANTILE, 9);
+            out.put_u8(1);
+            out.put_u64_le(*v);
+        }
+        Response::Heavy(items) => {
+            put_header(out, opcode::HH, 4 + 16 * items.len());
+            out.put_u32_le(items.len() as u32);
+            for &(v, d) in items {
+                out.put_u64_le(v);
+                out.put_f64_le(d);
+            }
+        }
+        Response::Ks(d) => {
+            put_header(out, opcode::KS, 8);
+            out.put_f64_le(*d);
+        }
+        Response::Snapshot {
+            epoch,
+            items,
+            sample,
+        } => {
+            put_header(out, opcode::R_SNAPSHOT, 20 + 8 * sample.len());
+            out.put_u64_le(*epoch);
+            out.put_u64_le(*items as u64);
+            out.put_u32_le(sample.len() as u32);
+            for &v in sample {
+                out.put_u64_le(v);
+            }
+        }
+        Response::Stats(st) => {
+            put_header(out, opcode::R_STATS, 40);
+            out.put_u64_le(st.items as u64);
+            out.put_u64_le(st.epoch);
+            out.put_u64_le(st.shards as u64);
+            out.put_u64_le(st.space as u64);
+            out.put_u64_le(st.snapshot_items as u64);
+        }
+        Response::Bye => put_header(out, opcode::BYE, 0),
+        Response::Err(msg) => {
+            let bytes = msg.as_bytes();
+            let take = floor_char_boundary(msg, bytes.len().min(MAX_FRAME_PAYLOAD));
+            put_header(out, opcode::ERR, take);
+            out.put_slice(&bytes[..take]);
+        }
+    }
+}
+
+/// Largest `i <= at` that is a char boundary of `s` (stable stand-in for
+/// the unstable `str::floor_char_boundary`).
+fn floor_char_boundary(s: &str, at: usize) -> usize {
+    let mut i = at;
+    while !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+/// The envelope, validated progressively: magic and version are checked
+/// from the very first bytes (so garbage fails fast, without waiting for
+/// a full header), the payload cap from the header alone.
+fn decode_header(buf: &[u8]) -> Result<Option<(u8, usize)>, FrameError> {
+    if let Some(&b0) = buf.first() {
+        if b0 != FRAME_MAGIC[0] {
+            return Err(FrameError::BadMagic([b0, *buf.get(1).unwrap_or(&0)]));
+        }
+    }
+    if let Some(&b1) = buf.get(1) {
+        if b1 != FRAME_MAGIC[1] {
+            return Err(FrameError::BadMagic([buf[0], b1]));
+        }
+    }
+    if let Some(&v) = buf.get(2) {
+        if v != FRAME_VERSION {
+            return Err(FrameError::BadVersion(v));
+        }
+    }
+    if buf.len() < HEADER_BYTES {
+        return Ok(None);
+    }
+    let mut h = &buf[3..HEADER_BYTES];
+    let op = h.get_u8();
+    let len = h.get_u32_le() as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::Oversized {
+            opcode: op,
+            len: len as u64,
+        });
+    }
+    Ok(Some((op, len)))
+}
+
+fn expect_len(payload: &[u8], want: usize, what: &'static str) -> Result<(), FrameError> {
+    if payload.len() != want {
+        return Err(FrameError::Malformed(what));
+    }
+    Ok(())
+}
+
+fn unit_f64(bits_src: &mut &[u8], what: &'static str) -> Result<f64, FrameError> {
+    let v = bits_src.get_f64_le();
+    if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+        return Err(FrameError::Malformed(what));
+    }
+    Ok(v)
+}
+
+/// Decode one request frame from the front of `buf`.
+///
+/// Returns `Ok(Some((request, consumed)))` for a complete frame,
+/// `Ok(None)` when `buf` holds only a prefix (read more and retry), and
+/// `Err` on a structural violation (close the connection).
+pub fn decode_request(buf: &[u8]) -> Result<Option<(Request, usize)>, FrameError> {
+    let Some((op, len)) = decode_header(buf)? else {
+        return Ok(None);
+    };
+    if buf.len() < HEADER_BYTES + len {
+        return Ok(None);
+    }
+    let mut payload = &buf[HEADER_BYTES..HEADER_BYTES + len];
+    let consumed = HEADER_BYTES + len;
+    let req = match op {
+        opcode::INGEST => {
+            if len == 0 || len % 8 != 0 {
+                return Err(FrameError::Malformed(
+                    "INGEST payload must be a non-empty multiple of 8 bytes",
+                ));
+            }
+            let mut vs = Vec::with_capacity(len / 8);
+            while payload.remaining() > 0 {
+                vs.push(payload.get_u64_le());
+            }
+            Request::Ingest(vs)
+        }
+        opcode::QUERY_COUNT => {
+            expect_len(payload, 8, "COUNT payload must be one u64")?;
+            Request::QueryCount(payload.get_u64_le())
+        }
+        opcode::QUERY_QUANTILE => {
+            expect_len(payload, 8, "QUANTILE payload must be one f64")?;
+            Request::QueryQuantile(unit_f64(&mut payload, "QUANTILE rank must be in [0,1]")?)
+        }
+        opcode::QUERY_HH => {
+            expect_len(payload, 8, "HH payload must be one f64")?;
+            Request::QueryHeavy(unit_f64(&mut payload, "HH threshold must be in [0,1]")?)
+        }
+        opcode::QUERY_KS => {
+            expect_len(payload, 0, "KS carries no payload")?;
+            Request::QueryKs
+        }
+        opcode::SNAPSHOT => {
+            expect_len(payload, 0, "SNAPSHOT carries no payload")?;
+            Request::Snapshot
+        }
+        opcode::STATS => {
+            expect_len(payload, 0, "STATS carries no payload")?;
+            Request::Stats
+        }
+        opcode::QUIT => {
+            expect_len(payload, 0, "QUIT carries no payload")?;
+            Request::Quit
+        }
+        other => return Err(FrameError::BadOpcode(other)),
+    };
+    Ok(Some((req, consumed)))
+}
+
+/// Decode one response frame from the front of `buf`. Same contract as
+/// [`decode_request`].
+pub fn decode_response(buf: &[u8]) -> Result<Option<(Response, usize)>, FrameError> {
+    let Some((op, len)) = decode_header(buf)? else {
+        return Ok(None);
+    };
+    if buf.len() < HEADER_BYTES + len {
+        return Ok(None);
+    }
+    let mut payload = &buf[HEADER_BYTES..HEADER_BYTES + len];
+    let consumed = HEADER_BYTES + len;
+    let resp = match op {
+        opcode::INGESTED => {
+            expect_len(payload, 8, "INGESTED payload must be one u64")?;
+            Response::Ingested(payload.get_u64_le() as usize)
+        }
+        opcode::COUNT => {
+            expect_len(payload, 8, "COUNT payload must be one f64")?;
+            Response::Count(payload.get_f64_le())
+        }
+        opcode::QUANTILE => match payload.first() {
+            Some(0) => {
+                expect_len(payload, 1, "QUANTILE NONE carries only its tag")?;
+                Response::Quantile(None)
+            }
+            Some(1) => {
+                expect_len(payload, 9, "QUANTILE value payload must be tag + u64")?;
+                payload.get_u8();
+                Response::Quantile(Some(payload.get_u64_le()))
+            }
+            _ => return Err(FrameError::Malformed("QUANTILE tag must be 0 or 1")),
+        },
+        opcode::HH => {
+            if len < 4 {
+                return Err(FrameError::Malformed("HH payload missing its count"));
+            }
+            let count = payload.get_u32_le() as usize;
+            if payload.remaining() != 16 * count {
+                return Err(FrameError::Malformed(
+                    "HH count disagrees with payload size",
+                ));
+            }
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                let v = payload.get_u64_le();
+                let d = payload.get_f64_le();
+                items.push((v, d));
+            }
+            Response::Heavy(items)
+        }
+        opcode::KS => {
+            expect_len(payload, 8, "KS payload must be one f64")?;
+            Response::Ks(payload.get_f64_le())
+        }
+        opcode::R_SNAPSHOT => {
+            if len < 20 {
+                return Err(FrameError::Malformed("SNAPSHOT payload missing its header"));
+            }
+            let epoch = payload.get_u64_le();
+            let items = payload.get_u64_le() as usize;
+            let k = payload.get_u32_le() as usize;
+            if payload.remaining() != 8 * k {
+                return Err(FrameError::Malformed(
+                    "SNAPSHOT sample length disagrees with payload size",
+                ));
+            }
+            let mut sample = Vec::with_capacity(k);
+            for _ in 0..k {
+                sample.push(payload.get_u64_le());
+            }
+            Response::Snapshot {
+                epoch,
+                items,
+                sample,
+            }
+        }
+        opcode::R_STATS => {
+            expect_len(payload, 40, "STATS payload must be five u64 words")?;
+            Response::Stats(ServiceStats {
+                items: payload.get_u64_le() as usize,
+                epoch: payload.get_u64_le(),
+                shards: payload.get_u64_le() as usize,
+                space: payload.get_u64_le() as usize,
+                snapshot_items: payload.get_u64_le() as usize,
+            })
+        }
+        opcode::BYE => {
+            expect_len(payload, 0, "BYE carries no payload")?;
+            Response::Bye
+        }
+        opcode::ERR => {
+            let msg = std::str::from_utf8(payload)
+                .map_err(|_| FrameError::Malformed("ERR message must be UTF-8"))?;
+            Response::Err(msg.to_string())
+        }
+        other => return Err(FrameError::BadOpcode(other)),
+    };
+    Ok(Some((resp, consumed)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Ingest(vec![0, 1, u64::MAX]),
+            Request::QueryCount(u64::MAX),
+            Request::QueryQuantile(0.999),
+            Request::QueryHeavy(0.0),
+            Request::QueryKs,
+            Request::Snapshot,
+            Request::Stats,
+            Request::Quit,
+        ]
+    }
+
+    fn all_responses() -> Vec<Response> {
+        vec![
+            Response::Ingested(usize::MAX >> 1),
+            Response::Count(1234.5678),
+            Response::Quantile(None),
+            Response::Quantile(Some(42)),
+            Response::Heavy(vec![(7, 0.25), (9, 1.0 / 3.0)]),
+            Response::Ks(0.123456789012345),
+            Response::Snapshot {
+                epoch: 5,
+                items: 10_000,
+                sample: vec![3, 1, 4, 1, 5],
+            },
+            Response::Stats(ServiceStats {
+                items: 10,
+                epoch: 2,
+                shards: 4,
+                space: 64,
+                snapshot_items: 8,
+            }),
+            Response::Bye,
+            Response::Err("boom × unicode".into()),
+        ]
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        for req in all_requests() {
+            let mut buf = Vec::new();
+            encode_request(&req, &mut buf);
+            let (back, consumed) = decode_request(&buf).unwrap().unwrap();
+            assert_eq!(back, req);
+            assert_eq!(consumed, buf.len());
+        }
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        for resp in all_responses() {
+            let mut buf = Vec::new();
+            encode_response(&resp, &mut buf);
+            let (back, consumed) = decode_response(&buf).unwrap().unwrap();
+            assert_eq!(back, resp);
+            assert_eq!(consumed, buf.len());
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_incomplete_not_an_error() {
+        for req in all_requests() {
+            let mut buf = Vec::new();
+            encode_request(&req, &mut buf);
+            for cut in 0..buf.len() {
+                assert_eq!(
+                    decode_request(&buf[..cut]).unwrap(),
+                    None,
+                    "cut at {cut} of {req:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_frames_decode_in_order() {
+        let reqs = all_requests();
+        let mut buf = Vec::new();
+        for req in &reqs {
+            encode_request(req, &mut buf);
+        }
+        let mut at = 0;
+        for want in &reqs {
+            let (got, consumed) = decode_request(&buf[at..]).unwrap().unwrap();
+            assert_eq!(&got, want);
+            at += consumed;
+        }
+        assert_eq!(at, buf.len());
+    }
+
+    #[test]
+    fn max_length_ingest_round_trips_and_one_more_is_rejected() {
+        let max: Vec<u64> = (0..MAX_INGEST_FRAME as u64).collect();
+        let mut buf = Vec::new();
+        encode_request(&Request::Ingest(max.clone()), &mut buf);
+        assert_eq!(buf.len(), HEADER_BYTES + 8 * MAX_INGEST_FRAME);
+        let (back, _) = decode_request(&buf).unwrap().unwrap();
+        assert_eq!(back, Request::Ingest(max));
+        // A handcrafted header announcing a payload over the cap is
+        // rejected from the envelope alone — no payload is buffered.
+        let mut over = vec![
+            FRAME_MAGIC[0],
+            FRAME_MAGIC[1],
+            FRAME_VERSION,
+            opcode::INGEST,
+        ];
+        over.put_u32_le((MAX_FRAME_PAYLOAD + 8) as u32);
+        assert!(matches!(
+            decode_request(&over),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_fails_from_the_first_bytes() {
+        assert!(matches!(
+            decode_request(b"INGEST 1 2 3\n"),
+            Err(FrameError::BadMagic(_))
+        ));
+        assert!(matches!(
+            decode_request(&[FRAME_MAGIC[0], 0x00]),
+            Err(FrameError::BadMagic(_))
+        ));
+        assert!(matches!(
+            decode_request(&[FRAME_MAGIC[0], FRAME_MAGIC[1], 99]),
+            Err(FrameError::BadVersion(99))
+        ));
+        let mut resp_as_req = Vec::new();
+        encode_response(&Response::Bye, &mut resp_as_req);
+        assert!(matches!(
+            decode_request(&resp_as_req),
+            Err(FrameError::BadOpcode(_))
+        ));
+        let mut req_as_resp = Vec::new();
+        encode_request(&Request::Quit, &mut req_as_resp);
+        assert!(matches!(
+            decode_response(&req_as_resp),
+            Err(FrameError::BadOpcode(_))
+        ));
+    }
+
+    #[test]
+    fn missized_payloads_are_malformed() {
+        // KS with a stray payload byte.
+        let mut buf = Vec::new();
+        put_header(&mut buf, opcode::QUERY_KS, 1);
+        buf.push(0);
+        assert!(matches!(
+            decode_request(&buf),
+            Err(FrameError::Malformed(_))
+        ));
+        // INGEST with a ragged (non-multiple-of-8) payload.
+        let mut buf = Vec::new();
+        put_header(&mut buf, opcode::INGEST, 7);
+        buf.extend_from_slice(&[0; 7]);
+        assert!(matches!(
+            decode_request(&buf),
+            Err(FrameError::Malformed(_))
+        ));
+        // HH whose count disagrees with its payload size.
+        let mut buf = Vec::new();
+        put_header(&mut buf, opcode::HH, 4);
+        buf.put_u32_le(3);
+        assert!(matches!(
+            decode_response(&buf),
+            Err(FrameError::Malformed(_))
+        ));
+        // Out-of-range quantile rank.
+        let mut buf = Vec::new();
+        put_header(&mut buf, opcode::QUERY_QUANTILE, 8);
+        buf.put_f64_le(1.5);
+        assert!(matches!(
+            decode_request(&buf),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn floats_survive_the_wire_bit_for_bit() {
+        for &x in &[0.1, 2.0 / 3.0, 1e-17, 0.9999999999999999] {
+            let mut buf = Vec::new();
+            encode_response(&Response::Ks(x), &mut buf);
+            match decode_response(&buf).unwrap().unwrap().0 {
+                Response::Ks(y) => assert_eq!(x.to_bits(), y.to_bits()),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn text_and_binary_dispatch_disagree_on_no_byte() {
+        // Every text command starts with an ASCII letter; a binary frame
+        // starts with 0xB5. One byte decides the front-end.
+        for line in ["INGEST 1", "QUERY KS", "SNAPSHOT", "STATS", "QUIT"] {
+            assert!(!is_frame_start(line.as_bytes()[0]));
+        }
+        assert!(is_frame_start(FRAME_MAGIC[0]));
+    }
+}

@@ -46,11 +46,13 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod frame;
 pub mod protocol;
 pub mod server;
 pub mod service;
 
 pub use client::ServiceClient;
+pub use frame::FrameError;
 pub use protocol::{Request, Response, ServiceStats};
 pub use server::{ServiceConfig, ServiceServer};
 pub use service::{EpochSnapshot, QueryHandle, ServableSummary, SummaryService};

@@ -1,20 +1,42 @@
-//! The threaded TCP server: one [`SummaryService`] behind the line
-//! protocol of [`crate::protocol`].
+//! The event-driven TCP server: one [`SummaryService`] behind both wire
+//! front-ends — the binary frame protocol of [`crate::frame`] and the
+//! text line protocol of [`crate::protocol`] — on a fixed worker pool.
 //!
-//! `INGEST` goes through a mutex around the service's ingest path (frames
-//! from concurrent connections interleave, but each frame is dealt
-//! atomically and epochs stay frame-aligned); every query answers from
-//! the published epoch snapshot through a [`QueryHandle`], so the read
-//! path never contends with ingestion. Binding port 0 asks the OS for an
-//! ephemeral port ([`ServiceServer::port`] reports it), which is what CI
-//! and tests use to avoid bind collisions.
+//! Instead of a thread per connection, the server runs `workers`
+//! event-loop threads. An acceptor thread polls the nonblocking
+//! listener and deals new connections round-robin to the workers; each
+//! worker drives its own level-triggered [`Poller`] over its share of
+//! the connections, so ten thousand idle clients cost ten thousand
+//! registered fds — not ten thousand stacks. Every connection is
+//! nonblocking with an input and an output buffer: reads drain the
+//! socket until `WouldBlock`, complete requests are answered in arrival
+//! order (so clients may **pipeline** freely), and unflushed responses
+//! arm writable interest instead of blocking the loop.
+//!
+//! The two protocols share one dispatch: the first byte of each request
+//! picks the front-end (`0xB5` opens a binary frame, anything else is a
+//! text line), and the response travels in the same format as its
+//! request — so a debug `telnet` session and a binary load generator
+//! can even share a connection.
+//!
+//! `INGEST` goes through a mutex around the service's ingest path
+//! (frames from concurrent connections interleave, but each frame is
+//! dealt atomically and epochs stay frame-aligned); every query answers
+//! from the published epoch snapshot through a [`QueryHandle`], so the
+//! read path never contends with ingestion. Binding port 0 asks the OS
+//! for an ephemeral port ([`ServiceServer::port`] reports it), which is
+//! what CI and tests use to avoid bind collisions.
 
+use crate::frame;
 use crate::protocol::{Request, Response, ServiceStats};
 use crate::service::{QueryHandle, ServableSummary, SummaryService};
+use polling::{Event, Poller};
 use robust_sampling_core::attack::ObservableDefense;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -26,6 +48,9 @@ pub struct ServiceConfig {
     pub addr: String,
     /// Universe bound `U` used by the `QUERY KS` drift monitor.
     pub universe: u64,
+    /// Event-loop worker threads. Connections are dealt round-robin
+    /// across the pool at accept time; each worker polls its own set.
+    pub workers: usize,
 }
 
 impl Default for ServiceConfig {
@@ -33,6 +58,7 @@ impl Default for ServiceConfig {
         Self {
             addr: "127.0.0.1:0".into(),
             universe: 1 << 20,
+            workers: 4,
         }
     }
 }
@@ -43,20 +69,27 @@ struct Shared<S: ServableSummary> {
     universe: u64,
 }
 
+/// How long a worker (or the acceptor) sleeps in `poll` before
+/// re-checking the stop flag and its intake of new connections.
+const POLL_TICK: Duration = Duration::from_millis(10);
+
 /// A running server. Dropping it (or calling
-/// [`shutdown`](ServiceServer::shutdown)) stops the accept loop;
-/// established connections end when their clients disconnect.
+/// [`shutdown`](ServiceServer::shutdown)) stops the accept loop and the
+/// worker pool; established connections are closed by their workers on
+/// the way out.
 #[derive(Debug)]
 pub struct ServiceServer {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
 }
 
 impl ServiceServer {
     /// Bind `config.addr` and serve `service` until shutdown. Returns as
-    /// soon as the listener is bound — the accept loop runs on its own
-    /// thread, one more thread per established connection.
+    /// soon as the listener is bound — the accept loop and the fixed
+    /// worker pool run on their own threads; no thread is ever spawned
+    /// per connection.
     pub fn spawn<S>(service: SummaryService<S>, config: ServiceConfig) -> std::io::Result<Self>
     where
         S: ServableSummary + ObservableDefense,
@@ -70,32 +103,66 @@ impl ServiceServer {
             service: Mutex::new(service),
             universe: config.universe,
         });
+
+        let workers = config.workers.max(1);
+        let mut intakes: Vec<Sender<TcpStream>> = Vec::with_capacity(workers);
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
+            intakes.push(tx);
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("svc-worker-{i}"))
+                    .spawn(move || worker_loop(rx, &shared, &stop))
+                    .expect("spawn worker thread"),
+            );
+        }
+
         let accept_stop = Arc::clone(&stop);
-        let accept_handle = std::thread::spawn(move || {
-            let mut conns: Vec<JoinHandle<()>> = Vec::new();
-            while !accept_stop.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let shared = Arc::clone(&shared);
-                        conns.push(std::thread::spawn(move || {
-                            let _ = serve_connection(stream, &shared);
-                        }));
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(2));
-                    }
-                    Err(_) => break,
+        let accept_handle = std::thread::Builder::new()
+            .name("svc-accept".into())
+            .spawn(move || {
+                let poller = match Poller::new() {
+                    Ok(p) => p,
+                    Err(_) => return,
+                };
+                if poller.add(&listener, Event::readable(0)).is_err() {
+                    return;
                 }
-                conns.retain(|h| !h.is_finished());
-            }
-            for h in conns {
-                let _ = h.join();
-            }
-        });
+                let mut events = Vec::new();
+                let mut next_worker = 0usize;
+                while !accept_stop.load(Ordering::Relaxed) {
+                    events.clear();
+                    let _ = poller.wait(&mut events, Some(POLL_TICK));
+                    loop {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                if stream.set_nonblocking(true).is_err() {
+                                    continue;
+                                }
+                                let _ = stream.set_nodelay(true);
+                                // Round-robin deal; a worker whose
+                                // channel closed (it panicked) just
+                                // drops its share of new connections.
+                                let _ = intakes[next_worker % intakes.len()].send(stream);
+                                next_worker = next_worker.wrapping_add(1);
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                            Err(_) => return,
+                        }
+                    }
+                }
+            })
+            .expect("spawn accept thread");
+
         Ok(Self {
             local_addr,
             stop,
             accept_handle: Some(accept_handle),
+            worker_handles,
         })
     }
 
@@ -109,16 +176,19 @@ impl ServiceServer {
         self.local_addr.port()
     }
 
-    /// Stop accepting connections and wait for established ones to end.
-    /// (Connected clients must disconnect for their handler threads to
-    /// finish; well-behaved clients send `QUIT`.)
+    /// Stop the accept loop and the worker pool. Workers close their
+    /// established connections on exit, so shutdown does not wait on
+    /// remote clients.
     pub fn shutdown(mut self) {
-        self.stop_accepting();
+        self.stop_all();
     }
 
-    fn stop_accepting(&mut self) {
+    fn stop_all(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.worker_handles.drain(..) {
             let _ = h.join();
         }
     }
@@ -126,59 +196,319 @@ impl ServiceServer {
 
 impl Drop for ServiceServer {
     fn drop(&mut self) {
-        self.stop_accepting();
+        self.stop_all();
     }
 }
 
-/// Longest request line the server will buffer: a full
+/// Longest text request line the server will buffer: a full
 /// [`MAX_INGEST_FRAME`](crate::protocol::MAX_INGEST_FRAME) of 20-digit
-/// values plus separators fits comfortably. Anything longer is a hostile
-/// or broken client — the connection is dropped *before* the line
-/// finishes accumulating, so memory stays bounded per connection.
-const MAX_LINE_BYTES: u64 = 2 << 20;
+/// values plus separators fits comfortably. A longer line is discarded
+/// as it streams in (memory stays bounded per connection), the client
+/// gets one `ERR` for it, and parsing resumes at the next newline — the
+/// line's tail is *drained*, never misread as fresh commands.
+const MAX_LINE_BYTES: usize = 2 << 20;
 
-/// `read_line` with a hard byte cap: returns `Ok(0)` on EOF, an
-/// `InvalidData` error if the cap is hit before a newline arrives.
-fn read_line_bounded(
-    reader: &mut BufReader<TcpStream>,
-    line: &mut String,
-) -> std::io::Result<usize> {
-    use std::io::Read;
-    let n = reader.by_ref().take(MAX_LINE_BYTES).read_line(line)?;
-    if n as u64 >= MAX_LINE_BYTES && !line.ends_with('\n') {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "request line exceeds the per-line byte cap",
-        ));
-    }
-    Ok(n)
-}
+/// Per-read scratch size; also the flushed-prefix threshold above which
+/// the output buffer is compacted.
+const IO_CHUNK: usize = 64 * 1024;
 
-fn serve_connection<S>(stream: TcpStream, shared: &Shared<S>) -> std::io::Result<()>
+/// One worker's event loop: adopt newly dealt connections, poll the
+/// set, and drive readable/writable connections forward.
+fn worker_loop<S>(intake: Receiver<TcpStream>, shared: &Shared<S>, stop: &AtomicBool)
 where
     S: ServableSummary + ObservableDefense,
 {
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        if read_line_bounded(&mut reader, &mut line)? == 0 {
-            return Ok(()); // client hung up
+    let Ok(poller) = Poller::new() else { return };
+    let mut conns: HashMap<usize, Conn> = HashMap::new();
+    let mut next_key = 0usize;
+    let mut events: Vec<Event> = Vec::new();
+    let mut scratch = vec![0u8; IO_CHUNK];
+    while !stop.load(Ordering::Relaxed) {
+        loop {
+            match intake.try_recv() {
+                Ok(stream) => {
+                    let key = next_key;
+                    next_key += 1;
+                    if poller.add(&stream, Event::readable(key)).is_ok() {
+                        conns.insert(key, Conn::new(stream));
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                // Acceptor gone: serve what we have until stopped.
+                Err(TryRecvError::Disconnected) => break,
+            }
         }
-        let (response, quit) = match Request::parse(line.trim_end_matches(['\r', '\n'])) {
-            Err(msg) => (Response::Err(msg), false),
-            Ok(Request::Quit) => (Response::Bye, true),
-            Ok(req) => (answer(req, shared), false),
-        };
-        writer.write_all(response.encode().as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        if quit {
-            return Ok(());
+        events.clear();
+        let _ = poller.wait(&mut events, Some(POLL_TICK));
+        for ev in &events {
+            let Some(conn) = conns.get_mut(&ev.key) else {
+                continue;
+            };
+            if conn.drive(ev, shared, &mut scratch) {
+                conn.update_interest(&poller, ev.key);
+            } else {
+                let _ = poller.delete(&conn.stream);
+                conns.remove(&ev.key);
+            }
         }
     }
+    // Workers own their connections; exiting closes them.
+}
+
+/// One nonblocking connection: unconsumed input, unflushed output, and
+/// the small state machine between them.
+struct Conn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    /// Flushed prefix of `outbuf` (compacted past [`IO_CHUNK`]).
+    outpos: usize,
+    /// Discarding an oversized text line until its newline.
+    draining_line: bool,
+    /// Close once the output buffer flushes (after `QUIT`, a binary
+    /// framing error, or EOF).
+    closing: bool,
+    /// Currently registered for writable interest too.
+    want_write: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            outpos: 0,
+            draining_line: false,
+            closing: false,
+            want_write: false,
+        }
+    }
+
+    /// Advance the connection for one readiness event. Returns `false`
+    /// when the connection is finished and must be deregistered.
+    fn drive<S>(&mut self, ev: &Event, shared: &Shared<S>, scratch: &mut [u8]) -> bool
+    where
+        S: ServableSummary + ObservableDefense,
+    {
+        if ev.readable && !self.closing {
+            loop {
+                match self.stream.read(scratch) {
+                    Ok(0) => {
+                        self.process(shared);
+                        self.finish_at_eof(shared);
+                        self.closing = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        self.inbuf.extend_from_slice(&scratch[..n]);
+                        // Process *between* reads once the buffer holds a
+                        // cap's worth — an endless newline-free flood must
+                        // be detected and discarded as it streams in, not
+                        // accumulated until the socket runs dry.
+                        if self.inbuf.len() >= MAX_LINE_BYTES {
+                            self.process(shared);
+                            if self.closing {
+                                break;
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        self.process(shared);
+                        break;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => return false,
+                }
+            }
+        }
+        if !self.flush() {
+            return false;
+        }
+        // Stay alive until a closing connection has fully flushed.
+        !self.closing || self.has_output()
+    }
+
+    /// Consume every complete request in the input buffer, appending
+    /// each response (in request order) to the output buffer.
+    fn process<S>(&mut self, shared: &Shared<S>)
+    where
+        S: ServableSummary + ObservableDefense,
+    {
+        let mut pos = 0;
+        while !self.closing {
+            if self.draining_line {
+                match memchr_nl(&self.inbuf[pos..]) {
+                    Some(i) => {
+                        pos += i + 1;
+                        self.draining_line = false;
+                        // The ERR for this line was emitted when the
+                        // overflow was detected; parsing resumes here.
+                    }
+                    None => {
+                        pos = self.inbuf.len();
+                        break;
+                    }
+                }
+                continue;
+            }
+            let buf = &self.inbuf[pos..];
+            let Some(&first) = buf.first() else { break };
+            if frame::is_frame_start(first) {
+                match frame::decode_request(buf) {
+                    Ok(Some((req, consumed))) => {
+                        pos += consumed;
+                        self.respond_binary(req, shared);
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        // The stream cannot be resynchronized after a
+                        // framing violation: report and close.
+                        frame::encode_response(&Response::Err(e.to_string()), &mut self.outbuf);
+                        self.closing = true;
+                        pos = self.inbuf.len();
+                    }
+                }
+            } else {
+                match memchr_nl(buf) {
+                    Some(i) if i >= MAX_LINE_BYTES => {
+                        // Complete, but too long to be a legal command
+                        // (can happen when the newline arrived in the
+                        // same read burst as the flood).
+                        pos += i + 1;
+                        self.respond_text(
+                            Err("request line exceeds the per-line byte cap".into()),
+                            shared,
+                        );
+                    }
+                    Some(i) => {
+                        let line_end = pos + i;
+                        let (head, _) = self.inbuf.split_at(line_end);
+                        let req = parse_text_line(&head[pos..]);
+                        pos = line_end + 1;
+                        self.respond_text(req, shared);
+                    }
+                    None => {
+                        if buf.len() >= MAX_LINE_BYTES {
+                            // Too long to ever parse: answer now, then
+                            // discard until the newline shows up.
+                            self.respond_text(
+                                Err("request line exceeds the per-line byte cap".into()),
+                                shared,
+                            );
+                            self.draining_line = true;
+                            pos = self.inbuf.len();
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        if pos > 0 {
+            self.inbuf.drain(..pos);
+        }
+    }
+
+    /// EOF housekeeping: a final unterminated text line still gets
+    /// parsed and answered (matching the old blocking server), a
+    /// partial binary frame is silently dropped.
+    fn finish_at_eof<S>(&mut self, shared: &Shared<S>)
+    where
+        S: ServableSummary + ObservableDefense,
+    {
+        if self.draining_line || self.inbuf.is_empty() {
+            return;
+        }
+        if !frame::is_frame_start(self.inbuf[0]) && self.inbuf.len() < MAX_LINE_BYTES {
+            let line = std::mem::take(&mut self.inbuf);
+            self.respond_text(parse_text_line(&line), shared);
+        }
+        self.inbuf.clear();
+    }
+
+    fn respond_binary<S>(&mut self, req: Request, shared: &Shared<S>)
+    where
+        S: ServableSummary + ObservableDefense,
+    {
+        let resp = match req {
+            Request::Quit => {
+                self.closing = true;
+                Response::Bye
+            }
+            req => answer(req, shared),
+        };
+        frame::encode_response(&resp, &mut self.outbuf);
+    }
+
+    fn respond_text<S>(&mut self, req: Result<Request, String>, shared: &Shared<S>)
+    where
+        S: ServableSummary + ObservableDefense,
+    {
+        let resp = match req {
+            Err(msg) => Response::Err(msg),
+            Ok(Request::Quit) => {
+                self.closing = true;
+                Response::Bye
+            }
+            Ok(req) => answer(req, shared),
+        };
+        self.outbuf.extend_from_slice(resp.encode().as_bytes());
+        self.outbuf.push(b'\n');
+    }
+
+    /// Write until `WouldBlock` or the buffer empties. Returns `false`
+    /// when the connection broke.
+    fn flush(&mut self) -> bool {
+        while self.outpos < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.outpos..]) {
+                Ok(0) => return false,
+                Ok(n) => self.outpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if self.outpos == self.outbuf.len() {
+            self.outbuf.clear();
+            self.outpos = 0;
+        } else if self.outpos > IO_CHUNK {
+            self.outbuf.drain(..self.outpos);
+            self.outpos = 0;
+        }
+        true
+    }
+
+    fn has_output(&self) -> bool {
+        self.outpos < self.outbuf.len()
+    }
+
+    /// Arm writable interest only while output is pending — the
+    /// level-triggered poller would otherwise report an idle socket's
+    /// writability on every wait.
+    fn update_interest(&mut self, poller: &Poller, key: usize) {
+        let want_write = self.has_output();
+        if want_write != self.want_write {
+            let interest = if want_write {
+                Event::all(key)
+            } else {
+                Event::readable(key)
+            };
+            if poller.modify(&self.stream, interest).is_ok() {
+                self.want_write = want_write;
+            }
+        }
+    }
+}
+
+/// First newline in `buf`, if any.
+fn memchr_nl(buf: &[u8]) -> Option<usize> {
+    buf.iter().position(|&b| b == b'\n')
+}
+
+/// Decode one text line (everything before the newline) into a request.
+fn parse_text_line(raw: &[u8]) -> Result<Request, String> {
+    let line = std::str::from_utf8(raw).map_err(|_| "request line is not UTF-8".to_string())?;
+    Request::parse(line.trim_end_matches(['\r', '\n']))
 }
 
 fn answer<S>(req: Request, shared: &Shared<S>) -> Response

@@ -1,0 +1,130 @@
+//! Property tests for the binary frame codec: every frame type encodes
+//! and decodes to itself (`decode ∘ encode ≡ id`), every truncation of a
+//! valid frame reads as "need more bytes" rather than an error or a
+//! wrong answer, and arbitrary garbage never panics the decoder.
+
+use proptest::prelude::*;
+use robust_sampling_service::frame::{
+    decode_request, decode_response, encode_request, encode_response, FrameError, HEADER_BYTES,
+};
+use robust_sampling_service::{Request, Response, ServiceStats};
+
+fn assert_request_roundtrip(req: Request) {
+    let mut buf = Vec::new();
+    encode_request(&req, &mut buf);
+    let (back, consumed) = decode_request(&buf)
+        .expect("well-formed frame")
+        .expect("complete frame");
+    assert_eq!(back, req);
+    assert_eq!(consumed, buf.len());
+}
+
+fn assert_response_roundtrip(resp: Response) {
+    let mut buf = Vec::new();
+    encode_response(&resp, &mut buf);
+    let (back, consumed) = decode_response(&buf)
+        .expect("well-formed frame")
+        .expect("complete frame");
+    assert_eq!(back, resp);
+    assert_eq!(consumed, buf.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// INGEST frames of arbitrary contents and batch sizes round-trip.
+    /// (The max-length batch and the over-cap rejection are pinned by
+    /// unit tests in the frame module.)
+    #[test]
+    fn ingest_round_trips(vs in proptest::collection::vec(any::<u64>(), 1..400)) {
+        assert_request_roundtrip(Request::Ingest(vs));
+    }
+
+    /// Every scalar-carrying request round-trips, bit-exact for floats.
+    #[test]
+    fn scalar_requests_round_trip(x in any::<u64>(), q in 0.0f64..1.0, t in 0.0f64..1.0) {
+        assert_request_roundtrip(Request::QueryCount(x));
+        assert_request_roundtrip(Request::QueryQuantile(q));
+        assert_request_roundtrip(Request::QueryHeavy(t));
+    }
+
+    /// Every payload-free request round-trips.
+    #[test]
+    fn empty_requests_round_trip(_x in any::<bool>()) {
+        assert_request_roundtrip(Request::QueryKs);
+        assert_request_roundtrip(Request::Snapshot);
+        assert_request_roundtrip(Request::Stats);
+        assert_request_roundtrip(Request::Quit);
+    }
+
+    /// Every response type round-trips, including variable-length
+    /// HH/SNAPSHOT payloads and both QUANTILE arms.
+    #[test]
+    fn responses_round_trip(
+        n in any::<u64>(),
+        c in 0.0f64..1e12,
+        v in any::<u64>(),
+        heavy in proptest::collection::vec((any::<u64>(), 0.0f64..1.0), 0..48),
+        epoch in any::<u64>(),
+        sample in proptest::collection::vec(any::<u64>(), 0..128),
+        ks in 0.0f64..1.0,
+    ) {
+        assert_response_roundtrip(Response::Ingested(n as usize));
+        assert_response_roundtrip(Response::Count(c));
+        assert_response_roundtrip(Response::Quantile(None));
+        assert_response_roundtrip(Response::Quantile(Some(v)));
+        assert_response_roundtrip(Response::Heavy(heavy));
+        assert_response_roundtrip(Response::Ks(ks));
+        assert_response_roundtrip(Response::Snapshot {
+            epoch,
+            items: n as usize,
+            sample,
+        });
+        assert_response_roundtrip(Response::Stats(ServiceStats {
+            items: n as usize,
+            epoch,
+            shards: (v % 64) as usize,
+            space: (v % 4096) as usize,
+            snapshot_items: (n % 100_000) as usize,
+        }));
+        assert_response_roundtrip(Response::Bye);
+        assert_response_roundtrip(Response::Err("injected ×fault".into()));
+    }
+
+    /// Any strict prefix of a valid frame decodes to `None` (read more),
+    /// never to an error and never to a value.
+    #[test]
+    fn truncations_ask_for_more_bytes(
+        vs in proptest::collection::vec(any::<u64>(), 1..64),
+        cut_seed in any::<u64>(),
+    ) {
+        let mut buf = Vec::new();
+        encode_request(&Request::Ingest(vs), &mut buf);
+        let cut = (cut_seed as usize) % buf.len();
+        prop_assert_eq!(decode_request(&buf[..cut]).unwrap(), None);
+        let mut rbuf = Vec::new();
+        encode_response(&Response::Quantile(Some(cut_seed)), &mut rbuf);
+        let rcut = (cut_seed as usize) % rbuf.len();
+        prop_assert_eq!(decode_response(&rbuf[..rcut]).unwrap(), None);
+    }
+
+    /// Arbitrary bytes never panic the decoder: they either fail with a
+    /// typed error, ask for more input, or decode within bounds.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..64)) {
+        match decode_request(&bytes) {
+            Ok(Some((_, consumed))) => prop_assert!(consumed <= bytes.len()),
+            Ok(None) => {}
+            Err(
+                FrameError::BadMagic(_)
+                | FrameError::BadVersion(_)
+                | FrameError::BadOpcode(_)
+                | FrameError::Oversized { .. }
+                | FrameError::Malformed(_),
+            ) => {}
+        }
+        if let Ok(Some((_, consumed))) = decode_response(&bytes) {
+            prop_assert!(consumed >= HEADER_BYTES && consumed <= bytes.len());
+        }
+    }
+}

@@ -20,6 +20,7 @@ fn serve(
         ServiceConfig {
             addr: "127.0.0.1:0".into(),
             universe,
+            workers: 2,
         },
     )
     .expect("bind ephemeral port");
@@ -156,6 +157,7 @@ fn checkpoint_restore_preserves_query_answers_over_the_wire() {
         ServiceConfig {
             addr: "127.0.0.1:0".into(),
             universe: 1 << 16,
+            workers: 2,
         },
     )
     .unwrap();
@@ -184,34 +186,201 @@ fn checkpoint_restore_preserves_query_answers_over_the_wire() {
 }
 
 #[test]
-fn oversized_request_line_drops_the_connection_with_bounded_memory() {
-    use std::io::{Read, Write};
+fn oversized_request_line_is_drained_to_its_newline_and_reported() {
+    use std::io::{BufRead, BufReader, Write};
     let (server, addr) = serve(1, 1, 64, 1 << 10);
     let mut stream = std::net::TcpStream::connect(addr).unwrap();
-    // A newline-free byte flood: the server must cut the connection at
-    // its per-line cap instead of buffering the line forever.
-    let chunk = vec![b'7'; 1 << 16];
-    let mut wrote = 0usize;
-    let write_result = loop {
-        match stream.write(&chunk) {
-            Ok(n) => {
-                wrote += n;
-                if wrote > (4 << 20) {
-                    break Ok(());
-                }
-            }
-            Err(e) => break Err(e),
-        }
-    };
     stream
-        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
         .unwrap();
-    let mut buf = [0u8; 16];
-    let read_result = stream.read(&mut buf);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    // One line far past the per-line cap, whose *tail* spells a valid
+    // command. The server must discard the whole line (bounded memory,
+    // no buffering to the newline), answer it with one ERR, and must
+    // NOT parse the tail as a fresh command.
+    let mut flood = vec![b'7'; 5 << 20];
+    flood.extend_from_slice(b" INGEST 1 2 3\n");
+    stream.write_all(&flood).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
     assert!(
-        write_result.is_err() || matches!(read_result, Ok(0) | Err(_)),
-        "server kept the flooded connection alive: wrote {wrote}, read {read_result:?}"
+        line.starts_with("ERR ") && line.contains("cap"),
+        "oversized line must earn a protocol error, got {line:?}"
     );
+    // The connection survives and resyncs at the newline: the next
+    // command parses normally and no stray INGEST happened.
+    stream.write_all(b"STATS\nQUIT\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.trim().starts_with("OK STATS items=0 "),
+        "line tail leaked into the parser: {line:?}"
+    );
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim(), "OK BYE");
+    server.shutdown();
+}
+
+#[test]
+fn binary_client_answers_match_the_text_client() {
+    let (server, addr) = serve(3, 11, 1, 1 << 16);
+    let text = ServiceClient::connect(addr).unwrap();
+    let binary = ServiceClient::connect_binary(addr).unwrap();
+    let stream: Vec<u64> = (0..25_000).map(|i| (i * 31) % 6_000).collect();
+    // Ingest over the binary wire; the text client sees the same state.
+    assert_eq!(binary.ingest(&stream).unwrap(), 25_000);
+    let (et, it, st) = text.snapshot().unwrap();
+    let (eb, ib, sb) = binary.snapshot().unwrap();
+    assert_eq!((et, it, st), (eb, ib, sb));
+    assert_eq!(
+        text.query_quantile(0.5).unwrap(),
+        binary.query_quantile(0.5).unwrap()
+    );
+    assert_eq!(
+        text.query_count(42).unwrap().to_bits(),
+        binary.query_count(42).unwrap().to_bits()
+    );
+    assert_eq!(
+        text.query_ks().unwrap().to_bits(),
+        binary.query_ks().unwrap().to_bits()
+    );
+    assert_eq!(
+        text.query_heavy(0.01).unwrap(),
+        binary.query_heavy(0.01).unwrap()
+    );
+    let (st_t, st_b) = (text.stats().unwrap(), binary.stats().unwrap());
+    assert_eq!(st_t.items, st_b.items);
+    assert_eq!(st_t.shards, st_b.shards);
+    text.quit().unwrap();
+    binary.quit().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_yield_in_order_responses_on_one_socket() {
+    use robust_sampling_service::Request;
+    use robust_sampling_service::Response;
+    let (server, addr) = serve(2, 19, 1, 1 << 16);
+    let client = ServiceClient::connect_binary(addr).unwrap();
+    // N queued INGEST frames of growing sizes: the k-th response must
+    // report the k-th running total — any reordering or loss shows up
+    // as a wrong cumulative count.
+    let n = 64usize;
+    let reqs: Vec<Request> = (1..=n)
+        .map(|k| Request::Ingest((0..k as u64).collect()))
+        .collect();
+    let resps = client.pipeline(&reqs).unwrap();
+    assert_eq!(resps.len(), n);
+    let mut running = 0usize;
+    for (k, resp) in resps.iter().enumerate() {
+        running += k + 1;
+        assert_eq!(
+            resp,
+            &Response::Ingested(running),
+            "response {k} out of order"
+        );
+    }
+    // A mixed pipeline (ingest + every query type) also answers strictly
+    // in request order, visible through the response types.
+    let mixed = vec![
+        Request::Stats,
+        Request::Ingest(vec![1, 2, 3]),
+        Request::QueryQuantile(0.5),
+        Request::QueryKs,
+        Request::Snapshot,
+        Request::QueryCount(1),
+        Request::QueryHeavy(0.5),
+    ];
+    let resps = client.pipeline(&mixed).unwrap();
+    assert!(matches!(resps[0], Response::Stats(_)));
+    assert!(matches!(resps[1], Response::Ingested(_)));
+    assert!(matches!(resps[2], Response::Quantile(_)));
+    assert!(matches!(resps[3], Response::Ks(_)));
+    assert!(matches!(resps[4], Response::Snapshot { .. }));
+    assert!(matches!(resps[5], Response::Count(_)));
+    assert!(matches!(resps[6], Response::Heavy(_)));
+    client.quit().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn text_and_binary_frames_interleave_on_one_connection() {
+    use robust_sampling_service::frame;
+    use robust_sampling_service::{Request, Response};
+    use std::io::{Read, Write};
+    let (server, addr) = serve(1, 23, 1, 1 << 10);
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    // A text command, then a binary frame, pipelined in one write: each
+    // response arrives in its request's format, in order.
+    let mut wire = b"INGEST 5 6 7\n".to_vec();
+    frame::encode_request(&Request::Stats, &mut wire);
+    stream.write_all(&wire).unwrap();
+    let mut got = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // First the text line…
+        if let Some(nl) = got.iter().position(|&b| b == b'\n') {
+            let line = std::str::from_utf8(&got[..nl]).unwrap();
+            assert_eq!(line.trim(), "OK INGESTED 3");
+            // …then a complete binary STATS frame.
+            if let Some((resp, consumed)) = frame::decode_response(&got[nl + 1..]).unwrap() {
+                match resp {
+                    Response::Stats(st) => assert_eq!(st.items, 3),
+                    other => panic!("expected STATS, got {other:?}"),
+                }
+                assert_eq!(nl + 1 + consumed, got.len(), "no trailing bytes");
+                break;
+            }
+        }
+        let n = stream.read(&mut chunk).unwrap();
+        assert!(n > 0, "server hung up early");
+        got.extend_from_slice(&chunk[..n]);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn many_connections_multiplex_on_a_small_worker_pool() {
+    // 24 simultaneous clients against a 2-worker event loop: every
+    // connection must make progress (no thread-per-connection to lean
+    // on), and the final item count must account for every frame.
+    const CLIENTS: u64 = 24;
+    const PER_CLIENT: u64 = 1_000;
+    let (server, addr) = serve(4, 11, 4_096, 1 << 16);
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let client = if c % 2 == 0 {
+                    ServiceClient::connect_binary(addr).unwrap()
+                } else {
+                    ServiceClient::connect(addr).unwrap()
+                };
+                let xs: Vec<u64> = (0..PER_CLIENT).map(|i| c * PER_CLIENT + i).collect();
+                for frame in xs.chunks(250) {
+                    client.ingest(frame).unwrap();
+                }
+                // Our own acks happened-before this STATS, so the global
+                // count is at least our contribution.
+                let stats = client.stats().unwrap();
+                assert!(stats.items >= PER_CLIENT as usize);
+                client.quit().unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let check = ServiceClient::connect_binary(addr).unwrap();
+    assert_eq!(
+        check.stats().unwrap().items,
+        (CLIENTS * PER_CLIENT) as usize,
+        "some client's frames were lost or double-counted"
+    );
+    check.quit().unwrap();
     server.shutdown();
 }
 
