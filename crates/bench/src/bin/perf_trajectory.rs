@@ -21,7 +21,13 @@
 //!   mixed query rotation of `loadgen`'s in-process mode, with per-op
 //!   p50/p99 latency from our own KLL sketch (ops/s), plus the same two
 //!   paths driven over the binary TCP wire through the event-loop server
-//!   (`serve-tcp-ingest-pipelined`, `serve-tcp-mixed-queries`).
+//!   (`serve-tcp-ingest-pipelined`, `serve-tcp-mixed-queries`), plus two
+//!   data-path gates: `serve-publish-stall` (per-publish ingest-loop
+//!   stall of off-path epoch publishing, verdict-pinned to ≥5x below the
+//!   synchronous clone-and-merge barrier it replaced) and
+//!   `serve-alloc-per-op` (the pooled binary-payload ingest path; with
+//!   `--features count-alloc` a counting global allocator verdict-pins
+//!   it to zero steady-state allocations).
 //!
 //! Every scenario is timed as a best-of-N minimum after a warm-up
 //! ([`perf::best_of`]) — the statistic least sensitive to neighbours on
@@ -41,7 +47,61 @@ use robust_sampling_sketches::count_min::CountMin;
 use robust_sampling_sketches::kll::KllSketch;
 use robust_sampling_streamgen as streamgen;
 use robust_sampling_streamgen::StreamSource;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
+
+/// Counting global allocator (only with `--features count-alloc`): the
+/// `serve-alloc-per-op` verdict reads it to prove the pooled ingest path
+/// is allocation-free in steady state. Plain builds leave the system
+/// allocator untouched and the verdict passes vacuously.
+#[cfg(feature = "count-alloc")]
+mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+    }
+
+    #[global_allocator]
+    static COUNTER: CountingAlloc = CountingAlloc;
+
+    pub fn count() -> u64 {
+        ALLOCS.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(feature = "count-alloc"))]
+mod alloc_counter {
+    pub fn count() -> u64 {
+        0
+    }
+}
+
+/// Set by the serve-area data-path verdicts (publish stall, alloc gate)
+/// when one fails; folded into the process exit code.
+static SERVE_GATE_FAILED: AtomicBool = AtomicBool::new(false);
 
 /// Elements per serving frame (matches `loadgen`'s in-process mode).
 const FRAME: usize = 256;
@@ -319,6 +379,167 @@ fn measure_serve(shape: &Shape) -> Vec<PerfEntry> {
         });
     }
 
+    // Publish-stall kernel: how long the ingest loop pauses at a publish
+    // boundary. Two regimes over the same frame schedule — off-path
+    // cadence publishing every CADENCE frames (the shipping
+    // configuration, where the triggering frame only enqueues a capture
+    // request per shard) and a synchronous publish at the same cadence
+    // (the clone-and-merge barrier the off-path publisher replaced). The
+    // summary is a deliberately large reservoir (16K) so the barrier is
+    // genuinely O(total state) while the off-path trigger stays
+    // O(capture-enqueue). Each regime's stall is the median duration of
+    // its *boundary* frames minus the median duration of its ordinary
+    // frames in the same run — an in-run baseline, so scheduler noise
+    // and publisher CPU interference cancel instead of being mistaken
+    // for stall. The verdict pins the off-path stall at >=5x below the
+    // synchronous one. The persisted entry is the off-path regime
+    // (rate = publishes/s).
+    {
+        const CADENCE: usize = 8;
+        let frames = shape.serve_frames;
+        let publishes = frames / CADENCE;
+        let xs = scrambled(frames * FRAME);
+        let median_us = |durs: &mut Vec<u64>| -> f64 {
+            durs.sort_unstable();
+            durs[durs.len() / 2] as f64 / 1e3
+        };
+        // Returns (stall_us_per_publish, total_secs), best-of reps on
+        // the stall (rep 0 is warmup).
+        let run_mode = |sync: bool, lat: &mut KllSketch| -> (f64, f64) {
+            let epoch_every = if sync { usize::MAX } else { CADENCE * FRAME };
+            let (mut best_stall, mut best_secs) = (f64::INFINITY, f64::INFINITY);
+            for rep in 0..=shape.reps {
+                let mut svc = SummaryService::start(2, 42, epoch_every, |_, s| {
+                    ReservoirSampler::with_seed(16_384, s)
+                });
+                let mut rep_lat = KllSketch::with_seed(256, 5);
+                let mut boundary = Vec::with_capacity(publishes);
+                let mut ordinary = Vec::with_capacity(frames - publishes);
+                let t = Instant::now();
+                for (i, f) in xs.chunks(FRAME).enumerate() {
+                    let t0 = Instant::now();
+                    svc.ingest_frame(f);
+                    if sync && (i + 1) % CADENCE == 0 {
+                        svc.publish();
+                    }
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    rep_lat.observe(ns);
+                    if (i + 1) % CADENCE == 0 {
+                        boundary.push(ns);
+                    } else {
+                        ordinary.push(ns);
+                    }
+                }
+                let secs = t.elapsed().as_secs_f64();
+                // Floored so noise cannot make the ratio degenerate.
+                let stall = (median_us(&mut boundary) - median_us(&mut ordinary)).max(0.05);
+                if rep > 0 && stall < best_stall {
+                    best_stall = stall;
+                    best_secs = secs;
+                    *lat = rep_lat;
+                }
+            }
+            (best_stall, best_secs)
+        };
+        let mut lat = KllSketch::with_seed(256, 5);
+        let mut pass = false;
+        let (mut stall_async_us, mut stall_sync_us, mut t_async) = (0.0, 0.0, f64::INFINITY);
+        // A noise episode can swallow one two-regime comparison; a
+        // genuine stall regression survives every attempt.
+        for _attempt in 0..3 {
+            let mut scratch = KllSketch::with_seed(256, 5);
+            (stall_async_us, t_async) = run_mode(false, &mut lat);
+            (stall_sync_us, _) = run_mode(true, &mut scratch);
+            if stall_sync_us >= 5.0 * stall_async_us {
+                pass = true;
+                break;
+            }
+        }
+        verdict(
+            "serve:publish-stall",
+            pass,
+            &format!(
+                "off-path {stall_async_us:.3}us vs sync {stall_sync_us:.3}us per publish (need >=5x)"
+            ),
+        );
+        if !pass {
+            SERVE_GATE_FAILED.store(true, Ordering::Relaxed);
+        }
+        entries.push(PerfEntry {
+            kernel: "serve-publish-stall".to_string(),
+            n: publishes as u64,
+            rate: publishes as f64 / t_async,
+            p50_us: micros(&lat, 0.5),
+            p99_us: micros(&lat, 0.99),
+        });
+    }
+
+    // Allocation-per-op kernel: the pooled binary-payload ingest path
+    // (`ingest_frame_le`), with per-frame latency from a pre-reserved
+    // vector so the measured window itself stays allocation-free. With
+    // --features count-alloc the verdict pins steady-state allocations
+    // (after the rep-0 warmup) to exactly zero.
+    {
+        let frames = shape.serve_frames;
+        let n = frames * FRAME;
+        let mut payload = Vec::with_capacity(8 * n);
+        for &v in &scrambled(n) {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut svc = SummaryService::start(2, 42, usize::MAX, |_, s| {
+            ReservoirSampler::with_seed(256, s)
+        });
+        let mut lat_ns: Vec<u64> = Vec::with_capacity(frames);
+        let mut best = f64::INFINITY;
+        let mut best_lat: Vec<u64> = Vec::new();
+        let mut min_allocs = u64::MAX;
+        for rep in 0..=shape.reps {
+            lat_ns.clear();
+            let a0 = alloc_counter::count();
+            let t = Instant::now();
+            for p in payload.chunks(8 * FRAME) {
+                let t0 = Instant::now();
+                svc.ingest_frame_le(p);
+                lat_ns.push(t0.elapsed().as_nanos() as u64);
+            }
+            let secs = t.elapsed().as_secs_f64();
+            let allocs = alloc_counter::count() - a0;
+            if rep > 0 {
+                min_allocs = min_allocs.min(allocs);
+                if secs < best {
+                    best = secs;
+                    best_lat.clone_from(&lat_ns);
+                }
+            }
+        }
+        best_lat.sort_unstable();
+        let q = |f: f64| -> f64 {
+            best_lat[((f * best_lat.len() as f64) as usize).min(best_lat.len() - 1)] as f64
+                / 1_000.0
+        };
+        let counted = cfg!(feature = "count-alloc");
+        let pass = !counted || min_allocs == 0;
+        verdict(
+            "serve:alloc-per-op",
+            pass,
+            &if counted {
+                format!("{min_allocs} allocations across {frames} steady-state frames (need 0)")
+            } else {
+                "allocator not counted (build with --features count-alloc)".to_string()
+            },
+        );
+        if !pass {
+            SERVE_GATE_FAILED.store(true, Ordering::Relaxed);
+        }
+        entries.push(PerfEntry {
+            kernel: "serve-alloc-per-op".to_string(),
+            n: n as u64,
+            rate: n as f64 / best,
+            p50_us: q(0.5),
+            p99_us: q(0.99),
+        });
+    }
+
     // The same frame stream pushed through the binary TCP wire: batches
     // of pipelined INGEST frames against the event-loop server; one op =
     // one element, latency measured per pipelined batch.
@@ -559,6 +780,7 @@ fn main() {
         }
         println!();
     }
+    failed |= SERVE_GATE_FAILED.load(Ordering::Relaxed);
     if failed {
         eprintln!(
             "perf_trajectory: FAILED (>{:.0}% regression or schema drift)",

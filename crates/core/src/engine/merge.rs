@@ -46,6 +46,51 @@ pub trait MergeableSummary<T>: StreamSummary<T> {
     fn merge(&mut self, other: Self)
     where
         Self: Sized;
+
+    /// Capture this summary's full state into a reusable scratch slot —
+    /// the state-capture half of an off-thread merge pipeline (a shard
+    /// worker captures on publish cadence; a publisher thread merges the
+    /// captures in shard order while ingestion keeps running).
+    ///
+    /// An occupied slot is overwritten in place via [`Clone::clone_from`],
+    /// so implementors whose `clone_from` reuses heap buffers pay no
+    /// fresh allocation on recapture; an empty slot is filled with a
+    /// fresh clone. Either way the slot afterwards holds a state
+    /// bit-identical to `self` (same sample, same private RNG/gap state),
+    /// so merging captures is indistinguishable from merging the shards
+    /// themselves.
+    fn capture_into(&self, slot: &mut Option<Self>)
+    where
+        Self: Sized + Clone,
+    {
+        match slot {
+            Some(s) => s.clone_from(self),
+            None => *slot = Some(self.clone()),
+        }
+    }
+}
+
+/// Merge `shards` left-to-right in shard order — the one canonical merge
+/// loop behind [`ShardedSummary::merged`](crate::engine::ShardedSummary),
+/// epoch publication in the service crate, and checkpoint recovery.
+/// Shard order matters: merge soundness is only stated for a fixed
+/// composition order, and the service's bit-identity contract compares
+/// served epochs against offline merges performed in this exact order.
+///
+/// # Panics
+///
+/// Panics if `shards` yields no summary.
+pub fn merge_in_shard_order<T, S, I>(shards: I) -> S
+where
+    S: MergeableSummary<T>,
+    I: IntoIterator<Item = S>,
+{
+    let mut it = shards.into_iter();
+    let mut out = it.next().expect("at least one shard");
+    for s in it {
+        out.merge(s);
+    }
+    out
 }
 
 impl<T: Clone> MergeableSummary<T> for BernoulliSampler<T> {
@@ -229,6 +274,46 @@ mod tests {
         assert_eq!(a.observed(), 80_000);
         let med = a.estimate_quantile(0.5).unwrap() as f64;
         assert!((med - 40_000.0).abs() < 0.1 * 80_000.0, "median {med}");
+    }
+
+    #[test]
+    fn capture_into_reuses_the_slot_and_is_bit_identical() {
+        let mut s = ReservoirSampler::with_seed(64, 9);
+        s.observe_batch(&(0..10_000u64).collect::<Vec<_>>());
+        let mut slot: Option<ReservoirSampler<u64>> = None;
+        MergeableSummary::<u64>::capture_into(&s, &mut slot);
+        assert_eq!(slot.as_ref().unwrap().sample(), s.sample());
+        // The capture carries the private RNG/gap state too: the capture
+        // and the original evolve identically from here.
+        s.observe_batch(&(10_000..20_000u64).collect::<Vec<_>>());
+        // Recapture overwrites the occupied slot in place.
+        MergeableSummary::<u64>::capture_into(&s, &mut slot);
+        let mut captured = slot.take().unwrap();
+        captured.observe_batch(&(20_000..30_000u64).collect::<Vec<_>>());
+        s.observe_batch(&(20_000..30_000u64).collect::<Vec<_>>());
+        assert_eq!(captured.sample(), s.sample());
+    }
+
+    #[test]
+    fn merge_in_shard_order_matches_the_manual_left_fold() {
+        let mut shards: Vec<ReservoirSampler<u64>> = (0..4)
+            .map(|j| ReservoirSampler::with_seed(32, 100 + j))
+            .collect();
+        for (j, s) in shards.iter_mut().enumerate() {
+            let lo = 5_000 * j as u64;
+            s.observe_batch(&(lo..lo + 5_000).collect::<Vec<_>>());
+        }
+        let manual = {
+            let mut it = shards.iter().cloned();
+            let mut out = it.next().unwrap();
+            for s in it {
+                MergeableSummary::<u64>::merge(&mut out, s);
+            }
+            out
+        };
+        let folded: ReservoirSampler<u64> = super::merge_in_shard_order(shards);
+        assert_eq!(folded.sample(), manual.sample());
+        assert_eq!(folded.observed(), manual.observed());
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod snapshot;
 pub mod summary;
 
 pub use experiment::{ExperimentEngine, RunStats, SOURCE_FRAME};
-pub use merge::MergeableSummary;
+pub use merge::{merge_in_shard_order, MergeableSummary};
 pub use sharded::ShardedSummary;
 pub use snapshot::{SnapshotCodec, SnapshotError, SnapshotReader};
 pub use summary::{FrequencySummary, QuantileSummary, StreamSummary};

@@ -24,7 +24,7 @@
 //! right trade for ingest-heavy, query-light deployments; cache
 //! [`ShardedSummary::merged`] yourself if you query in a tight loop.
 
-use crate::engine::merge::MergeableSummary;
+use crate::engine::merge::{merge_in_shard_order, MergeableSummary};
 use crate::engine::snapshot::{self, SnapshotCodec, SnapshotError, SnapshotReader};
 use crate::engine::summary::{FrequencySummary, QuantileSummary, StreamSummary};
 use robust_sampling_streamgen::source::{for_each_chunk, StreamSource};
@@ -120,12 +120,7 @@ impl<S> ShardedSummary<S> {
     where
         S: MergeableSummary<T> + Clone,
     {
-        let mut it = self.shards.iter().cloned();
-        let mut out = it.next().expect("at least one shard");
-        for shard in it {
-            out.merge(shard);
-        }
-        out
+        merge_in_shard_order(self.shards.iter().cloned())
     }
 
     /// Consume the sharded structure, merging all shards into one summary
@@ -134,12 +129,7 @@ impl<S> ShardedSummary<S> {
     where
         S: MergeableSummary<T>,
     {
-        let mut it = self.shards.into_iter();
-        let mut out = it.next().expect("at least one shard");
-        for shard in it {
-            out.merge(shard);
-        }
-        out
+        merge_in_shard_order(self.shards)
     }
 }
 

@@ -36,7 +36,7 @@
 //! return `io::Result` for callers that want to handle failure.
 
 use crate::frame;
-use crate::protocol::{Request, Response, ServiceStats, MAX_INGEST_FRAME};
+use crate::protocol::{write_ingest_line, Request, Response, ServiceStats, MAX_INGEST_FRAME};
 use robust_sampling_core::attack::{ObservableDefense, StateOracle};
 use robust_sampling_core::engine::StreamSummary;
 use std::cell::{Cell, RefCell};
@@ -56,21 +56,36 @@ struct Conn {
     wire: Wire,
     /// Bytes read past the last decoded binary frame.
     rbuf: Vec<u8>,
+    /// Reusable serialization scratch: every outgoing request is encoded
+    /// into this buffer, so steady-state sends allocate nothing.
+    wbuf: Vec<u8>,
 }
 
 impl Conn {
     fn send(&mut self, req: &Request) -> std::io::Result<()> {
+        self.wbuf.clear();
         match self.wire {
             Wire::Text => {
-                self.writer.write_all(req.encode().as_bytes())?;
-                self.writer.write_all(b"\n")
+                req.write_line(&mut self.wbuf);
+                self.wbuf.push(b'\n');
             }
-            Wire::Binary => {
-                let mut buf = Vec::new();
-                frame::encode_request(req, &mut buf);
-                self.writer.write_all(&buf)
-            }
+            Wire::Binary => frame::encode_request(req, &mut self.wbuf),
         }
+        self.writer.write_all(&self.wbuf)
+    }
+
+    /// Encode an `INGEST` frame straight from the value slice — no owned
+    /// `Request::Ingest(Vec<u64>)` is ever built on the ingest path.
+    fn send_ingest(&mut self, chunk: &[u64]) -> std::io::Result<()> {
+        self.wbuf.clear();
+        match self.wire {
+            Wire::Text => {
+                write_ingest_line(chunk, &mut self.wbuf);
+                self.wbuf.push(b'\n');
+            }
+            Wire::Binary => frame::encode_ingest_slice(chunk, &mut self.wbuf),
+        }
+        self.writer.write_all(&self.wbuf)
     }
 
     fn receive(&mut self) -> std::io::Result<Response> {
@@ -155,6 +170,7 @@ impl ServiceClient {
                 writer: BufWriter::new(stream),
                 wire,
                 rbuf: Vec::new(),
+                wbuf: Vec::new(),
             }),
             last_items: Cell::new(0),
             last_sample_len: Cell::new(0),
@@ -205,15 +221,25 @@ impl ServiceClient {
     }
 
     /// `INGEST` a frame (chunked under the protocol's frame cap);
-    /// returns the service's total item count afterwards.
+    /// returns the service's total item count afterwards. The frames are
+    /// encoded straight from `xs` into the connection's reusable write
+    /// scratch — the ingest path builds no owned request.
     pub fn ingest(&self, xs: &[u64]) -> std::io::Result<usize> {
         let mut total = self.last_items.get();
         for chunk in xs.chunks(MAX_INGEST_FRAME) {
             if chunk.is_empty() {
                 continue;
             }
-            match self.round_trip(&Request::Ingest(chunk.to_vec()))? {
+            let mut conn = self.conn.borrow_mut();
+            conn.send_ingest(chunk)?;
+            conn.writer.flush()?;
+            let resp = conn.receive()?;
+            drop(conn);
+            match resp {
                 Response::Ingested(n) => total = n,
+                Response::Err(msg) => {
+                    return Err(std::io::Error::other(format!("service error: {msg}")))
+                }
                 other => return self.unexpected("INGESTED", other),
             }
         }

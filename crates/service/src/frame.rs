@@ -162,6 +162,42 @@ fn put_header(out: &mut Vec<u8>, op: u8, payload_len: usize) {
     out.put_u32_le(payload_len as u32);
 }
 
+/// Append an `INGEST` frame carrying `vs` to `out` — the slice-based
+/// encoder the client's zero-copy ingest path uses (no intermediate
+/// owned `Request` is built).
+///
+/// # Panics
+///
+/// Panics if `vs` exceeds [`MAX_INGEST_FRAME`] values or is empty — the
+/// caller chunks batches, exactly as on the text path.
+pub fn encode_ingest_slice(vs: &[u64], out: &mut Vec<u8>) {
+    assert!(
+        !vs.is_empty() && vs.len() <= MAX_INGEST_FRAME,
+        "INGEST frame must carry 1..={MAX_INGEST_FRAME} values, got {}",
+        vs.len()
+    );
+    put_header(out, opcode::INGEST, 8 * vs.len());
+    for &v in vs {
+        out.put_u64_le(v);
+    }
+}
+
+/// Append a `SNAPSHOT` response frame to `out` straight from a borrowed
+/// sample slice — the server serializes [`EpochSnapshot::visible_ref`]
+/// directly into the connection's out-buffer through this, never
+/// materializing an owned copy of the sample.
+///
+/// [`EpochSnapshot::visible_ref`]: crate::EpochSnapshot::visible_ref
+pub fn encode_snapshot_slice(epoch: u64, items: usize, sample: &[u64], out: &mut Vec<u8>) {
+    put_header(out, opcode::R_SNAPSHOT, 20 + 8 * sample.len());
+    out.put_u64_le(epoch);
+    out.put_u64_le(items as u64);
+    out.put_u32_le(sample.len() as u32);
+    for &v in sample {
+        out.put_u64_le(v);
+    }
+}
+
 /// Append `req` to `out` as one binary frame.
 ///
 /// # Panics
@@ -170,17 +206,7 @@ fn put_header(out: &mut Vec<u8>, op: u8, payload_len: usize) {
 /// empty — the caller chunks batches, exactly as on the text path.
 pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
     match req {
-        Request::Ingest(vs) => {
-            assert!(
-                !vs.is_empty() && vs.len() <= MAX_INGEST_FRAME,
-                "INGEST frame must carry 1..={MAX_INGEST_FRAME} values, got {}",
-                vs.len()
-            );
-            put_header(out, opcode::INGEST, 8 * vs.len());
-            for &v in vs {
-                out.put_u64_le(v);
-            }
-        }
+        Request::Ingest(vs) => encode_ingest_slice(vs, out),
         Request::QueryCount(x) => {
             put_header(out, opcode::QUERY_COUNT, 8);
             out.put_u64_le(*x);
@@ -238,15 +264,7 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             epoch,
             items,
             sample,
-        } => {
-            put_header(out, opcode::R_SNAPSHOT, 20 + 8 * sample.len());
-            out.put_u64_le(*epoch);
-            out.put_u64_le(*items as u64);
-            out.put_u32_le(sample.len() as u32);
-            for &v in sample {
-                out.put_u64_le(v);
-            }
-        }
+        } => encode_snapshot_slice(*epoch, *items, sample, out),
         Response::Stats(st) => {
             put_header(out, opcode::R_STATS, 40);
             out.put_u64_le(st.items as u64);
@@ -324,12 +342,47 @@ fn unit_f64(bits_src: &mut &[u8], what: &'static str) -> Result<f64, FrameError>
     Ok(v)
 }
 
-/// Decode one request frame from the front of `buf`.
+/// A decoded request frame whose bulk payload stays **borrowed** from
+/// the connection's read buffer. This is what the server's zero-copy
+/// ingest path consumes: an `INGEST` frame's values are never collected
+/// into an intermediate `Vec<u64>` — the raw little-endian byte slice is
+/// routed straight into the service's in-place round-robin deal
+/// (`SummaryService::ingest_frame_le`). Every other request is small and
+/// decodes to the owned [`Request`] as before.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestFrame<'a> {
+    /// An `INGEST` frame's payload: `len / 8` values as one flat
+    /// little-endian `u64` chunk, borrowed from the read buffer.
+    /// Guaranteed non-empty and a multiple of 8 bytes.
+    IngestLe(&'a [u8]),
+    /// Any non-bulk request, decoded to its owned form.
+    Owned(Request),
+}
+
+impl RequestFrame<'_> {
+    /// Materialize the owned [`Request`] (decoding an `IngestLe` payload
+    /// into a fresh `Vec<u64>`) — the compatibility bridge for callers
+    /// that do not run the zero-copy path.
+    pub fn into_owned(self) -> Request {
+        match self {
+            RequestFrame::IngestLe(payload) => Request::Ingest(
+                payload
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                    .collect(),
+            ),
+            RequestFrame::Owned(req) => req,
+        }
+    }
+}
+
+/// Decode one request frame from the front of `buf`, keeping bulk
+/// payloads borrowed (see [`RequestFrame`]).
 ///
-/// Returns `Ok(Some((request, consumed)))` for a complete frame,
+/// Returns `Ok(Some((frame, consumed)))` for a complete frame,
 /// `Ok(None)` when `buf` holds only a prefix (read more and retry), and
 /// `Err` on a structural violation (close the connection).
-pub fn decode_request(buf: &[u8]) -> Result<Option<(Request, usize)>, FrameError> {
+pub fn decode_request_frame(buf: &[u8]) -> Result<Option<(RequestFrame<'_>, usize)>, FrameError> {
     let Some((op, len)) = decode_header(buf)? else {
         return Ok(None);
     };
@@ -345,11 +398,7 @@ pub fn decode_request(buf: &[u8]) -> Result<Option<(Request, usize)>, FrameError
                     "INGEST payload must be a non-empty multiple of 8 bytes",
                 ));
             }
-            let mut vs = Vec::with_capacity(len / 8);
-            while payload.remaining() > 0 {
-                vs.push(payload.get_u64_le());
-            }
-            Request::Ingest(vs)
+            return Ok(Some((RequestFrame::IngestLe(payload), consumed)));
         }
         opcode::QUERY_COUNT => {
             expect_len(payload, 8, "COUNT payload must be one u64")?;
@@ -381,7 +430,18 @@ pub fn decode_request(buf: &[u8]) -> Result<Option<(Request, usize)>, FrameError
         }
         other => return Err(FrameError::BadOpcode(other)),
     };
-    Ok(Some((req, consumed)))
+    Ok(Some((RequestFrame::Owned(req), consumed)))
+}
+
+/// Decode one request frame from the front of `buf` into its owned form.
+///
+/// Returns `Ok(Some((request, consumed)))` for a complete frame,
+/// `Ok(None)` when `buf` holds only a prefix (read more and retry), and
+/// `Err` on a structural violation (close the connection). The serving
+/// hot path uses [`decode_request_frame`] instead, which keeps `INGEST`
+/// payloads borrowed.
+pub fn decode_request(buf: &[u8]) -> Result<Option<(Request, usize)>, FrameError> {
+    Ok(decode_request_frame(buf)?.map(|(frame, consumed)| (frame.into_owned(), consumed)))
 }
 
 /// Decode one response frame from the front of `buf`. Same contract as
@@ -676,6 +736,50 @@ mod tests {
                 other => panic!("{other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn ingest_frames_decode_borrowed_on_the_zero_copy_path() {
+        let vs: Vec<u64> = vec![1, u64::MAX, 42];
+        let mut buf = Vec::new();
+        encode_ingest_slice(&vs, &mut buf);
+        let (frame, consumed) = decode_request_frame(&buf).unwrap().unwrap();
+        assert_eq!(consumed, buf.len());
+        match frame {
+            RequestFrame::IngestLe(payload) => {
+                // The payload is the read buffer's own bytes, not a copy.
+                assert!(std::ptr::eq(payload.as_ptr(), buf[HEADER_BYTES..].as_ptr()));
+                assert_eq!(
+                    RequestFrame::IngestLe(payload).into_owned(),
+                    Request::Ingest(vs)
+                );
+            }
+            other => panic!("expected IngestLe, got {other:?}"),
+        }
+        // Non-bulk requests come out owned.
+        let mut buf = Vec::new();
+        encode_request(&Request::Stats, &mut buf);
+        assert_eq!(
+            decode_request_frame(&buf).unwrap().unwrap().0,
+            RequestFrame::Owned(Request::Stats)
+        );
+    }
+
+    #[test]
+    fn snapshot_slice_encoder_matches_the_owned_response_encoder() {
+        let sample = vec![3u64, 1, 4, 1, 5];
+        let mut borrowed = Vec::new();
+        encode_snapshot_slice(9, 77, &sample, &mut borrowed);
+        let mut owned = Vec::new();
+        encode_response(
+            &Response::Snapshot {
+                epoch: 9,
+                items: 77,
+                sample,
+            },
+            &mut owned,
+        );
+        assert_eq!(borrowed, owned);
     }
 
     #[test]

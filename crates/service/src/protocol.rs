@@ -167,22 +167,79 @@ impl Request {
 
     /// Encode as one line (without trailing newline).
     pub fn encode(&self) -> String {
-        match self {
-            Request::Ingest(vs) => {
-                let mut s = String::from("INGEST");
-                for v in vs {
-                    let _ = write!(s, " {v}");
-                }
-                s
-            }
-            Request::QueryCount(x) => format!("QUERY COUNT {x}"),
-            Request::QueryQuantile(q) => format!("QUERY QUANTILE {q}"),
-            Request::QueryHeavy(t) => format!("QUERY HH {t}"),
-            Request::QueryKs => "QUERY KS".into(),
-            Request::Snapshot => "SNAPSHOT".into(),
-            Request::Stats => "STATS".into(),
-            Request::Quit => "QUIT".into(),
+        let mut out = Vec::new();
+        self.write_line(&mut out);
+        String::from_utf8(out).expect("protocol lines are UTF-8")
+    }
+
+    /// Append the encoded line (without trailing newline) directly to a
+    /// byte buffer — the client's reusable-scratch send path; same
+    /// grammar as [`encode`](Self::encode) (which delegates here).
+    pub fn write_line(&self, out: &mut Vec<u8>) {
+        if let Request::Ingest(vs) = self {
+            return write_ingest_line(vs, out);
         }
+        let mut w = ByteLine(out);
+        match self {
+            Request::Ingest(_) => unreachable!("handled above"),
+            Request::QueryCount(x) => {
+                let _ = write!(w, "QUERY COUNT {x}");
+            }
+            Request::QueryQuantile(q) => {
+                let _ = write!(w, "QUERY QUANTILE {q}");
+            }
+            Request::QueryHeavy(t) => {
+                let _ = write!(w, "QUERY HH {t}");
+            }
+            Request::QueryKs => {
+                let _ = w.write_str("QUERY KS");
+            }
+            Request::Snapshot => {
+                let _ = w.write_str("SNAPSHOT");
+            }
+            Request::Stats => {
+                let _ = w.write_str("STATS");
+            }
+            Request::Quit => {
+                let _ = w.write_str("QUIT");
+            }
+        }
+    }
+}
+
+/// Append the `INGEST …` line for a **borrowed** value slice directly to
+/// `out` (no trailing newline) — the client's text ingest path encodes
+/// straight from the caller's slice through this, never building an
+/// owned `Request::Ingest`.
+pub fn write_ingest_line(vs: &[u64], out: &mut Vec<u8>) {
+    let mut w = ByteLine(out);
+    let _ = w.write_str("INGEST");
+    for v in vs {
+        let _ = write!(w, " {v}");
+    }
+}
+
+/// `fmt::Write` adapter appending UTF-8 straight into a byte buffer —
+/// lets the borrowed line writers reuse the `write!` grammar without an
+/// intermediate `String`.
+struct ByteLine<'a>(&'a mut Vec<u8>);
+
+impl std::fmt::Write for ByteLine<'_> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.0.extend_from_slice(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Append the `OK SNAPSHOT …` line for a **borrowed** sample slice
+/// directly to `out` (no trailing newline) — the server's text path
+/// serializes `EpochSnapshot::visible_ref` through this without
+/// materializing an owned sample or an intermediate `String`.
+pub fn write_snapshot_line(epoch: u64, items: usize, sample: &[u64], out: &mut Vec<u8>) {
+    let mut w = ByteLine(out);
+    let _ = write!(w, "OK SNAPSHOT {epoch} {items}");
+    for v in sample {
+        let _ = write!(w, " {v}");
     }
 }
 
@@ -197,36 +254,62 @@ fn parse_kv(tok: Option<&str>, key: &'static str) -> Result<u64, String> {
 impl Response {
     /// Encode as one line (without trailing newline).
     pub fn encode(&self) -> String {
+        let mut out = Vec::new();
+        self.write_into(&mut out);
+        String::from_utf8(out).expect("protocol lines are UTF-8")
+    }
+
+    /// Append the encoded line (without trailing newline) directly to a
+    /// byte buffer — the path the server uses to serialize responses
+    /// straight into a connection's out-buffer, with no intermediate
+    /// `String`. The grammar is identical to [`encode`](Self::encode)
+    /// (which delegates here).
+    pub fn write_into(&self, out: &mut Vec<u8>) {
+        if let Response::Snapshot {
+            epoch,
+            items,
+            sample,
+        } = self
+        {
+            return write_snapshot_line(*epoch, *items, sample, out);
+        }
+        let mut w = ByteLine(out);
         match self {
-            Response::Ingested(n) => format!("OK INGESTED {n}"),
-            Response::Count(c) => format!("OK COUNT {c}"),
-            Response::Quantile(None) => "OK QUANTILE NONE".into(),
-            Response::Quantile(Some(v)) => format!("OK QUANTILE {v}"),
+            Response::Ingested(n) => {
+                let _ = write!(w, "OK INGESTED {n}");
+            }
+            Response::Count(c) => {
+                let _ = write!(w, "OK COUNT {c}");
+            }
+            Response::Quantile(None) => {
+                let _ = w.write_str("OK QUANTILE NONE");
+            }
+            Response::Quantile(Some(v)) => {
+                let _ = write!(w, "OK QUANTILE {v}");
+            }
             Response::Heavy(items) => {
-                let mut s = String::from("OK HH");
+                let _ = w.write_str("OK HH");
                 for (v, d) in items {
-                    let _ = write!(s, " {v}:{d}");
+                    let _ = write!(w, " {v}:{d}");
                 }
-                s
             }
-            Response::Ks(d) => format!("OK KS {d}"),
-            Response::Snapshot {
-                epoch,
-                items,
-                sample,
-            } => {
-                let mut s = format!("OK SNAPSHOT {epoch} {items}");
-                for v in sample {
-                    let _ = write!(s, " {v}");
-                }
-                s
+            Response::Ks(d) => {
+                let _ = write!(w, "OK KS {d}");
             }
-            Response::Stats(st) => format!(
-                "OK STATS items={} epoch={} shards={} space={} snapshot_items={}",
-                st.items, st.epoch, st.shards, st.space, st.snapshot_items
-            ),
-            Response::Bye => "OK BYE".into(),
-            Response::Err(msg) => format!("ERR {}", msg.replace(['\r', '\n'], " ")),
+            Response::Snapshot { .. } => unreachable!("handled above"),
+            Response::Stats(st) => {
+                let _ = write!(
+                    w,
+                    "OK STATS items={} epoch={} shards={} space={} snapshot_items={}",
+                    st.items, st.epoch, st.shards, st.space, st.snapshot_items
+                );
+            }
+            Response::Bye => {
+                let _ = w.write_str("OK BYE");
+            }
+            Response::Err(msg) => {
+                let _ = write!(w, "ERR {}", msg.replace(['\r', '\n'], " "));
+            }
         }
     }
 
@@ -354,7 +437,25 @@ mod tests {
         for resp in cases {
             let line = resp.encode();
             assert_eq!(Response::parse(&line), Ok(resp.clone()), "line {line:?}");
+            // The byte writer is the same grammar.
+            let mut bytes = Vec::new();
+            resp.write_into(&mut bytes);
+            assert_eq!(bytes, line.as_bytes(), "write_into of {resp:?}");
         }
+    }
+
+    #[test]
+    fn borrowed_snapshot_line_matches_the_owned_encoder() {
+        let sample = vec![9u64, 2, 6];
+        let mut borrowed = Vec::new();
+        write_snapshot_line(4, 300, &sample, &mut borrowed);
+        let owned = Response::Snapshot {
+            epoch: 4,
+            items: 300,
+            sample,
+        }
+        .encode();
+        assert_eq!(borrowed, owned.as_bytes());
     }
 
     #[test]

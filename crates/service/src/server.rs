@@ -21,14 +21,21 @@
 //!
 //! `INGEST` goes through a mutex around the service's ingest path
 //! (frames from concurrent connections interleave, but each frame is
-//! dealt atomically and epochs stay frame-aligned); every query answers
-//! from the published epoch snapshot through a [`QueryHandle`], so the
-//! read path never contends with ingestion. Binding port 0 asks the OS
+//! dealt atomically and epochs stay frame-aligned). A binary `INGEST`
+//! payload takes the **zero-copy fast path**: the little-endian value
+//! slice, still borrowed from the connection's read buffer, is dealt
+//! in place into the service's pooled shard buffers
+//! ([`SummaryService::ingest_frame_le`]) — no intermediate `Vec<u64>`,
+//! no per-request allocation. Every query answers from the published
+//! epoch snapshot through a [`QueryHandle`] and serializes its response
+//! (including the `SNAPSHOT` sample, borrowed from the snapshot's
+//! cache) straight into the connection's out-buffer, so the read path
+//! never contends with ingestion and never copies the sample. Binding port 0 asks the OS
 //! for an ephemeral port ([`ServiceServer::port`] reports it), which is
 //! what CI and tests use to avoid bind collisions.
 
 use crate::frame;
-use crate::protocol::{Request, Response, ServiceStats};
+use crate::protocol::{write_snapshot_line, Request, Response, ServiceStats};
 use crate::service::{QueryHandle, ServableSummary, SummaryService};
 use polling::{Event, Poller};
 use robust_sampling_core::attack::ObservableDefense;
@@ -355,8 +362,21 @@ impl Conn {
             let buf = &self.inbuf[pos..];
             let Some(&first) = buf.first() else { break };
             if frame::is_frame_start(first) {
-                match frame::decode_request(buf) {
-                    Ok(Some((req, consumed))) => {
+                match frame::decode_request_frame(buf) {
+                    // The zero-copy ingest fast path: the payload slice
+                    // (borrowed from the input buffer) is dealt straight
+                    // into the service's pooled shard buffers — no
+                    // intermediate Vec<u64> is ever built.
+                    Ok(Some((frame::RequestFrame::IngestLe(payload), consumed))) => {
+                        let total = shared
+                            .service
+                            .lock()
+                            .expect("service lock poisoned")
+                            .ingest_frame_le(payload);
+                        pos += consumed;
+                        frame::encode_response(&Response::Ingested(total), &mut self.outbuf);
+                    }
+                    Ok(Some((frame::RequestFrame::Owned(req), consumed))) => {
                         pos += consumed;
                         self.respond_binary(req, shared);
                     }
@@ -430,29 +450,49 @@ impl Conn {
     where
         S: ServableSummary + ObservableDefense,
     {
-        let resp = match req {
+        match req {
             Request::Quit => {
                 self.closing = true;
-                Response::Bye
+                frame::encode_response(&Response::Bye, &mut self.outbuf);
             }
-            req => answer(req, shared),
-        };
-        frame::encode_response(&resp, &mut self.outbuf);
+            // Serialize the sample straight from the snapshot's cached
+            // slice into the out-buffer — no owned copy of the sample,
+            // no intermediate Response.
+            Request::Snapshot => {
+                let snap = shared.queries.snapshot();
+                frame::encode_snapshot_slice(
+                    snap.epoch(),
+                    snap.items(),
+                    snap.visible_ref(),
+                    &mut self.outbuf,
+                );
+            }
+            req => frame::encode_response(&answer(req, shared), &mut self.outbuf),
+        }
     }
 
     fn respond_text<S>(&mut self, req: Result<Request, String>, shared: &Shared<S>)
     where
         S: ServableSummary + ObservableDefense,
     {
-        let resp = match req {
-            Err(msg) => Response::Err(msg),
+        match req {
+            Err(msg) => Response::Err(msg).write_into(&mut self.outbuf),
             Ok(Request::Quit) => {
                 self.closing = true;
-                Response::Bye
+                Response::Bye.write_into(&mut self.outbuf);
             }
-            Ok(req) => answer(req, shared),
-        };
-        self.outbuf.extend_from_slice(resp.encode().as_bytes());
+            // Same borrowed serialization as the binary snapshot path.
+            Ok(Request::Snapshot) => {
+                let snap = shared.queries.snapshot();
+                write_snapshot_line(
+                    snap.epoch(),
+                    snap.items(),
+                    snap.visible_ref(),
+                    &mut self.outbuf,
+                );
+            }
+            Ok(req) => answer(req, shared).write_into(&mut self.outbuf),
+        }
         self.outbuf.push(b'\n');
     }
 

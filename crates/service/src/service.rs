@@ -15,23 +15,46 @@
 //!
 //! ## Concurrency model
 //!
-//! One writer, many readers. The owner thread deals frames to `K` worker
-//! threads over channels (ingest is pipelined: dealing frame `t+1`
-//! overlaps shard work on frame `t`). Every `epoch_every` ingested
-//! elements the service *publishes*: it barriers on the workers (a
-//! state-request message behind all pending batches on each FIFO
-//! channel), merges the shard clones in shard order, and swaps the
-//! result behind an `Arc`. Readers ([`QueryHandle`]) clone the `Arc` and
-//! answer from an immutable [`EpochSnapshot`] — no reader ever blocks
-//! ingestion, observes a half-ingested frame, or sees two queries answer
-//! from different states within one snapshot.
+//! One writer, many readers, and a publisher off to the side. The owner
+//! thread deals frames to `K` worker threads over bounded FIFO queues
+//! (ingest is pipelined: dealing frame `t+1` overlaps shard work on
+//! frame `t`). The steady-state ingest path is **allocation-free**: the
+//! deal writes each shard's stride into a reusable per-shard buffer,
+//! full buffers are swapped against a free-list pool of drained ones,
+//! and workers return each batch buffer to the pool after ingesting it.
+//! The pool also bounds memory — a dealer that outruns the shards blocks
+//! on the free list instead of growing a queue without limit.
+//!
+//! Every `epoch_every` ingested elements the service *publishes* — but
+//! the merge runs **off the ingest path**. The dealer only enqueues a
+//! capture request per worker (the request queues behind all pending
+//! batches on each FIFO, so the captured states form a consistent,
+//! frame-aligned cut); each worker clones its shard state
+//! ([`MergeableSummary::capture_into`]) and hands it to a dedicated
+//! publisher thread, which merges the captures in shard order, swaps the
+//! result behind an `Arc`, and marks the epoch landed. The ingest stall
+//! per publish is the capture enqueue — O(K) — instead of the old
+//! collect-clone-merge barrier, which was O(total state).
+//!
+//! Readers ([`QueryHandle`]) still never observe a half-published epoch
+//! or a half-ingested frame: a query first waits (on a condvar gate) for
+//! the newest *triggered* epoch to land, then clones the published `Arc`
+//! and answers from an immutable [`EpochSnapshot`]. That wait keeps the
+//! pre-publisher semantics — after `ingest_frame` crosses a cadence
+//! boundary, the very next query observes the new epoch — while leaving
+//! the ingest path free of merge work. In the steady state the gate is
+//! one atomic load plus an uncontended mutex check.
 
 use robust_sampling_core::attack::ObservableDefense;
 use robust_sampling_core::engine::snapshot::{
     put_u64, put_usize, SnapshotCodec, SnapshotError, SnapshotReader,
 };
-use robust_sampling_core::engine::{MergeableSummary, ShardedSummary, StreamSummary};
-use std::sync::{mpsc, Arc, OnceLock, RwLock};
+use robust_sampling_core::engine::{
+    merge_in_shard_order, MergeableSummary, ShardedSummary, StreamSummary,
+};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::thread::JoinHandle;
 
 /// The capability bundle a summary needs to be served: engine ingestion,
@@ -55,7 +78,12 @@ impl<S> ServableSummary for S where
 /// The snapshot is immutable and shared across query threads, so the
 /// derived views every query needs — the visible sample and its sorted
 /// copy — are computed once (lazily, on first use) and cached; the query
-/// hot path is allocation-free after that.
+/// hot path is allocation-free after that. [`visible_ref`] and
+/// [`sorted_ref`] expose the caches as borrowed slices so protocol
+/// handlers can serialize straight from them.
+///
+/// [`visible_ref`]: EpochSnapshot::visible_ref
+/// [`sorted_ref`]: EpochSnapshot::sorted_ref
 #[derive(Debug)]
 pub struct EpochSnapshot<S> {
     epoch: u64,
@@ -96,24 +124,29 @@ impl<S> EpochSnapshot<S> {
 }
 
 impl<S: ObservableDefense> EpochSnapshot<S> {
-    /// The snapshot's retained elements, computed once per epoch.
-    fn visible_cached(&self) -> &[u64] {
+    /// The snapshot's retained elements, borrowed from the per-epoch
+    /// cache (computed on first use) — the allocation-free accessor the
+    /// serving handlers use.
+    pub fn visible_ref(&self) -> &[u64] {
         self.visible.get_or_init(|| self.merged.visible())
     }
 
-    /// The retained elements in sorted order, computed once per epoch.
-    fn sorted_cached(&self) -> &[u64] {
+    /// The retained elements in sorted order, borrowed from the
+    /// per-epoch cache (computed on first use).
+    pub fn sorted_ref(&self) -> &[u64] {
         self.sorted.get_or_init(|| {
-            let mut v = self.visible_cached().to_vec();
+            let mut v = self.visible_ref().to_vec();
             v.sort_unstable();
             v
         })
     }
 
     /// The snapshot's retained elements — the observable state `σ` a
-    /// remote adversary reads through the `SNAPSHOT` command.
+    /// remote adversary reads through the `SNAPSHOT` command. Returns an
+    /// owned copy for callers that outlive the snapshot; the serving
+    /// path uses [`visible_ref`](Self::visible_ref) instead.
     pub fn visible(&self) -> Vec<u64> {
-        self.visible_cached().to_vec()
+        self.visible_ref().to_vec()
     }
 
     /// Count estimate for `x`: the summary's own oracle answer when it
@@ -122,7 +155,7 @@ impl<S: ObservableDefense> EpochSnapshot<S> {
         if let Some(c) = self.merged.count_estimate(x) {
             return c;
         }
-        let sorted = self.sorted_cached();
+        let sorted = self.sorted_ref();
         if sorted.is_empty() {
             return 0.0;
         }
@@ -143,7 +176,7 @@ impl<S: ObservableDefense> EpochSnapshot<S> {
             return Some(v);
         }
         // The element of rank ⌈q·k⌉ — same convention as `approx::quantile`.
-        let sorted = self.sorted_cached();
+        let sorted = self.sorted_ref();
         if sorted.is_empty() {
             return None;
         }
@@ -154,7 +187,7 @@ impl<S: ObservableDefense> EpochSnapshot<S> {
     /// Items whose sample density is `≥ threshold`, densest first (ties
     /// broken by item value, so reports are deterministic).
     pub fn heavy(&self, threshold: f64) -> Vec<(u64, f64)> {
-        let sorted = self.sorted_cached();
+        let sorted = self.sorted_ref();
         if sorted.is_empty() {
             return Vec::new();
         }
@@ -179,7 +212,7 @@ impl<S: ObservableDefense> EpochSnapshot<S> {
     /// Returns 1.0 for an empty sample (maximal ignorance).
     pub fn ks_uniform(&self, universe: u64) -> f64 {
         assert!(universe > 0, "universe must be non-empty");
-        let sample = self.sorted_cached();
+        let sample = self.sorted_ref();
         if sample.is_empty() {
             return 1.0;
         }
@@ -194,40 +227,165 @@ impl<S: ObservableDefense> EpochSnapshot<S> {
     }
 }
 
+/// The publish gate: which epoch has been *triggered* (capture requests
+/// enqueued by the dealer) and which has *landed* (merged and swapped in
+/// by the publisher thread). Queries wait for the newest triggered epoch
+/// to land before reading, so publishing off the ingest path never
+/// weakens the read-your-ingest ordering the synchronous publisher gave.
+#[derive(Debug)]
+struct EpochGate {
+    triggered: AtomicU64,
+    landed: Mutex<u64>,
+    advanced: Condvar,
+}
+
+impl EpochGate {
+    fn new(epoch: u64) -> Self {
+        Self {
+            triggered: AtomicU64::new(epoch),
+            landed: Mutex::new(epoch),
+            advanced: Condvar::new(),
+        }
+    }
+
+    /// Record that `epoch`'s capture requests are enqueued (dealer side).
+    fn trigger(&self, epoch: u64) {
+        self.triggered.store(epoch, Ordering::Release);
+    }
+
+    /// Record that `epoch` is merged and published (publisher side).
+    fn land(&self, epoch: u64) {
+        let mut landed = self.landed.lock().expect("epoch gate poisoned");
+        debug_assert!(*landed < epoch, "epochs land in order");
+        *landed = epoch;
+        drop(landed);
+        self.advanced.notify_all();
+    }
+
+    /// Block until `epoch` has landed.
+    fn wait_for(&self, epoch: u64) {
+        let mut landed = self.landed.lock().expect("epoch gate poisoned");
+        while *landed < epoch {
+            landed = self.advanced.wait(landed).expect("epoch gate poisoned");
+        }
+    }
+
+    /// Block until every epoch triggered so far has landed.
+    fn wait_latest(&self) {
+        self.wait_for(self.triggered.load(Ordering::Acquire));
+    }
+}
+
+/// A bounded FIFO over a pre-allocated ring: once constructed, `push`
+/// and `pop` never allocate. `pop` blocks on empty, `push` blocks on
+/// full — the latter is what bounds the dealer to the free-list pool
+/// instead of an unbounded channel.
+#[derive(Debug)]
+struct FifoQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+    cap: usize,
+    added: Condvar,
+    removed: Condvar,
+}
+
+impl<T> FifoQueue<T> {
+    fn with_capacity(cap: usize) -> Self {
+        Self {
+            inner: Mutex::new(VecDeque::with_capacity(cap)),
+            cap,
+            added: Condvar::new(),
+            removed: Condvar::new(),
+        }
+    }
+
+    fn push(&self, value: T) {
+        let mut q = self.inner.lock().expect("queue poisoned");
+        while q.len() == self.cap {
+            q = self.removed.wait(q).expect("queue poisoned");
+        }
+        q.push_back(value);
+        drop(q);
+        self.added.notify_one();
+    }
+
+    fn pop(&self) -> T {
+        let mut q = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(v) = q.pop_front() {
+                drop(q);
+                self.removed.notify_one();
+                return v;
+            }
+            q = self.added.wait(q).expect("queue poisoned");
+        }
+    }
+}
+
 /// A cloneable, read-only handle onto the service's published snapshot —
 /// what query threads (and the TCP server's query path) hold. Reading
-/// never touches the ingest path.
+/// never touches the ingest path; it only waits, briefly, for any
+/// in-flight publish to land (see the epoch gate in the module docs).
 #[derive(Debug)]
 pub struct QueryHandle<S> {
     published: Arc<RwLock<Arc<EpochSnapshot<S>>>>,
+    gate: Arc<EpochGate>,
 }
 
 impl<S> Clone for QueryHandle<S> {
     fn clone(&self) -> Self {
         Self {
             published: Arc::clone(&self.published),
+            gate: Arc::clone(&self.gate),
         }
     }
 }
 
 impl<S> QueryHandle<S> {
-    /// The current epoch snapshot. The returned `Arc` stays valid (and
+    /// The current epoch snapshot — every epoch triggered before this
+    /// call is visible in it. The returned `Arc` stays valid (and
     /// immutable) however many epochs are published after it.
     pub fn snapshot(&self) -> Arc<EpochSnapshot<S>> {
+        self.gate.wait_latest();
         Arc::clone(&self.published.read().expect("snapshot lock poisoned"))
     }
 }
 
 enum WorkerMsg<S> {
+    /// A dealt stride: ingest it, then return the drained buffer to the
+    /// free-list pool.
     Batch(Vec<u64>),
+    /// Capture the shard state for epoch publication and hand it to the
+    /// publisher thread.
+    Capture {
+        epoch: u64,
+        items: usize,
+    },
     State(mpsc::Sender<S>),
     Stop,
 }
 
+enum PubMsg<S> {
+    Capture {
+        epoch: u64,
+        items: usize,
+        shard: usize,
+        state: S,
+    },
+    Stop,
+}
+
 struct Worker<S> {
-    tx: mpsc::Sender<WorkerMsg<S>>,
+    queue: Arc<FifoQueue<WorkerMsg<S>>>,
     handle: Option<JoinHandle<()>>,
 }
+
+/// Batch buffers seeded into the free-list pool per shard. Eight frames
+/// of run-ahead per shard lets the dealer keep routing across an epoch
+/// capture burst (a worker cloning its state is briefly not draining
+/// batches) without letting it run away unboundedly — a dealer
+/// outpacing every worker blocks on the pool after eight frames' worth
+/// of strides per shard.
+const BUFS_PER_SHARD: usize = 8;
 
 /// Checkpoint envelope magic (`b"RSVC"` + format version 1).
 const CHECKPOINT_MAGIC: u64 = 0x5253_5643_0000_0001;
@@ -236,6 +394,11 @@ const CHECKPOINT_MAGIC: u64 = 0x5253_5643_0000_0001;
 /// docs for the determinism and concurrency contracts.
 pub struct SummaryService<S: ServableSummary> {
     workers: Vec<Worker<S>>,
+    /// Reusable per-shard stride buffers the deal writes into; swapped
+    /// against `pool` when dispatched.
+    deal: Vec<Vec<u64>>,
+    /// Free list of drained batch buffers (returned by the workers).
+    pool: Arc<FifoQueue<Vec<u64>>>,
     /// Elements dealt so far — the round-robin cursor (identical role to
     /// [`ShardedSummary`]'s).
     routed: usize,
@@ -243,9 +406,13 @@ pub struct SummaryService<S: ServableSummary> {
     since_publish: usize,
     /// Publish an epoch every this many ingested elements.
     epoch_every: usize,
-    /// Epoch number of the currently published snapshot.
+    /// Epoch number of the most recently *triggered* publish (the
+    /// publisher lands it asynchronously; the gate tracks both sides).
     epoch: u64,
     published: Arc<RwLock<Arc<EpochSnapshot<S>>>>,
+    gate: Arc<EpochGate>,
+    pub_tx: mpsc::Sender<PubMsg<S>>,
+    publisher: Option<JoinHandle<()>>,
 }
 
 impl<S: ServableSummary> std::fmt::Debug for SummaryService<S> {
@@ -299,16 +466,56 @@ impl<S: ServableSummary> SummaryService<S> {
         published: Option<EpochSnapshot<S>>,
     ) -> Self {
         assert!(epoch_every > 0, "epoch_every must be positive");
-        let snapshot = published
-            .unwrap_or_else(|| EpochSnapshot::new(epoch, routed, merge_in_order(shards.clone())));
-        let workers = shards.into_iter().map(spawn_worker).collect();
+        let k = shards.len();
+        let snapshot = published.unwrap_or_else(|| {
+            EpochSnapshot::new(epoch, routed, merge_in_shard_order(shards.clone()))
+        });
+        let published = Arc::new(RwLock::new(Arc::new(snapshot)));
+        let gate = Arc::new(EpochGate::new(epoch));
+
+        // Buffers in circulation: the seeded free list plus the K deal
+        // slots that migrate through it. The pool capacity covers all of
+        // them, so a worker's return push never blocks.
+        let total_bufs = (BUFS_PER_SHARD + 1) * k + 1;
+        let pool = Arc::new(FifoQueue::with_capacity(total_bufs));
+        for _ in 0..BUFS_PER_SHARD * k {
+            pool.push(Vec::new());
+        }
+
+        let (pub_tx, pub_rx) = mpsc::channel();
+        let publisher = spawn_publisher(k, pub_rx, Arc::clone(&published), Arc::clone(&gate));
+        let workers = shards
+            .into_iter()
+            .enumerate()
+            .map(|(j, shard)| {
+                // Worst case every circulating buffer queues on one
+                // worker (K = 1); leave slack for control messages.
+                let queue = Arc::new(FifoQueue::with_capacity(total_bufs + 4));
+                let handle = spawn_worker(
+                    shard,
+                    j,
+                    Arc::clone(&queue),
+                    Arc::clone(&pool),
+                    pub_tx.clone(),
+                );
+                Worker {
+                    queue,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
         Self {
             workers,
+            deal: (0..k).map(|_| Vec::new()).collect(),
+            pool,
             routed,
             since_publish,
             epoch_every,
             epoch,
-            published: Arc::new(RwLock::new(Arc::new(snapshot))),
+            published,
+            gate,
+            pub_tx,
+            publisher: Some(publisher),
         }
     }
 
@@ -331,6 +538,7 @@ impl<S: ServableSummary> SummaryService<S> {
     pub fn query_handle(&self) -> QueryHandle<S> {
         QueryHandle {
             published: Arc::clone(&self.published),
+            gate: Arc::clone(&self.gate),
         }
     }
 
@@ -341,41 +549,127 @@ impl<S: ServableSummary> SummaryService<S> {
     }
 
     /// Ingest one frame: deal it round-robin to the shard workers
-    /// (returning as soon as the strides are queued), then publish an
-    /// epoch if the cadence came due. Returns the new total item count.
+    /// (returning as soon as the strides are queued), then trigger an
+    /// epoch publish if the cadence came due. Returns the new total item
+    /// count. Steady-state calls perform no heap allocation: strides are
+    /// written into reusable buffers swapped against the free-list pool.
     pub fn ingest_frame(&mut self, xs: &[u64]) -> usize {
         let k = self.workers.len();
         if k == 1 {
-            self.send(0, xs.to_vec());
+            if !xs.is_empty() {
+                let mut buf = self.pool.pop();
+                debug_assert!(buf.is_empty(), "pooled buffers come back drained");
+                buf.extend_from_slice(xs);
+                self.workers[0].queue.push(WorkerMsg::Batch(buf));
+            }
         } else {
             // Shard j's stride starts at the first frame index i with
             // (routed + i) % k == j — the ShardedSummary deal.
+            let offset = self.routed % k;
             for j in 0..k {
-                let start = (j + k - self.routed % k) % k;
-                let stride: Vec<u64> = xs.iter().skip(start).step_by(k).copied().collect();
-                if !stride.is_empty() {
-                    self.send(j, stride);
-                }
+                let start = (j + k - offset) % k;
+                self.deal[j].extend(xs.iter().skip(start).step_by(k).copied());
             }
+            self.dispatch_deal();
         }
-        self.routed += xs.len();
-        self.since_publish += xs.len();
+        self.finish_frame(xs.len())
+    }
+
+    /// Ingest one frame straight from its wire encoding: `payload` is
+    /// the flat little-endian `u64` chunk of a binary `INGEST` frame.
+    /// The round-robin deal runs **in place during decode** — each
+    /// shard's stride is decoded directly into its reusable batch
+    /// buffer, so the payload is never materialized as an intermediate
+    /// `Vec<u64>`. State evolution is bit-identical to
+    /// [`ingest_frame`](Self::ingest_frame) on the decoded values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload.len()` is not a multiple of 8 — the frame
+    /// decoder rejects ragged payloads before they reach the service.
+    pub fn ingest_frame_le(&mut self, payload: &[u8]) -> usize {
+        assert!(
+            payload.len().is_multiple_of(8),
+            "INGEST payload must be a multiple of 8 bytes"
+        );
+        let n = payload.len() / 8;
+        let k = self.workers.len();
+        let words = |b: &[u8]| u64::from_le_bytes(b.try_into().expect("8-byte chunk"));
+        if k == 1 {
+            if n > 0 {
+                let mut buf = self.pool.pop();
+                debug_assert!(buf.is_empty(), "pooled buffers come back drained");
+                buf.extend(payload.chunks_exact(8).map(words));
+                self.workers[0].queue.push(WorkerMsg::Batch(buf));
+            }
+        } else {
+            let offset = self.routed % k;
+            for j in 0..k {
+                let start = (j + k - offset) % k;
+                self.deal[j].extend(payload.chunks_exact(8).skip(start).step_by(k).map(words));
+            }
+            self.dispatch_deal();
+        }
+        self.finish_frame(n)
+    }
+
+    /// Swap each non-empty deal buffer against a pooled one and queue it
+    /// on its shard worker.
+    fn dispatch_deal(&mut self) {
+        for j in 0..self.workers.len() {
+            if self.deal[j].is_empty() {
+                continue;
+            }
+            let fresh = self.pool.pop();
+            debug_assert!(fresh.is_empty(), "pooled buffers come back drained");
+            let stride = std::mem::replace(&mut self.deal[j], fresh);
+            self.workers[j].queue.push(WorkerMsg::Batch(stride));
+        }
+    }
+
+    fn finish_frame(&mut self, n: usize) -> usize {
+        self.routed += n;
+        self.since_publish += n;
         if self.since_publish >= self.epoch_every {
-            self.publish();
+            self.trigger_publish();
         }
         self.routed
     }
 
-    fn send(&self, shard: usize, xs: Vec<u64>) {
-        self.workers[shard]
-            .tx
-            .send(WorkerMsg::Batch(xs))
-            .expect("shard worker died");
+    /// Enqueue capture requests for a new epoch behind every pending
+    /// batch — the entire ingest-path cost of a publish. The publisher
+    /// thread merges the captures and lands the epoch asynchronously.
+    fn trigger_publish(&mut self) {
+        self.epoch += 1;
+        self.since_publish = 0;
+        self.gate.trigger(self.epoch);
+        for w in &self.workers {
+            w.queue.push(WorkerMsg::Capture {
+                epoch: self.epoch,
+                items: self.routed,
+            });
+        }
+    }
+
+    /// Publish a new epoch now (the `epoch_every` cadence triggers the
+    /// same machinery asynchronously): enqueue the capture cut, wait for
+    /// the publisher to merge and land it, and return the snapshot.
+    pub fn publish(&mut self) -> Arc<EpochSnapshot<S>> {
+        self.trigger_publish();
+        self.wait_for_epoch(self.epoch)
+    }
+
+    /// Block until epoch `epoch` has been published, then return the
+    /// current snapshot. Useful for observing a cadence-triggered epoch
+    /// without forcing an extra one.
+    pub fn wait_for_epoch(&self, epoch: u64) -> Arc<EpochSnapshot<S>> {
+        self.gate.wait_for(epoch);
+        self.snapshot()
     }
 
     /// Barrier on every worker and capture the shard states, in shard
     /// order. The state request queues behind all pending batches on each
-    /// worker's FIFO channel, so the captured states reflect every frame
+    /// worker's FIFO queue, so the captured states reflect every frame
     /// dealt before this call — a consistent, frame-aligned cut.
     fn collect_states(&self) -> Vec<S> {
         let replies: Vec<mpsc::Receiver<S>> = self
@@ -383,7 +677,7 @@ impl<S: ServableSummary> SummaryService<S> {
             .iter()
             .map(|w| {
                 let (tx, rx) = mpsc::channel();
-                w.tx.send(WorkerMsg::State(tx)).expect("shard worker died");
+                w.queue.push(WorkerMsg::State(tx));
                 rx
             })
             .collect();
@@ -392,18 +686,6 @@ impl<S: ServableSummary> SummaryService<S> {
             .map(|rx| rx.recv().expect("shard worker died"))
             .collect()
     }
-
-    /// Publish a new epoch now (also called automatically by the
-    /// `epoch_every` cadence): barrier, merge in shard order, swap the
-    /// `Arc`. Returns the published snapshot.
-    pub fn publish(&mut self) -> Arc<EpochSnapshot<S>> {
-        let merged = merge_in_order(self.collect_states());
-        self.epoch += 1;
-        self.since_publish = 0;
-        let snapshot = Arc::new(EpochSnapshot::new(self.epoch, self.routed, merged));
-        *self.published.write().expect("snapshot lock poisoned") = Arc::clone(&snapshot);
-        snapshot
-    }
 }
 
 impl<S: ServableSummary + SnapshotCodec> SummaryService<S> {
@@ -411,7 +693,9 @@ impl<S: ServableSummary + SnapshotCodec> SummaryService<S> {
     /// private RNG/gap state), round-robin cursor, publish cadence and
     /// phase, epoch counter, **and the currently published snapshot** —
     /// as one byte string. The cut is consistent and frame-aligned (same
-    /// barrier as [`publish`](Self::publish)).
+    /// barrier as [`collect_states`](Self::publish); any in-flight
+    /// cadence publish is waited out first so the snapshot that rides
+    /// along is the newest one).
     ///
     /// [`restore`](Self::restore)-ing the bytes yields a service whose
     /// future ingestion, publication cadence, and query answers are
@@ -420,6 +704,7 @@ impl<S: ServableSummary + SnapshotCodec> SummaryService<S> {
     /// checkpoint taken mid-cadence serves exactly the epoch the
     /// uninterrupted service was serving, never a fresher recovery view.
     pub fn checkpoint(&self) -> Vec<u8> {
+        self.gate.wait_latest();
         let snap = self.snapshot();
         debug_assert_eq!(snap.epoch(), self.epoch, "published epoch out of sync");
         let mut out = Vec::new();
@@ -478,31 +763,51 @@ impl<S: ServableSummary + SnapshotCodec> SummaryService<S> {
 impl<S: ServableSummary> Drop for SummaryService<S> {
     fn drop(&mut self) {
         for w in &self.workers {
-            let _ = w.tx.send(WorkerMsg::Stop);
+            w.queue.push(WorkerMsg::Stop);
         }
         for w in &mut self.workers {
             if let Some(handle) = w.handle.take() {
                 let _ = handle.join();
             }
         }
+        // The workers are joined, so every capture they sent is already
+        // queued ahead of this Stop — the publisher lands all triggered
+        // epochs before exiting.
+        let _ = self.pub_tx.send(PubMsg::Stop);
+        if let Some(handle) = self.publisher.take() {
+            let _ = handle.join();
+        }
     }
 }
 
-fn merge_in_order<S: MergeableSummary<u64>>(states: Vec<S>) -> S {
-    let mut it = states.into_iter();
-    let mut out = it.next().expect("at least one shard");
-    for s in it {
-        out.merge(s);
-    }
-    out
-}
-
-fn spawn_worker<S: ServableSummary>(mut shard: S) -> Worker<S> {
-    let (tx, rx) = mpsc::channel::<WorkerMsg<S>>();
-    let handle = std::thread::spawn(move || {
-        while let Ok(msg) = rx.recv() {
-            match msg {
-                WorkerMsg::Batch(xs) => shard.ingest_batch(&xs),
+fn spawn_worker<S: ServableSummary>(
+    mut shard: S,
+    shard_idx: usize,
+    queue: Arc<FifoQueue<WorkerMsg<S>>>,
+    pool: Arc<FifoQueue<Vec<u64>>>,
+    pub_tx: mpsc::Sender<PubMsg<S>>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut capture: Option<S> = None;
+        loop {
+            match queue.pop() {
+                WorkerMsg::Batch(mut xs) => {
+                    shard.ingest_batch(&xs);
+                    xs.clear();
+                    pool.push(xs);
+                }
+                WorkerMsg::Capture { epoch, items } => {
+                    shard.capture_into(&mut capture);
+                    let state = capture.take().expect("capture_into fills the slot");
+                    // The service may already be shutting down (it joins
+                    // workers before the publisher): ignore send failure.
+                    let _ = pub_tx.send(PubMsg::Capture {
+                        epoch,
+                        items,
+                        shard: shard_idx,
+                        state,
+                    });
+                }
                 WorkerMsg::State(reply) => {
                     // The service may already have dropped the receiver
                     // (shutdown race): ignore.
@@ -511,11 +816,58 @@ fn spawn_worker<S: ServableSummary>(mut shard: S) -> Worker<S> {
                 WorkerMsg::Stop => break,
             }
         }
-    });
-    Worker {
-        tx,
-        handle: Some(handle),
-    }
+    })
+}
+
+/// The publisher thread: collect per-shard captures per epoch, merge
+/// each completed epoch in shard order, swap it behind the `Arc`, and
+/// mark it landed. Workers enqueue captures in epoch order on FIFO
+/// channels and every worker contributes to every epoch, so epochs
+/// complete — and land — in order.
+fn spawn_publisher<S: ServableSummary>(
+    shards: usize,
+    rx: mpsc::Receiver<PubMsg<S>>,
+    published: Arc<RwLock<Arc<EpochSnapshot<S>>>>,
+    gate: Arc<EpochGate>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        struct Build<S> {
+            items: usize,
+            got: usize,
+            states: Vec<Option<S>>,
+        }
+        let mut pending: BTreeMap<u64, Build<S>> = BTreeMap::new();
+        while let Ok(msg) = rx.recv() {
+            let PubMsg::Capture {
+                epoch,
+                items,
+                shard,
+                state,
+            } = msg
+            else {
+                break;
+            };
+            let b = pending.entry(epoch).or_insert_with(|| Build {
+                items,
+                got: 0,
+                states: (0..shards).map(|_| None).collect(),
+            });
+            debug_assert!(b.states[shard].is_none(), "duplicate capture");
+            b.states[shard] = Some(state);
+            b.got += 1;
+            if b.got == shards {
+                let b = pending.remove(&epoch).expect("epoch under construction");
+                let merged = merge_in_shard_order(
+                    b.states
+                        .into_iter()
+                        .map(|s| s.expect("capture from every shard")),
+                );
+                let snap = Arc::new(EpochSnapshot::new(epoch, b.items, merged));
+                *published.write().expect("snapshot lock poisoned") = snap;
+                gate.land(epoch);
+            }
+        }
+    })
 }
 
 #[cfg(test)]
@@ -549,6 +901,31 @@ mod tests {
     }
 
     #[test]
+    fn binary_payload_ingest_is_bit_identical_to_the_slice_path() {
+        let stream: Vec<u64> = (0..40_000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9))
+            .collect();
+        let mut by_slice = service(3, 17, 4_096);
+        let mut by_bytes = service(3, 17, 4_096);
+        let mut payload = Vec::new();
+        for frame in stream.chunks(513) {
+            by_slice.ingest_frame(frame);
+            payload.clear();
+            for &v in frame {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+            by_bytes.ingest_frame_le(&payload);
+        }
+        by_slice.publish();
+        by_bytes.publish();
+        assert_eq!(
+            by_slice.snapshot().summary().sample(),
+            by_bytes.snapshot().summary().sample()
+        );
+        assert_eq!(by_slice.snapshot().epoch(), by_bytes.snapshot().epoch());
+    }
+
+    #[test]
     fn epochs_publish_on_cadence_and_are_immutable() {
         let mut svc = service(2, 7, 1_000);
         let pre = svc.snapshot();
@@ -557,6 +934,8 @@ mod tests {
         svc.ingest_frame(&(0..999).collect::<Vec<u64>>());
         assert_eq!(svc.snapshot().epoch(), 0, "cadence not due yet");
         svc.ingest_frame(&[999]);
+        // The publish runs off-path, but snapshot() waits for the
+        // triggered epoch to land — the new epoch is already visible.
         let snap = svc.snapshot();
         assert_eq!(snap.epoch(), 1);
         assert_eq!(snap.items(), 1_000);
@@ -592,6 +971,10 @@ mod tests {
         let med = snap.quantile(0.5).unwrap() as f64;
         assert!((med - 25_000.0).abs() < 6_000.0, "median {med}");
         assert_eq!(snap.visible().len(), 64);
+        assert_eq!(snap.visible(), snap.visible_ref().to_vec());
+        let mut resorted = snap.visible();
+        resorted.sort_unstable();
+        assert_eq!(snap.sorted_ref(), resorted.as_slice());
         let ks = snap.ks_uniform(50_000);
         assert!(ks < 0.35, "uniform stream KS {ks}");
         assert!(snap.heavy(0.5).is_empty());

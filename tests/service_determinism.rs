@@ -9,6 +9,11 @@
 //!    indistinguishable from the uninterrupted run, per seed, at the
 //!    codec level (every [`SnapshotCodec`] summary) and at the service
 //!    level (checkpoint taken at an arbitrary frame boundary).
+//! 3. **Off-path publishing is bit-exact and read-your-writes** — epochs
+//!    are merged on the publisher thread, concurrently with later
+//!    frames, yet every cadence-triggered snapshot equals the offline
+//!    sharded prefix merge at exactly that frame boundary, and is
+//!    visible to the very next query after the triggering frame.
 
 use proptest::prelude::*;
 use robust_sampling::core::engine::{ShardedSummary, SnapshotCodec, StreamSummary};
@@ -73,6 +78,49 @@ proptest! {
         prop_assert_eq!(snap.items(), stream.len());
         prop_assert_eq!(snap.summary().sample(), merged.sample());
         prop_assert_eq!(snap.summary().observed(), stream.len());
+    }
+
+    /// Publish-during-ingest at an arbitrary cadence: every epoch the
+    /// service triggers mid-schedule is merged off the ingest path,
+    /// racing the frames that follow it — yet the snapshot the next
+    /// query observes is bit-identical to the offline sharded prefix
+    /// merge at exactly the triggering frame's boundary. Non-triggering
+    /// frames are deliberately not queried, so captures genuinely
+    /// overlap subsequent batch ingestion.
+    #[test]
+    fn cadence_publishes_during_ingest_match_offline_prefixes(
+        which in 0usize..16,
+        shards in 1usize..5,
+        seed in 0u64..500,
+        n in 32usize..4_000,
+        splits in proptest::collection::vec(1usize..400, 0..5),
+        epoch_every in 1usize..1_500,
+    ) {
+        let stream = workload_stream(which, n, seed.wrapping_add(29));
+        let mut offline = ShardedSummary::new(shards, seed, |_, s| {
+            ReservoirSampler::<u64>::with_seed(40, s)
+        });
+        let mut service = SummaryService::start(shards, seed, epoch_every, |_, s| {
+            ReservoirSampler::<u64>::with_seed(40, s)
+        });
+        let mut routed = 0usize;
+        let mut since = 0usize;
+        let mut expected_epoch = 0u64;
+        for frame in frames(&stream, &splits) {
+            offline.ingest_batch(frame);
+            routed += frame.len();
+            since += frame.len();
+            service.ingest_frame(frame);
+            if since >= epoch_every {
+                since = 0;
+                expected_epoch += 1;
+                let snap = service.snapshot();
+                prop_assert_eq!(snap.epoch(), expected_epoch);
+                prop_assert_eq!(snap.items(), routed);
+                let merged = offline.merged();
+                prop_assert_eq!(snap.summary().sample(), merged.sample());
+            }
+        }
     }
 
     /// Codec round trip mid-stream for every checkpointable summary:
