@@ -43,10 +43,19 @@
 //!   the binary endpoint must publish a snapshot bit-identical to the
 //!   offline [`ShardedSummary`] run.
 //!
+//! With `--cluster` the binary instead drives the **multi-node
+//! cluster** — real `cluster_node` processes behind a [`ClusterRouter`]
+//! — measuring routed-ingest throughput, checking the coordinator's
+//! merged view bit-identical against the offline [`ShardedSummary`]
+//! run, and playing the **full attack registry**'s adaptive duels
+//! across the cluster boundary (observe the merged view, choose, ingest
+//! through the router).
+//!
 //! ```text
 //! loadgen --quick                      # CI smoke: all four modes, seconds
 //! loadgen --tcp --quick                # CI soak: event-loop server, binary wire
 //! loadgen --tcp --soak-clients 10000   # full 10k-connection soak
+//! loadgen --cluster --nodes 3 --quick  # multi-node cluster boundary
 //! loadgen --clients 8 --duration 4     # longer local measurement
 //! loadgen --workload zipf --attack bisection --port 7777
 //! ```
@@ -56,8 +65,8 @@ use robust_sampling_core::attack::Duel;
 use robust_sampling_core::engine::{ShardedSummary, StreamSummary};
 use robust_sampling_core::sampler::{ReservoirSampler, StreamSampler};
 use robust_sampling_service::{
-    frame, QueryHandle, Request, Response, ServiceClient, ServiceConfig, ServiceServer,
-    SummaryService,
+    frame, ChildGuard, ClusterConfig, ClusterDefense, ClusterRouter, QueryHandle, Request,
+    Response, ServiceClient, ServiceConfig, ServiceServer, SummaryService,
 };
 use robust_sampling_sketches::kll::KllSketch;
 use robust_sampling_streamgen as streamgen;
@@ -248,6 +257,10 @@ fn main() {
 
     if robust_sampling_bench::is_tcp() {
         run_tcp_soak_suite(quick, w, port, universe);
+        return;
+    }
+    if robust_sampling_bench::is_cluster() {
+        run_cluster_suite(quick, w, universe);
         return;
     }
 
@@ -668,8 +681,10 @@ fn run_tcp_serve() {
 /// Spawn the soak server as a child process. The ten-thousand-client
 /// soak needs two fds per connection — one per side — and `RLIMIT_NOFILE`
 /// is per *process*, so splitting client and server sides across two
-/// processes doubles the budget a capped container allows.
-fn spawn_soak_server() -> (std::process::Child, std::net::SocketAddr) {
+/// processes doubles the budget a capped container allows. The child is
+/// returned behind a [`ChildGuard`], so a client panicking mid-soak
+/// kills the server subprocess instead of leaking it.
+fn spawn_soak_server() -> (ChildGuard, std::net::SocketAddr) {
     use std::io::BufRead;
     let exe = std::env::current_exe().expect("current exe");
     let mut child = std::process::Command::new(exe)
@@ -688,7 +703,7 @@ fn spawn_soak_server() -> (std::process::Child, std::net::SocketAddr) {
         .unwrap_or_else(|| panic!("soak server announced {line:?}"))
         .parse()
         .expect("parse announced addr");
-    (child, addr)
+    (ChildGuard::new(child), addr)
 }
 
 /// `loadgen --tcp`: the soak suite against the event-driven server.
@@ -809,8 +824,8 @@ fn run_tcp_soak_suite(quick: bool, w: &'static streamgen::WorkloadSpec, port: u1
     let check = ServiceClient::connect_binary(addr).expect("connect checker");
     let soak_items_ok = check.stats().expect("STATS").items as u64 == soak_elems;
     check.quit().expect("QUIT");
-    drop(soak_server.stdin.take()); // EOF = shutdown signal
-    let _ = soak_server.wait();
+    drop(soak_server.inner_mut().stdin.take()); // EOF = shutdown signal
+    let _ = soak_server.wait(); // graceful: disarms the guard's drop-kill
     push_row(
         &mut table, "soak", connected, soak_secs, soak_ops, &soak_lat,
     );
@@ -948,6 +963,161 @@ fn run_tcp_soak_suite(quick: bool, w: &'static streamgen::WorkloadSpec, port: u1
         &format!("{} frames, {} elements, pipelined x16", frames.len(), n_det),
     );
     if !(soak_ok && p999_ok && speedup_ok && det_identical) {
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The --cluster suite: the multi-node router/coordinator boundary.
+// ---------------------------------------------------------------------------
+
+/// Per-node reservoir capacity for the cluster duel leg — small on
+/// purpose (the `attack_matrix` scale), so the registry's adversaries
+/// bite within a CI-sized round budget.
+const CLUSTER_DUEL_K: usize = 32;
+
+/// `loadgen --cluster`: the multi-node suite. Real `cluster_node`
+/// processes sit behind a [`ClusterRouter`]; the coordinator's merged
+/// view must be bit-identical to the offline [`ShardedSummary`] run of
+/// the same schedule, and the **full attack registry** plays its
+/// adaptive duels across the cluster boundary — every observe step
+/// pulls the merged global view over TCP, every ingest is routed — with
+/// the coordinator's accounting consistent after every duel.
+fn run_cluster_suite(quick: bool, w: &'static streamgen::WorkloadSpec, universe: u64) {
+    let nodes = robust_sampling_bench::cluster_nodes(3);
+    banner(
+        "LOADGEN --cluster",
+        "multi-node cluster: replicated routing + coordinator merge",
+        "the router's deal matches the offline sharded deal bit-identically; \
+         the full attack registry duels the cluster boundary without a single \
+         accounting inconsistency",
+    );
+    println!(
+        "\nnodes = {nodes}, workload = {}, per-node k = {LOCAL_K} (ingest leg) / \
+         {CLUSTER_DUEL_K} (duel legs)",
+        w.name
+    );
+
+    let mut table = Table::new(&[
+        "mode", "clients", "secs", "ops", "ops/s", "p50_us", "p99_us", "p999_us",
+    ]);
+
+    // ---- leg 1: routed ingest throughput + merged-view determinism -----
+    let n_det = if quick { 50_000 } else { 500_000 };
+    let frames = det_frames(w, n_det, universe);
+    let mut offline =
+        ShardedSummary::new(nodes, 42, |_, s| ReservoirSampler::with_seed(LOCAL_K, s));
+    for frame in &frames {
+        offline.ingest_batch(frame);
+    }
+    let mut router = ClusterRouter::start(ClusterConfig {
+        nodes,
+        base_seed: 42,
+        epoch_every: 1,
+        cap: LOCAL_K,
+        universe,
+        workers: 2,
+    })
+    .expect("start ingest cluster");
+    let mut ing_lat = lat_sketch(5);
+    let t0 = Instant::now();
+    for frame in &frames {
+        let q0 = Instant::now();
+        router.ingest(frame).expect("cluster ingest");
+        ing_lat.observe(q0.elapsed().as_nanos() as u64);
+    }
+    let ing_secs = t0.elapsed().as_secs_f64();
+    let view = router
+        .global_view::<ReservoirSampler<u64>>()
+        .expect("global view");
+    let merged = offline.merged();
+    let det_identical = view.summary().sample() == merged.sample() && view.items() == n_det;
+    push_row(
+        &mut table,
+        "cluster-ingest",
+        1,
+        ing_secs,
+        n_det as u64,
+        &ing_lat,
+    );
+    drop(router);
+
+    // ---- leg 2: the full attack registry vs the cluster boundary -------
+    let rounds = if quick { 64 } else { 256 };
+    let mut duels_ok = true;
+    let n_attacks = robust_sampling_core::attack::registry().len();
+    for (i, spec) in robust_sampling_core::attack::registry().iter().enumerate() {
+        let duel_router = ClusterRouter::start(ClusterConfig {
+            nodes,
+            base_seed: 9,
+            epoch_every: 1,
+            cap: CLUSTER_DUEL_K,
+            universe,
+            workers: 1,
+        })
+        .expect("start duel cluster");
+        let mut defense = ClusterDefense::<ReservoirSampler<u64>>::new(duel_router);
+        let mut strategy = spec.build(rounds, universe, 9);
+        let mut lat = lat_sketch(300 + i as u64);
+        let mut last = Instant::now();
+        let t0 = Instant::now();
+        let outcome = Duel::new(rounds, universe).run_with(&mut defense, &mut strategy, |_, _| {
+            let now = Instant::now();
+            lat.observe((now - last).as_nanos() as u64);
+            last = now;
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        let duel_view = defense
+            .router_mut()
+            .global_view::<ReservoirSampler<u64>>()
+            .expect("duel global view");
+        let ok = duel_view.items() == rounds
+            && duel_view.items() == defense.router_mut().items_routed()
+            && outcome.final_sample.len() <= CLUSTER_DUEL_K;
+        if !ok {
+            println!(
+                "duel:{}: INCONSISTENT (view items {}, routed {}, sample {})",
+                spec.name,
+                duel_view.items(),
+                defense.router_mut().items_routed(),
+                outcome.final_sample.len()
+            );
+        }
+        duels_ok &= ok;
+        push_row(
+            &mut table,
+            &format!("duel:{}", spec.name),
+            1,
+            secs,
+            rounds as u64,
+            &lat,
+        );
+    }
+
+    println!();
+    table.emit("loadgen-cluster", "latency");
+
+    // ---- verdicts ------------------------------------------------------
+    println!();
+    verdict(
+        "cluster merged view bit-identical to the offline sharded run",
+        det_identical,
+        &format!(
+            "{} nodes, {} frames, {} elements routed",
+            nodes,
+            frames.len(),
+            n_det
+        ),
+    );
+    verdict(
+        "full attack registry vs the cluster boundary: accounting consistent",
+        duels_ok,
+        &format!(
+            "{n_attacks} attacks x {rounds} adaptive rounds, merged items == routed, \
+             sample <= k = {CLUSTER_DUEL_K}"
+        ),
+    );
+    if !(det_identical && duels_ok) {
         std::process::exit(1);
     }
 }

@@ -27,7 +27,11 @@
 //!   synchronous clone-and-merge barrier it replaced) and
 //!   `serve-alloc-per-op` (the pooled binary-payload ingest path; with
 //!   `--features count-alloc` a counting global allocator verdict-pins
-//!   it to zero steady-state allocations).
+//!   it to zero steady-state allocations), plus the two multi-node
+//!   cluster kernels: `cluster-ingest` (frames dealt to real node
+//!   processes through the [`ClusterRouter`], elem/s) and
+//!   `cluster-failover-gap` (the full SIGKILL→restore→replay recovery
+//!   of one node, replayed-frames/s).
 //!
 //! Every scenario is timed as a best-of-N minimum after a warm-up
 //! ([`perf::best_of`]) — the statistic least sensitive to neighbours on
@@ -41,7 +45,8 @@ use robust_sampling_bench::{
 };
 use robust_sampling_core::sampler::{BernoulliSampler, ReservoirSampler, StreamSampler};
 use robust_sampling_service::{
-    Request, ServiceClient, ServiceConfig, ServiceServer, SummaryService,
+    ClusterConfig, ClusterRouter, Request, ServiceClient, ServiceConfig, ServiceServer,
+    SummaryService,
 };
 use robust_sampling_sketches::count_min::CountMin;
 use robust_sampling_sketches::kll::KllSketch;
@@ -634,7 +639,100 @@ fn measure_serve(shape: &Shape) -> Vec<PerfEntry> {
             p99_us: micros(&lat, 0.99),
         });
     }
+
+    // Routed ingestion across the multi-node cluster boundary: the same
+    // frame stream dealt round-robin to real `cluster_node` processes
+    // over the binary wire; one op = one element, latency per routed
+    // frame (stride encode + send + ack for every node).
+    {
+        let frames = shape.serve_frames;
+        let n = frames * FRAME;
+        let xs = scrambled(n);
+        let mut best = f64::INFINITY;
+        let mut lat = KllSketch::with_seed(256, 6);
+        for rep in 0..=shape.reps {
+            let mut router = spawn_bench_cluster(universe);
+            let mut rep_lat = KllSketch::with_seed(256, 6);
+            let t = Instant::now();
+            for f in xs.chunks(FRAME) {
+                let t0 = Instant::now();
+                router.ingest(f).expect("cluster ingest");
+                rep_lat.observe(t0.elapsed().as_nanos() as u64);
+            }
+            let secs = t.elapsed().as_secs_f64();
+            assert_eq!(router.items_routed(), n, "every element routed and acked");
+            if rep > 0 && secs < best {
+                best = secs;
+                lat = rep_lat;
+            }
+        }
+        entries.push(PerfEntry {
+            kernel: "cluster-ingest".to_string(),
+            n: n as u64,
+            rate: n as f64 / best,
+            p50_us: micros(&lat, 0.5),
+            p99_us: micros(&lat, 0.99),
+        });
+    }
+
+    // Failover recovery gap: checkpoint half-way through the schedule,
+    // keep streaming, then SIGKILL a node and restore it — the timed op
+    // is the whole recovery (fresh process spawn, RESTORE envelope,
+    // replay of the retained frame window); one op = one replayed
+    // frame, latency per recovery.
+    {
+        let frames = shape.serve_frames;
+        let xs = scrambled(frames * FRAME);
+        let half = frames / 2;
+        let mut best = f64::INFINITY;
+        let mut replayed = 0u64;
+        let mut lat = KllSketch::with_seed(256, 7);
+        for rep in 0..=shape.reps {
+            let mut router = spawn_bench_cluster(universe);
+            let mut at_ckpt = 0u64;
+            for (i, f) in xs.chunks(FRAME).enumerate() {
+                router.ingest(f).expect("cluster ingest");
+                if i + 1 == half {
+                    router.checkpoint_all().expect("checkpoint");
+                    at_ckpt = router.frames_sent(0);
+                }
+            }
+            let window = router.frames_sent(0) - at_ckpt;
+            router.kill_node(0);
+            let t0 = Instant::now();
+            router.restore_node(0).expect("restore");
+            let secs = t0.elapsed().as_secs_f64();
+            if rep > 0 {
+                lat.observe(t0.elapsed().as_nanos() as u64);
+                replayed = window;
+                if secs < best {
+                    best = secs;
+                }
+            }
+        }
+        entries.push(PerfEntry {
+            kernel: "cluster-failover-gap".to_string(),
+            n: replayed,
+            rate: replayed as f64 / best,
+            p50_us: micros(&lat, 0.5),
+            p99_us: micros(&lat, 0.99),
+        });
+    }
     entries
+}
+
+/// A fresh three-node cluster (real `cluster_node` processes) matching
+/// the in-process serve kernels' shard shape.
+fn spawn_bench_cluster(universe: u64) -> ClusterRouter {
+    ClusterRouter::start(ClusterConfig {
+        nodes: 3,
+        base_seed: 42,
+        epoch_every: 4 * FRAME,
+        cap: 256,
+        universe,
+        workers: 1,
+    })
+    .expect("start perf_trajectory cluster")
 }
 
 /// A fresh event-loop server over the same sharded service the

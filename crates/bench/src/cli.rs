@@ -25,6 +25,10 @@
 //!   suite ([`is_tcp`], [`soak_clients`]): the many-connection
 //!   event-loop soak over the binary frame protocol, plus the
 //!   binary-vs-text throughput and served-determinism verdicts;
+//! * `--cluster` / `--nodes <n>` — switch the serving binaries to the
+//!   multi-node cluster boundary ([`is_cluster`], [`cluster_nodes`]):
+//!   real node processes behind the router/coordinator instead of a
+//!   single in-process server;
 //! * `--bench-out <dir>` / `--check <dir>` / `--label <name>` — the perf
 //!   trajectory knobs used by the `perf_trajectory` binary ([`bench_out`],
 //!   [`check_dir`], [`bench_label`]): append this run's measurements to
@@ -49,6 +53,27 @@ pub fn is_quick() -> bool {
 /// instead of the default four modes).
 pub fn is_tcp() -> bool {
     std::env::args().any(|a| a == "--tcp")
+}
+
+/// Whether `--cluster` was passed (loadgen: drive the multi-node
+/// cluster — router, coordinator merge, node processes — instead of a
+/// single in-process server; the full attack registry duels the
+/// cluster boundary).
+pub fn is_cluster() -> bool {
+    std::env::args().any(|a| a == "--cluster")
+}
+
+/// The `--nodes <n>` setting (cluster binaries: node-process count);
+/// `default` when absent.
+///
+/// Exits with status 2 on a malformed or zero value.
+pub fn cluster_nodes(default: usize) -> usize {
+    parsed_flag(
+        "--nodes",
+        "--nodes needs a positive integer argument",
+        |v| v.parse::<usize>().ok().filter(|&n| n > 0),
+    )
+    .unwrap_or(default)
 }
 
 /// The one flag-with-value parser behind every `--flag <value>` option:
@@ -250,6 +275,9 @@ const HELP_TEXT: &str = "shared experiment flags:\n\
          \x20                      default modes\n\
          \x20 --soak-clients <n>   concurrent soak connections (default: 400 quick,\n\
          \x20                      10000 full)\n\
+         \x20 --cluster            drive a multi-node cluster (node processes behind\n\
+         \x20                      the router/coordinator) instead of one server\n\
+         \x20 --nodes <n>          cluster node-process count (default: 3)\n\
          perf-trajectory flags (perf_trajectory):\n\
          \x20 --bench-out <dir>    append this run to the BENCH_*.json files in <dir>\n\
          \x20 --check <dir>        compare against the trajectory in <dir>; exit 1 on\n\
@@ -325,6 +353,7 @@ pub fn init_cli() {
     let _ = duration_secs(1.0);
     let _ = port();
     let _ = soak_clients(1);
+    let _ = cluster_nodes(1);
     let _ = bench_out();
     let _ = check_dir();
     let _ = bench_label("dev");
@@ -362,6 +391,8 @@ mod tests {
         assert_eq!(port(), 0, "default port must be ephemeral");
         assert!(!is_tcp(), "the soak suite must be opt-in");
         assert_eq!(soak_clients(400), 400);
+        assert!(!is_cluster(), "the cluster path must be opt-in");
+        assert_eq!(cluster_nodes(3), 3);
     }
 
     #[test]
@@ -383,6 +414,8 @@ mod tests {
             "--workload",
             "--tcp",
             "--soak-clients",
+            "--cluster",
+            "--nodes",
         ] {
             assert!(HELP_TEXT.contains(flag), "help text missing {flag}");
         }

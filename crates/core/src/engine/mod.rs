@@ -48,5 +48,5 @@ pub mod summary;
 pub use experiment::{ExperimentEngine, RunStats, SOURCE_FRAME};
 pub use merge::{merge_in_shard_order, MergeableSummary};
 pub use sharded::ShardedSummary;
-pub use snapshot::{SnapshotCodec, SnapshotError, SnapshotReader};
+pub use snapshot::{FrameHwm, SnapshotCodec, SnapshotError, SnapshotReader};
 pub use summary::{FrequencySummary, QuantileSummary, StreamSummary};

@@ -128,6 +128,46 @@ impl<'a> SnapshotReader<'a> {
     }
 }
 
+/// The **frame high-water mark** a serving checkpoint envelope carries:
+/// how many ingest frames the checkpointed process had fully applied
+/// ("acked") at the moment the cut was taken.
+///
+/// The mark is what makes checkpoint-based failover replayable without
+/// idempotent ingest: a router that retains the frame window since the
+/// last checkpoint restores a crashed node from its envelope, reads the
+/// mark back, and re-sends **only** the frames with index at or past it
+/// — every earlier frame is already inside the restored summary state,
+/// so replaying it would double-count. Frames are counted at the ingest
+/// boundary (one mark increment per applied frame, empty or not), so
+/// the router's send counter and the node's ack counter advance in
+/// lockstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, PartialOrd, Ord)]
+pub struct FrameHwm(pub u64);
+
+impl FrameHwm {
+    /// Count one more applied frame.
+    #[inline]
+    pub fn ack(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Frames applied so far.
+    #[inline]
+    pub fn frames(self) -> u64 {
+        self.0
+    }
+}
+
+impl SnapshotCodec for FrameHwm {
+    fn save_into(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.0);
+    }
+
+    fn restore_from(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(FrameHwm(r.u64()?))
+    }
+}
+
 /// A summary that can be persisted and resumed with state-identical
 /// behaviour.
 ///
@@ -195,6 +235,24 @@ mod tests {
         put_u64(&mut out, u64::MAX);
         let mut r = SnapshotReader::new(&out);
         assert!(r.u64_seq().is_err());
+    }
+
+    #[test]
+    fn frame_hwm_round_trips_and_orders() {
+        let mut hwm = FrameHwm::default();
+        assert_eq!(hwm.frames(), 0);
+        for _ in 0..3 {
+            hwm.ack();
+        }
+        assert_eq!(hwm, FrameHwm(3));
+        assert!(FrameHwm(2) < hwm);
+        let bytes = hwm.save();
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(FrameHwm::restore(&bytes).unwrap(), hwm);
+        assert_eq!(
+            FrameHwm::restore(&bytes[..7]),
+            Err(SnapshotError::UnexpectedEof)
+        );
     }
 
     #[test]

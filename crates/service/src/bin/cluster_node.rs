@@ -1,0 +1,77 @@
+//! One cluster node process: a single-shard [`SummaryService`] behind
+//! an admin-enabled TCP endpoint.
+//!
+//! Spawned by the `ClusterRouter` (and by the fault-injection tests)
+//! with the node's **exact** shard seed — the router computes
+//! `ShardedSummary::shard_seed(base_seed, j)` so that node `j` of an
+//! `N`-node cluster is bit-identical to shard `j` of an offline
+//! `ShardedSummary` with `K = N`.
+//!
+//! Handshake: the process binds an ephemeral port, prints one line
+//! `LISTENING <addr>` on stdout, then serves until stdin reaches EOF
+//! (the parent closing the pipe — or dying — is the shutdown signal, so
+//! an orphaned node never outlives its router).
+
+use robust_sampling_core::sampler::ReservoirSampler;
+use robust_sampling_service::{ServiceConfig, ServiceServer, SummaryService};
+use std::io::Read;
+
+/// `--flag value` argument pairs, all required to have defaults.
+struct Args {
+    seed: u64,
+    epoch_every: usize,
+    cap: usize,
+    universe: u64,
+    workers: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 0,
+        epoch_every: 1,
+        cap: 64,
+        universe: 1 << 20,
+        workers: 1,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .unwrap_or_else(|| panic!("missing value for {flag}"));
+        match flag.as_str() {
+            "--seed" => args.seed = value.parse().expect("--seed: u64"),
+            "--epoch-every" => args.epoch_every = value.parse().expect("--epoch-every: usize"),
+            "--cap" => args.cap = value.parse().expect("--cap: usize"),
+            "--universe" => args.universe = value.parse().expect("--universe: u64"),
+            "--workers" => args.workers = value.parse().expect("--workers: usize"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    // One shard, seeded exactly as instructed: the factory ignores the
+    // service's derived seed — the router already applied shard_seed for
+    // this node's global shard index.
+    let seed = args.seed;
+    let cap = args.cap;
+    let service = SummaryService::start(1, 0, args.epoch_every, |_, _| {
+        ReservoirSampler::with_seed(cap, seed)
+    });
+    let server = ServiceServer::spawn_admin(
+        service,
+        ServiceConfig {
+            addr: "127.0.0.1:0".into(),
+            universe: args.universe,
+            workers: args.workers,
+        },
+    )
+    .expect("bind cluster node endpoint");
+    println!("LISTENING {}", server.addr());
+    // Serve until the parent closes our stdin.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    server.shutdown();
+}

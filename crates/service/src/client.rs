@@ -35,7 +35,7 @@
 //! failed experiment, not a recoverable condition; the inherent methods
 //! return `io::Result` for callers that want to handle failure.
 
-use crate::frame;
+use crate::frame::{self, AdminRequest, AdminResponse};
 use crate::protocol::{write_ingest_line, Request, Response, ServiceStats, MAX_INGEST_FRAME};
 use robust_sampling_core::attack::{ObservableDefense, StateOracle};
 use robust_sampling_core::engine::StreamSummary;
@@ -86,6 +86,33 @@ impl Conn {
             Wire::Binary => frame::encode_ingest_slice(chunk, &mut self.wbuf),
         }
         self.writer.write_all(&self.wbuf)
+    }
+
+    fn send_admin(&mut self, req: &AdminRequest) -> std::io::Result<()> {
+        self.wbuf.clear();
+        frame::encode_admin_request(req, &mut self.wbuf);
+        self.writer.write_all(&self.wbuf)
+    }
+
+    fn receive_admin(&mut self) -> std::io::Result<AdminResponse> {
+        loop {
+            match frame::decode_admin_response(&self.rbuf) {
+                Ok(Some((resp, consumed))) => {
+                    self.rbuf.drain(..consumed);
+                    return Ok(resp);
+                }
+                Ok(None) => {
+                    let chunk = self.reader.fill_buf()?;
+                    if chunk.is_empty() {
+                        return Err(closed());
+                    }
+                    let n = chunk.len();
+                    self.rbuf.extend_from_slice(chunk);
+                    self.reader.consume(n);
+                }
+                Err(e) => return Err(std::io::Error::other(format!("frame error: {e}"))),
+            }
+        }
     }
 
     fn receive(&mut self) -> std::io::Result<Response> {
@@ -245,6 +272,69 @@ impl ServiceClient {
         }
         self.last_items.set(total);
         Ok(total)
+    }
+
+    /// One admin request/response round trip — binary wire only (the
+    /// cluster control plane has no text grammar).
+    fn admin_round_trip(&self, req: &AdminRequest) -> std::io::Result<AdminResponse> {
+        let mut conn = self.conn.borrow_mut();
+        if conn.wire != Wire::Binary {
+            return Err(std::io::Error::other(
+                "admin frames require a binary connection",
+            ));
+        }
+        conn.send_admin(req)?;
+        conn.writer.flush()?;
+        match conn.receive_admin()? {
+            AdminResponse::Err(msg) => Err(std::io::Error::other(format!("service error: {msg}"))),
+            resp => Ok(resp),
+        }
+    }
+
+    /// `EPOCH STATE` (admin): the node's published epoch, its boundary
+    /// item count, the frame high-water mark, and the published merged
+    /// summary's codec bytes — what a cluster coordinator merges in
+    /// shard order. Requires [`connect_binary`](Self::connect_binary)
+    /// and a [`spawn_admin`](crate::ServiceServer::spawn_admin)
+    /// endpoint.
+    pub fn epoch_state(&self) -> std::io::Result<(u64, usize, u64, Vec<u8>)> {
+        match self.admin_round_trip(&AdminRequest::EpochState)? {
+            AdminResponse::EpochState {
+                epoch,
+                items,
+                frames_acked,
+                state,
+            } => Ok((epoch, items as usize, frames_acked, state)),
+            other => Err(std::io::Error::other(format!(
+                "expected EPOCH STATE response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// `CHECKPOINT` (admin): the node's full checkpoint envelope plus
+    /// the frame high-water mark it was cut at.
+    pub fn checkpoint(&self) -> std::io::Result<(u64, Vec<u8>)> {
+        match self.admin_round_trip(&AdminRequest::Checkpoint)? {
+            AdminResponse::Checkpoint {
+                frames_acked,
+                bytes,
+            } => Ok((frames_acked, bytes)),
+            other => Err(std::io::Error::other(format!(
+                "expected CHECKPOINT response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// `RESTORE` (admin): seed the node from a checkpoint envelope and
+    /// return the restored service's frame high-water mark — the router
+    /// replays only retained frames at or past it.
+    pub fn restore(&self, envelope: &[u8]) -> std::io::Result<u64> {
+        match self.admin_round_trip(&AdminRequest::Restore(envelope.to_vec()))? {
+            AdminResponse::Restored { frames_acked } => Ok(frames_acked),
+            other => Err(std::io::Error::other(format!(
+                "expected RESTORED response, got {other:?}"
+            ))),
+        }
     }
 
     /// `QUERY COUNT x`.

@@ -1,0 +1,590 @@
+//! Multi-node cluster serving: replicated routing, coordinator merge,
+//! and checkpoint failover.
+//!
+//! One [`SummaryService`](crate::SummaryService) shards a stream across
+//! worker threads *inside* a process. This module scales the same
+//! contract across **processes**: `N` independent node processes (the
+//! `cluster_node` binary, each one a single-shard service behind
+//! [`ServiceServer::spawn_admin`](crate::ServiceServer::spawn_admin))
+//! fed by a [`ClusterRouter`] that deals frames with the *same*
+//! deterministic round-robin stride as
+//! [`ShardedSummary`]:
+//! global arrival index `i` goes to node `i mod N`, and node `j` is
+//! seeded with `ShardedSummary::shard_seed(base_seed, j)`. A cluster
+//! run is therefore **bit-identical** to the offline sharded run of the
+//! same stream — the distributed boundary adds no randomness.
+//!
+//! Queries go through the coordinator half ([`ClusterRouter::global_view`]):
+//! it pulls each node's published epoch snapshot over the binary admin
+//! protocol (`EPOCH STATE`) and merges the per-node summaries **in node
+//! order** via
+//! [`merge_in_shard_order`]
+//! — the one canonical merge loop — into a consistent global
+//! [`EpochSnapshot`] serving `COUNT`/`QUANTILE`/`HH`/`KS` exactly like
+//! a local epoch.
+//!
+//! **Failover** is the headline contract. The router retains, per node,
+//! every ingest frame since the node's last checkpoint (its *replay
+//! window*), indexed by the node's frame high-water mark
+//! ([`FrameHwm`](robust_sampling_core::engine::FrameHwm), carried in the
+//! checkpoint envelope). When a node dies
+//! ([`kill_node`](ClusterRouter::kill_node) in the fault-injection
+//! harness), [`restore_node`](ClusterRouter::restore_node) spawns a
+//! fresh process on a new ephemeral port, seeds it from the retained
+//! checkpoint envelope over `RESTORE`, and replays exactly the retained
+//! frames at or past the restored high-water mark. Because checkpoints
+//! capture full RNG state and the replayed frames are byte-identical to
+//! the originals, the restored node — and with it every subsequent
+//! global query — is bit-identical to an uninterrupted run. The window
+//! is only trimmed at checkpoint time, so a **double fault** (the
+//! restored node dying again) replays the same recovery and still
+//! converges.
+//!
+//! Everything here is driven by `tests/cluster_determinism.rs`,
+//! `crates/service/tests/cluster_failover.rs`, and the bench crate's
+//! `cluster` binary (which also plays the full attack registry against
+//! the cluster boundary through [`ClusterDefense`]).
+
+use crate::client::ServiceClient;
+use crate::protocol::MAX_INGEST_FRAME;
+use crate::service::EpochSnapshot;
+use robust_sampling_core::attack::{ObservableDefense, StateOracle};
+use robust_sampling_core::engine::{
+    merge_in_shard_order, MergeableSummary, ShardedSummary, SnapshotCodec, StreamSummary,
+};
+use robust_sampling_core::sampler::ReservoirSampler;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader};
+use std::marker::PhantomData;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::sync::OnceLock;
+
+/// A child process that is **killed (and reaped) on drop** unless
+/// explicitly waited for. Every subprocess the cluster harness — or the
+/// load generator — spawns lives behind one of these, so a panicking
+/// test or client can never leak a server process.
+#[derive(Debug)]
+pub struct ChildGuard {
+    child: Option<Child>,
+}
+
+impl ChildGuard {
+    /// Guard `child`: from now on it dies with this value.
+    pub fn new(child: Child) -> Self {
+        Self { child: Some(child) }
+    }
+
+    /// The child's OS process id.
+    pub fn id(&self) -> u32 {
+        self.child.as_ref().expect("guard already consumed").id()
+    }
+
+    /// Mutable access to the guarded child (e.g. to take its stdin for
+    /// a graceful EOF shutdown).
+    pub fn inner_mut(&mut self) -> &mut Child {
+        self.child.as_mut().expect("guard already consumed")
+    }
+
+    /// Graceful join: consume the guard and wait for the child to exit
+    /// on its own (close its stdin first). The drop-kill is disarmed.
+    pub fn wait(mut self) -> std::io::Result<ExitStatus> {
+        let mut child = self.child.take().expect("guard already consumed");
+        child.wait()
+    }
+
+    /// Kill and reap the child now (idempotent). This is the cluster
+    /// harness's fault injection.
+    pub fn kill_now(&mut self) {
+        if let Some(mut child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        self.kill_now();
+    }
+}
+
+/// Locate (building if necessary) the `cluster_node` binary.
+///
+/// Resolution order: the `CLUSTER_NODE_BIN` environment variable; a
+/// sibling of the current executable (popping a trailing `deps/`, which
+/// is where test binaries live); else `cargo build` it — the root
+/// package's test run does not build the service crate's binaries, so
+/// the first cluster test in a fresh checkout pays one build.
+fn node_bin() -> &'static PathBuf {
+    static BIN: OnceLock<PathBuf> = OnceLock::new();
+    BIN.get_or_init(|| {
+        if let Ok(p) = std::env::var("CLUSTER_NODE_BIN") {
+            return PathBuf::from(p);
+        }
+        let exe = std::env::current_exe().expect("current_exe");
+        let mut dir = exe.parent().expect("executable directory").to_path_buf();
+        if dir.ends_with("deps") {
+            dir.pop();
+        }
+        let candidate = dir.join(format!("cluster_node{}", std::env::consts::EXE_SUFFIX));
+        if candidate.exists() {
+            return candidate;
+        }
+        let mut cmd = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()));
+        cmd.args([
+            "build",
+            "-p",
+            "robust-sampling-service",
+            "--bin",
+            "cluster_node",
+        ]);
+        if dir.ends_with("release") {
+            cmd.arg("--release");
+        }
+        let status = cmd.status().expect("spawn cargo build for cluster_node");
+        assert!(status.success(), "building the cluster_node binary failed");
+        assert!(
+            candidate.exists(),
+            "cluster_node not found at {} after building",
+            candidate.display()
+        );
+        candidate
+    })
+}
+
+/// Cluster shape and seeding. `base_seed` plays exactly the role of
+/// [`ShardedSummary::new`]'s base seed: node `j` serves a reservoir
+/// seeded `shard_seed(base_seed, j)`, so the cluster of `N` nodes *is*
+/// the offline `ShardedSummary` with `K = N` shards, run across
+/// processes.
+///
+/// [`ShardedSummary::new`]: robust_sampling_core::engine::ShardedSummary::new
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Node (= shard) count `N`.
+    pub nodes: usize,
+    /// The sharded-run base seed; node `j` gets `shard_seed(base_seed, j)`.
+    pub base_seed: u64,
+    /// Per-node epoch cadence `E` (elements between published epochs).
+    /// The cluster-level cadence is `N * E` total elements: a stream cut
+    /// at a multiple of `N * E`, dealt in aligned frames, puts every
+    /// node exactly at an epoch boundary.
+    pub epoch_every: usize,
+    /// Per-node reservoir capacity.
+    pub cap: usize,
+    /// Universe bound `U` for the `KS` drift monitor.
+    pub universe: u64,
+    /// Event-loop worker threads per node process.
+    pub workers: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 3,
+            base_seed: 42,
+            epoch_every: 1,
+            cap: 64,
+            universe: 1 << 20,
+            workers: 1,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Total elements per cluster-level cadence window (`N * E`).
+    pub fn cluster_cadence(&self) -> usize {
+        self.nodes * self.epoch_every
+    }
+
+    /// The exact seed node `j` serves with.
+    pub fn node_seed(&self, j: usize) -> u64 {
+        ShardedSummary::<ReservoirSampler<u64>>::shard_seed(self.base_seed, j)
+    }
+}
+
+/// One live node: the guarded process, its serving address, and a
+/// binary-protocol client connection.
+struct Node {
+    child: ChildGuard,
+    addr: SocketAddr,
+    client: ServiceClient,
+}
+
+/// Spawn one `cluster_node` process for node `j` of `cfg` on a fresh
+/// ephemeral port, wait for its `LISTENING <addr>` handshake line, and
+/// connect a binary client.
+fn spawn_node(cfg: &ClusterConfig, j: usize) -> std::io::Result<Node> {
+    let mut child = Command::new(node_bin().as_os_str())
+        .arg("--seed")
+        .arg(cfg.node_seed(j).to_string())
+        .arg("--epoch-every")
+        .arg(cfg.epoch_every.to_string())
+        .arg("--cap")
+        .arg(cfg.cap.to_string())
+        .arg("--universe")
+        .arg(cfg.universe.to_string())
+        .arg("--workers")
+        .arg(cfg.workers.to_string())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()?;
+    let stdout = child.stdout.take().expect("piped child stdout");
+    let mut child = ChildGuard::new(child);
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line)?;
+    let addr = line
+        .trim()
+        .strip_prefix("LISTENING ")
+        .and_then(|a| a.parse::<SocketAddr>().ok())
+        .ok_or_else(|| {
+            child.kill_now();
+            std::io::Error::other(format!("bad cluster_node handshake: {line:?}"))
+        })?;
+    let client = ServiceClient::connect_binary(addr)?;
+    Ok(Node {
+        child,
+        addr,
+        client,
+    })
+}
+
+/// Deal `chunk` (whose first element has global arrival index `routed`)
+/// into `k` per-node strides: global index `i` goes to node `i mod k` —
+/// the exact [`ShardedSummary`] routing contract.
+fn deal_strides(routed: usize, k: usize, chunk: &[u64]) -> Vec<Vec<u64>> {
+    let offset = routed % k;
+    (0..k)
+        .map(|j| {
+            let start = (j + k - offset) % k;
+            chunk.iter().skip(start).step_by(k).copied().collect()
+        })
+        .collect()
+}
+
+/// The cluster data plane and its fault-recovery bookkeeping.
+///
+/// `ingest` deals each input chunk into per-node strides (one binary
+/// `INGEST` frame per non-empty stride, so the router's per-node *sent
+/// frame* counter and the node's applied-frame high-water mark advance
+/// in lockstep) and retains every sent frame in the node's replay
+/// window. `checkpoint_node` pulls the node's checkpoint envelope and
+/// trims the window to the envelope's high-water mark;
+/// `restore_node` spawns a replacement process, seeds it from that
+/// envelope, and replays the retained tail. See the module docs for the
+/// bit-identity argument.
+pub struct ClusterRouter {
+    cfg: ClusterConfig,
+    nodes: Vec<Node>,
+    /// Global elements dealt so far (the round-robin phase).
+    routed: usize,
+    /// Per node: absolute frame index of the window front (== frames
+    /// trimmed away by checkpoints).
+    window_base: Vec<u64>,
+    /// Per node: retained ingest frames since the last checkpoint trim.
+    window: Vec<VecDeque<Vec<u64>>>,
+    /// Per node: the last checkpoint envelope pulled, if any.
+    checkpoints: Vec<Option<Vec<u8>>>,
+}
+
+impl ClusterRouter {
+    /// Spawn `cfg.nodes` node processes (each on its own ephemeral
+    /// port) and connect to all of them.
+    pub fn start(cfg: ClusterConfig) -> std::io::Result<Self> {
+        assert!(cfg.nodes >= 1, "a cluster needs at least one node");
+        assert!(cfg.epoch_every >= 1, "epoch cadence must be >= 1");
+        let nodes = (0..cfg.nodes)
+            .map(|j| spawn_node(&cfg, j))
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let n = cfg.nodes;
+        Ok(Self {
+            cfg,
+            nodes,
+            routed: 0,
+            window_base: vec![0; n],
+            window: (0..n).map(|_| VecDeque::new()).collect(),
+            checkpoints: vec![None; n],
+        })
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Global elements dealt so far.
+    pub fn items_routed(&self) -> usize {
+        self.routed
+    }
+
+    /// Node `j`'s serving address (changes after a failover).
+    pub fn node_addr(&self, j: usize) -> SocketAddr {
+        self.nodes[j].addr
+    }
+
+    /// Frames sent to node `j` so far (its expected high-water mark).
+    pub fn frames_sent(&self, j: usize) -> u64 {
+        self.window_base[j] + self.window[j].len() as u64
+    }
+
+    /// Deal `xs` across the nodes — element at global arrival index `i`
+    /// to node `i mod N`, exactly the [`ShardedSummary`] deal — sending
+    /// one binary `INGEST` frame per non-empty stride and retaining
+    /// each frame in the node's replay window. Returns the total
+    /// elements routed so far.
+    pub fn ingest(&mut self, xs: &[u64]) -> std::io::Result<usize> {
+        let k = self.nodes.len();
+        // Cap each stride at one protocol frame so frame accounting
+        // stays one-send-one-ack.
+        for chunk in xs.chunks(MAX_INGEST_FRAME) {
+            let strides = deal_strides(self.routed, k, chunk);
+            self.routed += chunk.len();
+            for (j, stride) in strides.into_iter().enumerate() {
+                if stride.is_empty() {
+                    continue;
+                }
+                self.nodes[j].client.ingest(&stride)?;
+                self.window[j].push_back(stride);
+            }
+        }
+        Ok(self.routed)
+    }
+
+    /// Pull node `j`'s checkpoint envelope and trim its replay window to
+    /// the envelope's frame high-water mark: frames the checkpoint
+    /// already contains will never need replaying.
+    pub fn checkpoint_node(&mut self, j: usize) -> std::io::Result<()> {
+        let (hwm, bytes) = self.nodes[j].client.checkpoint()?;
+        while self.window_base[j] < hwm {
+            self.window[j]
+                .pop_front()
+                .expect("checkpoint high-water mark beyond the sent-frame count");
+            self.window_base[j] += 1;
+        }
+        self.checkpoints[j] = Some(bytes);
+        Ok(())
+    }
+
+    /// Checkpoint every node.
+    pub fn checkpoint_all(&mut self) -> std::io::Result<()> {
+        for j in 0..self.nodes.len() {
+            self.checkpoint_node(j)?;
+        }
+        Ok(())
+    }
+
+    /// **Fault injection**: kill node `j`'s process outright (no
+    /// graceful shutdown — the process is gone mid-whatever-it-was-doing).
+    pub fn kill_node(&mut self, j: usize) {
+        self.nodes[j].child.kill_now();
+    }
+
+    /// **Failover**: spawn a replacement for node `j` on a fresh
+    /// ephemeral port, seed it from the retained checkpoint envelope
+    /// (`RESTORE` over the admin protocol; a node that was never
+    /// checkpointed restarts empty), and replay the retained frames at
+    /// or past the restored high-water mark. The window is kept, so a
+    /// second fault on the same node replays the same recovery.
+    pub fn restore_node(&mut self, j: usize) -> std::io::Result<()> {
+        let node = spawn_node(&self.cfg, j)?;
+        let hwm = match &self.checkpoints[j] {
+            Some(envelope) => node.client.restore(envelope)?,
+            None => 0,
+        };
+        assert!(
+            hwm >= self.window_base[j],
+            "restored high-water mark {hwm} predates the replay window base {}",
+            self.window_base[j]
+        );
+        for (i, frame) in self.window[j].iter().enumerate() {
+            let idx = self.window_base[j] + i as u64;
+            if idx >= hwm {
+                node.client.ingest(frame)?;
+            }
+        }
+        self.nodes[j] = node;
+        Ok(())
+    }
+
+    /// Pull node `j`'s published epoch state: `(epoch, boundary items,
+    /// frame high-water mark, summary)`.
+    pub fn node_epoch_state<S>(&self, j: usize) -> std::io::Result<(u64, usize, u64, S)>
+    where
+        S: SnapshotCodec,
+    {
+        let (epoch, items, hwm, bytes) = self.nodes[j].client.epoch_state()?;
+        let summary = S::restore(&bytes)
+            .map_err(|e| std::io::Error::other(format!("undecodable node state: {e}")))?;
+        Ok((epoch, items, hwm, summary))
+    }
+
+    /// **The coordinator merge**: pull every node's published epoch
+    /// snapshot and merge the summaries in node order via
+    /// [`merge_in_shard_order`] into one consistent global
+    /// [`EpochSnapshot`] — the cluster's query surface. The view's
+    /// epoch is the slowest node's published epoch (a consistent lower
+    /// bound; in an aligned run all nodes agree) and its item count is
+    /// the sum of per-node boundary counts.
+    pub fn global_view<S>(&self) -> std::io::Result<EpochSnapshot<S>>
+    where
+        S: SnapshotCodec + MergeableSummary<u64>,
+    {
+        let mut summaries = Vec::with_capacity(self.nodes.len());
+        let mut items = 0usize;
+        let mut epoch = u64::MAX;
+        for j in 0..self.nodes.len() {
+            let (e, n, _, s) = self.node_epoch_state::<S>(j)?;
+            epoch = epoch.min(e);
+            items += n;
+            summaries.push(s);
+        }
+        Ok(EpochSnapshot::new(
+            epoch,
+            items,
+            merge_in_shard_order(summaries),
+        ))
+    }
+}
+
+/// The cluster as an [`ObservableDefense`]: ingestion deals through the
+/// [`ClusterRouter`], oracle queries and the visible sample answer from
+/// the coordinator's merged [`global_view`](ClusterRouter::global_view)
+/// — so [`Duel::run`](robust_sampling_core::attack::Duel) plays every
+/// registered attack strategy against the *cluster* boundary unchanged.
+/// Run nodes with `epoch_every = 1` so the adversary's view is fresh
+/// each round. Trait-path I/O errors panic, exactly like
+/// [`ServiceClient`]'s bridges: in the harness a dead cluster is a
+/// failed experiment.
+pub struct ClusterDefense<S> {
+    router: ClusterRouter,
+    last_sample_len: Cell<usize>,
+    _summary: PhantomData<S>,
+}
+
+impl<S> ClusterDefense<S>
+where
+    S: SnapshotCodec + MergeableSummary<u64> + ObservableDefense,
+{
+    /// Wrap a running cluster.
+    pub fn new(router: ClusterRouter) -> Self {
+        Self {
+            router,
+            last_sample_len: Cell::new(0),
+            _summary: PhantomData,
+        }
+    }
+
+    /// The wrapped router (e.g. to inject faults mid-duel).
+    pub fn router_mut(&mut self) -> &mut ClusterRouter {
+        &mut self.router
+    }
+
+    fn view(&self) -> EpochSnapshot<S> {
+        self.router
+            .global_view::<S>()
+            .expect("cluster EPOCH STATE pull failed")
+    }
+}
+
+impl<S> StreamSummary<u64> for ClusterDefense<S>
+where
+    S: SnapshotCodec + MergeableSummary<u64> + ObservableDefense,
+{
+    fn ingest(&mut self, x: u64) {
+        self.router.ingest(&[x]).expect("cluster INGEST failed");
+    }
+
+    fn ingest_batch(&mut self, xs: &[u64]) {
+        self.router.ingest(xs).expect("cluster INGEST failed");
+    }
+
+    fn items_seen(&self) -> usize {
+        self.router.items_routed()
+    }
+
+    fn space(&self) -> usize {
+        self.last_sample_len.get()
+    }
+
+    fn summary_name(&self) -> &'static str {
+        "cluster-service"
+    }
+}
+
+impl<S> StateOracle for ClusterDefense<S>
+where
+    S: SnapshotCodec + MergeableSummary<u64> + ObservableDefense,
+{
+    fn count_estimate(&self, x: u64) -> Option<f64> {
+        Some(self.view().count(x))
+    }
+
+    fn quantile_estimate(&self, q: f64) -> Option<u64> {
+        self.view().quantile(q)
+    }
+}
+
+impl<S> ObservableDefense for ClusterDefense<S>
+where
+    S: SnapshotCodec + MergeableSummary<u64> + ObservableDefense,
+{
+    fn visible_into(&self, out: &mut Vec<u64>) {
+        let view = self.view();
+        let sample = view.visible_ref();
+        self.last_sample_len.set(sample.len());
+        out.extend_from_slice(sample);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deal_strides_match_the_mod_k_contract() {
+        // Any (phase, k, len): element at global index routed + p lands
+        // in stride (routed + p) mod k, in arrival order.
+        for routed in [0usize, 1, 2, 7, 100] {
+            for k in 1..=5usize {
+                let chunk: Vec<u64> = (0..23u64).map(|x| 1_000 + x).collect();
+                let strides = deal_strides(routed, k, &chunk);
+                let mut rebuilt: Vec<Vec<u64>> = vec![Vec::new(); k];
+                for (p, &x) in chunk.iter().enumerate() {
+                    rebuilt[(routed + p) % k].push(x);
+                }
+                assert_eq!(strides, rebuilt, "routed={routed} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn child_guard_kills_the_process_on_drop() {
+        // The regression the guard exists for: a panicking client used
+        // to leak its `--tcp-serve` soak server. Kill-on-drop means the
+        // process is gone (and reaped) the moment the guard unwinds.
+        let child = Command::new("sleep")
+            .arg("600")
+            .spawn()
+            .expect("spawn sleep");
+        let pid = child.id();
+        let guard = ChildGuard::new(child);
+        assert!(std::path::Path::new(&format!("/proc/{pid}")).exists());
+        drop(guard);
+        assert!(
+            !std::path::Path::new(&format!("/proc/{pid}")).exists(),
+            "dropped guard left process {pid} running"
+        );
+    }
+
+    #[test]
+    fn child_guard_graceful_wait_disarms_the_kill() {
+        let child = Command::new("true").spawn().expect("spawn true");
+        let guard = ChildGuard::new(child);
+        let status = guard.wait().expect("wait");
+        assert!(status.success());
+    }
+}

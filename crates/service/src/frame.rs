@@ -30,6 +30,9 @@
 //! 0x06    SNAPSHOT           (empty)
 //! 0x07    STATS              (empty)
 //! 0x08    QUIT               (empty)
+//! 0x09    EPOCH STATE        (empty)                     [admin]
+//! 0x0A    CHECKPOINT         (empty)                     [admin]
+//! 0x0B    RESTORE            checkpoint envelope bytes   [admin]
 //!
 //! opcode  response           payload
 //! 0x81    INGESTED           u64 total items
@@ -41,8 +44,21 @@
 //! 0x87    STATS              5 × u64 (items, epoch, shards, space,
 //!                            snapshot_items)
 //! 0x88    BYE                (empty)
+//! 0x89    EPOCH STATE        u64 epoch, u64 items, u64 frames acked,
+//!                            then the published summary's codec bytes
+//! 0x8A    CHECKPOINT         u64 frames acked, then envelope bytes
+//! 0x8B    RESTORED           u64 frames acked
 //! 0xC0    ERR                UTF-8 message bytes
 //! ```
+//!
+//! The `[admin]` opcodes are the **cluster control plane** — binary-only
+//! frames (no text grammar) a coordinator or failover router exchanges
+//! with a cluster node: `EPOCH STATE` pulls the node's published epoch
+//! snapshot for the coordinator's shard-order merge, `CHECKPOINT` pulls
+//! the node's full checkpoint envelope, and `RESTORE` seeds a fresh node
+//! with one. They decode to [`AdminRequest`]/[`AdminResponse`] rather
+//! than [`Request`]/[`Response`], and a server that has not enabled
+//! admin dispatch answers them with `ERR`.
 //!
 //! Floats travel as raw bit patterns (`f64::to_bits`), so — like the
 //! text protocol's shortest-round-trip decimals — every value survives
@@ -92,6 +108,11 @@ mod opcode {
     pub const STATS: u8 = 0x07;
     pub const QUIT: u8 = 0x08;
 
+    // Cluster administration requests (binary-only; no text form).
+    pub const EPOCH_STATE: u8 = 0x09;
+    pub const CHECKPOINT: u8 = 0x0A;
+    pub const RESTORE: u8 = 0x0B;
+
     pub const INGESTED: u8 = 0x81;
     pub const COUNT: u8 = 0x82;
     pub const QUANTILE: u8 = 0x83;
@@ -100,6 +121,12 @@ mod opcode {
     pub const R_SNAPSHOT: u8 = 0x86;
     pub const R_STATS: u8 = 0x87;
     pub const BYE: u8 = 0x88;
+
+    // Cluster administration responses.
+    pub const R_EPOCH_STATE: u8 = 0x89;
+    pub const R_CHECKPOINT: u8 = 0x8A;
+    pub const RESTORED: u8 = 0x8B;
+
     pub const ERR: u8 = 0xC0;
 }
 
@@ -342,6 +369,187 @@ fn unit_f64(bits_src: &mut &[u8], what: &'static str) -> Result<f64, FrameError>
     Ok(v)
 }
 
+/// A cluster control-plane request — binary-only frames with no text
+/// grammar (see the module docs). Exchanged between the cluster router
+/// or coordinator and one node's serving endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdminRequest {
+    /// Pull the node's published epoch snapshot (epoch, items, frame
+    /// high-water mark, and the merged summary's codec bytes) for the
+    /// coordinator's shard-order merge.
+    EpochState,
+    /// Pull the node's full checkpoint envelope.
+    Checkpoint,
+    /// Seed the node from a checkpoint envelope (failover restore). The
+    /// payload is the envelope byte string; must be non-empty.
+    Restore(Vec<u8>),
+}
+
+impl AdminRequest {
+    /// The request's wire opcode.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            AdminRequest::EpochState => opcode::EPOCH_STATE,
+            AdminRequest::Checkpoint => opcode::CHECKPOINT,
+            AdminRequest::Restore(_) => opcode::RESTORE,
+        }
+    }
+}
+
+/// A cluster control-plane response (see [`AdminRequest`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdminResponse {
+    /// The node's published epoch snapshot: epoch number, the stream
+    /// length at its boundary, the node's current frame high-water mark,
+    /// and the published merged summary's [`SnapshotCodec`] bytes.
+    ///
+    /// [`SnapshotCodec`]: robust_sampling_core::engine::SnapshotCodec
+    EpochState {
+        /// Published epoch number.
+        epoch: u64,
+        /// Stream length at the epoch boundary.
+        items: u64,
+        /// Ingest frames the node has applied so far.
+        frames_acked: u64,
+        /// The published merged summary's codec bytes.
+        state: Vec<u8>,
+    },
+    /// The node's checkpoint envelope, plus the frame high-water mark it
+    /// was cut at (so the router can trim its replay window without
+    /// peeking inside the envelope).
+    Checkpoint {
+        /// Frame high-water mark at checkpoint time.
+        frames_acked: u64,
+        /// The full checkpoint envelope bytes.
+        bytes: Vec<u8>,
+    },
+    /// Restore acknowledged: the restored service's frame high-water
+    /// mark — the router replays only retained frames at or past it.
+    Restored {
+        /// Frame high-water mark of the restored service.
+        frames_acked: u64,
+    },
+    /// The node rejected the request (admin dispatch disabled, corrupt
+    /// envelope, …).
+    Err(String),
+}
+
+/// Append `req` to `out` as one binary frame.
+///
+/// # Panics
+///
+/// Panics if a `Restore` envelope is empty or exceeds
+/// [`MAX_FRAME_PAYLOAD`] bytes.
+pub fn encode_admin_request(req: &AdminRequest, out: &mut Vec<u8>) {
+    match req {
+        AdminRequest::EpochState => put_header(out, opcode::EPOCH_STATE, 0),
+        AdminRequest::Checkpoint => put_header(out, opcode::CHECKPOINT, 0),
+        AdminRequest::Restore(bytes) => {
+            assert!(
+                !bytes.is_empty() && bytes.len() <= MAX_FRAME_PAYLOAD,
+                "RESTORE envelope must be 1..={MAX_FRAME_PAYLOAD} bytes, got {}",
+                bytes.len()
+            );
+            put_header(out, opcode::RESTORE, bytes.len());
+            out.put_slice(bytes);
+        }
+    }
+}
+
+/// Append `resp` to `out` as one binary frame.
+///
+/// # Panics
+///
+/// Panics if a variable-length part pushes the payload over
+/// [`MAX_FRAME_PAYLOAD`] (checkpoint envelopes and summary states are
+/// orders of magnitude below the cap).
+pub fn encode_admin_response(resp: &AdminResponse, out: &mut Vec<u8>) {
+    match resp {
+        AdminResponse::EpochState {
+            epoch,
+            items,
+            frames_acked,
+            state,
+        } => {
+            put_header(out, opcode::R_EPOCH_STATE, 24 + state.len());
+            out.put_u64_le(*epoch);
+            out.put_u64_le(*items);
+            out.put_u64_le(*frames_acked);
+            out.put_slice(state);
+        }
+        AdminResponse::Checkpoint {
+            frames_acked,
+            bytes,
+        } => {
+            put_header(out, opcode::R_CHECKPOINT, 8 + bytes.len());
+            out.put_u64_le(*frames_acked);
+            out.put_slice(bytes);
+        }
+        AdminResponse::Restored { frames_acked } => {
+            put_header(out, opcode::RESTORED, 8);
+            out.put_u64_le(*frames_acked);
+        }
+        AdminResponse::Err(msg) => encode_response(&Response::Err(msg.clone()), out),
+    }
+}
+
+/// Decode one admin response frame from the front of `buf`. Same
+/// incremental contract as [`decode_response`]; a server-side `ERR`
+/// frame decodes to [`AdminResponse::Err`].
+pub fn decode_admin_response(buf: &[u8]) -> Result<Option<(AdminResponse, usize)>, FrameError> {
+    let Some((op, len)) = decode_header(buf)? else {
+        return Ok(None);
+    };
+    if buf.len() < HEADER_BYTES + len {
+        return Ok(None);
+    }
+    let mut payload = &buf[HEADER_BYTES..HEADER_BYTES + len];
+    let consumed = HEADER_BYTES + len;
+    let resp = match op {
+        opcode::R_EPOCH_STATE => {
+            if len < 24 {
+                return Err(FrameError::Malformed(
+                    "EPOCH STATE payload missing its header",
+                ));
+            }
+            let epoch = payload.get_u64_le();
+            let items = payload.get_u64_le();
+            let frames_acked = payload.get_u64_le();
+            AdminResponse::EpochState {
+                epoch,
+                items,
+                frames_acked,
+                state: payload.to_vec(),
+            }
+        }
+        opcode::R_CHECKPOINT => {
+            if len < 8 {
+                return Err(FrameError::Malformed(
+                    "CHECKPOINT payload missing its high-water mark",
+                ));
+            }
+            let frames_acked = payload.get_u64_le();
+            AdminResponse::Checkpoint {
+                frames_acked,
+                bytes: payload.to_vec(),
+            }
+        }
+        opcode::RESTORED => {
+            expect_len(payload, 8, "RESTORED payload must be one u64")?;
+            AdminResponse::Restored {
+                frames_acked: payload.get_u64_le(),
+            }
+        }
+        opcode::ERR => {
+            let msg = std::str::from_utf8(payload)
+                .map_err(|_| FrameError::Malformed("ERR message must be UTF-8"))?;
+            AdminResponse::Err(msg.to_string())
+        }
+        other => return Err(FrameError::BadOpcode(other)),
+    };
+    Ok(Some((resp, consumed)))
+}
+
 /// A decoded request frame whose bulk payload stays **borrowed** from
 /// the connection's read buffer. This is what the server's zero-copy
 /// ingest path consumes: an `INGEST` frame's values are never collected
@@ -357,12 +565,21 @@ pub enum RequestFrame<'a> {
     IngestLe(&'a [u8]),
     /// Any non-bulk request, decoded to its owned form.
     Owned(Request),
+    /// A cluster control-plane request (binary-only — there is no owned
+    /// [`Request`] form; see [`AdminRequest`]).
+    Admin(AdminRequest),
 }
 
 impl RequestFrame<'_> {
     /// Materialize the owned [`Request`] (decoding an `IngestLe` payload
     /// into a fresh `Vec<u64>`) — the compatibility bridge for callers
     /// that do not run the zero-copy path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an [`Admin`](Self::Admin) frame — admin requests have
+    /// no [`Request`] form ([`decode_request`] reports them as
+    /// [`FrameError::BadOpcode`] instead of reaching this).
     pub fn into_owned(self) -> Request {
         match self {
             RequestFrame::IngestLe(payload) => Request::Ingest(
@@ -372,6 +589,12 @@ impl RequestFrame<'_> {
                     .collect(),
             ),
             RequestFrame::Owned(req) => req,
+            RequestFrame::Admin(req) => {
+                panic!(
+                    "admin frame {:#04x} has no owned Request form",
+                    req.opcode()
+                )
+            }
         }
     }
 }
@@ -428,6 +651,31 @@ pub fn decode_request_frame(buf: &[u8]) -> Result<Option<(RequestFrame<'_>, usiz
             expect_len(payload, 0, "QUIT carries no payload")?;
             Request::Quit
         }
+        opcode::EPOCH_STATE => {
+            expect_len(payload, 0, "EPOCH STATE carries no payload")?;
+            return Ok(Some((
+                RequestFrame::Admin(AdminRequest::EpochState),
+                consumed,
+            )));
+        }
+        opcode::CHECKPOINT => {
+            expect_len(payload, 0, "CHECKPOINT carries no payload")?;
+            return Ok(Some((
+                RequestFrame::Admin(AdminRequest::Checkpoint),
+                consumed,
+            )));
+        }
+        opcode::RESTORE => {
+            if len == 0 {
+                return Err(FrameError::Malformed(
+                    "RESTORE payload must carry a checkpoint envelope",
+                ));
+            }
+            return Ok(Some((
+                RequestFrame::Admin(AdminRequest::Restore(payload.to_vec())),
+                consumed,
+            )));
+        }
         other => return Err(FrameError::BadOpcode(other)),
     };
     Ok(Some((RequestFrame::Owned(req), consumed)))
@@ -441,7 +689,13 @@ pub fn decode_request_frame(buf: &[u8]) -> Result<Option<(RequestFrame<'_>, usiz
 /// hot path uses [`decode_request_frame`] instead, which keeps `INGEST`
 /// payloads borrowed.
 pub fn decode_request(buf: &[u8]) -> Result<Option<(Request, usize)>, FrameError> {
-    Ok(decode_request_frame(buf)?.map(|(frame, consumed)| (frame.into_owned(), consumed)))
+    match decode_request_frame(buf)? {
+        // Admin frames are binary-only: at the owned-Request level (the
+        // text-compat bridge) their opcodes are simply not requests.
+        Some((RequestFrame::Admin(req), _)) => Err(FrameError::BadOpcode(req.opcode())),
+        Some((frame, consumed)) => Ok(Some((frame.into_owned(), consumed))),
+        None => Ok(None),
+    }
 }
 
 /// Decode one response frame from the front of `buf`. Same contract as
@@ -723,6 +977,143 @@ mod tests {
         assert!(matches!(
             decode_request(&buf),
             Err(FrameError::Malformed(_))
+        ));
+    }
+
+    fn all_admin_requests() -> Vec<AdminRequest> {
+        vec![
+            AdminRequest::EpochState,
+            AdminRequest::Checkpoint,
+            AdminRequest::Restore(vec![0xAB; 120]),
+        ]
+    }
+
+    fn all_admin_responses() -> Vec<AdminResponse> {
+        vec![
+            AdminResponse::EpochState {
+                epoch: 3,
+                items: 9_000,
+                frames_acked: 17,
+                state: vec![1, 2, 3, 4, 5, 6, 7, 8],
+            },
+            AdminResponse::Checkpoint {
+                frames_acked: 42,
+                bytes: vec![9; 64],
+            },
+            AdminResponse::Restored { frames_acked: 42 },
+            AdminResponse::Err("restore rejected × unicode".into()),
+        ]
+    }
+
+    #[test]
+    fn every_admin_request_round_trips_through_the_frame_decoder() {
+        for req in all_admin_requests() {
+            let mut buf = Vec::new();
+            encode_admin_request(&req, &mut buf);
+            let (frame, consumed) = decode_request_frame(&buf).unwrap().unwrap();
+            assert_eq!(frame, RequestFrame::Admin(req));
+            assert_eq!(consumed, buf.len());
+        }
+    }
+
+    #[test]
+    fn every_admin_response_round_trips() {
+        for resp in all_admin_responses() {
+            let mut buf = Vec::new();
+            encode_admin_response(&resp, &mut buf);
+            let (back, consumed) = decode_admin_response(&buf).unwrap().unwrap();
+            assert_eq!(back, resp);
+            assert_eq!(consumed, buf.len());
+        }
+    }
+
+    #[test]
+    fn every_admin_truncation_is_incomplete_not_an_error() {
+        for req in all_admin_requests() {
+            let mut buf = Vec::new();
+            encode_admin_request(&req, &mut buf);
+            for cut in 0..buf.len() {
+                assert_eq!(
+                    decode_request_frame(&buf[..cut]).unwrap(),
+                    None,
+                    "cut at {cut} of {req:?}"
+                );
+            }
+        }
+        for resp in all_admin_responses() {
+            let mut buf = Vec::new();
+            encode_admin_response(&resp, &mut buf);
+            for cut in 0..buf.len() {
+                assert_eq!(
+                    decode_admin_response(&buf[..cut]).unwrap(),
+                    None,
+                    "cut at {cut} of {resp:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn admin_frames_are_binary_only_at_the_owned_request_level() {
+        // The text-compat bridge must refuse admin opcodes rather than
+        // materialize a Request they have no form for.
+        for req in all_admin_requests() {
+            let mut buf = Vec::new();
+            encode_admin_request(&req, &mut buf);
+            assert_eq!(
+                decode_request(&buf),
+                Err(FrameError::BadOpcode(req.opcode()))
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_admin_payloads_are_typed_errors() {
+        // EPOCH STATE request with a stray payload byte.
+        let mut buf = Vec::new();
+        put_header(&mut buf, opcode::EPOCH_STATE, 1);
+        buf.push(0);
+        assert!(matches!(
+            decode_request_frame(&buf),
+            Err(FrameError::Malformed(_))
+        ));
+        // RESTORE with an empty envelope.
+        let mut buf = Vec::new();
+        put_header(&mut buf, opcode::RESTORE, 0);
+        assert!(matches!(
+            decode_request_frame(&buf),
+            Err(FrameError::Malformed(_))
+        ));
+        // EPOCH STATE response shorter than its fixed header.
+        let mut buf = Vec::new();
+        put_header(&mut buf, opcode::R_EPOCH_STATE, 16);
+        buf.extend_from_slice(&[0; 16]);
+        assert!(matches!(
+            decode_admin_response(&buf),
+            Err(FrameError::Malformed(_))
+        ));
+        // CHECKPOINT response missing its high-water mark.
+        let mut buf = Vec::new();
+        put_header(&mut buf, opcode::R_CHECKPOINT, 4);
+        buf.extend_from_slice(&[0; 4]);
+        assert!(matches!(
+            decode_admin_response(&buf),
+            Err(FrameError::Malformed(_))
+        ));
+        // RESTORED with a missized payload.
+        let mut buf = Vec::new();
+        put_header(&mut buf, opcode::RESTORED, 9);
+        buf.extend_from_slice(&[0; 9]);
+        assert!(matches!(
+            decode_admin_response(&buf),
+            Err(FrameError::Malformed(_))
+        ));
+        // A plain response opcode is not an admin response.
+        let mut buf = Vec::new();
+        encode_response(&Response::Bye, &mut buf);
+        assert!(matches!(
+            decode_admin_response(&buf),
+            Err(FrameError::BadOpcode(_))
         ));
     }
 

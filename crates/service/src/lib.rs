@@ -31,6 +31,15 @@
 //!   [`SnapshotCodec`](robust_sampling_core::engine::SnapshotCodec), and
 //!   [`SummaryService::restore`] resumes with state-identical behaviour
 //!   (property-tested in `tests/service_determinism.rs`).
+//! * [`cluster`] — the multi-node layer: `N` single-shard node
+//!   *processes* behind a [`ClusterRouter`] that deals frames with the
+//!   exact [`ShardedSummary`] round-robin contract (a cluster run is
+//!   bit-identical to the offline sharded merge), a coordinator that
+//!   merges per-node epoch snapshots in shard order into one global
+//!   view, and checkpoint **failover**: a killed node is restored from
+//!   its envelope on a fresh port and the router replays only the
+//!   retained frame window — zero query-visible difference, per seed
+//!   (fault-injected in `tests/cluster_failover.rs`).
 //!
 //! The `loadgen` binary in the bench crate drives all of this under
 //! concurrent load and reports throughput plus p50/p99/p999 latency.
@@ -46,13 +55,15 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster;
 pub mod frame;
 pub mod protocol;
 pub mod server;
 pub mod service;
 
 pub use client::ServiceClient;
-pub use frame::FrameError;
+pub use cluster::{ChildGuard, ClusterConfig, ClusterDefense, ClusterRouter};
+pub use frame::{AdminRequest, AdminResponse, FrameError};
 pub use protocol::{Request, Response, ServiceStats};
 pub use server::{ServiceConfig, ServiceServer};
 pub use service::{EpochSnapshot, QueryHandle, ServableSummary, SummaryService};

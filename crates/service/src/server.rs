@@ -34,17 +34,18 @@
 //! for an ephemeral port ([`ServiceServer::port`] reports it), which is
 //! what CI and tests use to avoid bind collisions.
 
-use crate::frame;
+use crate::frame::{self, AdminRequest, AdminResponse};
 use crate::protocol::{write_snapshot_line, Request, Response, ServiceStats};
-use crate::service::{QueryHandle, ServableSummary, SummaryService};
+use crate::service::{EpochSnapshot, QueryHandle, ServableSummary, SummaryService};
 use polling::{Event, Poller};
 use robust_sampling_core::attack::ObservableDefense;
+use robust_sampling_core::engine::{SnapshotCodec, SnapshotError};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -70,10 +71,68 @@ impl Default for ServiceConfig {
     }
 }
 
+/// The cluster control-plane handlers, monomorphized where the
+/// [`SnapshotCodec`] bound holds (so the plain [`ServiceServer::spawn`]
+/// never requires it). `None` = admin frames answered with `ERR`.
+struct AdminHooks<S: ServableSummary> {
+    epoch_state: fn(&SummaryService<S>) -> AdminResponse,
+    checkpoint: fn(&SummaryService<S>) -> AdminResponse,
+    restore: fn(&[u8]) -> RestoredService<S>,
+}
+
+/// What a `RESTORE` handler rebuilds: the service plus its frame
+/// high-water mark at checkpoint time.
+type RestoredService<S> = Result<(SummaryService<S>, u64), SnapshotError>;
+
+fn admin_hooks<S>() -> AdminHooks<S>
+where
+    S: ServableSummary + SnapshotCodec,
+{
+    AdminHooks {
+        epoch_state: |svc| {
+            let snap = svc.snapshot();
+            let mut state = Vec::new();
+            snap.summary().save_into(&mut state);
+            AdminResponse::EpochState {
+                epoch: snap.epoch(),
+                items: snap.items() as u64,
+                frames_acked: svc.frames_acked(),
+                state,
+            }
+        },
+        checkpoint: |svc| AdminResponse::Checkpoint {
+            frames_acked: svc.frames_acked(),
+            bytes: svc.checkpoint(),
+        },
+        restore: |bytes| {
+            SummaryService::restore(bytes).map(|svc| {
+                let frames_acked = svc.frames_acked();
+                (svc, frames_acked)
+            })
+        },
+    }
+}
+
 struct Shared<S: ServableSummary> {
     service: Mutex<SummaryService<S>>,
-    queries: QueryHandle<S>,
+    /// Behind an `RwLock` so an admin `RESTORE` (which swaps the service
+    /// wholesale) can re-point query dispatch at the restored service's
+    /// published snapshot. Uncontended on the query path.
+    queries: RwLock<QueryHandle<S>>,
     universe: u64,
+    admin: Option<AdminHooks<S>>,
+}
+
+impl<S: ServableSummary> Shared<S> {
+    /// The current published snapshot via the (possibly restored) query
+    /// handle. The read guard is released before the snapshot is used,
+    /// so query work never holds the handle lock.
+    fn snapshot(&self) -> Arc<EpochSnapshot<S>> {
+        self.queries
+            .read()
+            .expect("query handle poisoned")
+            .snapshot()
+    }
 }
 
 /// How long a worker (or the acceptor) sleeps in `poll` before
@@ -101,14 +160,45 @@ impl ServiceServer {
     where
         S: ServableSummary + ObservableDefense,
     {
+        Self::spawn_inner(service, config, None)
+    }
+
+    /// Like [`spawn`](Self::spawn), but with the **cluster control
+    /// plane** enabled: the endpoint additionally answers the binary
+    /// admin frames — `EPOCH STATE` (pull the published epoch snapshot
+    /// for a coordinator's shard-order merge), `CHECKPOINT` (pull the
+    /// full checkpoint envelope), and `RESTORE` (swap in a service
+    /// rebuilt from an envelope; queries re-point at the restored
+    /// service's published snapshot atomically). This is what a cluster
+    /// node's serving endpoint runs; the plain `spawn` answers admin
+    /// frames with `ERR` and needs no [`SnapshotCodec`] bound.
+    pub fn spawn_admin<S>(
+        service: SummaryService<S>,
+        config: ServiceConfig,
+    ) -> std::io::Result<Self>
+    where
+        S: ServableSummary + ObservableDefense + SnapshotCodec,
+    {
+        Self::spawn_inner(service, config, Some(admin_hooks()))
+    }
+
+    fn spawn_inner<S>(
+        service: SummaryService<S>,
+        config: ServiceConfig,
+        admin: Option<AdminHooks<S>>,
+    ) -> std::io::Result<Self>
+    where
+        S: ServableSummary + ObservableDefense,
+    {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let shared = Arc::new(Shared {
-            queries: service.query_handle(),
+            queries: RwLock::new(service.query_handle()),
             service: Mutex::new(service),
             universe: config.universe,
+            admin,
         });
 
         let workers = config.workers.max(1);
@@ -380,6 +470,10 @@ impl Conn {
                         pos += consumed;
                         self.respond_binary(req, shared);
                     }
+                    Ok(Some((frame::RequestFrame::Admin(req), consumed))) => {
+                        pos += consumed;
+                        self.respond_admin(req, shared);
+                    }
                     Ok(None) => break,
                     Err(e) => {
                         // The stream cannot be resynchronized after a
@@ -459,7 +553,7 @@ impl Conn {
             // slice into the out-buffer — no owned copy of the sample,
             // no intermediate Response.
             Request::Snapshot => {
-                let snap = shared.queries.snapshot();
+                let snap = shared.snapshot();
                 frame::encode_snapshot_slice(
                     snap.epoch(),
                     snap.items(),
@@ -469,6 +563,40 @@ impl Conn {
             }
             req => frame::encode_response(&answer(req, shared), &mut self.outbuf),
         }
+    }
+
+    /// Answer one cluster control-plane frame. `RESTORE` swaps the
+    /// service wholesale under the mutex and re-points query dispatch at
+    /// the restored service's published snapshot before acknowledging,
+    /// so no query window ever mixes old and new state.
+    fn respond_admin<S>(&mut self, req: AdminRequest, shared: &Shared<S>)
+    where
+        S: ServableSummary + ObservableDefense,
+    {
+        let resp = match &shared.admin {
+            None => AdminResponse::Err("admin frames are not enabled on this endpoint".into()),
+            Some(hooks) => match req {
+                AdminRequest::EpochState => {
+                    let service = shared.service.lock().expect("service lock poisoned");
+                    (hooks.epoch_state)(&service)
+                }
+                AdminRequest::Checkpoint => {
+                    let service = shared.service.lock().expect("service lock poisoned");
+                    (hooks.checkpoint)(&service)
+                }
+                AdminRequest::Restore(bytes) => match (hooks.restore)(&bytes) {
+                    Ok((restored, frames_acked)) => {
+                        let mut service = shared.service.lock().expect("service lock poisoned");
+                        let mut queries = shared.queries.write().expect("query handle poisoned");
+                        *queries = restored.query_handle();
+                        *service = restored;
+                        AdminResponse::Restored { frames_acked }
+                    }
+                    Err(e) => AdminResponse::Err(format!("restore rejected: {e}")),
+                },
+            },
+        };
+        frame::encode_admin_response(&resp, &mut self.outbuf);
     }
 
     fn respond_text<S>(&mut self, req: Result<Request, String>, shared: &Shared<S>)
@@ -483,7 +611,7 @@ impl Conn {
             }
             // Same borrowed serialization as the binary snapshot path.
             Ok(Request::Snapshot) => {
-                let snap = shared.queries.snapshot();
+                let snap = shared.snapshot();
                 write_snapshot_line(
                     snap.epoch(),
                     snap.items(),
@@ -560,12 +688,12 @@ where
             let mut service = shared.service.lock().expect("service lock poisoned");
             Response::Ingested(service.ingest_frame(&vs))
         }
-        Request::QueryCount(x) => Response::Count(shared.queries.snapshot().count(x)),
-        Request::QueryQuantile(q) => Response::Quantile(shared.queries.snapshot().quantile(q)),
-        Request::QueryHeavy(t) => Response::Heavy(shared.queries.snapshot().heavy(t)),
-        Request::QueryKs => Response::Ks(shared.queries.snapshot().ks_uniform(shared.universe)),
+        Request::QueryCount(x) => Response::Count(shared.snapshot().count(x)),
+        Request::QueryQuantile(q) => Response::Quantile(shared.snapshot().quantile(q)),
+        Request::QueryHeavy(t) => Response::Heavy(shared.snapshot().heavy(t)),
+        Request::QueryKs => Response::Ks(shared.snapshot().ks_uniform(shared.universe)),
         Request::Snapshot => {
-            let snap = shared.queries.snapshot();
+            let snap = shared.snapshot();
             Response::Snapshot {
                 epoch: snap.epoch(),
                 items: snap.items(),
@@ -573,7 +701,7 @@ where
             }
         }
         Request::Stats => {
-            let snap = shared.queries.snapshot();
+            let snap = shared.snapshot();
             let service = shared.service.lock().expect("service lock poisoned");
             Response::Stats(ServiceStats {
                 items: service.items_routed(),

@@ -47,7 +47,7 @@
 
 use robust_sampling_core::attack::ObservableDefense;
 use robust_sampling_core::engine::snapshot::{
-    put_u64, put_usize, SnapshotCodec, SnapshotError, SnapshotReader,
+    put_u64, put_usize, FrameHwm, SnapshotCodec, SnapshotError, SnapshotReader,
 };
 use robust_sampling_core::engine::{
     merge_in_shard_order, MergeableSummary, ShardedSummary, StreamSummary,
@@ -94,7 +94,7 @@ pub struct EpochSnapshot<S> {
 }
 
 impl<S> EpochSnapshot<S> {
-    fn new(epoch: u64, items: usize, merged: S) -> Self {
+    pub(crate) fn new(epoch: u64, items: usize, merged: S) -> Self {
         Self {
             epoch,
             items,
@@ -387,8 +387,10 @@ struct Worker<S> {
 /// of strides per shard.
 const BUFS_PER_SHARD: usize = 8;
 
-/// Checkpoint envelope magic (`b"RSVC"` + format version 1).
-const CHECKPOINT_MAGIC: u64 = 0x5253_5643_0000_0001;
+/// Checkpoint envelope magic (`b"RSVC"` + format version 2; version 2
+/// added the frame high-water mark the cluster router's replay window
+/// dedups against).
+const CHECKPOINT_MAGIC: u64 = 0x5253_5643_0000_0002;
 
 /// A long-running, concurrently-queried summary service. See the module
 /// docs for the determinism and concurrency contracts.
@@ -404,6 +406,10 @@ pub struct SummaryService<S: ServableSummary> {
     routed: usize,
     /// Elements ingested since the last publish.
     since_publish: usize,
+    /// Ingest frames fully applied — the high-water mark a checkpoint
+    /// envelope carries so a failover replay can dedup (see
+    /// [`FrameHwm`]).
+    frames_acked: FrameHwm,
     /// Publish an epoch every this many ingested elements.
     epoch_every: usize,
     /// Epoch number of the most recently *triggered* publish (the
@@ -448,7 +454,7 @@ impl<S: ServableSummary> SummaryService<S> {
         let built: Vec<S> = (0..shards)
             .map(|j| factory(j, ShardedSummary::<S>::shard_seed(base_seed, j)))
             .collect();
-        Self::from_parts(built, 0, 0, 0, epoch_every, None)
+        Self::from_parts(built, 0, 0, FrameHwm::default(), 0, epoch_every, None)
     }
 
     /// Assemble a service around pre-built shard states. `published` is
@@ -461,6 +467,7 @@ impl<S: ServableSummary> SummaryService<S> {
         shards: Vec<S>,
         routed: usize,
         since_publish: usize,
+        frames_acked: FrameHwm,
         epoch: u64,
         epoch_every: usize,
         published: Option<EpochSnapshot<S>>,
@@ -510,6 +517,7 @@ impl<S: ServableSummary> SummaryService<S> {
             pool,
             routed,
             since_publish,
+            frames_acked,
             epoch_every,
             epoch,
             published,
@@ -527,6 +535,13 @@ impl<S: ServableSummary> SummaryService<S> {
     /// Elements ingested (dealt to workers) so far.
     pub fn items_routed(&self) -> usize {
         self.routed
+    }
+
+    /// Ingest frames fully applied so far — the frame high-water mark
+    /// checkpoints persist. A router replaying a retained frame window
+    /// after failover skips every frame with index below this mark.
+    pub fn frames_acked(&self) -> u64 {
+        self.frames_acked.frames()
     }
 
     /// The publish cadence, in elements.
@@ -628,6 +643,7 @@ impl<S: ServableSummary> SummaryService<S> {
     }
 
     fn finish_frame(&mut self, n: usize) -> usize {
+        self.frames_acked.ack();
         self.routed += n;
         self.since_publish += n;
         if self.since_publish >= self.epoch_every {
@@ -690,9 +706,10 @@ impl<S: ServableSummary> SummaryService<S> {
 
 impl<S: ServableSummary + SnapshotCodec> SummaryService<S> {
     /// Serialize the full service state — shard summaries (with their
-    /// private RNG/gap state), round-robin cursor, publish cadence and
-    /// phase, epoch counter, **and the currently published snapshot** —
-    /// as one byte string. The cut is consistent and frame-aligned (same
+    /// private RNG/gap state), round-robin cursor, the frame high-water
+    /// mark ([`frames_acked`](Self::frames_acked), which a failover
+    /// replay dedups against), publish cadence and phase, epoch counter,
+    /// **and the currently published snapshot** — as one byte string. The cut is consistent and frame-aligned (same
     /// barrier as [`collect_states`](Self::publish); any in-flight
     /// cadence publish is waited out first so the snapshot that rides
     /// along is the newest one).
@@ -712,6 +729,7 @@ impl<S: ServableSummary + SnapshotCodec> SummaryService<S> {
         put_usize(&mut out, self.workers.len());
         put_usize(&mut out, self.routed);
         put_usize(&mut out, self.since_publish);
+        self.frames_acked.save_into(&mut out);
         put_usize(&mut out, self.epoch_every);
         put_u64(&mut out, self.epoch);
         put_usize(&mut out, snap.items());
@@ -736,6 +754,7 @@ impl<S: ServableSummary + SnapshotCodec> SummaryService<S> {
         }
         let routed = r.usize()?;
         let since_publish = r.usize()?;
+        let frames_acked = FrameHwm::restore_from(&mut r)?;
         let epoch_every = r.usize()?;
         if epoch_every == 0 {
             return Err(SnapshotError::Corrupt("checkpoint epoch_every zero"));
@@ -753,6 +772,7 @@ impl<S: ServableSummary + SnapshotCodec> SummaryService<S> {
             states,
             routed,
             since_publish,
+            frames_acked,
             epoch,
             epoch_every,
             Some(EpochSnapshot::new(epoch, snap_items, snap_merged)),
@@ -1005,10 +1025,13 @@ mod tests {
         for frame in stream[..15_000].chunks(500) {
             half.ingest_frame(frame);
         }
+        let frames_before = half.frames_acked();
+        assert_eq!(frames_before, 30); // 15_000 elements in 500-element frames
         let bytes = half.checkpoint();
         drop(half);
         let mut resumed = SummaryService::<ReservoirSampler<u64>>::restore(&bytes).unwrap();
         assert_eq!(resumed.items_routed(), 15_000);
+        assert_eq!(resumed.frames_acked(), frames_before);
         for frame in stream[15_000..].chunks(500) {
             resumed.ingest_frame(frame);
         }

@@ -1,0 +1,263 @@
+//! Fault-injection property tests for cluster checkpoint failover — the
+//! headline contract of the cluster layer:
+//!
+//! **A node killed mid-stream and restored from its checkpoint on a new
+//! port produces zero query-visible difference versus the uninterrupted
+//! run, per seed.**
+//!
+//! Each case runs the same frame schedule twice against real
+//! `cluster_node` processes: once uninterrupted (recording the
+//! coordinator's global view after *every* frame), once with faults
+//! injected at proptest-chosen cut points — checkpoint at frame `c`,
+//! `SIGKILL` a node at frame `d >= c` (which, across schedules, lands
+//! mid-cadence-window, exactly at a cadence boundary, and right after a
+//! publish-triggering frame), restore on a fresh ephemeral port, replay
+//! the retained window. After every subsequent frame the faulted run's
+//! merged view must equal the baseline's, bit for bit. The double-fault
+//! case kills the restored node again; the never-checkpointed case
+//! restores from an empty node plus a full-window replay.
+
+use proptest::prelude::*;
+use robust_sampling_core::sampler::ReservoirSampler;
+use robust_sampling_service::cluster::{ClusterConfig, ClusterRouter};
+
+/// Split `stream` into frames whose sizes cycle through `splits`.
+fn frames<'a>(stream: &'a [u64], splits: &[usize]) -> Vec<&'a [u64]> {
+    let mut rest = stream;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while !rest.is_empty() {
+        let take = if splits.is_empty() {
+            rest.len()
+        } else {
+            (splits[i % splits.len()] % rest.len()).max(1)
+        };
+        out.push(&rest[..take]);
+        rest = &rest[take..];
+        i += 1;
+    }
+    out
+}
+
+/// A deterministic scrambled stream (workload choice is exercised by
+/// `tests/cluster_determinism.rs`; here the schedule is what varies).
+fn stream(n: usize, seed: u64) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| i.wrapping_add(seed).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48)
+        .collect()
+}
+
+fn cluster(nodes: usize, base_seed: u64, epoch_every: usize) -> ClusterRouter {
+    ClusterRouter::start(ClusterConfig {
+        nodes,
+        base_seed,
+        epoch_every,
+        cap: 32,
+        universe: 1 << 16,
+        workers: 1,
+    })
+    .expect("start cluster")
+}
+
+/// One global view, reduced to comparable parts.
+fn view_of(router: &ClusterRouter) -> (u64, usize, Vec<u64>) {
+    let view = router
+        .global_view::<ReservoirSampler<u64>>()
+        .expect("global view");
+    (view.epoch(), view.items(), view.visible_ref().to_vec())
+}
+
+/// Run `schedule` uninterrupted, recording the view after every frame.
+fn baseline_views(
+    nodes: usize,
+    seed: u64,
+    epoch_every: usize,
+    schedule: &[&[u64]],
+) -> Vec<(u64, usize, Vec<u64>)> {
+    let mut router = cluster(nodes, seed, epoch_every);
+    schedule
+        .iter()
+        .map(|frame| {
+            router.ingest(frame).expect("cluster ingest");
+            view_of(&router)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Single fault at an arbitrary cut point: checkpoint at frame `c`,
+    /// kill + restore at frame `d`, zero view difference anywhere.
+    #[test]
+    fn killed_node_restored_from_checkpoint_changes_no_view(
+        nodes in 1usize..4,
+        epoch_every in 1usize..24,
+        seed in 0u64..500,
+        n in 16usize..1_200,
+        splits in proptest::collection::vec(1usize..300, 1..5),
+        victim in 0usize..4,
+        cut in 0.0f64..1.0,
+        gap in 0.0f64..1.0,
+    ) {
+        let victim = victim % nodes;
+        let data = stream(n, seed);
+        let schedule = frames(&data, &splits);
+        let c = ((schedule.len() as f64 * cut) as usize).min(schedule.len() - 1);
+        let d = c + ((schedule.len() - c) as f64 * gap) as usize;
+        let d = d.min(schedule.len() - 1);
+        let baseline = baseline_views(nodes, seed, epoch_every, &schedule);
+
+        let mut router = cluster(nodes, seed, epoch_every);
+        for (i, frame) in schedule.iter().enumerate() {
+            router.ingest(frame).expect("cluster ingest");
+            if i == c {
+                router.checkpoint_all().expect("checkpoint");
+            }
+            if i == d {
+                router.kill_node(victim);
+                router.restore_node(victim).expect("restore");
+            }
+            let got = view_of(&router);
+            prop_assert_eq!(&got, &baseline[i], "frame {}", i);
+        }
+        // The restored node's acked frames caught back up to the
+        // router's ledger — the replay really was exact.
+        let (_, _, hwm, _) = router
+            .node_epoch_state::<ReservoirSampler<u64>>(victim)
+            .expect("node epoch state");
+        prop_assert_eq!(hwm, router.frames_sent(victim));
+    }
+
+    /// Double fault: the restored node dies again (same checkpoint,
+    /// same retained window — replayed twice) and still no view
+    /// anywhere differs from the uninterrupted run.
+    #[test]
+    fn double_fault_on_the_same_node_changes_no_view(
+        nodes in 2usize..4,
+        epoch_every in 1usize..16,
+        seed in 0u64..500,
+        n in 32usize..900,
+        splits in proptest::collection::vec(1usize..200, 1..4),
+        victim in 0usize..4,
+        cut in 0.0f64..1.0,
+    ) {
+        let victim = victim % nodes;
+        let data = stream(n, seed.wrapping_add(77));
+        let schedule = frames(&data, &splits);
+        let c = ((schedule.len() as f64 * cut) as usize).min(schedule.len() - 1);
+        // Second kill strikes midway through what remains.
+        let d2 = c + (schedule.len() - c) / 2;
+        let baseline = baseline_views(nodes, seed, epoch_every, &schedule);
+
+        let mut router = cluster(nodes, seed, epoch_every);
+        for (i, frame) in schedule.iter().enumerate() {
+            router.ingest(frame).expect("cluster ingest");
+            if i == c {
+                router.checkpoint_all().expect("checkpoint");
+                router.kill_node(victim);
+                router.restore_node(victim).expect("first restore");
+            }
+            if i == d2 && d2 > c {
+                router.kill_node(victim);
+                router.restore_node(victim).expect("second restore");
+            }
+            let got = view_of(&router);
+            prop_assert_eq!(&got, &baseline[i], "frame {}", i);
+        }
+    }
+
+    /// A node that dies before any checkpoint exists restarts empty and
+    /// replays its entire retained window — still no view difference.
+    #[test]
+    fn fault_before_first_checkpoint_replays_the_full_window(
+        nodes in 1usize..4,
+        epoch_every in 1usize..16,
+        seed in 0u64..500,
+        n in 16usize..600,
+        splits in proptest::collection::vec(1usize..150, 1..4),
+        victim in 0usize..4,
+        cut in 0.0f64..1.0,
+    ) {
+        let victim = victim % nodes;
+        let data = stream(n, seed.wrapping_add(123));
+        let schedule = frames(&data, &splits);
+        let d = ((schedule.len() as f64 * cut) as usize).min(schedule.len() - 1);
+        let baseline = baseline_views(nodes, seed, epoch_every, &schedule);
+
+        let mut router = cluster(nodes, seed, epoch_every);
+        for (i, frame) in schedule.iter().enumerate() {
+            router.ingest(frame).expect("cluster ingest");
+            if i == d {
+                router.kill_node(victim);
+                router.restore_node(victim).expect("restore");
+            }
+            let got = view_of(&router);
+            prop_assert_eq!(&got, &baseline[i], "frame {}", i);
+        }
+    }
+}
+
+/// Deterministic pin: kill exactly at a cadence boundary (the frame
+/// that triggered a publish) and mid-window, on a 3-node cluster with a
+/// lockstep-aligned schedule — the two named cut flavors, nailed down
+/// without proptest shrinking in the way.
+#[test]
+fn boundary_and_mid_window_kills_are_both_transparent() {
+    let nodes = 3;
+    let epoch_every = 8;
+    let cadence = nodes * epoch_every; // 24
+    let data = stream(cadence * 6, 9);
+    // Aligned frames: every frame ends exactly at a cluster cadence
+    // boundary, so kill-after-frame == kill at a publish boundary.
+    let aligned: Vec<&[u64]> = data.chunks(cadence).collect();
+    // Misaligned frames: kills land mid-cadence-window.
+    let misaligned: Vec<&[u64]> = data.chunks(17).collect();
+
+    for schedule in [aligned, misaligned] {
+        let baseline = baseline_views(nodes, 9, epoch_every, &schedule);
+        let mut router = cluster(nodes, 9, epoch_every);
+        for (i, frame) in schedule.iter().enumerate() {
+            router.ingest(frame).expect("cluster ingest");
+            if i == 1 {
+                router.checkpoint_all().expect("checkpoint");
+            }
+            if i == 2 {
+                // Kill immediately after the frame landed (at the
+                // boundary for the aligned schedule, mid-window for the
+                // misaligned one) — possibly while the node's publisher
+                // is still landing the epoch.
+                router.kill_node(1);
+                router.restore_node(1).expect("restore");
+            }
+            assert_eq!(view_of(&router), baseline[i], "frame {i}");
+        }
+    }
+}
+
+/// The replay window really is trimmed by checkpoints: after a
+/// checkpoint at the high-water mark, the window holds only frames sent
+/// since — and a restore replays exactly those.
+#[test]
+fn checkpoints_trim_the_replay_window() {
+    let mut router = cluster(2, 4, 4);
+    let data = stream(400, 4);
+    for frame in data[..200].chunks(23) {
+        router.ingest(frame).expect("cluster ingest");
+    }
+    let sent_at_ckpt = router.frames_sent(0);
+    router.checkpoint_all().expect("checkpoint");
+    for frame in data[200..].chunks(23) {
+        router.ingest(frame).expect("cluster ingest");
+    }
+    let sent_total = router.frames_sent(0);
+    assert!(sent_total > sent_at_ckpt);
+    // Kill + restore: the replayed tail is (sent_total - sent_at_ckpt)
+    // frames; the restored node must end at the full high-water mark.
+    router.kill_node(0);
+    router.restore_node(0).expect("restore");
+    let (_, _, hwm, _) = router
+        .node_epoch_state::<ReservoirSampler<u64>>(0)
+        .expect("node epoch state");
+    assert_eq!(hwm, sent_total);
+}

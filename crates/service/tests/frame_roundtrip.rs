@@ -5,9 +5,11 @@
 
 use proptest::prelude::*;
 use robust_sampling_service::frame::{
-    decode_request, decode_response, encode_request, encode_response, FrameError, HEADER_BYTES,
+    decode_admin_response, decode_request, decode_request_frame, decode_response,
+    encode_admin_request, encode_admin_response, encode_request, encode_response, FrameError,
+    RequestFrame, HEADER_BYTES,
 };
-use robust_sampling_service::{Request, Response, ServiceStats};
+use robust_sampling_service::{AdminRequest, AdminResponse, Request, Response, ServiceStats};
 
 fn assert_request_roundtrip(req: Request) {
     let mut buf = Vec::new();
@@ -125,6 +127,174 @@ proptest! {
         }
         if let Ok(Some((_, consumed))) = decode_response(&bytes) {
             prop_assert!(consumed >= HEADER_BYTES && consumed <= bytes.len());
+        }
+    }
+
+    // ---- Cluster control plane (admin opcodes) ----------------------
+
+    /// Every admin request round-trips through the frame-level request
+    /// decoder (the coordinator→node direction), including `RESTORE`
+    /// envelopes of arbitrary contents.
+    #[test]
+    fn admin_requests_round_trip(envelope in proptest::collection::vec(0u8..=255, 1..512)) {
+        for req in [
+            AdminRequest::EpochState,
+            AdminRequest::Checkpoint,
+            AdminRequest::Restore(envelope),
+        ] {
+            let mut buf = Vec::new();
+            encode_admin_request(&req, &mut buf);
+            let (frame, consumed) = decode_request_frame(&buf)
+                .expect("well-formed admin frame")
+                .expect("complete admin frame");
+            prop_assert_eq!(consumed, buf.len());
+            match frame {
+                RequestFrame::Admin(back) => prop_assert_eq!(back, req),
+                other => prop_assert!(false, "expected Admin frame, got {:?}", other),
+            }
+        }
+    }
+
+    /// Every admin response round-trips (the node→coordinator
+    /// direction), with arbitrary state/envelope payloads and
+    /// high-water marks.
+    #[test]
+    fn admin_responses_round_trip(
+        epoch in any::<u64>(),
+        items in any::<u64>(),
+        frames_acked in any::<u64>(),
+        state in proptest::collection::vec(0u8..=255, 0..512),
+    ) {
+        for resp in [
+            AdminResponse::EpochState {
+                epoch,
+                items,
+                frames_acked,
+                state: state.clone(),
+            },
+            AdminResponse::Checkpoint {
+                frames_acked,
+                bytes: state.clone(),
+            },
+            AdminResponse::Restored { frames_acked },
+            AdminResponse::Err("node unreachable ×".into()),
+        ] {
+            let mut buf = Vec::new();
+            encode_admin_response(&resp, &mut buf);
+            let (back, consumed) = decode_admin_response(&buf)
+                .expect("well-formed admin response")
+                .expect("complete admin response");
+            prop_assert_eq!(back, resp);
+            prop_assert_eq!(consumed, buf.len());
+        }
+    }
+
+    /// Any strict prefix of a valid admin frame — either direction of
+    /// the coordinator↔node boundary — decodes to `None` (read more),
+    /// never to an error and never to a value.
+    #[test]
+    fn admin_truncations_ask_for_more_bytes(
+        envelope in proptest::collection::vec(0u8..=255, 1..256),
+        frames_acked in any::<u64>(),
+        cut_seed in any::<u64>(),
+    ) {
+        let mut buf = Vec::new();
+        encode_admin_request(&AdminRequest::Restore(envelope.clone()), &mut buf);
+        let cut = (cut_seed as usize) % buf.len();
+        prop_assert_eq!(decode_request_frame(&buf[..cut]).unwrap().map(|(_, n)| n), None);
+
+        let mut rbuf = Vec::new();
+        encode_admin_response(
+            &AdminResponse::Checkpoint {
+                frames_acked,
+                bytes: envelope,
+            },
+            &mut rbuf,
+        );
+        let rcut = (cut_seed as usize) % rbuf.len();
+        prop_assert!(decode_admin_response(&rbuf[..rcut]).unwrap().is_none());
+    }
+
+    /// Arbitrary garbage at the coordinator↔node boundary never panics
+    /// the admin decoders: a typed [`FrameError`], "read more", or an
+    /// in-bounds decode — nothing else.
+    #[test]
+    fn admin_garbage_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..96)) {
+        match decode_admin_response(&bytes) {
+            Ok(Some((_, consumed))) => {
+                prop_assert!(consumed >= HEADER_BYTES && consumed <= bytes.len());
+            }
+            Ok(None) => {}
+            Err(
+                FrameError::BadMagic(_)
+                | FrameError::BadVersion(_)
+                | FrameError::BadOpcode(_)
+                | FrameError::Oversized { .. }
+                | FrameError::Malformed(_),
+            ) => {}
+        }
+        // The frame-level request decoder sees the same bytes a node's
+        // connection would.
+        match decode_request_frame(&bytes) {
+            Ok(Some((_, consumed))) => prop_assert!(consumed <= bytes.len()),
+            Ok(None) => {}
+            Err(_) => {}
+        }
+    }
+
+    /// Flipping any single byte of a valid admin frame never panics and
+    /// never yields an out-of-bounds decode — the adversarial
+    /// coordinator↔node case: a corrupted header is a typed error, a
+    /// corrupted payload is at worst a different in-bounds value.
+    #[test]
+    fn admin_corruption_is_typed_never_a_panic(
+        frames_acked in any::<u64>(),
+        state in proptest::collection::vec(0u8..=255, 0..128),
+        pos_seed in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let mut buf = Vec::new();
+        encode_admin_response(
+            &AdminResponse::EpochState {
+                epoch: 3,
+                items: 99,
+                frames_acked,
+                state,
+            },
+            &mut buf,
+        );
+        let pos = (pos_seed as usize) % buf.len();
+        buf[pos] ^= flip;
+        match decode_admin_response(&buf) {
+            Ok(Some((_, consumed))) => prop_assert!(consumed <= buf.len()),
+            Ok(None) => {}
+            Err(
+                FrameError::BadMagic(_)
+                | FrameError::BadVersion(_)
+                | FrameError::BadOpcode(_)
+                | FrameError::Oversized { .. }
+                | FrameError::Malformed(_),
+            ) => {}
+        }
+    }
+}
+
+/// The text-compat bridge refuses admin frames with a typed error: the
+/// cluster control plane has no text grammar, so an admin opcode
+/// arriving where only classic requests are expected is `BadOpcode`,
+/// never a panic or a misparse.
+#[test]
+fn owned_request_decoder_rejects_admin_opcodes_as_typed_errors() {
+    for req in [
+        AdminRequest::EpochState,
+        AdminRequest::Checkpoint,
+        AdminRequest::Restore(vec![1, 2, 3]),
+    ] {
+        let mut buf = Vec::new();
+        encode_admin_request(&req, &mut buf);
+        match decode_request(&buf) {
+            Err(FrameError::BadOpcode(op)) => assert_eq!(op, req.opcode()),
+            other => panic!("expected BadOpcode, got {other:?}"),
         }
     }
 }

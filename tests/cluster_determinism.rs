@@ -1,0 +1,189 @@
+//! Property tests for the cluster's two determinism contracts:
+//!
+//! 1. **Cluster ≡ offline sharded merge** — an `N`-node cluster fed any
+//!    frame schedule of any registry workload answers bit-identically
+//!    to the offline [`ShardedSummary`] run with `K = N` shards and the
+//!    same base seed (and, transitively, to a local in-process
+//!    [`SummaryService`] of the same shape): the distributed boundary —
+//!    process isolation, TCP, the binary frame protocol, the
+//!    coordinator's shard-order merge — adds no randomness.
+//! 2. **Coordinator views are consistent at every cadence boundary** —
+//!    with aligned frames (multiples of `N * E` elements), every
+//!    boundary's global view equals the offline sharded prefix merge at
+//!    exactly that boundary, and at *any* point the coordinator's
+//!    merged view equals the hand-merge of the per-node epoch states it
+//!    was built from.
+//!
+//! Node processes are real: each case spawns `cluster_node` binaries on
+//! ephemeral ports and speaks the binary admin protocol.
+
+use proptest::prelude::*;
+use robust_sampling::core::engine::{merge_in_shard_order, ShardedSummary, StreamSummary};
+use robust_sampling::core::sampler::{ReservoirSampler, StreamSampler};
+use robust_sampling::service::cluster::{ClusterConfig, ClusterRouter};
+use robust_sampling::service::SummaryService;
+use robust_sampling::streamgen;
+
+/// Split `stream` into frames whose sizes cycle through `splits`.
+fn frames<'a>(stream: &'a [u64], splits: &[usize]) -> Vec<&'a [u64]> {
+    let mut rest = stream;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while !rest.is_empty() {
+        let take = if splits.is_empty() {
+            rest.len()
+        } else {
+            (splits[i % splits.len()] % rest.len()).max(1)
+        };
+        out.push(&rest[..take]);
+        rest = &rest[take..];
+        i += 1;
+    }
+    out
+}
+
+fn workload_stream(which: usize, n: usize, seed: u64) -> Vec<u64> {
+    let registry = streamgen::registry();
+    registry[which % registry.len()].materialize(n, 1 << 16, seed)
+}
+
+fn cluster(nodes: usize, base_seed: u64, epoch_every: usize, cap: usize) -> ClusterRouter {
+    ClusterRouter::start(ClusterConfig {
+        nodes,
+        base_seed,
+        epoch_every,
+        cap,
+        universe: 1 << 16,
+        workers: 1,
+    })
+    .expect("start cluster")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Fresh-view cadence (`E = 1`): after any frame schedule the
+    /// coordinator's merged view is bit-identical to the offline
+    /// sharded run — same sample, same item counts — and every query
+    /// kind (COUNT/QUANTILE/HH/KS) answers exactly as a local
+    /// in-process service of the same shape does.
+    #[test]
+    fn cluster_ingest_equals_offline_sharded_merge(
+        which in 0usize..16,
+        nodes in 1usize..5,
+        cap in 8usize..64,
+        seed in 0u64..1_000,
+        n in 1usize..2_500,
+        splits in proptest::collection::vec(1usize..700, 0..6),
+    ) {
+        let stream = workload_stream(which, n, seed.wrapping_add(11));
+        let mut offline = ShardedSummary::new(nodes, seed, |_, s| {
+            ReservoirSampler::<u64>::with_seed(cap, s)
+        });
+        let mut local = SummaryService::start(nodes, seed, 1, |_, s| {
+            ReservoirSampler::<u64>::with_seed(cap, s)
+        });
+        let mut router = cluster(nodes, seed, 1, cap);
+        for frame in frames(&stream, &splits) {
+            offline.ingest_batch(frame);
+            local.ingest_frame(frame);
+            router.ingest(frame).expect("cluster ingest");
+        }
+        let view = router.global_view::<ReservoirSampler<u64>>().expect("global view");
+        let merged = offline.merged();
+        prop_assert_eq!(view.items(), stream.len());
+        prop_assert_eq!(view.summary().sample(), merged.sample());
+        prop_assert_eq!(view.summary().observed(), stream.len());
+        // Every query kind answers like the equivalent local service.
+        let snap = local.snapshot();
+        prop_assert_eq!(view.quantile(0.5), snap.quantile(0.5));
+        prop_assert_eq!(view.count(stream[0]), snap.count(stream[0]));
+        prop_assert_eq!(view.heavy(0.05), snap.heavy(0.05));
+        prop_assert_eq!(view.ks_uniform(1 << 16), snap.ks_uniform(1 << 16));
+    }
+
+    /// Aligned cadence (frames of exactly `N * E` elements): *every*
+    /// cluster cadence boundary's global view equals the offline
+    /// sharded prefix merge at that boundary, with all nodes in epoch
+    /// lockstep.
+    #[test]
+    fn every_cadence_boundary_view_matches_the_offline_prefix(
+        which in 0usize..16,
+        nodes in 1usize..5,
+        epoch_every in 1usize..64,
+        seed in 0u64..500,
+        windows in 1usize..12,
+    ) {
+        let cadence = nodes * epoch_every;
+        let stream = workload_stream(which, cadence * windows, seed.wrapping_add(5));
+        let mut offline = ShardedSummary::new(nodes, seed, |_, s| {
+            ReservoirSampler::<u64>::with_seed(32, s)
+        });
+        let mut router = cluster(nodes, seed, epoch_every, 32);
+        for (m, frame) in stream.chunks(cadence).enumerate() {
+            offline.ingest_batch(frame);
+            router.ingest(frame).expect("cluster ingest");
+            let view = router.global_view::<ReservoirSampler<u64>>().expect("global view");
+            prop_assert_eq!(view.epoch(), m as u64 + 1);
+            prop_assert_eq!(view.items(), (m + 1) * cadence);
+            let merged = offline.merged();
+            prop_assert_eq!(view.summary().sample(), merged.sample());
+        }
+    }
+
+    /// At *any* pull point — aligned or not — the coordinator's global
+    /// view is exactly the shard-order hand-merge of the per-node epoch
+    /// states it reads, and the per-node states it reads are the nodes'
+    /// published boundaries (items ≡ 0 mod the per-node cadence).
+    #[test]
+    fn coordinator_view_is_the_shard_order_merge_of_node_states(
+        which in 0usize..16,
+        nodes in 1usize..5,
+        epoch_every in 1usize..48,
+        seed in 0u64..500,
+        n in 1usize..2_000,
+        splits in proptest::collection::vec(1usize..500, 0..5),
+    ) {
+        let stream = workload_stream(which, n, seed.wrapping_add(23));
+        let mut router = cluster(nodes, seed, epoch_every, 24);
+        for frame in frames(&stream, &splits) {
+            router.ingest(frame).expect("cluster ingest");
+        }
+        let mut parts = Vec::new();
+        let mut items = 0usize;
+        for j in 0..nodes {
+            let (epoch, node_items, _, summary) = router
+                .node_epoch_state::<ReservoirSampler<u64>>(j)
+                .expect("node epoch state");
+            // A published boundary is epoch-aligned: `epoch` publishes
+            // of >= epoch_every elements each have happened.
+            prop_assert!(node_items >= epoch as usize * epoch_every);
+            prop_assert_eq!(node_items, summary.observed());
+            items += node_items;
+            parts.push(summary);
+        }
+        let hand_merged: ReservoirSampler<u64> = merge_in_shard_order(parts);
+        let view = router.global_view::<ReservoirSampler<u64>>().expect("global view");
+        prop_assert_eq!(view.items(), items);
+        prop_assert_eq!(view.summary().sample(), hand_merged.sample());
+        prop_assert_eq!(view.summary().observed(), hand_merged.observed());
+    }
+}
+
+/// Non-property pin: the router's frame accounting and the nodes' acked
+/// high-water marks advance in lockstep — the invariant replay-window
+/// trimming relies on.
+#[test]
+fn frames_sent_equals_node_acked_high_water_mark() {
+    let mut router = cluster(3, 7, 4, 16);
+    let stream: Vec<u64> = (0..500).collect();
+    for frame in stream.chunks(37) {
+        router.ingest(frame).expect("cluster ingest");
+    }
+    for j in 0..3 {
+        let (_, _, hwm, _) = router
+            .node_epoch_state::<ReservoirSampler<u64>>(j)
+            .expect("node epoch state");
+        assert_eq!(hwm, router.frames_sent(j), "node {j}");
+    }
+}
