@@ -51,25 +51,43 @@
 //! across the cluster boundary (observe the merged view, choose, ingest
 //! through the router).
 //!
+//! With `--tenants <N>` the binary instead runs the **multi-tenant
+//! arena suite**: a keyed workload (`--tenant-workload`, default
+//! `tenant-zipf`) over `N` tenants streamed through a budgeted
+//! [`TenantArena`] — throughput and eviction churn measured with the
+//! resident set pinned under the byte budget and the process RSS under
+//! a fixed envelope — then a **bit-identity audit**: sampled tenants
+//! (including evicted-and-revived ones) must answer exactly like
+//! isolated reservoirs fed only their own substream. The same audit is
+//! replayed over the binary wire (`TINGEST`/`TSNAPSHOT` against a
+//! [`ServiceServer`] with its arena enabled, `STATS` accounting
+//! round-tripped) and across a real 3-node cluster (the mod-N tenant
+//! deal must not change any tenant's sample).
+//!
 //! ```text
 //! loadgen --quick                      # CI smoke: all four modes, seconds
 //! loadgen --tcp --quick                # CI soak: event-loop server, binary wire
 //! loadgen --tcp --soak-clients 10000   # full 10k-connection soak
 //! loadgen --cluster --nodes 3 --quick  # multi-node cluster boundary
+//! loadgen --tenants 50000 --quick      # CI arena: keyed soak + identity audit
+//! loadgen --tenants 1000000            # the million-tenant arena soak
 //! loadgen --clients 8 --duration 4     # longer local measurement
 //! loadgen --workload zipf --attack bisection --port 7777
 //! ```
 
+use robust_sampling_bench::matrix::ROBUST_EPS;
 use robust_sampling_bench::{banner, f, init_cli, is_quick, verdict, Table};
 use robust_sampling_core::attack::Duel;
 use robust_sampling_core::engine::{ShardedSummary, StreamSummary};
 use robust_sampling_core::sampler::{ReservoirSampler, StreamSampler};
+use robust_sampling_service::tenant::{tenant_seed, TenantArena, TenantArenaConfig};
 use robust_sampling_service::{
     frame, ChildGuard, ClusterConfig, ClusterDefense, ClusterRouter, QueryHandle, Request,
     Response, ServiceClient, ServiceConfig, ServiceServer, SummaryService,
 };
 use robust_sampling_sketches::kll::KllSketch;
 use robust_sampling_streamgen as streamgen;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -263,6 +281,10 @@ fn main() {
         run_cluster_suite(quick, w, universe);
         return;
     }
+    if let Some(tenants) = robust_sampling_bench::tenants() {
+        run_tenant_suite(quick, tenants, port, universe);
+        return;
+    }
 
     banner(
         "LOADGEN",
@@ -357,6 +379,7 @@ fn main() {
             addr: format!("127.0.0.1:{port}"),
             universe,
             workers: 4,
+            tenants: None,
         },
     )
     .expect("bind loadgen port");
@@ -667,6 +690,7 @@ fn run_tcp_serve() {
             addr: "127.0.0.1:0".into(),
             universe: 1 << 20,
             workers: 4,
+            tenants: None,
         },
     )
     .expect("bind soak-serve port");
@@ -838,6 +862,7 @@ fn run_tcp_soak_suite(quick: bool, w: &'static streamgen::WorkloadSpec, port: u1
             addr: format!("127.0.0.1:{port}"),
             universe,
             workers: 2,
+            tenants: None,
         },
     )
     .expect("bind wire-leg port");
@@ -893,6 +918,7 @@ fn run_tcp_soak_suite(quick: bool, w: &'static streamgen::WorkloadSpec, port: u1
             addr: format!("127.0.0.1:{port}"),
             universe,
             workers: 2,
+            tenants: None,
         },
     )
     .expect("bind determinism port");
@@ -1017,6 +1043,7 @@ fn run_cluster_suite(quick: bool, w: &'static streamgen::WorkloadSpec, universe:
         cap: LOCAL_K,
         universe,
         workers: 2,
+        tenant_budget_bytes: None,
     })
     .expect("start ingest cluster");
     let mut ing_lat = lat_sketch(5);
@@ -1054,6 +1081,7 @@ fn run_cluster_suite(quick: bool, w: &'static streamgen::WorkloadSpec, universe:
             cap: CLUSTER_DUEL_K,
             universe,
             workers: 1,
+            tenant_budget_bytes: None,
         })
         .expect("start duel cluster");
         let mut defense = ClusterDefense::<ReservoirSampler<u64>>::new(duel_router);
@@ -1118,6 +1146,361 @@ fn run_cluster_suite(quick: bool, w: &'static streamgen::WorkloadSpec, universe:
         ),
     );
     if !(det_identical && duels_ok) {
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The --tenants suite: the multi-tenant arena under keyed traffic.
+// ---------------------------------------------------------------------------
+
+/// Resident-slot byte budget for the arena soak — fixed regardless of
+/// tenant count, so a million-tenant run proves the budget is a real
+/// cap, not a function of load.
+const TENANT_BUDGET_BYTES: usize = 64 << 20;
+/// RSS growth envelope for the soak: resident slots + right-sized cold
+/// checkpoints + map overhead for every tenant ever seen.
+const TENANT_RSS_CAP_BYTES: usize = 1 << 30;
+/// Keyed pairs per timed soak chunk (one latency observation each).
+const TENANT_CHUNK: usize = 4_096;
+/// Per-tenant failure probability for the arena sizing.
+const TENANT_DELTA: f64 = 0.1;
+
+/// This process's resident-set size, from `/proc/self/status` (`VmRSS`
+/// is reported in kB, so no page-size assumption). `None` off Linux.
+fn rss_bytes() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kb: usize = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Pick `want` audit tenants spread evenly through the keyed stream —
+/// the zipf head lands in the set alongside long-tail tenants.
+fn audit_tenants(pairs: &[(u64, u64)], want: usize) -> Vec<u64> {
+    let mut audit = Vec::new();
+    for i in 0..want {
+        let t = pairs[i * (pairs.len() - 1) / (want - 1).max(1)].0;
+        if !audit.contains(&t) {
+            audit.push(t);
+        }
+    }
+    audit
+}
+
+/// The audited tenants' substreams, in stream order — exactly what an
+/// isolated per-tenant summary would have seen.
+fn audit_substreams(pairs: &[(u64, u64)], audit: &[u64]) -> HashMap<u64, Vec<u64>> {
+    let mut subs: HashMap<u64, Vec<u64>> = audit.iter().map(|&t| (t, Vec::new())).collect();
+    for &(t, v) in pairs {
+        if let Some(s) = subs.get_mut(&t) {
+            s.push(v);
+        }
+    }
+    subs
+}
+
+/// Group one chunk of keyed pairs into per-tenant frames. Grouping is
+/// stable, so each tenant's substream order — the only order its
+/// sampler can see — is preserved exactly.
+fn tenant_frames(chunk: &[(u64, u64)]) -> BTreeMap<u64, Vec<u64>> {
+    let mut groups: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for &(t, v) in chunk {
+        groups.entry(t).or_default().push(v);
+    }
+    groups
+}
+
+/// `loadgen --tenants <N>`: the multi-tenant arena suite. One budgeted
+/// [`TenantArena`] absorbs a keyed workload over `N` tenants — most of
+/// them evicted to checkpoints at any instant — and every answer must
+/// still be bit-identical to an isolated per-tenant reservoir: in
+/// process, over the binary wire, and across a real 3-node cluster.
+fn run_tenant_suite(quick: bool, tenants: u64, port: u16, universe: u64) {
+    let kw = robust_sampling_bench::tenant_workload()
+        .unwrap_or_else(|| streamgen::keyed_workload("tenant-zipf").expect("registered"));
+    banner(
+        "LOADGEN --tenants",
+        "multi-tenant arena: budgeted eviction under keyed traffic",
+        "resident bytes never exceed the budget; every sampled tenant — \
+         including evicted-and-revived ones — answers bit-identically to an \
+         isolated Thm 1.2-sized reservoir fed only its own substream",
+    );
+    let base_seed = 42u64;
+    let config = TenantArenaConfig {
+        universe,
+        eps: ROBUST_EPS,
+        delta: TENANT_DELTA,
+        budget_bytes: TENANT_BUDGET_BYTES,
+        base_seed,
+        robust: true,
+    };
+    let n = (tenants as usize)
+        .saturating_mul(8)
+        .clamp(200_000, 16_000_000);
+    let mut arena = TenantArena::new(config);
+    println!(
+        "\ntenants = {tenants}, workload = {} ({}), n = {n} keyed pairs\n\
+         per-tenant k = {} (eps = {ROBUST_EPS}, delta = {TENANT_DELTA}), slot = {} bytes, \
+         budget = {} MiB -> {} resident slots",
+        kw.name,
+        kw.shape,
+        arena.reservoir_k(),
+        arena.slot_bytes(),
+        TENANT_BUDGET_BYTES >> 20,
+        arena.max_resident(),
+    );
+
+    let mut table = Table::new(&[
+        "mode", "clients", "secs", "ops", "ops/s", "p50_us", "p99_us", "p999_us",
+    ]);
+
+    // ---- leg 1: the arena soak -----------------------------------------
+    // Generate before measuring RSS, so the envelope charges the arena —
+    // not the workload buffer.
+    let pairs = kw.spec.generate(n, tenants, universe, 7);
+    let rss0 = rss_bytes();
+    let mut lat = lat_sketch(17);
+    let mut budget_ok = true;
+    let t0 = Instant::now();
+    for chunk in pairs.chunks(TENANT_CHUNK) {
+        let c0 = Instant::now();
+        for &(t, v) in chunk {
+            arena.ingest(t, &[v]);
+        }
+        lat.observe(c0.elapsed().as_nanos() as u64);
+        budget_ok &= arena.resident_bytes() <= config.budget_bytes
+            && arena.resident_tenants() <= arena.max_resident();
+    }
+    let soak_secs = t0.elapsed().as_secs_f64();
+    let rss1 = rss_bytes();
+    let ops_per_sec = n as f64 / soak_secs;
+    let counters = arena.counters();
+    push_row(&mut table, "tenant-ingest", 1, soak_secs, n as u64, &lat);
+    let rss_delta = match (rss0, rss1) {
+        (Some(a), Some(b)) => Some(b.saturating_sub(a)),
+        _ => None,
+    };
+    println!(
+        "arena after soak: {} known tenants ({} resident, {} bytes hot, {} bytes cold), \
+         {} created / {} evictions / {} revivals, rss delta {}",
+        arena.known_tenants(),
+        arena.resident_tenants(),
+        arena.resident_bytes(),
+        arena.cold_bytes(),
+        counters.created,
+        counters.evictions,
+        counters.revivals,
+        rss_delta.map_or("unavailable".into(), |d| format!("{} MiB", d >> 20)),
+    );
+
+    // ---- leg 2: per-tenant bit-identity audit --------------------------
+    // Spread-sampling the stream lands on the zipf head (hot, resident
+    // tenants); explicitly add checkpointed tenants so the audit covers
+    // the evicted-and-revived path too.
+    let mut audit = audit_tenants(&pairs, 12);
+    for &(t, _) in &pairs {
+        if audit.len() >= 16 {
+            break;
+        }
+        if !arena.is_resident(t) && !audit.contains(&t) {
+            audit.push(t);
+        }
+    }
+    let substreams = audit_substreams(&pairs, &audit);
+    let mut audit_ok = true;
+    let mut cold_audited = 0usize;
+    for &t in &audit {
+        let mut iso =
+            ReservoirSampler::<u64>::with_seed(arena.reservoir_k(), tenant_seed(base_seed, t));
+        for &v in &substreams[&t] {
+            iso.observe(v);
+        }
+        if !arena.is_resident(t) {
+            cold_audited += 1;
+        }
+        audit_ok &= arena.sample(t) == iso.sample() && arena.items(t) == iso.observed();
+    }
+
+    // ---- leg 3: the binary wire (TINGEST/TSNAPSHOT + STATS) ------------
+    // A deliberately tiny arena (48 slots for up to 512 tenants) behind
+    // a real server: the churn happens between wire frames now.
+    let wire_tenants = 512u64.min(tenants);
+    let wire_n = if quick { 20_000 } else { 100_000 };
+    let wire_cfg = TenantArenaConfig {
+        budget_bytes: 48 * arena.slot_bytes(),
+        ..config
+    };
+    let server = ServiceServer::spawn(
+        service(2, 7, 4_096),
+        ServiceConfig {
+            addr: format!("127.0.0.1:{port}"),
+            universe,
+            workers: 2,
+            tenants: Some(wire_cfg),
+        },
+    )
+    .expect("bind tenant port");
+    let client = ServiceClient::connect_binary(server.addr()).expect("connect tenant client");
+    let wire_pairs = kw.spec.generate(wire_n, wire_tenants, universe, 13);
+    let mut wire_lat = lat_sketch(18);
+    let mut sent: HashMap<u64, usize> = HashMap::new();
+    let mut wire_acks_ok = true;
+    let t0 = Instant::now();
+    for chunk in wire_pairs.chunks(1_024) {
+        let c0 = Instant::now();
+        for (t, vs) in tenant_frames(chunk) {
+            let total = sent.entry(t).or_default();
+            *total += vs.len();
+            // The ack is the tenant's running item total on the server.
+            wire_acks_ok &= client.tenant_ingest(t, &vs).expect("TINGEST") == *total;
+        }
+        wire_lat.observe(c0.elapsed().as_nanos() as u64);
+    }
+    let wire_secs = t0.elapsed().as_secs_f64();
+    push_row(
+        &mut table,
+        "tenant-wire",
+        1,
+        wire_secs,
+        wire_n as u64,
+        &wire_lat,
+    );
+    // Offline comparator: one unconstrained arena replays the audited
+    // substreams, so count/quantile conventions match by construction.
+    let wire_audit = audit_tenants(&wire_pairs, 8);
+    let wire_subs = audit_substreams(&wire_pairs, &wire_audit);
+    let mut offline = TenantArena::new(TenantArenaConfig {
+        budget_bytes: usize::MAX >> 8,
+        ..wire_cfg
+    });
+    let mut wire_audit_ok = true;
+    for &t in &wire_audit {
+        offline.ingest(t, &wire_subs[&t]);
+        let (items, sample) = client.tenant_snapshot(t).expect("TSNAPSHOT");
+        wire_audit_ok &= items == offline.items(t) && sample == offline.sample(t);
+        wire_audit_ok &=
+            client.tenant_quantile(t, 0.5).expect("TQUERY") == offline.quantile(t, 0.5);
+        let probe = wire_subs[&t][0];
+        wire_audit_ok &= client.tenant_count(t, probe).expect("TQUERY") == offline.count(t, probe);
+    }
+    let stats = client.stats().expect("STATS");
+    let wire_stats_ok = stats.arena_tenants == sent.len()
+        && stats.arena_bytes <= wire_cfg.budget_bytes
+        && stats.arena_evictions > 0;
+    client.quit().expect("QUIT");
+    server.shutdown();
+
+    // ---- leg 4: the cluster deal (tenant t owned by node t mod N) ------
+    let nodes = 3usize;
+    let cl_tenants = 96u64.min(tenants);
+    let cl_n = if quick { 6_000 } else { 30_000 };
+    let router = ClusterRouter::start(ClusterConfig {
+        nodes,
+        base_seed,
+        epoch_every: 1,
+        cap: LOCAL_K,
+        universe,
+        workers: 1,
+        tenant_budget_bytes: Some(8 * arena.slot_bytes()),
+    })
+    .expect("start tenant cluster");
+    let cl_pairs = kw.spec.generate(cl_n, cl_tenants, universe, 29);
+    let mut cl_lat = lat_sketch(19);
+    let t0 = Instant::now();
+    for chunk in cl_pairs.chunks(512) {
+        let c0 = Instant::now();
+        for (t, vs) in tenant_frames(chunk) {
+            router.tenant_ingest(t, &vs).expect("cluster TINGEST");
+        }
+        cl_lat.observe(c0.elapsed().as_nanos() as u64);
+    }
+    let cl_secs = t0.elapsed().as_secs_f64();
+    push_row(
+        &mut table,
+        "tenant-cluster",
+        1,
+        cl_secs,
+        cl_n as u64,
+        &cl_lat,
+    );
+    // Every node's arena is seeded with the *cluster* base seed, so the
+    // mod-N deal relocates tenants without changing a single sample.
+    let cl_audit = audit_tenants(&cl_pairs, 8);
+    let cl_subs = audit_substreams(&cl_pairs, &cl_audit);
+    let mut cl_audit_ok = true;
+    let mut nodes_hit = [false; 3];
+    for &t in &cl_audit {
+        nodes_hit[(t % nodes as u64) as usize] = true;
+        let mut iso =
+            ReservoirSampler::<u64>::with_seed(arena.reservoir_k(), tenant_seed(base_seed, t));
+        for &v in &cl_subs[&t] {
+            iso.observe(v);
+        }
+        let (items, sample) = router.tenant_snapshot(t).expect("cluster TSNAPSHOT");
+        cl_audit_ok &= items == iso.observed() && sample == iso.sample();
+    }
+    drop(router);
+
+    println!();
+    table.emit("loadgen-tenants", "latency");
+
+    // ---- verdicts ------------------------------------------------------
+    println!();
+    let throughput_ok = ops_per_sec >= 1.0e6;
+    let rss_ok = rss_delta.is_none_or(|d| d <= TENANT_RSS_CAP_BYTES);
+    let identity_ok = audit_ok && counters.revivals > 0 && cold_audited > 0;
+    let wire_ok = wire_acks_ok && wire_audit_ok && wire_stats_ok;
+    let cluster_ok = cl_audit_ok && nodes_hit.iter().all(|&h| h);
+    verdict(
+        "arena ingest sustains >= 1M keyed ops/s",
+        throughput_ok,
+        &format!("{ops_per_sec:.0} ops/s over {}s ({n} pairs)", f(soak_secs)),
+    );
+    verdict(
+        "memory stays budgeted: hot bytes <= budget at every chunk, RSS enveloped",
+        budget_ok && rss_ok,
+        &format!(
+            "hot {} <= budget {}, cold {} MiB for {} checkpointed tenants, rss delta {} \
+             (cap {} MiB)",
+            arena.resident_bytes(),
+            config.budget_bytes,
+            arena.cold_bytes() >> 20,
+            arena.known_tenants() - arena.resident_tenants(),
+            rss_delta.map_or("unavailable".into(), |d| format!("{} MiB", d >> 20)),
+            TENANT_RSS_CAP_BYTES >> 20,
+        ),
+    );
+    verdict(
+        "audited tenants bit-identical to isolated reservoirs (incl. revived)",
+        identity_ok,
+        &format!(
+            "{} tenants audited, {} cold at audit time, {} revivals during soak",
+            audit.len(),
+            cold_audited,
+            counters.revivals
+        ),
+    );
+    verdict(
+        "wire arena: acks, snapshots, count/quantile, STATS all consistent",
+        wire_ok,
+        &format!(
+            "{} tenants over the wire, {} audited, {} evictions server-side",
+            sent.len(),
+            wire_audit.len(),
+            stats.arena_evictions
+        ),
+    );
+    verdict(
+        "cluster deal preserves every audited tenant's sample across nodes",
+        cluster_ok,
+        &format!(
+            "{} tenants audited across {} nodes (all residues hit)",
+            cl_audit.len(),
+            nodes
+        ),
+    );
+    if !(throughput_ok && budget_ok && rss_ok && identity_ok && wire_ok && cluster_ok) {
         std::process::exit(1);
     }
 }

@@ -31,7 +31,11 @@
 //!   cluster kernels: `cluster-ingest` (frames dealt to real node
 //!   processes through the [`ClusterRouter`], elem/s) and
 //!   `cluster-failover-gap` (the full SIGKILL→restore→replay recovery
-//!   of one node, replayed-frames/s).
+//!   of one node, replayed-frames/s), plus the two multi-tenant arena
+//!   kernels: `tenant-ingest` (the keyed hot path — tenant-zipf stream
+//!   into a resident arena, elem/s) and `tenant-evict-revive` (a
+//!   slot-squeezed arena where every touch is a checkpoint-evict plus a
+//!   cold revival, touches/s).
 //!
 //! Every scenario is timed as a best-of-N minimum after a warm-up
 //! ([`perf::best_of`]) — the statistic least sensitive to neighbours on
@@ -44,6 +48,7 @@ use robust_sampling_bench::{
     banner, bench_label, bench_out, check_dir, init_cli, is_quick, verdict, Table,
 };
 use robust_sampling_core::sampler::{BernoulliSampler, ReservoirSampler, StreamSampler};
+use robust_sampling_service::tenant::{TenantArena, TenantArenaConfig};
 use robust_sampling_service::{
     ClusterConfig, ClusterRouter, Request, ServiceClient, ServiceConfig, ServiceServer,
     SummaryService,
@@ -718,6 +723,108 @@ fn measure_serve(shape: &Shape) -> Vec<PerfEntry> {
             p99_us: micros(&lat, 0.99),
         });
     }
+
+    // Multi-tenant keyed ingestion on the fully-resident hot path: a
+    // tenant-zipf stream (keyed registry) over 1024 tenants into an
+    // arena whose budget holds every slot, so the measured cost is the
+    // keyed-map probe + per-tenant skip-sampling — no eviction traffic.
+    // One op = one element, latency per FRAME-sized chunk of pairs.
+    {
+        let n = shape.serve_frames * FRAME;
+        let tenants = 1024u64;
+        let kw = streamgen::keyed_workload("tenant-zipf").expect("tenant-zipf is registered");
+        let pairs = kw.spec.generate(n, tenants, universe, 7);
+        let cfg = TenantArenaConfig {
+            universe,
+            eps: 0.15,
+            delta: 0.1,
+            budget_bytes: usize::MAX >> 8,
+            base_seed: 42,
+            robust: true,
+        };
+        let mut best = f64::INFINITY;
+        let mut lat = KllSketch::with_seed(256, 8);
+        for rep in 0..=shape.reps {
+            let mut arena = TenantArena::new(cfg);
+            let mut rep_lat = KllSketch::with_seed(256, 8);
+            let t = Instant::now();
+            for chunk in pairs.chunks(FRAME) {
+                let t0 = Instant::now();
+                for &(tenant, v) in chunk {
+                    arena.ingest(tenant, &[v]);
+                }
+                rep_lat.observe(t0.elapsed().as_nanos() as u64);
+            }
+            let secs = t.elapsed().as_secs_f64();
+            assert_eq!(arena.counters().evictions, 0, "budget holds every tenant");
+            if rep > 0 && secs < best {
+                best = secs;
+                lat = rep_lat;
+            }
+        }
+        entries.push(PerfEntry {
+            kernel: "tenant-ingest".to_string(),
+            n: n as u64,
+            rate: n as f64 / best,
+            p50_us: micros(&lat, 0.5),
+            p99_us: micros(&lat, 0.99),
+        });
+    }
+
+    // The eviction churn path: an arena squeezed to 8 resident slots
+    // touched round-robin across 32 tenants, so in steady state every
+    // touch checkpoints the LRU victim (full SnapshotCodec envelope)
+    // and revives the toucher from its cold bytes. One op = one touch
+    // (a 4-element ingest), latency per touch.
+    {
+        let touches = shape.serve_frames * 8;
+        let cfg = TenantArenaConfig {
+            universe,
+            eps: 0.15,
+            delta: 0.1,
+            budget_bytes: 1, // clamped to one slot; replaced below
+            base_seed: 42,
+            robust: true,
+        };
+        let slot = TenantArena::new(cfg).slot_bytes();
+        let cfg = TenantArenaConfig {
+            budget_bytes: 8 * slot,
+            ..cfg
+        };
+        let cycle = 32u64;
+        let batch: Vec<u64> = (0..4u64)
+            .map(|i| i.wrapping_mul(0x9E37) % universe)
+            .collect();
+        let mut best = f64::INFINITY;
+        let mut lat = KllSketch::with_seed(256, 9);
+        for rep in 0..=shape.reps {
+            let mut arena = TenantArena::new(cfg);
+            let mut rep_lat = KllSketch::with_seed(256, 9);
+            let t = Instant::now();
+            for op in 0..touches as u64 {
+                let t0 = Instant::now();
+                arena.ingest(op % cycle, &batch);
+                rep_lat.observe(t0.elapsed().as_nanos() as u64);
+            }
+            let secs = t.elapsed().as_secs_f64();
+            let c = arena.counters();
+            assert!(
+                c.revivals as usize > touches / 2,
+                "steady-state touches revive from cold"
+            );
+            if rep > 0 && secs < best {
+                best = secs;
+                lat = rep_lat;
+            }
+        }
+        entries.push(PerfEntry {
+            kernel: "tenant-evict-revive".to_string(),
+            n: touches as u64,
+            rate: touches as f64 / best,
+            p50_us: micros(&lat, 0.5),
+            p99_us: micros(&lat, 0.99),
+        });
+    }
     entries
 }
 
@@ -731,6 +838,7 @@ fn spawn_bench_cluster(universe: u64) -> ClusterRouter {
         cap: 256,
         universe,
         workers: 1,
+        tenant_budget_bytes: None,
     })
     .expect("start perf_trajectory cluster")
 }
@@ -745,6 +853,7 @@ fn spawn_bench_server(universe: u64) -> ServiceServer {
             addr: "127.0.0.1:0".into(),
             universe,
             workers: 2,
+            tenants: None,
         },
     )
     .expect("bind perf_trajectory serve-tcp port")

@@ -21,6 +21,7 @@ const EXPERIMENTS: &[&str] = &[
     "e11_vc_vs_cardinality",
     "e12_extensions",
     "e13_linear_sketch_attack",
+    "e14_tenant_attack",
 ];
 
 fn main() {

@@ -200,6 +200,44 @@ pub fn soak_clients(default: usize) -> usize {
     .unwrap_or(default)
 }
 
+/// The `--tenants <n>` setting (loadgen: run the multi-tenant arena
+/// soak with this many distinct tenant keys instead of the default
+/// modes). `None` when the flag is absent.
+///
+/// Exits with status 2 on a malformed or zero value.
+pub fn tenants() -> Option<u64> {
+    parsed_flag(
+        "--tenants",
+        "--tenants needs a positive tenant count (underscores ok)",
+        |v| v.replace('_', "").parse::<u64>().ok().filter(|&t| t > 0),
+    )
+}
+
+/// The `--tenant-workload <name>` keyed-registry entry, if passed.
+///
+/// Exits with status 2 (after printing the keyed registry) on an
+/// unknown name.
+pub fn tenant_workload() -> Option<&'static robust_sampling_streamgen::KeyedWorkloadSpec> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--tenant-workload")?;
+    match args.get(i + 1) {
+        Some(name) => match robust_sampling_streamgen::keyed_workload(name) {
+            Some(w) => Some(w),
+            None => {
+                eprintln!("unknown tenant workload {name:?}; registered keyed workloads:");
+                for w in robust_sampling_streamgen::keyed_registry() {
+                    eprintln!("  {:<16} {}", w.name, w.shape);
+                }
+                std::process::exit(2);
+            }
+        },
+        None => {
+            eprintln!("--tenant-workload needs a keyed-registry name argument");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// The `--port <p>` setting; 0 (= bind an OS-assigned ephemeral port)
 /// when absent, so concurrent CI jobs can never collide on a bind.
 ///
@@ -278,6 +316,10 @@ const HELP_TEXT: &str = "shared experiment flags:\n\
          \x20 --cluster            drive a multi-node cluster (node processes behind\n\
          \x20                      the router/coordinator) instead of one server\n\
          \x20 --nodes <n>          cluster node-process count (default: 3)\n\
+         \x20 --tenants <n>        run the multi-tenant arena soak with n tenant keys\n\
+         \x20                      (budgeted eviction + per-tenant bit-identity audit)\n\
+         \x20 --tenant-workload <name>  keyed workload for the tenant soak\n\
+         \x20                      (tenant-zipf | tenant-diurnal | tenant-flash)\n\
          perf-trajectory flags (perf_trajectory):\n\
          \x20 --bench-out <dir>    append this run to the BENCH_*.json files in <dir>\n\
          \x20 --check <dir>        compare against the trajectory in <dir>; exit 1 on\n\

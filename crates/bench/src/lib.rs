@@ -39,7 +39,8 @@ pub mod perf;
 
 pub use cli::{
     attack, bench_label, bench_out, check_dir, clients, cluster_nodes, duration_secs, engine,
-    init_cli, is_cluster, is_quick, is_tcp, port, soak_clients, stream_len, threads, workload,
+    init_cli, is_cluster, is_quick, is_tcp, port, soak_clients, stream_len, tenant_workload,
+    tenants, threads, workload,
 };
 pub use robust_sampling_core::engine::report::Table;
 

@@ -142,6 +142,38 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// A uniform choice among boxed strategies of one value type (the
+/// unweighted subset of the real crate's `Union`); built by
+/// [`prop_oneof!`].
+pub struct Union<V>(Vec<Box<dyn Strategy<Value = V>>>);
+
+impl<V> Union<V> {
+    /// A strategy drawing uniformly among `strategies` per case.
+    pub fn new(strategies: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!strategies.is_empty(), "prop_oneof! needs an alternative");
+        Union(strategies)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rand::Rng::random_range(rng.rng(), 0..self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+/// Draw from one of several same-typed strategies, chosen uniformly per
+/// case (the unweighted form of the real crate's macro).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let strategies: ::std::vec::Vec<::std::boxed::Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::Union::new(strategies)
+    }};
+}
+
 /// Collection strategies (the `vec` subset).
 pub mod collection {
     use super::{Strategy, TestRng};
@@ -208,7 +240,8 @@ pub mod collection {
 /// Everything a property-test module needs.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, Union,
     };
 }
 
@@ -310,6 +343,13 @@ mod tests {
         fn vec_strategy_honours_length(v in crate::collection::vec(0u64..100, 3..7)) {
             prop_assert!((3..7).contains(&v.len()));
             prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        #[test]
+        fn oneof_draws_only_its_alternatives(
+            x in prop_oneof![Just(7u64), 100u64..110, Just(3u64)],
+        ) {
+            prop_assert!(x == 7 || x == 3 || (100..110).contains(&x));
         }
     }
 

@@ -17,6 +17,11 @@
 //! * [`QuantileSummary`] / [`FrequencySummary`] — the `estimate`-style
 //!   query capabilities, so experiments can compare a robust sample, GK,
 //!   KLL, Misra–Gries, … through one interface.
+//! * [`WeightedSummary`] — multiplicity-weighted ingestion:
+//!   `ingest_weighted(x, w)` is state-for-state the same as `w` repeats
+//!   of `ingest(x)`, implemented on the samplers by jumping the existing
+//!   skip arithmetic across the virtually expanded stream, so weight-1
+//!   traffic stays bit-identical to the unit kernels.
 //! * [`MergeableSummary`] — the composition capability: summaries whose
 //!   guarantees survive merging, which is what sharding a stream across
 //!   cores or sites and reassembling the pieces requires.
@@ -44,9 +49,11 @@ pub mod report;
 pub mod sharded;
 pub mod snapshot;
 pub mod summary;
+pub mod weighted;
 
 pub use experiment::{ExperimentEngine, RunStats, SOURCE_FRAME};
 pub use merge::{merge_in_shard_order, MergeableSummary};
 pub use sharded::ShardedSummary;
 pub use snapshot::{FrameHwm, SnapshotCodec, SnapshotError, SnapshotReader};
 pub use summary::{FrequencySummary, QuantileSummary, StreamSummary};
+pub use weighted::WeightedSummary;

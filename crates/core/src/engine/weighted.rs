@@ -1,0 +1,116 @@
+//! The [`WeightedSummary`] capability: multiplicity-weighted ingestion.
+//!
+//! A weighted summary ingests `(item, weight)` pairs under a strict
+//! **multiplicity contract**: `s.ingest_weighted(x, w)` must leave the
+//! summary in exactly the state that `for _ in 0..w { s.ingest(x) }`
+//! would — same retained elements, same counters, same RNG stream. That
+//! pins three properties at once:
+//!
+//! * weight 1 *is* the unit kernel, so every equivalence law already
+//!   proven for the unit path (batch ≡ element-wise, snapshot-resume ≡
+//!   uninterrupted, shard-merge determinism) transfers verbatim;
+//! * the paper's robustness guarantees apply unchanged — a weighted
+//!   stream is just a run-length-encoded unit stream, and Theorem 1.2
+//!   sizes the summary by the *expanded* length `n = Σ wᵢ`;
+//! * weighted and unit traffic can be mixed freely on one summary (the
+//!   tenant serving path does exactly this).
+//!
+//! The samplers implement the contract with their existing skip-sampling
+//! arithmetic jumped across the virtually expanded stream — a weight-`w`
+//! item spans `w` virtual positions — so a heavy item costs `O(stores)`
+//! RNG work, not `O(w)`. The deterministic baseline sketches add `w` to
+//! counters where that is exactly the repeated update (Count-Min), and
+//! use the standard weighted update where the classical algorithm is
+//! defined on weights (Misra–Gries, SpaceSaving; weight 1 still reduces
+//! to the unit step).
+
+use crate::sampler::{BernoulliSampler, ReservoirSampler};
+use crate::sketch::RobustHeavyHitterSketch;
+
+use super::summary::StreamSummary;
+
+/// A summary that ingests weighted items under the multiplicity contract
+/// (see the module docs): `ingest_weighted(x, w)` ≡ `w` repeats of
+/// `ingest(x)`, state-for-state where the implementation notes no caveat.
+pub trait WeightedSummary<T>: StreamSummary<T> {
+    /// Process one item carrying an integer weight (multiplicity).
+    /// Weight 0 is a no-op that consumes no randomness.
+    fn ingest_weighted(&mut self, x: T, weight: u64);
+
+    /// Process a batch of weighted items. Equivalent, state-for-state, to
+    /// ingesting each pair in order; implementations with a sublinear
+    /// bulk path override this.
+    fn ingest_weighted_batch(&mut self, xs: &[(T, u64)])
+    where
+        T: Clone,
+    {
+        for (x, w) in xs {
+            self.ingest_weighted(x.clone(), *w);
+        }
+    }
+}
+
+impl<T: Clone> WeightedSummary<T> for BernoulliSampler<T> {
+    fn ingest_weighted(&mut self, x: T, weight: u64) {
+        let _ = self.observe_weighted(x, weight);
+    }
+
+    fn ingest_weighted_batch(&mut self, xs: &[(T, u64)]) {
+        self.observe_weighted_batch(xs);
+    }
+}
+
+impl<T: Clone> WeightedSummary<T> for ReservoirSampler<T> {
+    fn ingest_weighted(&mut self, x: T, weight: u64) {
+        let _ = self.observe_weighted(x, weight);
+    }
+
+    fn ingest_weighted_batch(&mut self, xs: &[(T, u64)]) {
+        self.observe_weighted_batch(xs);
+    }
+}
+
+/// The Corollary 1.6 sampling pipeline inherits the multiplicity
+/// contract from its inner reservoir: the robust sketch's only stream
+/// state is the sample plus exact counters, both of which commute with
+/// run-length expansion.
+impl WeightedSummary<u64> for RobustHeavyHitterSketch<u64> {
+    fn ingest_weighted(&mut self, x: u64, weight: u64) {
+        for _ in 0..weight {
+            self.observe(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::StreamSampler;
+
+    #[test]
+    fn trait_object_weighted_ingest_matches_expanded() {
+        let pairs: Vec<(u64, u64)> = (0..100).map(|i| (i, i % 4)).collect();
+        let mut weighted = ReservoirSampler::with_seed(12, 5);
+        {
+            let dyn_s: &mut dyn WeightedSummary<u64> = &mut weighted;
+            dyn_s.ingest_weighted_batch(&pairs);
+        }
+        let mut expanded = ReservoirSampler::with_seed(12, 5);
+        for &(x, w) in &pairs {
+            for _ in 0..w {
+                expanded.ingest(x);
+            }
+        }
+        assert_eq!(weighted.sample(), expanded.sample());
+        assert_eq!(weighted.items_seen(), expanded.items_seen());
+    }
+
+    #[test]
+    fn weight_zero_is_a_no_op() {
+        let mut a = BernoulliSampler::<u64>::with_seed(0.5, 1);
+        let b = a.clone();
+        a.ingest_weighted(99, 0);
+        assert_eq!(a.sample(), b.sample());
+        assert_eq!(a.items_seen(), b.items_seen());
+    }
+}

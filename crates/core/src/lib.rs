@@ -86,7 +86,9 @@ pub mod window;
 pub use adversary::Adversary;
 pub use approx::DiscrepancyReport;
 pub use attack::{AttackSpec, AttackStrategy, Duel, ObservableDefense};
-pub use engine::{ExperimentEngine, FrequencySummary, QuantileSummary, StreamSummary};
+pub use engine::{
+    ExperimentEngine, FrequencySummary, QuantileSummary, StreamSummary, WeightedSummary,
+};
 pub use game::{AdaptiveGame, ContinuousAdaptiveGame, GameOutcome};
 pub use sampler::{BernoulliSampler, Observation, ReservoirSampler, StreamSampler};
 pub use set_system::SetSystem;

@@ -173,6 +173,62 @@ impl<T> BernoulliSampler<T> {
         bernoulli_gap(&mut self.rng, self.p, self.ln_q)
     }
 
+    /// Weighted ingestion with **multiplicity semantics**: observing
+    /// `(x, weight)` is bit-identical — same stored copies, same RNG
+    /// stream — to `weight` consecutive [`observe`](StreamSampler::observe)
+    /// calls on `x`. Weight 1 *is* the unit kernel; weight 0 consumes
+    /// nothing.
+    ///
+    /// A weight-`w` item spans `w` virtual positions of the expanded
+    /// stream, so the pending geometric gap either carries past the whole
+    /// span (`skip -= w`, no randomness touched) or lands inside it — then
+    /// each landing stores one copy and redraws, exactly one RNG word per
+    /// stored copy, in stream order. Returns the number of copies stored.
+    pub fn observe_weighted(&mut self, x: T, weight: u64) -> usize
+    where
+        T: Clone,
+    {
+        self.observed += weight as usize;
+        let Some(mut skip) = self.skip else {
+            return 0;
+        };
+        if self.p >= 1.0 {
+            // Every drawn gap is 0 and drawing consumes no randomness:
+            // after any pending skip runs out, every remaining copy is
+            // stored.
+            if skip >= weight {
+                self.skip = Some(skip - weight);
+                return 0;
+            }
+            let copies = (weight - skip) as usize;
+            self.sample.extend((0..copies).map(|_| x.clone()));
+            self.skip = Some(0);
+            return copies;
+        }
+        let mut rem = weight;
+        let mut stored = 0usize;
+        while skip < rem {
+            rem -= skip + 1;
+            self.sample.push(x.clone());
+            stored += 1;
+            skip = bernoulli_gap(&mut self.rng, self.p, self.ln_q);
+        }
+        self.skip = Some(skip - rem);
+        stored
+    }
+
+    /// Batched weighted ingestion: state-for-state equivalent to calling
+    /// [`observe_weighted`](Self::observe_weighted) on each pair in order
+    /// (which is itself equivalent to the fully expanded unit stream).
+    pub fn observe_weighted_batch(&mut self, xs: &[(T, u64)])
+    where
+        T: Clone,
+    {
+        for (x, w) in xs {
+            self.observe_weighted(x.clone(), *w);
+        }
+    }
+
     /// Merge another Bernoulli sampler of the **same rate** into this one.
     ///
     /// The union of independent Bernoulli(`p`) samples of disjoint
@@ -505,6 +561,61 @@ impl<T> ReservoirSampler<T> {
             // filled reservoir.
             self.w = 1.0;
             self.next_gap();
+        }
+    }
+
+    /// Weighted ingestion with **multiplicity semantics**: observing
+    /// `(x, weight)` is bit-identical — same reservoir, same RNG stream —
+    /// to `weight` consecutive [`observe`](StreamSampler::observe) calls
+    /// on `x`. Weight 1 *is* the unit kernel; weight 0 consumes nothing.
+    ///
+    /// Fill-phase copies are pushed unconditionally (no randomness); once
+    /// full, the Algorithm L gap either carries past the remaining span
+    /// (`skip -= rem`) or lands in it, and each landing consumes exactly
+    /// the element-wise three RNG words (slot, threshold decay, next gap).
+    /// Returns the number of copies stored.
+    pub fn observe_weighted(&mut self, x: T, weight: u64) -> usize
+    where
+        T: Clone,
+    {
+        let mut rem = weight;
+        let mut stored = 0usize;
+        while rem > 0 && self.reservoir.len() < self.k {
+            self.reservoir.push(x.clone());
+            self.total_stored += 1;
+            self.observed += 1;
+            stored += 1;
+            rem -= 1;
+            if self.reservoir.len() == self.k {
+                self.w = 1.0;
+                self.next_gap();
+            }
+        }
+        if rem == 0 {
+            return stored;
+        }
+        self.observed += rem as usize;
+        while self.skip < rem {
+            rem -= self.skip + 1;
+            let j = self.rng.random_range(0..self.k);
+            self.reservoir[j] = x.clone();
+            self.total_stored += 1;
+            stored += 1;
+            self.next_gap();
+        }
+        self.skip -= rem;
+        stored
+    }
+
+    /// Batched weighted ingestion: state-for-state equivalent to calling
+    /// [`observe_weighted`](Self::observe_weighted) on each pair in order
+    /// (which is itself equivalent to the fully expanded unit stream).
+    pub fn observe_weighted_batch(&mut self, xs: &[(T, u64)])
+    where
+        T: Clone,
+    {
+        for (x, w) in xs {
+            self.observe_weighted(x.clone(), *w);
         }
     }
 
@@ -1278,6 +1389,71 @@ mod tests {
                 "position {pos} inclusion frequency {c} deviates {dev:.2}"
             );
         }
+    }
+
+    #[test]
+    fn bernoulli_weighted_matches_expanded_stream() {
+        // observe_weighted(x, w) must be bit-identical to w repeats of
+        // observe(x), including RNG state (checked by streaming more
+        // afterwards).
+        for p in [0.01, 0.3, 1.0] {
+            let mut weighted = BernoulliSampler::with_seed(p, 11);
+            let mut expanded = BernoulliSampler::with_seed(p, 11);
+            let items: &[(u64, u64)] = &[(5, 3), (9, 0), (2, 17), (4, 1), (7, 1000), (1, 2)];
+            for &(x, w) in items {
+                weighted.observe_weighted(x, w);
+                for _ in 0..w {
+                    expanded.observe(x);
+                }
+            }
+            for x in 0..500u64 {
+                weighted.observe(x);
+                expanded.observe(x);
+            }
+            assert_eq!(weighted.sample(), expanded.sample(), "p = {p}");
+            assert_eq!(weighted.observed(), expanded.observed());
+        }
+    }
+
+    #[test]
+    fn reservoir_weighted_matches_expanded_stream() {
+        // Spans crossing the fill→skip boundary and huge weights must all
+        // match the expanded unit stream exactly.
+        let mut weighted = ReservoirSampler::with_seed(16, 23);
+        let mut expanded = ReservoirSampler::with_seed(16, 23);
+        let items: &[(u64, u64)] = &[(3, 7), (8, 0), (1, 30), (6, 1), (2, 5000), (9, 2)];
+        for &(x, w) in items {
+            weighted.observe_weighted(x, w);
+            for _ in 0..w {
+                expanded.observe(x);
+            }
+        }
+        for x in 0..500u64 {
+            weighted.observe(x);
+            expanded.observe(x);
+        }
+        assert_eq!(weighted.sample(), expanded.sample());
+        assert_eq!(weighted.observed(), expanded.observed());
+        assert_eq!(weighted.total_stored(), expanded.total_stored());
+    }
+
+    #[test]
+    fn weighted_batch_matches_pairwise_calls() {
+        let pairs: Vec<(u64, u64)> = (0..200).map(|i| (i, (i * 7) % 5)).collect();
+        let mut batch = ReservoirSampler::with_seed(8, 3);
+        let mut single = ReservoirSampler::with_seed(8, 3);
+        batch.observe_weighted_batch(&pairs);
+        for &(x, w) in &pairs {
+            single.observe_weighted(x, w);
+        }
+        assert_eq!(batch.sample(), single.sample());
+        let mut bbatch = BernoulliSampler::with_seed(0.2, 3);
+        let mut bsingle = BernoulliSampler::with_seed(0.2, 3);
+        bbatch.observe_weighted_batch(&pairs);
+        for &(x, w) in &pairs {
+            bsingle.observe_weighted(x, w);
+        }
+        assert_eq!(bbatch.sample(), bsingle.sample());
     }
 
     #[test]

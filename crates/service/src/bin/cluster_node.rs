@@ -13,7 +13,7 @@
 //! an orphaned node never outlives its router).
 
 use robust_sampling_core::sampler::ReservoirSampler;
-use robust_sampling_service::{ServiceConfig, ServiceServer, SummaryService};
+use robust_sampling_service::{ServiceConfig, ServiceServer, SummaryService, TenantArenaConfig};
 use std::io::Read;
 
 /// `--flag value` argument pairs, all required to have defaults.
@@ -23,6 +23,14 @@ struct Args {
     cap: usize,
     universe: u64,
     workers: usize,
+    /// `Some(bytes)` enables the node's tenant arena under that budget.
+    tenant_budget: Option<usize>,
+    /// Arena base seed — the router passes the *cluster* base seed
+    /// unchanged (not the node's shard seed), so tenant `t` samples
+    /// identically no matter which node owns it.
+    tenant_seed: u64,
+    tenant_eps: f64,
+    tenant_delta: f64,
 }
 
 fn parse_args() -> Args {
@@ -32,6 +40,10 @@ fn parse_args() -> Args {
         cap: 64,
         universe: 1 << 20,
         workers: 1,
+        tenant_budget: None,
+        tenant_seed: 0,
+        tenant_eps: 0.15,
+        tenant_delta: 0.1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -44,6 +56,12 @@ fn parse_args() -> Args {
             "--cap" => args.cap = value.parse().expect("--cap: usize"),
             "--universe" => args.universe = value.parse().expect("--universe: u64"),
             "--workers" => args.workers = value.parse().expect("--workers: usize"),
+            "--tenant-budget" => {
+                args.tenant_budget = Some(value.parse().expect("--tenant-budget: usize"))
+            }
+            "--tenant-seed" => args.tenant_seed = value.parse().expect("--tenant-seed: u64"),
+            "--tenant-eps" => args.tenant_eps = value.parse().expect("--tenant-eps: f64"),
+            "--tenant-delta" => args.tenant_delta = value.parse().expect("--tenant-delta: f64"),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -66,6 +84,14 @@ fn main() {
             addr: "127.0.0.1:0".into(),
             universe: args.universe,
             workers: args.workers,
+            tenants: args.tenant_budget.map(|budget_bytes| TenantArenaConfig {
+                universe: args.universe,
+                eps: args.tenant_eps,
+                delta: args.tenant_delta,
+                budget_bytes,
+                base_seed: args.tenant_seed,
+                robust: true,
+            }),
         },
     )
     .expect("bind cluster node endpoint");

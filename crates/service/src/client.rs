@@ -36,7 +36,9 @@
 //! return `io::Result` for callers that want to handle failure.
 
 use crate::frame::{self, AdminRequest, AdminResponse};
-use crate::protocol::{write_ingest_line, Request, Response, ServiceStats, MAX_INGEST_FRAME};
+use crate::protocol::{
+    write_ingest_line, write_tenant_ingest_line, Request, Response, ServiceStats, MAX_INGEST_FRAME,
+};
 use robust_sampling_core::attack::{ObservableDefense, StateOracle};
 use robust_sampling_core::engine::StreamSummary;
 use std::cell::{Cell, RefCell};
@@ -84,6 +86,20 @@ impl Conn {
                 self.wbuf.push(b'\n');
             }
             Wire::Binary => frame::encode_ingest_slice(chunk, &mut self.wbuf),
+        }
+        self.writer.write_all(&self.wbuf)
+    }
+
+    /// The tenant analogue of [`send_ingest`](Self::send_ingest): a
+    /// `TINGEST` frame encoded straight from the value slice.
+    fn send_tenant_ingest(&mut self, tenant: u64, chunk: &[u64]) -> std::io::Result<()> {
+        self.wbuf.clear();
+        match self.wire {
+            Wire::Text => {
+                write_tenant_ingest_line(tenant, chunk, &mut self.wbuf);
+                self.wbuf.push(b'\n');
+            }
+            Wire::Binary => frame::encode_tenant_ingest_slice(tenant, chunk, &mut self.wbuf),
         }
         self.writer.write_all(&self.wbuf)
     }
@@ -272,6 +288,55 @@ impl ServiceClient {
         }
         self.last_items.set(total);
         Ok(total)
+    }
+
+    /// `TINGEST tenant …`: ingest a frame into one tenant's summary
+    /// (chunked under the protocol's frame cap); returns that tenant's
+    /// total item count afterwards.
+    pub fn tenant_ingest(&self, tenant: u64, xs: &[u64]) -> std::io::Result<usize> {
+        let mut total = 0;
+        for chunk in xs.chunks(MAX_INGEST_FRAME) {
+            if chunk.is_empty() {
+                continue;
+            }
+            let mut conn = self.conn.borrow_mut();
+            conn.send_tenant_ingest(tenant, chunk)?;
+            conn.writer.flush()?;
+            let resp = conn.receive()?;
+            drop(conn);
+            match resp {
+                Response::Ingested(n) => total = n,
+                Response::Err(msg) => {
+                    return Err(std::io::Error::other(format!("service error: {msg}")))
+                }
+                other => return self.unexpected("INGESTED", other),
+            }
+        }
+        Ok(total)
+    }
+
+    /// `TQUERY COUNT tenant x`.
+    pub fn tenant_count(&self, tenant: u64, x: u64) -> std::io::Result<f64> {
+        match self.round_trip(&Request::TenantQueryCount { tenant, x })? {
+            Response::Count(c) => Ok(c),
+            other => self.unexpected("COUNT", other),
+        }
+    }
+
+    /// `TQUERY QUANTILE tenant q`.
+    pub fn tenant_quantile(&self, tenant: u64, q: f64) -> std::io::Result<Option<u64>> {
+        match self.round_trip(&Request::TenantQueryQuantile { tenant, q })? {
+            Response::Quantile(v) => Ok(v),
+            other => self.unexpected("QUANTILE", other),
+        }
+    }
+
+    /// `TSNAPSHOT tenant`: the tenant's item count and current sample.
+    pub fn tenant_snapshot(&self, tenant: u64) -> std::io::Result<(usize, Vec<u64>)> {
+        match self.round_trip(&Request::TenantSnapshot { tenant })? {
+            Response::TenantSnapshot { items, sample, .. } => Ok((items, sample)),
+            other => self.unexpected("TSNAPSHOT", other),
+        }
     }
 
     /// One admin request/response round trip — binary wire only (the

@@ -179,6 +179,11 @@ pub struct ClusterConfig {
     pub universe: u64,
     /// Event-loop worker threads per node process.
     pub workers: usize,
+    /// `Some(bytes)` enables a per-node tenant arena under that budget.
+    /// Every node's arena is seeded with the *cluster* `base_seed` (not
+    /// the node's shard seed), so tenant `t` samples identically no
+    /// matter which node the `t mod N` deal assigns it to.
+    pub tenant_budget_bytes: Option<usize>,
 }
 
 impl Default for ClusterConfig {
@@ -190,6 +195,7 @@ impl Default for ClusterConfig {
             cap: 64,
             universe: 1 << 20,
             workers: 1,
+            tenant_budget_bytes: None,
         }
     }
 }
@@ -203,6 +209,13 @@ impl ClusterConfig {
     /// The exact seed node `j` serves with.
     pub fn node_seed(&self, j: usize) -> u64 {
         ShardedSummary::<ReservoirSampler<u64>>::shard_seed(self.base_seed, j)
+    }
+
+    /// The node that owns tenant `t`: the same `mod N` deal as element
+    /// routing, applied to tenant ids. Every frame for a tenant lands on
+    /// one node, so a tenant's arena slot lives in exactly one process.
+    pub fn tenant_node(&self, tenant: u64) -> usize {
+        (tenant % self.nodes as u64) as usize
     }
 }
 
@@ -218,8 +231,8 @@ struct Node {
 /// ephemeral port, wait for its `LISTENING <addr>` handshake line, and
 /// connect a binary client.
 fn spawn_node(cfg: &ClusterConfig, j: usize) -> std::io::Result<Node> {
-    let mut child = Command::new(node_bin().as_os_str())
-        .arg("--seed")
+    let mut cmd = Command::new(node_bin().as_os_str());
+    cmd.arg("--seed")
         .arg(cfg.node_seed(j).to_string())
         .arg("--epoch-every")
         .arg(cfg.epoch_every.to_string())
@@ -228,7 +241,14 @@ fn spawn_node(cfg: &ClusterConfig, j: usize) -> std::io::Result<Node> {
         .arg("--universe")
         .arg(cfg.universe.to_string())
         .arg("--workers")
-        .arg(cfg.workers.to_string())
+        .arg(cfg.workers.to_string());
+    if let Some(budget) = cfg.tenant_budget_bytes {
+        cmd.arg("--tenant-budget")
+            .arg(budget.to_string())
+            .arg("--tenant-seed")
+            .arg(cfg.base_seed.to_string());
+    }
+    let mut child = cmd
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
@@ -448,6 +468,39 @@ impl ClusterRouter {
             merge_in_shard_order(summaries),
         ))
     }
+
+    /// Send a keyed ingest frame to the node that owns `tenant` (the
+    /// [`ClusterConfig::tenant_node`] deal). Tenant frames ride the same
+    /// connections as the main stream but are **not** retained in the
+    /// replay window: tenant durability is the arena's
+    /// checkpoint-on-evict story inside each node, not the router's
+    /// frame-replay failover.
+    pub fn tenant_ingest(&self, tenant: u64, xs: &[u64]) -> std::io::Result<usize> {
+        self.nodes[self.cfg.tenant_node(tenant)]
+            .client
+            .tenant_ingest(tenant, xs)
+    }
+
+    /// Tenant-scoped `COUNT`, answered by the owning node's arena.
+    pub fn tenant_count(&self, tenant: u64, x: u64) -> std::io::Result<f64> {
+        self.nodes[self.cfg.tenant_node(tenant)]
+            .client
+            .tenant_count(tenant, x)
+    }
+
+    /// Tenant-scoped `QUANTILE`, answered by the owning node's arena.
+    pub fn tenant_quantile(&self, tenant: u64, q: f64) -> std::io::Result<Option<u64>> {
+        self.nodes[self.cfg.tenant_node(tenant)]
+            .client
+            .tenant_quantile(tenant, q)
+    }
+
+    /// Pull tenant `t`'s `(items, sample)` from its owning node.
+    pub fn tenant_snapshot(&self, tenant: u64) -> std::io::Result<(usize, Vec<u64>)> {
+        self.nodes[self.cfg.tenant_node(tenant)]
+            .client
+            .tenant_snapshot(tenant)
+    }
 }
 
 /// The cluster as an [`ObservableDefense`]: ingestion deals through the
@@ -557,6 +610,22 @@ mod tests {
                     rebuilt[(routed + p) % k].push(x);
                 }
                 assert_eq!(strides, rebuilt, "routed={routed} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_deal_matches_the_mod_n_contract() {
+        // Tenant ownership is the element-routing deal applied to ids:
+        // tenant t lives on node t mod N, for every cluster width.
+        for nodes in 1..=5usize {
+            let cfg = ClusterConfig {
+                nodes,
+                ..ClusterConfig::default()
+            };
+            for t in [0u64, 1, 7, 1_000_003, u64::MAX] {
+                assert_eq!(cfg.tenant_node(t), (t % nodes as u64) as usize);
+                assert!(cfg.tenant_node(t) < nodes);
             }
         }
     }

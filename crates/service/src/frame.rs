@@ -33,6 +33,10 @@
 //! 0x09    EPOCH STATE        (empty)                     [admin]
 //! 0x0A    CHECKPOINT         (empty)                     [admin]
 //! 0x0B    RESTORE            checkpoint envelope bytes   [admin]
+//! 0x0C    TINGEST            u64 tenant, then count × u64
+//! 0x0D    TQUERY COUNT       u64 tenant, u64 item
+//! 0x0E    TQUERY QUANTILE    u64 tenant, f64 rank bits
+//! 0x0F    TSNAPSHOT          u64 tenant
 //!
 //! opcode  response           payload
 //! 0x81    INGESTED           u64 total items
@@ -41,9 +45,11 @@
 //! 0x84    HH                 u32 count, then count × (u64 item, f64 density)
 //! 0x85    KS                 f64 distance bits
 //! 0x86    SNAPSHOT           u64 epoch, u64 items, u32 k, then k × u64
-//! 0x87    STATS              5 × u64 (items, epoch, shards, space,
-//!                            snapshot_items)
+//! 0x87    STATS              9 × u64 (items, epoch, shards, space,
+//!                            snapshot_items, shard_bytes, arena_tenants,
+//!                            arena_bytes, arena_evictions)
 //! 0x88    BYE                (empty)
+//! 0x8C    TSNAPSHOT          u64 tenant, u64 items, u32 k, then k × u64
 //! 0x89    EPOCH STATE        u64 epoch, u64 items, u64 frames acked,
 //!                            then the published summary's codec bytes
 //! 0x8A    CHECKPOINT         u64 frames acked, then envelope bytes
@@ -113,6 +119,12 @@ mod opcode {
     pub const CHECKPOINT: u8 = 0x0A;
     pub const RESTORE: u8 = 0x0B;
 
+    // Tenant-arena requests (text forms TINGEST/TQUERY/TSNAPSHOT).
+    pub const TENANT_INGEST: u8 = 0x0C;
+    pub const TENANT_QUERY_COUNT: u8 = 0x0D;
+    pub const TENANT_QUERY_QUANTILE: u8 = 0x0E;
+    pub const TENANT_SNAPSHOT: u8 = 0x0F;
+
     pub const INGESTED: u8 = 0x81;
     pub const COUNT: u8 = 0x82;
     pub const QUANTILE: u8 = 0x83;
@@ -126,6 +138,9 @@ mod opcode {
     pub const R_EPOCH_STATE: u8 = 0x89;
     pub const R_CHECKPOINT: u8 = 0x8A;
     pub const RESTORED: u8 = 0x8B;
+
+    // Tenant-arena responses.
+    pub const R_TENANT_SNAPSHOT: u8 = 0x8C;
 
     pub const ERR: u8 = 0xC0;
 }
@@ -209,6 +224,26 @@ pub fn encode_ingest_slice(vs: &[u64], out: &mut Vec<u8>) {
     }
 }
 
+/// Append a `TINGEST` frame carrying `vs` for `tenant` to `out` — the
+/// tenant analogue of [`encode_ingest_slice`] (no owned `Request` is
+/// built on the client's tenant ingest path).
+///
+/// # Panics
+///
+/// Panics if `vs` exceeds [`MAX_INGEST_FRAME`] values or is empty.
+pub fn encode_tenant_ingest_slice(tenant: u64, vs: &[u64], out: &mut Vec<u8>) {
+    assert!(
+        !vs.is_empty() && vs.len() <= MAX_INGEST_FRAME,
+        "TINGEST frame must carry 1..={MAX_INGEST_FRAME} values, got {}",
+        vs.len()
+    );
+    put_header(out, opcode::TENANT_INGEST, 8 + 8 * vs.len());
+    out.put_u64_le(tenant);
+    for &v in vs {
+        out.put_u64_le(v);
+    }
+}
+
 /// Append a `SNAPSHOT` response frame to `out` straight from a borrowed
 /// sample slice — the server serializes [`EpochSnapshot::visible_ref`]
 /// directly into the connection's out-buffer through this, never
@@ -248,6 +283,23 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
         }
         Request::QueryKs => put_header(out, opcode::QUERY_KS, 0),
         Request::Snapshot => put_header(out, opcode::SNAPSHOT, 0),
+        Request::TenantIngest { tenant, values } => {
+            encode_tenant_ingest_slice(*tenant, values, out)
+        }
+        Request::TenantQueryCount { tenant, x } => {
+            put_header(out, opcode::TENANT_QUERY_COUNT, 16);
+            out.put_u64_le(*tenant);
+            out.put_u64_le(*x);
+        }
+        Request::TenantQueryQuantile { tenant, q } => {
+            put_header(out, opcode::TENANT_QUERY_QUANTILE, 16);
+            out.put_u64_le(*tenant);
+            out.put_f64_le(*q);
+        }
+        Request::TenantSnapshot { tenant } => {
+            put_header(out, opcode::TENANT_SNAPSHOT, 8);
+            out.put_u64_le(*tenant);
+        }
         Request::Stats => put_header(out, opcode::STATS, 0),
         Request::Quit => put_header(out, opcode::QUIT, 0),
     }
@@ -292,13 +344,30 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             items,
             sample,
         } => encode_snapshot_slice(*epoch, *items, sample, out),
+        Response::TenantSnapshot {
+            tenant,
+            items,
+            sample,
+        } => {
+            put_header(out, opcode::R_TENANT_SNAPSHOT, 20 + 8 * sample.len());
+            out.put_u64_le(*tenant);
+            out.put_u64_le(*items as u64);
+            out.put_u32_le(sample.len() as u32);
+            for &v in sample {
+                out.put_u64_le(v);
+            }
+        }
         Response::Stats(st) => {
-            put_header(out, opcode::R_STATS, 40);
+            put_header(out, opcode::R_STATS, 72);
             out.put_u64_le(st.items as u64);
             out.put_u64_le(st.epoch);
             out.put_u64_le(st.shards as u64);
             out.put_u64_le(st.space as u64);
             out.put_u64_le(st.snapshot_items as u64);
+            out.put_u64_le(st.shard_bytes as u64);
+            out.put_u64_le(st.arena_tenants as u64);
+            out.put_u64_le(st.arena_bytes as u64);
+            out.put_u64_le(st.arena_evictions);
         }
         Response::Bye => put_header(out, opcode::BYE, 0),
         Response::Err(msg) => {
@@ -563,6 +632,15 @@ pub enum RequestFrame<'a> {
     /// little-endian `u64` chunk, borrowed from the read buffer.
     /// Guaranteed non-empty and a multiple of 8 bytes.
     IngestLe(&'a [u8]),
+    /// A `TINGEST` frame: the tenant key plus its value chunk, borrowed
+    /// from the read buffer with the same guarantees as
+    /// [`IngestLe`](Self::IngestLe).
+    TenantIngestLe {
+        /// Tenant key.
+        tenant: u64,
+        /// The frame's values as flat little-endian `u64` bytes.
+        payload: &'a [u8],
+    },
     /// Any non-bulk request, decoded to its owned form.
     Owned(Request),
     /// A cluster control-plane request (binary-only — there is no owned
@@ -588,6 +666,13 @@ impl RequestFrame<'_> {
                     .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
                     .collect(),
             ),
+            RequestFrame::TenantIngestLe { tenant, payload } => Request::TenantIngest {
+                tenant,
+                values: payload
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                    .collect(),
+            },
             RequestFrame::Owned(req) => req,
             RequestFrame::Admin(req) => {
                 panic!(
@@ -650,6 +735,40 @@ pub fn decode_request_frame(buf: &[u8]) -> Result<Option<(RequestFrame<'_>, usiz
         opcode::QUIT => {
             expect_len(payload, 0, "QUIT carries no payload")?;
             Request::Quit
+        }
+        opcode::TENANT_INGEST => {
+            if len < 16 || (len - 8) % 8 != 0 {
+                return Err(FrameError::Malformed(
+                    "TINGEST payload must be a tenant key plus a non-empty \
+                     multiple of 8 bytes",
+                ));
+            }
+            let tenant = payload.get_u64_le();
+            return Ok(Some((
+                RequestFrame::TenantIngestLe { tenant, payload },
+                consumed,
+            )));
+        }
+        opcode::TENANT_QUERY_COUNT => {
+            expect_len(payload, 16, "TQUERY COUNT payload must be two u64 words")?;
+            Request::TenantQueryCount {
+                tenant: payload.get_u64_le(),
+                x: payload.get_u64_le(),
+            }
+        }
+        opcode::TENANT_QUERY_QUANTILE => {
+            expect_len(payload, 16, "TQUERY QUANTILE payload must be u64 + f64")?;
+            let tenant = payload.get_u64_le();
+            Request::TenantQueryQuantile {
+                tenant,
+                q: unit_f64(&mut payload, "TQUERY QUANTILE rank must be in [0,1]")?,
+            }
+        }
+        opcode::TENANT_SNAPSHOT => {
+            expect_len(payload, 8, "TSNAPSHOT payload must be one u64")?;
+            Request::TenantSnapshot {
+                tenant: payload.get_u64_le(),
+            }
         }
         opcode::EPOCH_STATE => {
             expect_len(payload, 0, "EPOCH STATE carries no payload")?;
@@ -774,14 +893,42 @@ pub fn decode_response(buf: &[u8]) -> Result<Option<(Response, usize)>, FrameErr
                 sample,
             }
         }
+        opcode::R_TENANT_SNAPSHOT => {
+            if len < 20 {
+                return Err(FrameError::Malformed(
+                    "TSNAPSHOT payload missing its header",
+                ));
+            }
+            let tenant = payload.get_u64_le();
+            let items = payload.get_u64_le() as usize;
+            let k = payload.get_u32_le() as usize;
+            if payload.remaining() != 8 * k {
+                return Err(FrameError::Malformed(
+                    "TSNAPSHOT sample length disagrees with payload size",
+                ));
+            }
+            let mut sample = Vec::with_capacity(k);
+            for _ in 0..k {
+                sample.push(payload.get_u64_le());
+            }
+            Response::TenantSnapshot {
+                tenant,
+                items,
+                sample,
+            }
+        }
         opcode::R_STATS => {
-            expect_len(payload, 40, "STATS payload must be five u64 words")?;
+            expect_len(payload, 72, "STATS payload must be nine u64 words")?;
             Response::Stats(ServiceStats {
                 items: payload.get_u64_le() as usize,
                 epoch: payload.get_u64_le(),
                 shards: payload.get_u64_le() as usize,
                 space: payload.get_u64_le() as usize,
                 snapshot_items: payload.get_u64_le() as usize,
+                shard_bytes: payload.get_u64_le() as usize,
+                arena_tenants: payload.get_u64_le() as usize,
+                arena_bytes: payload.get_u64_le() as usize,
+                arena_evictions: payload.get_u64_le(),
             })
         }
         opcode::BYE => {
@@ -810,6 +957,16 @@ mod tests {
             Request::QueryHeavy(0.0),
             Request::QueryKs,
             Request::Snapshot,
+            Request::TenantIngest {
+                tenant: 17,
+                values: vec![4, 8, u64::MAX],
+            },
+            Request::TenantQueryCount {
+                tenant: u64::MAX,
+                x: 4,
+            },
+            Request::TenantQueryQuantile { tenant: 0, q: 0.25 },
+            Request::TenantSnapshot { tenant: 9 },
             Request::Stats,
             Request::Quit,
         ]
@@ -828,12 +985,21 @@ mod tests {
                 items: 10_000,
                 sample: vec![3, 1, 4, 1, 5],
             },
+            Response::TenantSnapshot {
+                tenant: 9,
+                items: 77,
+                sample: vec![2, 7, 1],
+            },
             Response::Stats(ServiceStats {
                 items: 10,
                 epoch: 2,
                 shards: 4,
                 space: 64,
                 snapshot_items: 8,
+                shard_bytes: 512,
+                arena_tenants: 1_000_000,
+                arena_bytes: 4096,
+                arena_evictions: 31,
             }),
             Response::Bye,
             Response::Err("boom × unicode".into()),
@@ -978,6 +1144,69 @@ mod tests {
             decode_request(&buf),
             Err(FrameError::Malformed(_))
         ));
+        // TINGEST with only a tenant key and no values.
+        let mut buf = Vec::new();
+        put_header(&mut buf, opcode::TENANT_INGEST, 8);
+        buf.put_u64_le(3);
+        assert!(matches!(
+            decode_request(&buf),
+            Err(FrameError::Malformed(_))
+        ));
+        // TINGEST with a ragged value chunk.
+        let mut buf = Vec::new();
+        put_header(&mut buf, opcode::TENANT_INGEST, 15);
+        buf.extend_from_slice(&[0; 15]);
+        assert!(matches!(
+            decode_request(&buf),
+            Err(FrameError::Malformed(_))
+        ));
+        // TQUERY QUANTILE with an out-of-range rank.
+        let mut buf = Vec::new();
+        put_header(&mut buf, opcode::TENANT_QUERY_QUANTILE, 16);
+        buf.put_u64_le(3);
+        buf.put_f64_le(-0.5);
+        assert!(matches!(
+            decode_request(&buf),
+            Err(FrameError::Malformed(_))
+        ));
+        // TSNAPSHOT response whose sample length disagrees with the size.
+        let mut buf = Vec::new();
+        put_header(&mut buf, opcode::R_TENANT_SNAPSHOT, 20);
+        buf.put_u64_le(1);
+        buf.put_u64_le(5);
+        buf.put_u32_le(2);
+        assert!(matches!(
+            decode_response(&buf),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn tenant_ingest_frames_decode_borrowed_on_the_zero_copy_path() {
+        let vs: Vec<u64> = vec![11, 0, u64::MAX];
+        let mut buf = Vec::new();
+        encode_tenant_ingest_slice(31, &vs, &mut buf);
+        let (frame, consumed) = decode_request_frame(&buf).unwrap().unwrap();
+        assert_eq!(consumed, buf.len());
+        match frame {
+            RequestFrame::TenantIngestLe { tenant, payload } => {
+                assert_eq!(tenant, 31);
+                // The value chunk is the read buffer's own bytes, offset
+                // past the tenant word — not a copy.
+                assert!(std::ptr::eq(
+                    payload.as_ptr(),
+                    buf[HEADER_BYTES + 8..].as_ptr()
+                ));
+                assert_eq!(
+                    RequestFrame::TenantIngestLe { tenant, payload }.into_owned(),
+                    Request::TenantIngest {
+                        tenant: 31,
+                        values: vs
+                    }
+                );
+            }
+            other => panic!("expected TenantIngestLe, got {other:?}"),
+        }
     }
 
     fn all_admin_requests() -> Vec<AdminRequest> {

@@ -60,6 +60,7 @@ pub mod frame;
 pub mod protocol;
 pub mod server;
 pub mod service;
+pub mod tenant;
 
 pub use client::ServiceClient;
 pub use cluster::{ChildGuard, ClusterConfig, ClusterDefense, ClusterRouter};
@@ -67,3 +68,4 @@ pub use frame::{AdminRequest, AdminResponse, FrameError};
 pub use protocol::{Request, Response, ServiceStats};
 pub use server::{ServiceConfig, ServiceServer};
 pub use service::{EpochSnapshot, QueryHandle, ServableSummary, SummaryService};
+pub use tenant::{TenantArena, TenantArenaConfig, VictimTenantView};

@@ -11,11 +11,21 @@
 //! QUERY HH <threshold>        -> OK HH <item>:<density> ...
 //! QUERY KS                    -> OK KS <distance>
 //! SNAPSHOT                    -> OK SNAPSHOT <epoch> <items> <v> ...
+//! TINGEST <t> <v> <v> ...     -> OK INGESTED <tenant items>
+//! TQUERY COUNT <t> <x>        -> OK COUNT <estimate>
+//! TQUERY QUANTILE <t> <q>     -> OK QUANTILE <value> | OK QUANTILE NONE
+//! TSNAPSHOT <t>               -> OK TSNAPSHOT <t> <items> <v> ...
 //! STATS                       -> OK STATS items=<n> epoch=<e> shards=<k>
 //!                                         space=<s> snapshot_items=<m>
+//!                                         shard_bytes=<b> arena_tenants=<t>
+//!                                         arena_bytes=<b> arena_evictions=<e>
 //! QUIT                        -> OK BYE
 //! anything else               -> ERR <reason>
 //! ```
+//!
+//! The `T*` commands address one tenant of the server's
+//! [`TenantArena`](crate::tenant::TenantArena); on a server spawned
+//! without an arena they answer `ERR`.
 //!
 //! [`Request`] and [`Response`] each encode to and parse from a line, and
 //! both directions are round-trip tested — the server and the blocking
@@ -42,6 +52,32 @@ pub enum Request {
     QueryKs,
     /// The published snapshot's epoch, boundary, and visible sample.
     Snapshot,
+    /// Ingest a frame of values into one tenant's summary.
+    TenantIngest {
+        /// Tenant key.
+        tenant: u64,
+        /// The frame.
+        values: Vec<u64>,
+    },
+    /// Count estimate for one item in one tenant's stream.
+    TenantQueryCount {
+        /// Tenant key.
+        tenant: u64,
+        /// Queried item.
+        x: u64,
+    },
+    /// `q`-quantile of one tenant's stream, `q ∈ [0, 1]`.
+    TenantQueryQuantile {
+        /// Tenant key.
+        tenant: u64,
+        /// Quantile rank.
+        q: f64,
+    },
+    /// One tenant's current sample.
+    TenantSnapshot {
+        /// Tenant key.
+        tenant: u64,
+    },
     /// Service counters.
     Stats,
     /// Close the connection.
@@ -61,6 +97,16 @@ pub struct ServiceStats {
     pub space: usize,
     /// Stream length at the published snapshot's boundary.
     pub snapshot_items: usize,
+    /// Estimated resident bytes of the sharded summary (retained units
+    /// × 8, the memory-accounting view of `space`).
+    pub shard_bytes: usize,
+    /// Tenants known to the arena (resident + checkpointed); 0 when the
+    /// server has no arena.
+    pub arena_tenants: usize,
+    /// Bytes of resident arena state charged against the budget.
+    pub arena_bytes: usize,
+    /// Checkpoint-on-evict events since the arena was created.
+    pub arena_evictions: u64,
 }
 
 /// A server→client response.
@@ -83,6 +129,15 @@ pub enum Response {
         /// Stream length at the snapshot boundary.
         items: usize,
         /// The snapshot's retained elements (the observable state).
+        sample: Vec<u64>,
+    },
+    /// One tenant's sample: tenant key, its item count, its sample.
+    TenantSnapshot {
+        /// Tenant key.
+        tenant: u64,
+        /// Items the tenant has streamed.
+        items: usize,
+        /// The tenant's retained sample.
         sample: Vec<u64>,
     },
     /// Service counters.
@@ -155,6 +210,47 @@ impl Request {
                 None => Ok(Request::Snapshot),
                 Some(_) => Err("usage: SNAPSHOT".into()),
             },
+            Some("TINGEST") => {
+                let tenant = parse_u64(
+                    toks.next().ok_or("TINGEST needs a tenant key")?,
+                    "TINGEST tenant",
+                )?;
+                let values: Vec<u64> = toks
+                    .map(|t| parse_u64(t, "TINGEST value"))
+                    .collect::<Result<_, _>>()?;
+                if values.is_empty() {
+                    return Err("TINGEST needs at least one value".into());
+                }
+                if values.len() > MAX_INGEST_FRAME {
+                    return Err(format!("TINGEST frame exceeds {MAX_INGEST_FRAME} values"));
+                }
+                Ok(Request::TenantIngest { tenant, values })
+            }
+            Some("TQUERY") => match toks.next() {
+                Some("COUNT") => match (toks.next(), toks.next(), toks.next()) {
+                    (Some(t), Some(x), None) => Ok(Request::TenantQueryCount {
+                        tenant: parse_u64(t, "TQUERY tenant")?,
+                        x: parse_u64(x, "COUNT item")?,
+                    }),
+                    _ => Err("usage: TQUERY COUNT <tenant> <item>".into()),
+                },
+                Some("QUANTILE") => match (toks.next(), toks.next(), toks.next()) {
+                    (Some(t), Some(q), None) => Ok(Request::TenantQueryQuantile {
+                        tenant: parse_u64(t, "TQUERY tenant")?,
+                        q: parse_unit(q, "QUANTILE rank")?,
+                    }),
+                    _ => Err("usage: TQUERY QUANTILE <tenant> <q>".into()),
+                },
+                other => Err(format!(
+                    "unknown tenant query {other:?}; expected COUNT|QUANTILE"
+                )),
+            },
+            Some("TSNAPSHOT") => match (toks.next(), toks.next()) {
+                (Some(t), None) => Ok(Request::TenantSnapshot {
+                    tenant: parse_u64(t, "TSNAPSHOT tenant")?,
+                }),
+                _ => Err("usage: TSNAPSHOT <tenant>".into()),
+            },
             Some("STATS") => match toks.next() {
                 None => Ok(Request::Stats),
                 Some(_) => Err("usage: STATS".into()),
@@ -179,9 +275,12 @@ impl Request {
         if let Request::Ingest(vs) = self {
             return write_ingest_line(vs, out);
         }
+        if let Request::TenantIngest { tenant, values } = self {
+            return write_tenant_ingest_line(*tenant, values, out);
+        }
         let mut w = ByteLine(out);
         match self {
-            Request::Ingest(_) => unreachable!("handled above"),
+            Request::Ingest(_) | Request::TenantIngest { .. } => unreachable!("handled above"),
             Request::QueryCount(x) => {
                 let _ = write!(w, "QUERY COUNT {x}");
             }
@@ -196,6 +295,15 @@ impl Request {
             }
             Request::Snapshot => {
                 let _ = w.write_str("SNAPSHOT");
+            }
+            Request::TenantQueryCount { tenant, x } => {
+                let _ = write!(w, "TQUERY COUNT {tenant} {x}");
+            }
+            Request::TenantQueryQuantile { tenant, q } => {
+                let _ = write!(w, "TQUERY QUANTILE {tenant} {q}");
+            }
+            Request::TenantSnapshot { tenant } => {
+                let _ = write!(w, "TSNAPSHOT {tenant}");
             }
             Request::Stats => {
                 let _ = w.write_str("STATS");
@@ -214,6 +322,17 @@ impl Request {
 pub fn write_ingest_line(vs: &[u64], out: &mut Vec<u8>) {
     let mut w = ByteLine(out);
     let _ = w.write_str("INGEST");
+    for v in vs {
+        let _ = write!(w, " {v}");
+    }
+}
+
+/// Append the `TINGEST …` line for a **borrowed** value slice directly
+/// to `out` (no trailing newline) — the tenant analogue of
+/// [`write_ingest_line`].
+pub fn write_tenant_ingest_line(tenant: u64, vs: &[u64], out: &mut Vec<u8>) {
+    let mut w = ByteLine(out);
+    let _ = write!(w, "TINGEST {tenant}");
     for v in vs {
         let _ = write!(w, " {v}");
     }
@@ -297,11 +416,30 @@ impl Response {
                 let _ = write!(w, "OK KS {d}");
             }
             Response::Snapshot { .. } => unreachable!("handled above"),
+            Response::TenantSnapshot {
+                tenant,
+                items,
+                sample,
+            } => {
+                let _ = write!(w, "OK TSNAPSHOT {tenant} {items}");
+                for v in sample {
+                    let _ = write!(w, " {v}");
+                }
+            }
             Response::Stats(st) => {
                 let _ = write!(
                     w,
-                    "OK STATS items={} epoch={} shards={} space={} snapshot_items={}",
-                    st.items, st.epoch, st.shards, st.space, st.snapshot_items
+                    "OK STATS items={} epoch={} shards={} space={} snapshot_items={} \
+                     shard_bytes={} arena_tenants={} arena_bytes={} arena_evictions={}",
+                    st.items,
+                    st.epoch,
+                    st.shards,
+                    st.space,
+                    st.snapshot_items,
+                    st.shard_bytes,
+                    st.arena_tenants,
+                    st.arena_bytes,
+                    st.arena_evictions
                 );
             }
             Response::Bye => {
@@ -368,18 +506,44 @@ impl Response {
                     sample,
                 })
             }
+            Some("TSNAPSHOT") => {
+                let tenant = parse_u64(
+                    toks.next().ok_or("TSNAPSHOT missing tenant")?,
+                    "TSNAPSHOT tenant",
+                )?;
+                let items = parse_u64(
+                    toks.next().ok_or("TSNAPSHOT missing items")?,
+                    "TSNAPSHOT items",
+                )? as usize;
+                let sample: Vec<u64> = toks
+                    .map(|t| parse_u64(t, "TSNAPSHOT value"))
+                    .collect::<Result<_, _>>()?;
+                Ok(Response::TenantSnapshot {
+                    tenant,
+                    items,
+                    sample,
+                })
+            }
             Some("STATS") => {
                 let items = parse_kv(toks.next(), "items")? as usize;
                 let epoch = parse_kv(toks.next(), "epoch")?;
                 let shards = parse_kv(toks.next(), "shards")? as usize;
                 let space = parse_kv(toks.next(), "space")? as usize;
                 let snapshot_items = parse_kv(toks.next(), "snapshot_items")? as usize;
+                let shard_bytes = parse_kv(toks.next(), "shard_bytes")? as usize;
+                let arena_tenants = parse_kv(toks.next(), "arena_tenants")? as usize;
+                let arena_bytes = parse_kv(toks.next(), "arena_bytes")? as usize;
+                let arena_evictions = parse_kv(toks.next(), "arena_evictions")?;
                 Ok(Response::Stats(ServiceStats {
                     items,
                     epoch,
                     shards,
                     space,
                     snapshot_items,
+                    shard_bytes,
+                    arena_tenants,
+                    arena_bytes,
+                    arena_evictions,
                 }))
             }
             Some("BYE") => Ok(Response::Bye),
@@ -401,6 +565,16 @@ mod tests {
             Request::QueryHeavy(0.05),
             Request::QueryKs,
             Request::Snapshot,
+            Request::TenantIngest {
+                tenant: 17,
+                values: vec![4, 8, u64::MAX],
+            },
+            Request::TenantQueryCount { tenant: 17, x: 4 },
+            Request::TenantQueryQuantile {
+                tenant: 17,
+                q: 0.25,
+            },
+            Request::TenantSnapshot { tenant: u64::MAX },
             Request::Stats,
             Request::Quit,
         ];
@@ -424,12 +598,21 @@ mod tests {
                 items: 10_000,
                 sample: vec![3, 1, 4, 1, 5],
             },
+            Response::TenantSnapshot {
+                tenant: 9,
+                items: 77,
+                sample: vec![2, 7, 1],
+            },
             Response::Stats(ServiceStats {
                 items: 10,
                 epoch: 2,
                 shards: 4,
                 space: 64,
                 snapshot_items: 8,
+                shard_bytes: 512,
+                arena_tenants: 1_000_000,
+                arena_bytes: 4096,
+                arena_evictions: 31,
             }),
             Response::Bye,
             Response::Err("boom".into()),
@@ -455,6 +638,15 @@ mod tests {
             sample,
         }
         .encode();
+        assert_eq!(borrowed, owned.as_bytes());
+    }
+
+    #[test]
+    fn borrowed_tenant_ingest_line_matches_the_owned_encoder() {
+        let values = vec![5u64, 0, 12];
+        let mut borrowed = Vec::new();
+        write_tenant_ingest_line(8, &values, &mut borrowed);
+        let owned = Request::TenantIngest { tenant: 8, values }.encode();
         assert_eq!(borrowed, owned.as_bytes());
     }
 
@@ -485,6 +677,14 @@ mod tests {
             "QUERY KS extra",
             "SNAPSHOT extra",
             "STATS extra",
+            "TINGEST",
+            "TINGEST 3",
+            "TINGEST x 1",
+            "TQUERY COUNT 3",
+            "TQUERY QUANTILE 3 1.5",
+            "TQUERY HH 3 0.1",
+            "TSNAPSHOT",
+            "TSNAPSHOT 3 extra",
         ] {
             assert!(Request::parse(line).is_err(), "accepted {line:?}");
         }

@@ -37,6 +37,7 @@
 use crate::frame::{self, AdminRequest, AdminResponse};
 use crate::protocol::{write_snapshot_line, Request, Response, ServiceStats};
 use crate::service::{EpochSnapshot, QueryHandle, ServableSummary, SummaryService};
+use crate::tenant::{TenantArena, TenantArenaConfig};
 use polling::{Event, Poller};
 use robust_sampling_core::attack::ObservableDefense;
 use robust_sampling_core::engine::{SnapshotCodec, SnapshotError};
@@ -59,6 +60,11 @@ pub struct ServiceConfig {
     /// Event-loop worker threads. Connections are dealt round-robin
     /// across the pool at accept time; each worker polls its own set.
     pub workers: usize,
+    /// When set, the server additionally hosts a [`TenantArena`] with
+    /// this sizing and answers the tenant requests
+    /// (`TINGEST`/`TQUERY`/`TSNAPSHOT` and their binary frames). When
+    /// `None`, tenant requests answer `ERR`.
+    pub tenants: Option<TenantArenaConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -67,6 +73,7 @@ impl Default for ServiceConfig {
             addr: "127.0.0.1:0".into(),
             universe: 1 << 20,
             workers: 4,
+            tenants: None,
         }
     }
 }
@@ -121,6 +128,11 @@ struct Shared<S: ServableSummary> {
     queries: RwLock<QueryHandle<S>>,
     universe: u64,
     admin: Option<AdminHooks<S>>,
+    /// The keyed per-tenant arena, when enabled. Ingest and tenant
+    /// queries share this mutex — tenant queries must revive evicted
+    /// tenants, so they mutate the arena and cannot ride the snapshot
+    /// read path.
+    arena: Option<Mutex<TenantArena>>,
 }
 
 impl<S: ServableSummary> Shared<S> {
@@ -199,6 +211,7 @@ impl ServiceServer {
             service: Mutex::new(service),
             universe: config.universe,
             admin,
+            arena: config.tenants.map(|c| Mutex::new(TenantArena::new(c))),
         });
 
         let workers = config.workers.max(1);
@@ -466,6 +479,24 @@ impl Conn {
                         pos += consumed;
                         frame::encode_response(&Response::Ingested(total), &mut self.outbuf);
                     }
+                    // The tenant analogue: the borrowed value chunk goes
+                    // straight into the tenant's reservoir.
+                    Ok(Some((
+                        frame::RequestFrame::TenantIngestLe { tenant, payload },
+                        consumed,
+                    ))) => {
+                        pos += consumed;
+                        let resp = match &shared.arena {
+                            Some(arena) => Response::Ingested(
+                                arena
+                                    .lock()
+                                    .expect("arena lock poisoned")
+                                    .ingest_le(tenant, payload),
+                            ),
+                            None => Response::Err(NO_ARENA.into()),
+                        };
+                        frame::encode_response(&resp, &mut self.outbuf);
+                    }
                     Ok(Some((frame::RequestFrame::Owned(req), consumed))) => {
                         pos += consumed;
                         self.respond_binary(req, shared);
@@ -679,10 +710,41 @@ fn parse_text_line(raw: &[u8]) -> Result<Request, String> {
     Request::parse(line.trim_end_matches(['\r', '\n']))
 }
 
+/// The error every tenant request gets on a server spawned without an
+/// arena.
+const NO_ARENA: &str = "tenant arena is not enabled on this endpoint";
+
 fn answer<S>(req: Request, shared: &Shared<S>) -> Response
 where
     S: ServableSummary + ObservableDefense,
 {
+    if matches!(
+        req,
+        Request::TenantIngest { .. }
+            | Request::TenantQueryCount { .. }
+            | Request::TenantQueryQuantile { .. }
+            | Request::TenantSnapshot { .. }
+    ) {
+        let Some(arena) = &shared.arena else {
+            return Response::Err(NO_ARENA.into());
+        };
+        let mut arena = arena.lock().expect("arena lock poisoned");
+        return match req {
+            Request::TenantIngest { tenant, values } => {
+                Response::Ingested(arena.ingest(tenant, &values))
+            }
+            Request::TenantQueryCount { tenant, x } => Response::Count(arena.count(tenant, x)),
+            Request::TenantQueryQuantile { tenant, q } => {
+                Response::Quantile(arena.quantile(tenant, q))
+            }
+            Request::TenantSnapshot { tenant } => Response::TenantSnapshot {
+                tenant,
+                items: arena.items(tenant),
+                sample: arena.sample(tenant),
+            },
+            _ => unreachable!("matched tenant requests above"),
+        };
+    }
     match req {
         Request::Ingest(vs) => {
             let mut service = shared.service.lock().expect("service lock poisoned");
@@ -703,14 +765,34 @@ where
         Request::Stats => {
             let snap = shared.snapshot();
             let service = shared.service.lock().expect("service lock poisoned");
+            let space = snap.summary().space();
+            let (arena_tenants, arena_bytes, arena_evictions) = match &shared.arena {
+                Some(arena) => {
+                    let arena = arena.lock().expect("arena lock poisoned");
+                    (
+                        arena.known_tenants(),
+                        arena.resident_bytes(),
+                        arena.counters().evictions,
+                    )
+                }
+                None => (0, 0, 0),
+            };
             Response::Stats(ServiceStats {
                 items: service.items_routed(),
                 epoch: snap.epoch(),
                 shards: service.num_shards(),
-                space: snap.summary().space(),
+                space,
                 snapshot_items: snap.items(),
+                shard_bytes: 8 * space,
+                arena_tenants,
+                arena_bytes,
+                arena_evictions,
             })
         }
         Request::Quit => Response::Bye, // handled by the caller
+        Request::TenantIngest { .. }
+        | Request::TenantQueryCount { .. }
+        | Request::TenantQueryQuantile { .. }
+        | Request::TenantSnapshot { .. } => unreachable!("dispatched to the arena above"),
     }
 }

@@ -88,6 +88,10 @@ proptest! {
             shards: (v % 64) as usize,
             space: (v % 4096) as usize,
             snapshot_items: (n % 100_000) as usize,
+            shard_bytes: (v % 65_536) as usize,
+            arena_tenants: (n % 10_000) as usize,
+            arena_bytes: (v % (1 << 20)) as usize,
+            arena_evictions: n % 1_000,
         }));
         assert_response_roundtrip(Response::Bye);
         assert_response_roundtrip(Response::Err("injected ×fault".into()));

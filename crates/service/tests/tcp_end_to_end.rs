@@ -21,6 +21,7 @@ fn serve(
             addr: "127.0.0.1:0".into(),
             universe,
             workers: 2,
+            tenants: None,
         },
     )
     .expect("bind ephemeral port");
@@ -158,6 +159,7 @@ fn checkpoint_restore_preserves_query_answers_over_the_wire() {
             addr: "127.0.0.1:0".into(),
             universe: 1 << 16,
             workers: 2,
+            tenants: None,
         },
     )
     .unwrap();

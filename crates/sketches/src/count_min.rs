@@ -109,6 +109,20 @@ impl CountMin {
         }
     }
 
+    /// Process one element carrying an integer weight (multiplicity).
+    /// Counter addition commutes, so this is **exactly** `weight` repeats
+    /// of [`observe`](Self::observe) in one pass over the rows.
+    pub fn observe_weighted(&mut self, x: u64, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        self.n += weight;
+        for r in 0..self.depth {
+            let c = self.cell(r, x);
+            self.counters[r * self.width + c] += weight;
+        }
+    }
+
     /// Batched ingestion: identical counters to element-wise
     /// [`observe`](Self::observe) calls (addition commutes), restructured
     /// for cache locality. Each `BATCH_CHUNK`-sized chunk is processed
@@ -228,6 +242,21 @@ impl CountMin {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn weighted_equals_repeated_unit_updates() {
+        let mut weighted = CountMin::with_seed(4, 64, 9);
+        let mut repeated = CountMin::with_seed(4, 64, 9);
+        for i in 0..500u64 {
+            let (x, w) = (i % 37, i % 5);
+            weighted.observe_weighted(x, w);
+            for _ in 0..w {
+                repeated.observe(x);
+            }
+        }
+        assert_eq!(weighted.counters(), repeated.counters());
+        assert_eq!(weighted.observed(), repeated.observed());
+    }
 
     #[test]
     fn never_undercounts() {

@@ -53,6 +53,46 @@ impl MisraGries {
         });
     }
 
+    /// Process one element carrying an integer weight (multiplicity):
+    /// state-for-state equivalent to `weight` repeats of
+    /// [`observe`](Self::observe), in `O(k)` instead of `O(weight)`.
+    ///
+    /// The closed form of the repeated unit update: a tracked element
+    /// absorbs the whole weight; an untracked element on a full table
+    /// first spends `min_count` copies on decrement-all steps (dropping
+    /// the minima, which frees a slot) and banks the remaining
+    /// `weight − min_count` copies in its fresh counter — or, when the
+    /// weight does not reach the minimum, is consumed entirely by
+    /// decrements and never inserted.
+    pub fn observe_weighted(&mut self, x: u64, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        self.n += weight;
+        if let Some(c) = self.counters.get_mut(&x) {
+            *c += weight;
+            return;
+        }
+        if self.counters.len() < self.k {
+            self.counters.insert(x, weight);
+            return;
+        }
+        let min = self
+            .counters
+            .values()
+            .copied()
+            .min()
+            .expect("counters non-empty");
+        let cut = min.min(weight);
+        self.counters.retain(|_, c| {
+            *c -= cut;
+            *c > 0
+        });
+        if weight > min {
+            self.counters.insert(x, weight - min);
+        }
+    }
+
     /// Estimated frequency of `x` (an undercount by at most `n/(k+1)`).
     pub fn estimate(&self, x: u64) -> u64 {
         self.counters.get(&x).copied().unwrap_or(0)
@@ -227,6 +267,28 @@ mod proptests {
                 );
             }
             prop_assert!(mg.counters_in_use() <= k);
+        }
+
+        /// Multiplicity contract: `observe_weighted(x, w)` leaves exactly
+        /// the state of `w` repeated `observe(x)` calls.
+        #[test]
+        fn weighted_equals_repeated_unit_updates(
+            data in proptest::collection::vec((0u64..12, 0u64..25), 1..120),
+            k in 1usize..8,
+        ) {
+            let mut weighted = MisraGries::new(k);
+            let mut repeated = MisraGries::new(k);
+            for &(x, w) in &data {
+                weighted.observe_weighted(x, w);
+                for _ in 0..w {
+                    repeated.observe(x);
+                }
+            }
+            prop_assert_eq!(weighted.observed(), repeated.observed());
+            prop_assert_eq!(weighted.counters_in_use(), repeated.counters_in_use());
+            for v in 0..12u64 {
+                prop_assert_eq!(weighted.estimate(v), repeated.estimate(v), "item {}", v);
+            }
         }
     }
 }

@@ -53,6 +53,32 @@ impl SpaceSaving {
         self.counters.insert(x, (min_count + 1, min_count));
     }
 
+    /// Process one element carrying an integer weight (multiplicity):
+    /// state-for-state equivalent to `weight` repeats of
+    /// [`observe`](Self::observe) — the first copy adopts the minimum
+    /// counter (inheriting its count as error), the rest increment.
+    pub fn observe_weighted(&mut self, x: u64, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        self.n += weight;
+        if let Some((c, _)) = self.counters.get_mut(&x) {
+            *c += weight;
+            return;
+        }
+        if self.counters.len() < self.k {
+            self.counters.insert(x, (weight, 0));
+            return;
+        }
+        let (&victim, &(min_count, _)) = self
+            .counters
+            .iter()
+            .min_by_key(|(_, &(c, _))| c)
+            .expect("counters non-empty");
+        self.counters.remove(&victim);
+        self.counters.insert(x, (min_count + weight, min_count));
+    }
+
     /// Estimated count of `x` (an overestimate by at most its recorded
     /// adoption error; 0 for untracked elements).
     pub fn estimate(&self, x: u64) -> u64 {
@@ -269,6 +295,29 @@ mod proptests {
                         "overcount for {v}: {est} > {truth} + n/k");
                     prop_assert!(ss.guaranteed(v) <= truth);
                 }
+            }
+        }
+
+        /// Multiplicity contract: `observe_weighted(x, w)` leaves exactly
+        /// the state of `w` repeated `observe(x)` calls (counts *and*
+        /// recorded adoption errors).
+        #[test]
+        fn weighted_equals_repeated_unit_updates(
+            data in proptest::collection::vec((0u64..12, 0u64..25), 1..120),
+            k in 1usize..8,
+        ) {
+            let mut weighted = SpaceSaving::new(k);
+            let mut repeated = SpaceSaving::new(k);
+            for &(x, w) in &data {
+                weighted.observe_weighted(x, w);
+                for _ in 0..w {
+                    repeated.observe(x);
+                }
+            }
+            prop_assert_eq!(weighted.observed(), repeated.observed());
+            for v in 0..12u64 {
+                prop_assert_eq!(weighted.estimate(v), repeated.estimate(v), "item {}", v);
+                prop_assert_eq!(weighted.guaranteed(v), repeated.guaranteed(v), "item {}", v);
             }
         }
     }

@@ -16,8 +16,30 @@ use crate::merge_reduce::MergeReduce;
 use crate::misra_gries::MisraGries;
 use crate::space_saving::SpaceSaving;
 use robust_sampling_core::engine::{
-    FrequencySummary, MergeableSummary, QuantileSummary, StreamSummary,
+    FrequencySummary, MergeableSummary, QuantileSummary, StreamSummary, WeightedSummary,
 };
+
+// Weighted (multiplicity) ingestion for the heavy-hitter baselines: each
+// `observe_weighted` is the exact closed form of the repeated unit
+// update, so the engine's multiplicity contract holds state-for-state.
+
+impl WeightedSummary<u64> for CountMin {
+    fn ingest_weighted(&mut self, x: u64, weight: u64) {
+        self.observe_weighted(x, weight);
+    }
+}
+
+impl WeightedSummary<u64> for MisraGries {
+    fn ingest_weighted(&mut self, x: u64, weight: u64) {
+        self.observe_weighted(x, weight);
+    }
+}
+
+impl WeightedSummary<u64> for SpaceSaving {
+    fn ingest_weighted(&mut self, x: u64, weight: u64) {
+        self.observe_weighted(x, weight);
+    }
+}
 
 impl StreamSummary<u64> for GkSummary {
     fn ingest(&mut self, x: u64) {

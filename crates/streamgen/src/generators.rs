@@ -21,7 +21,7 @@ use crate::source::{materialize, LenHint, StreamSource};
 /// per-epoch constants (burst values, flood sets) from a seed without
 /// touching the per-element RNG stream.
 #[inline]
-fn splitmix(x: u64) -> u64 {
+pub(crate) fn splitmix(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -159,7 +159,7 @@ impl ZipfTable {
     /// loops walk to the exact crossing so float rounding in the bucket
     /// map can never shift the answer.
     #[inline]
-    fn draw(&self, rng: &mut StdRng, universe: u64) -> u64 {
+    pub(crate) fn draw(&self, rng: &mut StdRng, universe: u64) -> u64 {
         let u: f64 = rng.random::<f64>() * self.total;
         let b = ((u * self.bucket_scale) as usize).min(ZIPF_BUCKETS - 1);
         let lo = self.bucket_lo[b] as usize;

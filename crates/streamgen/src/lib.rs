@@ -17,7 +17,9 @@
 pub mod generators;
 pub mod registry;
 pub mod source;
+pub mod tenants;
 
 pub use generators::*;
 pub use registry::{registry, workload, WorkloadSpec};
 pub use source::{materialize, LenHint, SliceSource, StreamSource, VecSource};
+pub use tenants::{keyed_descriptor, keyed_registry, keyed_workload, KeyedSpec, KeyedWorkloadSpec};

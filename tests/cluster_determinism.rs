@@ -55,6 +55,7 @@ fn cluster(nodes: usize, base_seed: u64, epoch_every: usize, cap: usize) -> Clus
         cap,
         universe: 1 << 16,
         workers: 1,
+        tenant_budget_bytes: None,
     })
     .expect("start cluster")
 }

@@ -1,0 +1,198 @@
+//! The multiplicity contract, pinned across the whole weighted surface:
+//! `ingest_weighted(x, w)` must leave every summary in **exactly** the
+//! state that `w` consecutive unit ingests of `x` would — same retained
+//! elements, same counters, same RNG stream. The properties here check
+//! three consequences across arbitrary weighted streams, seeds, and
+//! batch split schedules:
+//!
+//! * **expansion equivalence** — a weighted stream is bit-identical to
+//!   its run-length-expanded unit stream, *and stays identical under
+//!   continued mixed traffic* (the RNG-stream half of the contract:
+//!   a weighted prefix must leave the sampler able to continue
+//!   element-wise in lockstep with the expanded run);
+//! * **weight 1 is the unit kernel** — an all-ones weighted batch is
+//!   bit-identical to the plain `observe_batch` fast path;
+//! * **deterministic sketches take the closed form** — Count-Min,
+//!   Misra–Gries, and SpaceSaving answer weighted updates exactly as
+//!   the repeated unit update would (counter arrays and estimates
+//!   compared, not just outputs).
+//!
+//! Together with the engine-level `WeightedSummary` blanket tests these
+//! make "faster but subtly different" weighted paths unrepresentable:
+//! any divergence from the expanded transcript fails a property.
+
+use proptest::prelude::*;
+use robust_sampling::core::engine::weighted::WeightedSummary;
+use robust_sampling::core::sampler::{BernoulliSampler, ReservoirSampler, StreamSampler};
+use robust_sampling::sketches::count_min::CountMin;
+use robust_sampling::sketches::misra_gries::MisraGries;
+use robust_sampling::sketches::space_saving::SpaceSaving;
+
+/// Expand a weighted stream into its unit-stream transcript.
+fn expand(pairs: &[(u64, u64)]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for &(x, w) in pairs {
+        out.extend(std::iter::repeat_n(x, w as usize));
+    }
+    out
+}
+
+/// A weighted stream whose values exercise collisions (small universe)
+/// and whose weights cover the contract's corners: zero (no-op), one
+/// (the unit kernel), small runs, and heavy items that dwarf `k` (the
+/// gap-jump arm of the samplers).
+fn weighted_stream() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec(
+        (
+            0u64..512,
+            prop_oneof![Just(0u64), Just(1u64), 2u64..8, 50u64..400],
+        ),
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Reservoir: weighted ingestion ≡ the expanded unit stream, and the
+    /// RNG streams stay in lockstep — after the weighted prefix, both
+    /// samplers continue element-wise over a shared unit tail and must
+    /// still agree bit-for-bit.
+    #[test]
+    fn reservoir_weighted_matches_expanded_then_streams_on(
+        k in 1usize..200,
+        seed in 0u64..10_000,
+        pairs in weighted_stream(),
+        tail in proptest::collection::vec(0u64..512, 0..300),
+    ) {
+        let mut weighted = ReservoirSampler::with_seed(k, seed);
+        weighted.observe_weighted_batch(&pairs);
+        let mut unit = ReservoirSampler::with_seed(k, seed);
+        unit.observe_batch(&expand(&pairs));
+        prop_assert_eq!(weighted.sample(), unit.sample());
+        prop_assert_eq!(weighted.observed(), unit.observed());
+        prop_assert_eq!(weighted.total_stored(), unit.total_stored());
+        // RNG lockstep: continue both on identical unit traffic.
+        weighted.observe_batch(&tail);
+        unit.observe_batch(&tail);
+        prop_assert_eq!(weighted.sample(), unit.sample());
+        prop_assert_eq!(weighted.total_stored(), unit.total_stored());
+    }
+
+    /// Bernoulli: same two-phase pin — expansion equivalence, then
+    /// continued lockstep on a shared unit tail. `p` spans the saturating
+    /// tail (tiny p), the interior, and the store-everything `p = 1` arm.
+    #[test]
+    fn bernoulli_weighted_matches_expanded_then_streams_on(
+        p in prop_oneof![Just(1.0f64), Just(0.5f64.powi(20)), 0.001f64..1.0],
+        seed in 0u64..10_000,
+        pairs in weighted_stream(),
+        tail in proptest::collection::vec(0u64..512, 0..300),
+    ) {
+        let mut weighted = BernoulliSampler::with_seed(p, seed);
+        weighted.observe_weighted_batch(&pairs);
+        let mut unit = BernoulliSampler::with_seed(p, seed);
+        unit.observe_batch(&expand(&pairs));
+        prop_assert_eq!(weighted.sample(), unit.sample());
+        prop_assert_eq!(weighted.observed(), unit.observed());
+        weighted.observe_batch(&tail);
+        unit.observe_batch(&tail);
+        prop_assert_eq!(weighted.sample(), unit.sample());
+        prop_assert_eq!(weighted.total_stored(), unit.total_stored());
+    }
+
+    /// Weight 1 *is* the unit kernel: an all-ones weighted batch through
+    /// the `WeightedSummary` trait is bit-identical to the plain batched
+    /// fast path, for both samplers, under any split schedule.
+    #[test]
+    fn all_ones_weighted_batch_is_the_unit_kernel(
+        k in 1usize..200,
+        p in 0.001f64..1.0,
+        seed in 0u64..10_000,
+        xs in proptest::collection::vec(0u64..512, 0..400),
+        split in 1usize..64,
+    ) {
+        let ones: Vec<(u64, u64)> = xs.iter().map(|&x| (x, 1)).collect();
+
+        let mut wr = ReservoirSampler::with_seed(k, seed);
+        for chunk in ones.chunks(split) {
+            WeightedSummary::ingest_weighted_batch(&mut wr, chunk);
+        }
+        let mut ur = ReservoirSampler::with_seed(k, seed);
+        ur.observe_batch(&xs);
+        prop_assert_eq!(wr.sample(), ur.sample());
+        prop_assert_eq!(wr.total_stored(), ur.total_stored());
+
+        let mut wb = BernoulliSampler::with_seed(p, seed);
+        for chunk in ones.chunks(split) {
+            WeightedSummary::ingest_weighted_batch(&mut wb, chunk);
+        }
+        let mut ub = BernoulliSampler::with_seed(p, seed);
+        ub.observe_batch(&xs);
+        prop_assert_eq!(wb.sample(), ub.sample());
+        prop_assert_eq!(wb.observed(), ub.observed());
+    }
+
+    /// Count-Min: the weighted update is the exact closed form of the
+    /// repeated unit update — identical counter array, observed count,
+    /// and estimates.
+    #[test]
+    fn count_min_weighted_is_closed_form_of_repeats(
+        depth in 1usize..5,
+        width_log in 2u32..10,
+        seed in 0u64..10_000,
+        pairs in weighted_stream(),
+    ) {
+        let width = 1usize << width_log;
+        let mut weighted = CountMin::with_seed(depth, width, seed);
+        for &(x, w) in &pairs {
+            weighted.observe_weighted(x, w);
+        }
+        let mut unit = CountMin::with_seed(depth, width, seed);
+        unit.observe_batch(&expand(&pairs));
+        prop_assert_eq!(weighted.counters(), unit.counters());
+        prop_assert_eq!(weighted.observed(), unit.observed());
+        for &(x, _) in pairs.iter().take(16) {
+            prop_assert_eq!(weighted.estimate(x), unit.estimate(x));
+        }
+    }
+
+    /// Misra–Gries and SpaceSaving: the classical weighted update leaves
+    /// exactly the repeated-unit state — same estimates for every touched
+    /// key, same observed totals, same heavy-hitter sets.
+    #[test]
+    fn deterministic_counters_weighted_matches_repeats(
+        counters in 1usize..32,
+        pairs in weighted_stream(),
+    ) {
+        let expanded = expand(&pairs);
+
+        let mut wmg = MisraGries::new(counters);
+        let mut umg = MisraGries::new(counters);
+        for &(x, w) in &pairs {
+            wmg.observe_weighted(x, w);
+        }
+        for &x in &expanded {
+            umg.observe(x);
+        }
+        prop_assert_eq!(wmg.observed(), umg.observed());
+        for &(x, _) in &pairs {
+            prop_assert_eq!(wmg.estimate(x), umg.estimate(x));
+        }
+        prop_assert_eq!(wmg.heavy_hitters(0.05), umg.heavy_hitters(0.05));
+
+        let mut wss = SpaceSaving::new(counters);
+        let mut uss = SpaceSaving::new(counters);
+        for &(x, w) in &pairs {
+            wss.observe_weighted(x, w);
+        }
+        for &x in &expanded {
+            uss.observe(x);
+        }
+        prop_assert_eq!(wss.observed(), uss.observed());
+        for &(x, _) in &pairs {
+            prop_assert_eq!(wss.estimate(x), uss.estimate(x));
+        }
+        prop_assert_eq!(wss.heavy_hitters(0.05), uss.heavy_hitters(0.05));
+    }
+}
